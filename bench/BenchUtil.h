@@ -1,0 +1,52 @@
+//===- bench/BenchUtil.h - Shared helpers for the bench binaries ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_BENCH_BENCHUTIL_H
+#define JINN_BENCH_BENCHUTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace jinn::bench {
+
+/// Wall-clock seconds of \p Fn (one invocation).
+template <typename F> double timeSeconds(F &&Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Median-of-N wall-clock seconds.
+template <typename F> double medianSeconds(F &&Fn, int Reps) {
+  double Best[16];
+  if (Reps > 16)
+    Reps = 16;
+  for (int I = 0; I < Reps; ++I)
+    Best[I] = timeSeconds(Fn);
+  // insertion sort (tiny N)
+  for (int I = 1; I < Reps; ++I)
+    for (int J = I; J > 0 && Best[J - 1] > Best[J]; --J)
+      std::swap(Best[J - 1], Best[J]);
+  return Best[Reps / 2];
+}
+
+inline void printRule(int Width = 78) {
+  for (int I = 0; I < Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void printHeader(const std::string &Title) {
+  printRule();
+  std::printf("%s\n", Title.c_str());
+  printRule();
+}
+
+} // namespace jinn::bench
+
+#endif // JINN_BENCH_BENCHUTIL_H

@@ -1,0 +1,73 @@
+//===- bench/bench_fig9_messages.cpp - Regenerates paper Figure 9 --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the ExceptionState microbenchmark under the HotSpot -Xcheck:jni
+/// emulation, the J9 emulation, and Jinn, and prints the three error
+/// reports — Figure 9's qualitative comparison. Jinn's report names both
+/// illegal calls, shows the calling context, and chains the original Java
+/// exception as the cause.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+#include <cstdio>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+
+int main() {
+  bench::printHeader("Figure 9 - error messages for the ExceptionState "
+                     "microbenchmark");
+
+  // (a) HotSpot -Xcheck:jni
+  {
+    WorldConfig Config;
+    Config.Flavor = jvm::VmFlavor::HotSpotLike;
+    Config.Checker = CheckerKind::Xcheck;
+    ScenarioWorld World(Config);
+    runMicrobenchmark(MicroId::PendingException, World);
+    std::printf("(a) HotSpot -Xcheck:jni\n\n");
+    for (const auto &Detection : World.Xcheck->reporter().detections())
+      std::printf("%s\n", Detection.FormattedText.c_str());
+  }
+
+  // (b) J9 -Xcheck:jni
+  {
+    WorldConfig Config;
+    Config.Flavor = jvm::VmFlavor::J9Like;
+    Config.Checker = CheckerKind::Xcheck;
+    ScenarioWorld World(Config);
+    runMicrobenchmark(MicroId::PendingException, World);
+    bench::printRule();
+    std::printf("(b) J9 -Xcheck:jni\n\n");
+    for (const auto &Detection : World.Xcheck->reporter().detections())
+      std::printf("%s\n", Detection.FormattedText.c_str());
+  }
+
+  // (c) Jinn
+  {
+    WorldConfig Config;
+    Config.Checker = CheckerKind::Jinn;
+    ScenarioWorld World(Config);
+    runMicrobenchmark(MicroId::PendingException, World);
+    bench::printRule();
+    std::printf("(c) Jinn\n\n");
+    jvm::JThread &Main = World.Vm.mainThread();
+    if (!Main.Pending.isNull())
+      std::printf("Exception in thread \"main\" %s",
+                  World.Vm.describeThrowable(Main.Pending).c_str());
+    std::printf("\n(%zu illegal calls reported: ",
+                World.Jinn->reporter().reports().size());
+    for (size_t I = 0; I < World.Jinn->reporter().reports().size(); ++I)
+      std::printf("%s%s", I ? ", " : "",
+                  World.Jinn->reporter().reports()[I].Function.c_str());
+    std::printf(")\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/bench_table1_pitfalls.cpp - Regenerates paper Table 1 -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every microbenchmark under the five configurations of Table 1 —
+/// production HotSpot-like, production J9-like, both -Xcheck:jni
+/// emulations, and Jinn — and prints the classified behavior matrix next
+/// to the paper's expectations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "scenarios/Scenarios.h"
+
+#include <cstdio>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using jinn::jvm::VmFlavor;
+
+namespace {
+
+const char *cell(MicroId Id, VmFlavor Flavor, CheckerKind Checker) {
+  WorldConfig Config;
+  Config.Flavor = Flavor;
+  Config.Checker = Checker;
+  return outcomeName(runMicroToOutcome(Id, Config));
+}
+
+} // namespace
+
+int main() {
+  bench::printHeader(
+      "Table 1 - JNI pitfalls: default behavior, -Xcheck:jni, and Jinn\n"
+      "(paper: Lee et al., PLDI 2010; behaviors measured on the simulator)");
+  std::printf("%-22s %4s | %-9s %-9s | %-9s %-9s | %-10s\n", "microbenchmark",
+              "pit", "HotSpot", "J9", "HS+check", "J9+check", "Jinn");
+  bench::printRule();
+
+  for (const MicroInfo &Info : allMicrobenchmarks()) {
+    std::printf("%-22s %4d | %-9s %-9s | %-9s %-9s | %-10s\n",
+                Info.ClassName, Info.Pitfall,
+                cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::None),
+                cell(Info.Id, VmFlavor::J9Like, CheckerKind::None),
+                cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::Xcheck),
+                cell(Info.Id, VmFlavor::J9Like, CheckerKind::Xcheck),
+                cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::Jinn));
+  }
+  bench::printRule();
+  std::printf(
+      "Paper reference rows (Table 1): pitfall 1 running/crash "
+      "warning/error exception;\n"
+      "3,6,13: crash/crash error/error exception; 9: NPE everywhere but "
+      "Jinn; 11/12:\nleak/leak running/warning exception; 14: running/crash "
+      "error/crash exception;\n16: deadlock/deadlock warning/error "
+      "exception; 8: running/NPE everywhere (Jinn\ncannot detect pitfall 8 "
+      "at the language boundary).\n");
+  return 0;
+}

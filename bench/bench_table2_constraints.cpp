@@ -1,0 +1,59 @@
+//===- bench/bench_table2_constraints.cpp - Regenerates paper Table 2 ----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recomputes the classification and count of JNI constraints from the
+/// function-trait registry and prints it next to the paper's Table 2,
+/// plus the synthesis statistics (how many instrumentation points
+/// Algorithm 1 produced for the eleven machines).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "jinn/Census.h"
+#include "jinn/JinnAgent.h"
+#include "jni/JniTraits.h"
+#include "scenarios/Scenarios.h"
+
+#include <cstdio>
+
+using namespace jinn;
+
+int main() {
+  bench::printHeader("Table 2 - Classification and number of JNI "
+                     "constraints (measured vs. paper)");
+  std::printf("%-12s %-34s %9s %7s\n", "class", "constraint", "measured",
+              "paper");
+  bench::printRule();
+  std::string LastClass;
+  for (const agent::CensusRow &Row : agent::computeConstraintCensus()) {
+    std::printf("%-12s %-34s %9zu %7zu   %s\n",
+                Row.ConstraintClass == LastClass
+                    ? ""
+                    : Row.ConstraintClass.c_str(),
+                Row.Name.c_str(), Row.Count, Row.PaperCount,
+                Row.Description.c_str());
+    LastClass = Row.ConstraintClass;
+  }
+  bench::printRule();
+  std::printf("JNI functions in the registry: %zu (paper: 229)\n",
+              jni::NumJniFunctions);
+
+  // Synthesis statistics for the same machines (Algorithm 1 output).
+  scenarios::WorldConfig Config;
+  Config.Checker = scenarios::CheckerKind::Jinn;
+  scenarios::ScenarioWorld World(Config);
+  const synth::SynthesisStats &Stats = World.Jinn->stats();
+  std::printf("\nAlgorithm 1 synthesis: %zu machines, %zu state "
+              "transitions,\n  %zu pre-call checks + %zu post-return checks "
+              "on JNI functions,\n  %zu native-entry + %zu native-exit "
+              "actions = %zu instrumentation points\n",
+              Stats.MachineCount, Stats.StateTransitionCount,
+              Stats.JniPreHooks, Stats.JniPostHooks,
+              Stats.NativeEntryActions, Stats.NativeExitActions,
+              Stats.instrumentationPoints());
+  return 0;
+}

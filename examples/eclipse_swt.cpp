@@ -1,0 +1,53 @@
+//===- examples/eclipse_swt.cpp - §6.4.3 Eclipse/SWT case study ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Eclipse 3.4 / SWT callback.c bug (paper §6.4.3): a
+/// CallStatic<T>Method whose class argument does not *declare* the static
+/// method — it merely inherits it from a superclass. Production JVMs may
+/// never use the class value, so the bug "survived multiple revisions";
+/// Jinn's entity-specific typing machine reports it the first time it
+/// runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/CaseStudies.h"
+
+#include <cstdio>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+
+int main() {
+  std::printf("== Eclipse/SWT entity-typing bug (paper §6.4.3) ==\n\n");
+  std::printf("  result = (*env)->CallStaticSWT_PTRMethodV(env, object, "
+              "mid, vl);\n");
+  std::printf("  // `object` only INHERITS the static method named by "
+              "`mid`\n\n");
+
+  for (CheckerKind Checker : {CheckerKind::None, CheckerKind::Xcheck,
+                              CheckerKind::Jinn}) {
+    WorldConfig Config;
+    Config.Checker = Checker;
+    ScenarioWorld World(Config);
+    runEclipseSwtBug(World);
+    World.shutdown();
+    const char *Label = Checker == CheckerKind::None     ? "production"
+                        : Checker == CheckerKind::Xcheck ? "-Xcheck:jni"
+                                                         : "Jinn";
+    std::printf("  %-12s -> %s\n", Label,
+                outcomeName(classify(World)));
+    if (World.Jinn)
+      for (const agent::JinnReport &Report :
+           World.Jinn->reporter().reports())
+        std::printf("     [%s] %s\n", Report.Machine.c_str(),
+                    Report.Message.c_str());
+  }
+  std::printf("\nProduction and -Xcheck:jni both run to completion — the "
+              "bug is invisible\nuntil a JVM actually uses the class "
+              "argument. Jinn reports it deterministically.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+//===- examples/gnome_callback.cpp - Figure 1: GNOME bug 576111 ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A faithful port of the paper's running example (Figure 1, GNOME
+/// Bugzilla 576111): Java_Callback_bind registers an event callback whose
+/// C struct captures the `receiver` *local* reference; when the event
+/// fires, the callback passes the now-dangling reference to
+/// CallStaticVoidMethodA. Run under Jinn, the Use transition drives the
+/// local-reference machine into Error: Dangling (Figure 2) and the tool
+/// throws at line 15's call.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/JinnAgent.h"
+#include "jni/JniRuntime.h"
+#include "jvm/Vm.h"
+#include "jvmti/Jvmti.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace jinn;
+
+namespace {
+
+// The C heap state of Figure 1: an event callback registration.
+struct EventCallBack {
+  jclass Receiver = nullptr;   // cb->receiver (a captured local reference!)
+  jmethodID Method = nullptr;  // cb->mid
+};
+
+EventCallBack TheCallback; // registered callback (Figure 1 line 8)
+
+// Figure 1, lines 1-10: JNIEXPORT void JNICALL Java_Callback_bind(...)
+jvalue Java_Callback_bind(JNIEnv *Env, jobject, const jvalue *Args) {
+  jclass Receiver = static_cast<jclass>(Args[0].l);
+  jstring Name = static_cast<jstring>(Args[1].l);
+  jstring Desc = static_cast<jstring>(Args[2].l);
+
+  TheCallback.Receiver = Receiver; // line 6: receiver escapes (BUG)
+  const char *NameC = Env->functions->GetStringUTFChars(Env, Name, nullptr);
+  const char *DescC = Env->functions->GetStringUTFChars(Env, Desc, nullptr);
+  TheCallback.Method =
+      Env->functions->GetStaticMethodID(Env, Receiver, NameC, DescC);
+  Env->functions->ReleaseStringUTFChars(Env, Name, NameC);
+  Env->functions->ReleaseStringUTFChars(Env, Desc, DescC);
+  jvalue R;
+  R.j = 0;
+  return R;
+} // line 10: receiver is a dead reference from here on
+
+// Figure 1, lines 11-17: static void callback(EventCallBack* cb, ...)
+jvalue Java_Callback_fire(JNIEnv *Env, jobject, const jvalue *) {
+  // line 15: BUG: dereference of now-invalid cb->receiver.
+  Env->functions->CallStaticVoidMethodA(Env, TheCallback.Receiver,
+                                        TheCallback.Method, nullptr);
+  jvalue R;
+  R.j = 0;
+  return R;
+}
+
+void buildProgram(jvm::Vm &Vm, jni::JniRuntime &Rt) {
+  jvm::ClassDef Listener;
+  Listener.Name = "gnome/Listener";
+  Listener.method(
+      "onEvent", "()V",
+      [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+         const std::vector<jvm::Value> &) {
+        std::printf("  Listener.onEvent() ran\n");
+        return jvm::Value::makeVoid();
+      },
+      /*IsStatic=*/true, "Listener.java:21");
+  Vm.defineClass(Listener);
+
+  jvm::ClassDef Callback;
+  Callback.Name = "gnome/Callback";
+  Callback.nativeMethod(
+      "bind", "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+      /*IsStatic=*/true, "Callback.java:3");
+  Callback.nativeMethod("fire", "()V", /*IsStatic=*/true, "Callback.java:9");
+  Vm.defineClass(Callback);
+
+  Rt.registerNative(Vm.findClass("gnome/Callback"), "bind",
+                    "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+                    Java_Callback_bind);
+  Rt.registerNative(Vm.findClass("gnome/Callback"), "fire", "()V",
+                    Java_Callback_fire);
+}
+
+void runProgram(jvm::Vm &Vm) {
+  jvm::JThread &Main = Vm.mainThread();
+  jvm::Vm::TempRoots Scope(Vm);
+  jvm::ObjectId Name = Vm.newString("onEvent");
+  Scope.add(Name);
+  jvm::ObjectId Desc = Vm.newString("()V");
+  Scope.add(Desc);
+  jvm::Klass *Listener = Vm.findClass("gnome/Listener");
+
+  // Callback.bind(Listener.class, "onEvent", "()V");
+  Vm.invokeByName(Main, "gnome/Callback", "bind",
+                  "(Ljava/lang/Class;Ljava/lang/String;Ljava/lang/String;)V",
+                  jvm::Value::makeNull(),
+                  {jvm::Value::makeRef(Listener->Mirror),
+                   jvm::Value::makeRef(Name), jvm::Value::makeRef(Desc)});
+  // ... later, the event fires:
+  Vm.invokeByName(Main, "gnome/Callback", "fire", "()V",
+                  jvm::Value::makeNull(), {});
+}
+
+} // namespace
+
+int main() {
+  std::printf("== GNOME bug 576111 (paper Figure 1) on a production "
+              "J9-like VM ==\n");
+  {
+    jvm::VmOptions Options;
+    Options.Flavor = jvm::VmFlavor::J9Like;
+    jvm::Vm Vm(Options);
+    jni::JniRuntime Rt(Vm);
+    TheCallback = EventCallBack();
+    buildProgram(Vm, Rt);
+    runProgram(Vm);
+    for (const Incident &I : Vm.diags().incidents())
+      std::printf("  [%s] %s\n", incidentKindName(I.Kind),
+                  I.Message.c_str());
+  }
+
+  std::printf("\n== The same program under Jinn ==\n");
+  {
+    jvm::Vm Vm;
+    jni::JniRuntime Rt(Vm);
+    jvmti::AgentHost Host(Rt);
+    auto &Jinn = static_cast<agent::JinnAgent &>(
+        Host.load(std::make_unique<agent::JinnAgent>()));
+    TheCallback = EventCallBack();
+    buildProgram(Vm, Rt);
+    runProgram(Vm);
+    if (!Vm.mainThread().Pending.isNull())
+      std::printf("Exception in thread \"main\" %s",
+                  Vm.describeThrowable(Vm.mainThread().Pending).c_str());
+    for (const agent::JinnReport &Report : Jinn.reporter().reports())
+      std::printf("\n[jinn] \"%s\" machine: %s\n", Report.Machine.c_str(),
+                  Report.Message.c_str());
+  }
+  return 0;
+}

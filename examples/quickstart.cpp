@@ -1,0 +1,101 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: bring up the miniature JVM, define a class with a native
+/// method, attach the Jinn agent, trigger a JNI mistake, and watch Jinn
+/// throw jinn.JNIAssertionFailure at the exact faulting call — while the
+/// same program on a production VM silently corrupts or crashes.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/JinnAgent.h"
+#include "jni/JniRuntime.h"
+#include "jvm/Vm.h"
+#include "jvmti/Jvmti.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace jinn;
+
+int main() {
+  // 1. A VM and its JNI runtime.
+  jvm::Vm Vm;
+  jni::JniRuntime Rt(Vm);
+
+  // 2. Load Jinn, exactly like "-agentlib:jinn" (paper §4).
+  jvmti::AgentHost Host(Rt);
+  auto &Jinn = static_cast<agent::JinnAgent &>(
+      Host.load(std::make_unique<agent::JinnAgent>()));
+  std::printf("Jinn loaded: %zu state machines, %zu synthesized "
+              "instrumentation points\n\n",
+              Jinn.stats().MachineCount,
+              Jinn.stats().instrumentationPoints());
+
+  // 3. A Java class with a native method...
+  jvm::ClassDef Def;
+  Def.Name = "demo/Greeter";
+  Def.nativeMethod("greet", "(Ljava/lang/String;)I", /*IsStatic=*/true,
+                   "Greeter.java:7");
+  Vm.defineClass(Def);
+
+  // 4. ...whose C implementation contains a classic mistake: it releases
+  // a local reference and then keeps using it.
+  Rt.registerNative(
+      Vm.findClass("demo/Greeter"), "greet", "(Ljava/lang/String;)I",
+      [](JNIEnv *Env, jobject, const jvalue *Args) -> jvalue {
+        jstring Name = static_cast<jstring>(Args[0].l);
+        jsize Len = Env->functions->GetStringUTFLength(Env, Name);
+        Env->functions->DeleteLocalRef(Env, Name);
+        // BUG: Name is dead now.
+        Len += Env->functions->GetStringUTFLength(Env, Name);
+        jvalue R;
+        R.i = Len;
+        return R;
+      });
+
+  // 5. Call it from "Java".
+  jvm::JThread &Main = Vm.mainThread();
+  jvm::ObjectId Arg = Vm.newString("world");
+  Vm.invokeByName(Main, "demo/Greeter", "greet", "(Ljava/lang/String;)I",
+                  jvm::Value::makeNull(), {jvm::Value::makeRef(Arg)});
+
+  // 6. Jinn threw at the faulting call; the program sees a Java exception.
+  if (!Main.Pending.isNull()) {
+    std::printf("Exception in thread \"main\" %s",
+                Vm.describeThrowable(Main.Pending).c_str());
+  }
+  for (const agent::JinnReport &Report : Jinn.reporter().reports())
+    std::printf("\n[jinn] machine \"%s\" flagged %s\n",
+                Report.Machine.c_str(), Report.Function.c_str());
+
+  std::printf("\nSame program, production VM, no checker:\n");
+  jvm::VmOptions Options;
+  Options.Flavor = jvm::VmFlavor::J9Like;
+  jvm::Vm Plain(Options);
+  jni::JniRuntime PlainRt(Plain);
+  Plain.defineClass(Def);
+  PlainRt.registerNative(
+      Plain.findClass("demo/Greeter"), "greet", "(Ljava/lang/String;)I",
+      [](JNIEnv *Env, jobject, const jvalue *Args) -> jvalue {
+        jstring Name = static_cast<jstring>(Args[0].l);
+        Env->functions->DeleteLocalRef(Env, Name);
+        Env->functions->GetStringUTFLength(Env, Name); // BUG
+        jvalue R;
+        R.i = 0;
+        return R;
+      });
+  jvm::ObjectId Arg2 = Plain.newString("world");
+  Plain.invokeByName(Plain.mainThread(), "demo/Greeter", "greet",
+                     "(Ljava/lang/String;)I", jvm::Value::makeNull(),
+                     {jvm::Value::makeRef(Arg2)});
+  for (const Incident &I : Plain.diags().incidents())
+    std::printf("  [%s] %s\n", incidentKindName(I.Kind), I.Message.c_str());
+  return 0;
+}

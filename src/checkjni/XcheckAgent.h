@@ -1,0 +1,112 @@
+//===- checkjni/XcheckAgent.h - -Xcheck:jni baseline emulations -----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emulations of the built-in dynamic JNI checkers of HotSpot and J9
+/// (enabled by -Xcheck:jni), which the paper's Table 1 and §6.3 compare
+/// Jinn against. The emulations run the same synthesized machines but
+/// filter and style the reports per vendor: each vendor detects only the
+/// documented subset (Table 1 columns 6-7), warns or aborts in its own
+/// format (Figure 9a/9b), and stays silent — letting the production
+/// undefined-behavior policy take over — where the real checker misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_CHECKJNI_XCHECKAGENT_H
+#define JINN_CHECKJNI_XCHECKAGENT_H
+
+#include "jvmti/Jvmti.h"
+#include "spec/StateMachine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jinn::checkjni {
+
+/// Which vendor's checker is emulated.
+enum class Vendor : uint8_t { HotSpot, J9 };
+
+const char *vendorName(Vendor V);
+
+/// How the emulated checker reacts to one detected condition.
+enum class CheckerBehavior : uint8_t {
+  Miss,    ///< not checked; production behavior applies
+  Warning, ///< print diagnosis, continue
+  Error,   ///< print diagnosis, abort the VM (simulated)
+};
+
+/// Table 1 columns 6-7: per-vendor reaction to a machine's finding.
+CheckerBehavior behaviorFor(Vendor V, const std::string &MachineName,
+                            const std::string &Message, bool EndOfRun);
+
+/// One detection the emulated checker surfaced.
+struct XcheckDetection {
+  std::string Machine;
+  CheckerBehavior Behavior;
+  std::string FormattedText; ///< vendor-style console output (Figure 9a/9b)
+};
+
+/// Reporter that applies the vendor policy. \p NonFatal emulates J9's
+/// "-Xcheck:jni:nonfatal" (mentioned in its own abort banner, Figure 9b):
+/// errors are still diagnosed but execution continues.
+class XcheckReporter : public spec::Reporter {
+public:
+  XcheckReporter(jvm::Vm &Vm, Vendor V, bool NonFatal = false)
+      : Vm(Vm), V(V), NonFatal(NonFatal) {}
+
+  void violation(spec::TransitionContext &Ctx,
+                 const spec::StateMachineSpec &Machine,
+                 const std::string &Message) override;
+  void endOfRun(const spec::StateMachineSpec &Machine,
+                const std::string &Message) override;
+
+  const std::vector<XcheckDetection> &detections() const {
+    return Detections;
+  }
+  void clearDetections() { Detections.clear(); }
+
+private:
+  jvm::Vm &Vm;
+  Vendor V;
+  bool NonFatal;
+  std::vector<XcheckDetection> Detections;
+};
+
+/// The baseline agent ("-Xcheck:jni" analogue). Unlike Jinn's synthesized
+/// machines, this checker is deliberately *ad-hoc* and bookkeeping-free
+/// (paper §2.3: the built-in checks "are easy to implement, because they
+/// require no preparatory bookkeeping"): one cheap pre-call hook validates
+/// the env/exception/critical state and the reference handles, and the
+/// resource-leak warnings read VM state once at VM death.
+class XcheckAgent : public jvmti::Agent {
+public:
+  explicit XcheckAgent(Vendor V, bool NonFatal = false);
+  ~XcheckAgent() override;
+
+  const char *name() const override;
+  void onLoad(JavaVM *Vm, jvmti::JvmtiEnv &Jvmti) override;
+
+  XcheckReporter &reporter() { return *Reporter; }
+  Vendor vendor() const { return V; }
+
+private:
+  void preCheck(jvmti::CapturedCall &Call);
+  void deathChecks(jvm::Vm &Vm);
+
+  Vendor V;
+  bool NonFatalMode = false;
+  std::string Name;
+  std::unique_ptr<XcheckReporter> Reporter;
+
+  // Lightweight specs carrying only the machine names behaviorFor keys on.
+  spec::StateMachineSpec EnvSpec, ExcSpec, CritSpec, FixedSpec, PinSpec,
+      MonSpec, GlobalSpec, LocalSpec;
+};
+
+} // namespace jinn::checkjni
+
+#endif // JINN_CHECKJNI_XCHECKAGENT_H

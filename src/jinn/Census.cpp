@@ -1,0 +1,109 @@
+//===- jinn/Census.cpp - Table 2: constraint classification census -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jinn/Census.h"
+
+#include "jni/JniTraits.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::ArgClass;
+using jinn::jni::FnTraits;
+using jinn::jni::RefConstraint;
+using jinn::jni::ResourceRole;
+
+std::vector<CensusRow> jinn::agent::computeConstraintCensus() {
+  const auto &All = jni::allFnTraits();
+
+  size_t EnvState = All.size();
+  size_t ExceptionSensitive = 0;
+  size_t CriticalSensitive = 0;
+  size_t FixedTyping = 0;
+  size_t EntityTyping = 0;
+  size_t AccessControl = 0;
+  size_t Nullness = 0;
+  size_t Pinned = 0;
+  size_t Monitor = 0;
+  size_t GlobalRef = 0;
+  size_t LocalRef = 0;
+
+  for (const FnTraits &T : All) {
+    if (!T.ExceptionOblivious)
+      ++ExceptionSensitive;
+    if (!T.CriticalAllowed)
+      ++CriticalSensitive;
+    if (T.IsFieldSet)
+      ++AccessControl;
+    if (T.Resource == ResourceRole::PinAcquire)
+      ++Pinned;
+    if (T.Resource == ResourceRole::MonitorEnter)
+      ++Monitor;
+
+    bool HasRefParam = false;
+    for (int I = 0; I < T.NumParams; ++I) {
+      const jni::ParamTraits &P = T.Params[I];
+      if (P.Cls == ArgClass::Ref) {
+        HasRefParam = true;
+        if (P.Constraint != RefConstraint::None)
+          ++FixedTyping;
+      }
+      if (P.NonNull &&
+          (P.Cls == ArgClass::Ref || P.Cls == ArgClass::CString ||
+           P.Cls == ArgClass::MethodId || P.Cls == ArgClass::FieldId))
+        ++Nullness;
+    }
+
+    if ((T.hasParam(ArgClass::MethodId) || T.hasParam(ArgClass::FieldId)) &&
+        !T.ProducesMethodId && !T.ProducesFieldId)
+      ++EntityTyping;
+
+    // Global/weak references: every use site (a reference parameter may
+    // carry a global reference) plus the explicit acquire/release sites.
+    if (HasRefParam)
+      ++GlobalRef;
+    if (T.Resource == ResourceRole::GlobalAcquire ||
+        T.Resource == ResourceRole::GlobalRelease ||
+        T.Resource == ResourceRole::WeakAcquire ||
+        T.Resource == ResourceRole::WeakRelease)
+      ++GlobalRef;
+
+    // Local references: use sites, acquire sites (reference-returning
+    // functions), and the explicit management functions.
+    if (HasRefParam)
+      ++LocalRef;
+    if (T.ReturnsRef)
+      ++LocalRef;
+    if (T.Resource == ResourceRole::LocalDelete ||
+        T.Resource == ResourceRole::PushFrame ||
+        T.Resource == ResourceRole::PopFrame ||
+        T.Resource == ResourceRole::EnsureCapacity ||
+        T.Resource == ResourceRole::LocalAcquire)
+      ++LocalRef;
+  }
+
+  return {
+      {"JVM state", "JNIEnv* state", EnvState, 229,
+       "Current thread matches JNIEnv* thread"},
+      {"JVM state", "Exception state", ExceptionSensitive, 209,
+       "No exception pending for sensitive call"},
+      {"JVM state", "Critical-section state", CriticalSensitive, 225,
+       "No critical section"},
+      {"Type", "Fixed typing", FixedTyping, 157,
+       "Parameter matches API function signature"},
+      {"Type", "Entity-specific typing", EntityTyping, 131,
+       "Parameter matches Java entity signature"},
+      {"Type", "Access control", AccessControl, 18,
+       "Written field is non-final"},
+      {"Type", "Nullness", Nullness, 416, "Parameter is not null"},
+      {"Resource", "Pinned or copied", Pinned, 12,
+       "No leak or double-free string or array"},
+      {"Resource", "Monitor", Monitor, 1, "No leak"},
+      {"Resource", "Global or weak global reference", GlobalRef, 247,
+       "No leak or dangling reference"},
+      {"Resource", "Local reference", LocalRef, 284,
+       "No overflow or dangling reference"},
+  };
+}

@@ -1,0 +1,37 @@
+//===- jinn/Census.h - Table 2: constraint classification census ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recomputes the paper's Table 2 — the classification of JNI constraints
+/// and how many times the interposition agent checks each — from the trait
+/// table. The paper's numbers are carried alongside for comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JINN_CENSUS_H
+#define JINN_JINN_CENSUS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jinn::agent {
+
+/// One row of Table 2.
+struct CensusRow {
+  std::string ConstraintClass; ///< "JVM state" / "Type" / "Resource"
+  std::string Name;            ///< "Exception state", "Nullness", ...
+  size_t Count = 0;            ///< measured from the trait table
+  size_t PaperCount = 0;       ///< the value printed in the paper
+  std::string Description;
+};
+
+/// Computes all eleven rows.
+std::vector<CensusRow> computeConstraintCensus();
+
+} // namespace jinn::agent
+
+#endif // JINN_JINN_CENSUS_H

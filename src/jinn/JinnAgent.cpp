@@ -1,0 +1,58 @@
+//===- jinn/JinnAgent.cpp - The Jinn dynamic bug detector -----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jinn/JinnAgent.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+
+JinnAgent::JinnAgent() = default;
+JinnAgent::JinnAgent(JinnOptions Options) : Options(std::move(Options)) {}
+JinnAgent::~JinnAgent() = default;
+
+void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
+  jvm::Vm &Vm = *JavaVm->vm;
+
+  // The custom exception the synthesizer is parameterized with (Figure 5).
+  if (!Vm.findClass(JinnExceptionClass)) {
+    jvm::ClassDef Def;
+    Def.Name = JinnExceptionClass;
+    Def.Super = "java/lang/RuntimeException";
+    Vm.defineClass(Def);
+  }
+
+  Reporter = std::make_unique<JinnReporter>(Vm);
+  Machines = std::make_unique<MachineSet>();
+  Active.clear();
+  for (spec::MachineBase *Machine : Machines->all()) {
+    bool Enabled = Options.EnabledMachines.empty();
+    for (const std::string &Name : Options.EnabledMachines)
+      Enabled |= Machine->spec().Name == Name;
+    if (Enabled)
+      Active.push_back(Machine);
+  }
+  Synth = std::make_unique<synth::Synthesizer>(Active, *Reporter);
+
+  // Algorithm 1: synthesize the dynamic analysis into the dispatcher.
+  Stats = Synth->installInto(Jvmti.dispatcher());
+
+  jvmti::EventCallbacks Callbacks;
+  Callbacks.NativeMethodBind = Synth->makeNativeBindHandler();
+  Callbacks.ThreadStart = [this](jvm::JThread &Thread) {
+    for (spec::MachineBase *Machine : Active)
+      Machine->onThreadStart(Thread);
+  };
+  Callbacks.VmDeath = [this, &Vm] {
+    for (spec::MachineBase *Machine : Active)
+      Machine->onVmDeath(*Reporter, Vm);
+  };
+  Jvmti.setEventCallbacks(std::move(Callbacks));
+
+  // Threads attached before the agent loaded (at least "main").
+  for (const auto &Thread : Vm.threads())
+    for (spec::MachineBase *Machine : Active)
+      Machine->onThreadStart(*Thread);
+}

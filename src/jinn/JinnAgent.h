@@ -1,0 +1,75 @@
+//===- jinn/JinnAgent.h - The Jinn dynamic bug detector -------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jinn: the synthesized JNI bug detector (paper §4, Figure 5). At load it
+/// defines the custom exception class, instantiates the eleven machine
+/// specifications, runs the synthesizer (Algorithm 1) to install the
+/// context-specific checks, and registers the JVMTI callbacks — native
+/// method wrapping via NativeMethodBind, per-thread machine setup, and the
+/// end-of-run leak checks at VM death.
+///
+/// Usage (the "-agentlib:jinn" analogue):
+/// \code
+///   jvm::Vm Vm;
+///   jni::JniRuntime Rt(Vm);
+///   jvmti::AgentHost Host(Rt);
+///   auto &Jinn = static_cast<agent::JinnAgent &>(
+///       Host.load(std::make_unique<agent::JinnAgent>()));
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JINN_JINNAGENT_H
+#define JINN_JINN_JINNAGENT_H
+
+#include "jinn/Machines.h"
+#include "jinn/Report.h"
+#include "jvmti/Jvmti.h"
+#include "synth/Synthesizer.h"
+
+#include <memory>
+
+namespace jinn::agent {
+
+/// Agent options (the "-agentlib:jinn=..." string of a real deployment).
+struct JinnOptions {
+  /// When non-empty, only machines whose names appear here are synthesized
+  /// — the ablation knob used by bench_ablation_machines.
+  std::vector<std::string> EnabledMachines;
+};
+
+class JinnAgent : public jvmti::Agent {
+public:
+  JinnAgent();
+  explicit JinnAgent(JinnOptions Options);
+  ~JinnAgent() override;
+
+  const char *name() const override { return "jinn"; }
+  void onLoad(JavaVM *Vm, jvmti::JvmtiEnv &Jvmti) override;
+
+  /// The machines that were actually synthesized (after filtering).
+  const std::vector<spec::MachineBase *> &activeMachines() const {
+    return Active;
+  }
+
+  JinnReporter &reporter() { return *Reporter; }
+  MachineSet &machines() { return *Machines; }
+  const synth::SynthesisStats &stats() const { return Stats; }
+  synth::Synthesizer &synthesizer() { return *Synth; }
+
+private:
+  JinnOptions Options;
+  std::unique_ptr<JinnReporter> Reporter;
+  std::unique_ptr<MachineSet> Machines;
+  std::unique_ptr<synth::Synthesizer> Synth;
+  std::vector<spec::MachineBase *> Active;
+  synth::SynthesisStats Stats;
+};
+
+} // namespace jinn::agent
+
+#endif // JINN_JINN_JINNAGENT_H

@@ -1,0 +1,15 @@
+//===- jinn/Machines.cpp - MachineSet assembly ----------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jinn/Machines.h"
+
+using namespace jinn::agent;
+
+std::vector<jinn::spec::MachineBase *> MachineSet::all() {
+  return {&EnvState,      &ExceptionState, &CriticalState, &FixedTyping,
+          &EntityTyping,  &AccessControl,  &Nullness,      &PinnedResource,
+          &Monitor,       &GlobalRef,      &LocalRef};
+}

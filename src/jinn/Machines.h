@@ -1,0 +1,224 @@
+//===- jinn/Machines.h - The eleven JNI constraint state machines --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations of the eleven state machines of paper §5 — three
+/// constraint classes covering the 1,500+ JNI rules:
+///
+///   JVM state:  JNIEnv* state, exception state, critical-section state
+///   Types:      fixed typing, entity-specific typing, access control,
+///               nullness
+///   Resources:  pinned/copied string-or-array, monitor, global/weak
+///               global reference, local reference
+///
+/// Each machine's constructor builds its StateMachineSpec: states, state
+/// transitions, the mapping to language transitions, and actions bound to
+/// the machine's mutable encoding. The definitions (one .cpp per machine
+/// under machines/) are the handwritten "state machine and mapping code"
+/// whose line count the synthesis experiment compares against the
+/// generated wrappers.
+///
+/// Checks never call JNI functions; they inspect the VM through the
+/// policy-free JVMTI peek interface. (The paper's Jinn calls functions like
+/// GetObjectType/IsAssignableFrom from inside wrappers; the observable
+/// checks are the same, without re-entering the wrapped table.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JINN_MACHINES_H
+#define JINN_JINN_MACHINES_H
+
+#include "spec/StateMachine.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jinn::agent {
+
+//===----------------------------------------------------------------------===
+// JVM state constraints (paper Figure 6)
+//===----------------------------------------------------------------------===
+
+/// JNIEnv* state: the JNIEnv passed to every JNI function must belong to
+/// the executing thread. Error: JNIEnv* mismatch (pitfall 14).
+class JniEnvStateMachine : public spec::MachineBase {
+public:
+  JniEnvStateMachine();
+  void onThreadStart(jvm::JThread &Thread) override;
+
+private:
+  std::vector<void *> ExpectedEnv; ///< indexed by thread id
+};
+
+/// Exception state: no exception-sensitive JNI call while an exception is
+/// pending. Error: unhandled Java exception (pitfall 1).
+class ExceptionStateMachine : public spec::MachineBase {
+public:
+  ExceptionStateMachine();
+};
+
+/// Critical-section state: between Get*Critical and Release*Critical only
+/// the four critical functions are legal. Errors: critical-section
+/// violation, unmatched release (pitfall 16).
+class CriticalStateMachine : public spec::MachineBase {
+public:
+  CriticalStateMachine();
+
+  /// Shadow nesting depth for \p ThreadId (0 when not in a section).
+  int depthOf(uint32_t ThreadId) const;
+
+private:
+  int &depthSlot(uint32_t ThreadId) {
+    if (ThreadId >= Depth.size())
+      Depth.resize(ThreadId + 1, 0);
+    return Depth[ThreadId];
+  }
+
+  std::vector<int> Depth;                           ///< indexed by thread id
+  std::map<std::pair<uint32_t, uint64_t>, int> Held; ///< (thread, obj)->count
+};
+
+//===----------------------------------------------------------------------===
+// Type constraints (paper Figure 7)
+//===----------------------------------------------------------------------===
+
+/// Fixed typing: actuals must conform to the Java types fixed by the JNI
+/// signature itself (jclass -> java.lang.Class, jstring -> String, typed
+/// arrays). Suppressed for the four critical functions, mirroring the
+/// paper's critical-section limitation (§6.5 category 1).
+class FixedTypingMachine : public spec::MachineBase {
+public:
+  explicit FixedTypingMachine(const CriticalStateMachine &Critical);
+
+private:
+  const CriticalStateMachine &Critical;
+};
+
+/// Entity-specific typing: method/field IDs constrain receivers, argument
+/// types, and staticness (the Eclipse SWT bug of §6.4.3).
+class EntityTypingMachine : public spec::MachineBase {
+public:
+  EntityTypingMachine();
+
+private:
+  /// IDs observed at producer returns (GetMethodID etc.).
+  std::unordered_set<const void *> SeenMethodIds;
+  std::unordered_set<const void *> SeenFieldIds;
+};
+
+/// Access control: no assignment to final fields through the 18 Set
+/// functions (pitfall 9).
+class AccessControlMachine : public spec::MachineBase {
+public:
+  AccessControlMachine();
+
+private:
+  std::unordered_map<const void *, bool> RecordedFinal; ///< field id -> isFinal
+};
+
+/// Nullness: the experimentally-determined non-null parameters (pitfall 2).
+class NullnessMachine : public spec::MachineBase {
+public:
+  NullnessMachine();
+};
+
+//===----------------------------------------------------------------------===
+// Resource constraints (paper Figure 8)
+//===----------------------------------------------------------------------===
+
+/// Pinned or copied string or array: acquire/release must pair; leaks are
+/// reported at termination; double-free is an error (pitfall 11).
+class PinnedResourceMachine : public spec::MachineBase {
+public:
+  PinnedResourceMachine();
+  void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
+
+private:
+  /// (object identity, pin family) -> outstanding acquisitions.
+  std::map<std::pair<uint64_t, int>, int> Outstanding;
+};
+
+/// Monitor: MonitorEnter/MonitorExit must pair by program termination.
+class MonitorMachine : public spec::MachineBase {
+public:
+  MonitorMachine();
+  void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
+
+private:
+  std::map<uint64_t, int> Held; ///< object identity -> entry count
+};
+
+/// Global / weak-global references: explicit acquire/release; use after
+/// release is dangling; unreleased references leak.
+class GlobalRefMachine : public spec::MachineBase {
+public:
+  GlobalRefMachine();
+  void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
+
+private:
+  std::unordered_set<uint64_t> Live; ///< live global/weak handle words
+};
+
+/// Local references: the machine of paper Figure 2/Figure 8 — acquire on
+/// native entry and JNI returns, release on delete/pop/native return, use
+/// on JNI calls and native returns. Errors: overflow, leak (frames),
+/// dangling, double-free, wrong thread, and ID/reference confusion.
+class LocalRefMachine : public spec::MachineBase {
+public:
+  LocalRefMachine();
+  void onThreadStart(jvm::JThread &Thread) override;
+
+  /// Live local references currently tracked for \p ThreadId.
+  size_t liveCount(uint32_t ThreadId) const;
+  /// Capacity of the top shadow frame of \p ThreadId.
+  uint32_t topCapacity(uint32_t ThreadId) const;
+
+  /// Observation hook for experiments (Figure 10's time series): called
+  /// after every acquire/release with the new live count.
+  std::function<void(uint32_t ThreadId, size_t Live)> OnCountChange;
+
+private:
+  struct ShadowFrame {
+    uint32_t Capacity = 16;
+    bool Explicit = false;
+    std::unordered_set<uint64_t> Live;
+  };
+  struct ThreadShadow {
+    std::vector<ShadowFrame> Frames;
+    std::vector<size_t> EntryDepths; ///< frame depth at each native entry
+  };
+  std::unordered_map<uint32_t, ThreadShadow> Shadows;
+
+  ThreadShadow &shadowOf(uint32_t ThreadId);
+  void acquire(spec::TransitionContext &Ctx, uint64_t Word);
+  void useCheck(spec::TransitionContext &Ctx, uint64_t Word,
+                const char *What);
+  void countChanged(uint32_t ThreadId);
+};
+
+/// Convenience: constructs all eleven machines in paper order.
+struct MachineSet {
+  JniEnvStateMachine EnvState;
+  ExceptionStateMachine ExceptionState;
+  CriticalStateMachine CriticalState;
+  FixedTypingMachine FixedTyping{CriticalState};
+  EntityTypingMachine EntityTyping;
+  AccessControlMachine AccessControl;
+  NullnessMachine Nullness;
+  PinnedResourceMachine PinnedResource;
+  MonitorMachine Monitor;
+  GlobalRefMachine GlobalRef;
+  LocalRefMachine LocalRef;
+
+  /// All machines, in paper order.
+  std::vector<spec::MachineBase *> all();
+};
+
+} // namespace jinn::agent
+
+#endif // JINN_JINN_MACHINES_H

@@ -1,0 +1,54 @@
+//===- jinn/Report.cpp - Jinn's exception-based error reporting ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jinn/Report.h"
+
+#include "support/Format.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+
+void JinnReporter::violation(spec::TransitionContext &Ctx,
+                             const spec::StateMachineSpec &Machine,
+                             const std::string &Message) {
+  jvm::JThread &Thread = Ctx.thread();
+  std::string Full =
+      formatString("%s in %s.", Message.c_str(), Ctx.siteName().c_str());
+
+  Reports.push_back({Machine.Name, Ctx.siteName(), Full, false});
+  Vm.diags().report(IncidentKind::Note, "jinn",
+                    formatString("[%s] %s", Machine.Name.c_str(),
+                                 Full.c_str()));
+  if (OnViolation)
+    OnViolation(Reports.back());
+
+  // Wrap any pending exception as the cause (Figure 9c's chain), add the
+  // synthetic assertFail frame, throw, and suppress the faulting call.
+  jvm::ObjectId Cause = Thread.Pending;
+  Thread.Pending = jvm::ObjectId();
+  Thread.Stack.push_back({false, "jinn.JNIAssertionFailure.assertFail"});
+  jvm::ObjectId Failure =
+      Vm.makeThrowable(Thread, JinnExceptionClass, Full, Cause);
+  Thread.Stack.pop_back();
+  Thread.Pending = Failure;
+  Ctx.abortCall();
+}
+
+void JinnReporter::endOfRun(const spec::StateMachineSpec &Machine,
+                            const std::string &Message) {
+  Reports.push_back({Machine.Name, "<program termination>", Message, true});
+  Vm.diags().report(IncidentKind::LeakReport, "jinn",
+                    formatString("[%s] %s", Machine.Name.c_str(),
+                                 Message.c_str()));
+}
+
+size_t JinnReporter::countFor(std::string_view MachineName) const {
+  size_t N = 0;
+  for (const JinnReport &Report : Reports)
+    if (Report.Machine == MachineName)
+      ++N;
+  return N;
+}

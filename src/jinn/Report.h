@@ -1,0 +1,67 @@
+//===- jinn/Report.h - Jinn's exception-based error reporting ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Jinn reports violations by throwing a custom Java exception,
+/// jinn.JNIAssertionFailure, at the point of failure (paper §2.3, §4,
+/// Figure 9c). If an exception was already pending (the exception-state
+/// machine's case), it becomes the cause of the new failure, producing the
+/// "Caused by:" chain of Figure 9c. The faulting call is suppressed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JINN_REPORT_H
+#define JINN_JINN_REPORT_H
+
+#include "spec/StateMachine.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::agent {
+
+/// The internal class name of Jinn's custom exception.
+inline constexpr const char *JinnExceptionClass = "jinn/JNIAssertionFailure";
+
+/// One recorded violation (for harnesses; the program sees the exception).
+struct JinnReport {
+  std::string Machine;  ///< state machine that fired
+  std::string Function; ///< faulting JNI function or native method
+  std::string Message;  ///< full message as thrown
+  bool EndOfRun = false; ///< leak report at VM death
+};
+
+/// Reporter that throws jinn.JNIAssertionFailure.
+class JinnReporter : public spec::Reporter {
+public:
+  explicit JinnReporter(jvm::Vm &Vm) : Vm(Vm) {}
+
+  void violation(spec::TransitionContext &Ctx,
+                 const spec::StateMachineSpec &Machine,
+                 const std::string &Message) override;
+
+  void endOfRun(const spec::StateMachineSpec &Machine,
+                const std::string &Message) override;
+
+  const std::vector<JinnReport> &reports() const { return Reports; }
+  void clearReports() { Reports.clear(); }
+
+  /// Debugger integration (paper §2.3): invoked at each violation, at the
+  /// point of failure, before the exception unwinds — the hook a debugger
+  /// like Blink or jdb uses to stop the program with full state.
+  std::function<void(const JinnReport &)> OnViolation;
+
+  /// Number of reports from machine \p MachineName.
+  size_t countFor(std::string_view MachineName) const;
+
+private:
+  jvm::Vm &Vm;
+  std::vector<JinnReport> Reports;
+};
+
+} // namespace jinn::agent
+
+#endif // JINN_JINN_REPORT_H

@@ -1,0 +1,63 @@
+//===- jinn/machines/AccessControl.cpp - Access control machine ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 7, "Access control": JNI in practice ignores visibility
+/// (consistent with reflection after setAccessible(true)) but honors
+/// `final`; Jinn raises an error when any of the 18 Set<T>Field /
+/// SetStatic<T>Field functions writes a final field (pitfall 9). Field
+/// modifiers are recorded when field IDs are produced.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::FnTraits;
+
+AccessControlMachine::AccessControlMachine() {
+  Spec.Name = "Access control";
+  Spec.ObservedEntity = "A field ID";
+  Spec.Errors = "Assignment to final field";
+  Spec.Encoding = "Map from field IDs to their modifiers";
+  Spec.States = {"Recorded", "Checked"};
+
+  // Record modifiers when field IDs are produced.
+  Spec.Transitions.push_back(makeTransition(
+      "Recorded", "Recorded",
+      {{FunctionSelector::matching(
+            "GetFieldID/GetStaticFieldID/FromReflectedField",
+            [](const FnTraits &Traits) { return Traits.ProducesFieldId; }),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        const void *Id = Ctx.call().returnPtr();
+        if (!Id || !Ctx.vm().isFieldId(Id))
+          return;
+        const auto *F = static_cast<const jvm::FieldInfo *>(Id);
+        RecordedFinal[Id] = F->IsFinal;
+      }));
+
+  // Check: the 18 field-writing functions.
+  Spec.Transitions.push_back(makeTransition(
+      "Recorded", "Checked",
+      {{FunctionSelector::matching(
+            "Set<Type>Field or SetStatic<Type>Field",
+            [](const FnTraits &Traits) { return Traits.IsFieldSet; }),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        jvm::FieldInfo *F = Ctx.call().fieldArg();
+        if (!F)
+          return; // invalid IDs belong to the entity-typing machine
+        auto It = RecordedFinal.find(F);
+        bool IsFinal = It != RecordedFinal.end() ? It->second : F->IsFinal;
+        if (IsFinal)
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              formatString("assignment to final field %s",
+                           F->qualifiedName().c_str()));
+      }));
+}

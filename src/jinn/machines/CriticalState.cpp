@@ -1,0 +1,110 @@
+//===- jinn/machines/CriticalState.cpp - Critical-section state machine --===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 6, "Critical-section state": between
+/// Get{String,PrimitiveArray}Critical and the matching release, C code may
+/// only call the four critical functions; anything else risks deadlock
+/// because the JVM may have disabled GC (pitfall 16). The encoding tallies,
+/// per thread, how many times each critical resource was acquired.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::ArgClass;
+using jinn::jni::FnTraits;
+using jinn::jni::PinFamily;
+using jinn::jni::ResourceRole;
+
+CriticalStateMachine::CriticalStateMachine() {
+  Spec.Name = "Critical-section state";
+  Spec.ObservedEntity = "A thread";
+  Spec.Errors = "Critical section violation";
+  Spec.Encoding = "Map from a critical resource to the number of times a "
+                  "given thread has acquired it";
+  Spec.States = {"Outside", "Inside", "Error: violation"};
+
+  // Acquire: Return:Java->C of GetStringCritical/GetPrimitiveArrayCritical.
+  Spec.Transitions.push_back(makeTransition(
+      "Outside", "Inside",
+      {{FunctionSelector::matching(
+            "GetStringCritical or GetPrimitiveArrayCritical",
+            [](const FnTraits &Traits) {
+              return Traits.Resource == ResourceRole::PinAcquire &&
+                     (Traits.Pin == PinFamily::CriticalArray ||
+                      Traits.Pin == PinFamily::CriticalString);
+            }),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (!Ctx.call().returnPtr())
+          return; // acquisition failed; no state change
+        uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
+        depthSlot(Ctx.thread().id()) += 1;
+        Held[{Ctx.thread().id(), Resource}] += 1;
+      }));
+
+  // Release: Return:Java->C of the matching release functions. The
+  // resource is identified by the buffer pointer C hands back, because
+  // inspecting the object argument would itself require JNI calls that are
+  // illegal in a critical region (paper §5.1).
+  Spec.Transitions.push_back(makeTransition(
+      "Inside", "Outside",
+      {{FunctionSelector::matching(
+            "ReleaseStringCritical or ReleasePrimitiveArrayCritical",
+            [](const FnTraits &Traits) {
+              return Traits.Resource == ResourceRole::PinRelease &&
+                     (Traits.Pin == PinFamily::CriticalArray ||
+                      Traits.Pin == PinFamily::CriticalString);
+            }),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        uint32_t Tid = Ctx.thread().id();
+        int BufIndex = Ctx.call().traits().firstParam(ArgClass::OutPtr);
+        const void *Buf =
+            BufIndex >= 0 ? Ctx.call().arg(BufIndex).Ptr : nullptr;
+        const jni::BufferRecord *Record =
+            Buf ? Ctx.call().runtime().findBuffer(Buf) : nullptr;
+        if (!Record || depthSlot(Tid) <= 0) {
+          Ctx.reporter().violation(
+              Ctx, Spec, "An unmatched critical-section release was issued");
+          return;
+        }
+        uint64_t Resource = Record->Target.raw();
+        auto It = Held.find({Tid, Resource});
+        if (It == Held.end() || It->second <= 0) {
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              "A critical resource was released that this thread does not "
+              "hold");
+          return;
+        }
+        if (--It->second == 0)
+          Held.erase(It);
+        depthSlot(Tid) -= 1;
+      }));
+
+  // Error: any critical-section-sensitive call while inside.
+  Spec.Transitions.push_back(makeTransition(
+      "Inside", "Error: violation",
+      {{FunctionSelector::matching(
+            "any critical-section-sensitive JNI function",
+            [](const FnTraits &Traits) { return !Traits.CriticalAllowed; }),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        if (depthOf(Ctx.thread().id()) <= 0)
+          return;
+        Ctx.reporter().violation(
+            Ctx, Spec,
+            "A JNI call was made inside a JNI critical section");
+      }));
+}
+
+int CriticalStateMachine::depthOf(uint32_t ThreadId) const {
+  return ThreadId < Depth.size() ? Depth[ThreadId] : 0;
+}

@@ -1,0 +1,54 @@
+//===- jinn/machines/EnvState.cpp - JNIEnv* state machine ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 6, "JNIEnv* state": every call from C into the JVM must
+/// pass the JNIEnv belonging to the executing thread (pitfall 14). The
+/// encoding maps thread ids to expected JNIEnv pointers, learned at thread
+/// start through JVMTI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+
+JniEnvStateMachine::JniEnvStateMachine() {
+  Spec.Name = "JNIEnv* state";
+  Spec.ObservedEntity = "A thread";
+  Spec.Errors = "JNIEnv* mismatch";
+  Spec.Encoding = "Map from thread IDs to their expected JNIEnv* pointers";
+  Spec.States = {"Attached"};
+
+  Spec.Transitions.push_back(makeTransition(
+      "Attached", "Attached",
+      {{FunctionSelector::all("any JNI function"), Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        JNIEnv *Env = Ctx.env();
+        jvm::JThread *Current = Ctx.call().runtime().currentThread();
+        if (Current && Current != Env->thread) {
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              formatString("The JNIEnv of thread \"%s\" was used while "
+                           "executing on thread \"%s\"",
+                           Env->thread->name().c_str(),
+                           Current->name().c_str()));
+          return;
+        }
+        uint32_t Tid = Env->thread->id();
+        if (Tid < ExpectedEnv.size() && ExpectedEnv[Tid] &&
+            ExpectedEnv[Tid] != Env)
+          Ctx.reporter().violation(
+              Ctx, Spec, "A stale JNIEnv pointer was used for this thread");
+      }));
+}
+
+void JniEnvStateMachine::onThreadStart(jvm::JThread &Thread) {
+  if (Thread.id() >= ExpectedEnv.size())
+    ExpectedEnv.resize(Thread.id() + 1, nullptr);
+  ExpectedEnv[Thread.id()] = Thread.EnvPtr;
+}

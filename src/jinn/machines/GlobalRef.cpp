@@ -1,0 +1,164 @@
+//===- jinn/machines/GlobalRef.cpp - Global/weak-global ref machine ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 8, "Global reference or weak global reference": explicitly
+/// managed cross-call references. Use after deletion is a dangling
+/// reference error (deleting twice is its special case); unreleased
+/// references are reported as leaks at program termination.
+///
+/// References created before the agent attached are adopted on first use
+/// instead of being reported — Jinn has no false positives (paper §2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::ArgClass;
+using jinn::jni::FnTraits;
+using jinn::jni::ResourceRole;
+using jinn::jvm::RefKind;
+
+namespace {
+
+/// Use sites: reference-taking functions, excluding the explicit release
+/// functions (those are Release transitions, handled above — running the
+/// Use transition there would re-adopt the reference being deleted).
+bool takesRefParam(const FnTraits &Traits) {
+  return Traits.hasParam(ArgClass::Ref) &&
+         Traits.Resource != ResourceRole::GlobalRelease &&
+         Traits.Resource != ResourceRole::WeakRelease &&
+         Traits.Resource != ResourceRole::LocalDelete &&
+         Traits.Resource != ResourceRole::PopFrame;
+}
+
+} // namespace
+
+GlobalRefMachine::GlobalRefMachine() {
+  Spec.Name = "Global or weak global reference";
+  Spec.ObservedEntity = "A global or weak global JNI reference";
+  Spec.Errors = "Leak and dangling reference";
+  Spec.Encoding = "A list of acquired global references";
+  Spec.States = {"Before acquire", "Acquired", "Released",
+                 "Error: dangling"};
+
+  // Acquire: Return:Java->C of NewGlobalRef / NewWeakGlobalRef.
+  Spec.Transitions.push_back(makeTransition(
+      "Before acquire", "Acquired",
+      {{FunctionSelector::matching(
+            "NewGlobalRef and NewWeakGlobalRef",
+            [](const FnTraits &Traits) {
+              return Traits.Resource == ResourceRole::GlobalAcquire ||
+                     Traits.Resource == ResourceRole::WeakAcquire;
+            }),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        uint64_t Word = Ctx.call().returnWord();
+        if (Word)
+          Live.insert(Word);
+      }));
+
+  // Release: DeleteGlobalRef / DeleteWeakGlobalRef.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Released",
+      {{FunctionSelector::matching(
+            "DeleteGlobalRef and DeleteWeakGlobalRef",
+            [](const FnTraits &Traits) {
+              return Traits.Resource == ResourceRole::GlobalRelease ||
+                     Traits.Resource == ResourceRole::WeakRelease;
+            }),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        uint64_t Word = Ctx.call().refWord(0);
+        if (!Word)
+          return;
+        if (Live.erase(Word))
+          return;
+        jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+        if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
+            Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak)
+          return; // created before the agent attached; adopt the delete
+        Ctx.reporter().violation(
+            Ctx, Spec,
+            "a global reference was deleted twice (double free / dangling)");
+      }));
+
+  // Use: Call:C->Java with a global-kind reference argument.
+  Spec.Transitions.push_back(makeTransition(
+      "Released", "Error: dangling",
+      {{FunctionSelector::matching("any JNI function taking a reference",
+                                   takesRefParam),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        const FnTraits &Traits = Ctx.call().traits();
+        for (int I = 0; I < Traits.NumParams; ++I) {
+          if (Traits.Params[I].Cls != ArgClass::Ref)
+            continue;
+          uint64_t Word = Ctx.call().refWord(I);
+          if (!Word)
+            continue;
+          std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
+          if (!Bits || (Bits->Kind != RefKind::Global &&
+                        Bits->Kind != RefKind::WeakGlobal))
+            continue; // locals belong to the local-reference machine
+          if (Live.count(Word))
+            continue;
+          jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+          if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
+              Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
+            Live.insert(Word); // pre-agent reference: adopt it
+            continue;
+          }
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              formatString("argument %d is a dangling %s reference "
+                           "(deleted earlier)",
+                           I + 1,
+                           Bits->Kind == RefKind::WeakGlobal ? "weak global"
+                                                             : "global"));
+          return;
+        }
+      }));
+
+  // Use: Return:C->Java — a native method returning a global-kind ref.
+  Spec.Transitions.push_back(makeTransition(
+      "Released", "Error: dangling",
+      {{FunctionSelector::nativeMethods("native method returning reference"),
+        Direction::ReturnCToJava}},
+      [this](TransitionContext &Ctx) {
+        if (!Ctx.ret() || !Ctx.method().Sig.Ret.isReference())
+          return;
+        uint64_t Word = jni::handleWord(Ctx.ret()->l);
+        if (!Word)
+          return;
+        std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
+        if (!Bits || (Bits->Kind != RefKind::Global &&
+                      Bits->Kind != RefKind::WeakGlobal))
+          return;
+        if (Live.count(Word))
+          return;
+        jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+        if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
+            Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
+          Live.insert(Word);
+          return;
+        }
+        Ctx.reporter().violation(
+            Ctx, Spec,
+            "a native method returned a dangling global reference");
+      }));
+}
+
+void GlobalRefMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
+  (void)Vm;
+  if (!Live.empty())
+    Rep.endOfRun(Spec,
+                 formatString("%zu global or weak global reference(s) were "
+                              "never deleted (leak)",
+                              Live.size()));
+}

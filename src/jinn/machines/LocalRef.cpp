@@ -1,0 +1,302 @@
+//===- jinn/machines/LocalRef.cpp - Local reference machine --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figures 2 and 8, "Local reference": the machine behind the GNOME
+/// bug of Figure 1. JNI manages local references semi-automatically —
+/// acquired implicitly when a native method receives references or a JNI
+/// function returns one, released implicitly when the native method
+/// returns (or explicitly via DeleteLocalRef/PopLocalFrame). The shadow
+/// encoding is, per thread, a stack of frames, each with a capacity and the
+/// set of live reference words. Detected errors: overflow (more than the
+/// ensured capacity, default 16), dangling use, double free, cross-thread
+/// use, leaked explicit frames, and ID/reference confusion (pitfall 6).
+///
+/// Note on ordering: the Use transitions are listed before the Release
+/// transitions so that, at a native-method return, a returned reference is
+/// validated *before* the frame pop invalidates the shadow set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::ArgClass;
+using jinn::jni::FnTraits;
+using jinn::jni::ResourceRole;
+using jinn::jvm::RefKind;
+
+namespace {
+
+bool isLocalUseFunction(const FnTraits &Traits) {
+  // DeleteLocalRef / PopLocalFrame are Release sites, not Use sites.
+  return Traits.hasParam(ArgClass::Ref) &&
+         Traits.Resource != ResourceRole::LocalDelete &&
+         Traits.Resource != ResourceRole::PopFrame;
+}
+
+} // namespace
+
+LocalRefMachine::ThreadShadow &LocalRefMachine::shadowOf(uint32_t ThreadId) {
+  ThreadShadow &Shadow = Shadows[ThreadId];
+  if (Shadow.Frames.empty())
+    Shadow.Frames.emplace_back(); // base frame for detached-style use
+  return Shadow;
+}
+
+void LocalRefMachine::onThreadStart(jvm::JThread &Thread) {
+  ThreadShadow &Shadow = Shadows[Thread.id()];
+  if (Shadow.Frames.empty()) {
+    ShadowFrame Base;
+    Base.Capacity = Thread.vm().options().NativeFrameCapacity;
+    Shadow.Frames.push_back(std::move(Base));
+  }
+}
+
+size_t LocalRefMachine::liveCount(uint32_t ThreadId) const {
+  auto It = Shadows.find(ThreadId);
+  if (It == Shadows.end())
+    return 0;
+  size_t N = 0;
+  for (const ShadowFrame &Frame : It->second.Frames)
+    N += Frame.Live.size();
+  return N;
+}
+
+uint32_t LocalRefMachine::topCapacity(uint32_t ThreadId) const {
+  auto It = Shadows.find(ThreadId);
+  if (It == Shadows.end() || It->second.Frames.empty())
+    return 0;
+  return It->second.Frames.back().Capacity;
+}
+
+void LocalRefMachine::countChanged(uint32_t ThreadId) {
+  if (OnCountChange)
+    OnCountChange(ThreadId, liveCount(ThreadId));
+}
+
+void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
+  if (!Word)
+    return;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
+  if (!Bits || Bits->Kind != RefKind::Local)
+    return; // only local references are tracked here
+  ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+  ShadowFrame &Top = Shadow.Frames.back();
+  Top.Live.insert(Word);
+  countChanged(Ctx.thread().id());
+  if (Top.Live.size() > Top.Capacity)
+    Ctx.reporter().violation(
+        Ctx, Spec,
+        formatString("local reference overflow: %zu live references exceed "
+                     "the ensured capacity of %u",
+                     Top.Live.size(), Top.Capacity));
+}
+
+void LocalRefMachine::useCheck(TransitionContext &Ctx, uint64_t Word,
+                               const char *What) {
+  if (!Word)
+    return;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
+  if (!Bits) {
+    Ctx.reporter().violation(
+        Ctx, Spec,
+        formatString("%s is not a JNI reference (a method or field ID, or "
+                     "a stray pointer?)",
+                     What));
+    return;
+  }
+  if (Bits->Kind != RefKind::Local)
+    return; // globals belong to the global-reference machine
+  uint32_t Tid = Ctx.thread().id();
+  if (Bits->Thread != Tid) {
+    Ctx.reporter().violation(
+        Ctx, Spec,
+        formatString("%s is a local reference that belongs to thread %u, "
+                     "not to the current thread %u",
+                     What, Bits->Thread, Tid));
+    return;
+  }
+  ThreadShadow &Shadow = shadowOf(Tid);
+  for (const ShadowFrame &Frame : Shadow.Frames)
+    if (Frame.Live.count(Word))
+      return; // tracked and live
+  // Untracked: adopt pre-agent references; report dead ones.
+  jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+  if (Peek.S == jvm::Vm::PeekResult::Status::Live) {
+    Shadow.Frames.back().Live.insert(Word);
+    return;
+  }
+  Ctx.reporter().violation(
+      Ctx, Spec,
+      formatString("%s is a dangling local reference (its frame was popped "
+                   "or it was deleted)",
+                   What));
+}
+
+LocalRefMachine::LocalRefMachine() {
+  Spec.Name = "Local reference";
+  Spec.ObservedEntity = "A local JNI reference";
+  Spec.Errors = "Overflow, leak, dangling, and double-free";
+  Spec.Encoding = "For each thread, a stack of frames. Each frame has a "
+                  "capacity and a list of local references";
+  Spec.States = {"Before acquire", "Acquired", "Released",
+                 "Error: dangling", "Error: overflow"};
+
+  // Acquire at Call:Java->C: a native method receives its receiver and
+  // reference arguments in a fresh frame (capacity 16 unless ensured).
+  Spec.Transitions.push_back(makeTransition(
+      "Before acquire", "Acquired",
+      {{FunctionSelector::nativeMethods("native method taking reference"),
+        Direction::CallJavaToC}},
+      [this](TransitionContext &Ctx) {
+        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        Shadow.EntryDepths.push_back(Shadow.Frames.size());
+        ShadowFrame Frame;
+        Frame.Capacity = Ctx.vm().options().NativeFrameCapacity;
+        Shadow.Frames.push_back(std::move(Frame));
+        acquire(Ctx, jni::handleWord(Ctx.self()));
+        const jvm::MethodDesc &Sig = Ctx.method().Sig;
+        for (size_t I = 0; I < Sig.Params.size(); ++I)
+          if (Sig.Params[I].isReference() && Ctx.args())
+            acquire(Ctx, jni::handleWord(Ctx.args()[I].l));
+      }));
+
+  // Acquire at Return:Java->C: a JNI function returned a reference.
+  Spec.Transitions.push_back(makeTransition(
+      "Before acquire", "Acquired",
+      {{FunctionSelector::matching(
+            "any JNI function returning a reference",
+            [](const FnTraits &Traits) { return Traits.ReturnsRef; }),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (Ctx.call().returnIsRef())
+          acquire(Ctx, Ctx.call().returnWord());
+      }));
+
+  // Frame management: PushLocalFrame / EnsureLocalCapacity extend the
+  // capacity the overflow check enforces.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Acquired",
+      {{FunctionSelector::one(jni::FnId::PushLocalFrame),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+          return;
+        ShadowFrame Frame;
+        Frame.Capacity = static_cast<uint32_t>(Ctx.call().arg(0).Word);
+        Frame.Explicit = true;
+        shadowOf(Ctx.thread().id()).Frames.push_back(std::move(Frame));
+      }));
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Acquired",
+      {{FunctionSelector::one(jni::FnId::EnsureLocalCapacity),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+          return;
+        ShadowFrame &Top = shadowOf(Ctx.thread().id()).Frames.back();
+        uint32_t Wanted = static_cast<uint32_t>(Ctx.call().arg(0).Word);
+        if (Top.Capacity < Wanted)
+          Top.Capacity = Wanted;
+      }));
+
+  // Use at Call:C->Java: any JNI function taking a reference.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Error: dangling",
+      {{FunctionSelector::matching("any JNI function taking a reference",
+                                   isLocalUseFunction),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        const FnTraits &Traits = Ctx.call().traits();
+        for (int I = 0; I < Traits.NumParams && !Ctx.aborted(); ++I)
+          if (Traits.Params[I].Cls == ArgClass::Ref)
+            useCheck(Ctx, Ctx.call().refWord(I),
+                     formatString("argument %d", I + 1).c_str());
+      }));
+
+  // Use at Return:C->Java: a native method returning a reference. Listed
+  // before the Release transition (see file comment).
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Error: dangling",
+      {{FunctionSelector::nativeMethods("native method returning reference"),
+        Direction::ReturnCToJava}},
+      [this](TransitionContext &Ctx) {
+        if (!Ctx.ret() || !Ctx.method().Sig.Ret.isReference())
+          return;
+        useCheck(Ctx, jni::handleWord(Ctx.ret()->l),
+                 "the native method's return value");
+      }));
+
+  // Release at Call:C->Java of DeleteLocalRef.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Released",
+      {{FunctionSelector::one(jni::FnId::DeleteLocalRef),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        uint64_t Word = Ctx.call().refWord(0);
+        if (!Word)
+          return;
+        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        for (auto It = Shadow.Frames.rbegin(); It != Shadow.Frames.rend();
+             ++It)
+          if (It->Live.erase(Word)) {
+            countChanged(Ctx.thread().id());
+            return;
+          }
+        jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+        if (Peek.S == jvm::Vm::PeekResult::Status::Live)
+          return; // pre-agent reference; the delete is legitimate
+        Ctx.reporter().violation(
+            Ctx, Spec,
+            "DeleteLocalRef of a dead local reference (double free)");
+      }));
+
+  // Release at Call:C->Java of PopLocalFrame.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Released",
+      {{FunctionSelector::one(jni::FnId::PopLocalFrame),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        if (Shadow.Frames.empty() || !Shadow.Frames.back().Explicit) {
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              "PopLocalFrame without a matching PushLocalFrame");
+          return;
+        }
+        Shadow.Frames.pop_back();
+        countChanged(Ctx.thread().id());
+      }));
+
+  // Release at Return:C->Java: the VM frees the native frame; explicit
+  // frames that were never popped leak.
+  Spec.Transitions.push_back(makeTransition(
+      "Acquired", "Released",
+      {{FunctionSelector::nativeMethods("return from any native method"),
+        Direction::ReturnCToJava}},
+      [this](TransitionContext &Ctx) {
+        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        if (Shadow.EntryDepths.empty())
+          return;
+        size_t Depth = Shadow.EntryDepths.back();
+        Shadow.EntryDepths.pop_back();
+        size_t ExplicitLeaks = 0;
+        while (Shadow.Frames.size() > Depth) {
+          if (Shadow.Frames.back().Explicit)
+            ++ExplicitLeaks;
+          Shadow.Frames.pop_back();
+        }
+        countChanged(Ctx.thread().id());
+        if (ExplicitLeaks > 0)
+          Ctx.reporter().violation(
+              Ctx, Spec,
+              formatString("%zu local reference frame(s) pushed with "
+                           "PushLocalFrame were never popped (leak)",
+                           ExplicitLeaks));
+      }));
+}

@@ -1,0 +1,54 @@
+//===- jinn/machines/MachineUtil.h - Shared helpers for the machines -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared helpers for the machine definitions. Everything here is
+/// read-only inspection through the policy-free peek interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JINN_MACHINES_MACHINEUTIL_H
+#define JINN_JINN_MACHINES_MACHINEUTIL_H
+
+#include "jinn/Machines.h"
+#include "support/Format.h"
+
+namespace jinn::agent {
+
+using spec::Direction;
+using spec::FunctionSelector;
+using spec::LanguageTransition;
+using spec::StateTransition;
+using spec::TransitionContext;
+
+/// Peek at a handle from the context thread's perspective.
+inline jvm::Vm::PeekResult peekRef(TransitionContext &Ctx, uint64_t Word) {
+  return Ctx.vm().peekHandle(Word, &Ctx.thread());
+}
+
+/// Canonical identity (ObjectId raw) of a live handle, or 0.
+inline uint64_t identityOf(TransitionContext &Ctx, uint64_t Word) {
+  jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
+  if (Peek.S != jvm::Vm::PeekResult::Status::Live)
+    return 0;
+  return Peek.Target.raw();
+}
+
+/// Builds a state transition in one expression.
+inline StateTransition makeTransition(std::string From, std::string To,
+                                      std::vector<LanguageTransition> At,
+                                      spec::TransitionAction Action) {
+  StateTransition Out;
+  Out.From = std::move(From);
+  Out.To = std::move(To);
+  Out.At = std::move(At);
+  Out.Action = std::move(Action);
+  return Out;
+}
+
+} // namespace jinn::agent
+
+#endif // JINN_JINN_MACHINES_MACHINEUTIL_H

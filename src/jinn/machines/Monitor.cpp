@@ -1,0 +1,64 @@
+//===- jinn/machines/Monitor.cpp - Monitor machine ------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 8, "Monitor": MonitorEnter/MonitorExit acquisitions must be
+/// balanced by program termination; an unreleased monitor is reported as a
+/// deadlock risk. Overflow and double-free need no checking here because
+/// the JVM already throws (IllegalMonitorStateException), as the paper
+/// notes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+
+MonitorMachine::MonitorMachine() {
+  Spec.Name = "Monitor";
+  Spec.ObservedEntity = "A monitor";
+  Spec.Errors = "Leak";
+  Spec.Encoding = "A set of monitors currently held by JNI and, for each "
+                  "monitor, the current entry count";
+  Spec.States = {"Released", "Held"};
+
+  Spec.Transitions.push_back(makeTransition(
+      "Released", "Held",
+      {{FunctionSelector::one(jni::FnId::MonitorEnter),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+          return;
+        uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
+        if (Obj)
+          Held[Obj] += 1;
+      }));
+
+  Spec.Transitions.push_back(makeTransition(
+      "Held", "Released",
+      {{FunctionSelector::one(jni::FnId::MonitorExit),
+        Direction::ReturnJavaToC}},
+      [this](TransitionContext &Ctx) {
+        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+          return;
+        uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
+        auto It = Held.find(Obj);
+        if (It == Held.end())
+          return; // the JVM already threw for unbalanced exits
+        if (--It->second == 0)
+          Held.erase(It);
+      }));
+}
+
+void MonitorMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
+  (void)Vm;
+  if (!Held.empty())
+    Rep.endOfRun(Spec,
+                 formatString("%zu monitor(s) still held through JNI at "
+                              "program termination (deadlock risk)",
+                              Held.size()));
+}

@@ -1,0 +1,67 @@
+//===- jinn/machines/Nullness.cpp - Nullness machine ---------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Figure 7, "Nullness": some JNI parameters must not be null and the
+/// specification is not always explicit about which (the paper determined
+/// them experimentally; this reproduction encodes them in the trait table).
+/// Covers references, C strings, and entity IDs (pitfall 2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using jinn::jni::ArgClass;
+using jinn::jni::FnTraits;
+
+namespace {
+
+bool isNullCheckable(ArgClass Cls) {
+  return Cls == ArgClass::Ref || Cls == ArgClass::CString ||
+         Cls == ArgClass::MethodId || Cls == ArgClass::FieldId;
+}
+
+bool hasNonNullParam(const FnTraits &Traits) {
+  for (int I = 0; I < Traits.NumParams; ++I)
+    if (Traits.Params[I].NonNull && isNullCheckable(Traits.Params[I].Cls))
+      return true;
+  return false;
+}
+
+} // namespace
+
+NullnessMachine::NullnessMachine() {
+  Spec.Name = "Nullness";
+  Spec.ObservedEntity = "A reference parameter";
+  Spec.Errors = "Unexpected null value passed to JNI function";
+  Spec.Encoding = "None";
+  Spec.States = {"Checked"};
+
+  Spec.Transitions.push_back(makeTransition(
+      "Checked", "Checked",
+      {{FunctionSelector::matching(
+            "any JNI function with a non-null parameter", hasNonNullParam),
+        Direction::CallCToJava}},
+      [this](TransitionContext &Ctx) {
+        const FnTraits &Traits = Ctx.call().traits();
+        for (int I = 0; I < Traits.NumParams; ++I) {
+          const jni::ParamTraits &Param = Traits.Params[I];
+          if (!Param.NonNull || !isNullCheckable(Param.Cls))
+            continue;
+          const jvmti::CapturedArg &Arg = Ctx.call().arg(I);
+          bool IsNull = Param.Cls == ArgClass::Ref ? Arg.Word == 0
+                                                   : Arg.Ptr == nullptr;
+          if (IsNull) {
+            Ctx.reporter().violation(
+                Ctx, Spec,
+                formatString("parameter %d must not be null", I + 1));
+            return;
+          }
+        }
+      }));
+}

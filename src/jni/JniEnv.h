@@ -1,0 +1,72 @@
+//===- jni/JniEnv.h - JNIEnv, the function table, and JavaVM -------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JNIEnv is a pointer to a per-thread structure whose first member is a
+/// table of 229 function pointers, as in real JNI. Interposition — the
+/// mechanism Jinn, and the -Xcheck:jni emulations, ride on — is a table
+/// swap: agents install an alternative table whose entries wrap the default
+/// implementations (paper §4, Figure 5).
+///
+/// Native code calls through the table in the classic style:
+/// \code
+///   jclass Cls = env->functions->FindClass(env, "java/util/List");
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JNI_JNIENV_H
+#define JINN_JNI_JNIENV_H
+
+#include "jni/JniTypes.h"
+
+struct JNIEnv_;
+using JNIEnv = JNIEnv_;
+struct JavaVM_;
+using JavaVM = JavaVM_;
+
+namespace jinn::jvm {
+class Vm;
+class JThread;
+} // namespace jinn::jvm
+
+namespace jinn::jni {
+class JniRuntime;
+} // namespace jinn::jni
+
+/// The JNI function table: one pointer per function, in JNI 1.6 order.
+struct JNINativeInterface_ {
+#define JNI_FN(Name, Ret, Params, Args) Ret(*Name) Params;
+#include "jni/JniFunctions.def"
+#undef JNI_FN
+};
+
+/// The per-thread JNI environment. User code must treat everything past
+/// \c functions as opaque (the simulator's bookkeeping).
+struct JNIEnv_ {
+  const JNINativeInterface_ *functions;
+  jinn::jvm::Vm *vm;
+  jinn::jvm::JThread *thread;
+  jinn::jni::JniRuntime *runtime;
+};
+
+/// The JNI invocation interface (JavaVM function table): thread
+/// attachment and env retrieval, as in a real jni.h.
+struct JNIInvokeInterface_ {
+  jint (*DestroyJavaVM)(JavaVM *vm);
+  jint (*AttachCurrentThread)(JavaVM *vm, JNIEnv **envOut, void *args);
+  jint (*DetachCurrentThread)(JavaVM *vm);
+  jint (*GetEnv)(JavaVM *vm, void **envOut, jint version);
+};
+
+/// The invocation interface instance handed to native code.
+struct JavaVM_ {
+  const JNIInvokeInterface_ *functions;
+  jinn::jvm::Vm *vm;
+  jinn::jni::JniRuntime *runtime;
+};
+
+#endif // JINN_JNI_JNIENV_H

@@ -1,0 +1,646 @@
+//===- jni/JniEnvArrays.cpp - Default impls: strings and arrays ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String and array functions, including the pin/copy resource functions of
+/// paper Figure 8. Two production quirks are reproduced deliberately:
+///
+///  - GetStringChars / GetStringCritical buffers are NOT NUL-terminated
+///    (pitfall 8: "terminating Unicode strings").
+///  - The Release* functions identify the resource by the buffer pointer and
+///    ignore their object parameter, like Jikes RVM's ReleaseStringUTFChars;
+///    this is what makes the Subversion destructor bug (§6.4.1) benign on
+///    production VMs — a time bomb only a checker reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jni/EnvImplDetail.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace jinn;
+using namespace jinn::jni;
+using jinn::jvm::HeapObject;
+using jinn::jvm::JType;
+using jinn::jvm::Klass;
+using jinn::jvm::ObjectId;
+using jinn::jvm::ObjShape;
+using jinn::jvm::PinKind;
+using jinn::jvm::UndefinedOp;
+using jinn::jvm::Value;
+
+namespace {
+
+/// Resolves a jstring to its heap object; non-strings flow through the
+/// policy as invalid arguments.
+HeapObject *stringOf(JNIEnv *Env, jstring Str, ObjectId *IdOut = nullptr) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Str) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null jstring");
+    return nullptr;
+  }
+  ObjectId Id = rtOf(Env).deref(Env, Str);
+  if (T.Poisoned || Id.isNull())
+    return nullptr;
+  HeapObject *HO = V.heap().resolve(Id);
+  if (!HO || HO->Shape != ObjShape::Str) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "object passed where java.lang.String expected");
+    return nullptr;
+  }
+  if (IdOut)
+    *IdOut = Id;
+  return HO;
+}
+
+/// Resolves a primitive array handle; \p Expect == JType::Void accepts any
+/// primitive element kind.
+HeapObject *primArrayOf(JNIEnv *Env, jarray Array, JType Expect,
+                        ObjectId *IdOut = nullptr) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Array) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null array");
+    return nullptr;
+  }
+  ObjectId Id = rtOf(Env).deref(Env, Array);
+  if (T.Poisoned || Id.isNull())
+    return nullptr;
+  HeapObject *HO = V.heap().resolve(Id);
+  if (!HO || HO->Shape != ObjShape::PrimArray ||
+      (Expect != JType::Void && HO->ElemKind != Expect)) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "object is not a primitive array of the expected kind");
+    return nullptr;
+  }
+  if (IdOut)
+    *IdOut = Id;
+  return HO;
+}
+
+size_t elemSize(JType Kind) {
+  switch (Kind) {
+  case JType::Boolean:
+  case JType::Byte:
+    return 1;
+  case JType::Char:
+  case JType::Short:
+    return 2;
+  case JType::Int:
+  case JType::Float:
+    return 4;
+  case JType::Long:
+  case JType::Double:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+/// Copies array payload (int64-backed) into a typed C buffer.
+void copyElemsOut(const HeapObject &HO, void *Buf, size_t Start, size_t Len) {
+  switch (HO.ElemKind) {
+#define COPY_OUT(KIND, CT, EXPR)                                              \
+  case JType::KIND: {                                                         \
+    CT *Out = static_cast<CT *>(Buf);                                         \
+    for (size_t I = 0; I < Len; ++I) {                                        \
+      int64_t Raw = HO.PrimElems[Start + I];                                  \
+      Out[I] = EXPR;                                                          \
+    }                                                                         \
+    break;                                                                    \
+  }
+    COPY_OUT(Boolean, jboolean, static_cast<jboolean>(Raw != 0))
+    COPY_OUT(Byte, jbyte, static_cast<jbyte>(Raw))
+    COPY_OUT(Char, jchar, static_cast<jchar>(Raw))
+    COPY_OUT(Short, jshort, static_cast<jshort>(Raw))
+    COPY_OUT(Int, jint, static_cast<jint>(Raw))
+    COPY_OUT(Long, jlong, Raw)
+    COPY_OUT(Float, jfloat, std::bit_cast<jfloat>(static_cast<uint32_t>(Raw)))
+    COPY_OUT(Double, jdouble, std::bit_cast<jdouble>(Raw))
+#undef COPY_OUT
+  default:
+    break;
+  }
+}
+
+/// Copies a typed C buffer back into the array payload.
+void copyElemsIn(HeapObject &HO, const void *Buf, size_t Start, size_t Len) {
+  switch (HO.ElemKind) {
+#define COPY_IN(KIND, CT, EXPR)                                               \
+  case JType::KIND: {                                                         \
+    const CT *In = static_cast<const CT *>(Buf);                              \
+    for (size_t I = 0; I < Len; ++I) {                                        \
+      CT V = In[I];                                                           \
+      HO.PrimElems[Start + I] = EXPR;                                         \
+    }                                                                         \
+    break;                                                                    \
+  }
+    COPY_IN(Boolean, jboolean, V ? 1 : 0)
+    COPY_IN(Byte, jbyte, V)
+    COPY_IN(Char, jchar, V)
+    COPY_IN(Short, jshort, V)
+    COPY_IN(Int, jint, V)
+    COPY_IN(Long, jlong, V)
+    COPY_IN(Float, jfloat,
+            static_cast<int64_t>(std::bit_cast<uint32_t>(V)))
+    COPY_IN(Double, jdouble, std::bit_cast<int64_t>(V))
+#undef COPY_IN
+  default:
+    break;
+  }
+}
+
+/// Shared release path for Get<T>ArrayElements buffers.
+void releaseElementsCommon(JNIEnv *Env, const void *Elems, jint Mode,
+                           PinKind Kind, bool Critical) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  JniRuntime &Rt = rtOf(Env);
+  std::unique_ptr<BufferRecord> Rec = Rt.takeBuffer(Elems);
+  if (!Rec) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "release of an unknown or already-released buffer");
+    return;
+  }
+  if (Mode != JNI_ABORT) {
+    if (HeapObject *HO = V.heap().resolve(Rec->Target))
+      if (HO->Shape == ObjShape::PrimArray &&
+          HO->PrimElems.size() >= Rec->Len)
+        copyElemsIn(*HO, Rec->Storage.get(), 0, Rec->Len);
+  }
+  if (Mode == JNI_COMMIT) {
+    // Copy back without freeing: the buffer stays tracked and pinned.
+    Rt.restoreBuffer(std::move(Rec));
+    return;
+  }
+  V.unpinObject(T, Rec->Target, Kind);
+  if (Critical && T.CriticalDepth > 0)
+    T.CriticalDepth -= 1;
+}
+
+/// Shared release path for string char buffers.
+void releaseStringCommon(JNIEnv *Env, const void *Chars, PinKind Kind,
+                         bool Critical) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  std::unique_ptr<BufferRecord> Rec = rtOf(Env).takeBuffer(Chars);
+  if (!Rec) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "release of an unknown or already-released string buffer");
+    return;
+  }
+  V.unpinObject(T, Rec->Target, Kind);
+  if (Critical && T.CriticalDepth > 0)
+    T.CriticalDepth -= 1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Strings
+//===----------------------------------------------------------------------===
+
+jstring jinn::jni::impl_NewString(JNIEnv *Env, const jchar *UnicodeChars,
+                                  jsize Len) {
+  EnvGuard G(Env, FnId::NewString);
+  if (!G.ok())
+    return nullptr;
+  if ((!UnicodeChars && Len > 0) || Len < 0) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "NewString with null chars or negative length");
+    return nullptr;
+  }
+  std::u16string Chars(reinterpret_cast<const char16_t *>(UnicodeChars),
+                       static_cast<size_t>(Len));
+  return static_cast<jstring>(
+      localRef(Env, G.vm().newStringUtf16(std::move(Chars))));
+}
+
+jsize jinn::jni::impl_GetStringLength(JNIEnv *Env, jstring Str) {
+  EnvGuard G(Env, FnId::GetStringLength);
+  if (!G.ok())
+    return -1;
+  HeapObject *HO = stringOf(Env, Str);
+  return HO ? static_cast<jsize>(HO->Chars.size()) : -1;
+}
+
+const jchar *jinn::jni::impl_GetStringChars(JNIEnv *Env, jstring Str,
+                                            jboolean *IsCopy) {
+  EnvGuard G(Env, FnId::GetStringChars);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id;
+  HeapObject *HO = stringOf(Env, Str, &Id);
+  if (!HO)
+    return nullptr;
+  size_t Len = HO->Chars.size();
+  // Deliberately NOT NUL-terminated (pitfall 8).
+  void *Buf = rtOf(Env).newBuffer(Id, PinKind::StringChars, JType::Char, Len,
+                                  Len * sizeof(jchar));
+  std::memcpy(Buf, HO->Chars.data(), Len * sizeof(jchar));
+  G.vm().pinObject(G.thread(), Id, PinKind::StringChars);
+  if (IsCopy)
+    *IsCopy = JNI_TRUE;
+  return static_cast<const jchar *>(Buf);
+}
+
+void jinn::jni::impl_ReleaseStringChars(JNIEnv *Env, jstring Str,
+                                        const jchar *Chars) {
+  EnvGuard G(Env, FnId::ReleaseStringChars);
+  if (!G.ok())
+    return;
+  (void)Str; // Ignored, as in Jikes RVM (see file comment).
+  releaseStringCommon(Env, Chars, PinKind::StringChars, /*Critical=*/false);
+}
+
+jstring jinn::jni::impl_NewStringUTF(JNIEnv *Env, const char *Bytes) {
+  EnvGuard G(Env, FnId::NewStringUTF);
+  if (!G.ok())
+    return nullptr;
+  if (!Bytes) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "NewStringUTF(null)");
+    return nullptr;
+  }
+  return static_cast<jstring>(localRef(Env, G.vm().newString(Bytes)));
+}
+
+jsize jinn::jni::impl_GetStringUTFLength(JNIEnv *Env, jstring Str) {
+  EnvGuard G(Env, FnId::GetStringUTFLength);
+  if (!G.ok())
+    return -1;
+  HeapObject *HO = stringOf(Env, Str);
+  if (!HO)
+    return -1;
+  return static_cast<jsize>(jvm::utf16ToUtf8(HO->Chars).size());
+}
+
+const char *jinn::jni::impl_GetStringUTFChars(JNIEnv *Env, jstring Str,
+                                              jboolean *IsCopy) {
+  EnvGuard G(Env, FnId::GetStringUTFChars);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id;
+  HeapObject *HO = stringOf(Env, Str, &Id);
+  if (!HO)
+    return nullptr;
+  std::string Utf8 = jvm::utf16ToUtf8(HO->Chars);
+  // UTF buffers ARE NUL-terminated, per the JNI specification.
+  void *Buf = rtOf(Env).newBuffer(Id, PinKind::StringUtfChars, JType::Byte,
+                                  Utf8.size(), Utf8.size() + 1);
+  std::memcpy(Buf, Utf8.data(), Utf8.size());
+  static_cast<char *>(Buf)[Utf8.size()] = '\0';
+  G.vm().pinObject(G.thread(), Id, PinKind::StringUtfChars);
+  if (IsCopy)
+    *IsCopy = JNI_TRUE;
+  return static_cast<const char *>(Buf);
+}
+
+void jinn::jni::impl_ReleaseStringUTFChars(JNIEnv *Env, jstring Str,
+                                           const char *Utf) {
+  EnvGuard G(Env, FnId::ReleaseStringUTFChars);
+  if (!G.ok())
+    return;
+  (void)Str; // Ignored, as in Jikes RVM (see file comment).
+  releaseStringCommon(Env, Utf, PinKind::StringUtfChars, /*Critical=*/false);
+}
+
+void jinn::jni::impl_GetStringRegion(JNIEnv *Env, jstring Str, jsize Start,
+                                     jsize Len, jchar *Buf) {
+  EnvGuard G(Env, FnId::GetStringRegion);
+  if (!G.ok())
+    return;
+  HeapObject *HO = stringOf(Env, Str);
+  if (!HO || !Buf)
+    return;
+  if (Start < 0 || Len < 0 ||
+      static_cast<size_t>(Start) + static_cast<size_t>(Len) >
+          HO->Chars.size()) {
+    G.vm().throwNew(G.thread(), "java/lang/StringIndexOutOfBoundsException",
+                    formatString("region [%d, %d) of string length %zu",
+                                 Start, Start + Len, HO->Chars.size()));
+    return;
+  }
+  std::memcpy(Buf, HO->Chars.data() + Start, Len * sizeof(jchar));
+}
+
+void jinn::jni::impl_GetStringUTFRegion(JNIEnv *Env, jstring Str, jsize Start,
+                                        jsize Len, char *Buf) {
+  EnvGuard G(Env, FnId::GetStringUTFRegion);
+  if (!G.ok())
+    return;
+  HeapObject *HO = stringOf(Env, Str);
+  if (!HO || !Buf)
+    return;
+  if (Start < 0 || Len < 0 ||
+      static_cast<size_t>(Start) + static_cast<size_t>(Len) >
+          HO->Chars.size()) {
+    G.vm().throwNew(G.thread(), "java/lang/StringIndexOutOfBoundsException",
+                    formatString("region [%d, %d) of string length %zu",
+                                 Start, Start + Len, HO->Chars.size()));
+    return;
+  }
+  std::string Utf8 = jvm::utf16ToUtf8(HO->Chars.substr(Start, Len));
+  std::memcpy(Buf, Utf8.data(), Utf8.size());
+}
+
+const jchar *jinn::jni::impl_GetStringCritical(JNIEnv *Env, jstring Str,
+                                               jboolean *IsCopy) {
+  EnvGuard G(Env, FnId::GetStringCritical);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id;
+  HeapObject *HO = stringOf(Env, Str, &Id);
+  if (!HO)
+    return nullptr;
+  size_t Len = HO->Chars.size();
+  void *Buf = rtOf(Env).newBuffer(Id, PinKind::CriticalString, JType::Char,
+                                  Len, Len * sizeof(jchar));
+  std::memcpy(Buf, HO->Chars.data(), Len * sizeof(jchar));
+  G.vm().pinObject(G.thread(), Id, PinKind::CriticalString);
+  G.thread().CriticalDepth += 1;
+  if (IsCopy)
+    *IsCopy = JNI_TRUE;
+  return static_cast<const jchar *>(Buf);
+}
+
+void jinn::jni::impl_ReleaseStringCritical(JNIEnv *Env, jstring Str,
+                                           const jchar *Carray) {
+  EnvGuard G(Env, FnId::ReleaseStringCritical);
+  if (!G.ok())
+    return;
+  (void)Str;
+  releaseStringCommon(Env, Carray, PinKind::CriticalString,
+                      /*Critical=*/true);
+}
+
+//===----------------------------------------------------------------------===
+// Object arrays and length
+//===----------------------------------------------------------------------===
+
+jsize jinn::jni::impl_GetArrayLength(JNIEnv *Env, jarray Array) {
+  EnvGuard G(Env, FnId::GetArrayLength);
+  if (!G.ok())
+    return -1;
+  if (!Array) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "GetArrayLength(null)");
+    return -1;
+  }
+  ObjectId Id = rtOf(Env).deref(Env, Array);
+  if (G.thread().Poisoned || Id.isNull())
+    return -1;
+  HeapObject *HO = G.vm().heap().resolve(Id);
+  if (!HO)
+    return -1;
+  if (HO->Shape == ObjShape::PrimArray)
+    return static_cast<jsize>(HO->PrimElems.size());
+  if (HO->Shape == ObjShape::ObjArray)
+    return static_cast<jsize>(HO->ObjElems.size());
+  G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                   "GetArrayLength: object is not an array");
+  return -1;
+}
+
+jobjectArray jinn::jni::impl_NewObjectArray(JNIEnv *Env, jsize Length,
+                                            jclass ElementClass,
+                                            jobject InitialElement) {
+  EnvGuard G(Env, FnId::NewObjectArray);
+  if (!G.ok())
+    return nullptr;
+  Klass *Elem = classOf(Env, ElementClass);
+  if (!Elem)
+    return nullptr;
+  if (Length < 0) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "NewObjectArray with negative length");
+    return nullptr;
+  }
+  ObjectId Arr = G.vm().newObjArray(Elem, static_cast<size_t>(Length));
+  if (InitialElement) {
+    ObjectId Init = rtOf(Env).deref(Env, InitialElement);
+    HeapObject *HO = G.vm().heap().resolve(Arr);
+    for (ObjectId &Slot : HO->ObjElems)
+      Slot = Init;
+  }
+  return static_cast<jobjectArray>(localRef(Env, Arr));
+}
+
+namespace {
+
+HeapObject *objArrayOf(JNIEnv *Env, jobjectArray Array,
+                       ObjectId *IdOut = nullptr) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Array) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null object array");
+    return nullptr;
+  }
+  ObjectId Id = rtOf(Env).deref(Env, Array);
+  if (T.Poisoned || Id.isNull())
+    return nullptr;
+  HeapObject *HO = V.heap().resolve(Id);
+  if (!HO || HO->Shape != ObjShape::ObjArray) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "object is not an object array");
+    return nullptr;
+  }
+  if (IdOut)
+    *IdOut = Id;
+  return HO;
+}
+
+} // namespace
+
+jobject jinn::jni::impl_GetObjectArrayElement(JNIEnv *Env, jobjectArray Array,
+                                              jsize Index) {
+  EnvGuard G(Env, FnId::GetObjectArrayElement);
+  if (!G.ok())
+    return nullptr;
+  HeapObject *HO = objArrayOf(Env, Array);
+  if (!HO)
+    return nullptr;
+  if (Index < 0 || static_cast<size_t>(Index) >= HO->ObjElems.size()) {
+    G.vm().throwNew(G.thread(), "java/lang/ArrayIndexOutOfBoundsException",
+                    formatString("index %d of array length %zu", Index,
+                                 HO->ObjElems.size()));
+    return nullptr;
+  }
+  return localRef(Env, HO->ObjElems[Index]);
+}
+
+void jinn::jni::impl_SetObjectArrayElement(JNIEnv *Env, jobjectArray Array,
+                                           jsize Index, jobject Val) {
+  EnvGuard G(Env, FnId::SetObjectArrayElement);
+  if (!G.ok())
+    return;
+  HeapObject *HO = objArrayOf(Env, Array);
+  if (!HO)
+    return;
+  if (Index < 0 || static_cast<size_t>(Index) >= HO->ObjElems.size()) {
+    G.vm().throwNew(G.thread(), "java/lang/ArrayIndexOutOfBoundsException",
+                    formatString("index %d of array length %zu", Index,
+                                 HO->ObjElems.size()));
+    return;
+  }
+  ObjectId Elem = rtOf(Env).deref(Env, Val);
+  if (G.thread().Poisoned)
+    return;
+  if (!Elem.isNull()) {
+    // Array store check against the element type.
+    const jvm::TypeDesc &ElemType = HO->Kl->elementType();
+    if (ElemType.isReference() && !ElemType.isArray()) {
+      Klass *Want = G.vm().findClass(ElemType.ClassName);
+      Klass *Have = G.vm().klassOf(Elem);
+      if (Want && Have && !Have->isSubclassOf(Want)) {
+        G.vm().throwNew(G.thread(), "java/lang/ArrayStoreException",
+                        Have->name());
+        return;
+      }
+    }
+  }
+  HO->ObjElems[Index] = Elem;
+}
+
+//===----------------------------------------------------------------------===
+// Primitive arrays (eight families via one macro each)
+//===----------------------------------------------------------------------===
+
+#define DEF_PRIM_ARRAY(TName, LName, CType, KindEnum)                         \
+  j##LName##Array jinn::jni::impl_New##TName##Array(JNIEnv *Env,              \
+                                                    jsize Length) {           \
+    EnvGuard G(Env, FnId::New##TName##Array);                                 \
+    if (!G.ok())                                                              \
+      return nullptr;                                                         \
+    if (Length < 0) {                                                         \
+      G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,              \
+                       "negative array length");                              \
+      return nullptr;                                                         \
+    }                                                                         \
+    ObjectId Arr =                                                            \
+        G.vm().newPrimArray(KindEnum, static_cast<size_t>(Length));           \
+    return static_cast<j##LName##Array>(localRef(Env, Arr));                  \
+  }                                                                           \
+                                                                              \
+  CType *jinn::jni::impl_Get##TName##ArrayElements(                           \
+      JNIEnv *Env, j##LName##Array Array, jboolean *IsCopy) {                 \
+    EnvGuard G(Env, FnId::Get##TName##ArrayElements);                         \
+    if (!G.ok())                                                              \
+      return nullptr;                                                         \
+    ObjectId Id;                                                              \
+    HeapObject *HO = primArrayOf(Env, Array, KindEnum, &Id);                  \
+    if (!HO)                                                                  \
+      return nullptr;                                                         \
+    size_t Len = HO->PrimElems.size();                                        \
+    void *Buf = rtOf(Env).newBuffer(Id, PinKind::ArrayElements, KindEnum,     \
+                                    Len, Len * sizeof(CType));                \
+    copyElemsOut(*HO, Buf, 0, Len);                                           \
+    G.vm().pinObject(G.thread(), Id, PinKind::ArrayElements);                 \
+    if (IsCopy)                                                               \
+      *IsCopy = JNI_TRUE;                                                     \
+    return static_cast<CType *>(Buf);                                         \
+  }                                                                           \
+                                                                              \
+  void jinn::jni::impl_Release##TName##ArrayElements(                         \
+      JNIEnv *Env, j##LName##Array Array, CType *Elems, jint Mode) {          \
+    EnvGuard G(Env, FnId::Release##TName##ArrayElements);                     \
+    if (!G.ok())                                                              \
+      return;                                                                 \
+    (void)Array; /* ignored, as in Jikes RVM (see file comment) */            \
+    releaseElementsCommon(Env, Elems, Mode, PinKind::ArrayElements,           \
+                          /*Critical=*/false);                                \
+  }                                                                           \
+                                                                              \
+  void jinn::jni::impl_Get##TName##ArrayRegion(                               \
+      JNIEnv *Env, j##LName##Array Array, jsize Start, jsize Len,             \
+      CType *Buf) {                                                           \
+    EnvGuard G(Env, FnId::Get##TName##ArrayRegion);                           \
+    if (!G.ok())                                                              \
+      return;                                                                 \
+    HeapObject *HO = primArrayOf(Env, Array, KindEnum);                       \
+    if (!HO || !Buf)                                                          \
+      return;                                                                 \
+    if (Start < 0 || Len < 0 ||                                               \
+        static_cast<size_t>(Start) + static_cast<size_t>(Len) >               \
+            HO->PrimElems.size()) {                                           \
+      G.vm().throwNew(G.thread(),                                             \
+                      "java/lang/ArrayIndexOutOfBoundsException",             \
+                      "array region out of bounds");                          \
+      return;                                                                 \
+    }                                                                         \
+    copyElemsOut(*HO, Buf, static_cast<size_t>(Start),                        \
+                 static_cast<size_t>(Len));                                   \
+  }                                                                           \
+                                                                              \
+  void jinn::jni::impl_Set##TName##ArrayRegion(                               \
+      JNIEnv *Env, j##LName##Array Array, jsize Start, jsize Len,             \
+      const CType *Buf) {                                                     \
+    EnvGuard G(Env, FnId::Set##TName##ArrayRegion);                           \
+    if (!G.ok())                                                              \
+      return;                                                                 \
+    HeapObject *HO = primArrayOf(Env, Array, KindEnum);                       \
+    if (!HO || !Buf)                                                          \
+      return;                                                                 \
+    if (Start < 0 || Len < 0 ||                                               \
+        static_cast<size_t>(Start) + static_cast<size_t>(Len) >               \
+            HO->PrimElems.size()) {                                           \
+      G.vm().throwNew(G.thread(),                                             \
+                      "java/lang/ArrayIndexOutOfBoundsException",             \
+                      "array region out of bounds");                          \
+      return;                                                                 \
+    }                                                                         \
+    copyElemsIn(*HO, Buf, static_cast<size_t>(Start),                         \
+                static_cast<size_t>(Len));                                    \
+  }
+
+DEF_PRIM_ARRAY(Boolean, boolean, jboolean, JType::Boolean)
+DEF_PRIM_ARRAY(Byte, byte, jbyte, JType::Byte)
+DEF_PRIM_ARRAY(Char, char, jchar, JType::Char)
+DEF_PRIM_ARRAY(Short, short, jshort, JType::Short)
+DEF_PRIM_ARRAY(Int, int, jint, JType::Int)
+DEF_PRIM_ARRAY(Long, long, jlong, JType::Long)
+DEF_PRIM_ARRAY(Float, float, jfloat, JType::Float)
+DEF_PRIM_ARRAY(Double, double, jdouble, JType::Double)
+
+#undef DEF_PRIM_ARRAY
+
+//===----------------------------------------------------------------------===
+// Critical array access
+//===----------------------------------------------------------------------===
+
+void *jinn::jni::impl_GetPrimitiveArrayCritical(JNIEnv *Env, jarray Array,
+                                                jboolean *IsCopy) {
+  EnvGuard G(Env, FnId::GetPrimitiveArrayCritical);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id;
+  HeapObject *HO = primArrayOf(Env, Array, JType::Void, &Id);
+  if (!HO)
+    return nullptr;
+  size_t Len = HO->PrimElems.size();
+  size_t Bytes = Len * elemSize(HO->ElemKind);
+  void *Buf = rtOf(Env).newBuffer(Id, PinKind::CriticalArray, HO->ElemKind,
+                                  Len, Bytes);
+  copyElemsOut(*HO, Buf, 0, Len);
+  G.vm().pinObject(G.thread(), Id, PinKind::CriticalArray);
+  G.thread().CriticalDepth += 1;
+  if (IsCopy)
+    *IsCopy = JNI_TRUE;
+  return Buf;
+}
+
+void jinn::jni::impl_ReleasePrimitiveArrayCritical(JNIEnv *Env, jarray Array,
+                                                   void *Carray, jint Mode) {
+  EnvGuard G(Env, FnId::ReleasePrimitiveArrayCritical);
+  if (!G.ok())
+    return;
+  (void)Array;
+  releaseElementsCommon(Env, Carray, Mode, PinKind::CriticalArray,
+                        /*Critical=*/true);
+}

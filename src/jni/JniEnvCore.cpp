@@ -1,0 +1,711 @@
+//===- jni/JniEnvCore.cpp - Default impls: classes, refs, exceptions -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Default implementations of the class, reference, exception, monitor,
+/// registration, and miscellaneous JNI functions. These model a *production*
+/// JVM: no checker diagnostics, only the undefined-behavior policy of
+/// Table 1's default columns when user code leaves the specification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jni/EnvImplDetail.h"
+
+#include "support/Format.h"
+
+using namespace jinn;
+using namespace jinn::jni;
+using jinn::jvm::JType;
+using jinn::jvm::Klass;
+using jinn::jvm::ObjectId;
+using jinn::jvm::ProductionOutcome;
+using jinn::jvm::UndefinedOp;
+using jinn::jvm::Value;
+
+//===----------------------------------------------------------------------===
+// Shared helpers
+//===----------------------------------------------------------------------===
+
+EnvGuard::EnvGuard(JNIEnv *Env, FnId Id)
+    : Thread(Env->thread), Vm(Env->vm), Ok(false) {
+  if (Vm->isShutdown() || Thread->Poisoned)
+    return;
+  const FnTraits &Traits = fnTraits(Id);
+  JniRuntime &Rt = rtOf(Env);
+
+  if (jvm::JThread *Cur = Rt.currentThread(); Cur && Cur != Thread) {
+    ProductionOutcome Out = Vm->undefined(
+        *Cur, UndefinedOp::WrongThreadEnv,
+        formatString("JNIEnv of thread %u used on thread %u in %s",
+                     Thread->id(), Cur->id(), fnName(Id)));
+    if (Out != ProductionOutcome::Ignore)
+      return;
+  }
+  if (Thread->CriticalDepth > 0 && !Traits.CriticalAllowed) {
+    // A production VM would likely deadlock here (GC disabled, pitfall 16).
+    Vm->undefined(*Thread, UndefinedOp::CriticalRegionCall, fnName(Id));
+    return;
+  }
+  if (!Thread->Pending.isNull() && !Traits.ExceptionOblivious) {
+    ProductionOutcome Out = Vm->undefined(
+        *Thread, UndefinedOp::PendingExceptionUse, fnName(Id));
+    if (Out != ProductionOutcome::Ignore)
+      return;
+  }
+  Ok = true;
+}
+
+Klass *jinn::jni::classOf(JNIEnv *Env, jclass Cls) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Cls) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null jclass");
+    return nullptr;
+  }
+  ObjectId Id = rtOf(Env).deref(Env, Cls);
+  if (T.Poisoned || Id.isNull())
+    return nullptr;
+  Klass *Kl = V.klassFromMirror(Id);
+  if (!Kl) {
+    V.undefined(T, UndefinedOp::ClassObjectConfusion,
+                "object passed where java.lang.Class expected");
+    return nullptr;
+  }
+  return Kl;
+}
+
+jvm::MethodInfo *jinn::jni::methodOf(JNIEnv *Env, jmethodID Id) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Id) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null jmethodID");
+    return nullptr;
+  }
+  if (!V.isMethodId(Id)) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "value is not a valid jmethodID");
+    return nullptr;
+  }
+  return idToMethod(Id);
+}
+
+jvm::FieldInfo *jinn::jni::fieldOf(JNIEnv *Env, jfieldID Id) {
+  jvm::Vm &V = vmOf(Env);
+  jvm::JThread &T = threadOf(Env);
+  if (!Id) {
+    V.undefined(T, UndefinedOp::InvalidArgument, "null jfieldID");
+    return nullptr;
+  }
+  if (!V.isFieldId(Id)) {
+    V.undefined(T, UndefinedOp::InvalidArgument,
+                "value is not a valid jfieldID");
+    return nullptr;
+  }
+  return idToField(Id);
+}
+
+jobject jinn::jni::localRef(JNIEnv *Env, ObjectId Target) {
+  return rtOf(Env).makeLocal(threadOf(Env), Target);
+}
+
+std::vector<Value> jinn::jni::jvaluesToValues(JNIEnv *Env,
+                                              const jvm::MethodDesc &Sig,
+                                              const jvalue *Args) {
+  std::vector<Value> Out;
+  Out.reserve(Sig.Params.size());
+  for (size_t I = 0; I < Sig.Params.size(); ++I) {
+    const jvm::TypeDesc &Param = Sig.Params[I];
+    if (!Args) {
+      Out.push_back(jvm::defaultValueFor(Param.Kind));
+      continue;
+    }
+    if (Param.isReference())
+      Out.push_back(Value::makeRef(rtOf(Env).deref(Env, Args[I].l)));
+    else
+      Out.push_back(jvalueToScalar(Param.Kind, Args[I]));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Version, classes
+//===----------------------------------------------------------------------===
+
+jint jinn::jni::impl_GetVersion(JNIEnv *Env) {
+  EnvGuard G(Env, FnId::GetVersion);
+  return JNI_VERSION_1_6;
+}
+
+jclass jinn::jni::impl_DefineClass(JNIEnv *Env, const char *Name,
+                                   jobject Loader, const jbyte *Buf,
+                                   jsize BufLen) {
+  EnvGuard G(Env, FnId::DefineClass);
+  if (!G.ok())
+    return nullptr;
+  (void)Loader;
+  (void)Buf;
+  (void)BufLen;
+  // The simulator has no bytecode parser; classes are defined via the VM's
+  // declarative interface. DefineClass reports the class as unloadable.
+  G.vm().throwNew(G.thread(), "java/lang/NoClassDefFoundError",
+                  formatString("DefineClass unsupported by simulator: %s",
+                               Name ? Name : "<null>"));
+  return nullptr;
+}
+
+jclass jinn::jni::impl_FindClass(JNIEnv *Env, const char *Name) {
+  EnvGuard G(Env, FnId::FindClass);
+  if (!G.ok())
+    return nullptr;
+  if (!Name) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "FindClass(null)");
+    return nullptr;
+  }
+  Klass *Kl = G.vm().findClass(Name);
+  if (!Kl) {
+    G.vm().throwNew(G.thread(), "java/lang/NoClassDefFoundError", Name);
+    return nullptr;
+  }
+  return static_cast<jclass>(localRef(Env, Kl->Mirror));
+}
+
+jclass jinn::jni::impl_GetSuperclass(JNIEnv *Env, jclass Cls) {
+  EnvGuard G(Env, FnId::GetSuperclass);
+  if (!G.ok())
+    return nullptr;
+  Klass *Kl = classOf(Env, Cls);
+  if (!Kl || !Kl->super())
+    return nullptr;
+  return static_cast<jclass>(localRef(Env, Kl->super()->Mirror));
+}
+
+jboolean jinn::jni::impl_IsAssignableFrom(JNIEnv *Env, jclass Sub,
+                                          jclass Sup) {
+  EnvGuard G(Env, FnId::IsAssignableFrom);
+  if (!G.ok())
+    return JNI_FALSE;
+  Klass *SubK = classOf(Env, Sub);
+  Klass *SupK = classOf(Env, Sup);
+  if (!SubK || !SupK)
+    return JNI_FALSE;
+  return SubK->isSubclassOf(SupK) ? JNI_TRUE : JNI_FALSE;
+}
+
+//===----------------------------------------------------------------------===
+// Reflection bridges
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Reads the hidden "ptr" long field of a reflect object.
+int64_t reflectPtrOf(JNIEnv *Env, ObjectId Obj) {
+  jvm::Vm &V = vmOf(Env);
+  Klass *Kl = V.klassOf(Obj);
+  if (!Kl)
+    return 0;
+  jvm::FieldInfo *F = Kl->findField("ptr", "J", false);
+  if (!F)
+    return 0;
+  jvm::HeapObject *HO = V.heap().resolve(Obj);
+  return HO->Fields[F->Slot].I;
+}
+
+ObjectId makeReflect(JNIEnv *Env, const char *ClassName, const void *Ptr) {
+  jvm::Vm &V = vmOf(Env);
+  Klass *Kl = V.findClass(ClassName);
+  if (!Kl)
+    return ObjectId();
+  ObjectId Obj = V.newObject(Kl);
+  jvm::FieldInfo *F = Kl->findField("ptr", "J", false);
+  if (F)
+    V.heap().resolve(Obj)->Fields[F->Slot] =
+        Value::makeLong(static_cast<int64_t>(
+            reinterpret_cast<uintptr_t>(Ptr)));
+  return Obj;
+}
+
+} // namespace
+
+jmethodID jinn::jni::impl_FromReflectedMethod(JNIEnv *Env, jobject Method) {
+  EnvGuard G(Env, FnId::FromReflectedMethod);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Obj = rtOf(Env).deref(Env, Method);
+  if (Obj.isNull())
+    return nullptr;
+  Klass *Kl = G.vm().klassOf(Obj);
+  if (!Kl || (Kl->name() != "java/lang/reflect/Method" &&
+              Kl->name() != "java/lang/reflect/Constructor")) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "FromReflectedMethod: not a Method/Constructor");
+    return nullptr;
+  }
+  return reinterpret_cast<jmethodID>(
+      static_cast<uintptr_t>(reflectPtrOf(Env, Obj)));
+}
+
+jfieldID jinn::jni::impl_FromReflectedField(JNIEnv *Env, jobject Field) {
+  EnvGuard G(Env, FnId::FromReflectedField);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Obj = rtOf(Env).deref(Env, Field);
+  if (Obj.isNull())
+    return nullptr;
+  Klass *Kl = G.vm().klassOf(Obj);
+  if (!Kl || Kl->name() != "java/lang/reflect/Field") {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "FromReflectedField: not a Field");
+    return nullptr;
+  }
+  return reinterpret_cast<jfieldID>(
+      static_cast<uintptr_t>(reflectPtrOf(Env, Obj)));
+}
+
+jobject jinn::jni::impl_ToReflectedMethod(JNIEnv *Env, jclass Cls,
+                                          jmethodID MethodId,
+                                          jboolean IsStatic) {
+  EnvGuard G(Env, FnId::ToReflectedMethod);
+  if (!G.ok())
+    return nullptr;
+  (void)IsStatic;
+  classOf(Env, Cls);
+  jvm::MethodInfo *M = methodOf(Env, MethodId);
+  if (!M)
+    return nullptr;
+  const char *ClassName = M->Name == "<init>"
+                              ? "java/lang/reflect/Constructor"
+                              : "java/lang/reflect/Method";
+  return localRef(Env, makeReflect(Env, ClassName, M));
+}
+
+jobject jinn::jni::impl_ToReflectedField(JNIEnv *Env, jclass Cls,
+                                         jfieldID FieldId,
+                                         jboolean IsStatic) {
+  EnvGuard G(Env, FnId::ToReflectedField);
+  if (!G.ok())
+    return nullptr;
+  (void)IsStatic;
+  classOf(Env, Cls);
+  jvm::FieldInfo *F = fieldOf(Env, FieldId);
+  if (!F)
+    return nullptr;
+  return localRef(Env, makeReflect(Env, "java/lang/reflect/Field", F));
+}
+
+//===----------------------------------------------------------------------===
+// Exceptions
+//===----------------------------------------------------------------------===
+
+jint jinn::jni::impl_Throw(JNIEnv *Env, jthrowable Obj) {
+  EnvGuard G(Env, FnId::Throw);
+  if (!G.ok())
+    return JNI_ERR;
+  ObjectId Ex = rtOf(Env).deref(Env, Obj);
+  if (Ex.isNull()) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument, "Throw(null)");
+    return JNI_ERR;
+  }
+  Klass *Kl = G.vm().klassOf(Ex);
+  if (!Kl || !Kl->isSubclassOf(G.vm().throwableClass())) {
+    G.vm().undefined(G.thread(), UndefinedOp::ClassObjectConfusion,
+                     "Throw: object is not a Throwable");
+    return JNI_ERR;
+  }
+  G.thread().Pending = Ex;
+  return JNI_OK;
+}
+
+jint jinn::jni::impl_ThrowNew(JNIEnv *Env, jclass Cls, const char *Message) {
+  EnvGuard G(Env, FnId::ThrowNew);
+  if (!G.ok())
+    return JNI_ERR;
+  Klass *Kl = classOf(Env, Cls);
+  if (!Kl)
+    return JNI_ERR;
+  G.vm().throwNew(G.thread(), Kl->name().c_str(),
+                  Message ? Message : "");
+  return JNI_OK;
+}
+
+jthrowable jinn::jni::impl_ExceptionOccurred(JNIEnv *Env) {
+  EnvGuard G(Env, FnId::ExceptionOccurred);
+  if (!G.ok())
+    return nullptr;
+  if (G.thread().Pending.isNull())
+    return nullptr;
+  return static_cast<jthrowable>(localRef(Env, G.thread().Pending));
+}
+
+void jinn::jni::impl_ExceptionDescribe(JNIEnv *Env) {
+  EnvGuard G(Env, FnId::ExceptionDescribe);
+  if (!G.ok())
+    return;
+  if (G.thread().Pending.isNull())
+    return;
+  G.vm().diags().report(IncidentKind::Note, "jvm",
+                        G.vm().describeThrowable(G.thread().Pending));
+}
+
+void jinn::jni::impl_ExceptionClear(JNIEnv *Env) {
+  EnvGuard G(Env, FnId::ExceptionClear);
+  if (!G.ok())
+    return;
+  G.thread().Pending = ObjectId();
+}
+
+jboolean jinn::jni::impl_ExceptionCheck(JNIEnv *Env) {
+  EnvGuard G(Env, FnId::ExceptionCheck);
+  if (!G.ok())
+    return JNI_FALSE;
+  return G.thread().Pending.isNull() ? JNI_FALSE : JNI_TRUE;
+}
+
+void jinn::jni::impl_FatalError(JNIEnv *Env, const char *Msg) {
+  jvm::Vm &V = vmOf(Env);
+  V.diags().report(IncidentKind::FatalError, "jvm",
+                   formatString("FatalError: %s", Msg ? Msg : ""));
+  threadOf(Env).Poisoned = true;
+}
+
+//===----------------------------------------------------------------------===
+// Local/global reference management
+//===----------------------------------------------------------------------===
+
+jint jinn::jni::impl_PushLocalFrame(JNIEnv *Env, jint Capacity) {
+  EnvGuard G(Env, FnId::PushLocalFrame);
+  if (!G.ok())
+    return JNI_ERR;
+  if (Capacity < 0)
+    Capacity = 0;
+  G.thread().pushFrame(static_cast<uint32_t>(Capacity), /*Explicit=*/true);
+  return JNI_OK;
+}
+
+jobject jinn::jni::impl_PopLocalFrame(JNIEnv *Env, jobject Result) {
+  EnvGuard G(Env, FnId::PopLocalFrame);
+  if (!G.ok())
+    return nullptr;
+  jvm::JThread &T = G.thread();
+  // Resolve the escaping result before its frame dies.
+  ObjectId Escapee = Result ? rtOf(Env).deref(Env, Result) : ObjectId();
+  if (T.frameDepth() <= 1) {
+    G.vm().undefined(T, UndefinedOp::InvalidArgument,
+                     "PopLocalFrame with no frame to pop");
+    return nullptr;
+  }
+  T.popFrame();
+  return localRef(Env, Escapee);
+}
+
+jobject jinn::jni::impl_NewGlobalRef(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::NewGlobalRef);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Target = rtOf(Env).deref(Env, Obj);
+  if (Target.isNull())
+    return nullptr;
+  return wordToRef(G.vm().newGlobalRef(Target, /*Weak=*/false));
+}
+
+void jinn::jni::impl_DeleteGlobalRef(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::DeleteGlobalRef);
+  if (!G.ok() || !Obj)
+    return;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(handleWord(Obj));
+  if (!Bits || Bits->Kind != jvm::RefKind::Global) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "DeleteGlobalRef: not a global reference");
+    return;
+  }
+  if (!G.vm().deleteGlobalRef(*Bits))
+    G.vm().undefined(G.thread(), UndefinedOp::DanglingGlobalRef,
+                     "DeleteGlobalRef: already deleted");
+}
+
+void jinn::jni::impl_DeleteLocalRef(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::DeleteLocalRef);
+  if (!G.ok() || !Obj)
+    return;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(handleWord(Obj));
+  if (!Bits || Bits->Kind != jvm::RefKind::Local ||
+      Bits->Thread != G.thread().id()) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "DeleteLocalRef: not a local reference of this thread");
+    return;
+  }
+  if (!G.thread().deleteLocal(*Bits))
+    G.vm().undefined(G.thread(), UndefinedOp::DanglingLocalRef,
+                     "DeleteLocalRef: reference already dead");
+}
+
+jboolean jinn::jni::impl_IsSameObject(JNIEnv *Env, jobject Obj1,
+                                      jobject Obj2) {
+  EnvGuard G(Env, FnId::IsSameObject);
+  if (!G.ok())
+    return JNI_FALSE;
+  ObjectId A = rtOf(Env).deref(Env, Obj1);
+  ObjectId B = rtOf(Env).deref(Env, Obj2);
+  return A == B ? JNI_TRUE : JNI_FALSE;
+}
+
+jobject jinn::jni::impl_NewLocalRef(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::NewLocalRef);
+  if (!G.ok())
+    return nullptr;
+  return localRef(Env, rtOf(Env).deref(Env, Obj));
+}
+
+jint jinn::jni::impl_EnsureLocalCapacity(JNIEnv *Env, jint Capacity) {
+  EnvGuard G(Env, FnId::EnsureLocalCapacity);
+  if (!G.ok())
+    return JNI_ERR;
+  if (Capacity < 0)
+    return JNI_ERR;
+  return G.thread().ensureLocalCapacity(static_cast<uint32_t>(Capacity))
+             ? JNI_OK
+             : JNI_ERR;
+}
+
+jobject jinn::jni::impl_NewWeakGlobalRef(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::NewWeakGlobalRef);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Target = rtOf(Env).deref(Env, Obj);
+  if (Target.isNull())
+    return nullptr;
+  return wordToRef(G.vm().newGlobalRef(Target, /*Weak=*/true));
+}
+
+void jinn::jni::impl_DeleteWeakGlobalRef(JNIEnv *Env, jweak Obj) {
+  EnvGuard G(Env, FnId::DeleteWeakGlobalRef);
+  if (!G.ok() || !Obj)
+    return;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(handleWord(Obj));
+  if (!Bits || Bits->Kind != jvm::RefKind::WeakGlobal) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "DeleteWeakGlobalRef: not a weak global reference");
+    return;
+  }
+  if (!G.vm().deleteGlobalRef(*Bits))
+    G.vm().undefined(G.thread(), UndefinedOp::DanglingGlobalRef,
+                     "DeleteWeakGlobalRef: already deleted");
+}
+
+jobjectRefType jinn::jni::impl_GetObjectRefType(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::GetObjectRefType);
+  if (!G.ok() || !Obj)
+    return JNIInvalidRefType;
+  std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(handleWord(Obj));
+  if (!Bits)
+    return JNIInvalidRefType;
+  switch (Bits->Kind) {
+  case jvm::RefKind::Local: {
+    jvm::JThread *Owner = G.vm().threadById(Bits->Thread);
+    if (Owner &&
+        Owner->localRefState(*Bits) == jvm::LocalRefState::Live)
+      return JNILocalRefType;
+    return JNIInvalidRefType;
+  }
+  case jvm::RefKind::Global:
+    return G.vm().globalRefState(*Bits) == jvm::LocalRefState::Live
+               ? JNIGlobalRefType
+               : JNIInvalidRefType;
+  case jvm::RefKind::WeakGlobal:
+    return G.vm().globalRefState(*Bits) == jvm::LocalRefState::Live
+               ? JNIWeakGlobalRefType
+               : JNIInvalidRefType;
+  case jvm::RefKind::Null:
+    break;
+  }
+  return JNIInvalidRefType;
+}
+
+//===----------------------------------------------------------------------===
+// Object basics
+//===----------------------------------------------------------------------===
+
+jobject jinn::jni::impl_AllocObject(JNIEnv *Env, jclass Cls) {
+  EnvGuard G(Env, FnId::AllocObject);
+  if (!G.ok())
+    return nullptr;
+  Klass *Kl = classOf(Env, Cls);
+  if (!Kl)
+    return nullptr;
+  if (Kl->isArray()) {
+    G.vm().throwNew(G.thread(), "java/lang/InstantiationError", Kl->name());
+    return nullptr;
+  }
+  return localRef(Env, G.vm().newObject(Kl));
+}
+
+jclass jinn::jni::impl_GetObjectClass(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::GetObjectClass);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id = rtOf(Env).deref(Env, Obj);
+  if (Id.isNull()) {
+    G.vm().undefined(G.thread(), UndefinedOp::InvalidArgument,
+                     "GetObjectClass(null)");
+    return nullptr;
+  }
+  Klass *Kl = G.vm().klassOf(Id);
+  return Kl ? static_cast<jclass>(localRef(Env, Kl->Mirror)) : nullptr;
+}
+
+jboolean jinn::jni::impl_IsInstanceOf(JNIEnv *Env, jobject Obj, jclass Cls) {
+  EnvGuard G(Env, FnId::IsInstanceOf);
+  if (!G.ok())
+    return JNI_FALSE;
+  Klass *Want = classOf(Env, Cls);
+  if (!Want)
+    return JNI_FALSE;
+  ObjectId Id = rtOf(Env).deref(Env, Obj);
+  if (Id.isNull())
+    return JNI_TRUE; // null is an instance of every class, as in JNI
+  Klass *Have = G.vm().klassOf(Id);
+  return Have && Have->isSubclassOf(Want) ? JNI_TRUE : JNI_FALSE;
+}
+
+//===----------------------------------------------------------------------===
+// RegisterNatives, monitors, JavaVM
+//===----------------------------------------------------------------------===
+
+jint jinn::jni::impl_RegisterNatives(JNIEnv *Env, jclass Cls,
+                                     const JNINativeMethod *Methods,
+                                     jint NMethods) {
+  EnvGuard G(Env, FnId::RegisterNatives);
+  if (!G.ok())
+    return JNI_ERR;
+  Klass *Kl = classOf(Env, Cls);
+  if (!Kl || !Methods)
+    return JNI_ERR;
+  for (jint I = 0; I < NMethods; ++I) {
+    const JNINativeMethod &M = Methods[I];
+    auto Raw = reinterpret_cast<jvalue (*)(JNIEnv *, jobject,
+                                           const jvalue *)>(M.fnPtr);
+    if (!rtOf(Env).registerNative(Kl, M.name, M.signature,
+                                  JniNativeStdFn(Raw))) {
+      G.vm().throwNew(G.thread(), "java/lang/NoSuchMethodError",
+                      formatString("%s.%s%s", Kl->name().c_str(), M.name,
+                                   M.signature));
+      return JNI_ERR;
+    }
+  }
+  return JNI_OK;
+}
+
+jint jinn::jni::impl_UnregisterNatives(JNIEnv *Env, jclass Cls) {
+  EnvGuard G(Env, FnId::UnregisterNatives);
+  if (!G.ok())
+    return JNI_ERR;
+  Klass *Kl = classOf(Env, Cls);
+  return Kl && rtOf(Env).unregisterNatives(Kl) ? JNI_OK : JNI_ERR;
+}
+
+jint jinn::jni::impl_MonitorEnter(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::MonitorEnter);
+  if (!G.ok())
+    return JNI_ERR;
+  ObjectId Id = rtOf(Env).deref(Env, Obj);
+  if (Id.isNull()) {
+    G.vm().throwNew(G.thread(), "java/lang/NullPointerException",
+                    "MonitorEnter(null)");
+    return JNI_ERR;
+  }
+  switch (G.vm().monitorEnter(G.thread(), Id)) {
+  case jvm::MonitorResult::Ok:
+    return JNI_OK;
+  case jvm::MonitorResult::WouldBlock:
+    // The simulator cannot block a logical thread; contention surfaces as
+    // an error return plus the recorded contention note.
+    return JNI_ERR;
+  case jvm::MonitorResult::IllegalState:
+    return JNI_ERR;
+  }
+  return JNI_ERR;
+}
+
+jint jinn::jni::impl_MonitorExit(JNIEnv *Env, jobject Obj) {
+  EnvGuard G(Env, FnId::MonitorExit);
+  if (!G.ok())
+    return JNI_ERR;
+  ObjectId Id = rtOf(Env).deref(Env, Obj);
+  if (Id.isNull()) {
+    G.vm().throwNew(G.thread(), "java/lang/NullPointerException",
+                    "MonitorExit(null)");
+    return JNI_ERR;
+  }
+  if (G.vm().monitorExit(G.thread(), Id) != jvm::MonitorResult::Ok) {
+    G.vm().throwNew(G.thread(), "java/lang/IllegalMonitorStateException",
+                    "MonitorExit: monitor not owned by this thread");
+    return JNI_ERR;
+  }
+  return JNI_OK;
+}
+
+jint jinn::jni::impl_GetJavaVM(JNIEnv *Env, JavaVM **OutVm) {
+  EnvGuard G(Env, FnId::GetJavaVM);
+  if (!G.ok() || !OutVm)
+    return JNI_ERR;
+  *OutVm = rtOf(Env).javaVm();
+  return JNI_OK;
+}
+
+//===----------------------------------------------------------------------===
+// Direct byte buffers
+//===----------------------------------------------------------------------===
+
+jobject jinn::jni::impl_NewDirectByteBuffer(JNIEnv *Env, void *Address,
+                                            jlong Capacity) {
+  EnvGuard G(Env, FnId::NewDirectByteBuffer);
+  if (!G.ok())
+    return nullptr;
+  Klass *Kl = G.vm().findClass("java/nio/ByteBuffer");
+  if (!Kl)
+    return nullptr;
+  ObjectId Obj = G.vm().newObject(Kl);
+  jvm::HeapObject *HO = G.vm().heap().resolve(Obj);
+  jvm::FieldInfo *AddrF = Kl->findField("address", "J", false);
+  jvm::FieldInfo *CapF = Kl->findField("capacity", "J", false);
+  if (AddrF)
+    HO->Fields[AddrF->Slot] = Value::makeLong(
+        static_cast<int64_t>(reinterpret_cast<uintptr_t>(Address)));
+  if (CapF)
+    HO->Fields[CapF->Slot] = Value::makeLong(Capacity);
+  return localRef(Env, Obj);
+}
+
+void *jinn::jni::impl_GetDirectBufferAddress(JNIEnv *Env, jobject Buf) {
+  EnvGuard G(Env, FnId::GetDirectBufferAddress);
+  if (!G.ok())
+    return nullptr;
+  ObjectId Id = rtOf(Env).deref(Env, Buf);
+  Klass *Kl = G.vm().klassOf(Id);
+  if (!Kl || Kl->name() != "java/nio/ByteBuffer")
+    return nullptr;
+  jvm::FieldInfo *AddrF = Kl->findField("address", "J", false);
+  if (!AddrF)
+    return nullptr;
+  jvm::HeapObject *HO = G.vm().heap().resolve(Id);
+  return reinterpret_cast<void *>(
+      static_cast<uintptr_t>(HO->Fields[AddrF->Slot].I));
+}
+
+jlong jinn::jni::impl_GetDirectBufferCapacity(JNIEnv *Env, jobject Buf) {
+  EnvGuard G(Env, FnId::GetDirectBufferCapacity);
+  if (!G.ok())
+    return -1;
+  ObjectId Id = rtOf(Env).deref(Env, Buf);
+  Klass *Kl = G.vm().klassOf(Id);
+  if (!Kl || Kl->name() != "java/nio/ByteBuffer")
+    return -1;
+  jvm::FieldInfo *CapF = Kl->findField("capacity", "J", false);
+  if (!CapF)
+    return -1;
+  jvm::HeapObject *HO = G.vm().heap().resolve(Id);
+  return HO->Fields[CapF->Slot].I;
+}

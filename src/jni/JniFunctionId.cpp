@@ -1,0 +1,33 @@
+//===- jni/JniFunctionId.cpp - Dense ids for the 229 JNI functions -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jni/JniFunctionId.h"
+
+#include <array>
+
+using namespace jinn::jni;
+
+namespace {
+
+constexpr std::array<const char *, NumJniFunctions> Names = {
+#define JNI_FN(Name, Ret, Params, Args) #Name,
+#include "jni/JniFunctions.def"
+#undef JNI_FN
+};
+
+} // namespace
+
+const char *jinn::jni::fnName(FnId Id) {
+  size_t Index = static_cast<size_t>(Id);
+  return Index < Names.size() ? Names[Index] : "<invalid>";
+}
+
+FnId jinn::jni::fnIdByName(std::string_view Name) {
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (Name == Names[I])
+      return static_cast<FnId>(I);
+  return FnId::Count;
+}

@@ -1,0 +1,292 @@
+//===- jni/JniRuntime.cpp - Per-VM JNI runtime ----------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jni/JniRuntime.h"
+
+#include "jni/EnvImplDetail.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace jinn;
+using namespace jinn::jni;
+
+NativeBindObserver::~NativeBindObserver() = default;
+
+//===----------------------------------------------------------------------===
+// The default function table
+//===----------------------------------------------------------------------===
+
+namespace {
+
+const JNINativeInterface_ DefaultTable = {
+#define JNI_FN(Name, Ret, Params, Args) &jinn::jni::impl_##Name,
+#include "jni/JniFunctions.def"
+#undef JNI_FN
+};
+
+} // namespace
+
+const JNINativeInterface_ *JniRuntime::defaultTable() const {
+  return &DefaultTable;
+}
+
+//===----------------------------------------------------------------------===
+// Construction, env lifecycle
+//===----------------------------------------------------------------------===
+
+//===----------------------------------------------------------------------===
+// The invocation interface (JavaVM function table)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+jint invokeDestroyJavaVm(JavaVM *Vm) {
+  Vm->vm->shutdown();
+  return JNI_OK;
+}
+
+jint invokeAttachCurrentThread(JavaVM *Vm, JNIEnv **EnvOut, void *Args) {
+  if (!EnvOut)
+    return JNI_ERR;
+  const char *Name = static_cast<const char *>(Args);
+  jvm::JThread &Thread =
+      Vm->vm->attachThread(Name ? Name : "attached-thread");
+  *EnvOut = Vm->runtime->envFor(Thread);
+  Vm->runtime->setCurrentThread(&Thread);
+  return JNI_OK;
+}
+
+jint invokeDetachCurrentThread(JavaVM *Vm) {
+  jvm::JThread *Current = Vm->runtime->currentThread();
+  if (!Current)
+    return JNI_EDETACHED;
+  Vm->vm->detachThread(*Current);
+  Vm->runtime->setCurrentThread(nullptr);
+  return JNI_OK;
+}
+
+jint invokeGetEnv(JavaVM *Vm, void **EnvOut, jint Version) {
+  if (!EnvOut)
+    return JNI_ERR;
+  if (Version > JNI_VERSION_1_6) {
+    *EnvOut = nullptr;
+    return JNI_EVERSION;
+  }
+  jvm::JThread *Current = Vm->runtime->currentThread();
+  if (!Current) {
+    *EnvOut = nullptr;
+    return JNI_EDETACHED;
+  }
+  *EnvOut = Vm->runtime->envFor(*Current);
+  return JNI_OK;
+}
+
+const JNIInvokeInterface_ InvokeInterface = {
+    invokeDestroyJavaVm,
+    invokeAttachCurrentThread,
+    invokeDetachCurrentThread,
+    invokeGetEnv,
+};
+
+} // namespace
+
+JniRuntime::JniRuntime(jvm::Vm &Vm) : TheVm(Vm) {
+  TheJavaVm.functions = &InvokeInterface;
+  TheJavaVm.vm = &Vm;
+  TheJavaVm.runtime = this;
+  Active = &DefaultTable;
+  Vm.JniRuntimeHandle = this;
+  Vm.addObserver(this);
+  // Envs for threads attached before the runtime existed (main).
+  for (const auto &Thread : Vm.threads())
+    envFor(*Thread);
+}
+
+JniRuntime::~JniRuntime() {
+  TheVm.removeObserver(this);
+  TheVm.JniRuntimeHandle = nullptr;
+}
+
+JNIEnv *JniRuntime::envFor(jvm::JThread &Thread) {
+  if (Thread.EnvPtr)
+    return static_cast<JNIEnv *>(Thread.EnvPtr);
+  auto Env = std::make_unique<JNIEnv_>();
+  Env->functions = Active;
+  Env->vm = &TheVm;
+  Env->thread = &Thread;
+  Env->runtime = this;
+  Thread.EnvPtr = Env.get();
+  Envs.push_back(std::move(Env));
+  return static_cast<JNIEnv *>(Thread.EnvPtr);
+}
+
+void JniRuntime::onThreadStart(jvm::JThread &Thread) { envFor(Thread); }
+
+void JniRuntime::onThreadEnd(jvm::JThread &Thread) {
+  // The env structure stays alive (dangling env use is itself a studied
+  // bug); it is merely disconnected from the thread.
+  (void)Thread;
+}
+
+void JniRuntime::setActiveTable(const JNINativeInterface_ *Table) {
+  Active = Table ? Table : &DefaultTable;
+  for (const auto &Env : Envs)
+    Env->functions = Active;
+}
+
+//===----------------------------------------------------------------------===
+// Native binding
+//===----------------------------------------------------------------------===
+
+void JniRuntime::addBindObserver(NativeBindObserver *Observer) {
+  BindObservers.push_back(Observer);
+}
+
+void JniRuntime::removeBindObserver(NativeBindObserver *Observer) {
+  BindObservers.erase(
+      std::remove(BindObservers.begin(), BindObservers.end(), Observer),
+      BindObservers.end());
+}
+
+bool JniRuntime::registerNative(jvm::Klass *Kl, std::string_view Name,
+                                std::string_view Sig, JniNativeStdFn Fn) {
+  if (!Kl || !Fn)
+    return false;
+  jvm::MethodInfo *Method = nullptr;
+  for (const auto &M : Kl->Methods)
+    if (M->IsNative && M->Name == Name && M->Desc == Sig)
+      Method = M.get();
+  if (!Method)
+    return false;
+
+  // JVMTI NativeMethodBind: agents may wrap the bound function.
+  JniNativeStdFn Bound = std::move(Fn);
+  for (NativeBindObserver *Observer : BindObservers)
+    Observer->onNativeMethodBind(*Method, Bound);
+
+  // The VM-level binding performs what a real JVM does around every native
+  // call: push the implicit local frame, hand out local references for the
+  // receiver and reference arguments, call the (possibly wrapped) native
+  // code, convert the result back, and pop the frame.
+  Method->NativeBound = [this, Method,
+                         Bound = std::move(Bound)](jvm::JThread &Thread,
+                                                   const jvm::Value &Self,
+                                                   const std::vector<jvm::Value>
+                                                       &Args) -> jvm::Value {
+    JNIEnv *Env = envFor(Thread);
+    size_t BaseDepth = Thread.frameDepth();
+    Thread.pushFrame(TheVm.options().NativeFrameCapacity, /*Explicit=*/false);
+    ScopedCurrent Scope(*this, &Thread);
+
+    jobject SelfRef;
+    if (Method->IsStatic)
+      SelfRef = makeLocal(Thread, Method->Owner->Mirror);
+    else
+      SelfRef = makeLocal(Thread, Self.Obj);
+
+    std::vector<jvalue> JArgs;
+    JArgs.reserve(Args.size());
+    for (size_t I = 0; I < Args.size(); ++I) {
+      const jvm::TypeDesc &Param = Method->Sig.Params[I];
+      if (Param.isReference()) {
+        jvalue V;
+        V.l = makeLocal(Thread, Args[I].Obj);
+        JArgs.push_back(V);
+      } else {
+        JArgs.push_back(scalarToJvalue(Args[I]));
+      }
+    }
+
+    jvalue Raw = Bound(Env, SelfRef, JArgs.data());
+
+    jvm::Value Result;
+    if (!Thread.Pending.isNull() || Thread.Poisoned) {
+      // The native method completed exceptionally (possibly because a
+      // checker threw); its return value must not be interpreted.
+      Result = jvm::defaultValueFor(Method->Sig.Ret.Kind);
+    } else if (Method->Sig.Ret.isReference()) {
+      // "Native method returning reference" is a Use transition
+      // (Return:C->Java); resolving it here surfaces dangling returns.
+      Result = jvm::Value::makeRef(deref(Env, Raw.l));
+    } else {
+      Result = jvalueToScalar(Method->Sig.Ret.Kind, Raw);
+    }
+    // Pop the implicit frame AND any explicit frames the native code
+    // pushed and never popped (the JVM reclaims them; a checker may have
+    // flagged the leak).
+    while (Thread.frameDepth() > BaseDepth) {
+      if (Thread.topFrameExplicit())
+        Thread.LeakedExplicitFrames += 1;
+      Thread.popFrame();
+    }
+    return Result;
+  };
+  return true;
+}
+
+bool JniRuntime::unregisterNatives(jvm::Klass *Kl) {
+  if (!Kl)
+    return false;
+  for (const auto &M : Kl->Methods)
+    if (M->IsNative)
+      M->NativeBound = nullptr;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Pinned buffers
+//===----------------------------------------------------------------------===
+
+void *JniRuntime::newBuffer(jvm::ObjectId Target, jvm::PinKind Kind,
+                            jvm::JType Elem, size_t Len, size_t Bytes) {
+  auto Record = std::make_unique<BufferRecord>();
+  Record->Target = Target;
+  Record->Kind = Kind;
+  Record->Elem = Elem;
+  Record->Len = Len;
+  Record->Bytes = Bytes;
+  Record->Storage = std::make_unique<char[]>(Bytes ? Bytes : 1);
+  void *Data = Record->Storage.get();
+  Buffers.emplace(Data, std::move(Record));
+  return Data;
+}
+
+const BufferRecord *JniRuntime::findBuffer(const void *Data) const {
+  auto It = Buffers.find(Data);
+  return It == Buffers.end() ? nullptr : It->second.get();
+}
+
+std::unique_ptr<BufferRecord> JniRuntime::takeBuffer(const void *Data) {
+  auto It = Buffers.find(Data);
+  if (It == Buffers.end())
+    return nullptr;
+  std::unique_ptr<BufferRecord> Out = std::move(It->second);
+  Buffers.erase(It);
+  return Out;
+}
+
+void JniRuntime::restoreBuffer(std::unique_ptr<BufferRecord> Record) {
+  if (!Record)
+    return;
+  void *Data = Record->Storage.get();
+  Buffers.emplace(Data, std::move(Record));
+}
+
+//===----------------------------------------------------------------------===
+// Handle helpers
+//===----------------------------------------------------------------------===
+
+jobject JniRuntime::makeLocal(jvm::JThread &Thread, jvm::ObjectId Target) {
+  if (Target.isNull())
+    return nullptr;
+  return wordToRef(Thread.newLocalRef(Target));
+}
+
+jvm::ObjectId JniRuntime::deref(JNIEnv *Env, jobject Ref) {
+  return TheVm.resolveHandle(*Env->thread, handleWord(Ref));
+}

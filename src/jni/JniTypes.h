@@ -1,0 +1,110 @@
+//===- jni/JniTypes.h - jni.h-compatible type definitions ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JNI type surface, mirroring a real jni.h in C++ mode: an opaque
+/// reference hierarchy (_jobject and friends), primitive typedefs, the
+/// jvalue union, and ID types. Reference values are *encoded handles*
+/// (jvm/Handle.h) cast to these opaque pointer types — exactly the paper's
+/// premise that JNI hides JVM implementation details behind opaque words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JNI_JNITYPES_H
+#define JINN_JNI_JNITYPES_H
+
+#include <cstdarg>
+#include <cstdint>
+
+// The opaque reference hierarchy (as in jni.h when compiled as C++).
+class _jobject {};
+class _jclass : public _jobject {};
+class _jthrowable : public _jobject {};
+class _jstring : public _jobject {};
+class _jarray : public _jobject {};
+class _jbooleanArray : public _jarray {};
+class _jbyteArray : public _jarray {};
+class _jcharArray : public _jarray {};
+class _jshortArray : public _jarray {};
+class _jintArray : public _jarray {};
+class _jlongArray : public _jarray {};
+class _jfloatArray : public _jarray {};
+class _jdoubleArray : public _jarray {};
+class _jobjectArray : public _jarray {};
+
+using jobject = _jobject *;
+using jclass = _jclass *;
+using jthrowable = _jthrowable *;
+using jstring = _jstring *;
+using jarray = _jarray *;
+using jbooleanArray = _jbooleanArray *;
+using jbyteArray = _jbyteArray *;
+using jcharArray = _jcharArray *;
+using jshortArray = _jshortArray *;
+using jintArray = _jintArray *;
+using jlongArray = _jlongArray *;
+using jfloatArray = _jfloatArray *;
+using jdoubleArray = _jdoubleArray *;
+using jobjectArray = _jobjectArray *;
+using jweak = jobject;
+
+using jboolean = uint8_t;
+using jbyte = int8_t;
+using jchar = uint16_t;
+using jshort = int16_t;
+using jint = int32_t;
+using jlong = int64_t;
+using jfloat = float;
+using jdouble = double;
+using jsize = jint;
+
+union jvalue {
+  jboolean z;
+  jbyte b;
+  jchar c;
+  jshort s;
+  jint i;
+  jlong j;
+  jfloat f;
+  jdouble d;
+  jobject l;
+};
+
+// Method and field IDs are raw pointers to VM metadata — deliberately NOT
+// references (pitfall 6 "confusing IDs with references" arises because C's
+// type system lets programs mix them up anyway).
+struct _jmethodID {};
+using jmethodID = _jmethodID *;
+struct _jfieldID {};
+using jfieldID = _jfieldID *;
+
+enum jobjectRefType {
+  JNIInvalidRefType = 0,
+  JNILocalRefType = 1,
+  JNIGlobalRefType = 2,
+  JNIWeakGlobalRefType = 3,
+};
+
+struct JNINativeMethod {
+  const char *name;
+  const char *signature;
+  void *fnPtr;
+};
+
+constexpr jboolean JNI_FALSE = 0;
+constexpr jboolean JNI_TRUE = 1;
+
+constexpr jint JNI_OK = 0;
+constexpr jint JNI_ERR = -1;
+constexpr jint JNI_EDETACHED = -2;
+constexpr jint JNI_EVERSION = -3;
+
+constexpr jint JNI_COMMIT = 1;
+constexpr jint JNI_ABORT = 2;
+
+constexpr jint JNI_VERSION_1_6 = 0x00010006;
+
+#endif // JINN_JNI_JNITYPES_H

@@ -1,0 +1,121 @@
+//===- jni/Marshal.cpp - jvalue <-> VM value marshalling -----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jni/Marshal.h"
+
+#include "support/Compiler.h"
+
+using namespace jinn;
+using namespace jinn::jni;
+using jinn::jvm::JType;
+
+jvalue jinn::jni::scalarToJvalue(const jvm::Value &Value) {
+  jvalue Out;
+  Out.j = 0;
+  switch (Value.Kind) {
+  case JType::Boolean:
+    Out.z = static_cast<jboolean>(Value.I != 0);
+    break;
+  case JType::Byte:
+    Out.b = static_cast<jbyte>(Value.I);
+    break;
+  case JType::Char:
+    Out.c = static_cast<jchar>(Value.I);
+    break;
+  case JType::Short:
+    Out.s = static_cast<jshort>(Value.I);
+    break;
+  case JType::Int:
+    Out.i = static_cast<jint>(Value.I);
+    break;
+  case JType::Long:
+    Out.j = Value.I;
+    break;
+  case JType::Float:
+    Out.f = static_cast<jfloat>(Value.D);
+    break;
+  case JType::Double:
+    Out.d = Value.D;
+    break;
+  case JType::Void:
+    break;
+  case JType::Object:
+    JINN_UNREACHABLE("references are marshalled with a handle, not here");
+  }
+  return Out;
+}
+
+jvm::Value jinn::jni::jvalueToScalar(JType Kind, jvalue Value) {
+  switch (Kind) {
+  case JType::Boolean:
+    return jvm::Value::makeBoolean(Value.z != 0);
+  case JType::Byte:
+    return jvm::Value::makeByte(Value.b);
+  case JType::Char:
+    return jvm::Value::makeChar(Value.c);
+  case JType::Short:
+    return jvm::Value::makeShort(Value.s);
+  case JType::Int:
+    return jvm::Value::makeInt(Value.i);
+  case JType::Long:
+    return jvm::Value::makeLong(Value.j);
+  case JType::Float:
+    return jvm::Value::makeFloat(Value.f);
+  case JType::Double:
+    return jvm::Value::makeDouble(Value.d);
+  case JType::Void:
+    return jvm::Value::makeVoid();
+  case JType::Object:
+    JINN_UNREACHABLE("references are unmarshalled with a handle, not here");
+  }
+  JINN_UNREACHABLE("invalid JType");
+}
+
+std::vector<jvalue> jinn::jni::decodeVaList(const jvm::MethodDesc &Sig,
+                                            va_list Args) {
+  std::vector<jvalue> Out;
+  Out.reserve(Sig.Params.size());
+  va_list Copy;
+  va_copy(Copy, Args);
+  for (const jvm::TypeDesc &Param : Sig.Params) {
+    jvalue V;
+    V.j = 0;
+    switch (Param.Kind) {
+    case JType::Boolean:
+      V.z = static_cast<jboolean>(va_arg(Copy, jint));
+      break;
+    case JType::Byte:
+      V.b = static_cast<jbyte>(va_arg(Copy, jint));
+      break;
+    case JType::Char:
+      V.c = static_cast<jchar>(va_arg(Copy, jint));
+      break;
+    case JType::Short:
+      V.s = static_cast<jshort>(va_arg(Copy, jint));
+      break;
+    case JType::Int:
+      V.i = va_arg(Copy, jint);
+      break;
+    case JType::Long:
+      V.j = va_arg(Copy, jlong);
+      break;
+    case JType::Float:
+      V.f = static_cast<jfloat>(va_arg(Copy, jdouble));
+      break;
+    case JType::Double:
+      V.d = va_arg(Copy, jdouble);
+      break;
+    case JType::Object:
+      V.l = va_arg(Copy, jobject);
+      break;
+    case JType::Void:
+      break;
+    }
+    Out.push_back(V);
+  }
+  va_end(Copy);
+  return Out;
+}

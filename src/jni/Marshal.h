@@ -1,0 +1,62 @@
+//===- jni/Marshal.h - jvalue <-> VM value marshalling -------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conversions between the VM's tagged Value and JNI's jvalue union,
+/// plus va_list decoding against a method signature (the paper's wrappers
+/// for variadic functions delegate to non-variadic forms the same way,
+/// §7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JNI_MARSHAL_H
+#define JINN_JNI_MARSHAL_H
+
+#include "jni/JniTypes.h"
+#include "jvm/Klass.h"
+#include "jvm/Value.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace jinn::jni {
+
+/// Casts between the opaque jobject pointer and the encoded handle word.
+inline uint64_t handleWord(jobject Ref) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Ref));
+}
+inline jobject wordToRef(uint64_t Word) {
+  return reinterpret_cast<jobject>(static_cast<uintptr_t>(Word));
+}
+
+/// jmethodID/jfieldID <-> VM metadata pointers.
+inline jmethodID methodToId(jvm::MethodInfo *Method) {
+  return reinterpret_cast<jmethodID>(Method);
+}
+inline jvm::MethodInfo *idToMethod(jmethodID Id) {
+  return reinterpret_cast<jvm::MethodInfo *>(Id);
+}
+inline jfieldID fieldToId(jvm::FieldInfo *Field) {
+  return reinterpret_cast<jfieldID>(Field);
+}
+inline jvm::FieldInfo *idToField(jfieldID Id) {
+  return reinterpret_cast<jvm::FieldInfo *>(Id);
+}
+
+/// Converts a *primitive* VM value to a jvalue (references are marshalled
+/// separately because they need a local-reference handle).
+jvalue scalarToJvalue(const jvm::Value &Value);
+
+/// Converts a primitive jvalue of kind \p Kind to a VM value.
+jvm::Value jvalueToScalar(jvm::JType Kind, jvalue Value);
+
+/// Decodes the varargs of a call according to \p Sig (default argument
+/// promotions applied, as in real JNI).
+std::vector<jvalue> decodeVaList(const jvm::MethodDesc &Sig, va_list Args);
+
+} // namespace jinn::jni
+
+#endif // JINN_JNI_MARSHAL_H

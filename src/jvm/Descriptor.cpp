@@ -1,0 +1,174 @@
+//===- jvm/Descriptor.cpp - JVM type descriptor parsing ------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Descriptor.h"
+
+#include "support/Compiler.h"
+
+using namespace jinn;
+using namespace jinn::jvm;
+
+char jinn::jvm::typeDescriptorChar(JType Type) {
+  switch (Type) {
+  case JType::Void:
+    return 'V';
+  case JType::Boolean:
+    return 'Z';
+  case JType::Byte:
+    return 'B';
+  case JType::Char:
+    return 'C';
+  case JType::Short:
+    return 'S';
+  case JType::Int:
+    return 'I';
+  case JType::Long:
+    return 'J';
+  case JType::Float:
+    return 'F';
+  case JType::Double:
+    return 'D';
+  case JType::Object:
+    return 'L';
+  }
+  JINN_UNREACHABLE("invalid JType");
+}
+
+const char *jinn::jvm::typeName(JType Type) {
+  switch (Type) {
+  case JType::Void:
+    return "void";
+  case JType::Boolean:
+    return "boolean";
+  case JType::Byte:
+    return "byte";
+  case JType::Char:
+    return "char";
+  case JType::Short:
+    return "short";
+  case JType::Int:
+    return "int";
+  case JType::Long:
+    return "long";
+  case JType::Float:
+    return "float";
+  case JType::Double:
+    return "double";
+  case JType::Object:
+    return "object";
+  }
+  JINN_UNREACHABLE("invalid JType");
+}
+
+bool jinn::jvm::isPrimitive(JType Type) {
+  return Type != JType::Void && Type != JType::Object;
+}
+
+std::string TypeDesc::toDescriptor() const {
+  if (Kind != JType::Object)
+    return std::string(1, typeDescriptorChar(Kind));
+  if (isArray())
+    return ClassName;
+  return "L" + ClassName + ";";
+}
+
+namespace {
+
+/// Consumes one type from the front of \p Rest; false on malformed input.
+bool parseOne(std::string_view &Rest, TypeDesc &Out) {
+  if (Rest.empty())
+    return false;
+  size_t Dims = 0;
+  while (Dims < Rest.size() && Rest[Dims] == '[')
+    ++Dims;
+  if (Dims == Rest.size())
+    return false;
+
+  char C = Rest[Dims];
+  size_t Consumed = Dims + 1;
+  JType Kind;
+  std::string Name;
+  switch (C) {
+  case 'V':
+    Kind = JType::Void;
+    break;
+  case 'Z':
+    Kind = JType::Boolean;
+    break;
+  case 'B':
+    Kind = JType::Byte;
+    break;
+  case 'C':
+    Kind = JType::Char;
+    break;
+  case 'S':
+    Kind = JType::Short;
+    break;
+  case 'I':
+    Kind = JType::Int;
+    break;
+  case 'J':
+    Kind = JType::Long;
+    break;
+  case 'F':
+    Kind = JType::Float;
+    break;
+  case 'D':
+    Kind = JType::Double;
+    break;
+  case 'L': {
+    size_t Semi = Rest.find(';', Dims + 1);
+    if (Semi == std::string_view::npos || Semi == Dims + 1)
+      return false;
+    Kind = JType::Object;
+    Name = std::string(Rest.substr(Dims + 1, Semi - Dims - 1));
+    Consumed = Semi + 1;
+    break;
+  }
+  default:
+    return false;
+  }
+
+  if (Dims > 0) {
+    // An array is an object whose class name is the full array descriptor.
+    if (Kind == JType::Void)
+      return false;
+    std::string ArrayName(Rest.substr(0, Consumed));
+    Out.Kind = JType::Object;
+    Out.ClassName = std::move(ArrayName);
+  } else {
+    Out.Kind = Kind;
+    Out.ClassName = std::move(Name);
+  }
+  Rest.remove_prefix(Consumed);
+  return true;
+}
+
+} // namespace
+
+bool jinn::jvm::parseFieldDescriptor(std::string_view Desc, TypeDesc &Out) {
+  std::string_view Rest = Desc;
+  if (!parseOne(Rest, Out) || !Rest.empty())
+    return false;
+  return Out.Kind != JType::Void;
+}
+
+bool jinn::jvm::parseMethodDescriptor(std::string_view Desc, MethodDesc &Out) {
+  Out.Params.clear();
+  if (Desc.empty() || Desc.front() != '(')
+    return false;
+  std::string_view Rest = Desc.substr(1);
+  while (!Rest.empty() && Rest.front() != ')') {
+    TypeDesc Param;
+    if (!parseOne(Rest, Param) || Param.Kind == JType::Void)
+      return false;
+    Out.Params.push_back(std::move(Param));
+  }
+  if (Rest.empty() || Rest.front() != ')')
+    return false;
+  Rest.remove_prefix(1);
+  return parseOne(Rest, Out.Ret) && Rest.empty();
+}

@@ -1,0 +1,78 @@
+//===- jvm/Descriptor.h - JVM type descriptors ---------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JVM field/method descriptor parsing ("(Ljava/lang/String;I[J)V"). JNI
+/// expresses Java types as strings, which is precisely why its typing rules
+/// escape static checking (paper §5.2); the dynamic checkers re-derive type
+/// information from these descriptors at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_DESCRIPTOR_H
+#define JINN_JVM_DESCRIPTOR_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jinn::jvm {
+
+/// The ten JVM value kinds (nine value types plus void).
+enum class JType : uint8_t {
+  Void,
+  Boolean,
+  Byte,
+  Char,
+  Short,
+  Int,
+  Long,
+  Float,
+  Double,
+  Object,
+};
+
+/// Returns the descriptor character for a primitive \p Type ('I', 'J', ...).
+char typeDescriptorChar(JType Type);
+
+/// Returns a readable name ("int", "object", ...).
+const char *typeName(JType Type);
+
+/// True for the eight primitive value types (not Object, not Void).
+bool isPrimitive(JType Type);
+
+/// A parsed field/parameter/return type.
+struct TypeDesc {
+  JType Kind = JType::Void;
+  /// For Kind == Object: the internal class name ("java/lang/String") or
+  /// array descriptor ("[I", "[Ljava/lang/String;"). Empty otherwise.
+  std::string ClassName;
+
+  bool isReference() const { return Kind == JType::Object; }
+  bool isArray() const {
+    return isReference() && !ClassName.empty() && ClassName[0] == '[';
+  }
+
+  /// Renders back to descriptor syntax ("I", "Ljava/lang/String;", "[J").
+  std::string toDescriptor() const;
+};
+
+/// A parsed method descriptor.
+struct MethodDesc {
+  std::vector<TypeDesc> Params;
+  TypeDesc Ret;
+};
+
+/// Parses a field descriptor; returns false on malformed input.
+bool parseFieldDescriptor(std::string_view Desc, TypeDesc &Out);
+
+/// Parses a method descriptor; returns false on malformed input.
+bool parseMethodDescriptor(std::string_view Desc, MethodDesc &Out);
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_DESCRIPTOR_H

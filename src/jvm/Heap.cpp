@@ -1,0 +1,170 @@
+//===- jvm/Heap.cpp - Garbage-collected object heap ----------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Heap.h"
+
+#include "jvm/Klass.h"
+
+#include <cassert>
+
+using namespace jinn::jvm;
+
+ObjectId Heap::allocSlot() {
+  uint32_t Index;
+  if (!FreeList.empty()) {
+    Index = FreeList.back();
+    FreeList.pop_back();
+  } else {
+    Index = static_cast<uint32_t>(Slots.size());
+    Slots.emplace_back();
+    Slots.back().Gen = 0;
+  }
+  HeapObject &Obj = Slots[Index];
+  // Generation 0 is reserved for "null"; the first resident gets gen 1.
+  Obj.Gen += 1;
+  Obj.Live = true;
+  Obj.Marked = false;
+  Obj.PinCount = 0;
+  Obj.MoveCount = 0;
+  Obj.Fields.clear();
+  Obj.PrimElems.clear();
+  Obj.ObjElems.clear();
+  Obj.Chars.clear();
+  Obj.Address = NextAddress;
+  NextAddress += 64;
+  ++LiveCount;
+  ++Stats.TotalAllocated;
+  return {Index, Obj.Gen};
+}
+
+ObjectId Heap::allocPlain(Klass *Kl, uint32_t FieldSlots) {
+  ObjectId Id = allocSlot();
+  HeapObject &Obj = Slots[Id.Index];
+  Obj.Kl = Kl;
+  Obj.Shape = ObjShape::Plain;
+  Obj.Fields.assign(FieldSlots, Value::makeNull());
+  return Id;
+}
+
+ObjectId Heap::allocPrimArray(Klass *Kl, JType ElemKind, size_t Len) {
+  assert(isPrimitive(ElemKind) && "array element must be primitive");
+  ObjectId Id = allocSlot();
+  HeapObject &Obj = Slots[Id.Index];
+  Obj.Kl = Kl;
+  Obj.Shape = ObjShape::PrimArray;
+  Obj.ElemKind = ElemKind;
+  Obj.PrimElems.assign(Len, 0);
+  return Id;
+}
+
+ObjectId Heap::allocObjArray(Klass *Kl, size_t Len) {
+  ObjectId Id = allocSlot();
+  HeapObject &Obj = Slots[Id.Index];
+  Obj.Kl = Kl;
+  Obj.Shape = ObjShape::ObjArray;
+  Obj.ObjElems.assign(Len, ObjectId());
+  return Id;
+}
+
+ObjectId Heap::allocString(Klass *Kl, std::u16string Chars) {
+  ObjectId Id = allocSlot();
+  HeapObject &Obj = Slots[Id.Index];
+  Obj.Kl = Kl;
+  Obj.Shape = ObjShape::Str;
+  Obj.Chars = std::move(Chars);
+  return Id;
+}
+
+HeapObject *Heap::resolve(ObjectId Id) {
+  if (Id.isNull() || Id.Index >= Slots.size())
+    return nullptr;
+  HeapObject &Obj = Slots[Id.Index];
+  if (!Obj.Live || Obj.Gen != Id.Gen)
+    return nullptr;
+  return &Obj;
+}
+
+const HeapObject *Heap::resolve(ObjectId Id) const {
+  return const_cast<Heap *>(this)->resolve(Id);
+}
+
+bool Heap::isStale(ObjectId Id) const {
+  if (Id.isNull())
+    return false;
+  if (Id.Index >= Slots.size())
+    return true;
+  const HeapObject &Obj = Slots[Id.Index];
+  return !Obj.Live || Obj.Gen != Id.Gen;
+}
+
+bool Heap::isMarked(ObjectId Id) const {
+  const HeapObject *Obj = resolve(Id);
+  return Obj && Obj->Marked;
+}
+
+void Heap::markFrom(ObjectId Root, std::vector<uint32_t> &Worklist) {
+  HeapObject *Obj = resolve(Root);
+  if (!Obj || Obj->Marked)
+    return;
+  Obj->Marked = true;
+  Worklist.push_back(Root.Index);
+}
+
+void Heap::collect(const std::vector<ObjectId> &Roots, bool Move,
+                   const std::function<void()> &BeforeSweep) {
+  for (HeapObject &Obj : Slots)
+    Obj.Marked = false;
+
+  std::vector<uint32_t> Worklist;
+  for (ObjectId Root : Roots)
+    markFrom(Root, Worklist);
+
+  while (!Worklist.empty()) {
+    uint32_t Index = Worklist.back();
+    Worklist.pop_back();
+    HeapObject &Obj = Slots[Index];
+    if (Obj.Shape == ObjShape::Plain) {
+      for (const Value &Field : Obj.Fields)
+        if (Field.isRef())
+          markFrom(Field.Obj, Worklist);
+    } else if (Obj.Shape == ObjShape::ObjArray) {
+      for (ObjectId Elem : Obj.ObjElems)
+        markFrom(Elem, Worklist);
+    }
+  }
+
+  if (BeforeSweep)
+    BeforeSweep();
+
+  for (uint32_t Index = 0; Index < Slots.size(); ++Index) {
+    HeapObject &Obj = Slots[Index];
+    if (!Obj.Live)
+      continue;
+    if (!Obj.Marked) {
+      // Reclaim: the slot generation advances so any surviving ObjectId for
+      // this resident becomes permanently stale, and the slot is reusable.
+      Obj.Live = false;
+      Obj.Kl = nullptr;
+      Obj.Fields.clear();
+      Obj.PrimElems.clear();
+      Obj.ObjElems.clear();
+      Obj.Chars.clear();
+      FreeList.push_back(Index);
+      --LiveCount;
+      ++Stats.TotalCollected;
+      continue;
+    }
+    if (Move && Obj.PinCount == 0) {
+      Obj.Address = NextAddress;
+      NextAddress += 64;
+      ++Obj.MoveCount;
+    }
+  }
+
+  ++Stats.GcCount;
+  if (Move)
+    ++Stats.MovingGcCount;
+}

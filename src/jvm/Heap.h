@@ -1,0 +1,104 @@
+//===- jvm/Heap.h - Garbage-collected object heap ------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mark-sweep heap that *simulates* a moving collector: every surviving
+/// object is assigned a fresh simulated address on a moving collection, and
+/// reclaimed slots bump their generation before reuse. A stale ObjectId
+/// therefore never resolves, which makes use-after-release bugs (the GNOME
+/// bug of Figure 1, the Subversion destructor bug of §6.4.1) observable
+/// instead of silently benign. Pinned objects (JNI critical sections,
+/// Get<T>ArrayElements) are exempt from motion, as in a real JVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_HEAP_H
+#define JINN_JVM_HEAP_H
+
+#include "jvm/Value.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jinn::jvm {
+
+class Klass;
+
+/// Physical layout family of a heap object.
+enum class ObjShape : uint8_t { Plain, PrimArray, ObjArray, Str };
+
+/// One heap slot. Primitive array elements are stored as int64 payloads
+/// (float/double bit-cast) to keep one storage path for all eight kinds.
+struct HeapObject {
+  Klass *Kl = nullptr;
+  ObjShape Shape = ObjShape::Plain;
+  uint32_t Gen = 0;
+  bool Live = false;
+  bool Marked = false;
+  uint32_t PinCount = 0;  ///< pinned by a JNI critical/elements acquisition
+  uint64_t Address = 0;   ///< simulated address; changes on moving GC
+  uint32_t MoveCount = 0; ///< times this object has been relocated
+
+  std::vector<Value> Fields;      ///< Plain: instance fields by slot
+  JType ElemKind = JType::Void;   ///< PrimArray element kind
+  std::vector<int64_t> PrimElems; ///< PrimArray payload
+  std::vector<ObjectId> ObjElems; ///< ObjArray payload
+  std::u16string Chars;           ///< Str payload
+};
+
+/// Heap statistics for tests and experiments.
+struct HeapStats {
+  uint64_t TotalAllocated = 0;
+  uint64_t TotalCollected = 0;
+  uint64_t GcCount = 0;
+  uint64_t MovingGcCount = 0;
+};
+
+/// The object heap. Not thread-safe by itself; the Vm serializes access.
+class Heap {
+public:
+  ObjectId allocPlain(Klass *Kl, uint32_t FieldSlots);
+  ObjectId allocPrimArray(Klass *Kl, JType ElemKind, size_t Len);
+  ObjectId allocObjArray(Klass *Kl, size_t Len);
+  ObjectId allocString(Klass *Kl, std::u16string Chars);
+
+  /// Resolves \p Id to its object, or nullptr when the id is null, out of
+  /// range, reclaimed, or from a recycled slot (stale generation).
+  HeapObject *resolve(ObjectId Id);
+  const HeapObject *resolve(ObjectId Id) const;
+
+  /// True when \p Id once named an object that has since been reclaimed or
+  /// whose slot was recycled — i.e. the id is dangling rather than null.
+  bool isStale(ObjectId Id) const;
+
+  /// Runs a mark-sweep collection from \p Roots. When \p Move is true,
+  /// surviving unpinned objects receive fresh simulated addresses.
+  /// \p BeforeSweep runs after marking and before reclamation so the owner
+  /// can clear weak references (query with isMarked).
+  void collect(const std::vector<ObjectId> &Roots, bool Move,
+               const std::function<void()> &BeforeSweep = nullptr);
+
+  /// Valid during/after mark: whether \p Id was reached from the roots.
+  bool isMarked(ObjectId Id) const;
+
+  size_t liveCount() const { return LiveCount; }
+  const HeapStats &stats() const { return Stats; }
+
+private:
+  ObjectId allocSlot();
+  void markFrom(ObjectId Root, std::vector<uint32_t> &Worklist);
+
+  std::vector<HeapObject> Slots;
+  std::vector<uint32_t> FreeList;
+  uint64_t NextAddress = 0x10000;
+  size_t LiveCount = 0;
+  HeapStats Stats;
+};
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_HEAP_H

@@ -1,0 +1,147 @@
+//===- jvm/JThread.cpp - VM threads and local reference frames -----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/JThread.h"
+
+#include <cassert>
+
+using namespace jinn::jvm;
+
+JThread::JThread(Vm &Owner, uint32_t Id, std::string Name)
+    : Owner(Owner), Id(Id), Name(std::move(Name)) {}
+
+void JThread::pushFrame(uint32_t Capacity, bool Explicit) {
+  LocalFrame Frame;
+  Frame.Capacity = Capacity;
+  Frame.Explicit = Explicit;
+  Frames.push_back(std::move(Frame));
+}
+
+void JThread::invalidateSlot(uint32_t Index) {
+  LocalSlot &Slot = Arena[Index];
+  if (!Slot.Live)
+    return;
+  Slot.Live = false;
+  Slot.Target = ObjectId();
+  // The generation advances so outstanding handles to this slot are stale.
+  Slot.Gen += 1;
+  FreeSlots.push_back(Index);
+}
+
+bool JThread::popFrame() {
+  if (Frames.empty())
+    return false;
+  LocalFrame &Frame = Frames.back();
+  for (uint32_t Index : Frame.OwnedSlots)
+    invalidateSlot(Index);
+  Frames.pop_back();
+  return true;
+}
+
+uint64_t JThread::newLocalRef(ObjectId Target) {
+  if (Frames.empty() || Target.isNull())
+    return 0;
+  uint32_t Index;
+  if (!FreeSlots.empty()) {
+    Index = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    Index = static_cast<uint32_t>(Arena.size());
+    Arena.emplace_back();
+  }
+  LocalSlot &Slot = Arena[Index];
+  Slot.Gen += 1;
+  Slot.Live = true;
+  Slot.Target = Target;
+
+  LocalFrame &Frame = Frames.back();
+  Frame.OwnedSlots.push_back(Index);
+  Frame.LiveCount += 1;
+  if (Frame.LiveCount > Frame.Capacity) {
+    Frame.Overflowed = true;
+    OverflowedCapacity = true;
+  }
+
+  HandleBits Bits;
+  Bits.Kind = RefKind::Local;
+  Bits.Thread = Id;
+  Bits.Slot = Index;
+  Bits.Gen = Slot.Gen;
+  return encodeHandle(Bits);
+}
+
+LocalRefState JThread::localRefState(const HandleBits &Bits) const {
+  assert(Bits.Kind == RefKind::Local && "expected a local handle");
+  if (Bits.Slot >= Arena.size())
+    return LocalRefState::NeverIssued;
+  const LocalSlot &Slot = Arena[Bits.Slot];
+  if (Bits.Gen > Slot.Gen)
+    return LocalRefState::NeverIssued;
+  if (!Slot.Live || Slot.Gen != Bits.Gen)
+    return LocalRefState::Stale;
+  return LocalRefState::Live;
+}
+
+ObjectId JThread::resolveLocal(const HandleBits &Bits) const {
+  if (localRefState(Bits) != LocalRefState::Live)
+    return ObjectId();
+  return Arena[Bits.Slot].Target;
+}
+
+bool JThread::deleteLocal(const HandleBits &Bits) {
+  if (localRefState(Bits) != LocalRefState::Live)
+    return false;
+  // Account the deletion to the frame that owns the slot (usually the top).
+  for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
+    for (uint32_t Index : It->OwnedSlots) {
+      if (Index == Bits.Slot && Arena[Index].Live &&
+          Arena[Index].Gen == Bits.Gen) {
+        It->LiveCount -= 1;
+        invalidateSlot(Index);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t JThread::liveLocalCount() const {
+  size_t N = 0;
+  for (const LocalSlot &Slot : Arena)
+    if (Slot.Live)
+      ++N;
+  return N;
+}
+
+size_t JThread::liveLocalsInTopFrame() const {
+  return Frames.empty() ? 0 : Frames.back().LiveCount;
+}
+
+bool JThread::ensureLocalCapacity(uint32_t Capacity) {
+  if (Frames.empty())
+    return false;
+  if (Frames.back().Capacity < Capacity)
+    Frames.back().Capacity = Capacity;
+  return true;
+}
+
+void JThread::collectRoots(std::vector<ObjectId> &Roots) const {
+  for (const LocalSlot &Slot : Arena)
+    if (Slot.Live && !Slot.Target.isNull())
+      Roots.push_back(Slot.Target);
+  if (!Pending.isNull())
+    Roots.push_back(Pending);
+}
+
+std::string JThread::renderStack() const {
+  std::string Out;
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It) {
+    Out += "\tat ";
+    Out += It->Display;
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,171 @@
+//===- jvm/JThread.h - VM threads and local reference frames -------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A VM thread owns the state every JNI pitfall in the paper revolves
+/// around: a stack of local-reference frames (implicitly pushed around each
+/// native method invocation, capacity 16 unless extended), the pending
+/// exception, the critical-section depth, a simulated call stack for
+/// Figure 9-style traces, and a "poisoned" flag that models a thread that
+/// has (simulated-)crashed.
+///
+/// Local reference slots are generational: DeleteLocalRef or a frame pop
+/// bumps the slot generation, so previously-issued handles become stale bit
+/// patterns rather than aliases of future references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_JTHREAD_H
+#define JINN_JVM_JTHREAD_H
+
+#include "jvm/Handle.h"
+#include "jvm/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::jvm {
+
+class Vm;
+
+/// One simulated stack frame for diagnostics.
+struct StackEntry {
+  bool IsNative = false;
+  std::string Display; ///< e.g. "ExceptionState.main(ExceptionState.java:5)"
+};
+
+/// State of a local-reference handle relative to its owning thread.
+enum class LocalRefState : uint8_t {
+  Live,        ///< valid, usable
+  Stale,       ///< existed once; slot deleted or frame popped
+  NeverIssued, ///< no such slot/generation was ever handed out
+};
+
+/// A VM thread. Created via Vm::attachThread; the main thread exists from
+/// VM construction.
+class JThread {
+public:
+  JThread(Vm &Owner, uint32_t Id, std::string Name);
+
+  Vm &vm() { return Owner; }
+  uint32_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  /// The JNIEnv* the JNI layer created for this thread (opaque here).
+  void *EnvPtr = nullptr;
+
+  //===--------------------------------------------------------------------===
+  // Local reference frames
+  //===--------------------------------------------------------------------===
+
+  /// Pushes a frame. The VM pushes an implicit frame (capacity
+  /// \p Capacity, usually 16) around every native method invocation;
+  /// user code pushes explicit frames via PushLocalFrame.
+  void pushFrame(uint32_t Capacity, bool Explicit);
+
+  /// Pops the top frame, invalidating every local reference created in it.
+  /// Returns false when no frame is active.
+  bool popFrame();
+
+  /// Number of active frames.
+  size_t frameDepth() const { return Frames.size(); }
+
+  /// True when the current top frame was pushed explicitly.
+  bool topFrameExplicit() const {
+    return !Frames.empty() && Frames.back().Explicit;
+  }
+
+  /// Creates a local reference to \p Target in the top frame and returns the
+  /// encoded handle word (0 when no frame is active or \p Target is null).
+  /// The VM itself never rejects over-capacity creation — a production JVM
+  /// with an unchecked bump pointer would not either — but it remembers that
+  /// the capacity was exceeded (the "time bomb" of §6.4.1).
+  uint64_t newLocalRef(ObjectId Target);
+
+  /// Classifies \p Bits (which must have RefKind::Local and this thread id).
+  LocalRefState localRefState(const HandleBits &Bits) const;
+
+  /// Resolves a live local handle to its target; null ObjectId otherwise.
+  ObjectId resolveLocal(const HandleBits &Bits) const;
+
+  /// Deletes a local reference. Returns false when the handle was not live.
+  bool deleteLocal(const HandleBits &Bits);
+
+  /// Re-points a live local handle at a (possibly updated) target; used by
+  /// nothing in production but available to tests.
+  size_t liveLocalCount() const;
+
+  /// Live locals created in the top frame.
+  size_t liveLocalsInTopFrame() const;
+
+  /// Capacity of the top frame (0 when no frame).
+  uint32_t topFrameCapacity() const {
+    return Frames.empty() ? 0 : Frames.back().Capacity;
+  }
+
+  /// Grows the top frame capacity to at least \p Capacity.
+  bool ensureLocalCapacity(uint32_t Capacity);
+
+  /// Whether any frame ever exceeded its declared capacity.
+  bool everOverflowedCapacity() const { return OverflowedCapacity; }
+
+  /// Appends every live local reference target to \p Roots (GC support).
+  void collectRoots(std::vector<ObjectId> &Roots) const;
+
+  //===--------------------------------------------------------------------===
+  // Exception, critical-section, call-stack, and poison state
+  //===--------------------------------------------------------------------===
+
+  /// The pending Java exception (null when none).
+  ObjectId Pending;
+
+  /// Nesting depth of JNI critical sections entered by this thread.
+  int CriticalDepth = 0;
+
+  /// Simulated call stack (innermost last).
+  std::vector<StackEntry> Stack;
+
+  /// Set after a simulated crash/deadlock; all further VM work on this
+  /// thread is suppressed.
+  bool Poisoned = false;
+
+  /// Explicit frames (PushLocalFrame) reclaimed by the VM because native
+  /// code returned without popping them — a leak indicator.
+  uint32_t LeakedExplicitFrames = 0;
+
+  /// Renders the call stack in "\tat Frame" lines, innermost first.
+  std::string renderStack() const;
+
+private:
+  struct LocalSlot {
+    ObjectId Target;
+    uint32_t Gen = 0;
+    bool Live = false;
+  };
+
+  struct LocalFrame {
+    uint32_t Capacity = 0;
+    bool Explicit = false;
+    bool Overflowed = false;
+    std::vector<uint32_t> OwnedSlots;
+    uint32_t LiveCount = 0;
+  };
+
+  Vm &Owner;
+  uint32_t Id;
+  std::string Name;
+
+  std::vector<LocalSlot> Arena;
+  std::vector<uint32_t> FreeSlots;
+  std::vector<LocalFrame> Frames;
+  bool OverflowedCapacity = false;
+
+  void invalidateSlot(uint32_t Index);
+};
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_JTHREAD_H

@@ -1,0 +1,67 @@
+//===- jvm/Klass.cpp - Classes, fields, and methods ----------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Klass.h"
+
+using namespace jinn::jvm;
+
+std::string FieldInfo::qualifiedName() const {
+  return (Owner ? Owner->name() : "?") + "." + Name;
+}
+
+std::string MethodInfo::qualifiedName() const {
+  return (Owner ? Owner->name() : "?") + "." + Name;
+}
+
+bool Klass::isSubclassOf(const Klass *Other) const {
+  for (const Klass *K = this; K; K = K->super())
+    if (K == Other)
+      return true;
+  return false;
+}
+
+MethodInfo *Klass::findDeclaredMethod(std::string_view Name,
+                                      std::string_view Desc,
+                                      bool WantStatic) const {
+  for (const auto &M : Methods)
+    if (M->IsStatic == WantStatic && M->Name == Name && M->Desc == Desc)
+      return M.get();
+  return nullptr;
+}
+
+MethodInfo *Klass::findMethod(std::string_view Name, std::string_view Desc,
+                              bool WantStatic) const {
+  for (const Klass *K = this; K; K = K->super())
+    if (MethodInfo *M = K->findDeclaredMethod(Name, Desc, WantStatic))
+      return M;
+  return nullptr;
+}
+
+MethodInfo *Klass::findMethodAnyStatic(std::string_view Name,
+                                       std::string_view Desc) const {
+  for (const Klass *K = this; K; K = K->super())
+    for (const auto &M : K->Methods)
+      if (M->Name == Name && M->Desc == Desc)
+        return M.get();
+  return nullptr;
+}
+
+FieldInfo *Klass::findDeclaredField(std::string_view Name,
+                                    std::string_view Desc,
+                                    bool WantStatic) const {
+  for (const auto &F : Fields)
+    if (F->IsStatic == WantStatic && F->Name == Name && F->Desc == Desc)
+      return F.get();
+  return nullptr;
+}
+
+FieldInfo *Klass::findField(std::string_view Name, std::string_view Desc,
+                            bool WantStatic) const {
+  for (const Klass *K = this; K; K = K->super())
+    if (FieldInfo *F = K->findDeclaredField(Name, Desc, WantStatic))
+      return F;
+  return nullptr;
+}

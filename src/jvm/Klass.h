@@ -1,0 +1,178 @@
+//===- jvm/Klass.h - Classes, fields, and methods ------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The class model of the miniature JVM. Classes are defined declaratively
+/// (ClassDef); Java method bodies are C++ closures; native methods dispatch
+/// through a rebindable NativeRawFn installed by the JNI layer, which is the
+/// hook JVMTI agents use to interpose on Java->C transitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_KLASS_H
+#define JINN_JVM_KLASS_H
+
+#include "jvm/Value.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jinn::jvm {
+
+class Vm;
+class JThread;
+class Klass;
+
+/// Body of a method implemented "in Java" (a C++ closure standing in for
+/// bytecode). May set a pending exception on the thread instead of returning
+/// normally.
+using JavaBody = std::function<Value(Vm &Vm, JThread &Thread,
+                                     const Value &Self,
+                                     const std::vector<Value> &Args)>;
+
+/// Bound implementation of a native method, installed by the JNI layer at
+/// registration time. Agents wrap this via the NativeMethodBind event.
+using NativeRawFn = std::function<Value(JThread &Thread, const Value &Self,
+                                        const std::vector<Value> &Args)>;
+
+/// Java member visibility.
+enum class Visibility : uint8_t { Public, Protected, Package, Private };
+
+/// One field (static or instance).
+struct FieldInfo {
+  Klass *Owner = nullptr;
+  std::string Name;
+  std::string Desc;
+  TypeDesc Type;
+  Visibility Vis = Visibility::Public;
+  bool IsStatic = false;
+  bool IsFinal = false;
+  uint32_t Slot = 0;  ///< instance-field slot index (includes inherited)
+  Value StaticValue;  ///< storage for static fields
+
+  /// "java/lang/System.out" style display name.
+  std::string qualifiedName() const;
+};
+
+/// One method (Java or native).
+struct MethodInfo {
+  Klass *Owner = nullptr;
+  std::string Name;
+  std::string Desc;
+  MethodDesc Sig;
+  Visibility Vis = Visibility::Public;
+  bool IsStatic = false;
+  bool IsNative = false;
+  JavaBody Body;           ///< for non-native methods
+  NativeRawFn NativeBound; ///< for native methods, set by RegisterNatives
+  std::string DeclSite;    ///< "File.java:12" used in stack traces
+
+  std::string qualifiedName() const;
+};
+
+/// A loaded class. Single inheritance, no interfaces (the FFI constraints
+/// under study never need them).
+class Klass {
+public:
+  Klass(std::string Name, Klass *Super) : Name(std::move(Name)), Super(Super) {}
+
+  const std::string &name() const { return Name; }
+  Klass *super() const { return Super; }
+
+  bool isArray() const { return !Name.empty() && Name[0] == '['; }
+  /// Element type for array classes.
+  const TypeDesc &elementType() const { return ElemType; }
+  void setElementType(TypeDesc T) { ElemType = std::move(T); }
+
+  /// True if this class equals \p Other or transitively extends it.
+  bool isSubclassOf(const Klass *Other) const;
+
+  /// Fields/methods declared by this class only.
+  std::vector<std::unique_ptr<FieldInfo>> Fields;
+  std::vector<std::unique_ptr<MethodInfo>> Methods;
+
+  /// Number of instance-field slots including inherited fields.
+  uint32_t InstanceSlots = 0;
+
+  /// The java.lang.Class mirror object for this class.
+  ObjectId Mirror;
+
+  /// Finds a declared method (no superclass search).
+  MethodInfo *findDeclaredMethod(std::string_view Name, std::string_view Desc,
+                                 bool WantStatic) const;
+  /// Finds a method here or in a superclass.
+  MethodInfo *findMethod(std::string_view Name, std::string_view Desc,
+                         bool WantStatic) const;
+  /// Finds a method by name and descriptor regardless of staticness.
+  MethodInfo *findMethodAnyStatic(std::string_view Name,
+                                  std::string_view Desc) const;
+
+  FieldInfo *findDeclaredField(std::string_view Name, std::string_view Desc,
+                               bool WantStatic) const;
+  FieldInfo *findField(std::string_view Name, std::string_view Desc,
+                       bool WantStatic) const;
+
+private:
+  std::string Name;
+  Klass *Super;
+  TypeDesc ElemType;
+};
+
+/// Declarative class definition consumed by Vm::defineClass.
+struct ClassDef {
+  std::string Name;
+  std::string Super = "java/lang/Object";
+
+  struct FieldDef {
+    std::string Name;
+    std::string Desc;
+    bool IsStatic = false;
+    bool IsFinal = false;
+    Visibility Vis = Visibility::Public;
+  };
+
+  struct MethodDef {
+    std::string Name;
+    std::string Desc;
+    bool IsStatic = false;
+    bool IsNative = false;
+    Visibility Vis = Visibility::Public;
+    JavaBody Body;        ///< ignored for native methods
+    std::string DeclSite; ///< "File.java:12" for stack traces
+  };
+
+  std::vector<FieldDef> Fields;
+  std::vector<MethodDef> Methods;
+
+  ClassDef &field(std::string Name, std::string Desc, bool IsStatic = false,
+                  bool IsFinal = false, Visibility Vis = Visibility::Public) {
+    Fields.push_back({std::move(Name), std::move(Desc), IsStatic, IsFinal, Vis});
+    return *this;
+  }
+
+  ClassDef &method(std::string Name, std::string Desc, JavaBody Body,
+                   bool IsStatic = false, std::string DeclSite = "") {
+    Methods.push_back({std::move(Name), std::move(Desc), IsStatic,
+                       /*IsNative=*/false, Visibility::Public, std::move(Body),
+                       std::move(DeclSite)});
+    return *this;
+  }
+
+  ClassDef &nativeMethod(std::string Name, std::string Desc,
+                         bool IsStatic = false, std::string DeclSite = "") {
+    Methods.push_back({std::move(Name), std::move(Desc), IsStatic,
+                       /*IsNative=*/true, Visibility::Public, nullptr,
+                       std::move(DeclSite)});
+    return *this;
+  }
+};
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_KLASS_H

@@ -1,0 +1,69 @@
+//===- jvm/Policy.cpp - Production-VM undefined-behavior policies --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Policy.h"
+
+#include "support/Compiler.h"
+
+using namespace jinn::jvm;
+
+const char *jinn::jvm::vmFlavorName(VmFlavor Flavor) {
+  return Flavor == VmFlavor::HotSpotLike ? "hotspot" : "j9";
+}
+
+const char *jinn::jvm::undefinedOpName(UndefinedOp Op) {
+  switch (Op) {
+  case UndefinedOp::PendingExceptionUse:
+    return "JNI call with exception pending";
+  case UndefinedOp::InvalidArgument:
+    return "invalid argument to JNI function";
+  case UndefinedOp::ClassObjectConfusion:
+    return "jclass/jobject confusion";
+  case UndefinedOp::IdReferenceConfusion:
+    return "ID used as reference";
+  case UndefinedOp::UnterminatedString:
+    return "unterminated Unicode string";
+  case UndefinedOp::AccessControl:
+    return "access control violation";
+  case UndefinedOp::DanglingLocalRef:
+    return "dangling local reference";
+  case UndefinedOp::WrongThreadEnv:
+    return "JNIEnv used across threads";
+  case UndefinedOp::CriticalRegionCall:
+    return "JNI call inside critical region";
+  case UndefinedOp::DanglingGlobalRef:
+    return "dangling global reference";
+  }
+  JINN_UNREACHABLE("invalid UndefinedOp");
+}
+
+ProductionOutcome jinn::jvm::productionBehavior(VmFlavor Flavor,
+                                                UndefinedOp Op) {
+  bool HotSpot = Flavor == VmFlavor::HotSpotLike;
+  switch (Op) {
+  case UndefinedOp::PendingExceptionUse: // Table 1 row 1: running / crash
+    return HotSpot ? ProductionOutcome::Ignore : ProductionOutcome::Crash;
+  case UndefinedOp::InvalidArgument: // row 2: running / crash
+    return HotSpot ? ProductionOutcome::Ignore : ProductionOutcome::Crash;
+  case UndefinedOp::ClassObjectConfusion: // row 3: crash / crash
+    return ProductionOutcome::Crash;
+  case UndefinedOp::IdReferenceConfusion: // row 6: crash / crash
+    return ProductionOutcome::Crash;
+  case UndefinedOp::UnterminatedString: // row 8: running / NPE
+    return HotSpot ? ProductionOutcome::Ignore : ProductionOutcome::ThrowNpe;
+  case UndefinedOp::AccessControl: // row 9: NPE / NPE
+    return ProductionOutcome::ThrowNpe;
+  case UndefinedOp::DanglingLocalRef: // row 13: crash / crash
+    return ProductionOutcome::Crash;
+  case UndefinedOp::WrongThreadEnv: // row 14: running / crash
+    return HotSpot ? ProductionOutcome::Ignore : ProductionOutcome::Crash;
+  case UndefinedOp::CriticalRegionCall: // row 16: deadlock / deadlock
+    return ProductionOutcome::Deadlock;
+  case UndefinedOp::DanglingGlobalRef: // like a dangling local: crash
+    return ProductionOutcome::Crash;
+  }
+  JINN_UNREACHABLE("invalid UndefinedOp");
+}

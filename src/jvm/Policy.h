@@ -1,0 +1,60 @@
+//===- jvm/Policy.h - Production-VM undefined-behavior policies ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JNI specification leaves the consequences of most misuse to the
+/// vendor's implementation, and the paper's Table 1 shows HotSpot and J9
+/// diverging on four pitfalls. This reproduction parameterizes the mini-JVM
+/// with a VmFlavor and consults productionBehavior() whenever user code
+/// performs an operation whose outcome the specification leaves undefined.
+/// The encoded outcomes are exactly the Table 1 "Default Behavior" columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_POLICY_H
+#define JINN_JVM_POLICY_H
+
+#include <cstdint>
+
+namespace jinn::jvm {
+
+/// Which production JVM the simulator imitates when behavior is undefined.
+enum class VmFlavor : uint8_t { HotSpotLike, J9Like };
+
+/// Returns "hotspot" or "j9".
+const char *vmFlavorName(VmFlavor Flavor);
+
+/// The classes of undefined operations Table 1 distinguishes.
+enum class UndefinedOp : uint8_t {
+  PendingExceptionUse,  ///< JNI call with an exception pending (pitfall 1)
+  InvalidArgument,      ///< malformed argument to a JNI function (pitfall 2)
+  ClassObjectConfusion, ///< jclass where jobject expected or v.v. (pitfall 3)
+  IdReferenceConfusion, ///< jmethodID/jfieldID used as reference (pitfall 6)
+  UnterminatedString,   ///< reading past a non-terminated string (pitfall 8)
+  AccessControl,        ///< visibility / final violation (pitfall 9)
+  DanglingLocalRef,     ///< use of an invalid local reference (pitfall 13)
+  WrongThreadEnv,       ///< JNIEnv used on the wrong thread (pitfall 14)
+  CriticalRegionCall,   ///< sensitive JNI call inside a critical region (16)
+  DanglingGlobalRef,    ///< use of a deleted global reference
+};
+
+/// What the (simulated) production VM does when the operation executes.
+enum class ProductionOutcome : uint8_t {
+  Ignore,   ///< keeps running in an undefined state ("running" in Table 1)
+  Crash,    ///< simulated SIGSEGV: incident recorded, thread poisoned
+  ThrowNpe, ///< raises java.lang.NullPointerException
+  Deadlock, ///< simulated deadlock: incident recorded, thread poisoned
+};
+
+/// Table 1 "Default Behavior" columns, by flavor.
+ProductionOutcome productionBehavior(VmFlavor Flavor, UndefinedOp Op);
+
+/// Short diagnostic tag for \p Op.
+const char *undefinedOpName(UndefinedOp Op);
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_POLICY_H

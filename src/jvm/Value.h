@@ -1,0 +1,119 @@
+//===- jvm/Value.h - Runtime values and object identities ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ObjectId names a heap object *generationally*: reclaiming a heap slot
+/// bumps the slot generation, so a stale ObjectId never silently resolves to
+/// a recycled object — the heap can distinguish "moved/reclaimed" from
+/// "live", which is what makes dangling-reference bugs observable in this
+/// reproduction. Value is the tagged runtime value used for fields, array
+/// elements, arguments, and returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_VALUE_H
+#define JINN_JVM_VALUE_H
+
+#include "jvm/Descriptor.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace jinn::jvm {
+
+/// Generational name of a heap object. A default-constructed ObjectId is the
+/// null reference (generation 0 is never assigned to a live object).
+struct ObjectId {
+  uint32_t Index = 0;
+  uint32_t Gen = 0;
+
+  bool isNull() const { return Gen == 0; }
+  friend bool operator==(const ObjectId &A, const ObjectId &B) {
+    return A.Index == B.Index && A.Gen == B.Gen;
+  }
+  /// Packs into one word (map keys, tag values).
+  uint64_t raw() const {
+    return (static_cast<uint64_t>(Index) << 32) | Gen;
+  }
+  static ObjectId fromRaw(uint64_t Raw) {
+    return {static_cast<uint32_t>(Raw >> 32), static_cast<uint32_t>(Raw)};
+  }
+};
+
+/// A tagged runtime value. Integral primitives (boolean..long) live in I,
+/// float/double in D, references in Obj.
+struct Value {
+  JType Kind = JType::Void;
+  int64_t I = 0;
+  double D = 0.0;
+  ObjectId Obj;
+
+  static Value makeVoid() { return Value(); }
+  static Value makeBoolean(bool V) { return make(JType::Boolean, V ? 1 : 0); }
+  static Value makeByte(int8_t V) { return make(JType::Byte, V); }
+  static Value makeChar(uint16_t V) { return make(JType::Char, V); }
+  static Value makeShort(int16_t V) { return make(JType::Short, V); }
+  static Value makeInt(int32_t V) { return make(JType::Int, V); }
+  static Value makeLong(int64_t V) { return make(JType::Long, V); }
+  static Value makeFloat(float V) {
+    Value Out;
+    Out.Kind = JType::Float;
+    Out.D = V;
+    return Out;
+  }
+  static Value makeDouble(double V) {
+    Value Out;
+    Out.Kind = JType::Double;
+    Out.D = V;
+    return Out;
+  }
+  static Value makeRef(ObjectId Id) {
+    Value Out;
+    Out.Kind = JType::Object;
+    Out.Obj = Id;
+    return Out;
+  }
+  static Value makeNull() { return makeRef(ObjectId()); }
+
+  bool isRef() const { return Kind == JType::Object; }
+  bool isNullRef() const { return isRef() && Obj.isNull(); }
+
+  /// Integral payload, asserting the kind is integral.
+  int64_t asIntegral() const { return I; }
+  double asFloating() const { return D; }
+
+private:
+  static Value make(JType Kind, int64_t I) {
+    Value Out;
+    Out.Kind = Kind;
+    Out.I = I;
+    return Out;
+  }
+};
+
+/// Zero/null value of type \p Type (what a poisoned or aborted call returns).
+inline Value defaultValueFor(JType Type) {
+  switch (Type) {
+  case JType::Void:
+    return Value::makeVoid();
+  case JType::Object:
+    return Value::makeNull();
+  case JType::Float:
+    return Value::makeFloat(0.0f);
+  case JType::Double:
+    return Value::makeDouble(0.0);
+  default: {
+    Value Out;
+    Out.Kind = Type;
+    Out.I = 0;
+    return Out;
+  }
+  }
+}
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_VALUE_H

@@ -1,0 +1,889 @@
+//===- jvm/Vm.cpp - The miniature Java virtual machine -------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Vm.h"
+
+#include "support/Compiler.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace jinn;
+using namespace jinn::jvm;
+
+VmEventObserver::~VmEventObserver() = default;
+
+//===----------------------------------------------------------------------===
+// UTF helpers (BMP only)
+//===----------------------------------------------------------------------===
+
+std::u16string jinn::jvm::utf8ToUtf16(std::string_view Utf8) {
+  std::u16string Out;
+  Out.reserve(Utf8.size());
+  for (size_t I = 0; I < Utf8.size();) {
+    unsigned char C = Utf8[I];
+    if (C < 0x80) {
+      Out.push_back(C);
+      I += 1;
+    } else if ((C >> 5) == 0x6 && I + 1 < Utf8.size()) {
+      Out.push_back(static_cast<char16_t>(((C & 0x1F) << 6) |
+                                          (Utf8[I + 1] & 0x3F)));
+      I += 2;
+    } else if ((C >> 4) == 0xE && I + 2 < Utf8.size()) {
+      Out.push_back(static_cast<char16_t>(((C & 0x0F) << 12) |
+                                          ((Utf8[I + 1] & 0x3F) << 6) |
+                                          (Utf8[I + 2] & 0x3F)));
+      I += 3;
+    } else {
+      Out.push_back(0xFFFD);
+      I += 1;
+    }
+  }
+  return Out;
+}
+
+std::string jinn::jvm::utf16ToUtf8(const std::u16string &Chars) {
+  std::string Out;
+  Out.reserve(Chars.size());
+  for (char16_t C : Chars) {
+    if (C < 0x80) {
+      Out.push_back(static_cast<char>(C));
+    } else if (C < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (C >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (C & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xE0 | (C >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((C >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (C & 0x3F)));
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Construction / bootstrap
+//===----------------------------------------------------------------------===
+
+Vm::Vm(VmOptions Options) : Options(Options) {
+  Diags.setEcho(Options.EchoDiagnostics);
+  bootstrapCoreClasses();
+  attachThread("main");
+}
+
+Vm::~Vm() { shutdown(); }
+
+void Vm::bootstrapCoreClasses() {
+  // Object and Class must exist before mirrors can be created.
+  auto MakeRaw = [&](const std::string &Name, Klass *Super) {
+    auto Owned = std::make_unique<Klass>(Name, Super);
+    Klass *Raw = Owned.get();
+    Raw->InstanceSlots = Super ? Super->InstanceSlots : 0;
+    Classes.emplace(Name, std::move(Owned));
+    ClassOrder.push_back(Raw);
+    return Raw;
+  };
+
+  ObjectKlass = MakeRaw("java/lang/Object", nullptr);
+  ClassKlass = MakeRaw("java/lang/Class", ObjectKlass);
+
+  auto MakeMirror = [&](Klass *Kl) {
+    ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
+    Kl->Mirror = Mirror;
+    MirrorToKlass[Mirror.raw()] = Kl;
+  };
+  MakeMirror(ObjectKlass);
+  MakeMirror(ClassKlass);
+
+  ClassDef StringDef;
+  StringDef.Name = "java/lang/String";
+  StringKlass = defineClass(StringDef);
+
+  ClassDef ThrowableDef;
+  ThrowableDef.Name = "java/lang/Throwable";
+  ThrowableDef.field("message", "Ljava/lang/String;")
+      .field("cause", "Ljava/lang/Throwable;")
+      .field("stack", "Ljava/lang/String;");
+  ThrowableKlass = defineClass(ThrowableDef);
+
+  const char *Chain[][2] = {
+      {"java/lang/Exception", "java/lang/Throwable"},
+      {"java/lang/RuntimeException", "java/lang/Exception"},
+      {"java/lang/NullPointerException", "java/lang/RuntimeException"},
+      {"java/lang/IllegalArgumentException", "java/lang/RuntimeException"},
+      {"java/lang/IllegalMonitorStateException", "java/lang/RuntimeException"},
+      {"java/lang/IllegalStateException", "java/lang/RuntimeException"},
+      {"java/lang/ArrayIndexOutOfBoundsException",
+       "java/lang/RuntimeException"},
+      {"java/lang/StringIndexOutOfBoundsException",
+       "java/lang/RuntimeException"},
+      {"java/lang/ArrayStoreException", "java/lang/RuntimeException"},
+      {"java/lang/ClassCastException", "java/lang/RuntimeException"},
+      {"java/lang/Error", "java/lang/Throwable"},
+      {"java/lang/OutOfMemoryError", "java/lang/Error"},
+      {"java/lang/NoClassDefFoundError", "java/lang/Error"},
+      {"java/lang/NoSuchMethodError", "java/lang/Error"},
+      {"java/lang/NoSuchFieldError", "java/lang/Error"},
+      {"java/lang/UnsatisfiedLinkError", "java/lang/Error"},
+      {"java/lang/InstantiationError", "java/lang/Error"},
+      {"java/lang/Thread", "java/lang/Object"},
+  };
+  for (auto &Pair : Chain) {
+    ClassDef Def;
+    Def.Name = Pair[0];
+    Def.Super = Pair[1];
+    defineClass(Def);
+  }
+
+  // Reflection carriers (ToReflectedMethod/Field bridges) and the direct
+  // byte buffer class: each holds an opaque pointer-sized payload.
+  for (const char *Name : {"java/lang/reflect/Method",
+                           "java/lang/reflect/Constructor",
+                           "java/lang/reflect/Field"}) {
+    ClassDef Def;
+    Def.Name = Name;
+    Def.field("ptr", "J");
+    defineClass(Def);
+  }
+  ClassDef BufDef;
+  BufDef.Name = "java/nio/ByteBuffer";
+  BufDef.field("address", "J").field("capacity", "J");
+  defineClass(BufDef);
+}
+
+Klass *Vm::defineClass(const ClassDef &Def) {
+  if (Classes.count(Def.Name)) {
+    Diags.report(IncidentKind::Note, "jvm",
+                 formatString("class %s redefined; keeping first definition",
+                              Def.Name.c_str()));
+    return findClass(Def.Name);
+  }
+  Klass *Super = nullptr;
+  if (Def.Name != "java/lang/Object") {
+    Super = findClass(Def.Super);
+    if (!Super) {
+      Diags.report(IncidentKind::FatalError, "jvm",
+                   formatString("superclass %s of %s not found",
+                                Def.Super.c_str(), Def.Name.c_str()));
+      return nullptr;
+    }
+  }
+
+  auto Owned = std::make_unique<Klass>(Def.Name, Super);
+  Klass *Kl = Owned.get();
+  uint32_t NextSlot = Super ? Super->InstanceSlots : 0;
+
+  for (const ClassDef::FieldDef &FD : Def.Fields) {
+    auto Field = std::make_unique<FieldInfo>();
+    Field->Owner = Kl;
+    Field->Name = FD.Name;
+    Field->Desc = FD.Desc;
+    Field->Vis = FD.Vis;
+    Field->IsStatic = FD.IsStatic;
+    Field->IsFinal = FD.IsFinal;
+    if (!parseFieldDescriptor(FD.Desc, Field->Type)) {
+      Diags.report(IncidentKind::FatalError, "jvm",
+                   formatString("malformed field descriptor %s for %s.%s",
+                                FD.Desc.c_str(), Def.Name.c_str(),
+                                FD.Name.c_str()));
+      return nullptr;
+    }
+    if (FD.IsStatic)
+      Field->StaticValue = defaultValueFor(Field->Type.Kind);
+    else
+      Field->Slot = NextSlot++;
+    FieldIdSet.insert(Field.get());
+    Kl->Fields.push_back(std::move(Field));
+  }
+  Kl->InstanceSlots = NextSlot;
+
+  for (const ClassDef::MethodDef &MD : Def.Methods) {
+    auto Method = std::make_unique<MethodInfo>();
+    Method->Owner = Kl;
+    Method->Name = MD.Name;
+    Method->Desc = MD.Desc;
+    Method->Vis = MD.Vis;
+    Method->IsStatic = MD.IsStatic;
+    Method->IsNative = MD.IsNative;
+    Method->Body = MD.Body;
+    Method->DeclSite = MD.DeclSite;
+    if (!parseMethodDescriptor(MD.Desc, Method->Sig)) {
+      Diags.report(IncidentKind::FatalError, "jvm",
+                   formatString("malformed method descriptor %s for %s.%s",
+                                MD.Desc.c_str(), Def.Name.c_str(),
+                                MD.Name.c_str()));
+      return nullptr;
+    }
+    MethodIdSet.insert(Method.get());
+    Kl->Methods.push_back(std::move(Method));
+  }
+
+  Classes.emplace(Def.Name, std::move(Owned));
+  ClassOrder.push_back(Kl);
+
+  ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
+  Kl->Mirror = Mirror;
+  MirrorToKlass[Mirror.raw()] = Kl;
+  return Kl;
+}
+
+Klass *Vm::defineArrayClass(std::string_view Name) {
+  TypeDesc Elem;
+  std::string_view ElemDesc = Name.substr(1);
+  if (!parseFieldDescriptor(ElemDesc, Elem))
+    return nullptr;
+  // For object element types, require the element class to exist.
+  if (Elem.isReference() && !Elem.isArray() && !findClass(Elem.ClassName))
+    return nullptr;
+
+  auto Owned = std::make_unique<Klass>(std::string(Name), ObjectKlass);
+  Klass *Kl = Owned.get();
+  Kl->setElementType(Elem);
+  Classes.emplace(std::string(Name), std::move(Owned));
+  ClassOrder.push_back(Kl);
+
+  ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
+  Kl->Mirror = Mirror;
+  MirrorToKlass[Mirror.raw()] = Kl;
+  return Kl;
+}
+
+Klass *Vm::findClass(std::string_view Name) {
+  auto It = Classes.find(Name);
+  if (It != Classes.end())
+    return It->second.get();
+  if (!Name.empty() && Name[0] == '[')
+    return defineArrayClass(Name);
+  return nullptr;
+}
+
+Klass *Vm::klassOf(ObjectId Obj) {
+  HeapObject *HO = TheHeap.resolve(Obj);
+  return HO ? HO->Kl : nullptr;
+}
+
+Klass *Vm::klassFromMirror(ObjectId Mirror) {
+  auto It = MirrorToKlass.find(Mirror.raw());
+  return It == MirrorToKlass.end() ? nullptr : It->second;
+}
+
+//===----------------------------------------------------------------------===
+// Threads
+//===----------------------------------------------------------------------===
+
+JThread &Vm::attachThread(std::string Name) {
+  assert(NextThreadId < 4096 && "thread id space exhausted");
+  auto Owned = std::make_unique<JThread>(*this, NextThreadId++,
+                                         std::move(Name));
+  JThread *Thread = Owned.get();
+  Threads.push_back(std::move(Owned));
+  // Attached threads get a base local frame, as with AttachCurrentThread.
+  Thread->pushFrame(Options.NativeFrameCapacity, /*Explicit=*/false);
+  for (VmEventObserver *Observer : Observers)
+    Observer->onThreadStart(*Thread);
+  return *Thread;
+}
+
+void Vm::detachThread(JThread &Thread) {
+  for (VmEventObserver *Observer : Observers)
+    Observer->onThreadEnd(Thread);
+  while (Thread.frameDepth() > 0)
+    Thread.popFrame();
+}
+
+JThread *Vm::threadById(uint32_t Id) {
+  for (const auto &Thread : Threads)
+    if (Thread->id() == Id)
+      return Thread.get();
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===
+// Allocation and strings
+//===----------------------------------------------------------------------===
+
+ObjectId Vm::newObject(Klass *Kl) {
+  assert(Kl && !Kl->isArray() && "newObject needs a plain class");
+  ObjectId Id = TheHeap.allocPlain(Kl, Kl->InstanceSlots);
+  // Initialize every inherited field slot to its typed default.
+  HeapObject *HO = TheHeap.resolve(Id);
+  for (const Klass *K = Kl; K; K = K->super())
+    for (const auto &Field : K->Fields)
+      if (!Field->IsStatic)
+        HO->Fields[Field->Slot] = defaultValueFor(Field->Type.Kind);
+  maybeAutoGc();
+  return Id;
+}
+
+ObjectId Vm::newString(std::string_view Utf8) {
+  return newStringUtf16(utf8ToUtf16(Utf8));
+}
+
+ObjectId Vm::newStringUtf16(std::u16string Chars) {
+  ObjectId Id = TheHeap.allocString(StringKlass, std::move(Chars));
+  maybeAutoGc();
+  return Id;
+}
+
+ObjectId Vm::newPrimArray(JType ElemKind, size_t Len) {
+  std::string Name(1, '[');
+  Name.push_back(typeDescriptorChar(ElemKind));
+  ObjectId Id = TheHeap.allocPrimArray(findClass(Name), ElemKind, Len);
+  maybeAutoGc();
+  return Id;
+}
+
+ObjectId Vm::newObjArray(Klass *ElemClass, size_t Len) {
+  assert(ElemClass && "object array needs an element class");
+  std::string Name;
+  if (ElemClass->isArray())
+    Name = "[" + ElemClass->name();
+  else
+    Name = "[L" + ElemClass->name() + ";";
+  ObjectId Id = TheHeap.allocObjArray(findClass(Name), Len);
+  maybeAutoGc();
+  return Id;
+}
+
+std::string Vm::utf8Of(ObjectId Str) {
+  HeapObject *HO = TheHeap.resolve(Str);
+  if (!HO || HO->Shape != ObjShape::Str)
+    return std::string();
+  return utf16ToUtf8(HO->Chars);
+}
+
+//===----------------------------------------------------------------------===
+// Exceptions
+//===----------------------------------------------------------------------===
+
+ObjectId Vm::makeThrowable(JThread &Thread, const char *ClassName,
+                           std::string Message, ObjectId Cause) {
+  Klass *Kl = findClass(ClassName);
+  if (!Kl || !Kl->isSubclassOf(ThrowableKlass)) {
+    Diags.report(IncidentKind::FatalError, "jvm",
+                 formatString("%s is not a throwable class", ClassName));
+    Kl = ThrowableKlass;
+  }
+  // Allocate the payload strings before resolving the throwable: any
+  // allocation may grow the heap's slot table and invalidate HeapObject
+  // pointers. Temp-root them so an automatic GC cannot reclaim them.
+  TempRoots Scope(*this);
+  ObjectId MsgStr = newString(Message);
+  Scope.add(MsgStr);
+  ObjectId StackStr = newString(Thread.renderStack());
+  Scope.add(StackStr);
+  ObjectId Ex = newObject(Kl);
+  FieldInfo *MsgField = Kl->findField("message", "Ljava/lang/String;", false);
+  FieldInfo *CauseField = Kl->findField("cause", "Ljava/lang/Throwable;",
+                                        false);
+  FieldInfo *StackField = Kl->findField("stack", "Ljava/lang/String;", false);
+  HeapObject *HO = TheHeap.resolve(Ex);
+  if (MsgField)
+    HO->Fields[MsgField->Slot] = Value::makeRef(MsgStr);
+  if (CauseField)
+    HO->Fields[CauseField->Slot] = Value::makeRef(Cause);
+  if (StackField)
+    HO->Fields[StackField->Slot] = Value::makeRef(StackStr);
+  return Ex;
+}
+
+void Vm::throwNew(JThread &Thread, const char *ClassName,
+                  std::string Message) {
+  Thread.Pending = makeThrowable(Thread, ClassName, std::move(Message));
+}
+
+std::string Vm::throwableMessage(ObjectId Throwable) {
+  Klass *Kl = klassOf(Throwable);
+  if (!Kl)
+    return std::string();
+  FieldInfo *MsgField = Kl->findField("message", "Ljava/lang/String;", false);
+  if (!MsgField)
+    return std::string();
+  HeapObject *HO = TheHeap.resolve(Throwable);
+  return utf8Of(HO->Fields[MsgField->Slot].Obj);
+}
+
+ObjectId Vm::throwableCause(ObjectId Throwable) {
+  Klass *Kl = klassOf(Throwable);
+  if (!Kl)
+    return ObjectId();
+  FieldInfo *CauseField = Kl->findField("cause", "Ljava/lang/Throwable;",
+                                        false);
+  if (!CauseField)
+    return ObjectId();
+  HeapObject *HO = TheHeap.resolve(Throwable);
+  return HO->Fields[CauseField->Slot].Obj;
+}
+
+static std::string dottedName(const std::string &Internal) {
+  std::string Out = Internal;
+  std::replace(Out.begin(), Out.end(), '/', '.');
+  return Out;
+}
+
+std::string Vm::describeThrowable(ObjectId Throwable) {
+  std::string Out;
+  bool First = true;
+  size_t PreviousFrames = 0;
+  for (ObjectId Ex = Throwable; !Ex.isNull(); Ex = throwableCause(Ex)) {
+    Klass *Kl = klassOf(Ex);
+    if (!Kl)
+      break;
+    std::string Header = dottedName(Kl->name());
+    std::string Msg = throwableMessage(Ex);
+    if (!Msg.empty())
+      Header += ": " + Msg;
+
+    FieldInfo *StackField = Kl->findField("stack", "Ljava/lang/String;",
+                                          false);
+    std::string Stack;
+    if (StackField) {
+      HeapObject *HO = TheHeap.resolve(Ex);
+      Stack = utf8Of(HO->Fields[StackField->Slot].Obj);
+    }
+    size_t FrameCount =
+        static_cast<size_t>(std::count(Stack.begin(), Stack.end(), '\n'));
+
+    if (First) {
+      Out += Header + "\n" + Stack;
+      First = false;
+    } else {
+      Out += "Caused by: " + Header + "\n";
+      // Figure 9(c) style: show the distinctive top frames, elide the rest.
+      size_t Shown = 0;
+      size_t Pos = 0;
+      while (Shown < 2 && Pos < Stack.size()) {
+        size_t End = Stack.find('\n', Pos);
+        if (End == std::string::npos)
+          break;
+        Out += Stack.substr(Pos, End - Pos + 1);
+        Pos = End + 1;
+        ++Shown;
+      }
+      if (FrameCount > Shown)
+        Out += formatString("\t... %zu more\n", FrameCount - Shown);
+    }
+    PreviousFrames = FrameCount;
+  }
+  (void)PreviousFrames;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Invocation
+//===----------------------------------------------------------------------===
+
+Value Vm::invoke(JThread &Thread, MethodInfo *Method, const Value &Self,
+                 const std::vector<Value> &Args, bool VirtualDispatch) {
+  assert(Method && "invoke needs a method");
+  if (Thread.Poisoned || Shutdown)
+    return defaultValueFor(Method->Sig.Ret.Kind);
+
+  MethodInfo *Target = Method;
+  if (VirtualDispatch && !Method->IsStatic && Self.isRef() &&
+      !Self.Obj.isNull()) {
+    if (Klass *Dynamic = klassOf(Self.Obj))
+      if (MethodInfo *Found =
+              Dynamic->findMethod(Method->Name, Method->Desc, false))
+        Target = Found;
+  }
+
+  StackEntry Entry;
+  Entry.IsNative = Target->IsNative;
+  std::string Site = Target->IsNative
+                         ? std::string("Native Method")
+                         : (Target->DeclSite.empty() ? "Unknown Source"
+                                                     : Target->DeclSite);
+  Entry.Display =
+      dottedName(Target->Owner->name()) + "." + Target->Name + "(" + Site +
+      ")";
+  Thread.Stack.push_back(std::move(Entry));
+
+  Value Result = defaultValueFor(Target->Sig.Ret.Kind);
+  if (Target->IsNative) {
+    if (Target->NativeBound)
+      Result = Target->NativeBound(Thread, Self, Args);
+    else
+      throwNew(Thread, "java/lang/UnsatisfiedLinkError",
+               Target->qualifiedName());
+  } else if (Target->Body) {
+    Result = Target->Body(*this, Thread, Self, Args);
+  } else {
+    throwNew(Thread, "java/lang/InstantiationError",
+             "method has no body: " + Target->qualifiedName());
+  }
+
+  if (!Thread.Stack.empty())
+    Thread.Stack.pop_back();
+  if (!Thread.Pending.isNull())
+    return defaultValueFor(Target->Sig.Ret.Kind);
+  return Result;
+}
+
+Value Vm::invokeByName(JThread &Thread, const char *ClassName,
+                       const char *MethodName, const char *Desc,
+                       const Value &Self, const std::vector<Value> &Args) {
+  if (Thread.Poisoned || Shutdown)
+    return Value::makeVoid();
+  Klass *Kl = findClass(ClassName);
+  if (!Kl) {
+    throwNew(Thread, "java/lang/NoClassDefFoundError", ClassName);
+    return Value::makeVoid();
+  }
+  MethodInfo *Method = Kl->findMethodAnyStatic(MethodName, Desc);
+  if (!Method) {
+    throwNew(Thread, "java/lang/NoSuchMethodError",
+             std::string(ClassName) + "." + MethodName);
+    return Value::makeVoid();
+  }
+  return invoke(Thread, Method, Self, Args, /*VirtualDispatch=*/true);
+}
+
+//===----------------------------------------------------------------------===
+// Global references
+//===----------------------------------------------------------------------===
+
+uint64_t Vm::newGlobalRef(ObjectId Target, bool Weak) {
+  if (Target.isNull())
+    return 0;
+  uint32_t Index;
+  if (!FreeGlobalSlots.empty()) {
+    Index = FreeGlobalSlots.back();
+    FreeGlobalSlots.pop_back();
+  } else {
+    Index = static_cast<uint32_t>(Globals.size());
+    Globals.emplace_back();
+  }
+  GlobalSlot &Slot = Globals[Index];
+  Slot.Gen += 1;
+  Slot.Live = true;
+  Slot.Weak = Weak;
+  Slot.Cleared = false;
+  Slot.Target = Target;
+
+  HandleBits Bits;
+  Bits.Kind = Weak ? RefKind::WeakGlobal : RefKind::Global;
+  Bits.Thread = 0;
+  Bits.Slot = Index;
+  Bits.Gen = Slot.Gen;
+  return encodeHandle(Bits);
+}
+
+LocalRefState Vm::globalRefState(const HandleBits &Bits) const {
+  if (Bits.Slot >= Globals.size())
+    return LocalRefState::NeverIssued;
+  const GlobalSlot &Slot = Globals[Bits.Slot];
+  if (Bits.Gen > Slot.Gen)
+    return LocalRefState::NeverIssued;
+  if (!Slot.Live || Slot.Gen != Bits.Gen)
+    return LocalRefState::Stale;
+  return LocalRefState::Live;
+}
+
+ObjectId Vm::resolveGlobal(const HandleBits &Bits) const {
+  if (globalRefState(Bits) != LocalRefState::Live)
+    return ObjectId();
+  const GlobalSlot &Slot = Globals[Bits.Slot];
+  return Slot.Cleared ? ObjectId() : Slot.Target;
+}
+
+bool Vm::deleteGlobalRef(const HandleBits &Bits) {
+  if (globalRefState(Bits) != LocalRefState::Live)
+    return false;
+  GlobalSlot &Slot = Globals[Bits.Slot];
+  Slot.Live = false;
+  Slot.Target = ObjectId();
+  Slot.Gen += 1;
+  FreeGlobalSlots.push_back(Bits.Slot);
+  return true;
+}
+
+size_t Vm::liveGlobalCount(bool Weak) const {
+  size_t N = 0;
+  for (const GlobalSlot &Slot : Globals)
+    if (Slot.Live && Slot.Weak == Weak)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// Central handle resolution
+//===----------------------------------------------------------------------===
+
+ObjectId Vm::resolveHandle(JThread &Current, uint64_t Word,
+                           bool *WasUndefined) {
+  if (WasUndefined)
+    *WasUndefined = false;
+  if (Word == 0)
+    return ObjectId();
+  if (Current.Poisoned)
+    return ObjectId();
+
+  std::optional<HandleBits> Bits = decodeHandle(Word);
+  if (!Bits) {
+    if (WasUndefined)
+      *WasUndefined = true;
+    undefined(Current, UndefinedOp::IdReferenceConfusion,
+              formatString("value %#llx is not a JNI reference",
+                           static_cast<unsigned long long>(Word)));
+    return ObjectId();
+  }
+  if (Bits->Kind == RefKind::Null)
+    return ObjectId();
+
+  if (Bits->Kind == RefKind::Local) {
+    JThread *Owner = threadById(Bits->Thread);
+    if (!Owner) {
+      if (WasUndefined)
+        *WasUndefined = true;
+      undefined(Current, UndefinedOp::DanglingLocalRef,
+                "local reference from a dead thread");
+      return ObjectId();
+    }
+    LocalRefState State = Owner->localRefState(*Bits);
+    if (State != LocalRefState::Live) {
+      if (WasUndefined)
+        *WasUndefined = true;
+      undefined(Current, UndefinedOp::DanglingLocalRef,
+                formatString("local reference slot %u of thread %u is %s",
+                             Bits->Slot, Bits->Thread,
+                             State == LocalRefState::Stale ? "stale"
+                                                           : "unknown"));
+      return ObjectId();
+    }
+    if (Owner != &Current) {
+      if (WasUndefined)
+        *WasUndefined = true;
+      ProductionOutcome Out =
+          undefined(Current, UndefinedOp::InvalidArgument,
+                    formatString("local reference of thread %u used on "
+                                 "thread %u",
+                                 Bits->Thread, Current.id()));
+      // An "Ignore" VM keeps running with the (accidentally valid) target.
+      if (Out == ProductionOutcome::Ignore)
+        return Owner->resolveLocal(*Bits);
+      return ObjectId();
+    }
+    ObjectId Target = Owner->resolveLocal(*Bits);
+    if (TheHeap.isStale(Target)) {
+      // The referenced object no longer exists (should not happen while the
+      // slot is live and GC roots include locals, but guard anyway).
+      return ObjectId();
+    }
+    return Target;
+  }
+
+  // Global / weak global.
+  LocalRefState State = globalRefState(*Bits);
+  if (State != LocalRefState::Live) {
+    if (WasUndefined)
+      *WasUndefined = true;
+    undefined(Current, UndefinedOp::DanglingGlobalRef,
+              formatString("%s reference slot %u is %s",
+                           Bits->Kind == RefKind::WeakGlobal ? "weak global"
+                                                             : "global",
+                           Bits->Slot,
+                           State == LocalRefState::Stale ? "stale"
+                                                         : "unknown"));
+    return ObjectId();
+  }
+  return resolveGlobal(*Bits);
+}
+
+Vm::PeekResult Vm::peekHandle(uint64_t Word, const JThread *Perspective) {
+  PeekResult Out;
+  if (Word == 0)
+    return Out;
+  std::optional<HandleBits> Bits = decodeHandle(Word);
+  if (!Bits || Bits->Kind == RefKind::Null) {
+    Out.S = PeekResult::Status::NotARef;
+    return Out;
+  }
+  Out.Kind = Bits->Kind;
+  if (Bits->Kind == RefKind::Local) {
+    Out.OwnerThread = Bits->Thread;
+    JThread *Owner = threadById(Bits->Thread);
+    if (!Owner) {
+      Out.S = PeekResult::Status::Stale;
+      return Out;
+    }
+    LocalRefState State = Owner->localRefState(*Bits);
+    if (State != LocalRefState::Live) {
+      Out.S = PeekResult::Status::Stale;
+      return Out;
+    }
+    Out.Target = Owner->resolveLocal(*Bits);
+    Out.S = (Perspective && Owner->id() != Perspective->id())
+                ? PeekResult::Status::WrongThreadLive
+                : PeekResult::Status::Live;
+    return Out;
+  }
+  LocalRefState State = globalRefState(*Bits);
+  if (State != LocalRefState::Live) {
+    Out.S = PeekResult::Status::Stale;
+    return Out;
+  }
+  Out.Target = resolveGlobal(*Bits);
+  Out.S = (Bits->Kind == RefKind::WeakGlobal && Out.Target.isNull())
+              ? PeekResult::Status::ClearedWeak
+              : PeekResult::Status::Live;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Monitors
+//===----------------------------------------------------------------------===
+
+MonitorResult Vm::monitorEnter(JThread &Thread, ObjectId Obj) {
+  auto It = Monitors.find(Obj.raw());
+  if (It == Monitors.end()) {
+    Monitors[Obj.raw()] = {Thread.id(), 1};
+    return MonitorResult::Ok;
+  }
+  if (It->second.OwnerThread == Thread.id()) {
+    It->second.Count += 1;
+    return MonitorResult::Ok;
+  }
+  Diags.report(IncidentKind::Note, "jvm",
+               formatString("monitor contention: thread %u blocked on a "
+                            "monitor owned by thread %u",
+                            Thread.id(), It->second.OwnerThread));
+  return MonitorResult::WouldBlock;
+}
+
+MonitorResult Vm::monitorExit(JThread &Thread, ObjectId Obj) {
+  auto It = Monitors.find(Obj.raw());
+  if (It == Monitors.end() || It->second.OwnerThread != Thread.id())
+    return MonitorResult::IllegalState;
+  if (--It->second.Count == 0)
+    Monitors.erase(It);
+  return MonitorResult::Ok;
+}
+
+//===----------------------------------------------------------------------===
+// Pinned resources
+//===----------------------------------------------------------------------===
+
+uint64_t Vm::pinObject(JThread &Thread, ObjectId Target, PinKind Kind) {
+  if (HeapObject *HO = TheHeap.resolve(Target))
+    HO->PinCount += 1;
+  uint64_t Cookie = NextPinCookie++;
+  Pins.push_back({Target, Kind, Thread.id(), Cookie});
+  return Cookie;
+}
+
+bool Vm::unpinObject(JThread &Thread, ObjectId Target, PinKind Kind) {
+  (void)Thread;
+  for (auto It = Pins.rbegin(); It != Pins.rend(); ++It) {
+    if (It->Target == Target && It->Kind == Kind) {
+      if (HeapObject *HO = TheHeap.resolve(Target))
+        if (HO->PinCount > 0)
+          HO->PinCount -= 1;
+      Pins.erase(std::next(It).base());
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===
+// Undefined behavior, GC, lifecycle
+//===----------------------------------------------------------------------===
+
+ProductionOutcome Vm::undefined(JThread &Thread, UndefinedOp Op,
+                                std::string Detail) {
+  ProductionOutcome Out = productionBehavior(Options.Flavor, Op);
+  std::string Msg =
+      formatString("%s (%s)", undefinedOpName(Op), Detail.c_str());
+  switch (Out) {
+  case ProductionOutcome::Ignore:
+    Diags.report(IncidentKind::UndefinedState, "jvm", std::move(Msg));
+    break;
+  case ProductionOutcome::Crash:
+    Diags.report(IncidentKind::SimulatedCrash, "jvm", std::move(Msg));
+    Thread.Poisoned = true;
+    break;
+  case ProductionOutcome::ThrowNpe:
+    throwNew(Thread, "java/lang/NullPointerException", std::move(Msg));
+    break;
+  case ProductionOutcome::Deadlock:
+    Diags.report(IncidentKind::PotentialDeadlock, "jvm", std::move(Msg));
+    Thread.Poisoned = true;
+    break;
+  }
+  return Out;
+}
+
+bool Vm::anyThreadInCritical() const {
+  for (const auto &Thread : Threads)
+    if (Thread->CriticalDepth > 0)
+      return true;
+  return false;
+}
+
+void Vm::collectRoots(std::vector<ObjectId> &Roots) {
+  for (Klass *Kl : ClassOrder) {
+    Roots.push_back(Kl->Mirror);
+    for (const auto &Field : Kl->Fields)
+      if (Field->IsStatic && Field->StaticValue.isRef())
+        Roots.push_back(Field->StaticValue.Obj);
+  }
+  for (const auto &Thread : Threads)
+    Thread->collectRoots(Roots);
+  for (const GlobalSlot &Slot : Globals)
+    if (Slot.Live && !Slot.Weak && !Slot.Cleared)
+      Roots.push_back(Slot.Target);
+  for (const PinRecord &Pin : Pins)
+    Roots.push_back(Pin.Target);
+  for (ObjectId Id : TempRootStack)
+    Roots.push_back(Id);
+}
+
+void Vm::gc() {
+  if (anyThreadInCritical()) {
+    Diags.report(IncidentKind::Note, "jvm",
+                 "GC request ignored: a thread holds a critical section");
+    return;
+  }
+  std::vector<ObjectId> Roots;
+  collectRoots(Roots);
+  TheHeap.collect(Roots, Options.MoveOnGc, [this] {
+    for (GlobalSlot &Slot : Globals) {
+      if (Slot.Live && Slot.Weak && !Slot.Cleared &&
+          !TheHeap.isMarked(Slot.Target)) {
+        Slot.Cleared = true;
+        Slot.Target = ObjectId();
+      }
+    }
+  });
+  AllocsSinceGc = 0;
+  for (VmEventObserver *Observer : Observers)
+    Observer->onGcFinish();
+}
+
+void Vm::maybeAutoGc() {
+  if (Options.AutoGcPeriod == 0)
+    return;
+  if (++AllocsSinceGc >= Options.AutoGcPeriod)
+    gc();
+}
+
+void Vm::shutdown() {
+  if (Shutdown)
+    return;
+  Shutdown = true;
+  for (VmEventObserver *Observer : Observers)
+    Observer->onVmDeath();
+}
+
+void Vm::addObserver(VmEventObserver *Observer) {
+  Observers.push_back(Observer);
+}
+
+void Vm::removeObserver(VmEventObserver *Observer) {
+  Observers.erase(std::remove(Observers.begin(), Observers.end(), Observer),
+                  Observers.end());
+}

@@ -1,0 +1,354 @@
+//===- jvm/Vm.h - The miniature Java virtual machine ---------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The miniature JVM the reproduction runs multilingual programs on. It
+/// owns the class registry, heap, threads, global/weak reference tables,
+/// monitors, pinned resources, and the undefined-behavior policy that makes
+/// production runs behave like Table 1's "Default Behavior" columns.
+///
+/// The JNI layer (src/jni) builds the 229-function JNIEnv on top of this
+/// class; the JVMTI layer (src/jvmti) observes it through VmEventObserver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVM_VM_H
+#define JINN_JVM_VM_H
+
+#include "jvm/Handle.h"
+#include "jvm/Heap.h"
+#include "jvm/JThread.h"
+#include "jvm/Klass.h"
+#include "jvm/Policy.h"
+#include "jvm/Value.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace jinn::jvm {
+
+/// Construction-time options.
+struct VmOptions {
+  VmFlavor Flavor = VmFlavor::HotSpotLike;
+  /// Capacity of the implicit local frame pushed around native calls. The
+  /// JNI specification guarantees 16.
+  uint32_t NativeFrameCapacity = 16;
+  /// Whether collections relocate surviving objects (simulated motion).
+  bool MoveOnGc = true;
+  /// Automatic GC every N allocations (0 = manual only).
+  uint32_t AutoGcPeriod = 0;
+  /// Echo incidents to stderr as they are recorded.
+  bool EchoDiagnostics = false;
+};
+
+/// JVMTI-style event observer. The JVMTI layer adapts agent callbacks onto
+/// this interface.
+class VmEventObserver {
+public:
+  virtual ~VmEventObserver();
+  virtual void onThreadStart(JThread &Thread) { (void)Thread; }
+  virtual void onThreadEnd(JThread &Thread) { (void)Thread; }
+  virtual void onVmDeath() {}
+  virtual void onGcFinish() {}
+};
+
+/// Result of a monitor operation.
+enum class MonitorResult : uint8_t { Ok, WouldBlock, IllegalState };
+
+/// How a resource was pinned (paper Figure 8, "pinned or copied").
+enum class PinKind : uint8_t { ArrayElements, StringChars, StringUtfChars,
+                               CriticalArray, CriticalString };
+
+/// An outstanding pin of a string or array.
+struct PinRecord {
+  ObjectId Target;
+  PinKind Kind;
+  uint32_t ThreadId;
+  uint64_t Cookie; ///< unique id, doubles as the released-buffer key
+};
+
+class Vm {
+public:
+  explicit Vm(VmOptions Options = VmOptions());
+  ~Vm();
+  Vm(const Vm &) = delete;
+  Vm &operator=(const Vm &) = delete;
+
+  const VmOptions &options() const { return Options; }
+  DiagnosticSink &diags() { return Diags; }
+  Heap &heap() { return TheHeap; }
+
+  //===--------------------------------------------------------------------===
+  // Classes
+  //===--------------------------------------------------------------------===
+
+  /// Defines a class from \p Def. Returns null (and records an error) when
+  /// the definition is malformed or the superclass is missing.
+  Klass *defineClass(const ClassDef &Def);
+
+  /// Looks up a class by internal name ("java/lang/String", "[I"). Array
+  /// classes are materialized on demand. Returns null when absent.
+  Klass *findClass(std::string_view Name);
+
+  /// The class of \p Obj, or null for null/stale ids.
+  Klass *klassOf(ObjectId Obj);
+
+  /// Class a mirror object stands for (null when \p Mirror is not a mirror).
+  Klass *klassFromMirror(ObjectId Mirror);
+
+  /// All loaded classes, in definition order.
+  const std::vector<Klass *> &loadedClasses() const { return ClassOrder; }
+
+  /// True when \p Ptr is a method (field) metadata pointer this VM issued.
+  /// JNI IDs are raw pointers; these registries let the simulator and the
+  /// checkers recognize garbage IDs without dereferencing them.
+  bool isMethodId(const void *Ptr) const { return MethodIdSet.count(Ptr); }
+  bool isFieldId(const void *Ptr) const { return FieldIdSet.count(Ptr); }
+
+  Klass *objectClass() const { return ObjectKlass; }
+  Klass *classClass() const { return ClassKlass; }
+  Klass *stringClass() const { return StringKlass; }
+  Klass *throwableClass() const { return ThrowableKlass; }
+
+  //===--------------------------------------------------------------------===
+  // Threads
+  //===--------------------------------------------------------------------===
+
+  JThread &mainThread() { return *Threads.front(); }
+  JThread &attachThread(std::string Name);
+  void detachThread(JThread &Thread);
+  JThread *threadById(uint32_t Id);
+  const std::vector<std::unique_ptr<JThread>> &threads() const {
+    return Threads;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Allocation and strings
+  //===--------------------------------------------------------------------===
+
+  ObjectId newObject(Klass *Kl);
+  ObjectId newString(std::string_view Utf8);
+  ObjectId newStringUtf16(std::u16string Chars);
+  ObjectId newPrimArray(JType ElemKind, size_t Len);
+  ObjectId newObjArray(Klass *ElemClass, size_t Len);
+
+  /// UTF-8 contents of a string object ("" for non-strings).
+  std::string utf8Of(ObjectId Str);
+
+  //===--------------------------------------------------------------------===
+  // Exceptions
+  //===--------------------------------------------------------------------===
+
+  /// Builds a throwable of class \p ClassName (which must extend
+  /// java/lang/Throwable) carrying \p Message and \p Cause, and capturing
+  /// \p Thread's current stack.
+  ObjectId makeThrowable(JThread &Thread, const char *ClassName,
+                         std::string Message, ObjectId Cause = ObjectId());
+
+  /// makeThrowable + set pending on \p Thread.
+  void throwNew(JThread &Thread, const char *ClassName, std::string Message);
+
+  /// Renders "Exception in thread ... \n at ... \nCaused by: ..." text in
+  /// the style of Figure 9(c).
+  std::string describeThrowable(ObjectId Throwable);
+
+  /// Accessors into throwable fields.
+  std::string throwableMessage(ObjectId Throwable);
+  ObjectId throwableCause(ObjectId Throwable);
+
+  //===--------------------------------------------------------------------===
+  // Invocation
+  //===--------------------------------------------------------------------===
+
+  /// Invokes \p Method. With \p VirtualDispatch, re-selects the
+  /// implementation from the dynamic class of \p Self. Returns the result or
+  /// the default value when an exception became pending.
+  Value invoke(JThread &Thread, MethodInfo *Method, const Value &Self,
+               const std::vector<Value> &Args, bool VirtualDispatch);
+
+  /// Convenience: look up and invoke ClassName.MethodName(Desc) on \p Self.
+  Value invokeByName(JThread &Thread, const char *ClassName,
+                     const char *MethodName, const char *Desc,
+                     const Value &Self, const std::vector<Value> &Args);
+
+  //===--------------------------------------------------------------------===
+  // Global / weak-global references
+  //===--------------------------------------------------------------------===
+
+  /// Creates a global (or weak-global) reference; returns the handle word.
+  uint64_t newGlobalRef(ObjectId Target, bool Weak);
+
+  /// Live/stale/never-issued classification mirroring LocalRefState.
+  LocalRefState globalRefState(const HandleBits &Bits) const;
+
+  /// Resolves a live global handle. A weak handle whose target was
+  /// collected resolves to null (legal per JNI).
+  ObjectId resolveGlobal(const HandleBits &Bits) const;
+
+  bool deleteGlobalRef(const HandleBits &Bits);
+
+  size_t liveGlobalCount(bool Weak) const;
+
+  //===--------------------------------------------------------------------===
+  // Central handle resolution (used by every JNI function)
+  //===--------------------------------------------------------------------===
+
+  /// Resolves \p Word as seen by \p Current. Invalid handles (wrong magic,
+  /// stale, wrong thread) flow through the undefined-behavior policy with
+  /// classification \p NullOpClass and resolve to null. \p WasUndefined is
+  /// set when the policy ran.
+  ObjectId resolveHandle(JThread &Current, uint64_t Word,
+                         bool *WasUndefined = nullptr);
+
+  /// Policy-free handle inspection for tools (JVMTI agents, checkers): never
+  /// records incidents, never poisons threads. \p Perspective is the thread
+  /// on whose behalf validity is judged (locals of other threads report
+  /// WrongThreadLive).
+  struct PeekResult {
+    enum class Status {
+      Null,
+      Live,
+      Stale,      ///< was valid once, no longer (deleted/popped/freed)
+      NotARef,    ///< bit pattern is not a reference handle at all
+      WrongThreadLive, ///< live local reference of a different thread
+      ClearedWeak,     ///< live weak handle whose target was collected
+    };
+    Status S = Status::Null;
+    ObjectId Target;
+    RefKind Kind = RefKind::Null;
+    uint32_t OwnerThread = 0;
+  };
+  PeekResult peekHandle(uint64_t Word, const JThread *Perspective);
+
+  //===--------------------------------------------------------------------===
+  // Monitors
+  //===--------------------------------------------------------------------===
+
+  MonitorResult monitorEnter(JThread &Thread, ObjectId Obj);
+  MonitorResult monitorExit(JThread &Thread, ObjectId Obj);
+  /// Number of distinct monitors currently held (any thread).
+  size_t heldMonitorCount() const { return Monitors.size(); }
+
+  //===--------------------------------------------------------------------===
+  // Pinned resources
+  //===--------------------------------------------------------------------===
+
+  /// Pins \p Target; returns the pin cookie.
+  uint64_t pinObject(JThread &Thread, ObjectId Target, PinKind Kind);
+  /// Unpins by target+kind (JNI release calls identify resources this way).
+  /// Returns false when no matching pin exists (double free).
+  bool unpinObject(JThread &Thread, ObjectId Target, PinKind Kind);
+  const std::vector<PinRecord> &pins() const { return Pins; }
+
+  //===--------------------------------------------------------------------===
+  // Undefined behavior, GC, lifecycle
+  //===--------------------------------------------------------------------===
+
+  /// Routes an undefined operation through the production policy: records
+  /// an incident, possibly poisons \p Thread or raises an NPE.
+  ProductionOutcome undefined(JThread &Thread, UndefinedOp Op,
+                              std::string Detail);
+
+  /// Forces a collection (skipped while any thread is in a critical region,
+  /// mirroring the "JVM disables GC" drastic measure).
+  void gc();
+
+  /// Allocation hook driving AutoGcPeriod.
+  void maybeAutoGc();
+
+  /// True while any thread holds a JNI critical section.
+  bool anyThreadInCritical() const;
+
+  /// Fires VM death events exactly once. Called by the destructor if the
+  /// embedder did not call it.
+  void shutdown();
+  bool isShutdown() const { return Shutdown; }
+
+  void addObserver(VmEventObserver *Observer);
+  void removeObserver(VmEventObserver *Observer);
+
+  /// Opaque backpointer to the JNI runtime built on this VM.
+  void *JniRuntimeHandle = nullptr;
+
+  /// RAII scope that keeps freshly allocated, not-yet-reachable objects
+  /// alive across further allocations (they are GC roots until the scope
+  /// closes). VM-internal construction sequences use this.
+  class TempRoots {
+  public:
+    explicit TempRoots(Vm &Owner)
+        : Owner(Owner), Base(Owner.TempRootStack.size()) {}
+    ~TempRoots() { Owner.TempRootStack.resize(Base); }
+    TempRoots(const TempRoots &) = delete;
+    TempRoots &operator=(const TempRoots &) = delete;
+    void add(ObjectId Id) { Owner.TempRootStack.push_back(Id); }
+
+  private:
+    Vm &Owner;
+    size_t Base;
+  };
+
+private:
+  void bootstrapCoreClasses();
+  Klass *defineArrayClass(std::string_view Name);
+  void collectRoots(std::vector<ObjectId> &Roots);
+
+  struct GlobalSlot {
+    ObjectId Target;
+    uint32_t Gen = 0;
+    bool Live = false;
+    bool Weak = false;
+    bool Cleared = false; ///< weak target collected
+  };
+
+  struct MonitorState {
+    uint32_t OwnerThread = 0;
+    uint32_t Count = 0;
+  };
+
+  VmOptions Options;
+  DiagnosticSink Diags;
+  Heap TheHeap;
+
+  std::map<std::string, std::unique_ptr<Klass>, std::less<>> Classes;
+  std::vector<Klass *> ClassOrder;
+  Klass *ObjectKlass = nullptr;
+  Klass *ClassKlass = nullptr;
+  Klass *StringKlass = nullptr;
+  Klass *ThrowableKlass = nullptr;
+
+  std::map<uint64_t, Klass *> MirrorToKlass;
+  std::unordered_set<const void *> MethodIdSet;
+  std::unordered_set<const void *> FieldIdSet;
+
+  std::vector<std::unique_ptr<JThread>> Threads;
+  uint32_t NextThreadId = 1;
+
+  std::vector<GlobalSlot> Globals;
+  std::vector<uint32_t> FreeGlobalSlots;
+
+  std::map<uint64_t, MonitorState> Monitors;
+
+  std::vector<PinRecord> Pins;
+  uint64_t NextPinCookie = 1;
+
+  std::vector<VmEventObserver *> Observers;
+  std::vector<ObjectId> TempRootStack;
+  uint32_t AllocsSinceGc = 0;
+  bool Shutdown = false;
+};
+
+/// UTF conversion helpers (BMP only; adequate for the experiments).
+std::u16string utf8ToUtf16(std::string_view Utf8);
+std::string utf16ToUtf8(const std::u16string &Chars);
+
+} // namespace jinn::jvm
+
+#endif // JINN_JVM_VM_H

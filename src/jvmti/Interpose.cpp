@@ -1,0 +1,206 @@
+//===- jvmti/Interpose.cpp - JNI function-table interposition ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvmti/Interpose.h"
+
+#include "jni/EnvImplDetail.h"
+
+#include <memory>
+
+using namespace jinn;
+using namespace jinn::jvmti;
+using jinn::jni::ArgClass;
+using jinn::jni::FnId;
+
+//===----------------------------------------------------------------------===
+// CapturedCall
+//===----------------------------------------------------------------------===
+
+jvm::MethodInfo *CapturedCall::methodArg() const {
+  int Index = Traits->firstParam(ArgClass::MethodId);
+  if (Index < 0)
+    return nullptr;
+  const void *Ptr = Args[Index].Ptr;
+  if (!Ptr || !vm().isMethodId(Ptr))
+    return nullptr;
+  return const_cast<jvm::MethodInfo *>(
+      static_cast<const jvm::MethodInfo *>(Ptr));
+}
+
+uint64_t CapturedCall::methodArgWord() const {
+  int Index = Traits->firstParam(ArgClass::MethodId);
+  return Index < 0 ? 0 : Args[Index].Word;
+}
+
+jvm::FieldInfo *CapturedCall::fieldArg() const {
+  int Index = Traits->firstParam(ArgClass::FieldId);
+  if (Index < 0)
+    return nullptr;
+  const void *Ptr = Args[Index].Ptr;
+  if (!Ptr || !vm().isFieldId(Ptr))
+    return nullptr;
+  return const_cast<jvm::FieldInfo *>(
+      static_cast<const jvm::FieldInfo *>(Ptr));
+}
+
+uint64_t CapturedCall::fieldArgWord() const {
+  int Index = Traits->firstParam(ArgClass::FieldId);
+  return Index < 0 ? 0 : Args[Index].Word;
+}
+
+bool CapturedCall::materializeCallArgs() {
+  CallArgs.clear();
+  int ArrIndex = Traits->firstParam(ArgClass::JvalueArray);
+  if (ArrIndex < 0)
+    return false;
+  jvm::MethodInfo *M = methodArg();
+  if (!M)
+    return false;
+  const jvalue *Raw = static_cast<const jvalue *>(Args[ArrIndex].Ptr);
+  size_t N = M->Sig.Params.size();
+  if (!Raw && N > 0)
+    return false;
+  CallArgs.assign(Raw, Raw + N);
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// InterposeDispatcher
+//===----------------------------------------------------------------------===
+
+void InterposeDispatcher::addPre(FnId Id, HookFn Hook) {
+  Pre[static_cast<size_t>(Id)].push_back(std::move(Hook));
+}
+
+void InterposeDispatcher::addPost(FnId Id, HookFn Hook) {
+  Post[static_cast<size_t>(Id)].push_back(std::move(Hook));
+}
+
+void InterposeDispatcher::addPreAll(HookFn Hook) {
+  PreAll.push_back(std::move(Hook));
+}
+
+void InterposeDispatcher::addPostAll(HookFn Hook) {
+  PostAll.push_back(std::move(Hook));
+}
+
+void InterposeDispatcher::runPre(CapturedCall &Call) const {
+  for (const HookFn &Hook : PreAll) {
+    Hook(Call);
+    if (Call.aborted())
+      return;
+  }
+  for (const HookFn &Hook : Pre[static_cast<size_t>(Call.id())]) {
+    Hook(Call);
+    if (Call.aborted())
+      return;
+  }
+}
+
+void InterposeDispatcher::runPost(CapturedCall &Call) const {
+  for (const HookFn &Hook : PostAll)
+    Hook(Call);
+  for (const HookFn &Hook : Post[static_cast<size_t>(Call.id())])
+    Hook(Call);
+}
+
+size_t InterposeDispatcher::hookCount() const {
+  size_t N = PreAll.size() + PostAll.size();
+  for (const auto &V : Pre)
+    N += V.size();
+  for (const auto &V : Post)
+    N += V.size();
+  return N;
+}
+
+size_t InterposeDispatcher::preCount(FnId Id) const {
+  return Pre[static_cast<size_t>(Id)].size();
+}
+
+void InterposeDispatcher::clear() {
+  for (auto &V : Pre)
+    V.clear();
+  for (auto &V : Post)
+    V.clear();
+  PreAll.clear();
+  PostAll.clear();
+}
+
+//===----------------------------------------------------------------------===
+// Generated wrappers and the interposed table
+//===----------------------------------------------------------------------===
+
+namespace {
+
+template <FnId Id, typename F, F Impl> struct MakeWrapper;
+
+template <FnId Id, typename Ret, typename... Args,
+          Ret (*Impl)(JNIEnv *, Args...)>
+struct MakeWrapper<Id, Ret (*)(JNIEnv *, Args...), Impl> {
+  static Ret fn(JNIEnv *Env, Args... As) {
+    auto *Dispatcher =
+        static_cast<InterposeDispatcher *>(Env->runtime->Dispatcher);
+    if (!Dispatcher)
+      return Impl(Env, As...);
+
+    CapturedCall Call(Id, Env);
+    (Call.captureOne(As), ...);
+    Dispatcher->runPre(Call);
+    if (Call.aborted()) {
+      // The checker suppressed the call (paper Figure 4: "raise a JNI
+      // exception" instead of executing the faulty call).
+      if constexpr (!std::is_void_v<Ret>)
+        return Ret{};
+      else
+        return;
+    }
+    if constexpr (std::is_void_v<Ret>) {
+      Impl(Env, As...);
+      Call.setReturnVoid();
+      Dispatcher->runPost(Call);
+    } else {
+      Ret Result = Impl(Env, As...);
+      Call.setReturn(Result);
+      Dispatcher->runPost(Call);
+      return Result;
+    }
+  }
+};
+
+// Variadic and va_list forms are not wrapped: they delegate (through the
+// active table) to the A forms, where the checks run exactly once.
+const JNINativeInterface_ InterposedTable = {
+#define JNI_FN(Name, Ret, Params, Args)                                      \
+  &MakeWrapper<FnId::Name, Ret(*) Params, &jinn::jni::impl_##Name>::fn,
+#define JNI_FN_VA(Name, Ret, Params, Args) &jinn::jni::impl_##Name,
+#define JNI_FN_VL(Name, Ret, Params, Args) &jinn::jni::impl_##Name,
+#include "jni/JniFunctions.def"
+#undef JNI_FN_VL
+#undef JNI_FN_VA
+#undef JNI_FN
+};
+
+} // namespace
+
+const JNINativeInterface_ *jinn::jvmti::interposedTable() {
+  return &InterposedTable;
+}
+
+InterposeDispatcher &jinn::jvmti::dispatcherFor(jni::JniRuntime &Runtime) {
+  if (!Runtime.Dispatcher) {
+    auto Owned = std::make_shared<InterposeDispatcher>();
+    Runtime.Dispatcher = Owned.get();
+    Runtime.DispatcherOwner = Owned;
+    Runtime.setActiveTable(interposedTable());
+  }
+  return *static_cast<InterposeDispatcher *>(Runtime.Dispatcher);
+}
+
+void jinn::jvmti::removeInterposition(jni::JniRuntime &Runtime) {
+  Runtime.Dispatcher = nullptr;
+  Runtime.DispatcherOwner.reset();
+  Runtime.setActiveTable(nullptr);
+}

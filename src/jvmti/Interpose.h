@@ -1,0 +1,206 @@
+//===- jvmti/Interpose.h - JNI function-table interposition framework ----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic interposition machinery every dynamic checker rides on:
+///
+///  - CapturedCall: a uniform view of one in-flight JNI call (function id,
+///    classified arguments, decoded call arguments, return value) handed to
+///    pre/post hooks. Hooks can abort the underlying call — that is how a
+///    checker "throws instead of executing" (paper Figure 4).
+///  - InterposeDispatcher: per-function lists of pre/post hooks. The paper's
+///    synthesizer populates these lists from state-machine specifications
+///    (Algorithm 1); the -Xcheck:jni emulations populate them by hand.
+///  - interposedTable(): a complete alternative JNINativeInterface whose
+///    entries wrap the default implementations with hook dispatch. The
+///    wrappers are *generated* from the registry at compile time — the
+///    runtime analogue of the paper's 22,000+ generated wrapper lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVMTI_INTERPOSE_H
+#define JINN_JVMTI_INTERPOSE_H
+
+#include "jni/JniFunctionId.h"
+#include "jni/JniRuntime.h"
+#include "jni/JniTraits.h"
+#include "jni/Marshal.h"
+#include "jvm/Vm.h"
+
+#include <array>
+#include <functional>
+#include <vector>
+
+namespace jinn::jvmti {
+
+/// One classified argument of an in-flight call.
+struct CapturedArg {
+  jni::ArgClass Cls = jni::ArgClass::Scalar;
+  uint64_t Word = 0;         ///< handle bits, ID bits, or scalar payload
+  const void *Ptr = nullptr; ///< cstring / jvalue array / out-pointer
+};
+
+/// A uniform view of one in-flight JNI call, passed to every hook.
+class CapturedCall {
+public:
+  CapturedCall(jni::FnId Id, JNIEnv *Env)
+      : Id(Id), Env(Env), Traits(&jni::fnTraits(Id)) {}
+
+  jni::FnId id() const { return Id; }
+  JNIEnv *env() const { return Env; }
+  jvm::JThread &thread() const { return *Env->thread; }
+  jvm::Vm &vm() const { return *Env->vm; }
+  jni::JniRuntime &runtime() const { return *Env->runtime; }
+  const jni::FnTraits &traits() const { return *Traits; }
+
+  size_t numArgs() const { return NumArgs; }
+  const CapturedArg &arg(size_t Index) const { return Args[Index]; }
+
+  /// Reference argument \p Index as a handle word (0 when not a ref).
+  uint64_t refWord(size_t Index) const {
+    return Args[Index].Cls == jni::ArgClass::Ref ? Args[Index].Word : 0;
+  }
+
+  /// The jmethodID argument, validated against the VM registry (nullptr
+  /// when absent or invalid).
+  jvm::MethodInfo *methodArg() const;
+  /// Raw bits of the jmethodID argument (even if invalid); 0 when absent.
+  uint64_t methodArgWord() const;
+  jvm::FieldInfo *fieldArg() const;
+  uint64_t fieldArgWord() const;
+
+  /// Decodes the jvalue-array argument against the method signature into
+  /// callArgs(). Returns false when there is no decodable argument vector.
+  bool materializeCallArgs();
+  const std::vector<jvalue> &callArgs() const { return CallArgs; }
+
+  //===------------------------------------------------------------------===
+  // Return value (valid in post hooks)
+  //===------------------------------------------------------------------===
+
+  bool hasReturn() const { return HasReturn; }
+  bool returnIsRef() const { return RetIsRef; }
+  uint64_t returnWord() const { return RetWord; }
+  const void *returnPtr() const { return RetPtr; }
+
+  //===------------------------------------------------------------------===
+  // Abort: a pre hook calls this to suppress the underlying call
+  //===------------------------------------------------------------------===
+
+  void abortCall() { Aborted = true; }
+  bool aborted() const { return Aborted; }
+
+  //===------------------------------------------------------------------===
+  // Capture plumbing (used by the generated wrappers)
+  //===------------------------------------------------------------------===
+
+  template <typename T>
+  std::enable_if_t<std::is_base_of_v<_jobject, T>> captureOne(T *V) {
+    push({jni::ArgClass::Ref, jni::handleWord(V), nullptr});
+  }
+  void captureOne(jmethodID V) {
+    push({jni::ArgClass::MethodId,
+          static_cast<uint64_t>(reinterpret_cast<uintptr_t>(V)), V});
+  }
+  void captureOne(jfieldID V) {
+    push({jni::ArgClass::FieldId,
+          static_cast<uint64_t>(reinterpret_cast<uintptr_t>(V)), V});
+  }
+  void captureOne(const char *V) {
+    push({jni::ArgClass::CString, 0, V});
+  }
+  void captureOne(const jvalue *V) {
+    push({jni::ArgClass::JvalueArray, 0, V});
+  }
+  template <typename T>
+  std::enable_if_t<std::is_arithmetic_v<T> || std::is_enum_v<T>>
+  captureOne(T V) {
+    push({jni::ArgClass::Scalar, static_cast<uint64_t>(V), nullptr});
+  }
+  template <typename T>
+  std::enable_if_t<!std::is_base_of_v<_jobject, T>> captureOne(T *V) {
+    push({jni::ArgClass::OutPtr,
+          static_cast<uint64_t>(reinterpret_cast<uintptr_t>(V)), V});
+  }
+
+  template <typename T> void setReturn(T V) {
+    HasReturn = true;
+    if constexpr (std::is_pointer_v<T> &&
+                  std::is_base_of_v<_jobject, std::remove_pointer_t<T>>) {
+      RetIsRef = true;
+      RetWord = jni::handleWord(V);
+    } else if constexpr (std::is_pointer_v<T>) {
+      RetPtr = V;
+      RetWord = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(V));
+    } else if constexpr (std::is_floating_point_v<T>) {
+      RetWord = 0;
+      RetDouble = static_cast<double>(V);
+    } else {
+      RetWord = static_cast<uint64_t>(V);
+    }
+  }
+  void setReturnVoid() { HasReturn = true; }
+
+private:
+  void push(CapturedArg Arg) { Args[NumArgs++] = Arg; }
+
+  jni::FnId Id;
+  JNIEnv *Env;
+  const jni::FnTraits *Traits;
+  std::array<CapturedArg, 5> Args;
+  size_t NumArgs = 0;
+  std::vector<jvalue> CallArgs;
+  bool HasReturn = false;
+  bool RetIsRef = false;
+  uint64_t RetWord = 0;
+  double RetDouble = 0.0;
+  const void *RetPtr = nullptr;
+  bool Aborted = false;
+};
+
+/// Hook invoked before (pre) or after (post) a JNI function executes.
+using HookFn = std::function<void(CapturedCall &)>;
+
+/// Per-function hook lists. One dispatcher serves all installed agents;
+/// each agent appends its own hooks.
+class InterposeDispatcher {
+public:
+  void addPre(jni::FnId Id, HookFn Hook);
+  void addPost(jni::FnId Id, HookFn Hook);
+  /// Hooks that run on *every* function (prepended to per-function lists).
+  void addPreAll(HookFn Hook);
+  void addPostAll(HookFn Hook);
+
+  void runPre(CapturedCall &Call) const;
+  void runPost(CapturedCall &Call) const;
+
+  /// Total number of registered hook attachment points (census support).
+  size_t hookCount() const;
+  /// Number of pre hooks for one function.
+  size_t preCount(jni::FnId Id) const;
+
+  void clear();
+
+private:
+  std::array<std::vector<HookFn>, jni::NumJniFunctions> Pre;
+  std::array<std::vector<HookFn>, jni::NumJniFunctions> Post;
+  std::vector<HookFn> PreAll;
+  std::vector<HookFn> PostAll;
+};
+
+/// The generated interposed function table (shared, immutable).
+const JNINativeInterface_ *interposedTable();
+
+/// Returns the dispatcher of \p Runtime, creating and installing the
+/// interposed table on first use.
+InterposeDispatcher &dispatcherFor(jni::JniRuntime &Runtime);
+
+/// Removes interposition from \p Runtime (restores the default table).
+void removeInterposition(jni::JniRuntime &Runtime);
+
+} // namespace jinn::jvmti
+
+#endif // JINN_JVMTI_INTERPOSE_H

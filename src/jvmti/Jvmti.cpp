@@ -1,0 +1,78 @@
+//===- jvmti/Jvmti.cpp - JVM Tools Interface ------------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvmti/Jvmti.h"
+
+using namespace jinn;
+using namespace jinn::jvmti;
+
+Agent::~Agent() = default;
+
+JvmtiEnv::JvmtiEnv(jni::JniRuntime &Runtime) : Runtime(Runtime) {
+  Runtime.vm().addObserver(this);
+  Runtime.addBindObserver(this);
+}
+
+JvmtiEnv::~JvmtiEnv() {
+  Runtime.removeBindObserver(this);
+  Runtime.vm().removeObserver(this);
+}
+
+void JvmtiEnv::setEventCallbacks(EventCallbacks NewCallbacks) {
+  Callbacks = std::move(NewCallbacks);
+}
+
+int64_t JvmtiEnv::getObjectIdentity(jobject Ref) {
+  jvm::Vm::PeekResult Peek =
+      vm().peekHandle(jni::handleWord(Ref), /*Perspective=*/nullptr);
+  if (Peek.S != jvm::Vm::PeekResult::Status::Live &&
+      Peek.S != jvm::Vm::PeekResult::Status::WrongThreadLive)
+    return 0;
+  return static_cast<int64_t>(Peek.Target.raw());
+}
+
+void JvmtiEnv::onThreadStart(jvm::JThread &Thread) {
+  if (Callbacks.ThreadStart)
+    Callbacks.ThreadStart(Thread);
+}
+
+void JvmtiEnv::onThreadEnd(jvm::JThread &Thread) {
+  if (Callbacks.ThreadEnd)
+    Callbacks.ThreadEnd(Thread);
+}
+
+void JvmtiEnv::onVmDeath() {
+  if (Callbacks.VmDeath)
+    Callbacks.VmDeath();
+}
+
+void JvmtiEnv::onGcFinish() {
+  if (Callbacks.GcFinish)
+    Callbacks.GcFinish();
+}
+
+void JvmtiEnv::onNativeMethodBind(jvm::MethodInfo &Method,
+                                  jni::JniNativeStdFn &Bound) {
+  if (Callbacks.NativeMethodBind)
+    Callbacks.NativeMethodBind(Method, Bound);
+}
+
+AgentHost::AgentHost(jni::JniRuntime &Runtime) : Runtime(Runtime) {}
+
+Agent &AgentHost::load(std::unique_ptr<Agent> TheAgent) {
+  auto Env = std::make_unique<JvmtiEnv>(Runtime);
+  Agent &Ref = *TheAgent;
+  Ref.onLoad(Runtime.javaVm(), *Env);
+  Agents.emplace_back(std::move(TheAgent), std::move(Env));
+  return Ref;
+}
+
+Agent *AgentHost::find(std::string_view Name) {
+  for (const auto &Pair : Agents)
+    if (Pair.first->name() == Name)
+      return Pair.first.get();
+  return nullptr;
+}

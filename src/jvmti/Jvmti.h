@@ -1,0 +1,109 @@
+//===- jvmti/Jvmti.h - JVM Tools Interface (events, agents) --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vendor-neutral tools interface Jinn relies on (paper §1, §4): agents
+/// are loaded with the VM, receive thread/VM-death/GC/native-bind events,
+/// may interpose on the JNI function table, and can inspect references
+/// without perturbing the program. "To the JVM, Jinn looks like normal user
+/// code, whereas to user code Jinn is invisible."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_JVMTI_JVMTI_H
+#define JINN_JVMTI_JVMTI_H
+
+#include "jvmti/Interpose.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace jinn::jvmti {
+
+/// Event callbacks an agent can register (SetEventCallbacks analogue).
+struct EventCallbacks {
+  std::function<void(jvm::JThread &)> ThreadStart;
+  std::function<void(jvm::JThread &)> ThreadEnd;
+  std::function<void()> VmDeath;
+  std::function<void()> GcFinish;
+  /// NativeMethodBind: may replace the bound function with a wrapper.
+  std::function<void(jvm::MethodInfo &, jni::JniNativeStdFn &)>
+      NativeMethodBind;
+};
+
+/// One agent's tools-interface environment.
+class JvmtiEnv : public jvm::VmEventObserver, public jni::NativeBindObserver {
+public:
+  explicit JvmtiEnv(jni::JniRuntime &Runtime);
+  ~JvmtiEnv() override;
+  JvmtiEnv(const JvmtiEnv &) = delete;
+  JvmtiEnv &operator=(const JvmtiEnv &) = delete;
+
+  jvm::Vm &vm() { return Runtime.vm(); }
+  jni::JniRuntime &runtime() { return Runtime; }
+
+  void setEventCallbacks(EventCallbacks Callbacks);
+
+  /// The shared hook dispatcher; first use installs the interposed table
+  /// (SetJNIFunctionTable analogue).
+  InterposeDispatcher &dispatcher() { return dispatcherFor(Runtime); }
+
+  /// Canonical object identity of a reference (tag analogue): stable for
+  /// an object's lifetime, 0 for null/invalid handles. Never trips the
+  /// undefined-behavior policy.
+  int64_t getObjectIdentity(jobject Ref);
+
+  /// Policy-free handle inspection from \p Perspective's point of view.
+  jvm::Vm::PeekResult peek(uint64_t Word, const jvm::JThread *Perspective) {
+    return vm().peekHandle(Word, Perspective);
+  }
+
+  void forceGarbageCollection() { vm().gc(); }
+
+  // VmEventObserver
+  void onThreadStart(jvm::JThread &Thread) override;
+  void onThreadEnd(jvm::JThread &Thread) override;
+  void onVmDeath() override;
+  void onGcFinish() override;
+  // NativeBindObserver
+  void onNativeMethodBind(jvm::MethodInfo &Method,
+                          jni::JniNativeStdFn &Bound) override;
+
+private:
+  jni::JniRuntime &Runtime;
+  EventCallbacks Callbacks;
+};
+
+/// A dynamic-analysis agent (-agentlib analogue). The host constructs a
+/// JvmtiEnv for each agent and calls onLoad.
+class Agent {
+public:
+  virtual ~Agent();
+  virtual const char *name() const = 0;
+  virtual void onLoad(JavaVM *Vm, JvmtiEnv &Jvmti) = 0;
+};
+
+/// Loads and owns agents for one VM, mirroring the JVM's -agentlib
+/// start-up path.
+class AgentHost {
+public:
+  explicit AgentHost(jni::JniRuntime &Runtime);
+
+  /// Loads \p TheAgent (fires its onLoad) and takes ownership.
+  Agent &load(std::unique_ptr<Agent> TheAgent);
+
+  Agent *find(std::string_view Name);
+
+private:
+  jni::JniRuntime &Runtime;
+  std::vector<std::pair<std::unique_ptr<Agent>, std::unique_ptr<JvmtiEnv>>>
+      Agents;
+};
+
+} // namespace jinn::jvmti
+
+#endif // JINN_JVMTI_JVMTI_H

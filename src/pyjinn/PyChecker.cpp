@@ -1,0 +1,381 @@
+//===- pyjinn/PyChecker.cpp - Synthesized Python/C dynamic checker -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pyjinn/PyChecker.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace jinn;
+using namespace jinn::pyjinn;
+using pyc::PyInterp;
+using pyc::PyObject;
+using pyc::Py_ssize_t;
+
+//===----------------------------------------------------------------------===
+// The reference specification (the synthesizer's input file, §7.2)
+//===----------------------------------------------------------------------===
+
+const std::vector<PyFnSpec> &jinn::pyjinn::pyFnSpecs() {
+  static const std::vector<PyFnSpec> Specs = {
+      {"Py_IncRef", RefReturn::NoRef, -1, -1, true, false},
+      {"Py_DecRef", RefReturn::NoRef, -1, -1, true, false},
+      {"PyInt_FromLong", RefReturn::New, -1, -1, false, false},
+      {"PyInt_AsLong", RefReturn::NoRef, -1, -1, false, false,
+       pyc::PyKind::Int, true},
+      {"PyString_FromString", RefReturn::New, -1, -1, false, false},
+      {"PyString_AsString", RefReturn::NoRef, -1, -1, false, false,
+       pyc::PyKind::Str, true},
+      {"PyList_New", RefReturn::New, -1, -1, false, false},
+      {"PyList_Size", RefReturn::NoRef, -1, -1, false, false,
+       pyc::PyKind::List, true},
+      {"PyList_GetItem", RefReturn::Borrowed, 0, -1, false, false,
+       pyc::PyKind::List, true},
+      {"PyList_SetItem", RefReturn::NoRef, -1, 2, false, false,
+       pyc::PyKind::List, true},
+      {"PyList_Append", RefReturn::NoRef, -1, -1, false, false,
+       pyc::PyKind::List, true},
+      {"PyTuple_New", RefReturn::New, -1, -1, false, false},
+      {"PyTuple_GetItem", RefReturn::Borrowed, 0, -1, false, false,
+       pyc::PyKind::Tuple, true},
+      {"PyTuple_SetItem", RefReturn::NoRef, -1, 2, false, false,
+       pyc::PyKind::Tuple, true},
+      {"Py_BuildValue", RefReturn::New, -1, -1, false, false},
+      {"Py_VaBuildValue", RefReturn::New, -1, -1, false, false},
+      {"PyErr_SetString", RefReturn::NoRef, -1, -1, true, false,
+       pyc::PyKind::ExcType, true},
+      {"PyErr_Occurred", RefReturn::Borrowed, -1, -1, true, false},
+      {"PyErr_Clear", RefReturn::NoRef, -1, -1, true, false},
+      {"PyGILState_Ensure", RefReturn::NoRef, -1, -1, true, true},
+      {"PyGILState_Release", RefReturn::NoRef, -1, -1, true, true},
+      {"PyEval_SaveThread", RefReturn::NoRef, -1, -1, true, true},
+      {"PyEval_RestoreThread", RefReturn::NoRef, -1, -1, true, true},
+  };
+  return Specs;
+}
+
+const PyFnSpec *jinn::pyjinn::pyFnSpec(const char *Name) {
+  for (const PyFnSpec &Spec : pyFnSpecs())
+    if (std::strcmp(Spec.Name, Name) == 0)
+      return &Spec;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===
+// Checker core
+//===----------------------------------------------------------------------===
+
+PyChecker *jinn::pyjinn::checkerOf(PyInterp &Interp) {
+  return static_cast<PyChecker *>(Interp.CheckerHandle);
+}
+
+void PyChecker::report(const char *Machine, const char *Fn,
+                       std::string Message) {
+  Violations.push_back({Machine, Fn, Message});
+  Interp.diags().report(IncidentKind::Note, "pyjinn",
+                        formatString("[%s] %s in %s", Machine,
+                                     Message.c_str(), Fn));
+  // Signal the error the Python way: a pending exception at the fault.
+  Interp.PendingType = Interp.excRuntimeError();
+  Interp.PendingMessage = formatString("pyjinn: %s in %s", Message.c_str(),
+                                       Fn);
+}
+
+void PyChecker::trackHandout(PyObject *Obj, PyObject *Owner) {
+  if (!Obj)
+    return;
+  HandoutGen[Obj] = Obj->Gen;
+  (void)Owner; // the owner relationship is implicit: when the owner dies,
+               // the borrowed object's slot dies/recycles with it
+}
+
+bool PyChecker::checkUse(const char *Fn, PyObject *Obj) {
+  if (!Obj)
+    return true; // null arguments are a different (production) concern
+  auto It = HandoutGen.find(Obj);
+  bool Dangling = Obj->Freed || (It != HandoutGen.end() &&
+                                 It->second != Obj->Gen);
+  if (!Dangling)
+    return true;
+  report("Reference ownership", Fn,
+         "use of a dangling reference (the co-owned object was released; "
+         "borrowed references to it are invalid)");
+  return false;
+}
+
+bool PyChecker::checkKind(const char *Fn, PyObject *Obj,
+                          pyc::PyKind Kind) {
+  if (!Obj || Obj->Freed)
+    return true; // nullness/danglingness are other machines' errors
+  if (Obj->Kind == Kind)
+    return true;
+  report("Type constraints", Fn,
+         formatString("argument has type %s where %s is required",
+                      pyc::pyKindName(Obj->Kind), pyc::pyKindName(Kind)));
+  return false;
+}
+
+bool PyChecker::preCall(const char *Fn,
+                        std::initializer_list<PyObject *> Refs) {
+  const PyFnSpec *Spec = pyFnSpec(Fn);
+  if (ShadowGilDepth <= 0 && (!Spec || !Spec->GilFunction)) {
+    report("GIL state", Fn, "Python/C API call without holding the GIL");
+    return false;
+  }
+  if (Interp.PendingType && (!Spec || !Spec->ExceptionOblivious)) {
+    report("Exception state", Fn,
+           "Python/C API call while an exception is pending");
+    return false;
+  }
+  for (PyObject *Ref : Refs)
+    if (!checkUse(Fn, Ref))
+      return false;
+  if (Spec && Spec->Param0Typed && Refs.size() > 0 &&
+      !checkKind(Fn, *Refs.begin(), Spec->Param0Kind))
+    return false;
+  return true;
+}
+
+void PyChecker::onDecRef(PyObject *Obj, bool Died) {
+  if (!Died || !Obj)
+    return;
+  // The co-owner relinquished the object; the object (and any container
+  // items it held) may now be recycled. Stale HandoutGen entries keep their
+  // recorded generation, so any later use through an old pointer reports.
+  (void)Obj;
+}
+
+size_t PyChecker::leakedObjects() const {
+  size_t Live = Interp.liveCount();
+  return Live > BaselineLive ? Live - BaselineLive : 0;
+}
+
+size_t PyChecker::countFor(const std::string &Machine) const {
+  size_t N = 0;
+  for (const PyViolation &V : Violations)
+    if (V.Machine == Machine)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// The generated wrappers (cf. the JNI interposed table)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+const pyc::PyApi *realApi() { return pyc::defaultPyApi(); }
+
+void wIncRef(PyInterp *I, PyObject *Obj) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("Py_IncRef", {Obj}))
+    return;
+  realApi()->Py_IncRef(I, Obj);
+}
+
+void wDecRef(PyInterp *I, PyObject *Obj) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("Py_DecRef", {Obj}))
+    return;
+  bool WasLive = I->isLive(Obj);
+  realApi()->Py_DecRef(I, Obj);
+  C->onDecRef(Obj, WasLive && !I->isLive(Obj));
+}
+
+PyObject *wIntFromLong(PyInterp *I, long V) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyInt_FromLong", {}))
+    return nullptr;
+  PyObject *Out = realApi()->PyInt_FromLong(I, V);
+  C->trackHandout(Out, nullptr);
+  return Out;
+}
+
+long wIntAsLong(PyInterp *I, PyObject *Obj) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyInt_AsLong", {Obj}))
+    return -1;
+  return realApi()->PyInt_AsLong(I, Obj);
+}
+
+PyObject *wStringFromString(PyInterp *I, const char *V) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyString_FromString", {}))
+    return nullptr;
+  PyObject *Out = realApi()->PyString_FromString(I, V);
+  C->trackHandout(Out, nullptr);
+  return Out;
+}
+
+const char *wStringAsString(PyInterp *I, PyObject *Obj) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyString_AsString", {Obj}))
+    return nullptr;
+  return realApi()->PyString_AsString(I, Obj);
+}
+
+PyObject *wListNew(PyInterp *I, Py_ssize_t N) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyList_New", {}))
+    return nullptr;
+  PyObject *Out = realApi()->PyList_New(I, N);
+  C->trackHandout(Out, nullptr);
+  return Out;
+}
+
+Py_ssize_t wListSize(PyInterp *I, PyObject *L) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyList_Size", {L}))
+    return -1;
+  return realApi()->PyList_Size(I, L);
+}
+
+PyObject *wListGetItem(PyInterp *I, PyObject *L, Py_ssize_t Index) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyList_GetItem", {L}))
+    return nullptr;
+  PyObject *Out = realApi()->PyList_GetItem(I, L, Index);
+  // A borrowed reference: valid only while the co-owner keeps the item.
+  C->trackHandout(Out, L);
+  return Out;
+}
+
+int wListSetItem(PyInterp *I, PyObject *L, Py_ssize_t Index, PyObject *Item) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyList_SetItem", {L, Item}))
+    return -1;
+  return realApi()->PyList_SetItem(I, L, Index, Item);
+}
+
+int wListAppend(PyInterp *I, PyObject *L, PyObject *Item) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyList_Append", {L, Item}))
+    return -1;
+  return realApi()->PyList_Append(I, L, Item);
+}
+
+PyObject *wTupleNew(PyInterp *I, Py_ssize_t N) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyTuple_New", {}))
+    return nullptr;
+  PyObject *Out = realApi()->PyTuple_New(I, N);
+  C->trackHandout(Out, nullptr);
+  return Out;
+}
+
+PyObject *wTupleGetItem(PyInterp *I, PyObject *T, Py_ssize_t Index) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyTuple_GetItem", {T}))
+    return nullptr;
+  PyObject *Out = realApi()->PyTuple_GetItem(I, T, Index);
+  C->trackHandout(Out, T);
+  return Out;
+}
+
+int wTupleSetItem(PyInterp *I, PyObject *T, Py_ssize_t Index,
+                  PyObject *Item) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyTuple_SetItem", {T, Item}))
+    return -1;
+  return realApi()->PyTuple_SetItem(I, T, Index, Item);
+}
+
+PyObject *wVaBuildValue(PyInterp *I, const char *Fmt, va_list Args) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("Py_VaBuildValue", {}))
+    return nullptr;
+  PyObject *Out = realApi()->Py_VaBuildValue(I, Fmt, Args);
+  C->trackHandout(Out, nullptr);
+  // Track the container's items too: extensions commonly borrow them.
+  if (Out)
+    for (PyObject *Item : Out->Items)
+      C->trackHandout(Item, Out);
+  return Out;
+}
+
+PyObject *wBuildValue(PyInterp *I, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  PyObject *Out = I->ActiveApi->Py_VaBuildValue(I, Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+void wErrSetString(PyInterp *I, PyObject *Type, const char *Message) {
+  PyChecker *C = checkerOf(*I);
+  if (!C->preCall("PyErr_SetString", {Type}))
+    return;
+  realApi()->PyErr_SetString(I, Type, Message);
+}
+
+PyObject *wErrOccurred(PyInterp *I) {
+  checkerOf(*I)->preCall("PyErr_Occurred", {});
+  return realApi()->PyErr_Occurred(I);
+}
+
+void wErrClear(PyInterp *I) {
+  checkerOf(*I)->preCall("PyErr_Clear", {});
+  realApi()->PyErr_Clear(I);
+}
+
+int wGilEnsure(PyInterp *I) {
+  PyChecker *C = checkerOf(*I);
+  C->ShadowGilDepth += 1;
+  return realApi()->PyGILState_Ensure(I);
+}
+
+void wGilRelease(PyInterp *I, int Handle) {
+  PyChecker *C = checkerOf(*I);
+  if (C->ShadowGilDepth <= 0) {
+    C->report("GIL state", "PyGILState_Release",
+              "release of a GIL this thread does not hold");
+    return;
+  }
+  C->ShadowGilDepth -= 1;
+  realApi()->PyGILState_Release(I, Handle);
+}
+
+void *wEvalSaveThread(PyInterp *I) {
+  PyChecker *C = checkerOf(*I);
+  if (C->ShadowGilDepth <= 0) {
+    C->report("GIL state", "PyEval_SaveThread",
+              "the GIL is not held (double save would deadlock)");
+    return nullptr;
+  }
+  C->ShadowGilDepth -= 1;
+  return realApi()->PyEval_SaveThread(I);
+}
+
+void wEvalRestoreThread(PyInterp *I, void *State) {
+  PyChecker *C = checkerOf(*I);
+  C->ShadowGilDepth += 1;
+  realApi()->PyEval_RestoreThread(I, State);
+}
+
+const pyc::PyApi CheckedApi = {
+    wIncRef,        wDecRef,       wIntFromLong,  wIntAsLong,
+    wStringFromString, wStringAsString, wListNew,  wListSize,
+    wListGetItem,   wListSetItem,  wListAppend,   wTupleNew,
+    wTupleGetItem,  wTupleSetItem, wBuildValue,   wVaBuildValue,
+    wErrSetString,  wErrOccurred,  wErrClear,     wGilEnsure,
+    wGilRelease,    wEvalSaveThread, wEvalRestoreThread,
+};
+
+} // namespace
+
+PyChecker::PyChecker(PyInterp &Interp)
+    : Interp(Interp), SavedTable(Interp.ActiveApi),
+      BaselineLive(Interp.liveCount()) {
+  Interp.CheckerHandle = this;
+  pyc::setActivePyApi(Interp, &CheckedApi);
+  ShadowGilDepth = Interp.GilDepth;
+}
+
+PyChecker::~PyChecker() {
+  pyc::setActivePyApi(Interp, SavedTable);
+  Interp.CheckerHandle = nullptr;
+}

@@ -1,0 +1,122 @@
+//===- pyjinn/PyChecker.h - Synthesized Python/C dynamic checker ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §7 generalization: the same three constraint classes applied
+/// to Python/C, synthesized from a specification of which API functions
+/// return new vs. borrowed references (RefSpec). The generated checker
+/// tracks co-owned references and their borrowers; when a co-owner
+/// relinquishes an object (Py_DECREF dropping it to zero), its borrowers
+/// become invalid, and any use of an invalid reference is reported
+/// (Figure 11's dangle_bug). Interpreter-state machines (GIL, pending
+/// exception) round out the three classes of §7.1.
+///
+/// Interposition is a PyApi table swap (see pyc/PyRuntime.h for the
+/// substitution note).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_PYJINN_PYCHECKER_H
+#define JINN_PYJINN_PYCHECKER_H
+
+#include "pyc/PyRuntime.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jinn::pyjinn {
+
+/// How a Python/C function treats references (the specification file the
+/// synthesizer consumes, paper §7.2).
+enum class RefReturn : uint8_t { NoRef, New, Borrowed };
+
+struct PyFnSpec {
+  const char *Name;
+  RefReturn Return = RefReturn::NoRef;
+  int BorrowSourceParam = -1; ///< which parameter owns the borrowed result
+  int StealsParam = -1;       ///< parameter whose reference is stolen
+  bool ExceptionOblivious = false;
+  bool GilFunction = false; ///< manipulates the GIL itself
+  /// Dynamic type constraint on the primary object parameter (§7.1 "type
+  /// constraints"): the interpreter sometimes forgoes this check for
+  /// performance; the checker always performs it. None = unconstrained.
+  pyc::PyKind Param0Kind = pyc::PyKind::None;
+  bool Param0Typed = false;
+};
+
+/// The reference specification of every covered API function.
+const std::vector<PyFnSpec> &pyFnSpecs();
+const PyFnSpec *pyFnSpec(const char *Name);
+
+/// One checker report.
+struct PyViolation {
+  std::string Machine;  ///< "Reference ownership" / "GIL state" /
+                        ///< "Exception state"
+  std::string Function; ///< API function at fault
+  std::string Message;
+};
+
+/// The synthesized dynamic checker. Construction interposes on the
+/// interpreter's API table; destruction restores it.
+class PyChecker {
+public:
+  explicit PyChecker(pyc::PyInterp &Interp);
+  ~PyChecker();
+  PyChecker(const PyChecker &) = delete;
+  PyChecker &operator=(const PyChecker &) = delete;
+
+  const std::vector<PyViolation> &violations() const { return Violations; }
+  void clearViolations() { Violations.clear(); }
+  size_t countFor(const std::string &Machine) const;
+
+  /// End-of-run leak check: live non-singleton objects beyond the count at
+  /// checker construction.
+  size_t leakedObjects() const;
+
+  //===--------------------------------------------------------------------===
+  // Internal interface used by the generated wrappers
+  //===--------------------------------------------------------------------===
+
+  /// Records a reference handed to extension code (owner or borrower).
+  void trackHandout(pyc::PyObject *Obj, pyc::PyObject *Owner);
+
+  /// Returns false (and reports) when \p Obj is dangling/invalidated.
+  bool checkUse(const char *Fn, pyc::PyObject *Obj);
+
+  /// §7.1 type constraints: \p Obj must be a live object of \p Kind.
+  bool checkKind(const char *Fn, pyc::PyObject *Obj, pyc::PyKind Kind);
+
+  /// Pre-call checks shared by every wrapper: GIL held, no pending
+  /// exception (unless oblivious), every pointer argument valid. Returns
+  /// false when the call must be suppressed.
+  bool preCall(const char *Fn, std::initializer_list<pyc::PyObject *> Refs);
+
+  /// Bookkeeping for Py_DecRef (invalidates borrowers of a dying owner).
+  void onDecRef(pyc::PyObject *Obj, bool Died);
+
+  void report(const char *Machine, const char *Fn, std::string Message);
+
+  pyc::PyInterp &interp() { return Interp; }
+  int ShadowGilDepth = 1;
+
+private:
+  pyc::PyInterp &Interp;
+  const pyc::PyApi *SavedTable;
+  size_t BaselineLive;
+  std::vector<PyViolation> Violations;
+
+  /// Pointer -> generation at hand-out; a mismatch means the slot was
+  /// recycled and the extension's pointer dangles.
+  std::map<const pyc::PyObject *, uint32_t> HandoutGen;
+};
+
+/// Retrieves the checker installed on \p Interp (null when none).
+PyChecker *checkerOf(pyc::PyInterp &Interp);
+
+} // namespace jinn::pyjinn
+
+#endif // JINN_PYJINN_PYCHECKER_H

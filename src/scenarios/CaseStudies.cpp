@@ -1,0 +1,76 @@
+//===- scenarios/CaseStudies.cpp - §6.4 open-source bug reproductions ----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/CaseStudies.h"
+
+using namespace jinn;
+using namespace jinn::scenarios;
+
+std::vector<size_t> jinn::scenarios::subversionLocalRefSeries(bool Fixed,
+                                                              size_t Entries) {
+  WorldConfig Config;
+  Config.Checker = CheckerKind::Jinn;
+  ScenarioWorld World(Config);
+
+  std::vector<size_t> Series;
+  World.runAsNative("Outputer", [&](JNIEnv *Env) {
+    // A few long-lived references a real status walk keeps around.
+    for (int I = 0; I < 4; ++I)
+      Env->functions->NewStringUTF(Env, "column header");
+    for (size_t Entry = 0; Entry < Entries; ++Entry) {
+      // jstring jreportUUID = JNIUtil::makeJString(info->reposUUID);
+      jstring ReportUuid =
+          Env->functions->NewStringUTF(Env, "8e9c-4f2a-entry-uuid");
+      Env->functions->GetStringUTFLength(Env, ReportUuid);
+      if (Fixed) {
+        // The fix the Subversion developers applied (§6.4.1):
+        //   env->DeleteLocalRef(jreportUUID);
+        Env->functions->DeleteLocalRef(Env, ReportUuid);
+      }
+      // Jinn throws on the overflowing acquisition; the original C code
+      // has no exception check here, so execution continues — clear the
+      // failure the way a real harness rerunning the loop would observe.
+      if (Env->functions->ExceptionCheck(Env))
+        Env->functions->ExceptionClear(Env);
+      Series.push_back(World.Jinn->machines().LocalRef.liveCount(
+          Env->thread->id()));
+    }
+  });
+  World.shutdown();
+  return Series;
+}
+
+void jinn::scenarios::runSubversionDestructorBug(ScenarioWorld &World) {
+  World.runAsNative("CopySources", [](JNIEnv *Env) {
+    // { JNIStringHolder path(jpath);
+    jstring JPath = Env->functions->NewStringUTF(Env, "/trunk/copy.c");
+    jstring MJtext = JPath; // path::m_jtext
+    const char *MStr =
+        Env->functions->GetStringUTFChars(Env, JPath, nullptr);
+    //   env->DeleteLocalRef(jpath); }
+    Env->functions->DeleteLocalRef(Env, JPath);
+    // ~JNIStringHolder(): m_env->ReleaseStringUTFChars(m_jtext, m_str);
+    // BUG: m_jtext is dead. Production VMs ignore it (Jikes RVM-style),
+    // so the bug is a time bomb only a checker reports.
+    Env->functions->ReleaseStringUTFChars(Env, MJtext, MStr);
+  });
+}
+
+void jinn::scenarios::runJavaGnomeNullness(ScenarioWorld &World) {
+  World.runAsNative("JavaGnomeSignal", [](JNIEnv *Env) {
+    jclass Cls = Env->functions->FindClass(Env, "java/lang/Object");
+    // BUG: a null method name reaches GetMethodID.
+    Env->functions->GetMethodID(Env, Cls, nullptr, "()V");
+  });
+}
+
+void jinn::scenarios::runJavaGnomeCallbackBug(ScenarioWorld &World) {
+  runMicrobenchmark(MicroId::LocalDangling, World);
+}
+
+void jinn::scenarios::runEclipseSwtBug(ScenarioWorld &World) {
+  runMicrobenchmark(MicroId::EntityTypeMismatch, World);
+}

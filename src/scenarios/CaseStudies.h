@@ -1,0 +1,49 @@
+//===- scenarios/CaseStudies.h - §6.4 open-source bug reproductions ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ports of the real-world bugs the paper's usability section found with
+/// Jinn: Subversion's local-reference overflow and destructor
+/// use-after-release (§6.4.1), Java-gnome's nullness and dangling-callback
+/// bugs (§6.4.2), and Eclipse/SWT's entity-typing violation (§6.4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SCENARIOS_CASESTUDIES_H
+#define JINN_SCENARIOS_CASESTUDIES_H
+
+#include "scenarios/Scenarios.h"
+
+#include <vector>
+
+namespace jinn::scenarios {
+
+/// §6.4.1 / Figure 10: runs a Subversion-like status walk that creates one
+/// jstring per repository entry under Jinn, sampling the live
+/// local-reference count after each entry. \p Fixed inserts the
+/// DeleteLocalRef the Subversion developers added. Returns one sample per
+/// entry.
+std::vector<size_t> subversionLocalRefSeries(bool Fixed, size_t Entries = 32);
+
+/// §6.4.1: the JNIStringHolder destructor releasing through a dangling
+/// local reference (CopySources.cpp). Benign on production VMs that ignore
+/// the object parameter of ReleaseStringUTFChars — a time bomb.
+void runSubversionDestructorBug(ScenarioWorld &World);
+
+/// §6.4.2: Java-gnome's nullness bug (also found by the Blink debugger).
+void runJavaGnomeNullness(ScenarioWorld &World);
+
+/// §6.4.2: Java-gnome bug 576111 — the dangling callback receiver of
+/// Figure 1 (same shape as the LocalDangling microbenchmark).
+void runJavaGnomeCallbackBug(ScenarioWorld &World);
+
+/// §6.4.3: Eclipse/SWT — CallStatic through a class that merely inherits
+/// the method (same shape as the EntityTypeMismatch microbenchmark).
+void runEclipseSwtBug(ScenarioWorld &World);
+
+} // namespace jinn::scenarios
+
+#endif // JINN_SCENARIOS_CASESTUDIES_H

@@ -1,0 +1,366 @@
+//===- scenarios/Micros.cpp - The microbenchmark bodies -------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One small JNI program per machine error state (paper §6.1). Each runs
+/// as a static native method invoked from a Java `main`, exactly like the
+/// paper's microbenchmarks, and each contains precisely one bug.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/Scenarios.h"
+
+#include "support/Compiler.h"
+
+using namespace jinn;
+using namespace jinn::scenarios;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// JVM state constraints
+//===----------------------------------------------------------------------===
+
+void microEnvMismatch(ScenarioWorld &W) {
+  W.runAsNative("JNIEnvMismatch", [&W](JNIEnv *) {
+    // BUG: use a freshly attached worker thread's JNIEnv while executing
+    // on the main thread (pitfall 14).
+    jvm::JThread &Worker = W.Vm.attachThread("worker");
+    JNIEnv *WorkerEnv = W.Rt.envFor(Worker);
+    WorkerEnv->functions->FindClass(WorkerEnv, "java/lang/String");
+  });
+}
+
+void microPendingException(ScenarioWorld &W) {
+  // The Figure 9 microbenchmark: Java foo() throws; the native code
+  // ignores the pending exception and calls two more JNI functions.
+  jvm::ClassDef Def;
+  Def.Name = "ExceptionState";
+  Def.nativeMethod("call", "()V", /*IsStatic=*/true);
+  Def.method(
+      "main", "()V",
+      [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
+         const std::vector<jvm::Value> &) {
+        V.invokeByName(T, "ExceptionState", "call", "()V",
+                       jvm::Value::makeNull(), {});
+        return jvm::Value::makeVoid();
+      },
+      /*IsStatic=*/true, "ExceptionState.java:5");
+  Def.method(
+      "foo", "()V",
+      [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
+         const std::vector<jvm::Value> &) {
+        V.throwNew(T, "java/lang/RuntimeException", "checked by native code");
+        return jvm::Value::makeVoid();
+      },
+      /*IsStatic=*/false, "ExceptionState.java:9");
+  W.Vm.defineClass(Def);
+
+  W.Rt.registerNative(
+      W.Vm.findClass("ExceptionState"), "call", "()V",
+      [](JNIEnv *Env, jobject Self, const jvalue *) -> jvalue {
+        jclass Cls = static_cast<jclass>(Self);
+        jobject Obj = Env->functions->AllocObject(Env, Cls);
+        jmethodID Foo = Env->functions->GetMethodID(Env, Cls, "foo", "()V");
+        // Raise the Java exception...
+        Env->functions->CallVoidMethodA(Env, Obj, Foo, nullptr);
+        // BUG: ...and ignore it. Both calls below are exception-sensitive
+        // (the two illegal calls of Figure 9).
+        jmethodID Again =
+            Env->functions->GetMethodID(Env, Cls, "foo", "()V");
+        Env->functions->CallVoidMethodA(Env, Obj, Again, nullptr);
+        jvalue R;
+        R.j = 0;
+        return R;
+      });
+  W.Vm.invokeByName(W.Vm.mainThread(), "ExceptionState", "main", "()V",
+                    jvm::Value::makeNull(), {});
+}
+
+void microCriticalViolation(ScenarioWorld &W) {
+  W.runAsNative("CriticalRegion", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 8);
+    void *Carray =
+        Env->functions->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+    // BUG: FindClass is critical-section sensitive (pitfall 16).
+    Env->functions->FindClass(Env, "java/lang/String");
+    Env->functions->ReleasePrimitiveArrayCritical(Env, Arr, Carray, 0);
+  });
+}
+
+//===----------------------------------------------------------------------===
+// Type constraints
+//===----------------------------------------------------------------------===
+
+void microFixedTypeMismatch(ScenarioWorld &W) {
+  W.runAsNative("ClassConfusion", [](JNIEnv *Env) {
+    jclass Object = Env->functions->FindClass(Env, "java/lang/Object");
+    jobject Plain = Env->functions->AllocObject(Env, Object);
+    // BUG: a plain object is not a java.lang.Class (pitfall 3).
+    Env->functions->GetMethodID(Env, reinterpret_cast<jclass>(Plain),
+                                "toString", "()Ljava/lang/String;");
+  });
+}
+
+void microEntityTypeMismatch(ScenarioWorld &W) {
+  // The Eclipse/SWT shape (paper §6.4.3): the method is declared by the
+  // superclass; the subclass merely inherits it.
+  jvm::ClassDef Base;
+  Base.Name = "swt/Base";
+  Base.method(
+      "handler", "()V",
+      [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+         const std::vector<jvm::Value> &) { return jvm::Value::makeVoid(); },
+      /*IsStatic=*/true, "Base.java:10");
+  W.Vm.defineClass(Base);
+  jvm::ClassDef Sub;
+  Sub.Name = "swt/Widget";
+  Sub.Super = "swt/Base";
+  W.Vm.defineClass(Sub);
+
+  W.runAsNative("EntityType", [](JNIEnv *Env) {
+    jclass Widget = Env->functions->FindClass(Env, "swt/Widget");
+    jmethodID Mid =
+        Env->functions->GetStaticMethodID(Env, Widget, "handler", "()V");
+    // BUG: swt/Widget does not declare the static method.
+    Env->functions->CallStaticVoidMethodA(Env, Widget, Mid, nullptr);
+  });
+}
+
+void microFinalFieldWrite(ScenarioWorld &W) {
+  jvm::ClassDef Def;
+  Def.Name = "Config";
+  Def.field("LIMIT", "I", /*IsStatic=*/true, /*IsFinal=*/true);
+  W.Vm.defineClass(Def);
+
+  W.runAsNative("FinalField", [](JNIEnv *Env) {
+    jclass Config = Env->functions->FindClass(Env, "Config");
+    jfieldID Limit =
+        Env->functions->GetStaticFieldID(Env, Config, "LIMIT", "I");
+    // BUG: assignment to a final field (pitfall 9).
+    Env->functions->SetStaticIntField(Env, Config, Limit, 42);
+  });
+}
+
+void microNullArgument(ScenarioWorld &W) {
+  W.runAsNative("NullArg", [](JNIEnv *Env) {
+    // BUG: the string must not be null (pitfall 2).
+    Env->functions->GetStringUTFChars(Env, nullptr, nullptr);
+  });
+}
+
+//===----------------------------------------------------------------------===
+// Resource constraints
+//===----------------------------------------------------------------------===
+
+void microPinLeak(ScenarioWorld &W) {
+  W.runAsNative("PinLeak", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 16);
+    // BUG: the elements buffer is never released (pitfall 11).
+    Env->functions->GetIntArrayElements(Env, Arr, nullptr);
+  });
+}
+
+void microPinDoubleFree(ScenarioWorld &W) {
+  W.runAsNative("PinDoubleFree", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 16);
+    jint *Elems = Env->functions->GetIntArrayElements(Env, Arr, nullptr);
+    Env->functions->ReleaseIntArrayElements(Env, Arr, Elems, 0);
+    // BUG: second release of the same buffer.
+    Env->functions->ReleaseIntArrayElements(Env, Arr, Elems, 0);
+  });
+}
+
+void microMonitorLeak(ScenarioWorld &W) {
+  W.runAsNative("MonitorLeak", [](JNIEnv *Env) {
+    jclass Object = Env->functions->FindClass(Env, "java/lang/Object");
+    jobject Lock = Env->functions->AllocObject(Env, Object);
+    // BUG: the monitor is never exited (pitfall 11 / deadlock risk).
+    Env->functions->MonitorEnter(Env, Lock);
+  });
+}
+
+void microGlobalRefLeak(ScenarioWorld &W) {
+  W.runAsNative("GlobalLeak", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "retained");
+    // BUG: the global reference is never deleted (pitfall 11).
+    Env->functions->NewGlobalRef(Env, S);
+  });
+}
+
+void microGlobalRefDangling(ScenarioWorld &W) {
+  W.runAsNative("GlobalDangling", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "shortlived");
+    jobject Global = Env->functions->NewGlobalRef(Env, S);
+    Env->functions->DeleteGlobalRef(Env, Global);
+    // BUG: use after delete.
+    Env->functions->GetStringUTFLength(Env,
+                                       static_cast<jstring>(Global));
+  });
+}
+
+void microLocalOverflow(ScenarioWorld &W) {
+  W.runAsNative("LocalOverflow", [](JNIEnv *Env) {
+    // BUG: creates 24 local references without EnsureLocalCapacity; the
+    // JNI specification only guarantees 16 (pitfall 12, and the
+    // Subversion overflow of §6.4.1).
+    for (int I = 0; I < 24; ++I)
+      Env->functions->NewStringUTF(Env, "yet another local reference");
+  });
+}
+
+void microLocalFrameLeak(ScenarioWorld &W) {
+  W.runAsNative("LocalFrameLeak", [](JNIEnv *Env) {
+    Env->functions->PushLocalFrame(Env, 32);
+    Env->functions->NewStringUTF(Env, "inside the pushed frame");
+    // BUG: returns to Java without PopLocalFrame.
+  });
+}
+
+void microLocalDangling(ScenarioWorld &W) {
+  // The GNOME bug of Figure 1: a native method stores a local reference
+  // into C heap state; a later call-back uses it after its frame died.
+  static jobject EscapedReceiver;
+  EscapedReceiver = nullptr;
+
+  jvm::ClassDef Def;
+  Def.Name = "Callback";
+  Def.nativeMethod("bind", "(Ljava/lang/String;)V", /*IsStatic=*/true);
+  Def.nativeMethod("fire", "()V", /*IsStatic=*/true);
+  Def.method(
+      "main", "()V",
+      [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
+         const std::vector<jvm::Value> &) {
+        jvm::Vm::TempRoots Scope(V);
+        jvm::ObjectId Receiver = V.newString("receiver");
+        Scope.add(Receiver);
+        V.invokeByName(T, "Callback", "bind", "(Ljava/lang/String;)V",
+                       jvm::Value::makeNull(),
+                       {jvm::Value::makeRef(Receiver)});
+        V.invokeByName(T, "Callback", "fire", "()V", jvm::Value::makeNull(),
+                       {});
+        return jvm::Value::makeVoid();
+      },
+      /*IsStatic=*/true, "Callback.java:5");
+  W.Vm.defineClass(Def);
+
+  W.Rt.registerNative(W.Vm.findClass("Callback"), "bind",
+                      "(Ljava/lang/String;)V",
+                      [](JNIEnv *, jobject, const jvalue *Args) -> jvalue {
+                        // cb->receiver = receiver; (Figure 1, line 6)
+                        EscapedReceiver = Args[0].l;
+                        jvalue R;
+                        R.j = 0;
+                        return R;
+                      });
+  W.Rt.registerNative(
+      W.Vm.findClass("Callback"), "fire", "()V",
+      [](JNIEnv *Env, jobject, const jvalue *) -> jvalue {
+        // BUG: dereference of the now-invalid cb->receiver (line 15).
+        Env->functions->GetStringUTFLength(
+            Env, static_cast<jstring>(EscapedReceiver));
+        jvalue R;
+        R.j = 0;
+        return R;
+      });
+  W.Vm.invokeByName(W.Vm.mainThread(), "Callback", "main", "()V",
+                    jvm::Value::makeNull(), {});
+}
+
+void microLocalDoubleFree(ScenarioWorld &W) {
+  W.runAsNative("LocalDoubleFree", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "deleted twice");
+    Env->functions->DeleteLocalRef(Env, S);
+    // BUG: second delete of the same local reference (pitfall 13).
+    Env->functions->DeleteLocalRef(Env, S);
+  });
+}
+
+void microIdRefConfusion(ScenarioWorld &W) {
+  jvm::ClassDef Def;
+  Def.Name = "IdHolder";
+  Def.method(
+      "id", "()V",
+      [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+         const std::vector<jvm::Value> &) { return jvm::Value::makeVoid(); },
+      /*IsStatic=*/true, "IdHolder.java:3");
+  W.Vm.defineClass(Def);
+
+  W.runAsNative("IdConfusion", [](JNIEnv *Env) {
+    jclass Holder = Env->functions->FindClass(Env, "IdHolder");
+    jmethodID Mid =
+        Env->functions->GetStaticMethodID(Env, Holder, "id", "()V");
+    // BUG: a jmethodID is not a reference (pitfall 6).
+    Env->functions->IsSameObject(Env, reinterpret_cast<jobject>(Mid),
+                                 nullptr);
+  });
+}
+
+void microUnterminatedString(ScenarioWorld &W) {
+  W.runAsNative("UnterminatedString", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "no terminator");
+    jsize Len = Env->functions->GetStringLength(Env, S);
+    const jchar *Chars = Env->functions->GetStringChars(Env, S, nullptr);
+    // BUG: scans for a NUL terminator that GetStringChars does not
+    // guarantee (pitfall 8). Reading past the end is C-level undefined
+    // behavior the simulator surfaces through the production policy; no
+    // JNI function is involved, so boundary checking cannot see it.
+    bool FoundTerminator = false;
+    for (jsize I = 0; I < Len; ++I)
+      FoundTerminator |= Chars[I] == 0;
+    if (!FoundTerminator)
+      Env->vm->undefined(*Env->thread,
+                         jvm::UndefinedOp::UnterminatedString,
+                         "scan ran past the unterminated buffer");
+    Env->functions->ReleaseStringChars(Env, S, Chars);
+  });
+}
+
+} // namespace
+
+void jinn::scenarios::runMicrobenchmark(MicroId Id, ScenarioWorld &World) {
+  switch (Id) {
+  case MicroId::EnvMismatch:
+    return microEnvMismatch(World);
+  case MicroId::PendingException:
+    return microPendingException(World);
+  case MicroId::CriticalViolation:
+    return microCriticalViolation(World);
+  case MicroId::FixedTypeMismatch:
+    return microFixedTypeMismatch(World);
+  case MicroId::EntityTypeMismatch:
+    return microEntityTypeMismatch(World);
+  case MicroId::FinalFieldWrite:
+    return microFinalFieldWrite(World);
+  case MicroId::NullArgument:
+    return microNullArgument(World);
+  case MicroId::PinLeak:
+    return microPinLeak(World);
+  case MicroId::PinDoubleFree:
+    return microPinDoubleFree(World);
+  case MicroId::MonitorLeak:
+    return microMonitorLeak(World);
+  case MicroId::GlobalRefLeak:
+    return microGlobalRefLeak(World);
+  case MicroId::GlobalRefDangling:
+    return microGlobalRefDangling(World);
+  case MicroId::LocalOverflow:
+    return microLocalOverflow(World);
+  case MicroId::LocalFrameLeak:
+    return microLocalFrameLeak(World);
+  case MicroId::LocalDangling:
+    return microLocalDangling(World);
+  case MicroId::LocalDoubleFree:
+    return microLocalDoubleFree(World);
+  case MicroId::IdRefConfusion:
+    return microIdRefConfusion(World);
+  case MicroId::UnterminatedString:
+    return microUnterminatedString(World);
+  case MicroId::Count:
+    break;
+  }
+  JINN_UNREACHABLE("invalid MicroId");
+}

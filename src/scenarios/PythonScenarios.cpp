@@ -1,0 +1,68 @@
+//===- scenarios/PythonScenarios.cpp - Python/C evaluation scenarios -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/PythonScenarios.h"
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using pyc::PyInterp;
+using pyc::PyObject;
+
+std::pair<std::string, std::string>
+jinn::scenarios::runPyDangleBug(PyInterp &I) {
+  const pyc::PyApi *Api = pyc::activePyApi(I);
+  std::pair<std::string, std::string> Printed;
+
+  // static PyObject* dangle_bug(PyObject* self, PyObject* args)  (Fig. 11)
+  PyObject *Pythons =
+      Api->Py_BuildValue(&I, "[ssssss]", "Eric", "Graham", "John", "Michael",
+                         "Terry", "Terry");
+  PyObject *First = Api->PyList_GetItem(&I, Pythons, 0); // borrowed
+  if (const char *S = Api->PyString_AsString(&I, First))
+    Printed.first = S; // printf("1. first = %s.\n", ...)
+  Api->Py_DecRef(&I, Pythons); // the co-owner relinquishes; First dies
+  // BUG: use of the dangling borrowed reference (Fig. 11 line 10).
+  if (const char *S = Api->PyString_AsString(&I, First))
+    Printed.second = S; // printf("2. first = %s.\n", ...)
+  // return Py_None with ownership transferred.
+  Api->Py_IncRef(&I, I.none());
+  return Printed;
+}
+
+void jinn::scenarios::runPyGilBug(PyInterp &I) {
+  const pyc::PyApi *Api = pyc::activePyApi(I);
+  void *State = Api->PyEval_SaveThread(&I); // release the GIL for "I/O"
+  // BUG: calls the API without re-acquiring the GIL first.
+  PyObject *Obj = Api->PyInt_FromLong(&I, 42);
+  Api->PyEval_RestoreThread(&I, State);
+  if (Obj)
+    Api->Py_DecRef(&I, Obj);
+}
+
+void jinn::scenarios::runPyExceptionBug(PyInterp &I) {
+  const pyc::PyApi *Api = pyc::activePyApi(I);
+  Api->PyErr_SetString(&I, I.excTypeError(), "argument must be a string");
+  // BUG: continues calling exception-sensitive functions instead of
+  // propagating or clearing the exception.
+  PyObject *Obj = Api->PyString_FromString(&I, "ignored failure");
+  if (Obj)
+    Api->Py_DecRef(&I, Obj);
+}
+
+void jinn::scenarios::runPyCleanExtension(PyInterp &I) {
+  const pyc::PyApi *Api = pyc::activePyApi(I);
+  PyObject *List = Api->PyList_New(&I, 0);
+  for (long K = 0; K < 8; ++K) {
+    PyObject *Item = Api->PyInt_FromLong(&I, K * K);
+    Api->PyList_Append(&I, List, Item);
+    Api->Py_DecRef(&I, Item); // Append took its own reference
+  }
+  long Sum = 0;
+  for (pyc::Py_ssize_t K = 0; K < Api->PyList_Size(&I, List); ++K)
+    Sum += Api->PyInt_AsLong(&I, Api->PyList_GetItem(&I, List, K));
+  (void)Sum;
+  Api->Py_DecRef(&I, List);
+}

@@ -1,0 +1,45 @@
+//===- scenarios/PythonScenarios.h - Python/C evaluation scenarios -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Python/C scenarios of paper §7: Figure 11's dangle_bug (a borrowed
+/// list item used after the co-owning list is released) plus GIL and
+/// exception-state mistakes, runnable with or without the synthesized
+/// checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SCENARIOS_PYTHONSCENARIOS_H
+#define JINN_SCENARIOS_PYTHONSCENARIOS_H
+
+#include "pyc/PyRuntime.h"
+
+#include <string>
+#include <utility>
+
+namespace jinn::scenarios {
+
+/// Figure 11: builds ["Eric","Graham","John","Michael","Terry","Terry"],
+/// borrows the first element, releases the list, then uses the borrowed
+/// reference. Returns the two strings the printf calls observed (the
+/// second is garbage or missing in a production run, and suppressed by the
+/// checker).
+std::pair<std::string, std::string> runPyDangleBug(pyc::PyInterp &Interp);
+
+/// GIL misuse: releases the GIL around "blocking I/O" and then calls the
+/// API before re-acquiring (double-save shape, §7.1).
+void runPyGilBug(pyc::PyInterp &Interp);
+
+/// Exception misuse: raises via PyErr_SetString, then keeps calling
+/// exception-sensitive API functions.
+void runPyExceptionBug(pyc::PyInterp &Interp);
+
+/// A correct extension function (no checker reports expected).
+void runPyCleanExtension(pyc::PyInterp &Interp);
+
+} // namespace jinn::scenarios
+
+#endif // JINN_SCENARIOS_PYTHONSCENARIOS_H

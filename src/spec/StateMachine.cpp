@@ -1,0 +1,95 @@
+//===- spec/StateMachine.cpp - FFI state machine specifications ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/StateMachine.h"
+
+#include "support/Compiler.h"
+
+using namespace jinn;
+using namespace jinn::spec;
+
+Reporter::~Reporter() = default;
+
+const char *jinn::spec::directionName(Direction Dir) {
+  switch (Dir) {
+  case Direction::CallJavaToC:
+    return "Call:Java->C";
+  case Direction::ReturnCToJava:
+    return "Return:C->Java";
+  case Direction::CallCToJava:
+    return "Call:C->Java";
+  case Direction::ReturnJavaToC:
+    return "Return:Java->C";
+  }
+  JINN_UNREACHABLE("invalid Direction");
+}
+
+FunctionSelector FunctionSelector::all(std::string Description) {
+  FunctionSelector Out;
+  Out.K = Kind::AllJniFunctions;
+  Out.Description = std::move(Description);
+  return Out;
+}
+
+FunctionSelector FunctionSelector::one(jni::FnId Fn) {
+  FunctionSelector Out;
+  Out.K = Kind::OneJniFunction;
+  Out.Fn = Fn;
+  Out.Description = jni::fnName(Fn);
+  return Out;
+}
+
+FunctionSelector FunctionSelector::matching(
+    std::string Description,
+    std::function<bool(const jni::FnTraits &)> Pred) {
+  FunctionSelector Out;
+  Out.K = Kind::JniPredicate;
+  Out.Pred = std::move(Pred);
+  Out.Description = std::move(Description);
+  return Out;
+}
+
+FunctionSelector FunctionSelector::nativeMethods(std::string Description) {
+  FunctionSelector Out;
+  Out.K = Kind::AnyNativeMethod;
+  Out.Description = std::move(Description);
+  return Out;
+}
+
+bool FunctionSelector::matches(jni::FnId Id) const {
+  switch (K) {
+  case Kind::AllJniFunctions:
+    return true;
+  case Kind::OneJniFunction:
+    return Id == Fn;
+  case Kind::JniPredicate:
+    return Pred(jni::fnTraits(Id));
+  case Kind::AnyNativeMethod:
+    return false;
+  }
+  JINN_UNREACHABLE("invalid FunctionSelector kind");
+}
+
+void TransitionContext::abortCall() {
+  if (isJniSite())
+    Call->abortCall();
+  else
+    NativeAborted = true;
+}
+
+bool TransitionContext::aborted() const {
+  if (isJniSite())
+    return Call->aborted();
+  return NativeAborted;
+}
+
+std::string TransitionContext::siteName() const {
+  if (isJniSite())
+    return jni::fnName(Call->id());
+  return Method->qualifiedName();
+}
+
+MachineBase::~MachineBase() = default;

@@ -1,0 +1,211 @@
+//===- spec/StateMachine.h - FFI state machine specifications ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specification formalism of the paper (§4): an FFI constraint is a
+/// state machine over program entities (threads, references, IDs); each
+/// state transition is mapped to the *language transitions* that may
+/// trigger it (calls and returns crossing the Java/C boundary, in both
+/// directions); the transition carries the code that checks whether it
+/// fired and updates the machine encoding. The synthesizer (src/synth)
+/// computes the cross product of state transitions and FFI functions and
+/// attaches the instrumentation to wrappers — Algorithm 1 verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SPEC_STATEMACHINE_H
+#define JINN_SPEC_STATEMACHINE_H
+
+#include "jvmti/Interpose.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jinn::spec {
+
+/// The four kinds of language transitions (paper §3.2 and Figures 2/6/7/8).
+enum class Direction : uint8_t {
+  CallJavaToC,   ///< entry into a native method
+  ReturnCToJava, ///< return from a native method
+  CallCToJava,   ///< a JNI function is about to execute
+  ReturnJavaToC, ///< a JNI function has just returned to C
+};
+
+const char *directionName(Direction Dir);
+
+/// Selects the FFI functions a language transition applies to.
+struct FunctionSelector {
+  enum class Kind : uint8_t {
+    AllJniFunctions,
+    OneJniFunction,
+    JniPredicate,
+    AnyNativeMethod,
+  };
+  Kind K = Kind::AllJniFunctions;
+  jni::FnId Fn = jni::FnId::Count;
+  std::function<bool(const jni::FnTraits &)> Pred;
+  /// Human-readable description, used by the code emitter and docs
+  /// (e.g. "any JNI function taking a reference").
+  std::string Description;
+
+  static FunctionSelector all(std::string Description);
+  static FunctionSelector one(jni::FnId Fn);
+  static FunctionSelector matching(std::string Description,
+                                   std::function<bool(const jni::FnTraits &)>
+                                       Pred);
+  static FunctionSelector nativeMethods(std::string Description);
+
+  /// True when this selector matches JNI function \p Id.
+  bool matches(jni::FnId Id) const;
+};
+
+/// A language transition point: function set x direction.
+struct LanguageTransition {
+  FunctionSelector Fns;
+  Direction Dir;
+};
+
+class StateMachineSpec;
+class Reporter;
+
+/// Context handed to a transition action: either a JNI call site (wrapping
+/// the CapturedCall) or a native method boundary.
+class TransitionContext {
+public:
+  enum class Site : uint8_t { JniPre, JniPost, NativeEntry, NativeExit };
+
+  static TransitionContext jniSite(Site S, jvmti::CapturedCall &Call,
+                                   Reporter &Rep) {
+    TransitionContext Ctx;
+    Ctx.TheSite = S;
+    Ctx.Call = &Call;
+    Ctx.Env = Call.env();
+    Ctx.Rep = &Rep;
+    return Ctx;
+  }
+
+  static TransitionContext nativeSite(Site S, jvm::MethodInfo &Method,
+                                      JNIEnv *Env, jobject Self,
+                                      const jvalue *Args, jvalue *Ret,
+                                      Reporter &Rep) {
+    TransitionContext Ctx;
+    Ctx.TheSite = S;
+    Ctx.Method = &Method;
+    Ctx.Env = Env;
+    Ctx.Self = Self;
+    Ctx.Args = Args;
+    Ctx.Ret = Ret;
+    Ctx.Rep = &Rep;
+    return Ctx;
+  }
+
+  Site site() const { return TheSite; }
+  bool isJniSite() const {
+    return TheSite == Site::JniPre || TheSite == Site::JniPost;
+  }
+
+  /// JNI sites only.
+  jvmti::CapturedCall &call() const { return *Call; }
+
+  /// Native-method sites only.
+  jvm::MethodInfo &method() const { return *Method; }
+  jobject self() const { return Self; }
+  const jvalue *args() const { return Args; }
+  jvalue *ret() const { return Ret; }
+
+  JNIEnv *env() const { return Env; }
+  jvm::JThread &thread() const { return *Env->thread; }
+  jvm::Vm &vm() const { return *Env->vm; }
+
+  Reporter &reporter() const { return *Rep; }
+
+  /// Suppresses the underlying call (JNI pre sites and native entries).
+  void abortCall();
+  bool aborted() const;
+
+  /// Name of the FFI function / native method at this site.
+  std::string siteName() const;
+
+private:
+  TransitionContext() = default;
+  Site TheSite = Site::JniPre;
+  jvmti::CapturedCall *Call = nullptr;
+  jvm::MethodInfo *Method = nullptr;
+  JNIEnv *Env = nullptr;
+  jobject Self = nullptr;
+  const jvalue *Args = nullptr;
+  jvalue *Ret = nullptr;
+  Reporter *Rep = nullptr;
+  bool NativeAborted = false;
+};
+
+/// Code attached to one state transition: decides whether the transition
+/// fired for the entities at this site, updates the machine encoding, and
+/// reports violations through the context's Reporter.
+using TransitionAction = std::function<void(TransitionContext &)>;
+
+/// One state transition (sa -> sb) of a machine, with its mapping to
+/// language transitions (Mi.languageTransitionsFor) and its action.
+struct StateTransition {
+  std::string From;
+  std::string To;
+  std::vector<LanguageTransition> At;
+  TransitionAction Action;
+};
+
+/// A full state machine specification.
+class StateMachineSpec {
+public:
+  std::string Name;           ///< "Local reference"
+  std::string ObservedEntity; ///< "A local JNI reference"
+  std::string Errors;         ///< "Overflow, leak, dangling, double-free"
+  std::string Encoding;       ///< description of the runtime encoding
+  std::vector<std::string> States;
+  std::vector<StateTransition> Transitions;
+};
+
+/// How violations are surfaced. Jinn throws jinn.JNIAssertionFailure; the
+/// -Xcheck:jni emulations print warnings or abort; tests count reports.
+class Reporter {
+public:
+  virtual ~Reporter();
+
+  /// Report that \p Machine detected a constraint violation at \p Ctx.
+  /// Implementations may set a pending exception and abort the call.
+  virtual void violation(TransitionContext &Ctx,
+                         const StateMachineSpec &Machine,
+                         const std::string &Message) = 0;
+
+  /// Report an end-of-run finding (leaks at VM death) — there is no call
+  /// context or thread to throw into at that point.
+  virtual void endOfRun(const StateMachineSpec &Machine,
+                        const std::string &Message) = 0;
+};
+
+/// Base class for concrete machines: owns the spec (with actions bound to
+/// the machine's mutable encoding) plus lifecycle hooks for end-of-run
+/// checks (leak reports at VM death) and per-thread setup.
+class MachineBase {
+public:
+  virtual ~MachineBase();
+  const StateMachineSpec &spec() const { return Spec; }
+
+  /// End-of-run checks (leaks at program termination, Figure 8's
+  /// "program termination / JVMTI callback" transitions).
+  virtual void onVmDeath(Reporter &Rep, jvm::Vm &Vm) {
+    (void)Rep;
+    (void)Vm;
+  }
+  virtual void onThreadStart(jvm::JThread &Thread) { (void)Thread; }
+
+protected:
+  StateMachineSpec Spec;
+};
+
+} // namespace jinn::spec
+
+#endif // JINN_SPEC_STATEMACHINE_H

@@ -1,0 +1,35 @@
+//===- support/Compiler.h - Small portability and invariant helpers ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal compiler helpers shared by every library in the project. The
+/// project follows LLVM conventions: programmatic errors abort through
+/// jinnUnreachable, recoverable conditions travel through explicit status
+/// values (never C++ exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SUPPORT_COMPILER_H
+#define JINN_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jinn {
+
+/// Aborts the process after printing \p Msg. Marks code paths that are
+/// impossible when the program's invariants hold (LLVM's llvm_unreachable).
+[[noreturn]] inline void jinnUnreachable(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace jinn
+
+#define JINN_UNREACHABLE(MSG) ::jinn::jinnUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // JINN_SUPPORT_COMPILER_H

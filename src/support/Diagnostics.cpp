@@ -1,0 +1,58 @@
+//===- support/Diagnostics.cpp - Incident recording ----------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/Compiler.h"
+
+#include <cstdio>
+
+using namespace jinn;
+
+const char *jinn::incidentKindName(IncidentKind Kind) {
+  switch (Kind) {
+  case IncidentKind::Note:
+    return "note";
+  case IncidentKind::Warning:
+    return "warning";
+  case IncidentKind::FatalError:
+    return "error";
+  case IncidentKind::SimulatedCrash:
+    return "crash";
+  case IncidentKind::UndefinedState:
+    return "running";
+  case IncidentKind::LeakReport:
+    return "leak";
+  case IncidentKind::PotentialDeadlock:
+    return "deadlock";
+  }
+  JINN_UNREACHABLE("invalid IncidentKind");
+}
+
+void DiagnosticSink::report(IncidentKind Kind, std::string Channel,
+                            std::string Message) {
+  if (Echo)
+    std::fprintf(stderr, "[%s] %s: %s\n", Channel.c_str(),
+                 incidentKindName(Kind), Message.c_str());
+  Incidents.push_back({Kind, std::move(Channel), std::move(Message)});
+}
+
+size_t DiagnosticSink::count(IncidentKind Kind) const {
+  size_t N = 0;
+  for (const Incident &I : Incidents)
+    if (I.Kind == Kind)
+      ++N;
+  return N;
+}
+
+size_t DiagnosticSink::count(IncidentKind Kind,
+                             const std::string &Channel) const {
+  size_t N = 0;
+  for (const Incident &I : Incidents)
+    if (I.Kind == Kind && I.Channel == Channel)
+      ++N;
+  return N;
+}

@@ -1,0 +1,82 @@
+//===- support/Diagnostics.h - Incident recording for experiments --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation classifies what happens when a buggy program runs:
+/// silent undefined execution, a crash, a printed warning, a fatal error, a
+/// leak report, a deadlock risk, or a thrown checker exception (Table 1).
+/// Production JVMs abort the process for several of these; this reproduction
+/// must observe them from a test harness instead, so every such event is
+/// recorded as an Incident in a DiagnosticSink rather than performed for
+/// real. A "simulated crash" therefore never calls abort(); it poisons the
+/// faulting thread and leaves a record the harness can classify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SUPPORT_DIAGNOSTICS_H
+#define JINN_SUPPORT_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jinn {
+
+/// What kind of observable event a runtime component recorded.
+enum class IncidentKind {
+  Note,              ///< informational trace
+  Warning,           ///< diagnosis printed, execution continues
+  FatalError,        ///< diagnosis printed, execution aborted (simulated)
+  SimulatedCrash,    ///< undefined behavior tripped a (simulated) SIGSEGV
+  UndefinedState,    ///< undefined behavior silently continued ("running")
+  LeakReport,        ///< unreleased resource reported at VM death
+  PotentialDeadlock, ///< blocking operation in a forbidden context
+};
+
+/// Returns a stable short name for \p Kind ("warning", "crash", ...).
+const char *incidentKindName(IncidentKind Kind);
+
+/// One recorded event. \c Channel identifies the reporting component
+/// ("jvm", "xcheck:hotspot", "jinn", "pyc", ...).
+struct Incident {
+  IncidentKind Kind;
+  std::string Channel;
+  std::string Message;
+};
+
+/// Accumulates incidents for later classification by tests and benchmark
+/// harnesses. Optionally echoes each incident to stderr as it arrives.
+class DiagnosticSink {
+public:
+  /// Records one incident; echoes to stderr when echoing is enabled.
+  void report(IncidentKind Kind, std::string Channel, std::string Message);
+
+  /// All incidents in arrival order.
+  const std::vector<Incident> &incidents() const { return Incidents; }
+
+  /// Number of incidents of kind \p Kind.
+  size_t count(IncidentKind Kind) const;
+
+  /// Number of incidents of kind \p Kind reported on \p Channel.
+  size_t count(IncidentKind Kind, const std::string &Channel) const;
+
+  /// True if any incident of kind \p Kind was recorded.
+  bool has(IncidentKind Kind) const { return count(Kind) != 0; }
+
+  /// Drops all recorded incidents.
+  void clear() { Incidents.clear(); }
+
+  /// Controls stderr echoing (off by default; tests keep it off).
+  void setEcho(bool Value) { Echo = Value; }
+
+private:
+  std::vector<Incident> Incidents;
+  bool Echo = false;
+};
+
+} // namespace jinn
+
+#endif // JINN_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,31 @@
+//===- support/Format.h - printf-style formatting into std::string -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// formatString renders a printf-style format into an owned std::string.
+/// Diagnostic messages throughout the project are built with it so that
+/// library code never touches iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SUPPORT_FORMAT_H
+#define JINN_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace jinn {
+
+/// Renders \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavor of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+} // namespace jinn
+
+#endif // JINN_SUPPORT_FORMAT_H

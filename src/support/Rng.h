@@ -1,0 +1,51 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ---------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 generator used by workloads and property tests. Deterministic
+/// by construction so every experiment is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SUPPORT_RNG_H
+#define JINN_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace jinn {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload shuffling
+/// and property-test case generation.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace jinn
+
+#endif // JINN_SUPPORT_RNG_H

@@ -1,0 +1,231 @@
+//===- synth/Emitter.cpp - Generated-wrapper source emitter --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Emitter.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jinn;
+using namespace jinn::synth;
+using jinn::jni::FnId;
+using jinn::jni::NumJniFunctions;
+using jinn::spec::Direction;
+
+namespace {
+
+/// Stringified signatures straight from the registry.
+struct FnSigText {
+  const char *Ret;
+  const char *Params;
+  const char *Args;
+};
+
+const FnSigText SigText[NumJniFunctions] = {
+#define JNI_FN(Name, Ret, Params, Args) {#Ret, #Params, #Args},
+#include "jni/JniFunctions.def"
+#undef JNI_FN
+};
+
+std::string sanitize(std::string S) {
+  for (char &C : S)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return S;
+}
+
+} // namespace
+
+std::string CodeEmitter::emit() const {
+  Stats = EmitStats();
+  std::ostringstream Out;
+  Out << "//===- jinn_generated_wrappers.cpp - SYNTHESIZED, do not edit "
+         "---------===//\n"
+      << "//\n"
+      << "// Dynamic FFI analysis synthesized from "
+      << Machines.size() << " state machine specifications\n"
+      << "// (Algorithm 1: cross product of state transitions and FFI "
+         "functions).\n"
+      << "//\n"
+      << "//===-------------------------------------------------------------"
+         "---===//\n\n"
+      << "#include \"jinn_runtime.h\"\n\n";
+
+  // Per (function, machine, transition) check functions, then wrappers.
+  for (size_t I = 0; I < NumJniFunctions; ++I) {
+    FnId Id = static_cast<FnId>(I);
+    const char *Name = jni::fnName(Id);
+
+    struct Attached {
+      const spec::MachineBase *Machine;
+      const spec::StateTransition *Transition;
+      bool Pre;
+    };
+    std::vector<Attached> Checks;
+    for (const spec::MachineBase *Machine : Machines)
+      for (const spec::StateTransition &Transition :
+           Machine->spec().Transitions)
+        for (const spec::LanguageTransition &Lang : Transition.At) {
+          if (Lang.Dir != Direction::CallCToJava &&
+              Lang.Dir != Direction::ReturnJavaToC)
+            continue;
+          if (!Lang.Fns.matches(Id))
+            continue;
+          Checks.push_back(
+              {Machine, &Transition, Lang.Dir == Direction::CallCToJava});
+        }
+    if (Checks.empty())
+      continue;
+
+    // Emit one check function per attached (machine, transition).
+    std::vector<std::string> PreCalls, PostCalls;
+    for (const Attached &Check : Checks) {
+      std::string Fn = formatString(
+          "check_%s_%s_%s_to_%s", Name,
+          sanitize(Check.Machine->spec().Name).c_str(),
+          sanitize(Check.Transition->From).c_str(),
+          sanitize(Check.Transition->To).c_str());
+      Out << "/// Machine \"" << Check.Machine->spec().Name
+          << "\": transition " << Check.Transition->From << " -> "
+          << Check.Transition->To << "\n"
+          << "/// Observed entity: " << Check.Machine->spec().ObservedEntity
+          << "\n"
+          << "static void " << Fn << "(jinn_call_context *ctx) {\n"
+          << "  if (!jinn_transition_enabled(ctx, \""
+          << Check.Machine->spec().Name << "\"))\n"
+          << "    return;\n"
+          << "  if (jinn_in_state(ctx, \"" << Check.Transition->From
+          << "\")) {\n"
+          << "    jinn_record_transition(ctx, \"" << Check.Transition->From
+          << "\", \"" << Check.Transition->To << "\");\n"
+          << "    if (jinn_is_error_state(\"" << Check.Transition->To
+          << "\"))\n"
+          << "      jinn_throw_JNIException(ctx->env, \""
+          << Check.Machine->spec().Errors << "\");\n"
+          << "  }\n"
+          << "}\n\n";
+      ++Stats.CheckFunctions;
+      (Check.Pre ? PreCalls : PostCalls).push_back(Fn);
+    }
+
+    // Emit the wrapper.
+    const FnSigText &Sig = SigText[I];
+    bool IsVoid = std::string_view(Sig.Ret) == "void";
+    Out << Sig.Ret << " wrapped_" << Name << Sig.Params << " {\n"
+        << "  jinn_call_context ctx = jinn_enter(env, JINN_FN_" << Name
+        << ");\n";
+    for (const std::string &Fn : PreCalls)
+      Out << "  " << Fn << "(&ctx);\n";
+    Out << "  if (jinn_call_aborted(&ctx))\n"
+        << "    return" << (IsVoid ? "" : " 0") << ";\n  ";
+    if (!IsVoid)
+      Out << Sig.Ret << " result = ";
+    Out << "jinn_real_table()->" << Name << Sig.Args << ";\n";
+    for (const std::string &Fn : PostCalls)
+      Out << "  " << Fn << "(&ctx);\n";
+    if (!IsVoid)
+      Out << "  return result;\n";
+    Out << "}\n\n";
+    ++Stats.WrapperFunctions;
+  }
+
+  // The generic native-method wrapper (paper Figure 3): entry and exit
+  // instrumentation for every machine transition mapped to Call:Java->C /
+  // Return:C->Java.
+  std::vector<std::string> EntryCalls, ExitCalls;
+  for (const spec::MachineBase *Machine : Machines)
+    for (const spec::StateTransition &Transition :
+         Machine->spec().Transitions)
+      for (const spec::LanguageTransition &Lang : Transition.At) {
+        if (Lang.Dir != Direction::CallJavaToC &&
+            Lang.Dir != Direction::ReturnCToJava)
+          continue;
+        std::string Fn = formatString(
+            "native_%s_%s_%s_to_%s",
+            Lang.Dir == Direction::CallJavaToC ? "entry" : "exit",
+            sanitize(Machine->spec().Name).c_str(),
+            sanitize(Transition.From).c_str(),
+            sanitize(Transition.To).c_str());
+        Out << "/// Machine \"" << Machine->spec().Name << "\": transition "
+            << Transition.From << " -> " << Transition.To << " at "
+            << spec::directionName(Lang.Dir) << " (" << Lang.Fns.Description
+            << ")\n"
+            << "static void " << Fn << "(jinn_native_context *ctx) {\n"
+            << "  jinn_record_transition(ctx, \"" << Transition.From
+            << "\", \"" << Transition.To << "\");\n"
+            << "}\n\n";
+        ++Stats.CheckFunctions;
+        (Lang.Dir == Direction::CallJavaToC ? EntryCalls : ExitCalls)
+            .push_back(Fn);
+      }
+  Out << "jvalue wrapped_native_method(jinn_native_context *ctx,\n"
+      << "    JNIEnv *env, jobject self, const jvalue *args) {\n";
+  for (const std::string &Fn : EntryCalls)
+    Out << "  " << Fn << "(ctx);\n";
+  Out << "  jvalue result;\n"
+      << "  result.j = 0;\n"
+      << "  if (!jinn_native_aborted(ctx))\n"
+      << "    result = ctx->original(env, self, args);\n";
+  for (const std::string &Fn : ExitCalls)
+    Out << "  " << Fn << "(ctx);\n";
+  Out << "  return result;\n}\n\n";
+
+  // The analysis driver (the synthesizer's third input in Figure 5):
+  // installs the wrapped table and the JVMTI callbacks at agent load.
+  Out << "JNIEXPORT jint JNICALL Agent_OnLoad(JavaVM *vm, char *options,\n"
+      << "                                    void *reserved) {\n"
+      << "  jinn_init_encodings();\n"
+      << "  jinn_define_exception_class(vm, \"jinn/JNIAssertionFailure\");\n"
+      << "  jinn_install_function_table(vm, &jinn_wrapped_table);\n"
+      << "  jinn_register_native_bind_hook(vm, &wrapped_native_method);\n"
+      << "  jinn_register_vm_death_hook(vm, &jinn_end_of_run_checks);\n"
+      << "  return JNI_OK;\n}\n";
+
+  std::string Text = Out.str();
+  Stats.TotalLines = static_cast<size_t>(
+      std::count(Text.begin(), Text.end(), '\n'));
+  return Text;
+}
+
+size_t jinn::synth::countSourceLines(const std::vector<std::string> &Paths) {
+  size_t Lines = 0;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      size_t First = Line.find_first_not_of(" \t");
+      if (First == std::string::npos)
+        continue; // blank
+      std::string_view Rest(Line.data() + First, Line.size() - First);
+      if (Rest.substr(0, 2) == "//")
+        continue; // comment-only
+      ++Lines;
+    }
+  }
+  return Lines;
+}
+
+std::vector<std::string> jinn::synth::sourceFilesUnder(
+    const std::string &Dir) {
+  std::vector<std::string> Out;
+  std::error_code Ec;
+  for (std::filesystem::recursive_directory_iterator
+           It(Dir, Ec),
+       End;
+       !Ec && It != End; It.increment(Ec)) {
+    if (!It->is_regular_file())
+      continue;
+    std::string Ext = It->path().extension().string();
+    if (Ext == ".h" || Ext == ".cpp")
+      Out.push_back(It->path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}

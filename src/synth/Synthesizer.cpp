@@ -1,0 +1,107 @@
+//===- synth/Synthesizer.cpp - Algorithm 1 --------------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+using namespace jinn;
+using namespace jinn::synth;
+using jinn::jni::FnId;
+using jinn::jni::NumJniFunctions;
+using jinn::spec::Direction;
+using jinn::spec::FunctionSelector;
+using jinn::spec::TransitionContext;
+
+SynthesisStats Synthesizer::installInto(
+    jvmti::InterposeDispatcher &Dispatcher) {
+  SynthesisStats Stats;
+  Stats.MachineCount = Machines.size();
+
+  // Algorithm 1 (paper Figure 5):
+  // 1: for each state machine specification Mi
+  for (spec::MachineBase *Machine : Machines) {
+    // 2: for each state transition sa -> sb
+    for (const spec::StateTransition &Transition :
+         Machine->spec().Transitions) {
+      ++Stats.StateTransitionCount;
+      // 3: let L = Mi.languageTransitionsFor(sa -> sb)
+      // 4: for each language transition e in L
+      for (const spec::LanguageTransition &Lang : Transition.At) {
+        switch (Lang.Dir) {
+        case Direction::CallCToJava:
+        case Direction::ReturnJavaToC: {
+          // 5-6: add the synthesized code to the start or end of the
+          // wrapper for e.function, by direction.
+          bool IsPre = Lang.Dir == Direction::CallCToJava;
+          for (size_t I = 0; I < NumJniFunctions; ++I) {
+            FnId Id = static_cast<FnId>(I);
+            if (!Lang.Fns.matches(Id))
+              continue;
+            spec::TransitionAction Action = Transition.Action;
+            spec::Reporter *Reporter = &Rep;
+            auto Hook = [Action, Reporter,
+                         IsPre](jvmti::CapturedCall &Call) {
+              TransitionContext Ctx = TransitionContext::jniSite(
+                  IsPre ? TransitionContext::Site::JniPre
+                        : TransitionContext::Site::JniPost,
+                  Call, *Reporter);
+              Action(Ctx);
+            };
+            if (IsPre) {
+              Dispatcher.addPre(Id, std::move(Hook));
+              ++Stats.JniPreHooks;
+            } else {
+              Dispatcher.addPost(Id, std::move(Hook));
+              ++Stats.JniPostHooks;
+            }
+          }
+          break;
+        }
+        case Direction::CallJavaToC:
+          EntryActions.push_back(Transition.Action);
+          ++Stats.NativeEntryActions;
+          break;
+        case Direction::ReturnCToJava:
+          ExitActions.push_back(Transition.Action);
+          ++Stats.NativeExitActions;
+          break;
+        }
+      }
+    }
+  }
+  return Stats;
+}
+
+std::function<void(jvm::MethodInfo &, jni::JniNativeStdFn &)>
+Synthesizer::makeNativeBindHandler() {
+  return [this](jvm::MethodInfo &Method, jni::JniNativeStdFn &Bound) {
+    if (EntryActions.empty() && ExitActions.empty())
+      return;
+    jni::JniNativeStdFn Original = std::move(Bound);
+    // The synthesized native-method wrapper (paper Figure 3): entry
+    // instrumentation, the original native code, exit instrumentation.
+    Bound = [this, &Method, Original = std::move(Original)](
+                JNIEnv *Env, jobject Self, const jvalue *Args) -> jvalue {
+      TransitionContext Entry = TransitionContext::nativeSite(
+          TransitionContext::Site::NativeEntry, Method, Env, Self, Args,
+          nullptr, Rep);
+      for (const spec::TransitionAction &Action : EntryActions) {
+        Action(Entry);
+        if (Entry.aborted())
+          break;
+      }
+      jvalue Result;
+      Result.j = 0;
+      if (!Entry.aborted())
+        Result = Original(Env, Self, Args);
+      TransitionContext Exit = TransitionContext::nativeSite(
+          TransitionContext::Site::NativeExit, Method, Env, Self, Args,
+          &Result, Rep);
+      for (const spec::TransitionAction &Action : ExitActions)
+        Action(Exit);
+      return Result;
+    };
+  };
+}

@@ -1,0 +1,73 @@
+//===- synth/Synthesizer.h - Algorithm 1: checks from state machines -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 1: for each state machine specification, for each
+/// state transition, look up the language transitions it may occur at, and
+/// add the synthesized check to the start (Call) or end (Return) of the
+/// wrapper for each affected FFI function. Wrappers for JNI functions are
+/// the interposed-table hooks; wrappers for native methods are installed
+/// through the JVMTI NativeMethodBind event (paper Figures 3 and 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SYNTH_SYNTHESIZER_H
+#define JINN_SYNTH_SYNTHESIZER_H
+
+#include "spec/StateMachine.h"
+
+#include <functional>
+#include <vector>
+
+namespace jinn::synth {
+
+/// What Algorithm 1 produced.
+struct SynthesisStats {
+  size_t MachineCount = 0;
+  size_t StateTransitionCount = 0;
+  size_t JniPreHooks = 0;
+  size_t JniPostHooks = 0;
+  size_t NativeEntryActions = 0;
+  size_t NativeExitActions = 0;
+
+  size_t instrumentationPoints() const {
+    return JniPreHooks + JniPostHooks + NativeEntryActions +
+           NativeExitActions;
+  }
+};
+
+/// Synthesizes a dynamic analysis from state machine specifications.
+/// Non-owning: machines and reporter must outlive the synthesized analysis.
+class Synthesizer {
+public:
+  Synthesizer(std::vector<spec::MachineBase *> Machines,
+              spec::Reporter &Rep)
+      : Machines(std::move(Machines)), Rep(Rep) {}
+
+  /// Algorithm 1. Installs per-JNI-function hooks into \p Dispatcher and
+  /// accumulates native-boundary actions for makeNativeBindHandler().
+  SynthesisStats installInto(jvmti::InterposeDispatcher &Dispatcher);
+
+  /// Handler for NativeMethodBind events: wraps each bound native method
+  /// with the synthesized entry/exit instrumentation.
+  std::function<void(jvm::MethodInfo &, jni::JniNativeStdFn &)>
+  makeNativeBindHandler();
+
+  const std::vector<spec::MachineBase *> &machines() const {
+    return Machines;
+  }
+  spec::Reporter &reporter() { return Rep; }
+
+private:
+  std::vector<spec::MachineBase *> Machines;
+  spec::Reporter &Rep;
+  std::vector<spec::TransitionAction> EntryActions;
+  std::vector<spec::TransitionAction> ExitActions;
+};
+
+} // namespace jinn::synth
+
+#endif // JINN_SYNTH_SYNTHESIZER_H

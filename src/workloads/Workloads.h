@@ -1,0 +1,63 @@
+//===- workloads/Workloads.h - Table 3 workloads --------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for SPECjvm98 and DaCapo (paper Table 3). The
+/// controlling variable of that experiment is the number of Java<->C
+/// language transitions each benchmark performs; the table's second column
+/// reports the measured transition counts, which this module replays
+/// (scaled) with a representative JNI operation mix per transition:
+/// string marshalling, cached-ID field access, array regions, and
+/// call-backs into Java. Wall-clock ratios — production vs. -Xcheck:jni
+/// vs. Jinn-interposing vs. Jinn-checking — are then measured on the same
+/// code the checkers interpose on, reproducing the experiment's *shape*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_WORKLOADS_WORKLOADS_H
+#define JINN_WORKLOADS_WORKLOADS_H
+
+#include "scenarios/Scenarios.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jinn::workloads {
+
+/// One benchmark of Table 3.
+struct WorkloadInfo {
+  const char *Name;
+  const char *Suite;               ///< "DaCapo" or "SPECjvm98"
+  uint64_t PaperTransitions;       ///< Table 3 column 2 (HotSpot count)
+  double PaperRuntimeChecking;     ///< column 3 (normalized time)
+  double PaperJinnInterposing;     ///< column 4
+  double PaperJinnChecking;        ///< column 5
+};
+
+/// All 19 benchmarks, in Table 3 order.
+const std::vector<WorkloadInfo> &allWorkloads();
+const WorkloadInfo *workloadByName(const std::string &Name);
+
+/// Result of one workload execution.
+struct WorkloadRun {
+  uint64_t NativeTransitions = 0; ///< native method invocations performed
+  uint64_t JniCalls = 0;          ///< JNI function calls performed
+  uint64_t Checksum = 0;          ///< defeats dead-code elimination
+};
+
+/// Prepares the workload classes in \p World (idempotent).
+void prepareWorkloadWorld(scenarios::ScenarioWorld &World);
+
+/// Runs \p Info scaled down by \p ScaleDivisor in \p World. The world must
+/// have been prepared. Correct JNI usage only: checkers must stay silent.
+WorkloadRun runWorkload(const WorkloadInfo &Info,
+                        scenarios::ScenarioWorld &World,
+                        uint64_t ScaleDivisor);
+
+} // namespace jinn::workloads
+
+#endif // JINN_WORKLOADS_WORKLOADS_H

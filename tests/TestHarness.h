@@ -1,0 +1,92 @@
+//===- tests/TestHarness.h - Shared fixtures for the test suite ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common fixtures: a bare VM+JNI world, and one with the Jinn agent
+/// loaded. Tests drive JNI through env->functions exactly as the paper's C
+/// examples do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_TESTS_TESTHARNESS_H
+#define JINN_TESTS_TESTHARNESS_H
+
+#include "jinn/JinnAgent.h"
+#include "jni/JniRuntime.h"
+#include "jvm/Vm.h"
+#include "jvmti/Jvmti.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace jinn::testing {
+
+/// A VM + JNI runtime with no agent: the "production JVM" of Table 1.
+class VmWorld {
+public:
+  explicit VmWorld(jvm::VmOptions Options = jvm::VmOptions())
+      : Vm(Options), Rt(Vm) {}
+
+  jvm::Vm Vm;
+  jni::JniRuntime Rt;
+
+  JNIEnv *env() { return Rt.mainEnv(); }
+  jvm::JThread &main() { return Vm.mainThread(); }
+
+  /// Defines a class and returns its metadata.
+  jvm::Klass *define(const jvm::ClassDef &Def) { return Vm.defineClass(Def); }
+
+  /// Registers a native method implementation.
+  bool bindNative(const char *ClassName, const char *Method, const char *Sig,
+                  jni::JniNativeStdFn Fn) {
+    return Rt.registerNative(Vm.findClass(ClassName), Method, Sig,
+                             std::move(Fn));
+  }
+
+  /// Calls a (Java or native) method by name from the main thread.
+  jvm::Value call(const char *ClassName, const char *Method, const char *Sig,
+                  jvm::Value Self = jvm::Value::makeNull(),
+                  std::vector<jvm::Value> Args = {}) {
+    return Vm.invokeByName(main(), ClassName, Method, Sig, Self, Args);
+  }
+
+  /// The class of the main thread's pending exception ("" when none).
+  std::string pendingClass() {
+    if (main().Pending.isNull())
+      return "";
+    jvm::Klass *Kl = Vm.klassOf(main().Pending);
+    return Kl ? Kl->name() : "";
+  }
+
+  std::string pendingMessage() {
+    return Vm.throwableMessage(main().Pending);
+  }
+};
+
+/// A VM with the Jinn agent installed (the "-agentlib:jinn" run).
+class JinnWorld : public VmWorld {
+public:
+  explicit JinnWorld(jvm::VmOptions Options = jvm::VmOptions())
+      : VmWorld(Options), Host(Rt),
+        Jinn(static_cast<agent::JinnAgent &>(
+            Host.load(std::make_unique<agent::JinnAgent>()))) {}
+
+  jvmti::AgentHost Host;
+  agent::JinnAgent &Jinn;
+
+  const std::vector<agent::JinnReport> &reports() {
+    return Jinn.reporter().reports();
+  }
+  size_t reportCount() { return reports().size(); }
+  std::string firstReportMachine() {
+    return reports().empty() ? "" : reports().front().Machine;
+  }
+};
+
+} // namespace jinn::testing
+
+#endif // JINN_TESTS_TESTHARNESS_H

@@ -1,0 +1,160 @@
+//===- tests/checkjni_test.cpp - -Xcheck:jni emulation unit tests --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkjni/XcheckAgent.h"
+#include "scenarios/Scenarios.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::checkjni;
+
+namespace {
+
+TEST(BehaviorFor, EncodesTable1Columns) {
+  // Row 1: warning / error.
+  EXPECT_EQ(behaviorFor(Vendor::HotSpot, "Exception state", "", false),
+            CheckerBehavior::Warning);
+  EXPECT_EQ(behaviorFor(Vendor::J9, "Exception state", "", false),
+            CheckerBehavior::Error);
+  // Row 14: error / miss (J9 crashes in production instead).
+  EXPECT_EQ(behaviorFor(Vendor::HotSpot, "JNIEnv* state", "", false),
+            CheckerBehavior::Error);
+  EXPECT_EQ(behaviorFor(Vendor::J9, "JNIEnv* state", "", false),
+            CheckerBehavior::Miss);
+  // Row 16: warning / error.
+  EXPECT_EQ(behaviorFor(Vendor::HotSpot, "Critical-section state", "",
+                        false),
+            CheckerBehavior::Warning);
+  EXPECT_EQ(behaviorFor(Vendor::J9, "Critical-section state", "", false),
+            CheckerBehavior::Error);
+  // Row 3: error / error.
+  for (Vendor V : {Vendor::HotSpot, Vendor::J9})
+    EXPECT_EQ(behaviorFor(V, "Fixed typing", "", false),
+              CheckerBehavior::Error);
+  // Rows 2 and 9: both miss.
+  for (Vendor V : {Vendor::HotSpot, Vendor::J9}) {
+    EXPECT_EQ(behaviorFor(V, "Nullness", "", false), CheckerBehavior::Miss);
+    EXPECT_EQ(behaviorFor(V, "Entity-specific typing", "", false),
+              CheckerBehavior::Miss);
+    EXPECT_EQ(behaviorFor(V, "Access control", "", false),
+              CheckerBehavior::Miss);
+  }
+  // Row 13: dangling references are errors for both.
+  for (Vendor V : {Vendor::HotSpot, Vendor::J9})
+    EXPECT_EQ(behaviorFor(V, "Local reference", "dangling reference",
+                          false),
+              CheckerBehavior::Error);
+  // Rows 11/12: leaks and overflow — miss / warning.
+  EXPECT_EQ(behaviorFor(Vendor::HotSpot, "Local reference", "overflow",
+                        true),
+            CheckerBehavior::Miss);
+  EXPECT_EQ(behaviorFor(Vendor::J9, "Local reference", "overflow", true),
+            CheckerBehavior::Warning);
+  EXPECT_EQ(behaviorFor(Vendor::HotSpot, "Monitor", "", true),
+            CheckerBehavior::Miss);
+  EXPECT_EQ(behaviorFor(Vendor::J9, "Monitor", "", true),
+            CheckerBehavior::Warning);
+}
+
+TEST(XcheckAgent, NamesFollowTheVendor) {
+  XcheckAgent Hs(Vendor::HotSpot);
+  XcheckAgent J9(Vendor::J9);
+  EXPECT_STREQ(Hs.name(), "xcheck:hotspot");
+  EXPECT_STREQ(J9.name(), "xcheck:j9");
+  EXPECT_STREQ(vendorName(Vendor::HotSpot), "hotspot");
+}
+
+TEST(XcheckAgent, HotSpotWarningKeepsTheProgramRunning) {
+  scenarios::WorldConfig Config;
+  Config.Checker = scenarios::CheckerKind::Xcheck;
+  scenarios::ScenarioWorld World(Config);
+  JNIEnv *Env = World.env();
+  jclass Rte = Env->functions->FindClass(Env, "java/lang/RuntimeException");
+  Env->functions->ThrowNew(Env, Rte, "pending");
+  // The sensitive call is flagged with a warning AND still executes
+  // (HotSpot prints and continues): FindClass returns a value.
+  jclass Out = Env->functions->FindClass(Env, "java/lang/String");
+  EXPECT_NE(Out, nullptr);
+  ASSERT_EQ(World.Xcheck->reporter().detections().size(), 1u);
+  EXPECT_EQ(World.Xcheck->reporter().detections()[0].Behavior,
+            CheckerBehavior::Warning);
+  EXPECT_FALSE(World.Vm.mainThread().Poisoned);
+}
+
+TEST(XcheckAgent, J9ErrorAbortsTheVm) {
+  scenarios::WorldConfig Config;
+  Config.Flavor = jvm::VmFlavor::J9Like;
+  Config.Checker = scenarios::CheckerKind::Xcheck;
+  scenarios::ScenarioWorld World(Config);
+  JNIEnv *Env = World.env();
+  jclass Rte = Env->functions->FindClass(Env, "java/lang/RuntimeException");
+  Env->functions->ThrowNew(Env, Rte, "pending");
+  jclass Out = Env->functions->FindClass(Env, "java/lang/String");
+  EXPECT_EQ(Out, nullptr); // suppressed: the VM aborted
+  EXPECT_TRUE(World.Vm.mainThread().Poisoned);
+}
+
+TEST(XcheckAgent, NonFatalModeDiagnosesAndContinues) {
+  // The "-Xcheck:jni:nonfatal" option J9's own abort banner recommends.
+  // Run the J9-style checker on an Ignore-flavored VM so the continued
+  // execution is observable (on a J9-flavored VM the program continues
+  // into the very undefined behavior the check warned about and crashes —
+  // the point of nonfatal being a diagnosis aid, not a safety net).
+  jvm::VmOptions Options;
+  Options.Flavor = jvm::VmFlavor::HotSpotLike;
+  jvm::Vm Vm(Options);
+  jni::JniRuntime Rt(Vm);
+  jvmti::AgentHost Host(Rt);
+  auto &Agent = static_cast<XcheckAgent &>(Host.load(
+      std::make_unique<XcheckAgent>(Vendor::J9, /*NonFatal=*/true)));
+  EXPECT_STREQ(Agent.name(), "xcheck:j9:nonfatal");
+
+  JNIEnv *Env = Rt.mainEnv();
+  jclass Rte = Env->functions->FindClass(Env, "java/lang/RuntimeException");
+  Env->functions->ThrowNew(Env, Rte, "pending");
+  jclass Out = Env->functions->FindClass(Env, "java/lang/String");
+  // Diagnosed as an error but execution continued (the call ran).
+  ASSERT_GE(Agent.reporter().detections().size(), 1u);
+  EXPECT_EQ(Agent.reporter().detections()[0].Behavior,
+            CheckerBehavior::Error);
+  EXPECT_NE(Out, nullptr);
+  EXPECT_FALSE(Vm.mainThread().Poisoned);
+}
+
+TEST(XcheckAgent, CleanRunsProduceNoDetections) {
+  for (auto Flavor : {jvm::VmFlavor::HotSpotLike, jvm::VmFlavor::J9Like}) {
+    scenarios::WorldConfig Config;
+    Config.Flavor = Flavor;
+    Config.Checker = scenarios::CheckerKind::Xcheck;
+    scenarios::ScenarioWorld World(Config);
+    JNIEnv *Env = World.env();
+    jstring S = Env->functions->NewStringUTF(Env, "ok");
+    Env->functions->GetStringUTFLength(Env, S);
+    jobject G = Env->functions->NewGlobalRef(Env, S);
+    Env->functions->DeleteGlobalRef(Env, G);
+    Env->functions->DeleteLocalRef(Env, S);
+    World.shutdown();
+    EXPECT_TRUE(World.Xcheck->reporter().detections().empty());
+  }
+}
+
+TEST(XcheckAgent, J9LeakWarningsAtVmDeathOnly) {
+  scenarios::WorldConfig Config;
+  Config.Flavor = jvm::VmFlavor::J9Like;
+  Config.Checker = scenarios::CheckerKind::Xcheck;
+  scenarios::ScenarioWorld World(Config);
+  JNIEnv *Env = World.env();
+  jstring S = Env->functions->NewStringUTF(Env, "leak");
+  Env->functions->NewGlobalRef(Env, S);
+  EXPECT_TRUE(World.Xcheck->reporter().detections().empty());
+  World.shutdown();
+  ASSERT_EQ(World.Xcheck->reporter().detections().size(), 1u);
+  EXPECT_EQ(World.Xcheck->reporter().detections()[0].Machine,
+            "Global or weak global reference");
+}
+
+} // namespace

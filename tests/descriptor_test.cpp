@@ -1,0 +1,127 @@
+//===- tests/descriptor_test.cpp - Descriptor parsing unit tests ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Descriptor.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn::jvm;
+
+namespace {
+
+TEST(Descriptor, PrimitiveFieldDescriptors) {
+  struct Case {
+    const char *Desc;
+    JType Kind;
+  } Cases[] = {{"Z", JType::Boolean}, {"B", JType::Byte},
+               {"C", JType::Char},    {"S", JType::Short},
+               {"I", JType::Int},     {"J", JType::Long},
+               {"F", JType::Float},   {"D", JType::Double}};
+  for (const Case &C : Cases) {
+    TypeDesc Out;
+    ASSERT_TRUE(parseFieldDescriptor(C.Desc, Out)) << C.Desc;
+    EXPECT_EQ(Out.Kind, C.Kind);
+    EXPECT_FALSE(Out.isReference());
+    EXPECT_EQ(Out.toDescriptor(), C.Desc);
+  }
+}
+
+TEST(Descriptor, ObjectFieldDescriptor) {
+  TypeDesc Out;
+  ASSERT_TRUE(parseFieldDescriptor("Ljava/lang/String;", Out));
+  EXPECT_EQ(Out.Kind, JType::Object);
+  EXPECT_EQ(Out.ClassName, "java/lang/String");
+  EXPECT_FALSE(Out.isArray());
+  EXPECT_EQ(Out.toDescriptor(), "Ljava/lang/String;");
+}
+
+TEST(Descriptor, ArrayDescriptors) {
+  TypeDesc Out;
+  ASSERT_TRUE(parseFieldDescriptor("[I", Out));
+  EXPECT_TRUE(Out.isArray());
+  EXPECT_EQ(Out.ClassName, "[I");
+
+  ASSERT_TRUE(parseFieldDescriptor("[[J", Out));
+  EXPECT_EQ(Out.ClassName, "[[J");
+
+  ASSERT_TRUE(parseFieldDescriptor("[Ljava/lang/Object;", Out));
+  EXPECT_EQ(Out.ClassName, "[Ljava/lang/Object;");
+  EXPECT_EQ(Out.toDescriptor(), "[Ljava/lang/Object;");
+}
+
+TEST(Descriptor, MalformedFieldDescriptors) {
+  TypeDesc Out;
+  for (const char *Bad : {"", "X", "L;", "Ljava/lang/String", "[", "II",
+                          "V", "[V", "Lfoo;extra"})
+    EXPECT_FALSE(parseFieldDescriptor(Bad, Out)) << Bad;
+}
+
+TEST(Descriptor, MethodDescriptorSimple) {
+  MethodDesc Out;
+  ASSERT_TRUE(parseMethodDescriptor("()V", Out));
+  EXPECT_TRUE(Out.Params.empty());
+  EXPECT_EQ(Out.Ret.Kind, JType::Void);
+}
+
+TEST(Descriptor, MethodDescriptorFromThePaper) {
+  // (Ljava/lang/List;Ljava/util/Comparator;)V — the Collections.sort
+  // example of paper §5.2.
+  MethodDesc Out;
+  ASSERT_TRUE(parseMethodDescriptor(
+      "(Ljava/util/List;Ljava/util/Comparator;)V", Out));
+  ASSERT_EQ(Out.Params.size(), 2u);
+  EXPECT_EQ(Out.Params[0].ClassName, "java/util/List");
+  EXPECT_EQ(Out.Params[1].ClassName, "java/util/Comparator");
+  EXPECT_EQ(Out.Ret.Kind, JType::Void);
+}
+
+TEST(Descriptor, MethodDescriptorMixed) {
+  MethodDesc Out;
+  ASSERT_TRUE(parseMethodDescriptor("(I[JLjava/lang/String;D)[B", Out));
+  ASSERT_EQ(Out.Params.size(), 4u);
+  EXPECT_EQ(Out.Params[0].Kind, JType::Int);
+  EXPECT_EQ(Out.Params[1].ClassName, "[J");
+  EXPECT_EQ(Out.Params[2].ClassName, "java/lang/String");
+  EXPECT_EQ(Out.Params[3].Kind, JType::Double);
+  EXPECT_EQ(Out.Ret.ClassName, "[B");
+}
+
+TEST(Descriptor, MalformedMethodDescriptors) {
+  MethodDesc Out;
+  for (const char *Bad : {"", "()", "(V)V", "I)V", "(I", "(I)VV", "(I)",
+                          "(L;)V"})
+    EXPECT_FALSE(parseMethodDescriptor(Bad, Out)) << Bad;
+}
+
+TEST(Descriptor, VoidOnlyValidAsReturn) {
+  MethodDesc Out;
+  EXPECT_TRUE(parseMethodDescriptor("()V", Out));
+  TypeDesc Field;
+  EXPECT_FALSE(parseFieldDescriptor("V", Field));
+}
+
+// Property: every parsed descriptor reprints to its source, and reparses
+// to an equal structure (round-trip).
+class DescriptorRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(DescriptorRoundTrip, FieldRoundTrip) {
+  TypeDesc First;
+  ASSERT_TRUE(parseFieldDescriptor(GetParam(), First));
+  std::string Printed = First.toDescriptor();
+  EXPECT_EQ(Printed, GetParam());
+  TypeDesc Second;
+  ASSERT_TRUE(parseFieldDescriptor(Printed, Second));
+  EXPECT_EQ(Second.Kind, First.Kind);
+  EXPECT_EQ(Second.ClassName, First.ClassName);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, DescriptorRoundTrip,
+    ::testing::Values("Z", "B", "C", "S", "I", "J", "F", "D",
+                      "Ljava/lang/String;", "La;", "[I", "[[D",
+                      "[Ljava/util/List;", "[[[Z"));
+
+} // namespace

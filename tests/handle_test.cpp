@@ -1,0 +1,98 @@
+//===- tests/handle_test.cpp - Handle encoding unit/property tests -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Handle.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::jvm;
+
+namespace {
+
+TEST(Handle, NullEncodesToZero) {
+  HandleBits Bits;
+  EXPECT_EQ(encodeHandle(Bits), 0u);
+  auto Decoded = decodeHandle(0);
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Kind, RefKind::Null);
+}
+
+TEST(Handle, RoundTripAllKinds) {
+  for (RefKind Kind : {RefKind::Local, RefKind::Global,
+                       RefKind::WeakGlobal}) {
+    HandleBits In;
+    In.Kind = Kind;
+    In.Thread = 17;
+    In.Slot = 12345;
+    In.Gen = 999;
+    auto Out = decodeHandle(encodeHandle(In));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(Out->Kind, Kind);
+    EXPECT_EQ(Out->Thread, 17u);
+    EXPECT_EQ(Out->Slot, 12345u);
+    EXPECT_EQ(Out->Gen, 999u);
+  }
+}
+
+TEST(Handle, HeapPointersAreNotHandles) {
+  // Canonical x86-64 heap/stack addresses have zero top bits — no magic.
+  int Local = 0;
+  auto P1 = decodeHandle(reinterpret_cast<uintptr_t>(&Local));
+  EXPECT_FALSE(P1.has_value());
+  auto Heap = std::make_unique<int>(7);
+  auto P2 = decodeHandle(reinterpret_cast<uintptr_t>(Heap.get()));
+  EXPECT_FALSE(P2.has_value());
+}
+
+TEST(Handle, WrongMagicRejected) {
+  HandleBits In;
+  In.Kind = RefKind::Local;
+  In.Slot = 5;
+  In.Gen = 1;
+  uint64_t Word = encodeHandle(In);
+  // Flip the magic nibble.
+  EXPECT_FALSE(decodeHandle(Word ^ (0xFULL << 60)).has_value());
+}
+
+TEST(Handle, KindZeroWithMagicRejected) {
+  // Magic present but kind bits 00: not a valid handle.
+  uint64_t Word = 0xAULL << 60;
+  EXPECT_FALSE(decodeHandle(Word).has_value());
+}
+
+TEST(Handle, FieldRangesRoundTripUnderRandomSweep) {
+  SplitMix64 Rng(42);
+  for (int I = 0; I < 2000; ++I) {
+    HandleBits In;
+    In.Kind = static_cast<RefKind>(1 + Rng.nextBelow(3));
+    In.Thread = static_cast<uint32_t>(Rng.nextBelow(1 << 12));
+    In.Slot = static_cast<uint32_t>(Rng.nextBelow(1 << 20));
+    In.Gen = static_cast<uint32_t>(Rng.nextBelow(1u << 26));
+    if (In.Gen == 0)
+      In.Gen = 1;
+    auto Out = decodeHandle(encodeHandle(In));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(Out->Kind, In.Kind);
+    EXPECT_EQ(Out->Thread, In.Thread);
+    EXPECT_EQ(Out->Slot, In.Slot);
+    EXPECT_EQ(Out->Gen, In.Gen);
+  }
+}
+
+TEST(Handle, DistinctFieldsGiveDistinctWords) {
+  HandleBits A, B;
+  A.Kind = B.Kind = RefKind::Local;
+  A.Thread = B.Thread = 1;
+  A.Slot = 7;
+  B.Slot = 7;
+  A.Gen = 1;
+  B.Gen = 2; // recycled slot: new generation
+  EXPECT_NE(encodeHandle(A), encodeHandle(B));
+}
+
+} // namespace

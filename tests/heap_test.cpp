@@ -1,0 +1,164 @@
+//===- tests/heap_test.cpp - Heap and GC unit tests ----------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Heap.h"
+#include "jvm/Klass.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::jvm;
+
+namespace {
+
+struct HeapTest : ::testing::Test {
+  Heap H;
+  Klass Dummy{"Dummy", nullptr};
+};
+
+TEST_F(HeapTest, AllocateAndResolve) {
+  ObjectId Id = H.allocPlain(&Dummy, 3);
+  HeapObject *Obj = H.resolve(Id);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->Kl, &Dummy);
+  EXPECT_EQ(Obj->Fields.size(), 3u);
+  EXPECT_EQ(H.liveCount(), 1u);
+}
+
+TEST_F(HeapTest, NullIdNeverResolves) {
+  EXPECT_EQ(H.resolve(ObjectId()), nullptr);
+  EXPECT_FALSE(H.isStale(ObjectId())); // null is null, not dangling
+}
+
+TEST_F(HeapTest, UnreachableObjectsAreCollected) {
+  ObjectId Kept = H.allocPlain(&Dummy, 0);
+  ObjectId Dropped = H.allocPlain(&Dummy, 0);
+  H.collect({Kept}, /*Move=*/false);
+  EXPECT_NE(H.resolve(Kept), nullptr);
+  EXPECT_EQ(H.resolve(Dropped), nullptr);
+  EXPECT_TRUE(H.isStale(Dropped));
+  EXPECT_EQ(H.liveCount(), 1u);
+}
+
+TEST_F(HeapTest, FieldsKeepObjectsAlive) {
+  ObjectId Inner = H.allocPlain(&Dummy, 0);
+  ObjectId Outer = H.allocPlain(&Dummy, 1);
+  H.resolve(Outer)->Fields[0] = Value::makeRef(Inner);
+  H.collect({Outer}, false);
+  EXPECT_NE(H.resolve(Inner), nullptr);
+}
+
+TEST_F(HeapTest, ObjectArraysTraceElements) {
+  ObjectId Elem = H.allocPlain(&Dummy, 0);
+  ObjectId Arr = H.allocObjArray(&Dummy, 2);
+  H.resolve(Arr)->ObjElems[0] = Elem;
+  H.collect({Arr}, false);
+  EXPECT_NE(H.resolve(Elem), nullptr);
+  H.collect({}, false);
+  EXPECT_EQ(H.resolve(Elem), nullptr);
+}
+
+TEST_F(HeapTest, CyclesAreCollected) {
+  ObjectId A = H.allocPlain(&Dummy, 1);
+  ObjectId B = H.allocPlain(&Dummy, 1);
+  H.resolve(A)->Fields[0] = Value::makeRef(B);
+  H.resolve(B)->Fields[0] = Value::makeRef(A);
+  H.collect({}, false);
+  EXPECT_EQ(H.liveCount(), 0u);
+}
+
+TEST_F(HeapTest, SlotReuseBumpsGeneration) {
+  ObjectId Old = H.allocPlain(&Dummy, 0);
+  H.collect({}, false);
+  ObjectId New = H.allocPlain(&Dummy, 0);
+  EXPECT_EQ(New.Index, Old.Index); // the slot was recycled
+  EXPECT_GT(New.Gen, Old.Gen);
+  EXPECT_EQ(H.resolve(Old), nullptr); // the old id stays dead forever
+  EXPECT_NE(H.resolve(New), nullptr);
+}
+
+TEST_F(HeapTest, MovingCollectionChangesAddresses) {
+  ObjectId Id = H.allocPlain(&Dummy, 0);
+  uint64_t Before = H.resolve(Id)->Address;
+  H.collect({Id}, /*Move=*/true);
+  EXPECT_NE(H.resolve(Id)->Address, Before);
+  EXPECT_EQ(H.resolve(Id)->MoveCount, 1u);
+}
+
+TEST_F(HeapTest, PinnedObjectsDoNotMove) {
+  ObjectId Id = H.allocPrimArray(&Dummy, JType::Int, 8);
+  H.resolve(Id)->PinCount = 1;
+  uint64_t Before = H.resolve(Id)->Address;
+  H.collect({Id}, /*Move=*/true);
+  EXPECT_EQ(H.resolve(Id)->Address, Before);
+  EXPECT_EQ(H.resolve(Id)->MoveCount, 0u);
+}
+
+TEST_F(HeapTest, BeforeSweepSeesMarks) {
+  ObjectId Kept = H.allocPlain(&Dummy, 0);
+  ObjectId Dropped = H.allocPlain(&Dummy, 0);
+  bool KeptMarked = false, DroppedMarked = true;
+  H.collect({Kept}, false, [&] {
+    KeptMarked = H.isMarked(Kept);
+    DroppedMarked = H.isMarked(Dropped);
+  });
+  EXPECT_TRUE(KeptMarked);
+  EXPECT_FALSE(DroppedMarked);
+}
+
+TEST_F(HeapTest, StringAndPrimArrayPayloads) {
+  ObjectId Str = H.allocString(&Dummy, u"hello");
+  EXPECT_EQ(H.resolve(Str)->Chars, u"hello");
+  ObjectId Arr = H.allocPrimArray(&Dummy, JType::Long, 4);
+  EXPECT_EQ(H.resolve(Arr)->PrimElems.size(), 4u);
+  EXPECT_EQ(H.resolve(Arr)->ElemKind, JType::Long);
+}
+
+TEST_F(HeapTest, StatsAccumulate) {
+  for (int I = 0; I < 10; ++I)
+    H.allocPlain(&Dummy, 0);
+  H.collect({}, true);
+  EXPECT_EQ(H.stats().TotalAllocated, 10u);
+  EXPECT_EQ(H.stats().TotalCollected, 10u);
+  EXPECT_EQ(H.stats().GcCount, 1u);
+  EXPECT_EQ(H.stats().MovingGcCount, 1u);
+}
+
+// Property: after a random reachable/unreachable population, collection
+// keeps exactly the reachable set.
+TEST_F(HeapTest, RandomReachabilityProperty) {
+  SplitMix64 Rng(7);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::vector<ObjectId> Roots, Reachable, Garbage;
+    std::vector<ObjectId> FreeSlots; // reachable objects with an unset field
+    for (int I = 0; I < 30; ++I) {
+      ObjectId Id = H.allocPlain(&Dummy, 1);
+      if (Rng.chance(1, 3)) {
+        Roots.push_back(Id);
+        Reachable.push_back(Id);
+        FreeSlots.push_back(Id);
+      } else if (!FreeSlots.empty() && Rng.chance(1, 2)) {
+        // Hang it off a reachable object whose field is still unset.
+        size_t Pick = Rng.nextBelow(FreeSlots.size());
+        H.resolve(FreeSlots[Pick])->Fields[0] = Value::makeRef(Id);
+        FreeSlots.erase(FreeSlots.begin() + Pick);
+        Reachable.push_back(Id);
+        FreeSlots.push_back(Id);
+      } else {
+        Garbage.push_back(Id);
+      }
+    }
+    H.collect(Roots, Rng.chance(1, 2));
+    for (ObjectId Id : Reachable)
+      EXPECT_NE(H.resolve(Id), nullptr);
+    for (ObjectId Id : Garbage)
+      EXPECT_EQ(H.resolve(Id), nullptr);
+    H.collect({}, false); // clean slate for the next round
+  }
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/invoke_interface_test.cpp - JavaVM invocation interface -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+struct InvokeInterface : ::testing::Test {
+  VmWorld W;
+  JavaVM *Vm = W.Rt.javaVm();
+};
+
+TEST_F(InvokeInterface, AttachCreatesThreadAndEnv) {
+  JNIEnv *Env = nullptr;
+  char Name[] = "pool-worker";
+  ASSERT_EQ(Vm->functions->AttachCurrentThread(Vm, &Env, Name), JNI_OK);
+  ASSERT_NE(Env, nullptr);
+  EXPECT_EQ(Env->thread->name(), "pool-worker");
+  EXPECT_EQ(W.Rt.currentThread(), Env->thread);
+  // The attached thread can immediately use JNI.
+  jstring S = Env->functions->NewStringUTF(Env, "from worker");
+  EXPECT_EQ(Env->functions->GetStringUTFLength(Env, S), 11);
+  EXPECT_EQ(Vm->functions->DetachCurrentThread(Vm), JNI_OK);
+  EXPECT_EQ(Vm->functions->DetachCurrentThread(Vm), JNI_EDETACHED);
+}
+
+TEST_F(InvokeInterface, GetEnvReturnsTheCurrentThreadsEnv) {
+  void *Out = nullptr;
+  // No current thread recorded: detached.
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_6),
+            JNI_EDETACHED);
+  jni::JniRuntime::ScopedCurrent Scope(W.Rt, &W.main());
+  ASSERT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_6), JNI_OK);
+  EXPECT_EQ(Out, W.env());
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_6 + 1),
+            JNI_EVERSION);
+}
+
+TEST_F(InvokeInterface, DestroyJavaVmShutsDown) {
+  EXPECT_EQ(Vm->functions->DestroyJavaVM(Vm), JNI_OK);
+  EXPECT_TRUE(W.Vm.isShutdown());
+}
+
+TEST_F(InvokeInterface, AttachedThreadLocalRefsAreIndependent) {
+  JNIEnv *Worker = nullptr;
+  ASSERT_EQ(Vm->functions->AttachCurrentThread(Vm, &Worker, nullptr),
+            JNI_OK);
+  jstring Ws = Worker->functions->NewStringUTF(Worker, "worker-local");
+  EXPECT_EQ(Worker->functions->GetObjectRefType(Worker, Ws),
+            JNILocalRefType);
+  // Main's perspective: that local belongs to the worker.
+  auto Peek = W.Vm.peekHandle(jni::handleWord(Ws), &W.main());
+  EXPECT_EQ(Peek.S, jvm::Vm::PeekResult::Status::WrongThreadLive);
+  Vm->functions->DetachCurrentThread(Vm);
+  // Detach popped the worker's frames: the handle is dead.
+  auto After = W.Vm.peekHandle(jni::handleWord(Ws), nullptr);
+  EXPECT_EQ(After.S, jvm::Vm::PeekResult::Status::Stale);
+}
+
+} // namespace

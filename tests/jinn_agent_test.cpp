@@ -1,0 +1,106 @@
+//===- tests/jinn_agent_test.cpp - Agent options & integration tests -----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "checkjni/XcheckAgent.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+TEST(JinnAgentOptions, AblatedAgentOnlyRunsSelectedMachines) {
+  VmWorld W;
+  jvmti::AgentHost Host(W.Rt);
+  agent::JinnOptions Options;
+  Options.EnabledMachines = {"Nullness"};
+  auto &Jinn = static_cast<agent::JinnAgent &>(
+      Host.load(std::make_unique<agent::JinnAgent>(std::move(Options))));
+  ASSERT_EQ(Jinn.activeMachines().size(), 1u);
+  EXPECT_EQ(Jinn.activeMachines()[0]->spec().Name, "Nullness");
+
+  JNIEnv *Env = W.env();
+  // A nullness bug is caught...
+  Env->functions->GetStringUTFChars(Env, nullptr, nullptr);
+  EXPECT_EQ(Jinn.reporter().countFor("Nullness"), 1u);
+  W.main().Pending = jvm::ObjectId();
+  // ...but a dangling local reference slips through to the production
+  // policy (the local-reference machine is disabled).
+  jstring S = Env->functions->NewStringUTF(Env, "x");
+  Env->functions->DeleteLocalRef(Env, S);
+  Env->functions->GetStringUTFLength(Env, S);
+  EXPECT_EQ(Jinn.reporter().countFor("Local reference"), 0u);
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::UndefinedState) ||
+              W.Vm.diags().has(IncidentKind::SimulatedCrash));
+}
+
+TEST(JinnAgentOptions, FullAgentActivatesAllElevenMachines) {
+  JinnWorld W;
+  EXPECT_EQ(W.Jinn.activeMachines().size(), 11u);
+  EXPECT_EQ(W.Jinn.stats().MachineCount, 11u);
+}
+
+TEST(JinnAgent, DebuggerHookFiresAtThePointOfFailure) {
+  // Paper §2.3: a debugger catches the exception at the faulting call and
+  // can inspect the full program state.
+  JinnWorld W;
+  std::vector<std::string> HookLog;
+  W.Jinn.reporter().OnViolation =
+      [&](const agent::JinnReport &Report) {
+        // At hook time the faulting thread still has its full stack.
+        HookLog.push_back(Report.Machine + " @ " + Report.Function);
+      };
+  JNIEnv *Env = W.env();
+  jstring S = Env->functions->NewStringUTF(Env, "x");
+  Env->functions->DeleteLocalRef(Env, S);
+  Env->functions->GetStringUTFLength(Env, S);
+  ASSERT_EQ(HookLog.size(), 1u);
+  EXPECT_EQ(HookLog[0], "Local reference @ GetStringUTFLength");
+}
+
+TEST(JinnAgent, TwoAgentsCanCoexist) {
+  // Jinn plus an -Xcheck emulation on the same VM: both observe the bug.
+  VmWorld W;
+  jvmti::AgentHost Host(W.Rt);
+  auto &Jinn = static_cast<agent::JinnAgent &>(
+      Host.load(std::make_unique<agent::JinnAgent>()));
+  auto &Xcheck = static_cast<checkjni::XcheckAgent &>(Host.load(
+      std::make_unique<checkjni::XcheckAgent>(checkjni::Vendor::HotSpot)));
+
+  JNIEnv *Env = W.env();
+  jclass Rte = Env->functions->FindClass(Env, "java/lang/RuntimeException");
+  Env->functions->ThrowNew(Env, Rte, "pending");
+  Env->functions->FindClass(Env, "java/lang/Object");
+  // Both agents observe the same failure: the ad-hoc checker's
+  // whole-table hook warns first (HotSpot style: print and continue),
+  // then Jinn's synthesized check throws and suppresses the call.
+  ASSERT_EQ(Xcheck.reporter().detections().size(), 1u);
+  EXPECT_EQ(Xcheck.reporter().detections()[0].Behavior,
+            checkjni::CheckerBehavior::Warning);
+  EXPECT_EQ(Jinn.reporter().countFor("Exception state"), 1u);
+  EXPECT_EQ(W.pendingClass(), "jinn/JNIAssertionFailure");
+}
+
+TEST(JinnAgent, ReloadOnFreshVmStartsClean) {
+  for (int Round = 0; Round < 3; ++Round) {
+    JinnWorld W;
+    JNIEnv *Env = W.env();
+    jstring S = Env->functions->NewStringUTF(Env, "x");
+    Env->functions->GetStringUTFLength(Env, S);
+    W.Vm.shutdown();
+    EXPECT_EQ(W.reportCount(), 0u) << "round " << Round;
+  }
+}
+
+TEST(JinnAgent, SynthesisStatsAreStable) {
+  JinnWorld A, B;
+  EXPECT_EQ(A.Jinn.stats().instrumentationPoints(),
+            B.Jinn.stats().instrumentationPoints());
+  EXPECT_EQ(A.Jinn.stats().JniPreHooks, B.Jinn.stats().JniPreHooks);
+  EXPECT_GT(A.Jinn.stats().JniPreHooks, 1000u); // the cross product is big
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- tests/jinn_smoke_test.cpp - End-to-end smoke tests ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+TEST(JinnSmoke, CleanProgramProducesNoReports) {
+  JinnWorld W;
+  JNIEnv *Env = W.env();
+  jclass Str = Env->functions->FindClass(Env, "java/lang/String");
+  ASSERT_NE(Str, nullptr);
+  jstring S = Env->functions->NewStringUTF(Env, "hello");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(Env->functions->GetStringUTFLength(Env, S), 5);
+  EXPECT_EQ(W.reportCount(), 0u);
+  EXPECT_EQ(W.pendingClass(), "");
+}
+
+TEST(JinnSmoke, PendingExceptionOnSensitiveCallIsReported) {
+  JinnWorld W;
+  JNIEnv *Env = W.env();
+  jclass Rte = Env->functions->FindClass(Env, "java/lang/RuntimeException");
+  ASSERT_NE(Rte, nullptr);
+  ASSERT_EQ(Env->functions->ThrowNew(Env, Rte, "checked by native code"),
+            JNI_OK);
+  // An exception is now pending; FindClass is exception-sensitive.
+  jclass C2 = Env->functions->FindClass(Env, "java/lang/String");
+  EXPECT_EQ(C2, nullptr);
+  ASSERT_EQ(W.reportCount(), 1u);
+  EXPECT_EQ(W.firstReportMachine(), "Exception state");
+  EXPECT_EQ(W.pendingClass(), "jinn/JNIAssertionFailure");
+  // The original exception is the cause.
+  jvm::ObjectId Cause = W.Vm.throwableCause(W.main().Pending);
+  EXPECT_EQ(W.Vm.klassOf(Cause)->name(), "java/lang/RuntimeException");
+}
+
+TEST(JinnSmoke, DanglingLocalRefAcrossNativeCallsIsReported) {
+  // A reduction of the GNOME bug (paper Figure 1): a native method stores
+  // a local reference in C state; a later native call uses it.
+  JinnWorld W;
+  static jobject Escaped; // the C heap cell (cb->receiver)
+  Escaped = nullptr;
+
+  jvm::ClassDef Def;
+  Def.Name = "Callback";
+  Def.nativeMethod("bind", "(Ljava/lang/String;)V", /*IsStatic=*/true,
+                   "Callback.java:3");
+  Def.nativeMethod("fire", "()V", /*IsStatic=*/true, "Callback.java:9");
+  W.define(Def);
+
+  W.bindNative("Callback", "bind", "(Ljava/lang/String;)V",
+               [](JNIEnv *, jobject, const jvalue *Args) -> jvalue {
+                 Escaped = Args[0].l; // escapes the native frame
+                 jvalue R;
+                 R.j = 0;
+                 return R;
+               });
+  W.bindNative("Callback", "fire", "()V",
+               [](JNIEnv *Env, jobject, const jvalue *) -> jvalue {
+                 // BUG: uses the dead local reference.
+                 Env->functions->GetStringUTFLength(
+                     Env, static_cast<jstring>(Escaped));
+                 jvalue R;
+                 R.j = 0;
+                 return R;
+               });
+
+  jvm::ObjectId Arg = W.Vm.newString("receiver");
+  W.call("Callback", "bind", "(Ljava/lang/String;)V",
+         jvm::Value::makeNull(), {jvm::Value::makeRef(Arg)});
+  EXPECT_EQ(W.reportCount(), 0u);
+
+  W.call("Callback", "fire", "()V");
+  ASSERT_GE(W.reportCount(), 1u);
+  EXPECT_EQ(W.firstReportMachine(), "Local reference");
+  EXPECT_NE(W.reports().front().Message.find("dangling"), std::string::npos);
+}
+
+TEST(JinnSmoke, ProductionRunCrashesWhereJinnThrows) {
+  // The same dangling-reference mistake without Jinn, on a J9-like VM,
+  // (simulated-)crashes: Table 1 row 13.
+  jvm::VmOptions Options;
+  Options.Flavor = jvm::VmFlavor::J9Like;
+  VmWorld W(Options);
+  JNIEnv *Env = W.env();
+
+  jstring S = Env->functions->NewStringUTF(Env, "x");
+  Env->functions->DeleteLocalRef(Env, S);
+  Env->functions->GetStringUTFLength(Env, S);
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::SimulatedCrash));
+  EXPECT_TRUE(W.main().Poisoned);
+}

@@ -1,0 +1,239 @@
+//===- tests/jni_call_test.cpp - Call-family unit tests -------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the Call<T>Method{,V,A} families, CallStatic, CallNonvirtual,
+/// and NewObject across all form variants, including the variadic ->
+/// va_list -> jvalue-array delegation chain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+struct JniCall : ::testing::Test {
+  VmWorld W;
+  JNIEnv *Env = W.env();
+  const JNINativeInterface_ *Fns = W.env()->functions;
+  jclass Calc = nullptr;
+  jobject Instance = nullptr;
+
+  void SetUp() override {
+    jvm::ClassDef Def;
+    Def.Name = "t/Calc";
+    Def.field("bias", "I");
+    Def.method("addBias", "(I)I",
+               [](jvm::Vm &V, jvm::JThread &, const jvm::Value &Self,
+                  const std::vector<jvm::Value> &Args) {
+                 jvm::HeapObject *HO = V.heap().resolve(Self.Obj);
+                 return jvm::Value::makeInt(static_cast<int32_t>(
+                     Args[0].I + HO->Fields[0].I));
+               });
+    Def.method("twice", "(D)D",
+               [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                  const std::vector<jvm::Value> &Args) {
+                 return jvm::Value::makeDouble(Args[0].D * 2);
+               },
+               /*IsStatic=*/true);
+    Def.method("concat",
+               "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;",
+               [](jvm::Vm &V, jvm::JThread &, const jvm::Value &,
+                  const std::vector<jvm::Value> &Args) {
+                 return jvm::Value::makeRef(V.newString(
+                     V.utf8Of(Args[0].Obj) + V.utf8Of(Args[1].Obj)));
+               },
+               /*IsStatic=*/true);
+    Def.method("<init>", "(I)V",
+               [](jvm::Vm &V, jvm::JThread &, const jvm::Value &Self,
+                  const std::vector<jvm::Value> &Args) {
+                 V.heap().resolve(Self.Obj)->Fields[0] =
+                     jvm::Value::makeInt(static_cast<int32_t>(Args[0].I));
+                 return jvm::Value::makeVoid();
+               });
+    Def.method("id", "()I",
+               [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                  const std::vector<jvm::Value> &) {
+                 return jvm::Value::makeInt(1);
+               });
+    W.define(Def);
+
+    jvm::ClassDef Sub;
+    Sub.Name = "t/Calc2";
+    Sub.Super = "t/Calc";
+    Sub.method("id", "()I",
+               [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                  const std::vector<jvm::Value> &) {
+                 return jvm::Value::makeInt(2);
+               });
+    W.define(Sub);
+
+    Calc = Fns->FindClass(Env, "t/Calc");
+    jmethodID Ctor = Fns->GetMethodID(Env, Calc, "<init>", "(I)V");
+    Instance = Fns->NewObject(Env, Calc, Ctor, 10);
+    ASSERT_NE(Instance, nullptr);
+  }
+};
+
+TEST_F(JniCall, NewObjectRunsTheConstructor) {
+  jfieldID Bias = Fns->GetFieldID(Env, Calc, "bias", "I");
+  EXPECT_EQ(Fns->GetIntField(Env, Instance, Bias), 10);
+}
+
+TEST_F(JniCall, CallIntMethodAllThreeForms) {
+  jmethodID Add = Fns->GetMethodID(Env, Calc, "addBias", "(I)I");
+  // A form.
+  jvalue Args[1];
+  Args[0].i = 5;
+  EXPECT_EQ(Fns->CallIntMethodA(Env, Instance, Add, Args), 15);
+  // Variadic form (delegates through V to A).
+  EXPECT_EQ(Fns->CallIntMethod(Env, Instance, Add, 7), 17);
+}
+
+TEST_F(JniCall, CallStaticDoubleMethod) {
+  jmethodID Twice = Fns->GetStaticMethodID(Env, Calc, "twice", "(D)D");
+  jvalue Args[1];
+  Args[0].d = 1.5;
+  EXPECT_DOUBLE_EQ(Fns->CallStaticDoubleMethodA(Env, Calc, Twice, Args), 3.0);
+  EXPECT_DOUBLE_EQ(Fns->CallStaticDoubleMethod(Env, Calc, Twice, 2.25), 4.5);
+}
+
+TEST_F(JniCall, CallStaticObjectMethodWithRefArgs) {
+  jmethodID Concat = Fns->GetStaticMethodID(
+      Env, Calc, "concat",
+      "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;");
+  jstring A = Fns->NewStringUTF(Env, "foo");
+  jstring B = Fns->NewStringUTF(Env, "bar");
+  jvalue Args[2];
+  Args[0].l = A;
+  Args[1].l = B;
+  jobject Out = Fns->CallStaticObjectMethodA(Env, Calc, Concat, Args);
+  ASSERT_NE(Out, nullptr);
+  EXPECT_EQ(W.Vm.utf8Of(W.Rt.deref(Env, Out)), "foobar");
+}
+
+TEST_F(JniCall, VirtualDispatchAndCallNonvirtual) {
+  jclass Calc2 = Fns->FindClass(Env, "t/Calc2");
+  jmethodID Ctor = Fns->GetMethodID(Env, Calc, "<init>", "(I)V");
+  jobject Sub = Fns->NewObject(Env, Calc2, Ctor, 0);
+  jmethodID BaseId = Fns->GetMethodID(Env, Calc, "id", "()I");
+  // Virtual: the override runs.
+  EXPECT_EQ(Fns->CallIntMethodA(Env, Sub, BaseId, nullptr), 2);
+  // Nonvirtual: the base implementation runs.
+  EXPECT_EQ(Fns->CallNonvirtualIntMethodA(Env, Sub, Calc, BaseId, nullptr),
+            1);
+  EXPECT_EQ(Fns->CallNonvirtualIntMethod(Env, Sub, Calc, BaseId), 1);
+}
+
+TEST_F(JniCall, NullReceiverThrowsNpe) {
+  jmethodID Add = Fns->GetMethodID(Env, Calc, "addBias", "(I)I");
+  jvalue Args[1];
+  Args[0].i = 1;
+  EXPECT_EQ(Fns->CallIntMethodA(Env, nullptr, Add, Args), 0);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NullPointerException");
+}
+
+TEST_F(JniCall, StaticInstanceMismatchIsUndefined) {
+  jmethodID Twice = Fns->GetStaticMethodID(Env, Calc, "twice", "(D)D");
+  // Calling a static method through the instance-call family: row 2.
+  Fns->CallDoubleMethodA(Env, Instance, Twice, nullptr);
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::UndefinedState));
+}
+
+TEST_F(JniCall, InvalidMethodIdIsUndefined) {
+  int Stack = 0;
+  Fns->CallIntMethodA(Env, Instance,
+                      reinterpret_cast<jmethodID>(&Stack), nullptr);
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::UndefinedState));
+}
+
+TEST_F(JniCall, ExceptionInCalleePropagates) {
+  jvm::ClassDef Def;
+  Def.Name = "t/Boom";
+  Def.method("boom", "()V",
+             [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
+                const std::vector<jvm::Value> &) {
+               V.throwNew(T, "java/lang/IllegalStateException", "from Java");
+               return jvm::Value::makeVoid();
+             },
+             /*IsStatic=*/true);
+  W.define(Def);
+  jclass Boom = Fns->FindClass(Env, "t/Boom");
+  jmethodID M = Fns->GetStaticMethodID(Env, Boom, "boom", "()V");
+  Fns->CallStaticVoidMethodA(Env, Boom, M, nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/IllegalStateException");
+}
+
+TEST_F(JniCall, BooleanCharShortLongFloatForms) {
+  jvm::ClassDef Def;
+  Def.Name = "t/Kinds";
+  Def.method("flip", "(Z)Z",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &Args) {
+               return jvm::Value::makeBoolean(Args[0].I == 0);
+             },
+             true);
+  Def.method("up", "(C)C",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &Args) {
+               return jvm::Value::makeChar(
+                   static_cast<uint16_t>(Args[0].I - 32));
+             },
+             true);
+  Def.method("halve", "(S)S",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &Args) {
+               return jvm::Value::makeShort(
+                   static_cast<int16_t>(Args[0].I / 2));
+             },
+             true);
+  Def.method("sq", "(J)J",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &Args) {
+               return jvm::Value::makeLong(Args[0].I * Args[0].I);
+             },
+             true);
+  Def.method("neg", "(F)F",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &Args) {
+               return jvm::Value::makeFloat(
+                   -static_cast<float>(Args[0].D));
+             },
+             true);
+  W.define(Def);
+  jclass K = Fns->FindClass(Env, "t/Kinds");
+  EXPECT_EQ(Fns->CallStaticBooleanMethod(
+                Env, K, Fns->GetStaticMethodID(Env, K, "flip", "(Z)Z"),
+                JNI_FALSE),
+            JNI_TRUE);
+  EXPECT_EQ(Fns->CallStaticCharMethod(
+                Env, K, Fns->GetStaticMethodID(Env, K, "up", "(C)C"), 'a'),
+            static_cast<jchar>('A'));
+  EXPECT_EQ(Fns->CallStaticShortMethod(
+                Env, K, Fns->GetStaticMethodID(Env, K, "halve", "(S)S"), 40),
+            20);
+  EXPECT_EQ(Fns->CallStaticLongMethod(
+                Env, K, Fns->GetStaticMethodID(Env, K, "sq", "(J)J"),
+                static_cast<jlong>(9)),
+            81);
+  EXPECT_FLOAT_EQ(
+      Fns->CallStaticFloatMethod(
+          Env, K, Fns->GetStaticMethodID(Env, K, "neg", "(F)F"), 2.5),
+      -2.5f);
+}
+
+TEST_F(JniCall, GetMethodIdStaticnessSeparation) {
+  EXPECT_EQ(Fns->GetMethodID(Env, Calc, "twice", "(D)D"), nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoSuchMethodError");
+  W.main().Pending = jvm::ObjectId();
+  EXPECT_EQ(Fns->GetStaticMethodID(Env, Calc, "addBias", "(I)I"), nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoSuchMethodError");
+}
+
+} // namespace

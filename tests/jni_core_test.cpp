@@ -1,0 +1,215 @@
+//===- tests/jni_core_test.cpp - JNI core function unit tests ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "jni/Marshal.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+struct JniCore : ::testing::Test {
+  VmWorld W;
+  JNIEnv *Env = W.env();
+  const JNINativeInterface_ *Fns = W.env()->functions;
+};
+
+TEST_F(JniCore, GetVersion) {
+  EXPECT_EQ(Fns->GetVersion(Env), JNI_VERSION_1_6);
+}
+
+TEST_F(JniCore, FindClassAndMiss) {
+  jclass Str = Fns->FindClass(Env, "java/lang/String");
+  ASSERT_NE(Str, nullptr);
+  EXPECT_EQ(W.Vm.klassFromMirror(W.Rt.deref(Env, Str)), W.Vm.stringClass());
+
+  EXPECT_EQ(Fns->FindClass(Env, "no/Such"), nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoClassDefFoundError");
+}
+
+TEST_F(JniCore, GetSuperclassChain) {
+  jclass Npe = Fns->FindClass(Env, "java/lang/NullPointerException");
+  jclass Rte = Fns->GetSuperclass(Env, Npe);
+  ASSERT_NE(Rte, nullptr);
+  EXPECT_EQ(W.Vm.klassFromMirror(W.Rt.deref(Env, Rte))->name(),
+            "java/lang/RuntimeException");
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  EXPECT_EQ(Fns->GetSuperclass(Env, Obj), nullptr);
+}
+
+TEST_F(JniCore, IsAssignableFrom) {
+  jclass Npe = Fns->FindClass(Env, "java/lang/NullPointerException");
+  jclass Thr = Fns->FindClass(Env, "java/lang/Throwable");
+  EXPECT_EQ(Fns->IsAssignableFrom(Env, Npe, Thr), JNI_TRUE);
+  EXPECT_EQ(Fns->IsAssignableFrom(Env, Thr, Npe), JNI_FALSE);
+  EXPECT_EQ(Fns->IsAssignableFrom(Env, Thr, Thr), JNI_TRUE);
+}
+
+TEST_F(JniCore, ThrowAndExceptionLifecycle) {
+  jclass Rte = Fns->FindClass(Env, "java/lang/RuntimeException");
+  EXPECT_EQ(Fns->ExceptionCheck(Env), JNI_FALSE);
+  EXPECT_EQ(Fns->ThrowNew(Env, Rte, "kaboom"), JNI_OK);
+  EXPECT_EQ(Fns->ExceptionCheck(Env), JNI_TRUE);
+  jthrowable Ex = Fns->ExceptionOccurred(Env);
+  ASSERT_NE(Ex, nullptr);
+  EXPECT_EQ(W.Vm.throwableMessage(W.Rt.deref(Env, Ex)), "kaboom");
+  Fns->ExceptionClear(Env);
+  EXPECT_EQ(Fns->ExceptionCheck(Env), JNI_FALSE);
+
+  // Throw an existing throwable object.
+  EXPECT_EQ(Fns->Throw(Env, Ex), JNI_OK);
+  EXPECT_EQ(Fns->ExceptionCheck(Env), JNI_TRUE);
+  Fns->ExceptionClear(Env);
+}
+
+TEST_F(JniCore, ThrowNonThrowableIsUndefined) {
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  jobject Plain = Fns->AllocObject(Env, Obj);
+  Fns->Throw(Env, static_cast<jthrowable>(Plain));
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::SimulatedCrash)); // row 3
+}
+
+TEST_F(JniCore, LocalRefLifecycle) {
+  jstring S = Fns->NewStringUTF(Env, "x");
+  EXPECT_EQ(Fns->GetObjectRefType(Env, S), JNILocalRefType);
+  jobject S2 = Fns->NewLocalRef(Env, S);
+  EXPECT_EQ(Fns->IsSameObject(Env, S, S2), JNI_TRUE);
+  Fns->DeleteLocalRef(Env, S);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, S), JNIInvalidRefType);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, S2), JNILocalRefType);
+}
+
+TEST_F(JniCore, PushPopLocalFrameTransfersResult) {
+  ASSERT_EQ(Fns->PushLocalFrame(Env, 8), JNI_OK);
+  jstring Inner = Fns->NewStringUTF(Env, "escapes");
+  jobject Escaped = Fns->PopLocalFrame(Env, Inner);
+  ASSERT_NE(Escaped, nullptr);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, Inner), JNIInvalidRefType);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, Escaped), JNILocalRefType);
+  EXPECT_EQ(Fns->GetStringUTFLength(Env, static_cast<jstring>(Escaped)), 7);
+}
+
+TEST_F(JniCore, GlobalAndWeakRefs) {
+  jstring S = Fns->NewStringUTF(Env, "g");
+  jobject G = Fns->NewGlobalRef(Env, S);
+  jweak Wk = Fns->NewWeakGlobalRef(Env, S);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, G), JNIGlobalRefType);
+  EXPECT_EQ(Fns->GetObjectRefType(Env, Wk), JNIWeakGlobalRefType);
+  EXPECT_EQ(Fns->IsSameObject(Env, G, S), JNI_TRUE);
+
+  // Drop the local; the global keeps the object across GC.
+  Fns->DeleteLocalRef(Env, S);
+  W.Vm.gc();
+  EXPECT_EQ(Fns->GetStringUTFLength(Env, static_cast<jstring>(G)), 1);
+  // The weak also still resolves (the global keeps the target alive).
+  EXPECT_EQ(Fns->IsSameObject(Env, Wk, G), JNI_TRUE);
+
+  Fns->DeleteGlobalRef(Env, G);
+  W.Vm.gc();
+  // Now the weak target is gone: it resolves to null.
+  EXPECT_EQ(Fns->IsSameObject(Env, Wk, nullptr), JNI_TRUE);
+  Fns->DeleteWeakGlobalRef(Env, Wk);
+}
+
+TEST_F(JniCore, EnsureLocalCapacity) {
+  EXPECT_EQ(Fns->EnsureLocalCapacity(Env, 100), JNI_OK);
+  EXPECT_EQ(W.main().topFrameCapacity(), 100u);
+  EXPECT_EQ(Fns->EnsureLocalCapacity(Env, -1), JNI_ERR);
+}
+
+TEST_F(JniCore, AllocObjectAndIsInstanceOf) {
+  jclass Rte = Fns->FindClass(Env, "java/lang/RuntimeException");
+  jobject Obj = Fns->AllocObject(Env, Rte);
+  ASSERT_NE(Obj, nullptr);
+  jclass Thr = Fns->FindClass(Env, "java/lang/Throwable");
+  EXPECT_EQ(Fns->IsInstanceOf(Env, Obj, Thr), JNI_TRUE);
+  jclass Str = Fns->FindClass(Env, "java/lang/String");
+  EXPECT_EQ(Fns->IsInstanceOf(Env, Obj, Str), JNI_FALSE);
+  EXPECT_EQ(Fns->IsInstanceOf(Env, nullptr, Str), JNI_TRUE); // null conforms
+  jclass Cls = Fns->GetObjectClass(Env, Obj);
+  EXPECT_EQ(W.Vm.klassFromMirror(W.Rt.deref(Env, Cls))->name(),
+            "java/lang/RuntimeException");
+}
+
+TEST_F(JniCore, ReflectionBridges) {
+  jclass Thr = Fns->FindClass(Env, "java/lang/Throwable");
+  jfieldID Msg =
+      Fns->GetFieldID(Env, Thr, "message", "Ljava/lang/String;");
+  ASSERT_NE(Msg, nullptr);
+  jobject Reflected = Fns->ToReflectedField(Env, Thr, Msg, JNI_FALSE);
+  ASSERT_NE(Reflected, nullptr);
+  EXPECT_EQ(Fns->FromReflectedField(Env, Reflected), Msg);
+
+  // Method reflection via a class that has a method.
+  jvm::ClassDef Def;
+  Def.Name = "t/M";
+  Def.method("m", "()V",
+             [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+                const std::vector<jvm::Value> &) {
+               return jvm::Value::makeVoid();
+             });
+  W.define(Def);
+  jclass M = Fns->FindClass(Env, "t/M");
+  jmethodID Mid = Fns->GetMethodID(Env, M, "m", "()V");
+  jobject RMethod = Fns->ToReflectedMethod(Env, M, Mid, JNI_FALSE);
+  EXPECT_EQ(Fns->FromReflectedMethod(Env, RMethod), Mid);
+}
+
+TEST_F(JniCore, MonitorsThroughJni) {
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  jobject Lock = Fns->AllocObject(Env, Obj);
+  EXPECT_EQ(Fns->MonitorEnter(Env, Lock), JNI_OK);
+  EXPECT_EQ(Fns->MonitorExit(Env, Lock), JNI_OK);
+  EXPECT_EQ(Fns->MonitorExit(Env, Lock), JNI_ERR);
+  EXPECT_EQ(W.pendingClass(), "java/lang/IllegalMonitorStateException");
+}
+
+TEST_F(JniCore, GetJavaVm) {
+  JavaVM *Out = nullptr;
+  EXPECT_EQ(Fns->GetJavaVM(Env, &Out), JNI_OK);
+  ASSERT_NE(Out, nullptr);
+  EXPECT_EQ(Out->vm, &W.Vm);
+}
+
+TEST_F(JniCore, DirectByteBuffer) {
+  char Storage[64];
+  jobject Buf = Fns->NewDirectByteBuffer(Env, Storage, sizeof(Storage));
+  ASSERT_NE(Buf, nullptr);
+  EXPECT_EQ(Fns->GetDirectBufferAddress(Env, Buf), Storage);
+  EXPECT_EQ(Fns->GetDirectBufferCapacity(Env, Buf), 64);
+  jstring NotABuf = Fns->NewStringUTF(Env, "x");
+  EXPECT_EQ(Fns->GetDirectBufferAddress(Env, NotABuf), nullptr);
+  EXPECT_EQ(Fns->GetDirectBufferCapacity(Env, NotABuf), -1);
+}
+
+TEST_F(JniCore, RegisterNativesErrors) {
+  jclass Str = Fns->FindClass(Env, "java/lang/String");
+  JNINativeMethod Bad{"nope", "()V", nullptr};
+  (void)Bad;
+  JNINativeMethod Missing{"nonexistent", "()V",
+                          reinterpret_cast<void *>(+[](JNIEnv *, jobject,
+                                                       const jvalue *) {
+                            jvalue R;
+                            R.j = 0;
+                            return R;
+                          })};
+  EXPECT_EQ(Fns->RegisterNatives(Env, Str, &Missing, 1), JNI_ERR);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoSuchMethodError");
+}
+
+TEST_F(JniCore, FatalErrorPoisons) {
+  Fns->FatalError(Env, "unrecoverable");
+  EXPECT_TRUE(W.main().Poisoned);
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::FatalError));
+}
+
+TEST_F(JniCore, DefineClassUnsupported) {
+  EXPECT_EQ(Fns->DefineClass(Env, "x/Y", nullptr, nullptr, 0), nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoClassDefFoundError");
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/jni_field_test.cpp - Field accessor unit tests ---------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+struct JniField : ::testing::Test {
+  VmWorld W;
+  JNIEnv *Env = W.env();
+  const JNINativeInterface_ *Fns = W.env()->functions;
+  jclass Box = nullptr;
+  jobject Obj = nullptr;
+
+  void SetUp() override {
+    jvm::ClassDef Def;
+    Def.Name = "t/Box";
+    Def.field("z", "Z").field("b", "B").field("c", "C").field("s", "S");
+    Def.field("i", "I").field("j", "J").field("f", "F").field("d", "D");
+    Def.field("ref", "Ljava/lang/String;");
+    Def.field("COUNT", "I", /*IsStatic=*/true);
+    Def.field("NAME", "Ljava/lang/String;", /*IsStatic=*/true);
+    Def.field("LIMIT", "I", /*IsStatic=*/true, /*IsFinal=*/true);
+    W.define(Def);
+    Box = Fns->FindClass(Env, "t/Box");
+    Obj = Fns->AllocObject(Env, Box);
+  }
+};
+
+TEST_F(JniField, AllPrimitiveInstanceFieldsRoundTrip) {
+  Fns->SetBooleanField(Env, Obj, Fns->GetFieldID(Env, Box, "z", "Z"),
+                       JNI_TRUE);
+  Fns->SetByteField(Env, Obj, Fns->GetFieldID(Env, Box, "b", "B"), -7);
+  Fns->SetCharField(Env, Obj, Fns->GetFieldID(Env, Box, "c", "C"), 'Q');
+  Fns->SetShortField(Env, Obj, Fns->GetFieldID(Env, Box, "s", "S"), -1234);
+  Fns->SetIntField(Env, Obj, Fns->GetFieldID(Env, Box, "i", "I"), 42);
+  Fns->SetLongField(Env, Obj, Fns->GetFieldID(Env, Box, "j", "J"),
+                    1LL << 40);
+  Fns->SetFloatField(Env, Obj, Fns->GetFieldID(Env, Box, "f", "F"), 0.5f);
+  Fns->SetDoubleField(Env, Obj, Fns->GetFieldID(Env, Box, "d", "D"), 2.75);
+
+  EXPECT_EQ(Fns->GetBooleanField(Env, Obj,
+                                 Fns->GetFieldID(Env, Box, "z", "Z")),
+            JNI_TRUE);
+  EXPECT_EQ(Fns->GetByteField(Env, Obj, Fns->GetFieldID(Env, Box, "b", "B")),
+            -7);
+  EXPECT_EQ(Fns->GetCharField(Env, Obj, Fns->GetFieldID(Env, Box, "c", "C")),
+            'Q');
+  EXPECT_EQ(Fns->GetShortField(Env, Obj,
+                               Fns->GetFieldID(Env, Box, "s", "S")),
+            -1234);
+  EXPECT_EQ(Fns->GetIntField(Env, Obj, Fns->GetFieldID(Env, Box, "i", "I")),
+            42);
+  EXPECT_EQ(Fns->GetLongField(Env, Obj, Fns->GetFieldID(Env, Box, "j", "J")),
+            1LL << 40);
+  EXPECT_FLOAT_EQ(
+      Fns->GetFloatField(Env, Obj, Fns->GetFieldID(Env, Box, "f", "F")),
+      0.5f);
+  EXPECT_DOUBLE_EQ(
+      Fns->GetDoubleField(Env, Obj, Fns->GetFieldID(Env, Box, "d", "D")),
+      2.75);
+}
+
+TEST_F(JniField, ObjectFieldRoundTripAndNull) {
+  jfieldID Ref = Fns->GetFieldID(Env, Box, "ref", "Ljava/lang/String;");
+  jstring S = Fns->NewStringUTF(Env, "payload");
+  Fns->SetObjectField(Env, Obj, Ref, S);
+  jobject Out = Fns->GetObjectField(Env, Obj, Ref);
+  EXPECT_EQ(Fns->IsSameObject(Env, S, Out), JNI_TRUE);
+  Fns->SetObjectField(Env, Obj, Ref, nullptr); // storing null is legal
+  EXPECT_EQ(Fns->GetObjectField(Env, Obj, Ref), nullptr);
+}
+
+TEST_F(JniField, StaticFieldsRoundTrip) {
+  jfieldID Count = Fns->GetStaticFieldID(Env, Box, "COUNT", "I");
+  Fns->SetStaticIntField(Env, Box, Count, 7);
+  EXPECT_EQ(Fns->GetStaticIntField(Env, Box, Count), 7);
+
+  jfieldID Name =
+      Fns->GetStaticFieldID(Env, Box, "NAME", "Ljava/lang/String;");
+  jstring S = Fns->NewStringUTF(Env, "static payload");
+  Fns->SetStaticObjectField(Env, Box, Name, S);
+  jobject Out = Fns->GetStaticObjectField(Env, Box, Name);
+  EXPECT_EQ(Fns->IsSameObject(Env, S, Out), JNI_TRUE);
+}
+
+TEST_F(JniField, StaticFieldSurvivesGc) {
+  jfieldID Name =
+      Fns->GetStaticFieldID(Env, Box, "NAME", "Ljava/lang/String;");
+  jstring S = Fns->NewStringUTF(Env, "rooted by the static");
+  Fns->SetStaticObjectField(Env, Box, Name, S);
+  Fns->DeleteLocalRef(Env, S);
+  W.Vm.gc();
+  jobject Out = Fns->GetStaticObjectField(Env, Box, Name);
+  EXPECT_EQ(W.Vm.utf8Of(W.Rt.deref(Env, Out)), "rooted by the static");
+}
+
+TEST_F(JniField, FinalFieldWriteIsAccessControlViolation) {
+  jfieldID Limit = Fns->GetStaticFieldID(Env, Box, "LIMIT", "I");
+  Fns->SetStaticIntField(Env, Box, Limit, 99);
+  // Table 1 row 9: production surfaces an NPE; the write is suppressed.
+  EXPECT_EQ(W.pendingClass(), "java/lang/NullPointerException");
+  W.main().Pending = jvm::ObjectId();
+  EXPECT_EQ(Fns->GetStaticIntField(Env, Box, Limit), 0);
+}
+
+TEST_F(JniField, StaticnessMismatchIsUndefined) {
+  jfieldID Count = Fns->GetStaticFieldID(Env, Box, "COUNT", "I");
+  Fns->GetIntField(Env, Obj, Count); // static id through instance getter
+  EXPECT_TRUE(W.Vm.diags().has(IncidentKind::UndefinedState));
+}
+
+TEST_F(JniField, NullObjectThrowsNpe) {
+  jfieldID I = Fns->GetFieldID(Env, Box, "i", "I");
+  Fns->GetIntField(Env, nullptr, I);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NullPointerException");
+}
+
+TEST_F(JniField, MissingFieldThrows) {
+  EXPECT_EQ(Fns->GetFieldID(Env, Box, "nope", "I"), nullptr);
+  EXPECT_EQ(W.pendingClass(), "java/lang/NoSuchFieldError");
+  W.main().Pending = jvm::ObjectId();
+  // Wrong descriptor also misses.
+  EXPECT_EQ(Fns->GetFieldID(Env, Box, "i", "J"), nullptr);
+}
+
+TEST_F(JniField, InheritedFieldsAccessibleThroughSubclass) {
+  jvm::ClassDef Sub;
+  Sub.Name = "t/SubBox";
+  Sub.Super = "t/Box";
+  Sub.field("extra", "I");
+  W.define(Sub);
+  jclass SubCls = Fns->FindClass(Env, "t/SubBox");
+  jobject SubObj = Fns->AllocObject(Env, SubCls);
+  jfieldID I = Fns->GetFieldID(Env, SubCls, "i", "I"); // inherited
+  ASSERT_NE(I, nullptr);
+  Fns->SetIntField(Env, SubObj, I, 5);
+  EXPECT_EQ(Fns->GetIntField(Env, SubObj, I), 5);
+  jfieldID Extra = Fns->GetFieldID(Env, SubCls, "extra", "I");
+  Fns->SetIntField(Env, SubObj, Extra, 6);
+  EXPECT_EQ(Fns->GetIntField(Env, SubObj, Extra), 6);
+  EXPECT_EQ(Fns->GetIntField(Env, SubObj, I), 5); // distinct slots
+}
+
+} // namespace

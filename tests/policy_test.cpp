@@ -1,0 +1,96 @@
+//===- tests/policy_test.cpp - Production-policy unit tests ---------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies that the undefined-behavior policy encodes Table 1's default
+/// columns, and that Vm::undefined applies each outcome correctly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::jvm;
+
+namespace {
+
+TEST(Policy, Table1DefaultColumns) {
+  using Op = UndefinedOp;
+  using Out = ProductionOutcome;
+  struct Row {
+    Op O;
+    Out HotSpot;
+    Out J9;
+  } Rows[] = {
+      {Op::PendingExceptionUse, Out::Ignore, Out::Crash},   // row 1
+      {Op::InvalidArgument, Out::Ignore, Out::Crash},       // row 2
+      {Op::ClassObjectConfusion, Out::Crash, Out::Crash},   // row 3
+      {Op::IdReferenceConfusion, Out::Crash, Out::Crash},   // row 6
+      {Op::UnterminatedString, Out::Ignore, Out::ThrowNpe}, // row 8
+      {Op::AccessControl, Out::ThrowNpe, Out::ThrowNpe},    // row 9
+      {Op::DanglingLocalRef, Out::Crash, Out::Crash},       // row 13
+      {Op::WrongThreadEnv, Out::Ignore, Out::Crash},        // row 14
+      {Op::CriticalRegionCall, Out::Deadlock, Out::Deadlock}, // row 16
+      {Op::DanglingGlobalRef, Out::Crash, Out::Crash},
+  };
+  for (const Row &R : Rows) {
+    EXPECT_EQ(productionBehavior(VmFlavor::HotSpotLike, R.O), R.HotSpot)
+        << undefinedOpName(R.O);
+    EXPECT_EQ(productionBehavior(VmFlavor::J9Like, R.O), R.J9)
+        << undefinedOpName(R.O);
+  }
+}
+
+TEST(Policy, IgnoreRecordsUndefinedStateAndContinues) {
+  Vm V;
+  ProductionOutcome Out =
+      V.undefined(V.mainThread(), UndefinedOp::InvalidArgument, "detail");
+  EXPECT_EQ(Out, ProductionOutcome::Ignore);
+  EXPECT_TRUE(V.diags().has(IncidentKind::UndefinedState));
+  EXPECT_FALSE(V.mainThread().Poisoned);
+}
+
+TEST(Policy, CrashPoisonsTheThread) {
+  VmOptions Options;
+  Options.Flavor = VmFlavor::J9Like;
+  Vm V(Options);
+  V.undefined(V.mainThread(), UndefinedOp::DanglingLocalRef, "detail");
+  EXPECT_TRUE(V.diags().has(IncidentKind::SimulatedCrash));
+  EXPECT_TRUE(V.mainThread().Poisoned);
+}
+
+TEST(Policy, ThrowNpeSetsPendingException) {
+  Vm V;
+  V.undefined(V.mainThread(), UndefinedOp::AccessControl, "final write");
+  ASSERT_FALSE(V.mainThread().Pending.isNull());
+  EXPECT_EQ(V.klassOf(V.mainThread().Pending)->name(),
+            "java/lang/NullPointerException");
+}
+
+TEST(Policy, DeadlockPoisonsAndRecords) {
+  Vm V;
+  V.undefined(V.mainThread(), UndefinedOp::CriticalRegionCall, "FindClass");
+  EXPECT_TRUE(V.diags().has(IncidentKind::PotentialDeadlock));
+  EXPECT_TRUE(V.mainThread().Poisoned);
+}
+
+TEST(Policy, PoisonedThreadSuppressesInvocation) {
+  Vm V;
+  V.mainThread().Poisoned = true;
+  Value Out = V.invokeByName(V.mainThread(), "java/lang/String", "anything",
+                             "()V", Value::makeNull(), {});
+  EXPECT_EQ(Out.Kind, JType::Void);
+  EXPECT_TRUE(V.mainThread().Pending.isNull()); // not even a lookup error
+}
+
+TEST(Policy, FlavorNames) {
+  EXPECT_STREQ(vmFlavorName(VmFlavor::HotSpotLike), "hotspot");
+  EXPECT_STREQ(vmFlavorName(VmFlavor::J9Like), "j9");
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/property_localref_test.cpp - Local-ref fuzz properties ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the local-reference machine against randomized
+/// programs:
+///
+///  1. No false positives: any *legal* sequence of acquire / delete /
+///     push / pop / use operations produces zero Jinn reports.
+///  2. No false negatives (for this machine's errors): injecting exactly
+///     one use-after-delete or delete-after-delete into an otherwise legal
+///     sequence always produces a report.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+#include "support/Rng.h"
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+/// Drives a random legal local-reference workout; returns live handles.
+void runLegalOps(JinnWorld &W, SplitMix64 &Rng, int Steps) {
+  JNIEnv *Env = W.env();
+  const JNINativeInterface_ *Fns = Env->functions;
+  Fns->EnsureLocalCapacity(Env, 4096); // legality: never overflow
+
+  struct Frame {
+    std::vector<jstring> Live;
+  };
+  std::vector<Frame> Frames(1);
+
+  for (int I = 0; I < Steps; ++I) {
+    switch (Rng.nextBelow(6)) {
+    case 0:
+    case 1: { // acquire
+      jstring S = Fns->NewStringUTF(Env, "payload");
+      ASSERT_NE(S, nullptr);
+      Frames.back().Live.push_back(S);
+      break;
+    }
+    case 2: { // legal use of a live reference
+      if (!Frames.back().Live.empty()) {
+        jstring S =
+            Frames.back().Live[Rng.nextBelow(Frames.back().Live.size())];
+        EXPECT_EQ(Fns->GetStringUTFLength(Env, S), 7);
+      }
+      break;
+    }
+    case 3: { // delete a live reference of the top frame
+      if (!Frames.back().Live.empty()) {
+        size_t Pick = Rng.nextBelow(Frames.back().Live.size());
+        Fns->DeleteLocalRef(Env, Frames.back().Live[Pick]);
+        Frames.back().Live.erase(Frames.back().Live.begin() + Pick);
+      }
+      break;
+    }
+    case 4: // push a frame
+      if (Frames.size() < 6 && Fns->PushLocalFrame(Env, 4096) == JNI_OK)
+        Frames.emplace_back();
+      break;
+    default: // pop a frame (its refs die legally)
+      if (Frames.size() > 1) {
+        Fns->PopLocalFrame(Env, nullptr);
+        Frames.pop_back();
+      }
+      break;
+    }
+  }
+  while (Frames.size() > 1) {
+    Fns->PopLocalFrame(Env, nullptr);
+    Frames.pop_back();
+  }
+  for (jstring S : Frames.back().Live)
+    Fns->DeleteLocalRef(Env, S);
+}
+
+TEST(LocalRefProperty, LegalSequencesNeverReport) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    JinnWorld W;
+    SplitMix64 Rng(Seed);
+    runLegalOps(W, Rng, 300);
+    W.Vm.shutdown();
+    EXPECT_EQ(W.reportCount(), 0u) << "seed " << Seed;
+  }
+}
+
+TEST(LocalRefProperty, InjectedUseAfterDeleteAlwaysReports) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    JinnWorld W;
+    JNIEnv *Env = W.env();
+    const JNINativeInterface_ *Fns = Env->functions;
+    SplitMix64 Rng(Seed * 77);
+    runLegalOps(W, Rng, static_cast<int>(Rng.nextBelow(100)));
+    ASSERT_EQ(W.reportCount(), 0u);
+    // Inject the bug.
+    jstring Victim = Fns->NewStringUTF(Env, "victim!");
+    Fns->DeleteLocalRef(Env, Victim);
+    Fns->GetStringUTFLength(Env, Victim);
+    EXPECT_EQ(W.Jinn.reporter().countFor("Local reference"), 1u)
+        << "seed " << Seed;
+  }
+}
+
+TEST(LocalRefProperty, InjectedDoubleDeleteAlwaysReports) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    JinnWorld W;
+    JNIEnv *Env = W.env();
+    const JNINativeInterface_ *Fns = Env->functions;
+    SplitMix64 Rng(Seed * 131);
+    runLegalOps(W, Rng, static_cast<int>(Rng.nextBelow(100)));
+    jstring Victim = Fns->NewStringUTF(Env, "victim!");
+    Fns->DeleteLocalRef(Env, Victim);
+    Fns->DeleteLocalRef(Env, Victim);
+    EXPECT_EQ(W.Jinn.reporter().countFor("Local reference"), 1u)
+        << "seed " << Seed;
+  }
+}
+
+TEST(LocalRefProperty, ShadowCountAgreesWithVmGroundTruth) {
+  JinnWorld W;
+  JNIEnv *Env = W.env();
+  const JNINativeInterface_ *Fns = Env->functions;
+  Fns->EnsureLocalCapacity(Env, 4096);
+  SplitMix64 Rng(5);
+  std::vector<jstring> Live;
+  for (int I = 0; I < 400; ++I) {
+    if (Rng.chance(3, 5)) {
+      Live.push_back(Fns->NewStringUTF(Env, "x"));
+    } else if (!Live.empty()) {
+      size_t Pick = Rng.nextBelow(Live.size());
+      Fns->DeleteLocalRef(Env, Live[Pick]);
+      Live.erase(Live.begin() + Pick);
+    }
+    // Jinn's shadow bookkeeping vs. the VM's arena.
+    EXPECT_EQ(W.Jinn.machines().LocalRef.liveCount(W.main().id()),
+              W.main().liveLocalCount());
+  }
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/property_pyc_test.cpp - Python/C refcount fuzz properties ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the Python/C checker: random *protocol-correct*
+/// extension code never triggers it and never leaks; random injected
+/// use-after-release always triggers it; and the interpreter's refcount
+/// accounting balances exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pyjinn/PyChecker.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::pyc;
+using namespace jinn::pyjinn;
+
+namespace {
+
+/// Random correct extension: build containers, borrow items while the
+/// owner is alive, release everything.
+void runLegalExtension(PyInterp &I, SplitMix64 &Rng, int Steps) {
+  const PyApi *Api = activePyApi(I);
+  std::vector<PyObject *> Owned; // we hold one reference each
+  for (int Step = 0; Step < Steps; ++Step) {
+    switch (Rng.nextBelow(5)) {
+    case 0:
+      Owned.push_back(Api->PyInt_FromLong(
+          &I, static_cast<long>(Rng.nextBelow(1000))));
+      break;
+    case 1:
+      Owned.push_back(Api->PyString_FromString(&I, "spam"));
+      break;
+    case 2: { // build a list and borrow from it while it lives
+      PyObject *List = Api->Py_BuildValue(&I, "[sss]", "a", "b", "c");
+      PyObject *Item =
+          Api->PyList_GetItem(&I, List, Rng.nextBelow(3));
+      EXPECT_NE(Api->PyString_AsString(&I, Item), nullptr);
+      Owned.push_back(List);
+      break;
+    }
+    case 3: { // append with proper give-back
+      if (Owned.empty())
+        break;
+      PyObject *List = Api->PyList_New(&I, 0);
+      PyObject *Item = Api->PyInt_FromLong(&I, 7);
+      Api->PyList_Append(&I, List, Item);
+      Api->Py_DecRef(&I, Item);
+      Owned.push_back(List);
+      break;
+    }
+    default: // release something we own
+      if (!Owned.empty()) {
+        size_t Pick = Rng.nextBelow(Owned.size());
+        Api->Py_DecRef(&I, Owned[Pick]);
+        Owned.erase(Owned.begin() + Pick);
+      }
+      break;
+    }
+  }
+  for (PyObject *Obj : Owned)
+    Api->Py_DecRef(&I, Obj);
+}
+
+TEST(PycProperty, LegalExtensionsNeverTriggerTheChecker) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    PyInterp I;
+    PyChecker Checker(I);
+    SplitMix64 Rng(Seed);
+    runLegalExtension(I, Rng, 200);
+    EXPECT_TRUE(Checker.violations().empty()) << "seed " << Seed;
+    EXPECT_EQ(Checker.leakedObjects(), 0u) << "seed " << Seed;
+    EXPECT_EQ(I.liveCount(), 0u) << "seed " << Seed;
+  }
+}
+
+TEST(PycProperty, InjectedUseAfterReleaseAlwaysTriggers) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    PyInterp I;
+    PyChecker Checker(I);
+    const PyApi *Api = activePyApi(I);
+    SplitMix64 Rng(Seed * 3);
+    runLegalExtension(I, Rng, static_cast<int>(Rng.nextBelow(100)));
+    ASSERT_TRUE(Checker.violations().empty());
+
+    PyObject *List = Api->Py_BuildValue(&I, "[ss]", "x", "y");
+    PyObject *Borrowed = Api->PyList_GetItem(&I, List, 0);
+    Api->Py_DecRef(&I, List); // the borrow dies with its owner
+    Api->PyString_AsString(&I, Borrowed);
+    EXPECT_EQ(Checker.countFor("Reference ownership"), 1u)
+        << "seed " << Seed;
+  }
+}
+
+TEST(PycProperty, RefcountsBalanceExactly) {
+  PyInterp I;
+  const PyApi *Api = defaultPyApi();
+  SplitMix64 Rng(11);
+  for (int Round = 0; Round < 10; ++Round) {
+    uint64_t Before = I.stats().Allocated - I.stats().Deallocated;
+    EXPECT_EQ(Before, I.liveCount());
+    runLegalExtension(I, Rng, 150);
+    EXPECT_EQ(I.liveCount(), 0u);
+    EXPECT_EQ(I.stats().Allocated, I.stats().Deallocated);
+  }
+  (void)Api;
+}
+
+TEST(PycProperty, ContainersReleaseChildrenRecursively) {
+  PyInterp I;
+  const PyApi *Api = defaultPyApi();
+  // Nested tuple of lists of strings.
+  PyObject *Root = Api->Py_BuildValue(&I, "([ss][s]i)", "a", "b", "c", 5L);
+  ASSERT_NE(Root, nullptr);
+  EXPECT_GT(I.liveCount(), 4u);
+  Api->Py_DecRef(&I, Root);
+  EXPECT_EQ(I.liveCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/pyc_test.cpp - Python/C substrate unit tests ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pyc/PyRuntime.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::pyc;
+
+namespace {
+
+struct PycTest : ::testing::Test {
+  PyInterp I;
+  const PyApi *Api = defaultPyApi();
+};
+
+TEST_F(PycTest, IntRoundTrip) {
+  PyObject *Obj = Api->PyInt_FromLong(&I, 12345);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->RefCnt, 1);
+  EXPECT_EQ(Api->PyInt_AsLong(&I, Obj), 12345);
+  Api->Py_DecRef(&I, Obj);
+  EXPECT_FALSE(I.isLive(Obj));
+}
+
+TEST_F(PycTest, StringRoundTrip) {
+  PyObject *Obj = Api->PyString_FromString(&I, "spam");
+  EXPECT_STREQ(Api->PyString_AsString(&I, Obj), "spam");
+  Api->Py_DecRef(&I, Obj);
+}
+
+TEST_F(PycTest, ListSetItemStealsAndGetItemBorrows) {
+  PyObject *List = Api->PyList_New(&I, 1);
+  PyObject *Item = Api->PyInt_FromLong(&I, 7);
+  ASSERT_EQ(Api->PyList_SetItem(&I, List, 0, Item), 0);
+  EXPECT_EQ(Item->RefCnt, 1); // stolen, not incremented
+  PyObject *Borrowed = Api->PyList_GetItem(&I, List, 0);
+  EXPECT_EQ(Borrowed, Item);
+  EXPECT_EQ(Item->RefCnt, 1); // borrowing does not increment
+  Api->Py_DecRef(&I, List);
+  EXPECT_FALSE(I.isLive(Item)); // the container released its item
+}
+
+TEST_F(PycTest, AppendTakesItsOwnReference) {
+  PyObject *List = Api->PyList_New(&I, 0);
+  PyObject *Item = Api->PyInt_FromLong(&I, 7);
+  ASSERT_EQ(Api->PyList_Append(&I, List, Item), 0);
+  EXPECT_EQ(Item->RefCnt, 2);
+  Api->Py_DecRef(&I, Item);
+  EXPECT_TRUE(I.isLive(Item)); // the list still owns it
+  Api->Py_DecRef(&I, List);
+  EXPECT_FALSE(I.isLive(Item));
+}
+
+TEST_F(PycTest, BuildValueListOfStrings) {
+  PyObject *List = Api->Py_BuildValue(&I, "[sss]", "a", "b", "c");
+  ASSERT_NE(List, nullptr);
+  EXPECT_EQ(List->Kind, PyKind::List);
+  ASSERT_EQ(Api->PyList_Size(&I, List), 3);
+  EXPECT_STREQ(
+      Api->PyString_AsString(&I, Api->PyList_GetItem(&I, List, 1)), "b");
+  Api->Py_DecRef(&I, List);
+  EXPECT_EQ(I.liveCount(), 0u);
+}
+
+TEST_F(PycTest, BuildValueNestedTuple) {
+  PyObject *Tuple = Api->Py_BuildValue(&I, "(i[ss])", 42L, "x", "y");
+  ASSERT_NE(Tuple, nullptr);
+  EXPECT_EQ(Tuple->Kind, PyKind::Tuple);
+  PyObject *Inner = Api->PyTuple_GetItem(&I, Tuple, 1);
+  EXPECT_EQ(Inner->Kind, PyKind::List);
+  EXPECT_EQ(Api->PyList_Size(&I, Inner), 2);
+  Api->Py_DecRef(&I, Tuple);
+  EXPECT_EQ(I.liveCount(), 0u);
+}
+
+TEST_F(PycTest, SlotReuseMakesDanglingPointersAliasNewObjects) {
+  PyObject *Old = Api->PyInt_FromLong(&I, 1);
+  uint32_t OldGen = Old->Gen;
+  Api->Py_DecRef(&I, Old);
+  PyObject *Reused = Api->PyString_FromString(&I, "recycled");
+  EXPECT_EQ(Reused, Old); // the freed slot was recycled
+  EXPECT_GT(Reused->Gen, OldGen);
+  Api->Py_DecRef(&I, Reused);
+}
+
+TEST_F(PycTest, DoubleDecrefIsASimulatedCrash) {
+  PyObject *Obj = Api->PyInt_FromLong(&I, 1);
+  Api->Py_DecRef(&I, Obj);
+  Api->Py_DecRef(&I, Obj);
+  EXPECT_TRUE(I.diags().has(IncidentKind::SimulatedCrash));
+}
+
+TEST_F(PycTest, ExceptionStateRoundTrip) {
+  EXPECT_EQ(Api->PyErr_Occurred(&I), nullptr);
+  Api->PyErr_SetString(&I, I.excTypeError(), "bad argument");
+  EXPECT_EQ(Api->PyErr_Occurred(&I), I.excTypeError());
+  EXPECT_EQ(I.PendingMessage, "bad argument");
+  Api->PyErr_Clear(&I);
+  EXPECT_EQ(Api->PyErr_Occurred(&I), nullptr);
+}
+
+TEST_F(PycTest, GilSaveRestore) {
+  EXPECT_EQ(I.GilDepth, 1);
+  void *State = Api->PyEval_SaveThread(&I);
+  EXPECT_EQ(I.GilDepth, 0);
+  Api->PyEval_RestoreThread(&I, State);
+  EXPECT_EQ(I.GilDepth, 1);
+}
+
+TEST_F(PycTest, ImmortalSingletonsSurviveDecref) {
+  Api->Py_DecRef(&I, I.none());
+  EXPECT_TRUE(I.isLive(I.none()));
+  EXPECT_TRUE(I.diags().has(IncidentKind::SimulatedCrash));
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/pyjinn_test.cpp - Python/C checker tests (paper §7) ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pyjinn/PyChecker.h"
+#include "scenarios/PythonScenarios.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::pyc;
+using namespace jinn::pyjinn;
+
+namespace {
+
+TEST(PyChecker, Figure11DangleBugIsDetected) {
+  PyInterp I;
+  PyChecker Checker(I);
+  auto Printed = scenarios::runPyDangleBug(I);
+  EXPECT_EQ(Printed.first, "Eric");
+  // The checker suppressed the second, dangling read.
+  EXPECT_EQ(Printed.second, "");
+  ASSERT_EQ(Checker.countFor("Reference ownership"), 1u);
+  EXPECT_EQ(Checker.violations().front().Function, "PyString_AsString");
+}
+
+TEST(PyChecker, Figure11IsSilentCorruptionInProduction) {
+  PyInterp I;
+  auto Printed = scenarios::runPyDangleBug(I);
+  EXPECT_EQ(Printed.first, "Eric");
+  // Production reads the freed slot: garbage, no diagnosis.
+  EXPECT_EQ(Printed.second, "<freed>");
+  EXPECT_TRUE(I.diags().has(IncidentKind::UndefinedState));
+}
+
+TEST(PyChecker, GilBugIsDetected) {
+  PyInterp I;
+  PyChecker Checker(I);
+  scenarios::runPyGilBug(I);
+  EXPECT_EQ(Checker.countFor("GIL state"), 1u);
+}
+
+TEST(PyChecker, ExceptionBugIsDetected) {
+  PyInterp I;
+  PyChecker Checker(I);
+  scenarios::runPyExceptionBug(I);
+  EXPECT_EQ(Checker.countFor("Exception state"), 1u);
+}
+
+TEST(PyChecker, CleanExtensionProducesNoReportsAndNoLeaks) {
+  PyInterp I;
+  PyChecker Checker(I);
+  scenarios::runPyCleanExtension(I);
+  EXPECT_TRUE(Checker.violations().empty());
+  EXPECT_EQ(Checker.leakedObjects(), 0u);
+}
+
+TEST(PyChecker, DoubleDecrefReportedBeforeTheCrash) {
+  PyInterp I;
+  PyChecker Checker(I);
+  const PyApi *Api = activePyApi(I);
+  PyObject *Obj = Api->PyInt_FromLong(&I, 5);
+  Api->Py_DecRef(&I, Obj);
+  Api->Py_DecRef(&I, Obj);
+  EXPECT_EQ(Checker.countFor("Reference ownership"), 1u);
+  // The checker suppressed the call, so no simulated crash occurred.
+  EXPECT_FALSE(I.diags().has(IncidentKind::SimulatedCrash));
+}
+
+TEST(PyChecker, LeakedObjectsAreCounted) {
+  PyInterp I;
+  PyChecker Checker(I);
+  const PyApi *Api = activePyApi(I);
+  Api->PyInt_FromLong(&I, 1); // never released
+  Api->PyString_FromString(&I, "also leaked");
+  EXPECT_EQ(Checker.leakedObjects(), 2u);
+}
+
+TEST(PyChecker, TypeConstraintViolationsAreDetected) {
+  // §7.1's "type constraints" class: the interpreter sometimes forgoes
+  // these checks; the synthesized checker always performs them.
+  PyInterp I;
+  PyChecker Checker(I);
+  const PyApi *Api = activePyApi(I);
+  PyObject *NotAList = Api->PyInt_FromLong(&I, 3);
+  EXPECT_EQ(Api->PyList_GetItem(&I, NotAList, 0), nullptr);
+  ASSERT_EQ(Checker.countFor("Type constraints"), 1u);
+  EXPECT_EQ(Checker.violations().front().Function, "PyList_GetItem");
+
+  Api->PyErr_Clear(&I);
+  Checker.clearViolations();
+  PyObject *Str = Api->PyString_FromString(&I, "s");
+  Api->PyInt_AsLong(&I, Str);
+  EXPECT_EQ(Checker.countFor("Type constraints"), 1u);
+}
+
+TEST(PyChecker, CorrectTypesPassTheTypeMachine) {
+  PyInterp I;
+  PyChecker Checker(I);
+  const PyApi *Api = activePyApi(I);
+  PyObject *List = Api->PyList_New(&I, 0);
+  PyObject *Item = Api->PyInt_FromLong(&I, 9);
+  Api->PyList_Append(&I, List, Item);
+  EXPECT_EQ(Api->PyInt_AsLong(&I, Api->PyList_GetItem(&I, List, 0)), 9);
+  Api->Py_DecRef(&I, Item);
+  Api->Py_DecRef(&I, List);
+  EXPECT_TRUE(Checker.violations().empty());
+}
+
+TEST(PyChecker, SpecFileCoversEveryApiFunction) {
+  // The synthesizer's input must describe each of the 23 table entries.
+  EXPECT_EQ(pyFnSpecs().size(), 23u);
+  EXPECT_EQ(pyFnSpec("PyList_GetItem")->Return, RefReturn::Borrowed);
+  EXPECT_EQ(pyFnSpec("PyList_SetItem")->StealsParam, 2);
+  EXPECT_EQ(pyFnSpec("Py_BuildValue")->Return, RefReturn::New);
+  EXPECT_TRUE(pyFnSpec("PyErr_Clear")->ExceptionOblivious);
+}
+
+} // namespace

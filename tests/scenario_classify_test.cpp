@@ -1,0 +1,97 @@
+//===- tests/scenario_classify_test.cpp - Outcome classifier tests -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/Scenarios.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+
+namespace {
+
+TEST(OutcomeNames, AreTable1Vocabulary) {
+  EXPECT_STREQ(outcomeName(Outcome::Running), "running");
+  EXPECT_STREQ(outcomeName(Outcome::Crash), "crash");
+  EXPECT_STREQ(outcomeName(Outcome::Warning), "warning");
+  EXPECT_STREQ(outcomeName(Outcome::Error), "error");
+  EXPECT_STREQ(outcomeName(Outcome::Npe), "NPE");
+  EXPECT_STREQ(outcomeName(Outcome::Leak), "leak");
+  EXPECT_STREQ(outcomeName(Outcome::Deadlock), "deadlock");
+  EXPECT_STREQ(outcomeName(Outcome::JinnException), "exception");
+}
+
+TEST(OutcomeNames, ValidBugReportsPerSection63) {
+  EXPECT_TRUE(isValidBugReport(Outcome::Warning));
+  EXPECT_TRUE(isValidBugReport(Outcome::Error));
+  EXPECT_TRUE(isValidBugReport(Outcome::JinnException));
+  EXPECT_FALSE(isValidBugReport(Outcome::Crash));
+  EXPECT_FALSE(isValidBugReport(Outcome::Npe));
+  EXPECT_FALSE(isValidBugReport(Outcome::Leak));
+  EXPECT_FALSE(isValidBugReport(Outcome::Running));
+  EXPECT_FALSE(isValidBugReport(Outcome::Deadlock));
+}
+
+TEST(Classify, CleanWorldIsRunning) {
+  ScenarioWorld World(WorldConfig{});
+  World.runAsNative("Clean", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "fine");
+    Env->functions->DeleteLocalRef(Env, S);
+  });
+  World.shutdown();
+  EXPECT_EQ(classify(World), Outcome::Running);
+}
+
+TEST(Classify, JinnExceptionOutranksProductionSignals) {
+  WorldConfig Config;
+  Config.Checker = CheckerKind::Jinn;
+  ScenarioWorld World(Config);
+  // Produce both a leak AND a Jinn report: the exception wins.
+  World.runAsNative("Both", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 4);
+    Env->functions->GetIntArrayElements(Env, Arr, nullptr); // pin leak
+    jstring S = Env->functions->NewStringUTF(Env, "x");
+    Env->functions->DeleteLocalRef(Env, S);
+    Env->functions->GetStringUTFLength(Env, S); // Jinn throws
+  });
+  World.shutdown();
+  EXPECT_EQ(classify(World), Outcome::JinnException);
+}
+
+TEST(Classify, NpeDetectedFromPendingException) {
+  ScenarioWorld World(WorldConfig{});
+  World.runAsNative("NpeCase", [](JNIEnv *Env) {
+    Env->vm->throwNew(*Env->thread, "java/lang/NullPointerException",
+                      "synthetic");
+  });
+  EXPECT_EQ(classify(World), Outcome::Npe);
+}
+
+TEST(Classify, LeakWinsOverSilentRun) {
+  ScenarioWorld World(WorldConfig{});
+  World.runAsNative("Leaky", [](JNIEnv *Env) {
+    jstring S = Env->functions->NewStringUTF(Env, "kept");
+    Env->functions->NewGlobalRef(Env, S);
+  });
+  World.shutdown();
+  EXPECT_EQ(classify(World), Outcome::Leak);
+}
+
+TEST(MicroInfo, TableIsConsistent) {
+  const auto &All = allMicrobenchmarks();
+  ASSERT_EQ(All.size(), static_cast<size_t>(MicroId::Count));
+  size_t Detectable = 0;
+  for (size_t I = 0; I < All.size(); ++I) {
+    EXPECT_EQ(static_cast<size_t>(All[I].Id), I);
+    EXPECT_NE(All[I].ClassName, nullptr);
+    Detectable += All[I].DetectableAtBoundary;
+  }
+  EXPECT_EQ(Detectable, All.size() - 1); // all but pitfall 8
+  EXPECT_FALSE(microInfo(MicroId::UnterminatedString).DetectableAtBoundary);
+  EXPECT_EQ(microInfo(MicroId::LocalDangling).Pitfall, 13);
+}
+
+} // namespace

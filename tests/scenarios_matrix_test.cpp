@@ -1,0 +1,146 @@
+//===- tests/scenarios_matrix_test.cpp - Microbenchmark outcome matrix ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of the Table 1 / §6.3 reproduction: every microbenchmark runs
+/// under production HotSpot-like and J9-like VMs, under both -Xcheck:jni
+/// emulations, and under Jinn; the classified outcomes must match the
+/// paper's behavior classes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scenarios/Scenarios.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using jinn::jvm::VmFlavor;
+
+namespace {
+
+Outcome run(MicroId Id, VmFlavor Flavor, CheckerKind Checker) {
+  WorldConfig Config;
+  Config.Flavor = Flavor;
+  Config.Checker = Checker;
+  return runMicroToOutcome(Id, Config);
+}
+
+struct Expected {
+  MicroId Id;
+  Outcome DefaultHotSpot;
+  Outcome DefaultJ9;
+  Outcome XcheckHotSpot;
+  Outcome XcheckJ9;
+  Outcome Jinn; // under the HotSpot-like flavor
+};
+
+// Encodes Table 1 (plus the additional per-error-state microbenchmarks the
+// paper's 16-benchmark suite covers).
+const Expected Matrix[] = {
+    {MicroId::EnvMismatch, Outcome::Running, Outcome::Crash, Outcome::Error,
+     Outcome::Crash, Outcome::JinnException},
+    {MicroId::PendingException, Outcome::Running, Outcome::Crash,
+     Outcome::Warning, Outcome::Error, Outcome::JinnException},
+    {MicroId::CriticalViolation, Outcome::Deadlock, Outcome::Deadlock,
+     Outcome::Warning, Outcome::Error, Outcome::JinnException},
+    {MicroId::FixedTypeMismatch, Outcome::Crash, Outcome::Crash,
+     Outcome::Error, Outcome::Error, Outcome::JinnException},
+    {MicroId::EntityTypeMismatch, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::JinnException},
+    {MicroId::FinalFieldWrite, Outcome::Npe, Outcome::Npe, Outcome::Npe,
+     Outcome::Npe, Outcome::JinnException},
+    {MicroId::NullArgument, Outcome::Running, Outcome::Crash,
+     Outcome::Running, Outcome::Crash, Outcome::JinnException},
+    {MicroId::PinLeak, Outcome::Leak, Outcome::Leak, Outcome::Leak,
+     Outcome::Warning, Outcome::JinnException},
+    {MicroId::PinDoubleFree, Outcome::Running, Outcome::Crash,
+     Outcome::Running, Outcome::Crash, Outcome::JinnException},
+    {MicroId::MonitorLeak, Outcome::Leak, Outcome::Leak, Outcome::Leak,
+     Outcome::Warning, Outcome::JinnException},
+    {MicroId::GlobalRefLeak, Outcome::Leak, Outcome::Leak, Outcome::Leak,
+     Outcome::Warning, Outcome::JinnException},
+    {MicroId::GlobalRefDangling, Outcome::Crash, Outcome::Crash,
+     Outcome::Error, Outcome::Error, Outcome::JinnException},
+    {MicroId::LocalOverflow, Outcome::Leak, Outcome::Leak, Outcome::Leak,
+     Outcome::Warning, Outcome::JinnException},
+    {MicroId::LocalFrameLeak, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Warning, Outcome::JinnException},
+    {MicroId::LocalDangling, Outcome::Crash, Outcome::Crash, Outcome::Error,
+     Outcome::Error, Outcome::JinnException},
+    {MicroId::LocalDoubleFree, Outcome::Crash, Outcome::Crash,
+     Outcome::Error, Outcome::Error, Outcome::JinnException},
+    {MicroId::IdRefConfusion, Outcome::Crash, Outcome::Crash, Outcome::Error,
+     Outcome::Error, Outcome::JinnException},
+    // Pitfall 8: nobody detects it at the boundary; Jinn behaves like a
+    // production run (paper §2, Table 1 row 8).
+    {MicroId::UnterminatedString, Outcome::Running, Outcome::Npe,
+     Outcome::Running, Outcome::Npe, Outcome::Running},
+};
+
+class MatrixTest : public ::testing::TestWithParam<Expected> {};
+
+TEST_P(MatrixTest, DefaultHotSpot) {
+  EXPECT_EQ(run(GetParam().Id, VmFlavor::HotSpotLike, CheckerKind::None),
+            GetParam().DefaultHotSpot);
+}
+
+TEST_P(MatrixTest, DefaultJ9) {
+  EXPECT_EQ(run(GetParam().Id, VmFlavor::J9Like, CheckerKind::None),
+            GetParam().DefaultJ9);
+}
+
+TEST_P(MatrixTest, XcheckHotSpot) {
+  EXPECT_EQ(run(GetParam().Id, VmFlavor::HotSpotLike, CheckerKind::Xcheck),
+            GetParam().XcheckHotSpot);
+}
+
+TEST_P(MatrixTest, XcheckJ9) {
+  EXPECT_EQ(run(GetParam().Id, VmFlavor::J9Like, CheckerKind::Xcheck),
+            GetParam().XcheckJ9);
+}
+
+TEST_P(MatrixTest, Jinn) {
+  EXPECT_EQ(run(GetParam().Id, VmFlavor::HotSpotLike, CheckerKind::Jinn),
+            GetParam().Jinn);
+}
+
+TEST_P(MatrixTest, JinnReportsTheExpectedMachine) {
+  const Expected &E = GetParam();
+  if (E.Jinn != Outcome::JinnException)
+    return;
+  WorldConfig Config;
+  Config.Checker = CheckerKind::Jinn;
+  ScenarioWorld World(Config);
+  runMicrobenchmark(E.Id, World);
+  World.shutdown();
+  ASSERT_FALSE(World.Jinn->reporter().reports().empty());
+  EXPECT_EQ(World.Jinn->reporter().reports().front().Machine,
+            microInfo(E.Id).Machine);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMicrobenchmarks, MatrixTest, ::testing::ValuesIn(Matrix),
+    [](const ::testing::TestParamInfo<Expected> &Info) {
+      return microInfo(Info.param.Id).ClassName;
+    });
+
+TEST(Coverage, JinnDetectsEveryBoundaryDetectableMicrobenchmark) {
+  size_t Detected = 0, Total = 0;
+  for (const MicroInfo &Info : allMicrobenchmarks()) {
+    if (!Info.DetectableAtBoundary)
+      continue;
+    ++Total;
+    WorldConfig Config;
+    Config.Checker = CheckerKind::Jinn;
+    if (isValidBugReport(runMicroToOutcome(Info.Id, Config)))
+      ++Detected;
+  }
+  EXPECT_EQ(Detected, Total); // Jinn: 100% (paper §6.3)
+  EXPECT_EQ(Total, 17u);
+}
+
+} // namespace

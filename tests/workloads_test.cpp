@@ -1,0 +1,71 @@
+//===- tests/workloads_test.cpp - Table 3 workload tests -----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using namespace jinn::workloads;
+
+namespace {
+
+TEST(Workloads, TableHasAllNineteenBenchmarks) {
+  EXPECT_EQ(allWorkloads().size(), 19u);
+  EXPECT_NE(workloadByName("jython"), nullptr);
+  EXPECT_EQ(workloadByName("jython")->PaperTransitions, 56318101u);
+  EXPECT_EQ(workloadByName("nosuch"), nullptr);
+}
+
+TEST(Workloads, RunsCleanlyInProduction) {
+  WorldConfig Config;
+  ScenarioWorld World(Config);
+  WorkloadRun Run = runWorkload(*workloadByName("compress"), World, 10);
+  EXPECT_EQ(Run.NativeTransitions, 1487u);
+  EXPECT_GT(Run.JniCalls, Run.NativeTransitions);
+  EXPECT_FALSE(World.Vm.diags().has(IncidentKind::SimulatedCrash));
+  EXPECT_FALSE(World.Vm.diags().has(IncidentKind::UndefinedState));
+}
+
+TEST(Workloads, NoFalsePositivesUnderJinn) {
+  // Paper §2.2: "Jinn never generates false positives" — a correct
+  // workload must produce zero reports under full checking.
+  WorldConfig Config;
+  Config.Checker = CheckerKind::Jinn;
+  ScenarioWorld World(Config);
+  for (const WorkloadInfo &Info : allWorkloads())
+    runWorkload(Info, World, 2048);
+  World.shutdown();
+  EXPECT_TRUE(World.Jinn->reporter().reports().empty());
+}
+
+TEST(Workloads, NoFalsePositivesUnderXcheck) {
+  for (auto Flavor : {jvm::VmFlavor::HotSpotLike, jvm::VmFlavor::J9Like}) {
+    WorldConfig Config;
+    Config.Flavor = Flavor;
+    Config.Checker = CheckerKind::Xcheck;
+    ScenarioWorld World(Config);
+    runWorkload(*workloadByName("jess"), World, 64);
+    World.shutdown();
+    EXPECT_TRUE(World.Xcheck->reporter().detections().empty());
+  }
+}
+
+TEST(Workloads, ChecksumIsDeterministicAcrossCheckerConfigs) {
+  auto Checksum = [](CheckerKind Checker) {
+    WorldConfig Config;
+    Config.Checker = Checker;
+    ScenarioWorld World(Config);
+    return runWorkload(*workloadByName("db"), World, 64).Checksum;
+  };
+  uint64_t Production = Checksum(CheckerKind::None);
+  EXPECT_EQ(Production, Checksum(CheckerKind::InterposeOnly));
+  EXPECT_EQ(Production, Checksum(CheckerKind::Jinn));
+  EXPECT_EQ(Production, Checksum(CheckerKind::Xcheck));
+}
+
+} // namespace

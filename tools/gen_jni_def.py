@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Generates src/jni/JniFunctions.def: the X-macro registry of all 229 JNI
+functions in JNIEnv function-table order (JNI 1.6).
+
+Entry forms:
+  JNI_FN(Name, Ret, Params, Args)       -- directly wrappable function
+  JNI_FN_VA(Name, Ret, Params, Args)    -- variadic ('...') form; delegates
+  JNI_FN_VL(Name, Ret, Params, Args)    -- va_list form; delegates
+
+Params is the full parenthesized parameter list including JNIEnv *env;
+Args is the matching forwarding list.
+"""
+
+TYPES = [
+    ("Object", "jobject"),
+    ("Boolean", "jboolean"),
+    ("Byte", "jbyte"),
+    ("Char", "jchar"),
+    ("Short", "jshort"),
+    ("Int", "jint"),
+    ("Long", "jlong"),
+    ("Float", "jfloat"),
+    ("Double", "jdouble"),
+]
+CALL_TYPES = TYPES + [("Void", "void")]
+PRIM_TYPES = TYPES[1:]  # Boolean..Double
+
+ENTRIES = []
+
+
+def fn(name, ret, params, kind="JNI_FN"):
+    decls = ["JNIEnv *env"]
+    args = ["env"]
+    for decl, argname in params:
+        decls.append(decl)
+        args.append(argname)
+    ENTRIES.append((kind, name, ret, ", ".join(decls), ", ".join(args)))
+
+
+def p(decl, name):
+    return (decl, name)
+
+
+# --- 1..30 ---------------------------------------------------------------
+fn("GetVersion", "jint", [])
+fn("DefineClass", "jclass", [p("const char *name", "name"),
+                             p("jobject loader", "loader"),
+                             p("const jbyte *buf", "buf"),
+                             p("jsize bufLen", "bufLen")])
+fn("FindClass", "jclass", [p("const char *name", "name")])
+fn("FromReflectedMethod", "jmethodID", [p("jobject method", "method")])
+fn("FromReflectedField", "jfieldID", [p("jobject field", "field")])
+fn("ToReflectedMethod", "jobject", [p("jclass cls", "cls"),
+                                    p("jmethodID methodID", "methodID"),
+                                    p("jboolean isStatic", "isStatic")])
+fn("GetSuperclass", "jclass", [p("jclass cls", "cls")])
+fn("IsAssignableFrom", "jboolean", [p("jclass sub", "sub"),
+                                    p("jclass sup", "sup")])
+fn("ToReflectedField", "jobject", [p("jclass cls", "cls"),
+                                   p("jfieldID fieldID", "fieldID"),
+                                   p("jboolean isStatic", "isStatic")])
+fn("Throw", "jint", [p("jthrowable obj", "obj")])
+fn("ThrowNew", "jint", [p("jclass cls", "cls"),
+                        p("const char *message", "message")])
+fn("ExceptionOccurred", "jthrowable", [])
+fn("ExceptionDescribe", "void", [])
+fn("ExceptionClear", "void", [])
+fn("FatalError", "void", [p("const char *msg", "msg")])
+fn("PushLocalFrame", "jint", [p("jint capacity", "capacity")])
+fn("PopLocalFrame", "jobject", [p("jobject result", "result")])
+fn("NewGlobalRef", "jobject", [p("jobject obj", "obj")])
+fn("DeleteGlobalRef", "void", [p("jobject obj", "obj")])
+fn("DeleteLocalRef", "void", [p("jobject obj", "obj")])
+fn("IsSameObject", "jboolean", [p("jobject obj1", "obj1"),
+                                p("jobject obj2", "obj2")])
+fn("NewLocalRef", "jobject", [p("jobject obj", "obj")])
+fn("EnsureLocalCapacity", "jint", [p("jint capacity", "capacity")])
+fn("AllocObject", "jobject", [p("jclass cls", "cls")])
+fn("NewObject", "jobject", [p("jclass cls", "cls"),
+                            p("jmethodID methodID", "methodID"),
+                            p("...", "...")], kind="JNI_FN_VA")
+fn("NewObjectV", "jobject", [p("jclass cls", "cls"),
+                             p("jmethodID methodID", "methodID"),
+                             p("va_list args", "args")], kind="JNI_FN_VL")
+fn("NewObjectA", "jobject", [p("jclass cls", "cls"),
+                             p("jmethodID methodID", "methodID"),
+                             p("const jvalue *args", "args")])
+fn("GetObjectClass", "jclass", [p("jobject obj", "obj")])
+fn("IsInstanceOf", "jboolean", [p("jobject obj", "obj"),
+                                p("jclass cls", "cls")])
+fn("GetMethodID", "jmethodID", [p("jclass cls", "cls"),
+                                p("const char *name", "name"),
+                                p("const char *sig", "sig")])
+
+# --- Call<T>Method families ----------------------------------------------
+def call_family(prefix, recv_decl, recv_name, extra=None):
+    for tname, tret in CALL_TYPES:
+        base = [p(recv_decl, recv_name)]
+        if extra:
+            base.append(p(extra[0], extra[1]))
+        base.append(p("jmethodID methodID", "methodID"))
+        fn(f"{prefix}{tname}Method", tret, base + [p("...", "...")],
+           kind="JNI_FN_VA")
+        fn(f"{prefix}{tname}MethodV", tret, base + [p("va_list args", "args")],
+           kind="JNI_FN_VL")
+        fn(f"{prefix}{tname}MethodA", tret,
+           base + [p("const jvalue *args", "args")])
+
+
+call_family("Call", "jobject obj", "obj")
+call_family("CallNonvirtual", "jobject obj", "obj", ("jclass cls", "cls"))
+
+fn("GetFieldID", "jfieldID", [p("jclass cls", "cls"),
+                              p("const char *name", "name"),
+                              p("const char *sig", "sig")])
+for tname, tret in TYPES:
+    fn(f"Get{tname}Field", tret, [p("jobject obj", "obj"),
+                                  p("jfieldID fieldID", "fieldID")])
+for tname, tret in TYPES:
+    fn(f"Set{tname}Field", "void", [p("jobject obj", "obj"),
+                                    p("jfieldID fieldID", "fieldID"),
+                                    p(f"{tret} value", "value")])
+
+fn("GetStaticMethodID", "jmethodID", [p("jclass cls", "cls"),
+                                      p("const char *name", "name"),
+                                      p("const char *sig", "sig")])
+call_family("CallStatic", "jclass cls", "cls")
+
+fn("GetStaticFieldID", "jfieldID", [p("jclass cls", "cls"),
+                                    p("const char *name", "name"),
+                                    p("const char *sig", "sig")])
+for tname, tret in TYPES:
+    fn(f"GetStatic{tname}Field", tret, [p("jclass cls", "cls"),
+                                        p("jfieldID fieldID", "fieldID")])
+for tname, tret in TYPES:
+    fn(f"SetStatic{tname}Field", "void", [p("jclass cls", "cls"),
+                                          p("jfieldID fieldID", "fieldID"),
+                                          p(f"{tret} value", "value")])
+
+# --- Strings --------------------------------------------------------------
+fn("NewString", "jstring", [p("const jchar *unicodeChars", "unicodeChars"),
+                            p("jsize len", "len")])
+fn("GetStringLength", "jsize", [p("jstring str", "str")])
+fn("GetStringChars", "const jchar *", [p("jstring str", "str"),
+                                       p("jboolean *isCopy", "isCopy")])
+fn("ReleaseStringChars", "void", [p("jstring str", "str"),
+                                  p("const jchar *chars", "chars")])
+fn("NewStringUTF", "jstring", [p("const char *bytes", "bytes")])
+fn("GetStringUTFLength", "jsize", [p("jstring str", "str")])
+fn("GetStringUTFChars", "const char *", [p("jstring str", "str"),
+                                         p("jboolean *isCopy", "isCopy")])
+fn("ReleaseStringUTFChars", "void", [p("jstring str", "str"),
+                                     p("const char *utf", "utf")])
+
+# --- Arrays ---------------------------------------------------------------
+fn("GetArrayLength", "jsize", [p("jarray array", "array")])
+fn("NewObjectArray", "jobjectArray", [p("jsize length", "length"),
+                                      p("jclass elementClass", "elementClass"),
+                                      p("jobject initialElement",
+                                        "initialElement")])
+fn("GetObjectArrayElement", "jobject", [p("jobjectArray array", "array"),
+                                        p("jsize index", "index")])
+fn("SetObjectArrayElement", "void", [p("jobjectArray array", "array"),
+                                     p("jsize index", "index"),
+                                     p("jobject value", "value")])
+for tname, tret in PRIM_TYPES:
+    fn(f"New{tname}Array", f"j{tname.lower()}Array",
+       [p("jsize length", "length")])
+for tname, tret in PRIM_TYPES:
+    fn(f"Get{tname}ArrayElements", f"{tret} *",
+       [p(f"j{tname.lower()}Array array", "array"),
+        p("jboolean *isCopy", "isCopy")])
+for tname, tret in PRIM_TYPES:
+    fn(f"Release{tname}ArrayElements", "void",
+       [p(f"j{tname.lower()}Array array", "array"),
+        p(f"{tret} *elems", "elems"),
+        p("jint mode", "mode")])
+for tname, tret in PRIM_TYPES:
+    fn(f"Get{tname}ArrayRegion", "void",
+       [p(f"j{tname.lower()}Array array", "array"),
+        p("jsize start", "start"), p("jsize len", "len"),
+        p(f"{tret} *buf", "buf")])
+for tname, tret in PRIM_TYPES:
+    fn(f"Set{tname}ArrayRegion", "void",
+       [p(f"j{tname.lower()}Array array", "array"),
+        p("jsize start", "start"), p("jsize len", "len"),
+        p(f"const {tret} *buf", "buf")])
+
+# --- Natives, monitors, VM, regions, criticals, weak, misc ----------------
+fn("RegisterNatives", "jint", [p("jclass cls", "cls"),
+                               p("const JNINativeMethod *methods", "methods"),
+                               p("jint nMethods", "nMethods")])
+fn("UnregisterNatives", "jint", [p("jclass cls", "cls")])
+fn("MonitorEnter", "jint", [p("jobject obj", "obj")])
+fn("MonitorExit", "jint", [p("jobject obj", "obj")])
+fn("GetJavaVM", "jint", [p("JavaVM **vm", "vm")])
+fn("GetStringRegion", "void", [p("jstring str", "str"),
+                               p("jsize start", "start"),
+                               p("jsize len", "len"),
+                               p("jchar *buf", "buf")])
+fn("GetStringUTFRegion", "void", [p("jstring str", "str"),
+                                  p("jsize start", "start"),
+                                  p("jsize len", "len"),
+                                  p("char *buf", "buf")])
+fn("GetPrimitiveArrayCritical", "void *", [p("jarray array", "array"),
+                                           p("jboolean *isCopy", "isCopy")])
+fn("ReleasePrimitiveArrayCritical", "void", [p("jarray array", "array"),
+                                             p("void *carray", "carray"),
+                                             p("jint mode", "mode")])
+fn("GetStringCritical", "const jchar *", [p("jstring str", "str"),
+                                          p("jboolean *isCopy", "isCopy")])
+fn("ReleaseStringCritical", "void", [p("jstring str", "str"),
+                                     p("const jchar *carray", "carray")])
+fn("NewWeakGlobalRef", "jweak", [p("jobject obj", "obj")])
+fn("DeleteWeakGlobalRef", "void", [p("jweak obj", "obj")])
+fn("ExceptionCheck", "jboolean", [])
+fn("NewDirectByteBuffer", "jobject", [p("void *address", "address"),
+                                      p("jlong capacity", "capacity")])
+fn("GetDirectBufferAddress", "void *", [p("jobject buf", "buf")])
+fn("GetDirectBufferCapacity", "jlong", [p("jobject buf", "buf")])
+fn("GetObjectRefType", "jobjectRefType", [p("jobject obj", "obj")])
+
+HEADER = """\
+//===- jni/JniFunctions.def - All 229 JNI functions (X-macro) ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+// GENERATED by tools/gen_jni_def.py -- do not edit by hand.
+//
+// One entry per JNI function in JNIEnv function-table order (JNI 1.6).
+// This single registry is the analogue of the paper's scanned jni.h: the
+// env vtable, the interposition wrappers, the per-function traits, the
+// Table 2 constraint census, and the code emitter all derive from it.
+//
+//   JNI_FN(Name, Ret, Params, Args)    directly wrappable function
+//   JNI_FN_VA(Name, Ret, Params, Args) variadic '...' form (delegates to A)
+//   JNI_FN_VL(Name, Ret, Params, Args) va_list form (delegates to A)
+//
+//===----------------------------------------------------------------------===//
+
+#if !defined(JNI_FN)
+#error "define JNI_FN(Name, Ret, Params, Args) before including"
+#endif
+#if !defined(JNI_FN_VA)
+#define JNI_FN_VA(Name, Ret, Params, Args) JNI_FN(Name, Ret, Params, Args)
+#define JNI_FN_VA_DEFAULTED 1
+#endif
+#if !defined(JNI_FN_VL)
+#define JNI_FN_VL(Name, Ret, Params, Args) JNI_FN(Name, Ret, Params, Args)
+#define JNI_FN_VL_DEFAULTED 1
+#endif
+"""
+
+FOOTER = """
+#if defined(JNI_FN_VA_DEFAULTED)
+#undef JNI_FN_VA
+#undef JNI_FN_VA_DEFAULTED
+#endif
+#if defined(JNI_FN_VL_DEFAULTED)
+#undef JNI_FN_VL
+#undef JNI_FN_VL_DEFAULTED
+#endif
+"""
+
+import sys
+
+out = [HEADER]
+for kind, name, ret, params, args in ENTRIES:
+    out.append(f"{kind}({name}, {ret}, ({params}), ({args}))")
+out.append(FOOTER)
+text = "\n".join(out)
+
+assert len(ENTRIES) == 229, f"expected 229 JNI functions, got {len(ENTRIES)}"
+
+with open(sys.argv[1] if len(sys.argv) > 1 else
+          "src/jni/JniFunctions.def", "w") as f:
+    f.write(text)
+print(f"wrote {len(ENTRIES)} entries")
