@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_localrefs.dir/bench_fig10_localrefs.cpp.o"
+  "CMakeFiles/bench_fig10_localrefs.dir/bench_fig10_localrefs.cpp.o.d"
+  "bench_fig10_localrefs"
+  "bench_fig10_localrefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_localrefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

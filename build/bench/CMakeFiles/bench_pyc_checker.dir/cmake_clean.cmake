@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pyc_checker.dir/bench_pyc_checker.cpp.o"
+  "CMakeFiles/bench_pyc_checker.dir/bench_pyc_checker.cpp.o.d"
+  "bench_pyc_checker"
+  "bench_pyc_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pyc_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synthesis_loc.dir/bench_synthesis_loc.cpp.o"
+  "CMakeFiles/bench_synthesis_loc.dir/bench_synthesis_loc.cpp.o.d"
+  "bench_synthesis_loc"
+  "bench_synthesis_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthesis_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eclipse_swt.dir/eclipse_swt.cpp.o"
+  "CMakeFiles/eclipse_swt.dir/eclipse_swt.cpp.o.d"
+  "eclipse_swt"
+  "eclipse_swt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eclipse_swt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eclipse_swt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnome_callback.dir/gnome_callback.cpp.o"
+  "CMakeFiles/gnome_callback.dir/gnome_callback.cpp.o.d"
+  "gnome_callback"
+  "gnome_callback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnome_callback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

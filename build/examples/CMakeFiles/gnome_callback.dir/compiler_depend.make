@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gnome_callback.
+# This may be replaced when dependencies are built.

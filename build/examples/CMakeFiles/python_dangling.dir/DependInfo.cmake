@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/python_dangling.cpp" "examples/CMakeFiles/python_dangling.dir/python_dangling.cpp.o" "gcc" "examples/CMakeFiles/python_dangling.dir/python_dangling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/jinn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/jinn_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkjni/CMakeFiles/jinn_checkjni.dir/DependInfo.cmake"
+  "/root/repo/build/src/jinn/CMakeFiles/jinn_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/jinn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/jinn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvmti/CMakeFiles/jinn_jvmti.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/jinn_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jinn_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pyjinn/CMakeFiles/jinn_pyjinn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pyc/CMakeFiles/jinn_pyc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jinn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

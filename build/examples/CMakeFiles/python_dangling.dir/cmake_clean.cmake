@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/python_dangling.dir/python_dangling.cpp.o"
+  "CMakeFiles/python_dangling.dir/python_dangling.cpp.o.d"
+  "python_dangling"
+  "python_dangling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/python_dangling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for python_dangling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subversion_audit.dir/subversion_audit.cpp.o"
+  "CMakeFiles/subversion_audit.dir/subversion_audit.cpp.o.d"
+  "subversion_audit"
+  "subversion_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subversion_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("jvm")
+subdirs("jni")
+subdirs("jvmti")
+subdirs("spec")
+subdirs("synth")
+subdirs("jinn")
+subdirs("checkjni")
+subdirs("pyc")
+subdirs("pyjinn")
+subdirs("scenarios")
+subdirs("workloads")

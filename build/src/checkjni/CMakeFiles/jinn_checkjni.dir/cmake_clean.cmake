@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_checkjni.dir/XcheckAgent.cpp.o"
+  "CMakeFiles/jinn_checkjni.dir/XcheckAgent.cpp.o.d"
+  "libjinn_checkjni.a"
+  "libjinn_checkjni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_checkjni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjinn_checkjni.a"
+)

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jinn/Census.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/Census.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/Census.cpp.o.d"
+  "/root/repo/src/jinn/JinnAgent.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/JinnAgent.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/JinnAgent.cpp.o.d"
+  "/root/repo/src/jinn/Machines.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/Machines.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/Machines.cpp.o.d"
+  "/root/repo/src/jinn/Report.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/Report.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/Report.cpp.o.d"
+  "/root/repo/src/jinn/machines/AccessControl.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/AccessControl.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/AccessControl.cpp.o.d"
+  "/root/repo/src/jinn/machines/CriticalState.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/CriticalState.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/CriticalState.cpp.o.d"
+  "/root/repo/src/jinn/machines/EntityTyping.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/EntityTyping.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/EntityTyping.cpp.o.d"
+  "/root/repo/src/jinn/machines/EnvState.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/EnvState.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/EnvState.cpp.o.d"
+  "/root/repo/src/jinn/machines/ExceptionState.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/ExceptionState.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/ExceptionState.cpp.o.d"
+  "/root/repo/src/jinn/machines/FixedTyping.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/FixedTyping.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/FixedTyping.cpp.o.d"
+  "/root/repo/src/jinn/machines/GlobalRef.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/GlobalRef.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/GlobalRef.cpp.o.d"
+  "/root/repo/src/jinn/machines/LocalRef.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/LocalRef.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/LocalRef.cpp.o.d"
+  "/root/repo/src/jinn/machines/Monitor.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/Monitor.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/Monitor.cpp.o.d"
+  "/root/repo/src/jinn/machines/Nullness.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/Nullness.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/Nullness.cpp.o.d"
+  "/root/repo/src/jinn/machines/PinnedResource.cpp" "src/jinn/CMakeFiles/jinn_agent.dir/machines/PinnedResource.cpp.o" "gcc" "src/jinn/CMakeFiles/jinn_agent.dir/machines/PinnedResource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/jinn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/jinn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvmti/CMakeFiles/jinn_jvmti.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/jinn_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jinn_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jinn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_agent.dir/Census.cpp.o"
+  "CMakeFiles/jinn_agent.dir/Census.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/JinnAgent.cpp.o"
+  "CMakeFiles/jinn_agent.dir/JinnAgent.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/Machines.cpp.o"
+  "CMakeFiles/jinn_agent.dir/Machines.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/Report.cpp.o"
+  "CMakeFiles/jinn_agent.dir/Report.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/AccessControl.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/AccessControl.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/CriticalState.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/CriticalState.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/EntityTyping.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/EntityTyping.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/EnvState.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/EnvState.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/ExceptionState.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/ExceptionState.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/FixedTyping.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/FixedTyping.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/GlobalRef.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/GlobalRef.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/LocalRef.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/LocalRef.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/Monitor.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/Monitor.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/Nullness.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/Nullness.cpp.o.d"
+  "CMakeFiles/jinn_agent.dir/machines/PinnedResource.cpp.o"
+  "CMakeFiles/jinn_agent.dir/machines/PinnedResource.cpp.o.d"
+  "libjinn_agent.a"
+  "libjinn_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jni/JniEnvArrays.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvArrays.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvArrays.cpp.o.d"
+  "/root/repo/src/jni/JniEnvCalls.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvCalls.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvCalls.cpp.o.d"
+  "/root/repo/src/jni/JniEnvCore.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvCore.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvCore.cpp.o.d"
+  "/root/repo/src/jni/JniEnvMembers.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvMembers.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniEnvMembers.cpp.o.d"
+  "/root/repo/src/jni/JniFunctionId.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniFunctionId.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniFunctionId.cpp.o.d"
+  "/root/repo/src/jni/JniRuntime.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniRuntime.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniRuntime.cpp.o.d"
+  "/root/repo/src/jni/JniTraits.cpp" "src/jni/CMakeFiles/jinn_jni.dir/JniTraits.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/JniTraits.cpp.o.d"
+  "/root/repo/src/jni/Marshal.cpp" "src/jni/CMakeFiles/jinn_jni.dir/Marshal.cpp.o" "gcc" "src/jni/CMakeFiles/jinn_jni.dir/Marshal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/jinn_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jinn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_jni.dir/JniEnvArrays.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniEnvArrays.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniEnvCalls.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniEnvCalls.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniEnvCore.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniEnvCore.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniEnvMembers.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniEnvMembers.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniFunctionId.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniFunctionId.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniRuntime.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniRuntime.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/JniTraits.cpp.o"
+  "CMakeFiles/jinn_jni.dir/JniTraits.cpp.o.d"
+  "CMakeFiles/jinn_jni.dir/Marshal.cpp.o"
+  "CMakeFiles/jinn_jni.dir/Marshal.cpp.o.d"
+  "libjinn_jni.a"
+  "libjinn_jni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_jni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

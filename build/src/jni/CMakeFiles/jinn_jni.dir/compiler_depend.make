@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jinn_jni.
+# This may be replaced when dependencies are built.

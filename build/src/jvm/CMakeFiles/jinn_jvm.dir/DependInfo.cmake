@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/Descriptor.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/Descriptor.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/Descriptor.cpp.o.d"
+  "/root/repo/src/jvm/Heap.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/Heap.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/Heap.cpp.o.d"
+  "/root/repo/src/jvm/JThread.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/JThread.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/JThread.cpp.o.d"
+  "/root/repo/src/jvm/Klass.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/Klass.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/Klass.cpp.o.d"
+  "/root/repo/src/jvm/Policy.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/Policy.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/Policy.cpp.o.d"
+  "/root/repo/src/jvm/Vm.cpp" "src/jvm/CMakeFiles/jinn_jvm.dir/Vm.cpp.o" "gcc" "src/jvm/CMakeFiles/jinn_jvm.dir/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jinn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_jvm.dir/Descriptor.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/Descriptor.cpp.o.d"
+  "CMakeFiles/jinn_jvm.dir/Heap.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/Heap.cpp.o.d"
+  "CMakeFiles/jinn_jvm.dir/JThread.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/JThread.cpp.o.d"
+  "CMakeFiles/jinn_jvm.dir/Klass.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/Klass.cpp.o.d"
+  "CMakeFiles/jinn_jvm.dir/Policy.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/Policy.cpp.o.d"
+  "CMakeFiles/jinn_jvm.dir/Vm.cpp.o"
+  "CMakeFiles/jinn_jvm.dir/Vm.cpp.o.d"
+  "libjinn_jvm.a"
+  "libjinn_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_jvmti.dir/Interpose.cpp.o"
+  "CMakeFiles/jinn_jvmti.dir/Interpose.cpp.o.d"
+  "CMakeFiles/jinn_jvmti.dir/Jvmti.cpp.o"
+  "CMakeFiles/jinn_jvmti.dir/Jvmti.cpp.o.d"
+  "libjinn_jvmti.a"
+  "libjinn_jvmti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_jvmti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_pyc.dir/PyRuntime.cpp.o"
+  "CMakeFiles/jinn_pyc.dir/PyRuntime.cpp.o.d"
+  "libjinn_pyc.a"
+  "libjinn_pyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_pyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

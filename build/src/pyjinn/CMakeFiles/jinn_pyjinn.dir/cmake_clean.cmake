@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_pyjinn.dir/PyChecker.cpp.o"
+  "CMakeFiles/jinn_pyjinn.dir/PyChecker.cpp.o.d"
+  "libjinn_pyjinn.a"
+  "libjinn_pyjinn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_pyjinn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

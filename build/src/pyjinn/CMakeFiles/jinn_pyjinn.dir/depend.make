@@ -1,0 +1,2 @@
+# Empty dependencies file for jinn_pyjinn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_scenarios.dir/CaseStudies.cpp.o"
+  "CMakeFiles/jinn_scenarios.dir/CaseStudies.cpp.o.d"
+  "CMakeFiles/jinn_scenarios.dir/Micros.cpp.o"
+  "CMakeFiles/jinn_scenarios.dir/Micros.cpp.o.d"
+  "CMakeFiles/jinn_scenarios.dir/PythonScenarios.cpp.o"
+  "CMakeFiles/jinn_scenarios.dir/PythonScenarios.cpp.o.d"
+  "CMakeFiles/jinn_scenarios.dir/Scenarios.cpp.o"
+  "CMakeFiles/jinn_scenarios.dir/Scenarios.cpp.o.d"
+  "libjinn_scenarios.a"
+  "libjinn_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

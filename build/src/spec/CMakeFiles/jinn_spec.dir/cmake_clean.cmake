@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_spec.dir/StateMachine.cpp.o"
+  "CMakeFiles/jinn_spec.dir/StateMachine.cpp.o.d"
+  "libjinn_spec.a"
+  "libjinn_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

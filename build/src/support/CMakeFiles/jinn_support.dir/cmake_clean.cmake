@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/jinn_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/jinn_support.dir/Format.cpp.o"
+  "CMakeFiles/jinn_support.dir/Format.cpp.o.d"
+  "libjinn_support.a"
+  "libjinn_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

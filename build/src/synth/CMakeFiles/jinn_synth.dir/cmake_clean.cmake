@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_synth.dir/Emitter.cpp.o"
+  "CMakeFiles/jinn_synth.dir/Emitter.cpp.o.d"
+  "CMakeFiles/jinn_synth.dir/Synthesizer.cpp.o"
+  "CMakeFiles/jinn_synth.dir/Synthesizer.cpp.o.d"
+  "libjinn_synth.a"
+  "libjinn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

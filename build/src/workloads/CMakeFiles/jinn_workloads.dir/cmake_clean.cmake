@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/jinn_workloads.dir/Workloads.cpp.o.d"
+  "libjinn_workloads.a"
+  "libjinn_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkjni_test.dir/checkjni_test.cpp.o"
+  "CMakeFiles/checkjni_test.dir/checkjni_test.cpp.o.d"
+  "checkjni_test"
+  "checkjni_test.pdb"
+  "checkjni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkjni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_census_test.dir/fig9_census_test.cpp.o"
+  "CMakeFiles/fig9_census_test.dir/fig9_census_test.cpp.o.d"
+  "fig9_census_test"
+  "fig9_census_test.pdb"
+  "fig9_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoke_interface_test.dir/invoke_interface_test.cpp.o"
+  "CMakeFiles/invoke_interface_test.dir/invoke_interface_test.cpp.o.d"
+  "invoke_interface_test"
+  "invoke_interface_test.pdb"
+  "invoke_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoke_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_agent_test.dir/jinn_agent_test.cpp.o"
+  "CMakeFiles/jinn_agent_test.dir/jinn_agent_test.cpp.o.d"
+  "jinn_agent_test"
+  "jinn_agent_test.pdb"
+  "jinn_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

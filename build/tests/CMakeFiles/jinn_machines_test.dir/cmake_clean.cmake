@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_machines_test.dir/jinn_machines_test.cpp.o"
+  "CMakeFiles/jinn_machines_test.dir/jinn_machines_test.cpp.o.d"
+  "jinn_machines_test"
+  "jinn_machines_test.pdb"
+  "jinn_machines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

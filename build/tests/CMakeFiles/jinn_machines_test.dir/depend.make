@@ -1,0 +1,2 @@
+# Empty dependencies file for jinn_machines_test.
+# This may be replaced when dependencies are built.

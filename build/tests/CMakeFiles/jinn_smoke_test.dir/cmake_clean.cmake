@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn_smoke_test.dir/jinn_smoke_test.cpp.o"
+  "CMakeFiles/jinn_smoke_test.dir/jinn_smoke_test.cpp.o.d"
+  "jinn_smoke_test"
+  "jinn_smoke_test.pdb"
+  "jinn_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_call_test.dir/jni_call_test.cpp.o"
+  "CMakeFiles/jni_call_test.dir/jni_call_test.cpp.o.d"
+  "jni_call_test"
+  "jni_call_test.pdb"
+  "jni_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

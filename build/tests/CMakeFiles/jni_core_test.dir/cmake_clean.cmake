@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_core_test.dir/jni_core_test.cpp.o"
+  "CMakeFiles/jni_core_test.dir/jni_core_test.cpp.o.d"
+  "jni_core_test"
+  "jni_core_test.pdb"
+  "jni_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_field_test.dir/jni_field_test.cpp.o"
+  "CMakeFiles/jni_field_test.dir/jni_field_test.cpp.o.d"
+  "jni_field_test"
+  "jni_field_test.pdb"
+  "jni_field_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_string_array_test.dir/jni_string_array_test.cpp.o"
+  "CMakeFiles/jni_string_array_test.dir/jni_string_array_test.cpp.o.d"
+  "jni_string_array_test"
+  "jni_string_array_test.pdb"
+  "jni_string_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_string_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jni_traits_test.dir/jni_traits_test.cpp.o"
+  "CMakeFiles/jni_traits_test.dir/jni_traits_test.cpp.o.d"
+  "jni_traits_test"
+  "jni_traits_test.pdb"
+  "jni_traits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jni_traits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jthread_test.dir/jthread_test.cpp.o"
+  "CMakeFiles/jthread_test.dir/jthread_test.cpp.o.d"
+  "jthread_test"
+  "jthread_test.pdb"
+  "jthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

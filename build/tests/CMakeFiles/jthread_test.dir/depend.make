@@ -1,0 +1,2 @@
+# Empty dependencies file for jthread_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvmti_test.dir/jvmti_test.cpp.o"
+  "CMakeFiles/jvmti_test.dir/jvmti_test.cpp.o.d"
+  "jvmti_test"
+  "jvmti_test.pdb"
+  "jvmti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvmti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

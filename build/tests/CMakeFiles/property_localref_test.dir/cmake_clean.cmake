@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_localref_test.dir/property_localref_test.cpp.o"
+  "CMakeFiles/property_localref_test.dir/property_localref_test.cpp.o.d"
+  "property_localref_test"
+  "property_localref_test.pdb"
+  "property_localref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_localref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

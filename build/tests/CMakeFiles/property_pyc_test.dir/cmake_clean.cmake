@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_pyc_test.dir/property_pyc_test.cpp.o"
+  "CMakeFiles/property_pyc_test.dir/property_pyc_test.cpp.o.d"
+  "property_pyc_test"
+  "property_pyc_test.pdb"
+  "property_pyc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_pyc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

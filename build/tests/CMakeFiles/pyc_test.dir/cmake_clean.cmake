@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyc_test.dir/pyc_test.cpp.o"
+  "CMakeFiles/pyc_test.dir/pyc_test.cpp.o.d"
+  "pyc_test"
+  "pyc_test.pdb"
+  "pyc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

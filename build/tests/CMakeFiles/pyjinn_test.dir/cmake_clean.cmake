@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyjinn_test.dir/pyjinn_test.cpp.o"
+  "CMakeFiles/pyjinn_test.dir/pyjinn_test.cpp.o.d"
+  "pyjinn_test"
+  "pyjinn_test.pdb"
+  "pyjinn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyjinn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenarios_matrix_test.dir/scenarios_matrix_test.cpp.o"
+  "CMakeFiles/scenarios_matrix_test.dir/scenarios_matrix_test.cpp.o.d"
+  "scenarios_matrix_test"
+  "scenarios_matrix_test.pdb"
+  "scenarios_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenarios_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

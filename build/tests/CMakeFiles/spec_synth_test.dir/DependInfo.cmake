@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spec_synth_test.cpp" "tests/CMakeFiles/spec_synth_test.dir/spec_synth_test.cpp.o" "gcc" "tests/CMakeFiles/spec_synth_test.dir/spec_synth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jinn/CMakeFiles/jinn_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/jinn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/jinn_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvmti/CMakeFiles/jinn_jvmti.dir/DependInfo.cmake"
+  "/root/repo/build/src/jni/CMakeFiles/jinn_jni.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jinn_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jinn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

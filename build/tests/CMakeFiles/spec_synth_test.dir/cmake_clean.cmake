@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_synth_test.dir/spec_synth_test.cpp.o"
+  "CMakeFiles/spec_synth_test.dir/spec_synth_test.cpp.o.d"
+  "spec_synth_test"
+  "spec_synth_test.pdb"
+  "spec_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/jinn_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/pyc_test[1]_include.cmake")
+include("/root/repo/build/tests/pyjinn_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/descriptor_test[1]_include.cmake")
+include("/root/repo/build/tests/handle_test[1]_include.cmake")
+include("/root/repo/build/tests/heap_test[1]_include.cmake")
+include("/root/repo/build/tests/jthread_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/jni_core_test[1]_include.cmake")
+include("/root/repo/build/tests/jni_call_test[1]_include.cmake")
+include("/root/repo/build/tests/jni_field_test[1]_include.cmake")
+include("/root/repo/build/tests/jni_string_array_test[1]_include.cmake")
+include("/root/repo/build/tests/jni_traits_test[1]_include.cmake")
+include("/root/repo/build/tests/jvmti_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/jinn_machines_test[1]_include.cmake")
+include("/root/repo/build/tests/property_localref_test[1]_include.cmake")
+include("/root/repo/build/tests/property_pyc_test[1]_include.cmake")
+include("/root/repo/build/tests/fig9_census_test[1]_include.cmake")
+include("/root/repo/build/tests/checkjni_test[1]_include.cmake")
+include("/root/repo/build/tests/invoke_interface_test[1]_include.cmake")
+include("/root/repo/build/tests/jinn_agent_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_classify_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jinn-synth.dir/jinn_synth_main.cpp.o"
+  "CMakeFiles/jinn-synth.dir/jinn_synth_main.cpp.o.d"
+  "jinn-synth"
+  "jinn-synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jinn-synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
