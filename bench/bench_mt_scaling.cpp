@@ -1,0 +1,150 @@
+//===- bench/bench_mt_scaling.cpp - Multi-threaded throughput scaling ----===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures aggregate native-transition throughput when the Table 3 "db"
+/// and "jack" operation mixes run on 1, 2, 4, and 8 concurrently attached
+/// OS threads, under three configurations: no checker, Jinn interposing
+/// only, and full Jinn checking. The reproduced claim is structural:
+/// per-thread JVM and machine state stays lock-free on its owner, so
+/// throughput grows monotonically from 1 to 4 threads with checking off,
+/// and the striped locks keep the checked configurations from collapsing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using namespace jinn::workloads;
+
+namespace {
+
+/// Transitions/second, aggregated over \p NumThreads workers.
+double throughputOnce(const WorkloadInfo &Info, CheckerKind Checker,
+                      uint64_t Scale, unsigned NumThreads) {
+  WorldConfig Config;
+  Config.Checker = Checker;
+  ScenarioWorld World(Config);
+  prepareWorkloadWorld(World);
+  // Warm-up outside the timed region (ID caches, allocator, attach path).
+  runWorkloadConcurrent(Info, World, Scale * 16, NumThreads);
+  uint64_t Transitions = 0;
+  double Seconds = bench::timeSeconds([&] {
+    WorkloadRun Run = runWorkloadConcurrent(Info, World, Scale, NumThreads);
+    Transitions = Run.NativeTransitions;
+  });
+  return static_cast<double>(Transitions) / Seconds;
+}
+
+double bestOf3(const WorkloadInfo &Info, CheckerKind Checker, uint64_t Scale,
+               unsigned NumThreads) {
+  double Best = 0;
+  for (int I = 0; I < 3; ++I) {
+    double T = throughputOnce(Info, Checker, Scale, NumThreads);
+    if (T > Best)
+      Best = T;
+  }
+  return Best;
+}
+
+const char *checkerName(CheckerKind Checker) {
+  switch (Checker) {
+  case CheckerKind::None:
+    return "checking off";
+  case CheckerKind::InterposeOnly:
+    return "Jinn interposing";
+  case CheckerKind::Jinn:
+    return "Jinn checking";
+  case CheckerKind::Xcheck:
+    return "-Xcheck:jni";
+  }
+  return "?";
+}
+
+void printScalingTable(uint64_t Scale) {
+  bench::printHeader(
+      "Multi-threaded scaling - aggregate native-transition throughput\n"
+      "(speedup over the 1-thread run of the same configuration)");
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  const CheckerKind Checkers[] = {CheckerKind::None, CheckerKind::InterposeOnly,
+                                  CheckerKind::Jinn};
+  const WorkloadInfo &Info = *workloadByName("jack");
+
+  std::printf("%-18s | %12s %12s %12s %12s\n", "configuration", "1 thread",
+              "2 threads", "4 threads", "8 threads");
+  bench::printRule();
+  for (CheckerKind Checker : Checkers) {
+    double Base = 0;
+    std::printf("%-18s |", checkerName(Checker));
+    for (unsigned NumThreads : ThreadCounts) {
+      double Tput = bestOf3(Info, Checker, Scale, NumThreads);
+      if (NumThreads == 1)
+        Base = Tput;
+      std::printf(" %8.2fx/s%s", Base > 0 ? Tput / Base : 0.0,
+                  NumThreads == 8 ? "\n" : "");
+    }
+  }
+  bench::printRule();
+  std::printf("(workload \"%s\" scaled by 1/%llu on %u hardware thread(s); "
+              "x/s = speedup relative to the same checker on 1 thread; "
+              "speedup is bounded by the hardware thread count)\n",
+              Info.Name, static_cast<unsigned long long>(Scale),
+              std::thread::hardware_concurrency());
+}
+
+void BM_ConcurrentWorkUnit(benchmark::State &State, CheckerKind Checker) {
+  unsigned NumThreads = static_cast<unsigned>(State.range(0));
+  WorldConfig Config;
+  Config.Checker = Checker;
+  ScenarioWorld World(Config);
+  prepareWorkloadWorld(World);
+  const WorkloadInfo &Info = *workloadByName("db");
+  runWorkloadConcurrent(Info, World, 1024, NumThreads); // warm-up
+  uint64_t Transitions = 0;
+  for (auto _ : State) {
+    WorkloadRun Run = runWorkloadConcurrent(Info, World, 256, NumThreads);
+    benchmark::DoNotOptimize(Run.Checksum);
+    Transitions += Run.NativeTransitions;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Transitions));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Scale = 2048;
+  if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
+    Scale = std::strtoull(Env, nullptr, 10);
+
+  printScalingTable(Scale ? Scale : 2048);
+
+  for (auto [Name, Checker] :
+       {std::pair<const char *, CheckerKind>{"MtWorkUnit/production",
+                                             CheckerKind::None},
+        {"MtWorkUnit/jinn_interpose", CheckerKind::InterposeOnly},
+        {"MtWorkUnit/jinn_full", CheckerKind::Jinn}})
+    benchmark::RegisterBenchmark(Name, BM_ConcurrentWorkUnit, Checker)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Arg(8)
+        ->UseRealTime();
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  std::printf("\nPer-thread-count throughput (google-benchmark):\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

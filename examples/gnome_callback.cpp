@@ -93,7 +93,7 @@ void buildProgram(jvm::Vm &Vm, jni::JniRuntime &Rt) {
 
 void runProgram(jvm::Vm &Vm) {
   jvm::JThread &Main = Vm.mainThread();
-  jvm::Vm::TempRoots Scope(Vm);
+  jvm::Vm::TempRoots Scope(Main);
   jvm::ObjectId Name = Vm.newString("onEvent");
   Scope.add(Name);
   jvm::ObjectId Desc = Vm.newString("()V");

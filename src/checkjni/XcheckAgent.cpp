@@ -120,7 +120,10 @@ void XcheckReporter::violation(spec::TransitionContext &Ctx,
                           "exception is pending";
   std::string Text = formatDetection(V, Vm, &Ctx.thread(), Ctx.siteName(),
                                      VendorMessage, Behavior);
-  Detections.push_back({Machine.Name, Behavior, Text});
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Detections.push_back({Machine.Name, Behavior, Text});
+  }
 
   std::string Channel = formatString("xcheck:%s", vendorName(V));
   if (Behavior == CheckerBehavior::Warning) {
@@ -146,7 +149,10 @@ void XcheckReporter::endOfRun(const spec::StateMachineSpec &Machine,
     return;
   std::string Text = formatDetection(V, Vm, nullptr, "<program termination>",
                                      Message, CheckerBehavior::Warning);
-  Detections.push_back({Machine.Name, Behavior, Text});
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Detections.push_back({Machine.Name, Behavior, Text});
+  }
   Vm.diags().report(IncidentKind::Warning,
                     formatString("xcheck:%s", vendorName(V)), Text);
 }

@@ -22,6 +22,7 @@
 #include "spec/StateMachine.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -64,15 +65,20 @@ public:
   void endOfRun(const spec::StateMachineSpec &Machine,
                 const std::string &Message) override;
 
+  /// Direct access to the detection list; callers quiesce mutators first.
   const std::vector<XcheckDetection> &detections() const {
     return Detections;
   }
-  void clearDetections() { Detections.clear(); }
+  void clearDetections() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Detections.clear();
+  }
 
 private:
   jvm::Vm &Vm;
   Vendor V;
   bool NonFatal;
+  mutable std::mutex Mu; ///< guards Detections
   std::vector<XcheckDetection> Detections;
 };
 

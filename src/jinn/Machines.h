@@ -34,6 +34,8 @@
 #include "spec/StateMachine.h"
 
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -52,6 +54,7 @@ public:
   void onThreadStart(jvm::JThread &Thread) override;
 
 private:
+  mutable std::mutex Mu;           ///< guards ExpectedEnv
   std::vector<void *> ExpectedEnv; ///< indexed by thread id
 };
 
@@ -73,12 +76,14 @@ public:
   int depthOf(uint32_t ThreadId) const;
 
 private:
+  /// Callers must hold Mu.
   int &depthSlot(uint32_t ThreadId) {
     if (ThreadId >= Depth.size())
       Depth.resize(ThreadId + 1, 0);
     return Depth[ThreadId];
   }
 
+  mutable std::mutex Mu; ///< guards Depth and Held
   std::vector<int> Depth;                           ///< indexed by thread id
   std::map<std::pair<uint32_t, uint64_t>, int> Held; ///< (thread, obj)->count
 };
@@ -107,6 +112,7 @@ public:
 
 private:
   /// IDs observed at producer returns (GetMethodID etc.).
+  mutable std::mutex Mu; ///< guards both sets
   std::unordered_set<const void *> SeenMethodIds;
   std::unordered_set<const void *> SeenFieldIds;
 };
@@ -118,6 +124,7 @@ public:
   AccessControlMachine();
 
 private:
+  mutable std::mutex Mu; ///< guards RecordedFinal
   std::unordered_map<const void *, bool> RecordedFinal; ///< field id -> isFinal
 };
 
@@ -140,6 +147,7 @@ public:
 
 private:
   /// (object identity, pin family) -> outstanding acquisitions.
+  mutable std::mutex Mu; ///< guards Outstanding
   std::map<std::pair<uint64_t, int>, int> Outstanding;
 };
 
@@ -150,6 +158,7 @@ public:
   void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
 
 private:
+  mutable std::mutex Mu;        ///< guards Held
   std::map<uint64_t, int> Held; ///< object identity -> entry count
 };
 
@@ -161,6 +170,7 @@ public:
   void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
 
 private:
+  mutable std::mutex Mu;             ///< guards Live
   std::unordered_set<uint64_t> Live; ///< live global/weak handle words
 };
 
@@ -192,6 +202,12 @@ private:
     std::vector<ShadowFrame> Frames;
     std::vector<size_t> EntryDepths; ///< frame depth at each native entry
   };
+  /// ShadowsMu guards only the map structure (insertion of new per-thread
+  /// entries); unordered_map node stability makes the returned ThreadShadow&
+  /// immune to rehashing. The *contents* of a ThreadShadow are only touched
+  /// by its owner thread (machine transitions run on the thread making the
+  /// JNI call), so the hot path stays lock-free on the owner.
+  mutable std::shared_mutex ShadowsMu;
   std::unordered_map<uint32_t, ThreadShadow> Shadows;
 
   ThreadShadow &shadowOf(uint32_t ThreadId);

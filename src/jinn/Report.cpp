@@ -18,12 +18,16 @@ void JinnReporter::violation(spec::TransitionContext &Ctx,
   std::string Full =
       formatString("%s in %s.", Message.c_str(), Ctx.siteName().c_str());
 
-  Reports.push_back({Machine.Name, Ctx.siteName(), Full, false});
+  JinnReport Report{Machine.Name, Ctx.siteName(), Full, false};
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Reports.push_back(Report);
+  }
   Vm.diags().report(IncidentKind::Note, "jinn",
                     formatString("[%s] %s", Machine.Name.c_str(),
                                  Full.c_str()));
   if (OnViolation)
-    OnViolation(Reports.back());
+    OnViolation(Report);
 
   // Wrap any pending exception as the cause (Figure 9c's chain), add the
   // synthetic assertFail frame, throw, and suppress the faulting call.
@@ -39,13 +43,17 @@ void JinnReporter::violation(spec::TransitionContext &Ctx,
 
 void JinnReporter::endOfRun(const spec::StateMachineSpec &Machine,
                             const std::string &Message) {
-  Reports.push_back({Machine.Name, "<program termination>", Message, true});
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Reports.push_back({Machine.Name, "<program termination>", Message, true});
+  }
   Vm.diags().report(IncidentKind::LeakReport, "jinn",
                     formatString("[%s] %s", Machine.Name.c_str(),
                                  Message.c_str()));
 }
 
 size_t JinnReporter::countFor(std::string_view MachineName) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;
   for (const JinnReport &Report : Reports)
     if (Report.Machine == MachineName)

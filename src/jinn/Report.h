@@ -18,6 +18,7 @@
 
 #include "spec/StateMachine.h"
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,8 +47,14 @@ public:
   void endOfRun(const spec::StateMachineSpec &Machine,
                 const std::string &Message) override;
 
+  /// Direct access to the report list. Callers must quiesce mutator
+  /// threads first (harness/termination use); concurrent reporting would
+  /// invalidate the reference.
   const std::vector<JinnReport> &reports() const { return Reports; }
-  void clearReports() { Reports.clear(); }
+  void clearReports() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Reports.clear();
+  }
 
   /// Debugger integration (paper §2.3): invoked at each violation, at the
   /// point of failure, before the exception unwinds — the hook a debugger
@@ -59,6 +66,7 @@ public:
 
 private:
   jvm::Vm &Vm;
+  mutable std::mutex Mu; ///< guards Reports
   std::vector<JinnReport> Reports;
 };
 

@@ -38,6 +38,7 @@ AccessControlMachine::AccessControlMachine() {
         if (!Id || !Ctx.vm().isFieldId(Id))
           return;
         const auto *F = static_cast<const jvm::FieldInfo *>(Id);
+        std::lock_guard<std::mutex> Lock(Mu);
         RecordedFinal[Id] = F->IsFinal;
       }));
 
@@ -52,8 +53,12 @@ AccessControlMachine::AccessControlMachine() {
         jvm::FieldInfo *F = Ctx.call().fieldArg();
         if (!F)
           return; // invalid IDs belong to the entity-typing machine
-        auto It = RecordedFinal.find(F);
-        bool IsFinal = It != RecordedFinal.end() ? It->second : F->IsFinal;
+        bool IsFinal;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          auto It = RecordedFinal.find(F);
+          IsFinal = It != RecordedFinal.end() ? It->second : F->IsFinal;
+        }
         if (IsFinal)
           Ctx.reporter().violation(
               Ctx, Spec,

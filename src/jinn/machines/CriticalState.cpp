@@ -45,6 +45,7 @@ CriticalStateMachine::CriticalStateMachine() {
         if (!Ctx.call().returnPtr())
           return; // acquisition failed; no state change
         uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
+        std::lock_guard<std::mutex> Lock(Mu);
         depthSlot(Ctx.thread().id()) += 1;
         Held[{Ctx.thread().id(), Resource}] += 1;
       }));
@@ -70,23 +71,29 @@ CriticalStateMachine::CriticalStateMachine() {
             BufIndex >= 0 ? Ctx.call().arg(BufIndex).Ptr : nullptr;
         const jni::BufferRecord *Record =
             Buf ? Ctx.call().runtime().findBuffer(Buf) : nullptr;
-        if (!Record || depthSlot(Tid) <= 0) {
-          Ctx.reporter().violation(
-              Ctx, Spec, "An unmatched critical-section release was issued");
-          return;
+        // Decide under the lock, report after releasing it: violation()
+        // may allocate a throwable and thereby trigger a collection, which
+        // must not happen while a machine mutex is held.
+        const char *Error = nullptr;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (!Record || depthSlot(Tid) <= 0) {
+            Error = "An unmatched critical-section release was issued";
+          } else {
+            uint64_t Resource = Record->Target.raw();
+            auto It = Held.find({Tid, Resource});
+            if (It == Held.end() || It->second <= 0) {
+              Error = "A critical resource was released that this thread "
+                      "does not hold";
+            } else {
+              if (--It->second == 0)
+                Held.erase(It);
+              depthSlot(Tid) -= 1;
+            }
+          }
         }
-        uint64_t Resource = Record->Target.raw();
-        auto It = Held.find({Tid, Resource});
-        if (It == Held.end() || It->second <= 0) {
-          Ctx.reporter().violation(
-              Ctx, Spec,
-              "A critical resource was released that this thread does not "
-              "hold");
-          return;
-        }
-        if (--It->second == 0)
-          Held.erase(It);
-        depthSlot(Tid) -= 1;
+        if (Error)
+          Ctx.reporter().violation(Ctx, Spec, Error);
       }));
 
   // Error: any critical-section-sensitive call while inside.
@@ -106,5 +113,6 @@ CriticalStateMachine::CriticalStateMachine() {
 }
 
 int CriticalStateMachine::depthOf(uint32_t ThreadId) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   return ThreadId < Depth.size() ? Depth[ThreadId] : 0;
 }

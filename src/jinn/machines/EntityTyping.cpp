@@ -75,6 +75,7 @@ EntityTypingMachine::EntityTypingMachine() {
         const void *Id = Ctx.call().returnPtr();
         if (!Id)
           return;
+        std::lock_guard<std::mutex> Lock(Mu);
         if (Ctx.call().traits().ProducesMethodId)
           SeenMethodIds.insert(Id);
         else

@@ -40,14 +40,20 @@ JniEnvStateMachine::JniEnvStateMachine() {
           return;
         }
         uint32_t Tid = Env->thread->id();
-        if (Tid < ExpectedEnv.size() && ExpectedEnv[Tid] &&
-            ExpectedEnv[Tid] != Env)
+        void *Expected = nullptr;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (Tid < ExpectedEnv.size())
+            Expected = ExpectedEnv[Tid];
+        }
+        if (Expected && Expected != Env)
           Ctx.reporter().violation(
               Ctx, Spec, "A stale JNIEnv pointer was used for this thread");
       }));
 }
 
 void JniEnvStateMachine::onThreadStart(jvm::JThread &Thread) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (Thread.id() >= ExpectedEnv.size())
     ExpectedEnv.resize(Thread.id() + 1, nullptr);
   ExpectedEnv[Thread.id()] = Thread.EnvPtr;

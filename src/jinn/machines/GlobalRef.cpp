@@ -59,8 +59,10 @@ GlobalRefMachine::GlobalRefMachine() {
         Direction::ReturnJavaToC}},
       [this](TransitionContext &Ctx) {
         uint64_t Word = Ctx.call().returnWord();
-        if (Word)
+        if (Word) {
+          std::lock_guard<std::mutex> Lock(Mu);
           Live.insert(Word);
+        }
       }));
 
   // Release: DeleteGlobalRef / DeleteWeakGlobalRef.
@@ -77,8 +79,11 @@ GlobalRefMachine::GlobalRefMachine() {
         uint64_t Word = Ctx.call().refWord(0);
         if (!Word)
           return;
-        if (Live.erase(Word))
-          return;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (Live.erase(Word))
+            return;
+        }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
         if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
             Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak)
@@ -106,11 +111,15 @@ GlobalRefMachine::GlobalRefMachine() {
           if (!Bits || (Bits->Kind != RefKind::Global &&
                         Bits->Kind != RefKind::WeakGlobal))
             continue; // locals belong to the local-reference machine
-          if (Live.count(Word))
-            continue;
+          {
+            std::lock_guard<std::mutex> Lock(Mu);
+            if (Live.count(Word))
+              continue;
+          }
           jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
           if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
               Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
+            std::lock_guard<std::mutex> Lock(Mu);
             Live.insert(Word); // pre-agent reference: adopt it
             continue;
           }
@@ -140,11 +149,15 @@ GlobalRefMachine::GlobalRefMachine() {
         if (!Bits || (Bits->Kind != RefKind::Global &&
                       Bits->Kind != RefKind::WeakGlobal))
           return;
-        if (Live.count(Word))
-          return;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          if (Live.count(Word))
+            return;
+        }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
         if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
             Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
+          std::lock_guard<std::mutex> Lock(Mu);
           Live.insert(Word);
           return;
         }
@@ -156,9 +169,14 @@ GlobalRefMachine::GlobalRefMachine() {
 
 void GlobalRefMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
-  if (!Live.empty())
+  size_t LiveCount;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    LiveCount = Live.size();
+  }
+  if (LiveCount > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu global or weak global reference(s) were "
                               "never deleted (leak)",
-                              Live.size()));
+                              LiveCount));
 }

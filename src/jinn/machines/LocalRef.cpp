@@ -42,22 +42,38 @@ bool isLocalUseFunction(const FnTraits &Traits) {
 } // namespace
 
 LocalRefMachine::ThreadShadow &LocalRefMachine::shadowOf(uint32_t ThreadId) {
-  ThreadShadow &Shadow = Shadows[ThreadId];
-  if (Shadow.Frames.empty())
-    Shadow.Frames.emplace_back(); // base frame for detached-style use
-  return Shadow;
+  // Only the map structure needs the lock; the node reference stays valid
+  // across rehashes and the contents are owner-thread-only.
+  ThreadShadow *Shadow;
+  {
+    std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
+    auto It = Shadows.find(ThreadId);
+    Shadow = It != Shadows.end() ? &It->second : nullptr;
+  }
+  if (!Shadow) {
+    std::unique_lock<std::shared_mutex> Lock(ShadowsMu);
+    Shadow = &Shadows[ThreadId];
+  }
+  if (Shadow->Frames.empty())
+    Shadow->Frames.emplace_back(); // base frame for detached-style use
+  return *Shadow;
 }
 
 void LocalRefMachine::onThreadStart(jvm::JThread &Thread) {
-  ThreadShadow &Shadow = Shadows[Thread.id()];
-  if (Shadow.Frames.empty()) {
+  ThreadShadow *Shadow;
+  {
+    std::unique_lock<std::shared_mutex> Lock(ShadowsMu);
+    Shadow = &Shadows[Thread.id()];
+  }
+  if (Shadow->Frames.empty()) {
     ShadowFrame Base;
     Base.Capacity = Thread.vm().options().NativeFrameCapacity;
-    Shadow.Frames.push_back(std::move(Base));
+    Shadow->Frames.push_back(std::move(Base));
   }
 }
 
 size_t LocalRefMachine::liveCount(uint32_t ThreadId) const {
+  std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
   auto It = Shadows.find(ThreadId);
   if (It == Shadows.end())
     return 0;
@@ -68,6 +84,7 @@ size_t LocalRefMachine::liveCount(uint32_t ThreadId) const {
 }
 
 uint32_t LocalRefMachine::topCapacity(uint32_t ThreadId) const {
+  std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
   auto It = Shadows.find(ThreadId);
   if (It == Shadows.end() || It->second.Frames.empty())
     return 0;

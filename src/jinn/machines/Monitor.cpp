@@ -34,8 +34,10 @@ MonitorMachine::MonitorMachine() {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
         uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
-        if (Obj)
+        if (Obj) {
+          std::lock_guard<std::mutex> Lock(Mu);
           Held[Obj] += 1;
+        }
       }));
 
   Spec.Transitions.push_back(makeTransition(
@@ -46,6 +48,7 @@ MonitorMachine::MonitorMachine() {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
         uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
+        std::lock_guard<std::mutex> Lock(Mu);
         auto It = Held.find(Obj);
         if (It == Held.end())
           return; // the JVM already threw for unbalanced exits
@@ -56,9 +59,14 @@ MonitorMachine::MonitorMachine() {
 
 void MonitorMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
-  if (!Held.empty())
+  size_t HeldCount;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    HeldCount = Held.size();
+  }
+  if (HeldCount > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu monitor(s) still held through JNI at "
                               "program termination (deadlock risk)",
-                              Held.size()));
+                              HeldCount));
 }

@@ -45,6 +45,7 @@ PinnedResourceMachine::PinnedResourceMachine() {
         uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
         if (!Resource)
           return;
+        std::lock_guard<std::mutex> Lock(Mu);
         Outstanding[{Resource,
                      static_cast<int>(Ctx.call().traits().Pin)}] += 1;
       }));
@@ -89,24 +90,32 @@ PinnedResourceMachine::PinnedResourceMachine() {
           return;
         auto Key = std::pair<uint64_t, int>(
             Record->Target.raw(), static_cast<int>(Traits.Pin));
-        auto It = Outstanding.find(Key);
-        if (It == Outstanding.end() || It->second <= 0) {
+        // Decide under the lock, report outside it (violation() may GC).
+        bool DoubleFree = false;
+        {
+          std::lock_guard<std::mutex> Lock(Mu);
+          auto It = Outstanding.find(Key);
+          if (It == Outstanding.end() || It->second <= 0)
+            DoubleFree = true;
+          else if (--It->second == 0)
+            Outstanding.erase(It);
+        }
+        if (DoubleFree)
           Ctx.reporter().violation(
               Ctx, Spec,
               "a pinned string/array resource was released that was not "
               "acquired (double free)");
-          return;
-        }
-        if (--It->second == 0)
-          Outstanding.erase(It);
       }));
 }
 
 void PinnedResourceMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
   size_t Leaked = 0;
-  for (const auto &Entry : Outstanding)
-    Leaked += static_cast<size_t>(Entry.second);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &Entry : Outstanding)
+      Leaked += static_cast<size_t>(Entry.second);
+  }
   if (Leaked > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu pinned string/array resource(s) were "

@@ -47,6 +47,10 @@ public:
   jvm::Vm &vm() { return *Vm; }
 
 private:
+  /// Declared first: the calling thread is an active mutator for the whole
+  /// JNI call (nested calls just bump a thread-local depth), so a GC either
+  /// waits for the call or parks the thread right here at the boundary.
+  jvm::Vm::MutatorScope Mutator;
   jvm::JThread *Thread;
   jvm::Vm *Vm;
   bool Ok;

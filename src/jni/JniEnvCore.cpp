@@ -30,7 +30,7 @@ using jinn::jvm::Value;
 //===----------------------------------------------------------------------===
 
 EnvGuard::EnvGuard(JNIEnv *Env, FnId Id)
-    : Thread(Env->thread), Vm(Env->vm), Ok(false) {
+    : Mutator(*Env->vm), Thread(Env->thread), Vm(Env->vm), Ok(false) {
   if (Vm->isShutdown() || Thread->Poisoned)
     return;
   const FnTraits &Traits = fnTraits(Id);

@@ -179,6 +179,7 @@ Value getFieldCommon(JNIEnv *Env, FnId Id, jobject ObjOrCls, jfieldID FieldId,
   }
   if (Static) {
     classOf(Env, static_cast<jclass>(ObjOrCls));
+    std::lock_guard<std::mutex> Lock(G.vm().staticFieldLock(F));
     return F->StaticValue;
   }
   ObjectId Obj = rtOf(Env).deref(Env, ObjOrCls);
@@ -222,6 +223,7 @@ void setFieldCommon(JNIEnv *Env, FnId Id, jobject ObjOrCls, jfieldID FieldId,
   }
   if (Static) {
     classOf(Env, static_cast<jclass>(ObjOrCls));
+    std::lock_guard<std::mutex> Lock(G.vm().staticFieldLock(F));
     F->StaticValue = NewValue;
     return;
   }

@@ -10,12 +10,51 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 using namespace jinn;
 using namespace jinn::jni;
 
 NativeBindObserver::~NativeBindObserver() = default;
+
+//===----------------------------------------------------------------------===
+// Thread-local current-thread registry
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Which VM thread the calling OS thread stands for, per runtime. The epoch
+/// (a never-reused runtime id) invalidates entries left behind by destroyed
+/// runtimes whose heap address got recycled.
+struct CurrentEntry {
+  const JniRuntime *Rt = nullptr;
+  uint64_t Epoch = 0;
+  jvm::JThread *Thread = nullptr;
+};
+
+thread_local std::vector<CurrentEntry> CurrentEntries;
+
+std::atomic<uint64_t> NextRuntimeEpoch{1};
+
+} // namespace
+
+jvm::JThread *JniRuntime::currentThread() const {
+  for (const CurrentEntry &Entry : CurrentEntries)
+    if (Entry.Rt == this && Entry.Epoch == RtEpoch)
+      return Entry.Thread;
+  return nullptr;
+}
+
+void JniRuntime::setCurrentThread(jvm::JThread *Thread) {
+  for (CurrentEntry &Entry : CurrentEntries) {
+    if (Entry.Rt == this && Entry.Epoch == RtEpoch) {
+      Entry.Thread = Thread;
+      return;
+    }
+  }
+  CurrentEntries.push_back({this, RtEpoch, Thread});
+}
 
 //===----------------------------------------------------------------------===
 // The default function table
@@ -53,6 +92,12 @@ jint invokeDestroyJavaVm(JavaVM *Vm) {
 jint invokeAttachCurrentThread(JavaVM *Vm, JNIEnv **EnvOut, void *Args) {
   if (!EnvOut)
     return JNI_ERR;
+  // Per the JNI spec, attaching an already-attached thread is a no-op that
+  // returns the existing env (the name argument is ignored).
+  if (jvm::JThread *Current = Vm->runtime->currentThread()) {
+    *EnvOut = Vm->runtime->envFor(*Current);
+    return JNI_OK;
+  }
   const char *Name = static_cast<const char *>(Args);
   jvm::JThread &Thread =
       Vm->vm->attachThread(Name ? Name : "attached-thread");
@@ -73,7 +118,15 @@ jint invokeDetachCurrentThread(JavaVM *Vm) {
 jint invokeGetEnv(JavaVM *Vm, void **EnvOut, jint Version) {
   if (!EnvOut)
     return JNI_ERR;
-  if (Version > JNI_VERSION_1_6) {
+  // Only the published interface versions are supported; anything else
+  // (including negative/garbage values) is JNI_EVERSION, matching HotSpot.
+  switch (Version) {
+  case JNI_VERSION_1_1:
+  case JNI_VERSION_1_2:
+  case JNI_VERSION_1_4:
+  case JNI_VERSION_1_6:
+    break;
+  default:
     *EnvOut = nullptr;
     return JNI_EVERSION;
   }
@@ -95,7 +148,9 @@ const JNIInvokeInterface_ InvokeInterface = {
 
 } // namespace
 
-JniRuntime::JniRuntime(jvm::Vm &Vm) : TheVm(Vm) {
+JniRuntime::JniRuntime(jvm::Vm &Vm)
+    : TheVm(Vm),
+      RtEpoch(NextRuntimeEpoch.fetch_add(1, std::memory_order_relaxed)) {
   TheJavaVm.functions = &InvokeInterface;
   TheJavaVm.vm = &Vm;
   TheJavaVm.runtime = this;
@@ -113,6 +168,7 @@ JniRuntime::~JniRuntime() {
 }
 
 JNIEnv *JniRuntime::envFor(jvm::JThread &Thread) {
+  std::lock_guard<std::mutex> Lock(EnvsMutex);
   if (Thread.EnvPtr)
     return static_cast<JNIEnv *>(Thread.EnvPtr);
   auto Env = std::make_unique<JNIEnv_>();
@@ -134,6 +190,7 @@ void JniRuntime::onThreadEnd(jvm::JThread &Thread) {
 }
 
 void JniRuntime::setActiveTable(const JNINativeInterface_ *Table) {
+  std::lock_guard<std::mutex> Lock(EnvsMutex);
   Active = Table ? Table : &DefaultTable;
   for (const auto &Env : Envs)
     Env->functions = Active;
@@ -144,13 +201,20 @@ void JniRuntime::setActiveTable(const JNINativeInterface_ *Table) {
 //===----------------------------------------------------------------------===
 
 void JniRuntime::addBindObserver(NativeBindObserver *Observer) {
+  std::lock_guard<std::mutex> Lock(BindObserversMutex);
   BindObservers.push_back(Observer);
 }
 
 void JniRuntime::removeBindObserver(NativeBindObserver *Observer) {
+  std::lock_guard<std::mutex> Lock(BindObserversMutex);
   BindObservers.erase(
       std::remove(BindObservers.begin(), BindObservers.end(), Observer),
       BindObservers.end());
+}
+
+std::vector<NativeBindObserver *> JniRuntime::bindObserversSnapshot() const {
+  std::lock_guard<std::mutex> Lock(BindObserversMutex);
+  return BindObservers;
 }
 
 bool JniRuntime::registerNative(jvm::Klass *Kl, std::string_view Name,
@@ -166,7 +230,7 @@ bool JniRuntime::registerNative(jvm::Klass *Kl, std::string_view Name,
 
   // JVMTI NativeMethodBind: agents may wrap the bound function.
   JniNativeStdFn Bound = std::move(Fn);
-  for (NativeBindObserver *Observer : BindObservers)
+  for (NativeBindObserver *Observer : bindObserversSnapshot())
     Observer->onNativeMethodBind(*Method, Bound);
 
   // The VM-level binding performs what a real JVM does around every native
@@ -178,6 +242,25 @@ bool JniRuntime::registerNative(jvm::Klass *Kl, std::string_view Name,
                                                    const jvm::Value &Self,
                                                    const std::vector<jvm::Value>
                                                        &Args) -> jvm::Value {
+    // Arity mismatch between caller-supplied args and the signature would
+    // read past Sig.Params below; flag it and marshal only what the
+    // signature declares.
+    if (Args.size() != Method->Sig.Params.size()) {
+      TheVm.undefined(
+          Thread, jvm::UndefinedOp::InvalidArgument,
+          formatString("native %s called with %zu arguments, signature "
+                       "declares %zu",
+                       Method->qualifiedName().c_str(), Args.size(),
+                       Method->Sig.Params.size()));
+      if (Thread.Poisoned)
+        return jvm::defaultValueFor(Method->Sig.Ret.Kind);
+    }
+
+    // The calling OS thread is a mutator for the duration of the native
+    // call: collections wait for it, and it parks at this boundary while
+    // another thread collects.
+    jvm::Vm::MutatorScope Mutator(TheVm);
+
     JNIEnv *Env = envFor(Thread);
     size_t BaseDepth = Thread.frameDepth();
     Thread.pushFrame(TheVm.options().NativeFrameCapacity, /*Explicit=*/false);
@@ -189,9 +272,10 @@ bool JniRuntime::registerNative(jvm::Klass *Kl, std::string_view Name,
     else
       SelfRef = makeLocal(Thread, Self.Obj);
 
+    const size_t NumParams = std::min(Args.size(), Method->Sig.Params.size());
     std::vector<jvalue> JArgs;
-    JArgs.reserve(Args.size());
-    for (size_t I = 0; I < Args.size(); ++I) {
+    JArgs.reserve(NumParams);
+    for (size_t I = 0; I < NumParams; ++I) {
       const jvm::TypeDesc &Param = Method->Sig.Params[I];
       if (Param.isReference()) {
         jvalue V;
@@ -252,16 +336,19 @@ void *JniRuntime::newBuffer(jvm::ObjectId Target, jvm::PinKind Kind,
   Record->Bytes = Bytes;
   Record->Storage = std::make_unique<char[]>(Bytes ? Bytes : 1);
   void *Data = Record->Storage.get();
+  std::lock_guard<std::mutex> Lock(BuffersMutex);
   Buffers.emplace(Data, std::move(Record));
   return Data;
 }
 
 const BufferRecord *JniRuntime::findBuffer(const void *Data) const {
+  std::lock_guard<std::mutex> Lock(BuffersMutex);
   auto It = Buffers.find(Data);
   return It == Buffers.end() ? nullptr : It->second.get();
 }
 
 std::unique_ptr<BufferRecord> JniRuntime::takeBuffer(const void *Data) {
+  std::lock_guard<std::mutex> Lock(BuffersMutex);
   auto It = Buffers.find(Data);
   if (It == Buffers.end())
     return nullptr;
@@ -274,6 +361,7 @@ void JniRuntime::restoreBuffer(std::unique_ptr<BufferRecord> Record) {
   if (!Record)
     return;
   void *Data = Record->Storage.get();
+  std::lock_guard<std::mutex> Lock(BuffersMutex);
   Buffers.emplace(Data, std::move(Record));
 }
 

@@ -19,9 +19,11 @@
 #include "jni/JniEnv.h"
 #include "jvm/Vm.h"
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -91,8 +93,13 @@ public:
   // Current thread (which VM thread the executing OS thread stands for)
   //===--------------------------------------------------------------------===
 
-  jvm::JThread *currentThread() const { return Current; }
-  void setCurrentThread(jvm::JThread *Thread) { Current = Thread; }
+  /// The VM thread the *calling OS thread* stands for in this runtime, or
+  /// null when the OS thread is detached. Backed by thread-local storage,
+  /// so distinct OS threads each see their own binding (true multi-threaded
+  /// execution); an epoch check guards against a destroyed runtime's
+  /// address being reused.
+  jvm::JThread *currentThread() const;
+  void setCurrentThread(jvm::JThread *Thread);
 
   /// RAII current-thread switch used around native dispatch.
   class ScopedCurrent {
@@ -135,7 +142,10 @@ public:
   std::unique_ptr<BufferRecord> takeBuffer(const void *Data);
   /// Re-inserts a buffer taken with takeBuffer (JNI_COMMIT keeps it live).
   void restoreBuffer(std::unique_ptr<BufferRecord> Record);
-  size_t outstandingBuffers() const { return Buffers.size(); }
+  size_t outstandingBuffers() const {
+    std::lock_guard<std::mutex> Lock(BuffersMutex);
+    return Buffers.size();
+  }
 
   //===--------------------------------------------------------------------===
   // Handle helpers shared by the env implementation
@@ -153,13 +163,26 @@ public:
   void onThreadEnd(jvm::JThread &Thread) override;
 
 private:
+  std::vector<NativeBindObserver *> bindObserversSnapshot() const;
+
   jvm::Vm &TheVm;
   JavaVM_ TheJavaVm;
+  /// Unique id of this runtime instance for the thread-local current-thread
+  /// registry (never reused, unlike `this`).
+  const uint64_t RtEpoch;
+
+  mutable std::mutex EnvsMutex; ///< Envs, JThread::EnvPtr publication
   std::vector<std::unique_ptr<JNIEnv_>> Envs;
+  /// The active function table. Written by setActiveTable, which must run
+  /// before worker threads start issuing JNI calls (the same discipline a
+  /// real JVMTI agent install requires).
   const JNINativeInterface_ *Active = nullptr;
+
+  mutable std::mutex BindObserversMutex; ///< BindObservers
   std::vector<NativeBindObserver *> BindObservers;
+
+  mutable std::mutex BuffersMutex; ///< Buffers
   std::map<const void *, std::unique_ptr<BufferRecord>> Buffers;
-  jvm::JThread *Current = nullptr;
 };
 
 } // namespace jinn::jni

@@ -105,6 +105,9 @@ constexpr jint JNI_EVERSION = -3;
 constexpr jint JNI_COMMIT = 1;
 constexpr jint JNI_ABORT = 2;
 
+constexpr jint JNI_VERSION_1_1 = 0x00010001;
+constexpr jint JNI_VERSION_1_2 = 0x00010002;
+constexpr jint JNI_VERSION_1_4 = 0x00010004;
 constexpr jint JNI_VERSION_1_6 = 0x00010006;
 
 #endif // JINN_JNI_JNITYPES_H

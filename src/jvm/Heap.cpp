@@ -9,10 +9,12 @@
 #include "jvm/Klass.h"
 
 #include <cassert>
+#include <mutex>
 
 using namespace jinn::jvm;
 
-ObjectId Heap::allocSlot() {
+std::pair<ObjectId, HeapObject *> Heap::allocSlot() {
+  std::unique_lock<std::shared_mutex> Lock(Mu);
   uint32_t Index;
   if (!FreeList.empty()) {
     Index = FreeList.back();
@@ -23,8 +25,12 @@ ObjectId Heap::allocSlot() {
     Slots.back().Gen = 0;
   }
   HeapObject &Obj = Slots[Index];
-  // Generation 0 is reserved for "null"; the first resident gets gen 1.
+  // Generation 0 is reserved for "null"; the first resident gets gen 1, and
+  // a recycled slot whose generation counter wraps skips 0 so a long-stale
+  // ObjectId can never alias the null generation.
   Obj.Gen += 1;
+  if (Obj.Gen == 0)
+    Obj.Gen = 1;
   Obj.Live = true;
   Obj.Marked = false;
   Obj.PinCount = 0;
@@ -37,50 +43,50 @@ ObjectId Heap::allocSlot() {
   NextAddress += 64;
   ++LiveCount;
   ++Stats.TotalAllocated;
-  return {Index, Obj.Gen};
+  return {ObjectId{Index, Obj.Gen}, &Obj};
 }
 
 ObjectId Heap::allocPlain(Klass *Kl, uint32_t FieldSlots) {
-  ObjectId Id = allocSlot();
-  HeapObject &Obj = Slots[Id.Index];
-  Obj.Kl = Kl;
-  Obj.Shape = ObjShape::Plain;
-  Obj.Fields.assign(FieldSlots, Value::makeNull());
+  auto [Id, Obj] = allocSlot();
+  Obj->Kl = Kl;
+  Obj->Shape = ObjShape::Plain;
+  Obj->Fields.assign(FieldSlots, Value::makeNull());
   return Id;
 }
 
 ObjectId Heap::allocPrimArray(Klass *Kl, JType ElemKind, size_t Len) {
   assert(isPrimitive(ElemKind) && "array element must be primitive");
-  ObjectId Id = allocSlot();
-  HeapObject &Obj = Slots[Id.Index];
-  Obj.Kl = Kl;
-  Obj.Shape = ObjShape::PrimArray;
-  Obj.ElemKind = ElemKind;
-  Obj.PrimElems.assign(Len, 0);
+  auto [Id, Obj] = allocSlot();
+  Obj->Kl = Kl;
+  Obj->Shape = ObjShape::PrimArray;
+  Obj->ElemKind = ElemKind;
+  Obj->PrimElems.assign(Len, 0);
   return Id;
 }
 
 ObjectId Heap::allocObjArray(Klass *Kl, size_t Len) {
-  ObjectId Id = allocSlot();
-  HeapObject &Obj = Slots[Id.Index];
-  Obj.Kl = Kl;
-  Obj.Shape = ObjShape::ObjArray;
-  Obj.ObjElems.assign(Len, ObjectId());
+  auto [Id, Obj] = allocSlot();
+  Obj->Kl = Kl;
+  Obj->Shape = ObjShape::ObjArray;
+  Obj->ObjElems.assign(Len, ObjectId());
   return Id;
 }
 
 ObjectId Heap::allocString(Klass *Kl, std::u16string Chars) {
-  ObjectId Id = allocSlot();
-  HeapObject &Obj = Slots[Id.Index];
-  Obj.Kl = Kl;
-  Obj.Shape = ObjShape::Str;
-  Obj.Chars = std::move(Chars);
+  auto [Id, Obj] = allocSlot();
+  Obj->Kl = Kl;
+  Obj->Shape = ObjShape::Str;
+  Obj->Chars = std::move(Chars);
   return Id;
 }
 
 HeapObject *Heap::resolve(ObjectId Id) {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
   if (Id.isNull() || Id.Index >= Slots.size())
     return nullptr;
+  // Deque slots are address-stable, so the pointer stays valid after the
+  // lock drops; liveness can only change under stop-the-world, when the
+  // caller is either the collector itself or parked.
   HeapObject &Obj = Slots[Id.Index];
   if (!Obj.Live || Obj.Gen != Id.Gen)
     return nullptr;
@@ -92,6 +98,7 @@ const HeapObject *Heap::resolve(ObjectId Id) const {
 }
 
 bool Heap::isStale(ObjectId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(Mu);
   if (Id.isNull())
     return false;
   if (Id.Index >= Slots.size())

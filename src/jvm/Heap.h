@@ -20,8 +20,11 @@
 
 #include "jvm/Value.h"
 
+#include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jinn::jvm {
@@ -58,7 +61,12 @@ struct HeapStats {
   uint64_t MovingGcCount = 0;
 };
 
-/// The object heap. Not thread-safe by itself; the Vm serializes access.
+/// The object heap. Allocation and id resolution are thread-safe under a
+/// reader/writer lock; collect() runs lock-free and relies on the Vm's
+/// stop-the-world protocol to exclude every mutator (which also lets the
+/// BeforeSweep callback call isMarked without self-deadlocking). Objects
+/// live in a deque so resolved pointers stay valid across concurrent
+/// allocations.
 class Heap {
 public:
   ObjectId allocPlain(Klass *Kl, uint32_t FieldSlots);
@@ -85,14 +93,20 @@ public:
   /// Valid during/after mark: whether \p Id was reached from the roots.
   bool isMarked(ObjectId Id) const;
 
-  size_t liveCount() const { return LiveCount; }
+  size_t liveCount() const {
+    std::shared_lock<std::shared_mutex> Lock(Mu);
+    return LiveCount;
+  }
   const HeapStats &stats() const { return Stats; }
 
 private:
-  ObjectId allocSlot();
+  friend struct HeapTestAccess;
+
+  std::pair<ObjectId, HeapObject *> allocSlot();
   void markFrom(ObjectId Root, std::vector<uint32_t> &Worklist);
 
-  std::vector<HeapObject> Slots;
+  mutable std::shared_mutex Mu;
+  std::deque<HeapObject> Slots;
   std::vector<uint32_t> FreeList;
   uint64_t NextAddress = 0x10000;
   size_t LiveCount = 0;

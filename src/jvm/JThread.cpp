@@ -14,6 +14,7 @@ JThread::JThread(Vm &Owner, uint32_t Id, std::string Name)
     : Owner(Owner), Id(Id), Name(std::move(Name)) {}
 
 void JThread::pushFrame(uint32_t Capacity, bool Explicit) {
+  std::lock_guard<std::mutex> Lock(Mu);
   LocalFrame Frame;
   Frame.Capacity = Capacity;
   Frame.Explicit = Explicit;
@@ -32,6 +33,7 @@ void JThread::invalidateSlot(uint32_t Index) {
 }
 
 bool JThread::popFrame() {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty())
     return false;
   LocalFrame &Frame = Frames.back();
@@ -42,6 +44,7 @@ bool JThread::popFrame() {
 }
 
 uint64_t JThread::newLocalRef(ObjectId Target) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty() || Target.isNull())
     return 0;
   uint32_t Index;
@@ -73,7 +76,7 @@ uint64_t JThread::newLocalRef(ObjectId Target) {
   return encodeHandle(Bits);
 }
 
-LocalRefState JThread::localRefState(const HandleBits &Bits) const {
+LocalRefState JThread::localRefStateLocked(const HandleBits &Bits) const {
   assert(Bits.Kind == RefKind::Local && "expected a local handle");
   if (Bits.Slot >= Arena.size())
     return LocalRefState::NeverIssued;
@@ -85,14 +88,21 @@ LocalRefState JThread::localRefState(const HandleBits &Bits) const {
   return LocalRefState::Live;
 }
 
+LocalRefState JThread::localRefState(const HandleBits &Bits) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return localRefStateLocked(Bits);
+}
+
 ObjectId JThread::resolveLocal(const HandleBits &Bits) const {
-  if (localRefState(Bits) != LocalRefState::Live)
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (localRefStateLocked(Bits) != LocalRefState::Live)
     return ObjectId();
   return Arena[Bits.Slot].Target;
 }
 
 bool JThread::deleteLocal(const HandleBits &Bits) {
-  if (localRefState(Bits) != LocalRefState::Live)
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (localRefStateLocked(Bits) != LocalRefState::Live)
     return false;
   // Account the deletion to the frame that owns the slot (usually the top).
   for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
@@ -109,6 +119,7 @@ bool JThread::deleteLocal(const HandleBits &Bits) {
 }
 
 size_t JThread::liveLocalCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;
   for (const LocalSlot &Slot : Arena)
     if (Slot.Live)
@@ -117,10 +128,12 @@ size_t JThread::liveLocalCount() const {
 }
 
 size_t JThread::liveLocalsInTopFrame() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   return Frames.empty() ? 0 : Frames.back().LiveCount;
 }
 
 bool JThread::ensureLocalCapacity(uint32_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty())
     return false;
   if (Frames.back().Capacity < Capacity)
@@ -129,11 +142,15 @@ bool JThread::ensureLocalCapacity(uint32_t Capacity) {
 }
 
 void JThread::collectRoots(std::vector<ObjectId> &Roots) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (const LocalSlot &Slot : Arena)
     if (Slot.Live && !Slot.Target.isNull())
       Roots.push_back(Slot.Target);
   if (!Pending.isNull())
     Roots.push_back(Pending);
+  for (ObjectId Root : TempRootStack)
+    if (!Root.isNull())
+      Roots.push_back(Root);
 }
 
 std::string JThread::renderStack() const {

@@ -24,6 +24,8 @@
 #include "jvm/Handle.h"
 #include "jvm/Value.h"
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,10 +73,14 @@ public:
   bool popFrame();
 
   /// Number of active frames.
-  size_t frameDepth() const { return Frames.size(); }
+  size_t frameDepth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Frames.size();
+  }
 
   /// True when the current top frame was pushed explicitly.
   bool topFrameExplicit() const {
+    std::lock_guard<std::mutex> Lock(Mu);
     return !Frames.empty() && Frames.back().Explicit;
   }
 
@@ -103,6 +109,7 @@ public:
 
   /// Capacity of the top frame (0 when no frame).
   uint32_t topFrameCapacity() const {
+    std::lock_guard<std::mutex> Lock(Mu);
     return Frames.empty() ? 0 : Frames.back().Capacity;
   }
 
@@ -110,7 +117,10 @@ public:
   bool ensureLocalCapacity(uint32_t Capacity);
 
   /// Whether any frame ever exceeded its declared capacity.
-  bool everOverflowedCapacity() const { return OverflowedCapacity; }
+  bool everOverflowedCapacity() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return OverflowedCapacity;
+  }
 
   /// Appends every live local reference target to \p Roots (GC support).
   void collectRoots(std::vector<ObjectId> &Roots) const;
@@ -119,11 +129,20 @@ public:
   // Exception, critical-section, call-stack, and poison state
   //===--------------------------------------------------------------------===
 
-  /// The pending Java exception (null when none).
+  /// The pending Java exception (null when none). Written only by the
+  /// owning thread while it is a mutator; the collector reads it under
+  /// stop-the-world.
   ObjectId Pending;
 
   /// Nesting depth of JNI critical sections entered by this thread.
-  int CriticalDepth = 0;
+  /// Atomic because Vm::anyThreadInCritical polls it from the GC-initiating
+  /// thread.
+  std::atomic<int> CriticalDepth{0};
+
+  /// Temporary GC roots pinned by in-flight VM operations on this thread
+  /// (see Vm::TempRoots). Per-thread so concurrent scopes never clobber
+  /// each other; the collector reads it under stop-the-world.
+  std::vector<ObjectId> TempRootStack;
 
   /// Simulated call stack (innermost last).
   std::vector<StackEntry> Stack;
@@ -158,11 +177,18 @@ private:
   uint32_t Id;
   std::string Name;
 
+  /// Leaf lock over the local-ref arena and frame stack. The owning thread
+  /// is the only frequent taker (so it is effectively uncontended); other
+  /// threads take it only for deliberate cross-thread handle probes
+  /// (WrongThreadRef checking) and for GC root collection.
+  mutable std::mutex Mu;
+
   std::vector<LocalSlot> Arena;
   std::vector<uint32_t> FreeSlots;
   std::vector<LocalFrame> Frames;
   bool OverflowedCapacity = false;
 
+  LocalRefState localRefStateLocked(const HandleBits &Bits) const;
   void invalidateSlot(uint32_t Index);
 };
 

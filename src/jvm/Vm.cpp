@@ -18,6 +18,46 @@ using namespace jinn::jvm;
 VmEventObserver::~VmEventObserver() = default;
 
 //===----------------------------------------------------------------------===
+// Per-thread mutator depth
+//===----------------------------------------------------------------------===
+
+namespace {
+/// How deeply the calling OS thread is nested in MutatorScopes of each VM.
+/// Keyed by VM address; a handful of entries at most, so linear scan wins.
+/// Entries whose depth returned to zero are harmless if a later VM reuses
+/// the address.
+thread_local std::vector<std::pair<const void *, int>> MutatorDepths;
+
+int &mutatorDepthFor(const void *V) {
+  for (auto &Entry : MutatorDepths)
+    if (Entry.first == V)
+      return Entry.second;
+  MutatorDepths.emplace_back(V, 0);
+  return MutatorDepths.back().second;
+}
+} // namespace
+
+void Vm::enterMutator() {
+  int &Depth = mutatorDepthFor(this);
+  if (Depth++ > 0)
+    return;
+  std::unique_lock<std::mutex> Lock(StwMutex);
+  StwCv.wait(Lock, [this] { return !GcInProgress; });
+  ++ActiveMutators;
+}
+
+void Vm::exitMutator() {
+  int &Depth = mutatorDepthFor(this);
+  if (--Depth > 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(StwMutex);
+    --ActiveMutators;
+  }
+  StwCv.notify_all();
+}
+
+//===----------------------------------------------------------------------===
 // UTF helpers (BMP only)
 //===----------------------------------------------------------------------===
 
@@ -155,15 +195,25 @@ void Vm::bootstrapCoreClasses() {
 }
 
 Klass *Vm::defineClass(const ClassDef &Def) {
+  std::unique_lock<std::shared_mutex> Lock(ClassesMutex);
+  return defineClassLocked(Def);
+}
+
+Klass *Vm::lookupClassLocked(std::string_view Name) const {
+  auto It = Classes.find(Name);
+  return It == Classes.end() ? nullptr : It->second.get();
+}
+
+Klass *Vm::defineClassLocked(const ClassDef &Def) {
   if (Classes.count(Def.Name)) {
     Diags.report(IncidentKind::Note, "jvm",
                  formatString("class %s redefined; keeping first definition",
                               Def.Name.c_str()));
-    return findClass(Def.Name);
+    return lookupClassLocked(Def.Name);
   }
   Klass *Super = nullptr;
   if (Def.Name != "java/lang/Object") {
-    Super = findClass(Def.Super);
+    Super = lookupClassLocked(Def.Super);
     if (!Super) {
       Diags.report(IncidentKind::FatalError, "jvm",
                    formatString("superclass %s of %s not found",
@@ -230,13 +280,14 @@ Klass *Vm::defineClass(const ClassDef &Def) {
   return Kl;
 }
 
-Klass *Vm::defineArrayClass(std::string_view Name) {
+Klass *Vm::defineArrayClassLocked(std::string_view Name) {
   TypeDesc Elem;
   std::string_view ElemDesc = Name.substr(1);
   if (!parseFieldDescriptor(ElemDesc, Elem))
     return nullptr;
   // For object element types, require the element class to exist.
-  if (Elem.isReference() && !Elem.isArray() && !findClass(Elem.ClassName))
+  if (Elem.isReference() && !Elem.isArray() &&
+      !lookupClassLocked(Elem.ClassName))
     return nullptr;
 
   auto Owned = std::make_unique<Klass>(std::string(Name), ObjectKlass);
@@ -252,11 +303,19 @@ Klass *Vm::defineArrayClass(std::string_view Name) {
 }
 
 Klass *Vm::findClass(std::string_view Name) {
-  auto It = Classes.find(Name);
-  if (It != Classes.end())
-    return It->second.get();
-  if (!Name.empty() && Name[0] == '[')
-    return defineArrayClass(Name);
+  {
+    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
+    if (Klass *Kl = lookupClassLocked(Name))
+      return Kl;
+  }
+  if (!Name.empty() && Name[0] == '[') {
+    std::unique_lock<std::shared_mutex> Lock(ClassesMutex);
+    // Re-check: another thread may have materialized it since the shared
+    // probe (shared_mutex is not upgradable).
+    if (Klass *Kl = lookupClassLocked(Name))
+      return Kl;
+    return defineArrayClassLocked(Name);
+  }
   return nullptr;
 }
 
@@ -266,6 +325,7 @@ Klass *Vm::klassOf(ObjectId Obj) {
 }
 
 Klass *Vm::klassFromMirror(ObjectId Mirror) {
+  std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
   auto It = MirrorToKlass.find(Mirror.raw());
   return It == MirrorToKlass.end() ? nullptr : It->second;
 }
@@ -275,26 +335,31 @@ Klass *Vm::klassFromMirror(ObjectId Mirror) {
 //===----------------------------------------------------------------------===
 
 JThread &Vm::attachThread(std::string Name) {
-  assert(NextThreadId < 4096 && "thread id space exhausted");
-  auto Owned = std::make_unique<JThread>(*this, NextThreadId++,
-                                         std::move(Name));
-  JThread *Thread = Owned.get();
-  Threads.push_back(std::move(Owned));
+  JThread *Thread;
+  {
+    std::unique_lock<std::shared_mutex> Lock(ThreadsMutex);
+    assert(NextThreadId < 4096 && "thread id space exhausted");
+    auto Owned =
+        std::make_unique<JThread>(*this, NextThreadId++, std::move(Name));
+    Thread = Owned.get();
+    Threads.push_back(std::move(Owned));
+  }
   // Attached threads get a base local frame, as with AttachCurrentThread.
   Thread->pushFrame(Options.NativeFrameCapacity, /*Explicit=*/false);
-  for (VmEventObserver *Observer : Observers)
+  for (VmEventObserver *Observer : observersSnapshot())
     Observer->onThreadStart(*Thread);
   return *Thread;
 }
 
 void Vm::detachThread(JThread &Thread) {
-  for (VmEventObserver *Observer : Observers)
+  for (VmEventObserver *Observer : observersSnapshot())
     Observer->onThreadEnd(Thread);
   while (Thread.frameDepth() > 0)
     Thread.popFrame();
 }
 
 JThread *Vm::threadById(uint32_t Id) {
+  std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
   for (const auto &Thread : Threads)
     if (Thread->id() == Id)
       return Thread.get();
@@ -314,7 +379,7 @@ ObjectId Vm::newObject(Klass *Kl) {
     for (const auto &Field : K->Fields)
       if (!Field->IsStatic)
         HO->Fields[Field->Slot] = defaultValueFor(Field->Type.Kind);
-  maybeAutoGc();
+  maybeAutoGc(Id);
   return Id;
 }
 
@@ -324,7 +389,7 @@ ObjectId Vm::newString(std::string_view Utf8) {
 
 ObjectId Vm::newStringUtf16(std::u16string Chars) {
   ObjectId Id = TheHeap.allocString(StringKlass, std::move(Chars));
-  maybeAutoGc();
+  maybeAutoGc(Id);
   return Id;
 }
 
@@ -332,7 +397,7 @@ ObjectId Vm::newPrimArray(JType ElemKind, size_t Len) {
   std::string Name(1, '[');
   Name.push_back(typeDescriptorChar(ElemKind));
   ObjectId Id = TheHeap.allocPrimArray(findClass(Name), ElemKind, Len);
-  maybeAutoGc();
+  maybeAutoGc(Id);
   return Id;
 }
 
@@ -344,7 +409,7 @@ ObjectId Vm::newObjArray(Klass *ElemClass, size_t Len) {
   else
     Name = "[L" + ElemClass->name() + ";";
   ObjectId Id = TheHeap.allocObjArray(findClass(Name), Len);
-  maybeAutoGc();
+  maybeAutoGc(Id);
   return Id;
 }
 
@@ -370,7 +435,7 @@ ObjectId Vm::makeThrowable(JThread &Thread, const char *ClassName,
   // Allocate the payload strings before resolving the throwable: any
   // allocation may grow the heap's slot table and invalidate HeapObject
   // pointers. Temp-root them so an automatic GC cannot reclaim them.
-  TempRoots Scope(*this);
+  TempRoots Scope(Thread);
   ObjectId MsgStr = newString(Message);
   Scope.add(MsgStr);
   ObjectId StackStr = newString(Thread.renderStack());
@@ -482,6 +547,10 @@ Value Vm::invoke(JThread &Thread, MethodInfo *Method, const Value &Self,
   if (Thread.Poisoned || Shutdown)
     return defaultValueFor(Method->Sig.Ret.Kind);
 
+  // Every invocation makes the calling OS thread a mutator: host driver
+  // threads entering Java this way park at this boundary during GC.
+  MutatorScope Scope(*this);
+
   MethodInfo *Target = Method;
   if (VirtualDispatch && !Method->IsStatic && Self.isRef() &&
       !Self.Obj.isNull()) {
@@ -549,6 +618,7 @@ Value Vm::invokeByName(JThread &Thread, const char *ClassName,
 uint64_t Vm::newGlobalRef(ObjectId Target, bool Weak) {
   if (Target.isNull())
     return 0;
+  std::lock_guard<std::mutex> Lock(GlobalsMutex);
   uint32_t Index;
   if (!FreeGlobalSlots.empty()) {
     Index = FreeGlobalSlots.back();
@@ -572,7 +642,7 @@ uint64_t Vm::newGlobalRef(ObjectId Target, bool Weak) {
   return encodeHandle(Bits);
 }
 
-LocalRefState Vm::globalRefState(const HandleBits &Bits) const {
+LocalRefState Vm::globalRefStateLocked(const HandleBits &Bits) const {
   if (Bits.Slot >= Globals.size())
     return LocalRefState::NeverIssued;
   const GlobalSlot &Slot = Globals[Bits.Slot];
@@ -583,15 +653,22 @@ LocalRefState Vm::globalRefState(const HandleBits &Bits) const {
   return LocalRefState::Live;
 }
 
+LocalRefState Vm::globalRefState(const HandleBits &Bits) const {
+  std::lock_guard<std::mutex> Lock(GlobalsMutex);
+  return globalRefStateLocked(Bits);
+}
+
 ObjectId Vm::resolveGlobal(const HandleBits &Bits) const {
-  if (globalRefState(Bits) != LocalRefState::Live)
+  std::lock_guard<std::mutex> Lock(GlobalsMutex);
+  if (globalRefStateLocked(Bits) != LocalRefState::Live)
     return ObjectId();
   const GlobalSlot &Slot = Globals[Bits.Slot];
   return Slot.Cleared ? ObjectId() : Slot.Target;
 }
 
 bool Vm::deleteGlobalRef(const HandleBits &Bits) {
-  if (globalRefState(Bits) != LocalRefState::Live)
+  std::lock_guard<std::mutex> Lock(GlobalsMutex);
+  if (globalRefStateLocked(Bits) != LocalRefState::Live)
     return false;
   GlobalSlot &Slot = Globals[Bits.Slot];
   Slot.Live = false;
@@ -602,6 +679,7 @@ bool Vm::deleteGlobalRef(const HandleBits &Bits) {
 }
 
 size_t Vm::liveGlobalCount(bool Weak) const {
+  std::lock_guard<std::mutex> Lock(GlobalsMutex);
   size_t N = 0;
   for (const GlobalSlot &Slot : Globals)
     if (Slot.Live && Slot.Weak == Weak)
@@ -738,6 +816,7 @@ Vm::PeekResult Vm::peekHandle(uint64_t Word, const JThread *Perspective) {
 //===----------------------------------------------------------------------===
 
 MonitorResult Vm::monitorEnter(JThread &Thread, ObjectId Obj) {
+  std::lock_guard<std::mutex> Lock(MonitorsMutex);
   auto It = Monitors.find(Obj.raw());
   if (It == Monitors.end()) {
     Monitors[Obj.raw()] = {Thread.id(), 1};
@@ -755,6 +834,7 @@ MonitorResult Vm::monitorEnter(JThread &Thread, ObjectId Obj) {
 }
 
 MonitorResult Vm::monitorExit(JThread &Thread, ObjectId Obj) {
+  std::lock_guard<std::mutex> Lock(MonitorsMutex);
   auto It = Monitors.find(Obj.raw());
   if (It == Monitors.end() || It->second.OwnerThread != Thread.id())
     return MonitorResult::IllegalState;
@@ -768,6 +848,7 @@ MonitorResult Vm::monitorExit(JThread &Thread, ObjectId Obj) {
 //===----------------------------------------------------------------------===
 
 uint64_t Vm::pinObject(JThread &Thread, ObjectId Target, PinKind Kind) {
+  std::lock_guard<std::mutex> Lock(PinsMutex);
   if (HeapObject *HO = TheHeap.resolve(Target))
     HO->PinCount += 1;
   uint64_t Cookie = NextPinCookie++;
@@ -777,6 +858,7 @@ uint64_t Vm::pinObject(JThread &Thread, ObjectId Target, PinKind Kind) {
 
 bool Vm::unpinObject(JThread &Thread, ObjectId Target, PinKind Kind) {
   (void)Thread;
+  std::lock_guard<std::mutex> Lock(PinsMutex);
   for (auto It = Pins.rbegin(); It != Pins.rend(); ++It) {
     if (It->Target == Target && It->Kind == Kind) {
       if (HeapObject *HO = TheHeap.resolve(Target))
@@ -818,28 +900,44 @@ ProductionOutcome Vm::undefined(JThread &Thread, UndefinedOp Op,
 }
 
 bool Vm::anyThreadInCritical() const {
+  std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
   for (const auto &Thread : Threads)
-    if (Thread->CriticalDepth > 0)
+    if (Thread->CriticalDepth.load(std::memory_order_acquire) > 0)
       return true;
   return false;
 }
 
 void Vm::collectRoots(std::vector<ObjectId> &Roots) {
-  for (Klass *Kl : ClassOrder) {
-    Roots.push_back(Kl->Mirror);
-    for (const auto &Field : Kl->Fields)
-      if (Field->IsStatic && Field->StaticValue.isRef())
-        Roots.push_back(Field->StaticValue.Obj);
+  {
+    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
+    for (Klass *Kl : ClassOrder) {
+      Roots.push_back(Kl->Mirror);
+      for (const auto &Field : Kl->Fields)
+        if (Field->IsStatic && Field->StaticValue.isRef())
+          Roots.push_back(Field->StaticValue.Obj);
+    }
   }
-  for (const auto &Thread : Threads)
-    Thread->collectRoots(Roots);
-  for (const GlobalSlot &Slot : Globals)
-    if (Slot.Live && !Slot.Weak && !Slot.Cleared)
-      Roots.push_back(Slot.Target);
-  for (const PinRecord &Pin : Pins)
-    Roots.push_back(Pin.Target);
-  for (ObjectId Id : TempRootStack)
-    Roots.push_back(Id);
+  {
+    std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
+    for (const auto &Thread : Threads)
+      Thread->collectRoots(Roots);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(GlobalsMutex);
+    for (const GlobalSlot &Slot : Globals)
+      if (Slot.Live && !Slot.Weak && !Slot.Cleared)
+        Roots.push_back(Slot.Target);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(PinsMutex);
+    for (const PinRecord &Pin : Pins)
+      Roots.push_back(Pin.Target);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(NewbornsMutex);
+    for (ObjectId Id : Newborns)
+      Roots.push_back(Id);
+  }
 }
 
 void Vm::gc() {
@@ -848,9 +946,35 @@ void Vm::gc() {
                  "GC request ignored: a thread holds a critical section");
     return;
   }
+
+  // Stop the world. The caller may itself be inside a MutatorScope (e.g.
+  // auto-GC from an allocation in a native call); it exempts its own
+  // active-mutator slot while it collects. If another thread's collection
+  // is already running, park like any mutator until it finishes, then run
+  // our own (the request was explicit).
+  const bool SelfMutator = mutatorDepthFor(this) > 0;
+  std::unique_lock<std::mutex> Lock(StwMutex);
+  while (GcInProgress) {
+    if (SelfMutator) {
+      --ActiveMutators;
+      StwCv.notify_all();
+    }
+    StwCv.wait(Lock, [this] { return !GcInProgress; });
+    if (SelfMutator)
+      ++ActiveMutators;
+  }
+  GcInProgress = true;
+  if (SelfMutator)
+    --ActiveMutators;
+  StwCv.wait(Lock, [this] { return ActiveMutators == 0; });
+
+  // World stopped: every other mutator is parked (GcInProgress gates entry),
+  // so the collection itself runs without the lock held.
+  Lock.unlock();
   std::vector<ObjectId> Roots;
   collectRoots(Roots);
   TheHeap.collect(Roots, Options.MoveOnGc, [this] {
+    std::lock_guard<std::mutex> GLock(GlobalsMutex);
     for (GlobalSlot &Slot : Globals) {
       if (Slot.Live && Slot.Weak && !Slot.Cleared &&
           !TheHeap.isMarked(Slot.Target)) {
@@ -859,31 +983,59 @@ void Vm::gc() {
       }
     }
   });
-  AllocsSinceGc = 0;
-  for (VmEventObserver *Observer : Observers)
+  AllocsSinceGc.store(0, std::memory_order_relaxed);
+
+  // Resume the world, then notify observers outside all locks.
+  Lock.lock();
+  if (SelfMutator)
+    ++ActiveMutators;
+  GcInProgress = false;
+  Lock.unlock();
+  StwCv.notify_all();
+  for (VmEventObserver *Observer : observersSnapshot())
     Observer->onGcFinish();
 }
 
-void Vm::maybeAutoGc() {
+void Vm::maybeAutoGc(ObjectId Newborn) {
   if (Options.AutoGcPeriod == 0)
     return;
-  if (++AllocsSinceGc >= Options.AutoGcPeriod)
-    gc();
+  if (AllocsSinceGc.fetch_add(1, std::memory_order_relaxed) + 1 <
+      Options.AutoGcPeriod)
+    return;
+  // The caller has not yet stored Newborn anywhere a root scan can see.
+  // Publish it before any collection can start: gc() may park this thread
+  // (self-mutator exemption) while another thread's collection runs, and
+  // that collection must not sweep the newborn either.
+  if (!Newborn.isNull()) {
+    std::lock_guard<std::mutex> Lock(NewbornsMutex);
+    Newborns.push_back(Newborn);
+  }
+  gc();
+  if (!Newborn.isNull()) {
+    std::lock_guard<std::mutex> Lock(NewbornsMutex);
+    Newborns.erase(std::find(Newborns.begin(), Newborns.end(), Newborn));
+  }
 }
 
 void Vm::shutdown() {
-  if (Shutdown)
+  if (Shutdown.exchange(true, std::memory_order_acq_rel))
     return;
-  Shutdown = true;
-  for (VmEventObserver *Observer : Observers)
+  for (VmEventObserver *Observer : observersSnapshot())
     Observer->onVmDeath();
 }
 
+std::vector<VmEventObserver *> Vm::observersSnapshot() const {
+  std::lock_guard<std::mutex> Lock(ObserversMutex);
+  return Observers;
+}
+
 void Vm::addObserver(VmEventObserver *Observer) {
+  std::lock_guard<std::mutex> Lock(ObserversMutex);
   Observers.push_back(Observer);
 }
 
 void Vm::removeObserver(VmEventObserver *Observer) {
+  std::lock_guard<std::mutex> Lock(ObserversMutex);
   Observers.erase(std::remove(Observers.begin(), Observers.end(), Observer),
                   Observers.end());
 }

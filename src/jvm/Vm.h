@@ -26,8 +26,13 @@
 #include "jvm/Value.h"
 #include "support/Diagnostics.h"
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -110,8 +115,14 @@ public:
   /// True when \p Ptr is a method (field) metadata pointer this VM issued.
   /// JNI IDs are raw pointers; these registries let the simulator and the
   /// checkers recognize garbage IDs without dereferencing them.
-  bool isMethodId(const void *Ptr) const { return MethodIdSet.count(Ptr); }
-  bool isFieldId(const void *Ptr) const { return FieldIdSet.count(Ptr); }
+  bool isMethodId(const void *Ptr) const {
+    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
+    return MethodIdSet.count(Ptr);
+  }
+  bool isFieldId(const void *Ptr) const {
+    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
+    return FieldIdSet.count(Ptr);
+  }
 
   Klass *objectClass() const { return ObjectKlass; }
   Klass *classClass() const { return ClassKlass; }
@@ -235,7 +246,10 @@ public:
   MonitorResult monitorEnter(JThread &Thread, ObjectId Obj);
   MonitorResult monitorExit(JThread &Thread, ObjectId Obj);
   /// Number of distinct monitors currently held (any thread).
-  size_t heldMonitorCount() const { return Monitors.size(); }
+  size_t heldMonitorCount() const {
+    std::lock_guard<std::mutex> Lock(MonitorsMutex);
+    return Monitors.size();
+  }
 
   //===--------------------------------------------------------------------===
   // Pinned resources
@@ -261,8 +275,12 @@ public:
   /// mirroring the "JVM disables GC" drastic measure).
   void gc();
 
-  /// Allocation hook driving AutoGcPeriod.
-  void maybeAutoGc();
+  /// Allocation hook driving AutoGcPeriod. \p Newborn is the object the
+  /// caller just allocated but has not yet made reachable; it is kept as a
+  /// GC root for the duration of any collection this hook triggers —
+  /// including a collection run by another thread while this one is parked
+  /// waiting its turn.
+  void maybeAutoGc(ObjectId Newborn = ObjectId());
 
   /// True while any thread holds a JNI critical section.
   bool anyThreadInCritical() const;
@@ -270,7 +288,37 @@ public:
   /// Fires VM death events exactly once. Called by the destructor if the
   /// embedder did not call it.
   void shutdown();
-  bool isShutdown() const { return Shutdown; }
+  bool isShutdown() const { return Shutdown.load(std::memory_order_acquire); }
+
+  //===--------------------------------------------------------------------===
+  // Stop-the-world mutator protocol
+  //===--------------------------------------------------------------------===
+
+  /// Marks the calling OS thread as an active mutator of this VM for the
+  /// scope's lifetime. A collection cannot start while any mutator is
+  /// active; conversely a mutator entering while a collection runs parks
+  /// until it finishes. Reentrant: nested scopes on the same thread only
+  /// touch a thread-local depth counter, so nested JNI calls stay lock-free.
+  class MutatorScope {
+  public:
+    explicit MutatorScope(Vm &Owner) : Owner(Owner) { Owner.enterMutator(); }
+    ~MutatorScope() { Owner.exitMutator(); }
+    MutatorScope(const MutatorScope &) = delete;
+    MutatorScope &operator=(const MutatorScope &) = delete;
+
+  private:
+    Vm &Owner;
+  };
+
+  void enterMutator();
+  void exitMutator();
+
+  /// Striped lock for static field storage (FieldInfo::StaticValue), hashed
+  /// by field identity. The JNI layer takes this around static get/set.
+  std::mutex &staticFieldLock(const void *Field) {
+    return StaticFieldMutexes[(reinterpret_cast<uintptr_t>(Field) >> 4) %
+                              StaticFieldMutexes.size()];
+  }
 
   void addObserver(VmEventObserver *Observer);
   void removeObserver(VmEventObserver *Observer);
@@ -280,25 +328,31 @@ public:
 
   /// RAII scope that keeps freshly allocated, not-yet-reachable objects
   /// alive across further allocations (they are GC roots until the scope
-  /// closes). VM-internal construction sequences use this.
+  /// closes). VM-internal construction sequences use this. Roots live on
+  /// the owning thread's TempRootStack so concurrent scopes on different
+  /// threads never truncate each other's entries.
   class TempRoots {
   public:
-    explicit TempRoots(Vm &Owner)
-        : Owner(Owner), Base(Owner.TempRootStack.size()) {}
-    ~TempRoots() { Owner.TempRootStack.resize(Base); }
+    explicit TempRoots(JThread &Thread)
+        : Thread(Thread), Base(Thread.TempRootStack.size()) {}
+    ~TempRoots() { Thread.TempRootStack.resize(Base); }
     TempRoots(const TempRoots &) = delete;
     TempRoots &operator=(const TempRoots &) = delete;
-    void add(ObjectId Id) { Owner.TempRootStack.push_back(Id); }
+    void add(ObjectId Id) { Thread.TempRootStack.push_back(Id); }
 
   private:
-    Vm &Owner;
+    JThread &Thread;
     size_t Base;
   };
 
 private:
   void bootstrapCoreClasses();
-  Klass *defineArrayClass(std::string_view Name);
+  Klass *defineClassLocked(const ClassDef &Def);
+  Klass *defineArrayClassLocked(std::string_view Name);
+  Klass *lookupClassLocked(std::string_view Name) const;
+  LocalRefState globalRefStateLocked(const HandleBits &Bits) const;
   void collectRoots(std::vector<ObjectId> &Roots);
+  std::vector<VmEventObserver *> observersSnapshot() const;
 
   struct GlobalSlot {
     ObjectId Target;
@@ -317,6 +371,23 @@ private:
   DiagnosticSink Diags;
   Heap TheHeap;
 
+  //===--------------------------------------------------------------------===
+  // Locks. Order (outermost first) when more than one must be held:
+  //   StwMutex > ClassesMutex > ThreadsMutex > GlobalsMutex > MonitorsMutex
+  //   > PinsMutex > NewbornsMutex > StaticFieldMutexes > Heap::Mu
+  //   > JThread::Mu >
+  //   ObserversMutex > DiagnosticSink::Mu
+  // Most paths take exactly one; observer callbacks and the GC phase run
+  // with none of them held (the GC relies on stop-the-world instead).
+  //===--------------------------------------------------------------------===
+
+  mutable std::mutex StwMutex;
+  std::condition_variable StwCv;
+  int ActiveMutators = 0;
+  bool GcInProgress = false;
+
+  mutable std::shared_mutex ClassesMutex; ///< Classes, ClassOrder, mirrors,
+                                          ///< method/field id registries
   std::map<std::string, std::unique_ptr<Klass>, std::less<>> Classes;
   std::vector<Klass *> ClassOrder;
   Klass *ObjectKlass = nullptr;
@@ -328,21 +399,34 @@ private:
   std::unordered_set<const void *> MethodIdSet;
   std::unordered_set<const void *> FieldIdSet;
 
+  mutable std::shared_mutex ThreadsMutex; ///< Threads, NextThreadId
   std::vector<std::unique_ptr<JThread>> Threads;
   uint32_t NextThreadId = 1;
 
+  mutable std::mutex GlobalsMutex; ///< Globals, FreeGlobalSlots
   std::vector<GlobalSlot> Globals;
   std::vector<uint32_t> FreeGlobalSlots;
 
+  mutable std::mutex MonitorsMutex; ///< Monitors
   std::map<uint64_t, MonitorState> Monitors;
 
+  mutable std::mutex PinsMutex; ///< Pins, NextPinCookie, pin-count updates
   std::vector<PinRecord> Pins;
+
+  mutable std::mutex NewbornsMutex; ///< Newborns
+  /// Freshly allocated objects whose allocating thread is inside
+  /// maybeAutoGc(): not yet reachable from any frame, but must survive
+  /// whichever thread's collection runs first.
+  std::vector<ObjectId> Newborns;
   uint64_t NextPinCookie = 1;
 
+  std::array<std::mutex, 16> StaticFieldMutexes;
+
+  mutable std::mutex ObserversMutex; ///< Observers
   std::vector<VmEventObserver *> Observers;
-  std::vector<ObjectId> TempRootStack;
-  uint32_t AllocsSinceGc = 0;
-  bool Shutdown = false;
+
+  std::atomic<uint32_t> AllocsSinceGc{0};
+  std::atomic<bool> Shutdown{false};
 };
 
 /// UTF conversion helpers (BMP only; adequate for the experiments).

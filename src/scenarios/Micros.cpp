@@ -234,7 +234,7 @@ void microLocalDangling(ScenarioWorld &W) {
       "main", "()V",
       [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
          const std::vector<jvm::Value> &) {
-        jvm::Vm::TempRoots Scope(V);
+        jvm::Vm::TempRoots Scope(T);
         jvm::ObjectId Receiver = V.newString("receiver");
         Scope.add(Receiver);
         V.invokeByName(T, "Callback", "bind", "(Ljava/lang/String;)V",

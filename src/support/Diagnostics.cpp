@@ -37,10 +37,12 @@ void DiagnosticSink::report(IncidentKind Kind, std::string Channel,
   if (Echo)
     std::fprintf(stderr, "[%s] %s: %s\n", Channel.c_str(),
                  incidentKindName(Kind), Message.c_str());
+  std::lock_guard<std::mutex> Lock(Mu);
   Incidents.push_back({Kind, std::move(Channel), std::move(Message)});
 }
 
 size_t DiagnosticSink::count(IncidentKind Kind) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;
   for (const Incident &I : Incidents)
     if (I.Kind == Kind)
@@ -50,6 +52,7 @@ size_t DiagnosticSink::count(IncidentKind Kind) const {
 
 size_t DiagnosticSink::count(IncidentKind Kind,
                              const std::string &Channel) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;
   for (const Incident &I : Incidents)
     if (I.Kind == Kind && I.Channel == Channel)

@@ -20,6 +20,7 @@
 #define JINN_SUPPORT_DIAGNOSTICS_H
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,9 @@ struct Incident {
 
 /// Accumulates incidents for later classification by tests and benchmark
 /// harnesses. Optionally echoes each incident to stderr as it arrives.
+/// Recording is thread-safe; incidents() returns a reference the caller
+/// must only traverse once reporting threads have quiesced (tests join
+/// their workers before classifying).
 class DiagnosticSink {
 public:
   /// Records one incident; echoes to stderr when echoing is enabled.
@@ -67,12 +71,16 @@ public:
   bool has(IncidentKind Kind) const { return count(Kind) != 0; }
 
   /// Drops all recorded incidents.
-  void clear() { Incidents.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Incidents.clear();
+  }
 
   /// Controls stderr echoing (off by default; tests keep it off).
   void setEcho(bool Value) { Echo = Value; }
 
 private:
+  mutable std::mutex Mu;
   std::vector<Incident> Incidents;
   bool Echo = false;
 };

@@ -6,7 +6,10 @@
 
 #include "workloads/Workloads.h"
 
+#include "support/Format.h"
 #include "support/Rng.h"
+
+#include <thread>
 
 using namespace jinn;
 using namespace jinn::workloads;
@@ -55,9 +58,32 @@ struct WorkloadState {
   jmethodID AccumMethod = nullptr;
 };
 
+/// Thread-local so concurrent workers each accumulate into their own state
+/// without synchronizing on every native transition.
 WorkloadState *&currentState() {
-  static WorkloadState *State = nullptr;
+  thread_local WorkloadState *State = nullptr;
   return State;
+}
+
+/// Table 3 transition budget after scaling, floored for measurability.
+uint64_t scaledTransitions(const WorkloadInfo &Info, uint64_t ScaleDivisor) {
+  uint64_t Transitions =
+      Info.PaperTransitions / (ScaleDivisor ? ScaleDivisor : 1);
+  return Transitions < 64 ? 64 : Transitions;
+}
+
+/// Invokes the native `unit` method \p Transitions times on \p Thread.
+void driveTransitions(scenarios::ScenarioWorld &World, jvm::JThread &Thread,
+                      uint64_t Transitions, uint64_t Seed) {
+  jvm::Klass *Kl = World.Vm.findClass("bench/WorkUnit");
+  jvm::MethodInfo *Unit = Kl->findMethod("unit", "(I)I", /*WantStatic=*/true);
+  SplitMix64 Rng(Seed);
+  for (uint64_t I = 0; I < Transitions; ++I) {
+    std::vector<jvm::Value> Args = {
+        jvm::Value::makeInt(static_cast<int32_t>(Rng.next() & 0x7fffffff))};
+    World.Vm.invoke(Thread, Unit, jvm::Value::makeNull(), Args,
+                    /*VirtualDispatch=*/false);
+  }
 }
 
 } // namespace
@@ -155,27 +181,57 @@ WorkloadRun jinn::workloads::runWorkload(const WorkloadInfo &Info,
   WorkloadState State;
   currentState() = &State;
 
-  uint64_t Transitions = Info.PaperTransitions / (ScaleDivisor ? ScaleDivisor
-                                                               : 1);
-  if (Transitions < 64)
-    Transitions = 64; // keep even the smallest benchmarks measurable
-
-  jvm::Klass *Kl = World.Vm.findClass("bench/WorkUnit");
-  jvm::MethodInfo *Unit = Kl->findMethod("unit", "(I)I", /*WantStatic=*/true);
-  jvm::JThread &Main = World.Vm.mainThread();
-
-  SplitMix64 Rng(0x6a696e6eULL ^ Info.PaperTransitions);
-  for (uint64_t I = 0; I < Transitions; ++I) {
-    std::vector<jvm::Value> Args = {
-        jvm::Value::makeInt(static_cast<int32_t>(Rng.next() & 0x7fffffff))};
-    World.Vm.invoke(Main, Unit, jvm::Value::makeNull(), Args,
-                    /*VirtualDispatch=*/false);
-  }
+  uint64_t Transitions = scaledTransitions(Info, ScaleDivisor);
+  driveTransitions(World, World.Vm.mainThread(), Transitions,
+                   0x6a696e6eULL ^ Info.PaperTransitions);
 
   currentState() = nullptr;
   WorkloadRun Run;
   Run.NativeTransitions = Transitions;
   Run.JniCalls = State.JniCalls;
   Run.Checksum = State.Checksum;
+  return Run;
+}
+
+WorkloadRun jinn::workloads::runWorkloadConcurrent(
+    const WorkloadInfo &Info, scenarios::ScenarioWorld &World,
+    uint64_t ScaleDivisor, unsigned NumThreads) {
+  prepareWorkloadWorld(World);
+  if (NumThreads == 0)
+    NumThreads = 1;
+
+  uint64_t Total = scaledTransitions(Info, ScaleDivisor);
+  uint64_t PerThread = (Total + NumThreads - 1) / NumThreads;
+
+  std::vector<WorkloadRun> Results(NumThreads);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumThreads);
+  JavaVM *Jvm = World.Rt.javaVm();
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      std::string Name = formatString("workload-%u", T);
+      JNIEnv *Env = nullptr;
+      if (Jvm->functions->AttachCurrentThread(Jvm, &Env, Name.data()) !=
+          JNI_OK)
+        return;
+      WorkloadState State;
+      currentState() = &State;
+      driveTransitions(World, *Env->thread, PerThread,
+                       0x6a696e6eULL ^ Info.PaperTransitions ^
+                           (uint64_t(T + 1) * 0x9e3779b97f4a7c15ULL));
+      currentState() = nullptr;
+      Results[T] = {PerThread, State.JniCalls, State.Checksum};
+      Jvm->functions->DetachCurrentThread(Jvm);
+    });
+  }
+  for (std::thread &Worker : Workers)
+    Worker.join();
+
+  WorkloadRun Run;
+  for (const WorkloadRun &Result : Results) {
+    Run.NativeTransitions += Result.NativeTransitions;
+    Run.JniCalls += Result.JniCalls;
+    Run.Checksum += Result.Checksum;
+  }
   return Run;
 }

@@ -58,6 +58,15 @@ WorkloadRun runWorkload(const WorkloadInfo &Info,
                         scenarios::ScenarioWorld &World,
                         uint64_t ScaleDivisor);
 
+/// Runs \p Info's transition budget split across \p NumThreads OS threads,
+/// each attached through the JavaVM invocation interface and driving the
+/// same native `unit` method concurrently. Returns the aggregate over all
+/// workers. Correct JNI usage only: checkers must stay silent.
+WorkloadRun runWorkloadConcurrent(const WorkloadInfo &Info,
+                                  scenarios::ScenarioWorld &World,
+                                  uint64_t ScaleDivisor,
+                                  unsigned NumThreads);
+
 } // namespace jinn::workloads
 
 #endif // JINN_WORKLOADS_WORKLOADS_H

@@ -13,6 +13,18 @@
 using namespace jinn;
 using namespace jinn::jvm;
 
+namespace jinn::jvm {
+
+/// Befriended by Heap: lets tests force internal slot state that would take
+/// four billion recycles to reach naturally.
+struct HeapTestAccess {
+  static void setGen(Heap &H, ObjectId Id, uint32_t Gen) {
+    H.Slots[Id.Index].Gen = Gen;
+  }
+};
+
+} // namespace jinn::jvm
+
 namespace {
 
 struct HeapTest : ::testing::Test {
@@ -116,6 +128,21 @@ TEST_F(HeapTest, StringAndPrimArrayPayloads) {
   ObjectId Arr = H.allocPrimArray(&Dummy, JType::Long, 4);
   EXPECT_EQ(H.resolve(Arr)->PrimElems.size(), 4u);
   EXPECT_EQ(H.resolve(Arr)->ElemKind, JType::Long);
+}
+
+// Regression: a recycled slot whose 32-bit generation counter wraps must
+// skip generation 0 — otherwise the fresh ObjectId aliases null (isNull()
+// is Gen == 0) and every resolve of the new resident fails.
+TEST_F(HeapTest, GenerationWraparoundSkipsNullGeneration) {
+  ObjectId First = H.allocPlain(&Dummy, 0);
+  HeapTestAccess::setGen(H, First, 0xffffffffu);
+  H.collect({}, /*Move=*/false); // frees the slot onto the free list
+  ObjectId Recycled = H.allocPlain(&Dummy, 0); // reuses it; Gen wraps
+  EXPECT_EQ(Recycled.Index, First.Index);
+  EXPECT_FALSE(Recycled.isNull());
+  EXPECT_NE(Recycled.Gen, 0u);
+  ASSERT_NE(H.resolve(Recycled), nullptr);
+  EXPECT_EQ(H.liveCount(), 1u);
 }
 
 TEST_F(HeapTest, StatsAccumulate) {

@@ -42,6 +42,42 @@ TEST_F(InvokeInterface, GetEnvReturnsTheCurrentThreadsEnv) {
             JNI_EVERSION);
 }
 
+// Regression: attaching an already-attached thread must be a no-op that
+// hands back the existing env (the JNI spec's contract), not mint a second
+// JThread for the same OS thread.
+TEST_F(InvokeInterface, DoubleAttachReturnsExistingEnv) {
+  JNIEnv *First = nullptr;
+  char Name[] = "pool-worker";
+  ASSERT_EQ(Vm->functions->AttachCurrentThread(Vm, &First, Name), JNI_OK);
+  JNIEnv *Second = nullptr;
+  char OtherName[] = "imposter";
+  ASSERT_EQ(Vm->functions->AttachCurrentThread(Vm, &Second, OtherName),
+            JNI_OK);
+  EXPECT_EQ(Second, First);
+  // The original attachment's identity is kept.
+  EXPECT_EQ(Second->thread->name(), "pool-worker");
+  // One attachment means one detach reaches the detached state.
+  EXPECT_EQ(Vm->functions->DetachCurrentThread(Vm), JNI_OK);
+  EXPECT_EQ(Vm->functions->DetachCurrentThread(Vm), JNI_EDETACHED);
+}
+
+// Regression: GetEnv must whitelist the known interface versions and
+// answer JNI_EVERSION for anything else — not just for versions above 1.6.
+TEST_F(InvokeInterface, GetEnvRejectsUnknownVersions) {
+  jni::JniRuntime::ScopedCurrent Scope(W.Rt, &W.main());
+  void *Out = nullptr;
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_1), JNI_OK);
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_2), JNI_OK);
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_4), JNI_OK);
+  EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, JNI_VERSION_1_6), JNI_OK);
+  for (jint Bad : {jint(0), jint(-1), jint(0x00010003), jint(0x00030001),
+                   jint(0x7fffffff)}) {
+    Out = reinterpret_cast<void *>(uintptr_t(0xdead));
+    EXPECT_EQ(Vm->functions->GetEnv(Vm, &Out, Bad), JNI_EVERSION);
+    EXPECT_EQ(Out, nullptr); // the out-parameter is cleared on failure
+  }
+}
+
 TEST_F(InvokeInterface, DestroyJavaVmShutsDown) {
   EXPECT_EQ(Vm->functions->DestroyJavaVM(Vm), JNI_OK);
   EXPECT_TRUE(W.Vm.isShutdown());

@@ -212,4 +212,39 @@ TEST_F(JniCore, DefineClassUnsupported) {
   EXPECT_EQ(W.pendingClass(), "java/lang/NoClassDefFoundError");
 }
 
+// Regression: a native invoked with fewer actuals than its signature
+// declares must be flagged as an invalid argument and marshal only the
+// actuals that exist — the dispatch previously indexed the argument vector
+// by the signature's parameter count, reading out of bounds.
+TEST_F(JniCore, NativeCallArityMismatchIsFlagged) {
+  jvm::ClassDef Def;
+  Def.Name = "t/Arity";
+  Def.nativeMethod("sum", "(III)I", /*IsStatic=*/true, "Arity.java:1");
+  W.define(Def);
+  bool Called = false;
+  W.bindNative("t/Arity", "sum", "(III)I",
+               [&Called](JNIEnv *, jobject, const jvalue *) -> jvalue {
+                 Called = true;
+                 jvalue R;
+                 R.i = 7;
+                 return R;
+               });
+
+  size_t Before = W.Vm.diags().count(IncidentKind::UndefinedState);
+  jvm::Value R = W.call("t/Arity", "sum", "(III)I", jvm::Value::makeNull(),
+                        {jvm::Value::makeInt(1)});
+  // HotSpot-like production behavior: diagnose, then keep running with the
+  // truncated argument list instead of reading past the vector.
+  EXPECT_GT(W.Vm.diags().count(IncidentKind::UndefinedState), Before);
+  EXPECT_TRUE(Called);
+  EXPECT_EQ(R.I, 7);
+
+  // Excess actuals are flagged and truncated the same way.
+  Before = W.Vm.diags().count(IncidentKind::UndefinedState);
+  W.call("t/Arity", "sum", "(III)I", jvm::Value::makeNull(),
+         {jvm::Value::makeInt(1), jvm::Value::makeInt(2),
+          jvm::Value::makeInt(3), jvm::Value::makeInt(4)});
+  EXPECT_GT(W.Vm.diags().count(IncidentKind::UndefinedState), Before);
+}
+
 } // namespace
