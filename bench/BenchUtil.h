@@ -10,8 +10,76 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace jinn::bench {
+
+/// Machine-readable results emitter: each bench binary collects its
+/// headline numbers here and writes BENCH_<name>.json next to the text
+/// output, so tools/run_benches.sh can aggregate a whole run.
+class JsonResults {
+public:
+  explicit JsonResults(std::string BenchName)
+      : BenchName(std::move(BenchName)) {}
+
+  void add(const std::string &Name, double Value, const std::string &Unit) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    Entries.push_back({Name, Buf, Unit, true});
+  }
+  void add(const std::string &Name, const std::string &Value) {
+    Entries.push_back({Name, Value, "", false});
+  }
+
+  /// Writes BENCH_<name>.json in the working directory (or \p Path when
+  /// given). Returns false on I/O failure.
+  bool writeFile(const std::string &Path = "") const {
+    std::string Out = Path.empty() ? "BENCH_" + BenchName + ".json" : Path;
+    std::FILE *File = std::fopen(Out.c_str(), "w");
+    if (!File)
+      return false;
+    std::fprintf(File, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 escaped(BenchName).c_str());
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const Entry &E = Entries[I];
+      std::fprintf(File, "    {\"name\": \"%s\", \"value\": ",
+                   escaped(E.Name).c_str());
+      if (E.Numeric)
+        std::fprintf(File, "%s", E.Value.c_str());
+      else
+        std::fprintf(File, "\"%s\"", escaped(E.Value).c_str());
+      if (!E.Unit.empty())
+        std::fprintf(File, ", \"unit\": \"%s\"", escaped(E.Unit).c_str());
+      std::fprintf(File, "}%s\n", I + 1 < Entries.size() ? "," : "");
+    }
+    std::fprintf(File, "  ]\n}\n");
+    std::fclose(File);
+    std::printf("results: %s\n", Out.c_str());
+    return true;
+  }
+
+private:
+  struct Entry {
+    std::string Name, Value, Unit;
+    bool Numeric;
+  };
+
+  static std::string escaped(const std::string &Text) {
+    std::string Out;
+    for (char C : Text) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+    return Out;
+  }
+
+  std::string BenchName;
+  std::vector<Entry> Entries;
+};
 
 /// Wall-clock seconds of \p Fn (one invocation).
 template <typename F> double timeSeconds(F &&Fn) {

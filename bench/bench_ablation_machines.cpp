@@ -69,6 +69,7 @@ int main() {
       "Local reference",
   };
 
+  bench::JsonResults Json("ablation_machines");
   std::printf("%-36s %8s %10s\n", "machines enabled", "checks",
               "overhead");
   bench::printRule();
@@ -77,13 +78,22 @@ int main() {
     double T = measure(W.World, Info, Scale);
     std::printf("%-36s %8zu %9.2fx\n", Name,
                 W.Jinn->stats().instrumentationPoints(), T / Production);
+    Json.add(std::string(Name) + "/overhead", T / Production, "x");
+    Json.add(std::string(Name) + "/checks",
+             static_cast<double>(W.Jinn->stats().instrumentationPoints()),
+             "points");
   }
   {
     AblatedWorld W({}); // all eleven
     double T = measure(W.World, Info, Scale);
     std::printf("%-36s %8zu %9.2fx\n", "(all eleven machines)",
                 W.Jinn->stats().instrumentationPoints(), T / Production);
+    Json.add("all_machines/overhead", T / Production, "x");
+    Json.add("all_machines/checks",
+             static_cast<double>(W.Jinn->stats().instrumentationPoints()),
+             "points");
   }
+  Json.writeFile();
   bench::printRule();
   std::printf("overhead = normalized to the production run of the same "
               "workload (1.00)\n");

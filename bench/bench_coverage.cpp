@@ -37,9 +37,9 @@ int main() {
     if (!Info.DetectableAtBoundary)
       continue;
     ++Total;
-    WorldConfig Hs{VmFlavor::HotSpotLike, CheckerKind::Xcheck, false};
-    WorldConfig J9{VmFlavor::J9Like, CheckerKind::Xcheck, false};
-    WorldConfig Jn{VmFlavor::HotSpotLike, CheckerKind::Jinn, false};
+    WorldConfig Hs{VmFlavor::HotSpotLike, CheckerKind::Xcheck, false, {}, {}};
+    WorldConfig J9{VmFlavor::J9Like, CheckerKind::Xcheck, false, {}, {}};
+    WorldConfig Jn{VmFlavor::HotSpotLike, CheckerKind::Jinn, false, {}, {}};
     Outcome OHs = runMicroToOutcome(Info.Id, Hs);
     Outcome OJ9 = runMicroToOutcome(Info.Id, J9);
     Outcome OJn = runMicroToOutcome(Info.Id, Jn);
@@ -65,5 +65,13 @@ int main() {
               Inconsistent, Total);
   std::printf("paper's measured coverage on its suite: Jinn 100%%, HotSpot "
               "56%%, J9 50%%\n");
+
+  bench::JsonResults Json("coverage");
+  Json.add("hotspot_xcheck", 100.0 * HitHs / Total, "%");
+  Json.add("j9_xcheck", 100.0 * HitJ9 / Total, "%");
+  Json.add("jinn", 100.0 * HitJinn / Total, "%");
+  Json.add("inconsistent", static_cast<double>(Inconsistent), "micros");
+  Json.add("detectable_micros", static_cast<double>(Total), "micros");
+  Json.writeFile();
   return 0;
 }

@@ -65,5 +65,11 @@ int main() {
               "overflow past 16),\n                            fixed    %zu "
               "(never exceeds 8, as in the paper)\n",
               PeakBuggy, PeakFixed);
+
+  bench::JsonResults Json("fig10_localrefs");
+  Json.add("peak_original", static_cast<double>(PeakBuggy), "refs");
+  Json.add("peak_fixed", static_cast<double>(PeakFixed), "refs");
+  Json.add("capacity", 16.0, "refs");
+  Json.writeFile();
   return 0;
 }

@@ -24,6 +24,7 @@ using namespace jinn::scenarios;
 int main() {
   bench::printHeader("Figure 9 - error messages for the ExceptionState "
                      "microbenchmark");
+  bench::JsonResults Json("fig9_messages");
 
   // (a) HotSpot -Xcheck:jni
   {
@@ -35,6 +36,9 @@ int main() {
     std::printf("(a) HotSpot -Xcheck:jni\n\n");
     for (const auto &Detection : World.Xcheck->reporter().detections())
       std::printf("%s\n", Detection.FormattedText.c_str());
+    Json.add("hotspot_xcheck_detections",
+             static_cast<double>(World.Xcheck->reporter().detections().size()),
+             "reports");
   }
 
   // (b) J9 -Xcheck:jni
@@ -48,6 +52,9 @@ int main() {
     std::printf("(b) J9 -Xcheck:jni\n\n");
     for (const auto &Detection : World.Xcheck->reporter().detections())
       std::printf("%s\n", Detection.FormattedText.c_str());
+    Json.add("j9_xcheck_detections",
+             static_cast<double>(World.Xcheck->reporter().detections().size()),
+             "reports");
   }
 
   // (c) Jinn
@@ -68,6 +75,10 @@ int main() {
       std::printf("%s%s", I ? ", " : "",
                   World.Jinn->reporter().reports()[I].Function.c_str());
     std::printf(")\n");
+    Json.add("jinn_reports",
+             static_cast<double>(World.Jinn->reporter().reports().size()),
+             "reports");
   }
+  Json.writeFile();
   return 0;
 }

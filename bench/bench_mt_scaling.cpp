@@ -20,9 +20,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace jinn;
 using namespace jinn::scenarios;
@@ -72,33 +75,40 @@ const char *checkerName(CheckerKind Checker) {
   return "?";
 }
 
-void printScalingTable(uint64_t Scale) {
+void printScalingTable(uint64_t Scale,
+                       const std::vector<unsigned> &ThreadCounts,
+                       bench::JsonResults &Json) {
   bench::printHeader(
       "Multi-threaded scaling - aggregate native-transition throughput\n"
-      "(speedup over the 1-thread run of the same configuration)");
-  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+      "(speedup over the first thread count of the same configuration)");
   const CheckerKind Checkers[] = {CheckerKind::None, CheckerKind::InterposeOnly,
                                   CheckerKind::Jinn};
   const WorkloadInfo &Info = *workloadByName("jack");
 
-  std::printf("%-18s | %12s %12s %12s %12s\n", "configuration", "1 thread",
-              "2 threads", "4 threads", "8 threads");
+  std::printf("%-18s |", "configuration");
+  for (unsigned NumThreads : ThreadCounts)
+    std::printf(" %9u thr", NumThreads);
+  std::printf("\n");
   bench::printRule();
   for (CheckerKind Checker : Checkers) {
     double Base = 0;
     std::printf("%-18s |", checkerName(Checker));
     for (unsigned NumThreads : ThreadCounts) {
       double Tput = bestOf3(Info, Checker, Scale, NumThreads);
-      if (NumThreads == 1)
+      if (Base == 0)
         Base = Tput;
-      std::printf(" %8.2fx/s%s", Base > 0 ? Tput / Base : 0.0,
-                  NumThreads == 8 ? "\n" : "");
+      std::printf(" %8.2fx/s", Base > 0 ? Tput / Base : 0.0);
+      Json.add(std::string(checkerName(Checker)) + "/" +
+                   std::to_string(NumThreads) + "t",
+               Tput, "transitions/s");
     }
+    std::printf("\n");
   }
   bench::printRule();
   std::printf("(workload \"%s\" scaled by 1/%llu on %u hardware thread(s); "
-              "x/s = speedup relative to the same checker on 1 thread; "
-              "speedup is bounded by the hardware thread count)\n",
+              "x/s = speedup relative to the same checker at the first "
+              "thread count; speedup is bounded by the hardware thread "
+              "count)\n",
               Info.Name, static_cast<unsigned long long>(Scale),
               std::thread::hardware_concurrency());
 }
@@ -120,6 +130,16 @@ void BM_ConcurrentWorkUnit(benchmark::State &State, CheckerKind Checker) {
   State.SetItemsProcessed(static_cast<int64_t>(Transitions));
 }
 
+/// True when \p Arg is a bare positive integer (a thread count).
+bool isThreadCountArg(const char *Arg) {
+  if (!Arg[0])
+    return false;
+  for (const char *C = Arg; *C; ++C)
+    if (!std::isdigit(static_cast<unsigned char>(*C)))
+      return false;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -127,19 +147,40 @@ int main(int Argc, char **Argv) {
   if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
     Scale = std::strtoull(Env, nullptr, 10);
 
-  printScalingTable(Scale ? Scale : 2048);
+  // Thread counts come from bare-integer argv entries (consumed before
+  // google-benchmark parses the rest), e.g. `bench_mt_scaling 1 3 6 12`.
+  std::vector<unsigned> ThreadCounts;
+  int Out = 1;
+  for (int In = 1; In < Argc; ++In) {
+    if (isThreadCountArg(Argv[In])) {
+      unsigned NumThreads =
+          static_cast<unsigned>(std::strtoul(Argv[In], nullptr, 10));
+      if (NumThreads)
+        ThreadCounts.push_back(NumThreads);
+      continue;
+    }
+    Argv[Out++] = Argv[In];
+  }
+  Argc = Out;
+  if (ThreadCounts.empty())
+    ThreadCounts = {1, 2, 4, 8};
+
+  bench::JsonResults Json("mt_scaling");
+  Json.add("scale_divisor", static_cast<double>(Scale ? Scale : 2048), "");
+  printScalingTable(Scale ? Scale : 2048, ThreadCounts, Json);
+  Json.writeFile();
 
   for (auto [Name, Checker] :
        {std::pair<const char *, CheckerKind>{"MtWorkUnit/production",
                                              CheckerKind::None},
         {"MtWorkUnit/jinn_interpose", CheckerKind::InterposeOnly},
-        {"MtWorkUnit/jinn_full", CheckerKind::Jinn}})
-    benchmark::RegisterBenchmark(Name, BM_ConcurrentWorkUnit, Checker)
-        ->Arg(1)
-        ->Arg(2)
-        ->Arg(4)
-        ->Arg(8)
-        ->UseRealTime();
+        {"MtWorkUnit/jinn_full", CheckerKind::Jinn}}) {
+    benchmark::internal::Benchmark *Bench =
+        benchmark::RegisterBenchmark(Name, BM_ConcurrentWorkUnit, Checker);
+    for (unsigned NumThreads : ThreadCounts)
+      Bench->Arg(static_cast<int64_t>(NumThreads));
+    Bench->UseRealTime();
+  }
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;

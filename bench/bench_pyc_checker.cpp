@@ -51,6 +51,7 @@ int main(int Argc, char **Argv) {
                 "%s.   <- silent corruption (reused slot)\n\n",
                 Printed.first.c_str(), Printed.second.c_str());
   }
+  bench::JsonResults Json("pyc_checker");
   {
     PyInterp I;
     PyChecker Checker(I);
@@ -60,6 +61,8 @@ int main(int Argc, char **Argv) {
     for (const PyViolation &V : Checker.violations())
       std::printf("  pyjinn: [%s] %s in %s\n", V.Machine.c_str(),
                   V.Message.c_str(), V.Function.c_str());
+    Json.add("dangle_bug_violations",
+             static_cast<double>(Checker.violations().size()), "reports");
   }
   {
     PyInterp I;
@@ -70,7 +73,10 @@ int main(int Argc, char **Argv) {
     for (const PyViolation &V : Checker.violations())
       std::printf("  pyjinn: [%s] %s in %s\n", V.Machine.c_str(),
                   V.Message.c_str(), V.Function.c_str());
+    Json.add("gil_exception_violations",
+             static_cast<double>(Checker.violations().size()), "reports");
   }
+  Json.writeFile();
 
   benchmark::RegisterBenchmark("PyCleanExtension/production",
                                BM_CleanExtension, false);

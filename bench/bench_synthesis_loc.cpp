@@ -58,6 +58,20 @@ int main() {
   std::printf("paper:                                      1,400 lines -> "
               "22,000+ lines (≈15.7x)\n\n");
 
+  bench::JsonResults Json("synthesis_loc");
+  Json.add("spec_lines", static_cast<double>(SpecLines), "lines");
+  Json.add("generated_lines", static_cast<double>(Stats.TotalLines), "lines");
+  Json.add("wrappers", static_cast<double>(Stats.WrapperFunctions),
+           "functions");
+  Json.add("check_functions", static_cast<double>(Stats.CheckFunctions),
+           "functions");
+  Json.add("expansion_ratio",
+           SpecLines ? static_cast<double>(Stats.TotalLines) /
+                           static_cast<double>(SpecLines)
+                     : 0.0,
+           "x");
+  Json.writeFile();
+
   // A taste of the generated code.
   std::printf("first lines of the generated source:\n");
   bench::printRule();

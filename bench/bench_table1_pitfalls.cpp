@@ -40,15 +40,23 @@ int main() {
               "pit", "HotSpot", "J9", "HS+check", "J9+check", "Jinn");
   bench::printRule();
 
+  bench::JsonResults Json("table1_pitfalls");
+  size_t JinnExceptions = 0;
   for (const MicroInfo &Info : allMicrobenchmarks()) {
+    const char *Jinn = cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::Jinn);
     std::printf("%-22s %4d | %-9s %-9s | %-9s %-9s | %-10s\n",
                 Info.ClassName, Info.Pitfall,
                 cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::None),
                 cell(Info.Id, VmFlavor::J9Like, CheckerKind::None),
                 cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::Xcheck),
-                cell(Info.Id, VmFlavor::J9Like, CheckerKind::Xcheck),
-                cell(Info.Id, VmFlavor::HotSpotLike, CheckerKind::Jinn));
+                cell(Info.Id, VmFlavor::J9Like, CheckerKind::Xcheck), Jinn);
+    Json.add(std::string(Info.ClassName) + "/jinn", Jinn);
+    JinnExceptions += std::string(Jinn) == "exception";
   }
+  Json.add("jinn_exceptions", static_cast<double>(JinnExceptions), "micros");
+  Json.add("micros", static_cast<double>(allMicrobenchmarks().size()),
+           "micros");
+  Json.writeFile();
   bench::printRule();
   std::printf(
       "Paper reference rows (Table 1): pitfall 1 running/crash "

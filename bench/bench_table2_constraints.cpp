@@ -28,6 +28,7 @@ int main() {
   std::printf("%-12s %-34s %9s %7s\n", "class", "constraint", "measured",
               "paper");
   bench::printRule();
+  bench::JsonResults Json("table2_constraints");
   std::string LastClass;
   for (const agent::CensusRow &Row : agent::computeConstraintCensus()) {
     std::printf("%-12s %-34s %9zu %7zu   %s\n",
@@ -36,6 +37,8 @@ int main() {
                     : Row.ConstraintClass.c_str(),
                 Row.Name.c_str(), Row.Count, Row.PaperCount,
                 Row.Description.c_str());
+    Json.add(Row.ConstraintClass + "/" + Row.Name,
+             static_cast<double>(Row.Count), "constraints");
     LastClass = Row.ConstraintClass;
   }
   bench::printRule();
@@ -55,5 +58,12 @@ int main() {
               Stats.JniPreHooks, Stats.JniPostHooks,
               Stats.NativeEntryActions, Stats.NativeExitActions,
               Stats.instrumentationPoints());
+
+  Json.add("jni_functions", static_cast<double>(jni::NumJniFunctions),
+           "functions");
+  Json.add("machines", static_cast<double>(Stats.MachineCount), "machines");
+  Json.add("instrumentation_points",
+           static_cast<double>(Stats.instrumentationPoints()), "points");
+  Json.writeFile();
   return 0;
 }

@@ -55,7 +55,7 @@ double median3(const WorkloadInfo &Info, CheckerKind Checker,
   return A + B + C - Lo - Hi;
 }
 
-void printPaperTable(uint64_t Scale) {
+void printPaperTable(uint64_t Scale, bench::JsonResults &Json) {
   bench::printHeader(
       "Table 3 - Jinn performance on SPECjvm98/DaCapo stand-ins\n"
       "(normalized execution time; production run = 1.00; paper values in "
@@ -77,18 +77,24 @@ void printPaperTable(uint64_t Scale) {
                 static_cast<unsigned long long>(Info.PaperTransitions),
                 Xcheck, Info.PaperRuntimeChecking, Inter,
                 Info.PaperJinnInterposing, Full, Info.PaperJinnChecking);
+    Json.add(std::string(Info.Name) + "/xcheck", Xcheck, "x");
+    Json.add(std::string(Info.Name) + "/interpose", Inter, "x");
+    Json.add(std::string(Info.Name) + "/jinn", Full, "x");
     GeoCheck += std::log(Xcheck);
     GeoInter += std::log(Inter);
     GeoJinn += std::log(Full);
     ++N;
   }
   bench::printRule();
+  double GmCheck = std::exp(GeoCheck / static_cast<double>(N));
+  double GmInter = std::exp(GeoInter / static_cast<double>(N));
+  double GmJinn = std::exp(GeoJinn / static_cast<double>(N));
   std::printf("%-11s %12s | %5.2f (1.01)     %5.2f (1.10)     %5.2f "
               "(1.14)   GeoMean\n",
-              "GeoMean", "",
-              std::exp(GeoCheck / static_cast<double>(N)),
-              std::exp(GeoInter / static_cast<double>(N)),
-              std::exp(GeoJinn / static_cast<double>(N)));
+              "GeoMean", "", GmCheck, GmInter, GmJinn);
+  Json.add("geomean/xcheck", GmCheck, "x");
+  Json.add("geomean/interpose", GmInter, "x");
+  Json.add("geomean/jinn", GmJinn, "x");
   std::printf("\n(transition counts are the paper's measured values, "
               "replayed scaled by 1/%llu)\n",
               static_cast<unsigned long long>(Scale));
@@ -120,7 +126,9 @@ int main(int Argc, char **Argv) {
   if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
     Scale = std::strtoull(Env, nullptr, 10);
 
-  printPaperTable(Scale ? Scale : 2048);
+  bench::JsonResults Json("table3_overhead");
+  printPaperTable(Scale ? Scale : 2048, Json);
+  Json.writeFile();
 
   benchmark::RegisterBenchmark("WorkUnit/production", BM_WorkUnit,
                                CheckerKind::None);

@@ -6,8 +6,22 @@
 
 #include "jinn/JinnAgent.h"
 
+#include "jvm/JThread.h"
+
 using namespace jinn;
 using namespace jinn::agent;
+
+const char *jinn::agent::traceModeName(TraceMode Mode) {
+  switch (Mode) {
+  case TraceMode::InlineCheck:
+    return "inline-check";
+  case TraceMode::RecordOnly:
+    return "record-only";
+  case TraceMode::RecordAndReplay:
+    return "record+replay";
+  }
+  return "unknown";
+}
 
 JinnAgent::JinnAgent() = default;
 JinnAgent::JinnAgent(JinnOptions Options) : Options(std::move(Options)) {}
@@ -15,6 +29,8 @@ JinnAgent::~JinnAgent() = default;
 
 void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   jvm::Vm &Vm = *JavaVm->vm;
+  const bool Checking = Options.Mode != TraceMode::RecordOnly;
+  const bool Recording = Options.Mode != TraceMode::InlineCheck;
 
   // The custom exception the synthesizer is parameterized with (Figure 5).
   if (!Vm.findClass(JinnExceptionClass)) {
@@ -36,23 +52,71 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   }
   Synth = std::make_unique<synth::Synthesizer>(Active, *Reporter);
 
+  // The recorder's all-function hooks go first: the dispatcher runs them
+  // before per-function machine hooks, so each event freezes the state the
+  // machines were about to observe.
+  if (Recording) {
+    Recorder = std::make_unique<trace::TraceRecorder>(Vm, Options.Recorder);
+    Recorder->installJniHooks(Jvmti.dispatcher());
+    Synth->setBoundaryObserver(Recorder.get());
+  }
+
   // Algorithm 1: synthesize the dynamic analysis into the dispatcher.
-  Stats = Synth->installInto(Jvmti.dispatcher());
+  // Under record-only no machine hook is installed — the boundary carries
+  // only the recorder, and checking happens offline via replay.
+  Stats = Checking ? Synth->installInto(Jvmti.dispatcher())
+                   : synth::SynthesisStats{};
+
+  const uint32_t FrameCapacity = Vm.options().NativeFrameCapacity;
+  auto InfoFor = [FrameCapacity](const jvm::JThread &Thread) {
+    spec::ThreadStartInfo Info;
+    Info.Id = Thread.id();
+    Info.Name = Thread.name();
+    Info.EnvWord =
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Thread.EnvPtr));
+    Info.FrameCapacity = FrameCapacity;
+    return Info;
+  };
 
   jvmti::EventCallbacks Callbacks;
-  Callbacks.NativeMethodBind = Synth->makeNativeBindHandler();
-  Callbacks.ThreadStart = [this](jvm::JThread &Thread) {
-    for (spec::MachineBase *Machine : Active)
-      Machine->onThreadStart(Thread);
+  auto BindHandler = Synth->makeNativeBindHandler();
+  Callbacks.NativeMethodBind = [this, BindHandler](
+                                   jvm::MethodInfo &Method,
+                                   jni::JniNativeStdFn &Bound) {
+    if (Recorder)
+      Recorder->recordNativeBind(Method);
+    BindHandler(Method, Bound);
   };
-  Callbacks.VmDeath = [this, &Vm] {
-    for (spec::MachineBase *Machine : Active)
-      Machine->onVmDeath(*Reporter, Vm);
+  Callbacks.ThreadStart = [this, Checking, InfoFor](jvm::JThread &Thread) {
+    if (Recorder)
+      Recorder->recordThreadAttach(Thread);
+    if (Checking)
+      for (spec::MachineBase *Machine : Active)
+        Machine->onThreadStart(InfoFor(Thread));
+  };
+  Callbacks.ThreadEnd = [this](jvm::JThread &Thread) {
+    if (Recorder)
+      Recorder->recordThreadDetach(Thread);
+  };
+  Callbacks.GcFinish = [this] {
+    if (Recorder)
+      Recorder->recordGcEpoch();
+  };
+  Callbacks.VmDeath = [this, Checking, &Vm] {
+    if (Recorder)
+      Recorder->recordVmDeath();
+    if (Checking)
+      for (spec::MachineBase *Machine : Active)
+        Machine->onVmDeath(*Reporter, Vm);
   };
   Jvmti.setEventCallbacks(std::move(Callbacks));
 
   // Threads attached before the agent loaded (at least "main").
-  for (const auto &Thread : Vm.threads())
-    for (spec::MachineBase *Machine : Active)
-      Machine->onThreadStart(*Thread);
+  for (const auto &Thread : Vm.threads()) {
+    if (Recorder)
+      Recorder->recordThreadAttach(*Thread);
+    if (Checking)
+      for (spec::MachineBase *Machine : Active)
+        Machine->onThreadStart(InfoFor(*Thread));
+  }
 }

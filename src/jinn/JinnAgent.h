@@ -30,16 +30,35 @@
 #include "jinn/Report.h"
 #include "jvmti/Jvmti.h"
 #include "synth/Synthesizer.h"
+#include "trace/Recorder.h"
 
 #include <memory>
 
 namespace jinn::agent {
+
+/// How the agent treats each boundary crossing.
+enum class TraceMode : uint8_t {
+  /// Machines check at the boundary; nothing is recorded (the paper's
+  /// deployment, and the default).
+  InlineCheck,
+  /// Only the trace recorder runs at the boundary; no machine is
+  /// installed. Checking happens later, offline, via trace::replayTrace.
+  RecordOnly,
+  /// Machines check inline *and* every crossing is recorded. Replaying
+  /// such a trace reproduces the inline report list byte-for-byte.
+  RecordAndReplay,
+};
+
+const char *traceModeName(TraceMode Mode);
 
 /// Agent options (the "-agentlib:jinn=..." string of a real deployment).
 struct JinnOptions {
   /// When non-empty, only machines whose names appear here are synthesized
   /// — the ablation knob used by bench_ablation_machines.
   std::vector<std::string> EnabledMachines;
+  TraceMode Mode = TraceMode::InlineCheck;
+  /// Recorder tuning; only consulted when Mode records.
+  trace::TraceRecorderOptions Recorder;
 };
 
 class JinnAgent : public jvmti::Agent {
@@ -61,11 +80,16 @@ public:
   const synth::SynthesisStats &stats() const { return Stats; }
   synth::Synthesizer &synthesizer() { return *Synth; }
 
+  TraceMode mode() const { return Options.Mode; }
+  /// The recorder, when mode() records (nullptr under InlineCheck).
+  trace::TraceRecorder *recorder() { return Recorder.get(); }
+
 private:
   JinnOptions Options;
   std::unique_ptr<JinnReporter> Reporter;
   std::unique_ptr<MachineSet> Machines;
   std::unique_ptr<synth::Synthesizer> Synth;
+  std::unique_ptr<trace::TraceRecorder> Recorder;
   std::vector<spec::MachineBase *> Active;
   synth::SynthesisStats Stats;
 };

@@ -51,11 +51,11 @@ namespace jinn::agent {
 class JniEnvStateMachine : public spec::MachineBase {
 public:
   JniEnvStateMachine();
-  void onThreadStart(jvm::JThread &Thread) override;
+  void onThreadStart(const spec::ThreadStartInfo &Info) override;
 
 private:
-  mutable std::mutex Mu;           ///< guards ExpectedEnv
-  std::vector<void *> ExpectedEnv; ///< indexed by thread id
+  mutable std::mutex Mu;             ///< guards ExpectedEnv
+  std::vector<uint64_t> ExpectedEnv; ///< env identity, indexed by thread id
 };
 
 /// Exception state: no exception-sensitive JNI call while an exception is
@@ -181,7 +181,7 @@ private:
 class LocalRefMachine : public spec::MachineBase {
 public:
   LocalRefMachine();
-  void onThreadStart(jvm::JThread &Thread) override;
+  void onThreadStart(const spec::ThreadStartInfo &Info) override;
 
   /// Live local references currently tracked for \p ThreadId.
   size_t liveCount(uint32_t ThreadId) const;

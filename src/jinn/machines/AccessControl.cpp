@@ -35,7 +35,7 @@ AccessControlMachine::AccessControlMachine() {
         Direction::ReturnJavaToC}},
       [this](TransitionContext &Ctx) {
         const void *Id = Ctx.call().returnPtr();
-        if (!Id || !Ctx.vm().isFieldId(Id))
+        if (!Id || !Ctx.call().returnFieldIdValid())
           return;
         const auto *F = static_cast<const jvm::FieldInfo *>(Id);
         std::lock_guard<std::mutex> Lock(Mu);

@@ -45,9 +45,10 @@ CriticalStateMachine::CriticalStateMachine() {
         if (!Ctx.call().returnPtr())
           return; // acquisition failed; no state change
         uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
+        uint32_t Tid = Ctx.threadId();
         std::lock_guard<std::mutex> Lock(Mu);
-        depthSlot(Ctx.thread().id()) += 1;
-        Held[{Ctx.thread().id(), Resource}] += 1;
+        depthSlot(Tid) += 1;
+        Held[{Tid, Resource}] += 1;
       }));
 
   // Release: Return:Java->C of the matching release functions. The
@@ -65,22 +66,22 @@ CriticalStateMachine::CriticalStateMachine() {
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        uint32_t Tid = Ctx.thread().id();
+        uint32_t Tid = Ctx.threadId();
         int BufIndex = Ctx.call().traits().firstParam(ArgClass::OutPtr);
         const void *Buf =
             BufIndex >= 0 ? Ctx.call().arg(BufIndex).Ptr : nullptr;
-        const jni::BufferRecord *Record =
-            Buf ? Ctx.call().runtime().findBuffer(Buf) : nullptr;
+        uint64_t BufTarget = 0;
+        bool Found = Buf && Ctx.releasedBuffer(Buf, BufTarget);
         // Decide under the lock, report after releasing it: violation()
         // may allocate a throwable and thereby trigger a collection, which
         // must not happen while a machine mutex is held.
         const char *Error = nullptr;
         {
           std::lock_guard<std::mutex> Lock(Mu);
-          if (!Record || depthSlot(Tid) <= 0) {
+          if (!Found || depthSlot(Tid) <= 0) {
             Error = "An unmatched critical-section release was issued";
           } else {
-            uint64_t Resource = Record->Target.raw();
+            uint64_t Resource = BufTarget;
             auto It = Held.find({Tid, Resource});
             if (It == Held.end() || It->second <= 0) {
               Error = "A critical resource was released that this thread "
@@ -104,7 +105,7 @@ CriticalStateMachine::CriticalStateMachine() {
             [](const FnTraits &Traits) { return !Traits.CriticalAllowed; }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        if (depthOf(Ctx.thread().id()) <= 0)
+        if (depthOf(Ctx.threadId()) <= 0)
           return;
         Ctx.reporter().violation(
             Ctx, Spec,

@@ -28,33 +28,32 @@ JniEnvStateMachine::JniEnvStateMachine() {
       "Attached", "Attached",
       {{FunctionSelector::all("any JNI function"), Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        JNIEnv *Env = Ctx.env();
-        jvm::JThread *Current = Ctx.call().runtime().currentThread();
-        if (Current && Current != Env->thread) {
+        uint32_t Current = Ctx.currentThreadId();
+        if (Current && Current != Ctx.threadId()) {
           Ctx.reporter().violation(
               Ctx, Spec,
               formatString("The JNIEnv of thread \"%s\" was used while "
                            "executing on thread \"%s\"",
-                           Env->thread->name().c_str(),
-                           Current->name().c_str()));
+                           Ctx.threadName().c_str(),
+                           Ctx.currentThreadName().c_str()));
           return;
         }
-        uint32_t Tid = Env->thread->id();
-        void *Expected = nullptr;
+        uint32_t Tid = Ctx.threadId();
+        uint64_t Expected = 0;
         {
           std::lock_guard<std::mutex> Lock(Mu);
           if (Tid < ExpectedEnv.size())
             Expected = ExpectedEnv[Tid];
         }
-        if (Expected && Expected != Env)
+        if (Expected && Expected != Ctx.envWord())
           Ctx.reporter().violation(
               Ctx, Spec, "A stale JNIEnv pointer was used for this thread");
       }));
 }
 
-void JniEnvStateMachine::onThreadStart(jvm::JThread &Thread) {
+void JniEnvStateMachine::onThreadStart(const spec::ThreadStartInfo &Info) {
   std::lock_guard<std::mutex> Lock(Mu);
-  if (Thread.id() >= ExpectedEnv.size())
-    ExpectedEnv.resize(Thread.id() + 1, nullptr);
-  ExpectedEnv[Thread.id()] = Thread.EnvPtr;
+  if (Info.Id >= ExpectedEnv.size())
+    ExpectedEnv.resize(Info.Id + 1, 0);
+  ExpectedEnv[Info.Id] = Info.EnvWord;
 }

@@ -45,7 +45,7 @@ ExceptionStateMachine::ExceptionStateMachine() {
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        if (Ctx.thread().Pending.isNull())
+        if (!Ctx.exceptionPending())
           return;
         Ctx.reporter().violation(Ctx, Spec, "An exception is pending");
       }));

@@ -103,7 +103,7 @@ FixedTypingMachine::FixedTypingMachine(const CriticalStateMachine &Critical)
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        if (this->Critical.depthOf(Ctx.thread().id()) > 0)
+        if (this->Critical.depthOf(Ctx.threadId()) > 0)
           return; // cannot type-check inside a critical region
         const FnTraits &Traits = Ctx.call().traits();
         for (int I = 0; I < Traits.NumParams; ++I) {

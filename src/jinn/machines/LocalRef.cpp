@@ -59,15 +59,15 @@ LocalRefMachine::ThreadShadow &LocalRefMachine::shadowOf(uint32_t ThreadId) {
   return *Shadow;
 }
 
-void LocalRefMachine::onThreadStart(jvm::JThread &Thread) {
+void LocalRefMachine::onThreadStart(const spec::ThreadStartInfo &Info) {
   ThreadShadow *Shadow;
   {
     std::unique_lock<std::shared_mutex> Lock(ShadowsMu);
-    Shadow = &Shadows[Thread.id()];
+    Shadow = &Shadows[Info.Id];
   }
   if (Shadow->Frames.empty()) {
     ShadowFrame Base;
-    Base.Capacity = Thread.vm().options().NativeFrameCapacity;
+    Base.Capacity = Info.FrameCapacity;
     Shadow->Frames.push_back(std::move(Base));
   }
 }
@@ -102,10 +102,10 @@ void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
   std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
   if (!Bits || Bits->Kind != RefKind::Local)
     return; // only local references are tracked here
-  ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+  ThreadShadow &Shadow = shadowOf(Ctx.threadId());
   ShadowFrame &Top = Shadow.Frames.back();
   Top.Live.insert(Word);
-  countChanged(Ctx.thread().id());
+  countChanged(Ctx.threadId());
   if (Top.Live.size() > Top.Capacity)
     Ctx.reporter().violation(
         Ctx, Spec,
@@ -129,7 +129,7 @@ void LocalRefMachine::useCheck(TransitionContext &Ctx, uint64_t Word,
   }
   if (Bits->Kind != RefKind::Local)
     return; // globals belong to the global-reference machine
-  uint32_t Tid = Ctx.thread().id();
+  uint32_t Tid = Ctx.threadId();
   if (Bits->Thread != Tid) {
     Ctx.reporter().violation(
         Ctx, Spec,
@@ -171,10 +171,10 @@ LocalRefMachine::LocalRefMachine() {
       {{FunctionSelector::nativeMethods("native method taking reference"),
         Direction::CallJavaToC}},
       [this](TransitionContext &Ctx) {
-        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
         Shadow.EntryDepths.push_back(Shadow.Frames.size());
         ShadowFrame Frame;
-        Frame.Capacity = Ctx.vm().options().NativeFrameCapacity;
+        Frame.Capacity = Ctx.nativeFrameCapacity();
         Shadow.Frames.push_back(std::move(Frame));
         acquire(Ctx, jni::handleWord(Ctx.self()));
         const jvm::MethodDesc &Sig = Ctx.method().Sig;
@@ -207,7 +207,7 @@ LocalRefMachine::LocalRefMachine() {
         ShadowFrame Frame;
         Frame.Capacity = static_cast<uint32_t>(Ctx.call().arg(0).Word);
         Frame.Explicit = true;
-        shadowOf(Ctx.thread().id()).Frames.push_back(std::move(Frame));
+        shadowOf(Ctx.threadId()).Frames.push_back(std::move(Frame));
       }));
   Spec.Transitions.push_back(makeTransition(
       "Acquired", "Acquired",
@@ -216,7 +216,7 @@ LocalRefMachine::LocalRefMachine() {
       [this](TransitionContext &Ctx) {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
-        ShadowFrame &Top = shadowOf(Ctx.thread().id()).Frames.back();
+        ShadowFrame &Top = shadowOf(Ctx.threadId()).Frames.back();
         uint32_t Wanted = static_cast<uint32_t>(Ctx.call().arg(0).Word);
         if (Top.Capacity < Wanted)
           Top.Capacity = Wanted;
@@ -258,11 +258,11 @@ LocalRefMachine::LocalRefMachine() {
         uint64_t Word = Ctx.call().refWord(0);
         if (!Word)
           return;
-        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
         for (auto It = Shadow.Frames.rbegin(); It != Shadow.Frames.rend();
              ++It)
           if (It->Live.erase(Word)) {
-            countChanged(Ctx.thread().id());
+            countChanged(Ctx.threadId());
             return;
           }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
@@ -279,7 +279,7 @@ LocalRefMachine::LocalRefMachine() {
       {{FunctionSelector::one(jni::FnId::PopLocalFrame),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
         if (Shadow.Frames.empty() || !Shadow.Frames.back().Explicit) {
           Ctx.reporter().violation(
               Ctx, Spec,
@@ -287,7 +287,7 @@ LocalRefMachine::LocalRefMachine() {
           return;
         }
         Shadow.Frames.pop_back();
-        countChanged(Ctx.thread().id());
+        countChanged(Ctx.threadId());
       }));
 
   // Release at Return:C->Java: the VM frees the native frame; explicit
@@ -297,7 +297,7 @@ LocalRefMachine::LocalRefMachine() {
       {{FunctionSelector::nativeMethods("return from any native method"),
         Direction::ReturnCToJava}},
       [this](TransitionContext &Ctx) {
-        ThreadShadow &Shadow = shadowOf(Ctx.thread().id());
+        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
         if (Shadow.EntryDepths.empty())
           return;
         size_t Depth = Shadow.EntryDepths.back();
@@ -308,7 +308,7 @@ LocalRefMachine::LocalRefMachine() {
             ++ExplicitLeaks;
           Shadow.Frames.pop_back();
         }
-        countChanged(Ctx.thread().id());
+        countChanged(Ctx.threadId());
         if (ExplicitLeaks > 0)
           Ctx.reporter().violation(
               Ctx, Spec,

@@ -24,9 +24,10 @@ using spec::LanguageTransition;
 using spec::StateTransition;
 using spec::TransitionContext;
 
-/// Peek at a handle from the context thread's perspective.
+/// Peek at a handle from the context thread's perspective (snapshot-backed
+/// under replay).
 inline jvm::Vm::PeekResult peekRef(TransitionContext &Ctx, uint64_t Word) {
-  return Ctx.vm().peekHandle(Word, &Ctx.thread());
+  return Ctx.peek(Word);
 }
 
 /// Canonical identity (ObjectId raw) of a live handle, or 0.

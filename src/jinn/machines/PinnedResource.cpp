@@ -69,9 +69,9 @@ PinnedResourceMachine::PinnedResourceMachine() {
           BufIndex = Traits.firstParam(ArgClass::CString);
         const void *Buf =
             BufIndex >= 0 ? Ctx.call().arg(BufIndex).Ptr : nullptr;
-        const jni::BufferRecord *Record =
-            Buf ? Ctx.call().runtime().findBuffer(Buf) : nullptr;
-        if (!Record) {
+        uint64_t BufTarget = 0;
+        bool Found = Buf && Ctx.releasedBuffer(Buf, BufTarget);
+        if (!Found) {
           Ctx.reporter().violation(
               Ctx, Spec,
               "a pinned string/array buffer was released twice (double "
@@ -88,8 +88,8 @@ PinnedResourceMachine::PinnedResourceMachine() {
         if (ModeIndex >= 0 &&
             static_cast<jint>(Ctx.call().arg(ModeIndex).Word) == JNI_COMMIT)
           return;
-        auto Key = std::pair<uint64_t, int>(
-            Record->Target.raw(), static_cast<int>(Traits.Pin));
+        auto Key =
+            std::pair<uint64_t, int>(BufTarget, static_cast<int>(Traits.Pin));
         // Decide under the lock, report outside it (violation() may GC).
         bool DoubleFree = false;
         {

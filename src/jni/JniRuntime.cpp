@@ -37,23 +37,41 @@ thread_local std::vector<CurrentEntry> CurrentEntries;
 
 std::atomic<uint64_t> NextRuntimeEpoch{1};
 
+/// Entries of destroyed runtimes cannot be purged eagerly (a runtime never
+/// sees other threads' vectors), so the registry is kept as a small LRU:
+/// hits migrate toward the front and the coldest entry is evicted once the
+/// list is full. A long-lived thread that touches many short-lived
+/// runtimes then keeps O(1) lookups instead of scanning every runtime it
+/// ever served.
+constexpr size_t MaxCurrentEntries = 16;
+
+CurrentEntry *findCurrentEntry(const JniRuntime *Rt, uint64_t Epoch) {
+  for (size_t I = 0; I < CurrentEntries.size(); ++I) {
+    if (CurrentEntries[I].Rt == Rt && CurrentEntries[I].Epoch == Epoch) {
+      if (I > 0)
+        std::swap(CurrentEntries[I - 1], CurrentEntries[I]);
+      return &CurrentEntries[I > 0 ? I - 1 : 0];
+    }
+  }
+  return nullptr;
+}
+
 } // namespace
 
 jvm::JThread *JniRuntime::currentThread() const {
-  for (const CurrentEntry &Entry : CurrentEntries)
-    if (Entry.Rt == this && Entry.Epoch == RtEpoch)
-      return Entry.Thread;
+  if (const CurrentEntry *Entry = findCurrentEntry(this, RtEpoch))
+    return Entry->Thread;
   return nullptr;
 }
 
 void JniRuntime::setCurrentThread(jvm::JThread *Thread) {
-  for (CurrentEntry &Entry : CurrentEntries) {
-    if (Entry.Rt == this && Entry.Epoch == RtEpoch) {
-      Entry.Thread = Thread;
-      return;
-    }
+  if (CurrentEntry *Entry = findCurrentEntry(this, RtEpoch)) {
+    Entry->Thread = Thread;
+    return;
   }
-  CurrentEntries.push_back({this, RtEpoch, Thread});
+  if (CurrentEntries.size() >= MaxCurrentEntries)
+    CurrentEntries.pop_back();
+  CurrentEntries.insert(CurrentEntries.begin(), {this, RtEpoch, Thread});
 }
 
 //===----------------------------------------------------------------------===

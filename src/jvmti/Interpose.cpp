@@ -24,7 +24,10 @@ jvm::MethodInfo *CapturedCall::methodArg() const {
   if (Index < 0)
     return nullptr;
   const void *Ptr = Args[Index].Ptr;
-  if (!Ptr || !vm().isMethodId(Ptr))
+  // Under replay the registry may have changed since recording; trust the
+  // validity bit snapshotted at crossing time instead.
+  bool Valid = Snap ? Snap->MethodIdValid : (Ptr && vm().isMethodId(Ptr));
+  if (!Ptr || !Valid)
     return nullptr;
   return const_cast<jvm::MethodInfo *>(
       static_cast<const jvm::MethodInfo *>(Ptr));
@@ -40,7 +43,8 @@ jvm::FieldInfo *CapturedCall::fieldArg() const {
   if (Index < 0)
     return nullptr;
   const void *Ptr = Args[Index].Ptr;
-  if (!Ptr || !vm().isFieldId(Ptr))
+  bool Valid = Snap ? Snap->FieldIdValid : (Ptr && vm().isFieldId(Ptr));
+  if (!Ptr || !Valid)
     return nullptr;
   return const_cast<jvm::FieldInfo *>(
       static_cast<const jvm::FieldInfo *>(Ptr));
@@ -51,8 +55,22 @@ uint64_t CapturedCall::fieldArgWord() const {
   return Index < 0 ? 0 : Args[Index].Word;
 }
 
+bool CapturedCall::returnFieldIdValid() const {
+  if (Snap)
+    return Snap->RetFieldIdValid;
+  return RetPtr && vm().isFieldId(RetPtr);
+}
+
 bool CapturedCall::materializeCallArgs() {
   CallArgs.clear();
+  if (Snap) {
+    // The recorder materialized (and bounds-capped) the argument vector at
+    // crossing time; the raw jvalue array pointer in the trace is dead.
+    if (!Snap->HasCallArgs)
+      return false;
+    CallArgs.assign(Snap->CallArgs, Snap->CallArgs + Snap->NumCallArgs);
+    return true;
+  }
   int ArrIndex = Traits->firstParam(ArgClass::JvalueArray);
   if (ArrIndex < 0)
     return false;

@@ -43,18 +43,122 @@ struct CapturedArg {
   const void *Ptr = nullptr; ///< cstring / jvalue array / out-pointer
 };
 
+/// One recorded handle observation: what Vm::peekHandle returned for a
+/// handle word at the instant a boundary was crossed. Peeks are volatile
+/// (a later DeleteLocalRef changes the answer), so the recorder snapshots
+/// them per event and the replayer consults the snapshot instead of the
+/// post-hoc VM state.
+struct PeekFact {
+  uint64_t Word = 0;
+  uint64_t Target = 0; ///< ObjectId raw bits (0 when none)
+  uint8_t Status = 0;  ///< jvm::Vm::PeekResult::Status
+  uint8_t Kind = 0;    ///< jvm::RefKind
+  uint32_t OwnerThread = 0;
+};
+
+/// Every VM observation a synthesized machine can make at one boundary
+/// crossing, frozen at crossing time. POD with fixed capacity so trace
+/// events serialize as flat records.
+struct BoundarySnapshot {
+  static constexpr size_t MaxPeeks = 8;
+  static constexpr size_t MaxCallArgs = 8;
+
+  uint32_t ThreadId = 0;    ///< thread the JNIEnv belongs to
+  uint32_t CurThreadId = 0; ///< thread actually executing (0 when unknown)
+  uint64_t EnvWord = 0;     ///< JNIEnv pointer identity
+  uint8_t NumPeeks = 0;
+  uint8_t NumCallArgs = 0;
+  bool PeeksTruncated = false;
+  bool ExceptionPending = false;
+  bool MethodIdValid = false;    ///< jmethodID argument passed isMethodId
+  bool FieldIdValid = false;     ///< jfieldID argument passed isFieldId
+  bool RetFieldIdValid = false;  ///< returned jfieldID passed isFieldId
+  bool BufferFound = false;      ///< released buffer had a pin record
+  bool HasCallArgs = false;
+  uint64_t BufferTarget = 0; ///< pinned target of the released buffer
+  PeekFact Peeks[MaxPeeks];
+  jvalue CallArgs[MaxCallArgs];
+
+  void addPeek(uint64_t Word, uint64_t Target, uint8_t Status, uint8_t Kind,
+               uint32_t OwnerThread) {
+    if (!Word)
+      return;
+    for (size_t I = 0; I < NumPeeks; ++I)
+      if (Peeks[I].Word == Word)
+        return;
+    if (NumPeeks == MaxPeeks) {
+      PeeksTruncated = true;
+      return;
+    }
+    Peeks[NumPeeks++] = {Word, Target, Status, Kind, OwnerThread};
+  }
+  const PeekFact *findPeek(uint64_t Word) const {
+    for (size_t I = 0; I < NumPeeks; ++I)
+      if (Peeks[I].Word == Word)
+        return &Peeks[I];
+    return nullptr;
+  }
+};
+
+/// Everything a replayed trace needs from the surrounding process: the VM
+/// the trace was recorded against (entity pointers in the trace are only
+/// meaningful in-process) and the trace's own thread table.
+struct ReplayEnvironment {
+  jvm::Vm *Vm = nullptr;
+  uint32_t NativeFrameCapacity = 16;
+  std::function<std::string(uint32_t)> ThreadNameOf;
+
+  std::string threadName(uint32_t Id) const {
+    if (ThreadNameOf) {
+      std::string Name = ThreadNameOf(Id);
+      if (!Name.empty())
+        return Name;
+    }
+    return "thread-" + std::to_string(Id);
+  }
+};
+
+/// Observer of native-method entry/exit crossings (the Java->C direction).
+/// Installed on the synthesizer so the trace recorder sees every bound
+/// native method fire without depending on the synthesis layer.
+class NativeBoundaryObserver {
+public:
+  virtual ~NativeBoundaryObserver() = default;
+  virtual void onNativeEntry(jvm::MethodInfo &Method, JNIEnv *Env,
+                             jobject Self, const jvalue *Args) = 0;
+  virtual void onNativeExit(jvm::MethodInfo &Method, JNIEnv *Env,
+                            jobject Self, const jvalue *Args,
+                            const jvalue *Ret, bool EntryAborted) = 0;
+};
+
 /// A uniform view of one in-flight JNI call, passed to every hook.
+///
+/// Two modes share this type: live calls carry a JNIEnv and answer
+/// observation queries against the running VM; replayed calls carry a
+/// BoundarySnapshot recorded at crossing time plus a ReplayEnvironment,
+/// and answer the same queries from the snapshot.
 class CapturedCall {
 public:
   CapturedCall(jni::FnId Id, JNIEnv *Env)
       : Id(Id), Env(Env), Traits(&jni::fnTraits(Id)) {}
 
+  /// Replay-mode constructor: the call is reconstructed from a recorded
+  /// trace event; restoreArg/restoreReturn fill in the operands.
+  CapturedCall(jni::FnId Id, const BoundarySnapshot *Snap,
+               const ReplayEnvironment *Renv)
+      : Id(Id), Env(nullptr), Traits(&jni::fnTraits(Id)), Snap(Snap),
+        Renv(Renv) {}
+
   jni::FnId id() const { return Id; }
   JNIEnv *env() const { return Env; }
   jvm::JThread &thread() const { return *Env->thread; }
-  jvm::Vm &vm() const { return *Env->vm; }
+  jvm::Vm &vm() const { return Env ? *Env->vm : *Renv->Vm; }
   jni::JniRuntime &runtime() const { return *Env->runtime; }
   const jni::FnTraits &traits() const { return *Traits; }
+
+  bool isReplay() const { return Snap != nullptr; }
+  const BoundarySnapshot *snapshot() const { return Snap; }
+  const ReplayEnvironment *replayEnv() const { return Renv; }
 
   size_t numArgs() const { return NumArgs; }
   const CapturedArg &arg(size_t Index) const { return Args[Index]; }
@@ -85,6 +189,9 @@ public:
   bool returnIsRef() const { return RetIsRef; }
   uint64_t returnWord() const { return RetWord; }
   const void *returnPtr() const { return RetPtr; }
+  /// Whether the returned jfieldID is registered with the VM (snapshot-backed
+  /// under replay).
+  bool returnFieldIdValid() const;
 
   //===------------------------------------------------------------------===
   // Abort: a pre hook calls this to suppress the underlying call
@@ -144,12 +251,30 @@ public:
   }
   void setReturnVoid() { HasReturn = true; }
 
+  //===------------------------------------------------------------------===
+  // Replay plumbing (used by the trace replayer)
+  //===------------------------------------------------------------------===
+
+  void restoreArg(jni::ArgClass Cls, uint64_t Word, uint64_t PtrWord) {
+    push({Cls, Word,
+          reinterpret_cast<const void *>(static_cast<uintptr_t>(PtrWord))});
+  }
+  void restoreReturn(bool HasRet, bool IsRef, uint64_t Word,
+                     uint64_t PtrWord) {
+    HasReturn = HasRet;
+    RetIsRef = IsRef;
+    RetWord = Word;
+    RetPtr = reinterpret_cast<const void *>(static_cast<uintptr_t>(PtrWord));
+  }
+
 private:
   void push(CapturedArg Arg) { Args[NumArgs++] = Arg; }
 
   jni::FnId Id;
   JNIEnv *Env;
   const jni::FnTraits *Traits;
+  const BoundarySnapshot *Snap = nullptr;
+  const ReplayEnvironment *Renv = nullptr;
   std::array<CapturedArg, 5> Args;
   size_t NumArgs = 0;
   std::vector<jvalue> CallArgs;

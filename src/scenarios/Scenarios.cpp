@@ -78,10 +78,14 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
   case CheckerKind::InterposeOnly:
     jvmti::dispatcherFor(Rt); // wrapped table, no hooks
     break;
-  case CheckerKind::Jinn:
+  case CheckerKind::Jinn: {
+    agent::JinnOptions Options;
+    Options.Mode = Config.JinnMode;
+    Options.Recorder = Config.JinnRecorder;
     Jinn = static_cast<agent::JinnAgent *>(
-        &Host.load(std::make_unique<agent::JinnAgent>()));
+        &Host.load(std::make_unique<agent::JinnAgent>(std::move(Options))));
     break;
+  }
   case CheckerKind::Xcheck:
     Xcheck = static_cast<checkjni::XcheckAgent *>(
         &Host.load(std::make_unique<checkjni::XcheckAgent>(

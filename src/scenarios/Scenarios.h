@@ -77,6 +77,11 @@ struct WorldConfig {
   jvm::VmFlavor Flavor = jvm::VmFlavor::HotSpotLike;
   CheckerKind Checker = CheckerKind::None;
   bool EchoDiagnostics = false;
+  /// Boundary treatment of the Jinn agent (ignored for other checkers):
+  /// inline checking, record-only, or record+replay.
+  agent::TraceMode JinnMode = agent::TraceMode::InlineCheck;
+  /// Recorder tuning when JinnMode records.
+  trace::TraceRecorderOptions JinnRecorder;
 };
 
 /// A fresh VM + JNI runtime + (optionally) a checker agent, plus helpers

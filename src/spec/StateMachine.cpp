@@ -6,6 +6,7 @@
 
 #include "spec/StateMachine.h"
 
+#include "jvm/JThread.h"
 #include "support/Compiler.h"
 
 using namespace jinn;
@@ -71,6 +72,80 @@ bool FunctionSelector::matches(jni::FnId Id) const {
     return false;
   }
   JINN_UNREACHABLE("invalid FunctionSelector kind");
+}
+
+uint32_t TransitionContext::threadId() const {
+  if (Snap)
+    return Snap->ThreadId;
+  return Env->thread->id();
+}
+
+std::string TransitionContext::threadName() const {
+  if (Snap)
+    return Renv->threadName(Snap->ThreadId);
+  return Env->thread->name();
+}
+
+uint32_t TransitionContext::currentThreadId() const {
+  if (Snap)
+    return Snap->CurThreadId;
+  jvm::JThread *Cur = Env->runtime->currentThread();
+  return Cur ? Cur->id() : 0;
+}
+
+std::string TransitionContext::currentThreadName() const {
+  if (Snap)
+    return Renv->threadName(Snap->CurThreadId);
+  jvm::JThread *Cur = Env->runtime->currentThread();
+  return Cur ? Cur->name() : std::string();
+}
+
+uint64_t TransitionContext::envWord() const {
+  if (Snap)
+    return Snap->EnvWord;
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Env));
+}
+
+bool TransitionContext::exceptionPending() const {
+  if (Snap)
+    return Snap->ExceptionPending;
+  return !Env->thread->Pending.isNull();
+}
+
+jvm::Vm::PeekResult TransitionContext::peek(uint64_t Word) const {
+  if (Snap) {
+    if (const jvmti::PeekFact *F = Snap->findPeek(Word)) {
+      jvm::Vm::PeekResult R;
+      R.S = static_cast<jvm::Vm::PeekResult::Status>(F->Status);
+      R.Target = jvm::ObjectId::fromRaw(F->Target);
+      R.Kind = static_cast<jvm::RefKind>(F->Kind);
+      R.OwnerThread = F->OwnerThread;
+      return R;
+    }
+    // Not snapshotted (capacity overflow or an unusual query): fall back to
+    // the live VM, judged from the recorded thread's perspective.
+    return Renv->Vm->peekHandle(Word, Renv->Vm->threadById(Snap->ThreadId));
+  }
+  return Env->vm->peekHandle(Word, Env->thread);
+}
+
+bool TransitionContext::releasedBuffer(const void *Buf,
+                                       uint64_t &TargetRaw) const {
+  if (Snap) {
+    TargetRaw = Snap->BufferTarget;
+    return Snap->BufferFound;
+  }
+  const jni::BufferRecord *Rec = Env->runtime->findBuffer(Buf);
+  if (!Rec)
+    return false;
+  TargetRaw = Rec->Target.raw();
+  return true;
+}
+
+uint32_t TransitionContext::nativeFrameCapacity() const {
+  if (Snap)
+    return Renv->NativeFrameCapacity;
+  return Env->vm->options().NativeFrameCapacity;
 }
 
 void TransitionContext::abortCall() {

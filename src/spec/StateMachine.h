@@ -72,6 +72,16 @@ struct LanguageTransition {
 class StateMachineSpec;
 class Reporter;
 
+/// Thread-lifecycle information handed to machines at thread start. Live
+/// runs build it from the attaching JThread; replay builds it from the
+/// recorded ThreadAttach event.
+struct ThreadStartInfo {
+  uint32_t Id = 0;
+  std::string Name;
+  uint64_t EnvWord = 0; ///< JNIEnv identity at attach (0 when not created)
+  uint32_t FrameCapacity = 16;
+};
+
 /// Context handed to a transition action: either a JNI call site (wrapping
 /// the CapturedCall) or a native method boundary.
 class TransitionContext {
@@ -84,6 +94,8 @@ public:
     Ctx.TheSite = S;
     Ctx.Call = &Call;
     Ctx.Env = Call.env();
+    Ctx.Snap = Call.snapshot();
+    Ctx.Renv = Call.replayEnv();
     Ctx.Rep = &Rep;
     return Ctx;
   }
@@ -99,6 +111,25 @@ public:
     Ctx.Self = Self;
     Ctx.Args = Args;
     Ctx.Ret = Ret;
+    Ctx.Rep = &Rep;
+    return Ctx;
+  }
+
+  /// Native-method boundary reconstructed from a recorded trace event:
+  /// observations answer from \p Snap, the VM comes from \p Renv.
+  static TransitionContext
+  nativeReplaySite(Site S, jvm::MethodInfo &Method,
+                   const jvmti::BoundarySnapshot &Snap,
+                   const jvmti::ReplayEnvironment &Renv, jobject Self,
+                   const jvalue *Args, jvalue *Ret, Reporter &Rep) {
+    TransitionContext Ctx;
+    Ctx.TheSite = S;
+    Ctx.Method = &Method;
+    Ctx.Self = Self;
+    Ctx.Args = Args;
+    Ctx.Ret = Ret;
+    Ctx.Snap = &Snap;
+    Ctx.Renv = &Renv;
     Ctx.Rep = &Rep;
     return Ctx;
   }
@@ -119,7 +150,34 @@ public:
 
   JNIEnv *env() const { return Env; }
   jvm::JThread &thread() const { return *Env->thread; }
-  jvm::Vm &vm() const { return *Env->vm; }
+  jvm::Vm &vm() const { return Env ? *Env->vm : *Renv->Vm; }
+  bool isReplay() const { return Snap != nullptr; }
+
+  //===------------------------------------------------------------------===
+  // Observation accessors. Live sites answer from the running VM; replayed
+  // sites answer from the BoundarySnapshot frozen at crossing time. Machine
+  // actions must observe the VM only through these (plus vm() queries over
+  // stable entities: klasses, method/field infos, the heap).
+  //===------------------------------------------------------------------===
+
+  /// Id/name of the thread the JNIEnv at this site belongs to.
+  uint32_t threadId() const;
+  std::string threadName() const;
+  /// Id/name of the thread actually executing the call (0/"" unknown); only
+  /// differs from threadId() when code uses another thread's JNIEnv.
+  uint32_t currentThreadId() const;
+  std::string currentThreadName() const;
+  /// Identity of the JNIEnv pointer used at this site.
+  uint64_t envWord() const;
+  /// Whether an exception is pending on the site's thread.
+  bool exceptionPending() const;
+  /// Handle inspection as of crossing time (Vm::peekHandle semantics).
+  jvm::Vm::PeekResult peek(uint64_t Word) const;
+  /// For pin-release sites: whether \p Buf had a pin record, and the pinned
+  /// target's raw ObjectId in \p TargetRaw.
+  bool releasedBuffer(const void *Buf, uint64_t &TargetRaw) const;
+  /// The VM's ensured local-reference frame capacity.
+  uint32_t nativeFrameCapacity() const;
 
   Reporter &reporter() const { return *Rep; }
 
@@ -139,6 +197,8 @@ private:
   jobject Self = nullptr;
   const jvalue *Args = nullptr;
   jvalue *Ret = nullptr;
+  const jvmti::BoundarySnapshot *Snap = nullptr;
+  const jvmti::ReplayEnvironment *Renv = nullptr;
   Reporter *Rep = nullptr;
   bool NativeAborted = false;
 };
@@ -200,7 +260,7 @@ public:
     (void)Rep;
     (void)Vm;
   }
-  virtual void onThreadStart(jvm::JThread &Thread) { (void)Thread; }
+  virtual void onThreadStart(const ThreadStartInfo &Info) { (void)Info; }
 
 protected:
   StateMachineSpec Spec;

@@ -32,13 +32,24 @@ const char *jinn::incidentKindName(IncidentKind Kind) {
   JINN_UNREACHABLE("invalid IncidentKind");
 }
 
+DiagnosticSink::Output::~Output() = default;
+
+void DiagnosticSink::StderrOutput::write(const Incident &Incident) {
+  std::fprintf(stderr, "[%s] %s: %s\n", Incident.Channel.c_str(),
+               incidentKindName(Incident.Kind), Incident.Message.c_str());
+}
+
 void DiagnosticSink::report(IncidentKind Kind, std::string Channel,
                             std::string Message) {
-  if (Echo)
-    std::fprintf(stderr, "[%s] %s: %s\n", Channel.c_str(),
-                 incidentKindName(Kind), Message.c_str());
+  Incident Event{Kind, std::move(Channel), std::move(Message)};
+  if (Plugged) {
+    Plugged->write(Event);
+  } else if (Echo) {
+    static StderrOutput Stderr;
+    Stderr.write(Event);
+  }
   std::lock_guard<std::mutex> Lock(Mu);
-  Incidents.push_back({Kind, std::move(Channel), std::move(Message)});
+  Incidents.push_back(std::move(Event));
 }
 
 size_t DiagnosticSink::count(IncidentKind Kind) const {

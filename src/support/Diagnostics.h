@@ -55,8 +55,31 @@ struct Incident {
 /// their workers before classifying).
 class DiagnosticSink {
 public:
-  /// Records one incident; echoes to stderr when echoing is enabled.
+  /// Where incidents are delivered as they arrive. The built-in default
+  /// prints to stderr (gated on setEcho); harnesses and tools plug in
+  /// their own to capture or reroute diagnostics in-process.
+  class Output {
+  public:
+    virtual ~Output();
+    virtual void write(const Incident &Incident) = 0;
+  };
+
+  /// The default Output: "[channel] kind: message" on stderr.
+  class StderrOutput : public Output {
+  public:
+    void write(const Incident &Incident) override;
+  };
+
+  /// Records one incident and delivers it to the output: a plugged-in
+  /// Output sees every incident; the default stderr output only fires
+  /// when echoing is enabled.
   void report(IncidentKind Kind, std::string Channel, std::string Message);
+
+  /// Routes incidents to \p Out (nullptr restores the stderr default).
+  /// \p Out must outlive the sink or be reset before it dies; delivery
+  /// happens outside the sink's lock, so Out must be thread-safe if
+  /// reporting is concurrent.
+  void setOutput(Output *Out) { Plugged = Out; }
 
   /// All incidents in arrival order.
   const std::vector<Incident> &incidents() const { return Incidents; }
@@ -82,6 +105,7 @@ public:
 private:
   mutable std::mutex Mu;
   std::vector<Incident> Incidents;
+  Output *Plugged = nullptr;
   bool Echo = false;
 };
 

@@ -41,12 +41,15 @@ SynthesisStats Synthesizer::installInto(
               continue;
             spec::TransitionAction Action = Transition.Action;
             spec::Reporter *Reporter = &Rep;
-            auto Hook = [Action, Reporter,
+            const spec::StateMachineSpec *Owner = &Machine->spec();
+            auto Hook = [this, Action, Reporter, Owner,
                          IsPre](jvmti::CapturedCall &Call) {
               TransitionContext Ctx = TransitionContext::jniSite(
                   IsPre ? TransitionContext::Site::JniPre
                         : TransitionContext::Site::JniPost,
                   Call, *Reporter);
+              if (OnActionRun)
+                OnActionRun(*Owner);
               Action(Ctx);
             };
             if (IsPre) {
@@ -60,11 +63,11 @@ SynthesisStats Synthesizer::installInto(
           break;
         }
         case Direction::CallJavaToC:
-          EntryActions.push_back(Transition.Action);
+          EntryActions.push_back({&Machine->spec(), Transition.Action});
           ++Stats.NativeEntryActions;
           break;
         case Direction::ReturnCToJava:
-          ExitActions.push_back(Transition.Action);
+          ExitActions.push_back({&Machine->spec(), Transition.Action});
           ++Stats.NativeExitActions;
           break;
         }
@@ -77,18 +80,22 @@ SynthesisStats Synthesizer::installInto(
 std::function<void(jvm::MethodInfo &, jni::JniNativeStdFn &)>
 Synthesizer::makeNativeBindHandler() {
   return [this](jvm::MethodInfo &Method, jni::JniNativeStdFn &Bound) {
-    if (EntryActions.empty() && ExitActions.empty())
+    if (EntryActions.empty() && ExitActions.empty() && !BoundaryObserver)
       return;
     jni::JniNativeStdFn Original = std::move(Bound);
     // The synthesized native-method wrapper (paper Figure 3): entry
     // instrumentation, the original native code, exit instrumentation.
     Bound = [this, &Method, Original = std::move(Original)](
                 JNIEnv *Env, jobject Self, const jvalue *Args) -> jvalue {
+      if (BoundaryObserver)
+        BoundaryObserver->onNativeEntry(Method, Env, Self, Args);
       TransitionContext Entry = TransitionContext::nativeSite(
           TransitionContext::Site::NativeEntry, Method, Env, Self, Args,
           nullptr, Rep);
-      for (const spec::TransitionAction &Action : EntryActions) {
-        Action(Entry);
+      for (const MachineAction &Action : EntryActions) {
+        if (OnActionRun)
+          OnActionRun(*Action.first);
+        Action.second(Entry);
         if (Entry.aborted())
           break;
       }
@@ -96,11 +103,17 @@ Synthesizer::makeNativeBindHandler() {
       Result.j = 0;
       if (!Entry.aborted())
         Result = Original(Env, Self, Args);
+      if (BoundaryObserver)
+        BoundaryObserver->onNativeExit(Method, Env, Self, Args, &Result,
+                                       Entry.aborted());
       TransitionContext Exit = TransitionContext::nativeSite(
           TransitionContext::Site::NativeExit, Method, Env, Self, Args,
           &Result, Rep);
-      for (const spec::TransitionAction &Action : ExitActions)
-        Action(Exit);
+      for (const MachineAction &Action : ExitActions) {
+        if (OnActionRun)
+          OnActionRun(*Action.first);
+        Action.second(Exit);
+      }
       return Result;
     };
   };

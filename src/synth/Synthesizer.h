@@ -52,9 +52,30 @@ public:
   SynthesisStats installInto(jvmti::InterposeDispatcher &Dispatcher);
 
   /// Handler for NativeMethodBind events: wraps each bound native method
-  /// with the synthesized entry/exit instrumentation.
+  /// with the synthesized entry/exit instrumentation. When a boundary
+  /// observer is set, methods are wrapped even if no machine instruments
+  /// the native boundary, so the observer sees every crossing.
   std::function<void(jvm::MethodInfo &, jni::JniNativeStdFn &)>
   makeNativeBindHandler();
+
+  /// Observer of native entry/exit crossings (the trace recorder). Fired
+  /// before entry actions and before exit actions, so recorded state is
+  /// what the machines were about to observe.
+  void setBoundaryObserver(jvmti::NativeBoundaryObserver *Observer) {
+    BoundaryObserver = Observer;
+  }
+
+  /// Called (when set) each time a synthesized action runs, with the spec
+  /// of the machine it belongs to. Used for per-machine transition counts.
+  std::function<void(const spec::StateMachineSpec &)> OnActionRun;
+
+  /// One synthesized native-boundary action with its owning machine.
+  using MachineAction =
+      std::pair<const spec::StateMachineSpec *, spec::TransitionAction>;
+  const std::vector<MachineAction> &entryActions() const {
+    return EntryActions;
+  }
+  const std::vector<MachineAction> &exitActions() const { return ExitActions; }
 
   const std::vector<spec::MachineBase *> &machines() const {
     return Machines;
@@ -64,8 +85,9 @@ public:
 private:
   std::vector<spec::MachineBase *> Machines;
   spec::Reporter &Rep;
-  std::vector<spec::TransitionAction> EntryActions;
-  std::vector<spec::TransitionAction> ExitActions;
+  jvmti::NativeBoundaryObserver *BoundaryObserver = nullptr;
+  std::vector<MachineAction> EntryActions;
+  std::vector<MachineAction> ExitActions;
 };
 
 } // namespace jinn::synth

@@ -1,0 +1,260 @@
+//===- trace/Export.cpp - Chrome-trace and counters exporters ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Export.h"
+
+#include "jni/JniFunctionId.h"
+
+#include <cinttypes>
+#include <memory>
+#include <vector>
+
+using namespace jinn;
+using namespace jinn::trace;
+
+namespace {
+
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+struct FileCloser {
+  void operator()(std::FILE *File) const {
+    if (File)
+      std::fclose(File);
+  }
+};
+
+/// One open duration on a thread's crossing stack.
+struct OpenSpan {
+  EventKind Kind;
+  uint16_t Fn;
+  uint64_t MethodWord;
+  uint64_t TimeNs;
+};
+
+std::string spanName(const OpenSpan &Span) {
+  if (Span.Kind == EventKind::JniPre)
+    return jni::fnName(static_cast<jni::FnId>(Span.Fn));
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "native@0x%" PRIx64, Span.MethodWord);
+  return Buf;
+}
+
+class ChromeWriter {
+public:
+  explicit ChromeWriter(std::FILE *File) : File(File) {}
+
+  void begin() { std::fprintf(File, "{\"traceEvents\":[\n"); }
+  void end() { std::fprintf(File, "\n]}\n"); }
+
+  void emitDuration(uint32_t Tid, const std::string &Name, uint64_t StartNs,
+                    uint64_t EndNs) {
+    emitPrefix();
+    std::fprintf(File,
+                 "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+                 "\"ts\":%.3f,\"dur\":%.3f}",
+                 Tid, jsonEscape(Name).c_str(), StartNs / 1000.0,
+                 (EndNs - StartNs) / 1000.0);
+  }
+
+  void emitInstant(uint32_t Tid, const std::string &Name, uint64_t TimeNs,
+                   char Scope) {
+    emitPrefix();
+    std::fprintf(File,
+                 "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"name\":\"%s\","
+                 "\"ts\":%.3f,\"s\":\"%c\"}",
+                 Tid, jsonEscape(Name).c_str(), TimeNs / 1000.0, Scope);
+  }
+
+  void emitThreadName(uint32_t Tid, const std::string &Name) {
+    emitPrefix();
+    std::fprintf(File,
+                 "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 Tid, jsonEscape(Name).c_str());
+  }
+
+private:
+  void emitPrefix() {
+    if (!First)
+      std::fprintf(File, ",\n");
+    First = false;
+  }
+
+  std::FILE *File;
+  bool First = true;
+};
+
+} // namespace
+
+bool jinn::trace::writeChromeTrace(const Trace &T, const std::string &Path,
+                                   std::string *Err) {
+  std::unique_ptr<std::FILE, FileCloser> File(
+      std::fopen(Path.c_str(), "w"));
+  if (!File) {
+    if (Err)
+      *Err = "cannot open " + Path + " for writing";
+    return false;
+  }
+
+  ChromeWriter Writer(File.get());
+  Writer.begin();
+  for (const auto &[Id, Name] : T.ThreadNames)
+    Writer.emitThreadName(Id, Name);
+
+  std::unordered_map<uint32_t, std::vector<OpenSpan>> Stacks;
+  uint64_t LastTime = 0;
+  for (const TraceEvent &Ev : T.Events) {
+    LastTime = std::max(LastTime, Ev.TimeNs);
+    std::vector<OpenSpan> &Stack = Stacks[Ev.ThreadId];
+
+    // A JniPre left on top when anything but its matching JniPost arrives
+    // was suppressed by a checker (the wrapper skipped the call and the
+    // post hooks); render it as a zero-length span.
+    bool Matches = Ev.Kind == EventKind::JniPost && !Stack.empty() &&
+                   Stack.back().Kind == EventKind::JniPre &&
+                   Stack.back().Fn == Ev.Fn;
+    if (!Stack.empty() && Stack.back().Kind == EventKind::JniPre &&
+        !Matches) {
+      OpenSpan Open = Stack.back();
+      Stack.pop_back();
+      Writer.emitDuration(Ev.ThreadId, spanName(Open) + " (suppressed)",
+                          Open.TimeNs, Open.TimeNs);
+    }
+
+    switch (Ev.Kind) {
+    case EventKind::JniPre:
+      Stack.push_back({Ev.Kind, Ev.Fn, 0, Ev.TimeNs});
+      break;
+    case EventKind::JniPost:
+      if (Matches) {
+        OpenSpan Open = Stack.back();
+        Stack.pop_back();
+        Writer.emitDuration(Ev.ThreadId, spanName(Open), Open.TimeNs,
+                            Ev.TimeNs);
+      }
+      break;
+    case EventKind::NativeEntry:
+      Stack.push_back({Ev.Kind, 0, Ev.MethodWord, Ev.TimeNs});
+      break;
+    case EventKind::NativeExit:
+      if (!Stack.empty() && Stack.back().Kind == EventKind::NativeEntry &&
+          Stack.back().MethodWord == Ev.MethodWord) {
+        OpenSpan Open = Stack.back();
+        Stack.pop_back();
+        Writer.emitDuration(Ev.ThreadId, spanName(Open), Open.TimeNs,
+                            Ev.TimeNs);
+      }
+      break;
+    case EventKind::GcEpoch:
+      Writer.emitInstant(Ev.ThreadId, "GC epoch", Ev.TimeNs, 'g');
+      break;
+    case EventKind::VmDeath:
+      Writer.emitInstant(Ev.ThreadId, "VM death", Ev.TimeNs, 'g');
+      break;
+    case EventKind::ThreadAttach:
+      Writer.emitInstant(Ev.ThreadId, "thread attach", Ev.TimeNs, 't');
+      break;
+    case EventKind::ThreadDetach:
+      Writer.emitInstant(Ev.ThreadId, "thread detach", Ev.TimeNs, 't');
+      break;
+    case EventKind::NativeBind:
+      break; // bookkeeping, not a timeline item
+    }
+  }
+
+  // Flush spans the trace never closed (cut-off recordings).
+  for (auto &[Tid, Stack] : Stacks)
+    while (!Stack.empty()) {
+      OpenSpan Open = Stack.back();
+      Stack.pop_back();
+      Writer.emitDuration(Tid, spanName(Open) + " (unclosed)", Open.TimeNs,
+                          LastTime);
+    }
+
+  Writer.end();
+  return true;
+}
+
+TraceCounters jinn::trace::computeCounters(const Trace &T) {
+  TraceCounters Counters;
+  Counters.TotalEvents = T.Events.size();
+  Counters.DroppedEvents = T.Head.DroppedEvents;
+  for (const TraceEvent &Ev : T.Events) {
+    ++Counters.KindCounts[static_cast<size_t>(Ev.Kind)];
+    if (Ev.Kind == EventKind::JniPre || Ev.Kind == EventKind::JniPost)
+      ++Counters.PerJniFunction[jni::fnName(static_cast<jni::FnId>(Ev.Fn))];
+    if (Ev.Kind == EventKind::NativeEntry)
+      ++Counters.NativeEntries;
+    ++Counters.PerThread[T.threadName(Ev.ThreadId)];
+  }
+  uint64_t Pres = Counters.KindCounts[static_cast<size_t>(EventKind::JniPre)];
+  uint64_t Posts =
+      Counters.KindCounts[static_cast<size_t>(EventKind::JniPost)];
+  Counters.SuppressedJniCalls = Pres > Posts ? Pres - Posts : 0;
+  return Counters;
+}
+
+void jinn::trace::printCountersReport(
+    std::FILE *Out, const TraceCounters &Counters,
+    const std::map<std::string, uint64_t> *MachineTransitions,
+    const std::map<std::string, uint64_t> *ViolationsPerMachine) {
+  std::fprintf(Out, "trace counters\n");
+  std::fprintf(Out, "  total events          %" PRIu64 "\n",
+               Counters.TotalEvents);
+  std::fprintf(Out, "  dropped (bounded)     %" PRIu64 "\n",
+               Counters.DroppedEvents);
+  std::fprintf(Out, "  suppressed JNI calls  %" PRIu64 "\n",
+               Counters.SuppressedJniCalls);
+  std::fprintf(Out, "  native entries        %" PRIu64 "\n",
+               Counters.NativeEntries);
+  std::fprintf(Out, "\n  events by kind\n");
+  for (size_t I = 0; I < NumEventKinds; ++I)
+    if (Counters.KindCounts[I])
+      std::fprintf(Out, "    %-16s %" PRIu64 "\n",
+                   eventKindName(static_cast<EventKind>(I)),
+                   Counters.KindCounts[I]);
+  std::fprintf(Out, "\n  events by thread\n");
+  for (const auto &[Name, Count] : Counters.PerThread)
+    std::fprintf(Out, "    %-24s %" PRIu64 "\n", Name.c_str(), Count);
+  std::fprintf(Out, "\n  events by JNI function\n");
+  for (const auto &[Name, Count] : Counters.PerJniFunction)
+    std::fprintf(Out, "    %-32s %" PRIu64 "\n", Name.c_str(), Count);
+  if (MachineTransitions) {
+    std::fprintf(Out, "\n  transitions by machine\n");
+    for (const auto &[Name, Count] : *MachineTransitions)
+      std::fprintf(Out, "    %-32s %" PRIu64 "\n", Name.c_str(), Count);
+  }
+  if (ViolationsPerMachine) {
+    std::fprintf(Out, "\n  violations by machine\n");
+    for (const auto &[Name, Count] : *ViolationsPerMachine)
+      std::fprintf(Out, "    %-32s %" PRIu64 "\n", Name.c_str(), Count);
+  }
+}

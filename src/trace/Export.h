@@ -1,0 +1,61 @@
+//===- trace/Export.h - Chrome-trace and counters exporters --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability exporters over recorded traces:
+///
+///  - writeChromeTrace(): chrome://tracing / Perfetto JSON. JNI calls and
+///    native-method activations become per-thread duration events (nested
+///    by the natural stacking of boundary crossings), GC epochs become
+///    instants, thread names become metadata.
+///  - computeCounters() / printCountersReport(): aggregated statistics —
+///    events per kind, events per JNI function, native-method entries —
+///    optionally joined with per-machine transition and violation counts
+///    from a replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_TRACE_EXPORT_H
+#define JINN_TRACE_EXPORT_H
+
+#include "trace/TraceEvent.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace jinn::trace {
+
+/// Writes \p T as a Chrome trace-event JSON file loadable in
+/// chrome://tracing or https://ui.perfetto.dev. Returns false + \p Err on
+/// I/O failure.
+bool writeChromeTrace(const Trace &T, const std::string &Path,
+                      std::string *Err = nullptr);
+
+/// Aggregated statistics of one trace.
+struct TraceCounters {
+  uint64_t TotalEvents = 0;
+  uint64_t KindCounts[NumEventKinds] = {};
+  std::map<std::string, uint64_t> PerJniFunction; ///< pre+post per function
+  std::map<std::string, uint64_t> PerThread;      ///< events per thread name
+  uint64_t NativeEntries = 0;
+  uint64_t SuppressedJniCalls = 0; ///< JniPre with no matching JniPost
+  uint64_t DroppedEvents = 0;
+};
+
+TraceCounters computeCounters(const Trace &T);
+
+/// Prints \p Counters as a text report. \p MachineTransitions and
+/// \p ViolationsPerMachine (both optional) come from a replay and add the
+/// per-machine sections.
+void printCountersReport(
+    std::FILE *Out, const TraceCounters &Counters,
+    const std::map<std::string, uint64_t> *MachineTransitions = nullptr,
+    const std::map<std::string, uint64_t> *ViolationsPerMachine = nullptr);
+
+} // namespace jinn::trace
+
+#endif // JINN_TRACE_EXPORT_H

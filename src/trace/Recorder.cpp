@@ -1,0 +1,420 @@
+//===- trace/Recorder.cpp - Per-thread lock-free boundary recorder -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Recorder.h"
+
+#include "jni/JniRuntime.h"
+#include "jvm/JThread.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#define JINN_TRACE_HAVE_RDTSC 1
+#endif
+
+using namespace jinn;
+using namespace jinn::trace;
+
+const char *jinn::trace::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::JniPre:
+    return "jni-pre";
+  case EventKind::JniPost:
+    return "jni-post";
+  case EventKind::NativeEntry:
+    return "native-entry";
+  case EventKind::NativeExit:
+    return "native-exit";
+  case EventKind::NativeBind:
+    return "native-bind";
+  case EventKind::ThreadAttach:
+    return "thread-attach";
+  case EventKind::ThreadDetach:
+    return "thread-detach";
+  case EventKind::GcEpoch:
+    return "gc-epoch";
+  case EventKind::VmDeath:
+    return "vm-death";
+  }
+  return "unknown";
+}
+
+std::string Trace::threadName(uint32_t Id) const {
+  auto It = ThreadNames.find(Id);
+  if (It != ThreadNames.end() && !It->second.empty())
+    return It->second;
+  return "thread-" + std::to_string(Id);
+}
+
+void Trace::rebuildThreadNames() {
+  ThreadNames.clear();
+  for (const TraceEvent &Ev : Events)
+    if (Ev.Kind == EventKind::ThreadAttach)
+      ThreadNames[Ev.ThreadId] = Ev.Name;
+}
+
+//===----------------------------------------------------------------------===
+// Per-thread buffers
+//===----------------------------------------------------------------------===
+
+/// Owned and written by exactly one OS thread; collect() reads it only
+/// after that thread quiesced (the join provides the happens-before edge).
+struct TraceRecorder::ThreadBuffer {
+  std::vector<TraceEvent> Ring;
+  size_t Count = 0; ///< valid events in Ring
+  uint64_t NextSeq = 0;
+  uint64_t Dropped = 0;
+  std::vector<std::vector<TraceEvent>> Chunks; ///< sealed full rings
+};
+
+namespace {
+
+/// Thread-local pointer to this thread's buffer in the recorder it last
+/// recorded into, tagged with the recorder's instance id so a stale cache
+/// from a destroyed recorder is never followed.
+struct BufferCache {
+  uint64_t RecorderId = 0;
+  void *Buffer = nullptr;
+};
+thread_local BufferCache LocalCache;
+
+std::atomic<uint64_t> NextRecorderId{1};
+
+} // namespace
+
+namespace {
+
+/// Raw event timestamp. On x86 this is one rdtsc — a fraction of a
+/// clock_gettime, which matters at one stamp per boundary crossing
+/// direction. The tick unit is converted to nanoseconds at collect time;
+/// elsewhere it falls back to the monotonic clock (ticks == ns).
+inline uint64_t readTicks() {
+#ifdef JINN_TRACE_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(jvm::Vm &Vm, TraceRecorderOptions Opts)
+    : Vm(Vm), Opts(Opts),
+      InstanceId(NextRecorderId.fetch_add(1, std::memory_order_relaxed)),
+      Start(std::chrono::steady_clock::now()), StartTicks(readTicks()) {
+  if (this->Opts.RingCapacity == 0)
+    this->Opts.RingCapacity = 1;
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer &TraceRecorder::localBuffer() {
+  if (LocalCache.RecorderId == InstanceId)
+    return *static_cast<ThreadBuffer *>(LocalCache.Buffer);
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  Buffers.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer &Buffer = *Buffers.back();
+  Buffer.Ring.resize(Opts.RingCapacity);
+  LocalCache = {InstanceId, &Buffer};
+  return Buffer;
+}
+
+TraceEvent &TraceRecorder::beginEvent(ThreadBuffer &Buffer, EventKind Kind) {
+  if (Buffer.Count == Buffer.Ring.size()) {
+    // Seal the full ring into a chunk and start a fresh one. When bounded
+    // recording drops the oldest chunk, its storage is recycled as the new
+    // ring — steady state then records with no allocation at all, which is
+    // what keeps the record-only mode cheap (a 2+ MB allocate/zero/free
+    // per seal costs page faults and, across threads, the mmap lock).
+    std::vector<TraceEvent> Fresh;
+    if (Opts.MaxChunksPerThread &&
+        Buffer.Chunks.size() >= Opts.MaxChunksPerThread) {
+      Buffer.Dropped += Buffer.Chunks.front().size();
+      Fresh = std::move(Buffer.Chunks.front());
+      Buffer.Chunks.erase(Buffer.Chunks.begin());
+    } else {
+      Fresh.resize(Opts.RingCapacity);
+    }
+    Buffer.Chunks.push_back(std::move(Buffer.Ring));
+    Buffer.Ring = std::move(Fresh);
+    Buffer.Count = 0;
+  }
+  TraceEvent &Ev = Buffer.Ring[Buffer.Count++];
+  // Clear only the scalar prefixes (TraceEvent's layout contract): the
+  // payload arrays are governed by counts in the prefix, and not touching
+  // them keeps the per-event cost at ~140 bytes of stores instead of 600.
+  std::memset(static_cast<void *>(&Ev), 0, offsetof(TraceEvent, Args));
+  std::memset(static_cast<void *>(&Ev.Snap), 0,
+              offsetof(jvmti::BoundarySnapshot, Peeks));
+  Ev.Kind = Kind;
+  Ev.Fn = 0xFFFF;
+  // The merge key is (TimeNs, ThreadId, Seq); collect() assigns the global
+  // epoch from it. No cross-thread coordination here — a shared atomic
+  // counter would put one cache line between every recording thread.
+  Ev.Seq = Buffer.NextSeq++;
+  Ev.TimeNs = readTicks() - StartTicks; // raw ticks until collect()
+  return Ev;
+}
+
+//===----------------------------------------------------------------------===
+// Snapshot capture
+//===----------------------------------------------------------------------===
+
+void TraceRecorder::capturePeek(jvmti::BoundarySnapshot &Snap, uint64_t Word,
+                                const jvm::JThread *Perspective) {
+  if (!Word || Snap.findPeek(Word))
+    return;
+  jvm::Vm::PeekResult Peek = Vm.peekHandle(Word, Perspective);
+  Snap.addPeek(Word, Peek.Target.raw(), static_cast<uint8_t>(Peek.S),
+               static_cast<uint8_t>(Peek.Kind), Peek.OwnerThread);
+}
+
+void TraceRecorder::captureCommon(jvmti::BoundarySnapshot &Snap,
+                                  JNIEnv *Env) {
+  jvm::JThread *Thread = Env->thread;
+  Snap.ThreadId = Thread->id();
+  jvm::JThread *Current = Env->runtime->currentThread();
+  Snap.CurThreadId = Current ? Current->id() : 0;
+  Snap.EnvWord = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Env));
+  Snap.ExceptionPending = !Thread->Pending.isNull();
+}
+
+void TraceRecorder::captureJniSnapshot(jvmti::BoundarySnapshot &Snap,
+                                       jvmti::CapturedCall &Call,
+                                       bool IsPost) {
+  JNIEnv *Env = Call.env();
+  jvm::JThread *Thread = Env->thread;
+  captureCommon(Snap, Env);
+
+  const jni::FnTraits &Traits = Call.traits();
+
+  // Every nonzero reference argument, as the machines would peek it.
+  for (size_t I = 0; I < Call.numArgs(); ++I)
+    if (uint64_t Word = Call.refWord(I))
+      capturePeek(Snap, Word, Thread);
+  if (IsPost && Call.returnIsRef() && Call.returnWord())
+    capturePeek(Snap, Call.returnWord(), Thread);
+
+  // Entity-ID registry checks.
+  int MethodIdx = Traits.firstParam(jni::ArgClass::MethodId);
+  if (MethodIdx >= 0) {
+    const void *Ptr = Call.arg(MethodIdx).Ptr;
+    Snap.MethodIdValid = Ptr && Vm.isMethodId(Ptr);
+  }
+  int FieldIdx = Traits.firstParam(jni::ArgClass::FieldId);
+  if (FieldIdx >= 0) {
+    const void *Ptr = Call.arg(FieldIdx).Ptr;
+    Snap.FieldIdValid = Ptr && Vm.isFieldId(Ptr);
+  }
+  if (IsPost && Traits.ProducesFieldId)
+    Snap.RetFieldIdValid =
+        Call.returnPtr() && Vm.isFieldId(Call.returnPtr());
+
+  // Pin-release buffer lookup (the released pointer is matched against the
+  // runtime's outstanding pin records at call time).
+  if (!IsPost && Traits.Resource == jni::ResourceRole::PinRelease) {
+    int BufIdx = Traits.firstParam(jni::ArgClass::OutPtr);
+    if (BufIdx < 0)
+      BufIdx = Traits.firstParam(jni::ArgClass::CString);
+    const void *Buf = BufIdx >= 0 ? Call.arg(BufIdx).Ptr : nullptr;
+    if (const jni::BufferRecord *Record =
+            Buf ? Env->runtime->findBuffer(Buf) : nullptr) {
+      Snap.BufferFound = true;
+      Snap.BufferTarget = Record->Target.raw();
+    }
+  }
+
+  // Decoded call-argument vectors (CallXMethodA family) plus peeks of the
+  // reference formals the entity-typing machine conforms.
+  if (!IsPost && Traits.hasParam(jni::ArgClass::JvalueArray) &&
+      Call.materializeCallArgs()) {
+    const std::vector<jvalue> &CallArgs = Call.callArgs();
+    if (CallArgs.size() <= jvmti::BoundarySnapshot::MaxCallArgs) {
+      Snap.HasCallArgs = true;
+      Snap.NumCallArgs = static_cast<uint8_t>(CallArgs.size());
+      std::copy(CallArgs.begin(), CallArgs.end(), Snap.CallArgs);
+      if (jvm::MethodInfo *Method = Call.methodArg())
+        for (size_t I = 0;
+             I < CallArgs.size() && I < Method->Sig.Params.size(); ++I)
+          if (Method->Sig.Params[I].isReference())
+            capturePeek(Snap, jni::handleWord(CallArgs[I].l), Thread);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Event recording
+//===----------------------------------------------------------------------===
+
+void TraceRecorder::recordJni(jvmti::CapturedCall &Call, bool IsPost) {
+  ThreadBuffer &Buffer = localBuffer();
+  TraceEvent &Ev =
+      beginEvent(Buffer, IsPost ? EventKind::JniPost : EventKind::JniPre);
+  Ev.Fn = static_cast<uint16_t>(Call.id());
+  Ev.ThreadId = Call.env()->thread->id();
+  Ev.NumArgs = static_cast<uint8_t>(Call.numArgs());
+  for (size_t I = 0; I < Call.numArgs(); ++I) {
+    const jvmti::CapturedArg &Arg = Call.arg(I);
+    Ev.Args[I] = {static_cast<uint8_t>(Arg.Cls), Arg.Word,
+                  static_cast<uint64_t>(
+                      reinterpret_cast<uintptr_t>(Arg.Ptr))};
+  }
+  if (IsPost) {
+    Ev.HasReturn = Call.hasReturn();
+    Ev.RetIsRef = Call.returnIsRef();
+    Ev.RetWord = Call.returnWord();
+    Ev.RetPtrWord = static_cast<uint64_t>(
+        reinterpret_cast<uintptr_t>(Call.returnPtr()));
+  }
+  captureJniSnapshot(Ev.Snap, Call, IsPost);
+}
+
+void TraceRecorder::installJniHooks(jvmti::InterposeDispatcher &Dispatcher) {
+  Dispatcher.addPreAll(
+      [this](jvmti::CapturedCall &Call) { recordJni(Call, false); });
+  Dispatcher.addPostAll(
+      [this](jvmti::CapturedCall &Call) { recordJni(Call, true); });
+}
+
+void TraceRecorder::recordThreadAttach(jvm::JThread &Thread) {
+  TraceEvent &Ev = beginEvent(localBuffer(), EventKind::ThreadAttach);
+  Ev.ThreadId = Thread.id();
+  std::snprintf(Ev.Name, sizeof(Ev.Name), "%s", Thread.name().c_str());
+  Ev.Snap.ThreadId = Thread.id();
+  Ev.Snap.EnvWord =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Thread.EnvPtr));
+}
+
+void TraceRecorder::recordThreadDetach(jvm::JThread &Thread) {
+  TraceEvent &Ev = beginEvent(localBuffer(), EventKind::ThreadDetach);
+  Ev.ThreadId = Thread.id();
+  Ev.Snap.ThreadId = Thread.id();
+}
+
+void TraceRecorder::recordGcEpoch() {
+  beginEvent(localBuffer(), EventKind::GcEpoch);
+}
+
+void TraceRecorder::recordVmDeath() {
+  beginEvent(localBuffer(), EventKind::VmDeath);
+}
+
+void TraceRecorder::recordNativeBind(jvm::MethodInfo &Method) {
+  TraceEvent &Ev = beginEvent(localBuffer(), EventKind::NativeBind);
+  Ev.MethodWord =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&Method));
+}
+
+void TraceRecorder::onNativeEntry(jvm::MethodInfo &Method, JNIEnv *Env,
+                                  jobject Self, const jvalue *Args) {
+  TraceEvent &Ev = beginEvent(localBuffer(), EventKind::NativeEntry);
+  Ev.ThreadId = Env->thread->id();
+  Ev.MethodWord =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&Method));
+  Ev.SelfWord = jni::handleWord(Self);
+  size_t NumParams = Method.Sig.Params.size();
+  if (NumParams > TraceEvent::MaxNativeArgs) {
+    Ev.NativeArgsTruncated = true;
+    NumParams = TraceEvent::MaxNativeArgs;
+  }
+  if (Args) {
+    Ev.NumNativeArgs = static_cast<uint8_t>(NumParams);
+    std::copy(Args, Args + NumParams, Ev.NativeArgs);
+  }
+  captureCommon(Ev.Snap, Env);
+}
+
+void TraceRecorder::onNativeExit(jvm::MethodInfo &Method, JNIEnv *Env,
+                                 jobject Self, const jvalue *Args,
+                                 const jvalue *Ret, bool EntryAborted) {
+  TraceEvent &Ev = beginEvent(localBuffer(), EventKind::NativeExit);
+  Ev.ThreadId = Env->thread->id();
+  Ev.MethodWord =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&Method));
+  Ev.SelfWord = jni::handleWord(Self);
+  Ev.Aborted = EntryAborted;
+  size_t NumParams = Method.Sig.Params.size();
+  if (NumParams > TraceEvent::MaxNativeArgs) {
+    Ev.NativeArgsTruncated = true;
+    NumParams = TraceEvent::MaxNativeArgs;
+  }
+  if (Args) {
+    Ev.NumNativeArgs = static_cast<uint8_t>(NumParams);
+    std::copy(Args, Args + NumParams, Ev.NativeArgs);
+  }
+  if (Ret) {
+    Ev.HasReturn = true;
+    Ev.NativeRet = *Ret;
+  }
+  captureCommon(Ev.Snap, Env);
+  // The local-ref and global-ref machines peek a returned reference.
+  if (Ret && Method.Sig.Ret.isReference())
+    capturePeek(Ev.Snap, jni::handleWord(Ret->l), Env->thread);
+}
+
+//===----------------------------------------------------------------------===
+// Collection
+//===----------------------------------------------------------------------===
+
+Trace TraceRecorder::collect() {
+  // Calibrate the tick unit against the monotonic clock over the whole
+  // recording span, then convert every stamped tick count to nanoseconds.
+  // The conversion is a monotonic scaling, so it cannot perturb the merge
+  // order.
+  uint64_t ElapsedTicks = readTicks() - StartTicks;
+  uint64_t ElapsedNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  double NsPerTick =
+      ElapsedTicks ? static_cast<double>(ElapsedNs) /
+                         static_cast<double>(ElapsedTicks)
+                   : 1.0;
+
+  Trace Out;
+  Out.Head.NativeFrameCapacity = Vm.options().NativeFrameCapacity;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    for (const std::unique_ptr<ThreadBuffer> &Buffer : Buffers) {
+      for (const std::vector<TraceEvent> &Chunk : Buffer->Chunks)
+        Out.Events.insert(Out.Events.end(), Chunk.begin(), Chunk.end());
+      Out.Events.insert(Out.Events.end(), Buffer->Ring.begin(),
+                        Buffer->Ring.begin() +
+                            static_cast<ptrdiff_t>(Buffer->Count));
+      Out.Head.DroppedEvents += Buffer->Dropped;
+    }
+  }
+  for (TraceEvent &Ev : Out.Events)
+    Ev.TimeNs = static_cast<uint64_t>(static_cast<double>(Ev.TimeNs) *
+                                      NsPerTick);
+  std::sort(Out.Events.begin(), Out.Events.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.TimeNs != B.TimeNs)
+                return A.TimeNs < B.TimeNs;
+              if (A.ThreadId != B.ThreadId)
+                return A.ThreadId < B.ThreadId;
+              return A.Seq < B.Seq;
+            });
+  for (size_t I = 0; I < Out.Events.size(); ++I)
+    Out.Events[I].Epoch = I;
+  Out.rebuildThreadNames();
+  return Out;
+}
+
+uint64_t TraceRecorder::droppedEvents() {
+  uint64_t Dropped = 0;
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  for (const std::unique_ptr<ThreadBuffer> &Buffer : Buffers)
+    Dropped += Buffer->Dropped;
+  return Dropped;
+}

@@ -1,0 +1,112 @@
+//===- trace/Recorder.h - Per-thread lock-free boundary recorder ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace recorder: captures every boundary transition into per-thread
+/// ring buffers. The hot path takes no locks and shares no cache lines —
+/// each OS thread writes only its own buffer (found through a thread-local
+/// cache) and stamps events with the monotonic clock plus a per-thread
+/// sequence number. Full rings are sealed into chunks owned by the same
+/// thread; when bounded, the oldest chunk is dropped and counted.
+///
+/// collect() merges all buffers into one epoch-ordered Trace. It must only
+/// be called when recording threads are quiesced (joined), which gives the
+/// necessary happens-before edge without any locking on the record path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_TRACE_RECORDER_H
+#define JINN_TRACE_RECORDER_H
+
+#include "trace/TraceEvent.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace jinn::trace {
+
+struct TraceRecorderOptions {
+  /// Events per ring before sealing a chunk. The default keeps one ring
+  /// under glibc's 128 KiB mmap threshold so ring churn stays in the
+  /// (per-thread, lock-free) malloc arenas — large rings turn every seal
+  /// into an mmap/munmap pair, which serializes recording threads on the
+  /// kernel's address-space lock and pays a page fault per touched page.
+  size_t RingCapacity = 128;
+  /// Sealed chunks kept per thread; 0 = unbounded (full-fidelity traces).
+  /// When bounded, the oldest chunk is dropped and counted, which keeps
+  /// long benchmark runs from holding the entire event stream in memory.
+  size_t MaxChunksPerThread = 0;
+};
+
+/// Records boundary crossings. One recorder per agent; installJniHooks()
+/// attaches it to the interposed table, setBoundaryObserver() on the
+/// synthesizer routes native-method crossings here.
+class TraceRecorder : public jvmti::NativeBoundaryObserver {
+public:
+  explicit TraceRecorder(jvm::Vm &Vm, TraceRecorderOptions Opts = {});
+  ~TraceRecorder() override;
+
+  /// Installs the recording pre/post hooks on \p Dispatcher. They are
+  /// all-function hooks, which the dispatcher runs before any per-function
+  /// machine hook — so each snapshot freezes the state the machines were
+  /// about to observe.
+  void installJniHooks(jvmti::InterposeDispatcher &Dispatcher);
+
+  void recordThreadAttach(jvm::JThread &Thread);
+  void recordThreadDetach(jvm::JThread &Thread);
+  void recordGcEpoch();
+  void recordVmDeath();
+  void recordNativeBind(jvm::MethodInfo &Method);
+
+  // NativeBoundaryObserver: the synthesized native-method wrapper fires
+  // these around the original body.
+  void onNativeEntry(jvm::MethodInfo &Method, JNIEnv *Env, jobject Self,
+                     const jvalue *Args) override;
+  void onNativeExit(jvm::MethodInfo &Method, JNIEnv *Env, jobject Self,
+                    const jvalue *Args, const jvalue *Ret,
+                    bool EntryAborted) override;
+
+  /// Merges every per-thread buffer into one trace and assigns the global
+  /// epoch: events sort by (TimeNs, ThreadId, Seq) — a deterministic total
+  /// order that follows real time and breaks clock ties stably — and the
+  /// merged index becomes the epoch. Non-destructive (events are copied);
+  /// recording may continue after. Caller must ensure other recording
+  /// threads are quiesced.
+  Trace collect();
+
+  /// Events lost to bounded recording so far (quiesced threads only).
+  uint64_t droppedEvents();
+
+private:
+  struct ThreadBuffer;
+
+  ThreadBuffer &localBuffer();
+  TraceEvent &beginEvent(ThreadBuffer &Buffer, EventKind Kind);
+  void recordJni(jvmti::CapturedCall &Call, bool IsPost);
+  void capturePeek(jvmti::BoundarySnapshot &Snap, uint64_t Word,
+                   const jvm::JThread *Perspective);
+  void captureCommon(jvmti::BoundarySnapshot &Snap, JNIEnv *Env);
+  void captureJniSnapshot(jvmti::BoundarySnapshot &Snap,
+                          jvmti::CapturedCall &Call, bool IsPost);
+
+  jvm::Vm &Vm;
+  TraceRecorderOptions Opts;
+  uint64_t InstanceId; ///< tags the thread-local buffer cache
+  // Events are stamped with raw timestamp-counter ticks on the hot path
+  // (one rdtsc instead of a clock_gettime per event); collect() converts
+  // to nanoseconds with a calibration measured between these anchors and
+  // the collect time.
+  std::chrono::steady_clock::time_point Start;
+  uint64_t StartTicks;
+  std::mutex RegistryMu; ///< guards Buffers (growth only)
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+};
+
+} // namespace jinn::trace
+
+#endif // JINN_TRACE_RECORDER_H

@@ -1,0 +1,43 @@
+//===- trace/TraceFile.h - Compact binary trace file format --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-disk format for boundary-crossing traces:
+///
+///   [FileHeader]            magic "JINNTRC1", version, record size,
+///                           native frame capacity, counts
+///   [ThreadEntry x N]       thread id + fixed 32-byte name
+///   [TraceEvent x M]        raw fixed-size records, epoch order
+///
+/// Records are written verbatim (host endianness, host layout); the header
+/// stores sizeof(TraceEvent) and readers refuse a mismatch, so a file is
+/// valid exactly where its pointers are — the same process, which is also
+/// the only place replay is meaningful (entity identities are process
+/// addresses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_TRACE_TRACEFILE_H
+#define JINN_TRACE_TRACEFILE_H
+
+#include "trace/TraceEvent.h"
+
+#include <string>
+
+namespace jinn::trace {
+
+/// Serializes \p T to \p Path. Returns false and sets \p Err on failure.
+bool writeTraceFile(const Trace &T, const std::string &Path,
+                    std::string *Err = nullptr);
+
+/// Deserializes \p Path into \p Out (replacing its contents). Returns
+/// false and sets \p Err on malformed input or layout mismatch.
+bool readTraceFile(Trace &Out, const std::string &Path,
+                   std::string *Err = nullptr);
+
+} // namespace jinn::trace
+
+#endif // JINN_TRACE_TRACEFILE_H

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Builds the bench binaries, runs each one, and aggregates every
+# BENCH_<name>.json they emit into one summary file.
+#
+#   tools/run_benches.sh [build-dir] [summary-path]
+#
+# Environment:
+#   JINN_BENCH_SCALE   workload scale divisor forwarded to the benches
+#                      (default here: 16384, i.e. a quick smoke pass;
+#                      unset it in the benches themselves for full runs)
+#   JINN_BENCH_ONLY    space-separated bench names to restrict the run
+#                      (e.g. "bench_trace_modes bench_coverage")
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+SUMMARY=${2:-"$BUILD/BENCH_SUMMARY.json"}
+: "${JINN_BENCH_SCALE:=16384}"
+export JINN_BENCH_SCALE
+
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" -j >/dev/null
+
+BENCHES="bench_table1_pitfalls bench_table2_constraints \
+bench_table3_overhead bench_coverage bench_fig9_messages \
+bench_fig10_localrefs bench_synthesis_loc bench_ablation_machines \
+bench_mt_scaling bench_pyc_checker bench_trace_modes"
+if [ -n "${JINN_BENCH_ONLY:-}" ]; then
+  BENCHES=$JINN_BENCH_ONLY
+fi
+
+RUNDIR="$BUILD/bench"
+FAILED=""
+for BENCH in $BENCHES; do
+  BIN="$RUNDIR/$BENCH"
+  if [ ! -x "$BIN" ]; then
+    echo "run_benches: missing $BIN" >&2
+    FAILED="$FAILED $BENCH"
+    continue
+  fi
+  echo "== $BENCH (scale 1/$JINN_BENCH_SCALE) =="
+  # bench_trace_modes exits nonzero when its acceptance criterion fails;
+  # record that but keep collecting the other benches.
+  if ! (cd "$RUNDIR" && "./$BENCH" >"$BENCH.log" 2>&1); then
+    echo "run_benches: $BENCH failed (see $RUNDIR/$BENCH.log)" >&2
+    FAILED="$FAILED $BENCH"
+  fi
+  tail -n 3 "$RUNDIR/$BENCH.log" | sed 's/^/    /'
+done
+
+# Merge every BENCH_*.json into one summary document.
+{
+  echo '{'
+  echo "  \"scale\": $JINN_BENCH_SCALE,"
+  printf '  "benches": ['
+  FIRST=1
+  for JSON in "$RUNDIR"/BENCH_*.json; do
+    [ -e "$JSON" ] || continue
+    [ "$FIRST" = 1 ] || printf ','
+    FIRST=0
+    printf '\n'
+    sed 's/^/    /' "$JSON" | sed '${/^[[:space:]]*$/d}'
+  done
+  printf '\n  ]\n}\n'
+} >"$SUMMARY"
+
+COUNT=$(ls "$RUNDIR"/BENCH_*.json 2>/dev/null | wc -l)
+echo "run_benches: aggregated $COUNT result file(s) into $SUMMARY"
+if [ -n "$FAILED" ]; then
+  echo "run_benches: failures:$FAILED" >&2
+  exit 1
+fi
