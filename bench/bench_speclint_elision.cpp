@@ -1,0 +1,208 @@
+//===- bench/bench_speclint_elision.cpp - Static check elision cost ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the relevance matrix buys at run time: with static check
+/// elision (sparse dispatch) on, JNI functions no enabled machine observes
+/// skip argument capture and dispatch entirely. Two agent configurations
+/// are compared in inline-check mode, each sparse vs dense:
+///
+///   full     all eleven machines. The JNIEnv-state machine pre-hooks
+///            every function, so elision can only skip the post path —
+///            the measured saving is the post-side bookkeeping on the
+///            ~160 functions no machine observes after the call.
+///   ablated  only the pinned-string-or-array machine, whose relevance
+///            set is 12 of the 229 functions. Almost every crossing now
+///            carries no hook at all, and elision skips capture outright.
+///
+/// Acceptance: in the ablated configuration, sparse dispatch must cost
+/// measurably less per crossing than dense dispatch. Reports are known
+/// identical either way (tests/speclint_test.cpp asserts it); this
+/// benchmark prices the part of Table 3's checking column the analyzer
+/// proves unnecessary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using namespace jinn::workloads;
+
+namespace {
+
+struct ConfigSpec {
+  const char *Name;
+  bool Jinn;    ///< false = production run (no agent)
+  bool Sparse;  ///< static check elision on
+  bool Ablated; ///< only the local-reference machine
+};
+
+const ConfigSpec Configs[] = {
+    {"production", false, false, false},
+    {"full-dense", true, false, false},
+    {"full-sparse", true, true, false},
+    {"ablated-dense", true, false, true},
+    {"ablated-sparse", true, true, true},
+};
+
+constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+
+WorldConfig configFor(const ConfigSpec &Spec) {
+  WorldConfig Config;
+  if (Spec.Jinn) {
+    Config.Checker = CheckerKind::Jinn;
+    Config.JinnSparseDispatch = Spec.Sparse;
+    if (Spec.Ablated)
+      Config.JinnEnabledMachines = {"Pinned or copied string or array"};
+  }
+  return Config;
+}
+
+struct Timing {
+  double Seconds = 0;
+  uint64_t Crossings = 0;
+};
+
+/// Same discipline as bench_trace_modes: interleaved rounds so every
+/// configuration sees the same noise phases, min-of-rounds to discard
+/// scheduler spikes, blocks of consecutive runs for sustained cost, and a
+/// warm-up run per world before any timing.
+std::array<Timing, NumConfigs> measureWorkload(const WorkloadInfo &Info,
+                                               uint64_t Scale) {
+  constexpr int Rounds = 5;
+  constexpr int BlockRuns = 4;
+  std::array<std::unique_ptr<ScenarioWorld>, NumConfigs> Worlds;
+  std::array<Timing, NumConfigs> Out;
+  for (size_t C = 0; C < NumConfigs; ++C) {
+    Worlds[C] = std::make_unique<ScenarioWorld>(configFor(Configs[C]));
+    prepareWorkloadWorld(*Worlds[C]);
+    runWorkload(Info, *Worlds[C], Scale); // warm-up
+    Out[C].Seconds = 1e300;
+  }
+  for (int R = 0; R < Rounds; ++R)
+    for (size_t C = 0; C < NumConfigs; ++C) {
+      uint64_t Crossings = 0;
+      double Seconds = bench::timeSeconds([&] {
+        for (int B = 0; B < BlockRuns; ++B) {
+          WorkloadRun Run = runWorkload(Info, *Worlds[C], Scale);
+          Crossings += Run.JniCalls + Run.NativeTransitions;
+        }
+      });
+      Out[C].Crossings = Crossings;
+      Out[C].Seconds = std::min(Out[C].Seconds, Seconds);
+    }
+  return Out;
+}
+
+void BM_ElisionUnit(benchmark::State &State, const ConfigSpec &Spec) {
+  ScenarioWorld World(configFor(Spec));
+  prepareWorkloadWorld(World);
+  const WorkloadInfo &Info = *workloadByName("db");
+  runWorkload(Info, World, 1024); // warm-up
+  uint64_t Crossings = 0;
+  for (auto _ : State) {
+    WorkloadRun Run = runWorkload(Info, World, 256);
+    benchmark::DoNotOptimize(Run.Checksum);
+    Crossings += Run.JniCalls + Run.NativeTransitions;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Crossings));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Scale = 2048;
+  if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
+    Scale = std::strtoull(Env, nullptr, 10);
+  if (!Scale)
+    Scale = 2048;
+
+  bench::JsonResults Json("speclint_elision");
+  Json.add("scale_divisor", static_cast<double>(Scale), "");
+
+  bench::printHeader(
+      "Static check elision - per-crossing cost, sparse vs dense dispatch\n"
+      "(inline checking; overhead vs the production run, ns per crossing)");
+  std::printf("%-11s | %9s %9s %7s | %9s %9s %7s\n", "benchmark", "full-dn",
+              "full-sp", "saved", "abl-dn", "abl-sp", "saved");
+  bench::printRule();
+
+  double SumFullDense = 0, SumFullSparse = 0;
+  double SumAblDense = 0, SumAblSparse = 0;
+  size_t N = 0;
+  for (const WorkloadInfo &Info : allWorkloads()) {
+    std::array<Timing, NumConfigs> T = measureWorkload(Info, Scale);
+    const Timing &Base = T[0];
+    double Crossings =
+        static_cast<double>(Base.Crossings ? Base.Crossings : 1);
+    auto NsPerCrossing = [&](const Timing &Mode) {
+      return (Mode.Seconds - Base.Seconds) / Crossings * 1e9;
+    };
+    double FullDense = NsPerCrossing(T[1]);
+    double FullSparse = NsPerCrossing(T[2]);
+    double AblDense = NsPerCrossing(T[3]);
+    double AblSparse = NsPerCrossing(T[4]);
+    std::printf("%-11s | %9.1f %9.1f %7.1f | %9.1f %9.1f %7.1f\n", Info.Name,
+                FullDense, FullSparse, FullDense - FullSparse, AblDense,
+                AblSparse, AblDense - AblSparse);
+    Json.add(std::string(Info.Name) + "/full_dense_ns", FullDense, "ns");
+    Json.add(std::string(Info.Name) + "/full_sparse_ns", FullSparse, "ns");
+    Json.add(std::string(Info.Name) + "/ablated_dense_ns", AblDense, "ns");
+    Json.add(std::string(Info.Name) + "/ablated_sparse_ns", AblSparse, "ns");
+    SumFullDense += FullDense;
+    SumFullSparse += FullSparse;
+    SumAblDense += AblDense;
+    SumAblSparse += AblSparse;
+    ++N;
+  }
+  bench::printRule();
+  double MeanFullDense = SumFullDense / static_cast<double>(N);
+  double MeanFullSparse = SumFullSparse / static_cast<double>(N);
+  double MeanAblDense = SumAblDense / static_cast<double>(N);
+  double MeanAblSparse = SumAblSparse / static_cast<double>(N);
+  std::printf("%-11s | %9.1f %9.1f %7.1f | %9.1f %9.1f %7.1f   mean\n",
+              "mean", MeanFullDense, MeanFullSparse,
+              MeanFullDense - MeanFullSparse, MeanAblDense, MeanAblSparse,
+              MeanAblDense - MeanAblSparse);
+  Json.add("mean_full_dense_ns", MeanFullDense, "ns");
+  Json.add("mean_full_sparse_ns", MeanFullSparse, "ns");
+  Json.add("mean_ablated_dense_ns", MeanAblDense, "ns");
+  Json.add("mean_ablated_sparse_ns", MeanAblSparse, "ns");
+
+  // Acceptance on the ablated pair: there elision skips capture for most
+  // functions, so the saving must clear measurement noise. The full pair
+  // only skips the post path and is reported but not gated.
+  bool Pass = MeanAblSparse < MeanAblDense;
+  std::printf("\nacceptance: ablated sparse %.1f ns/crossing %s ablated "
+              "dense %.1f ns/crossing : %s\n",
+              MeanAblSparse, Pass ? "<" : ">=", MeanAblDense,
+              Pass ? "PASS" : "FAIL");
+  Json.add("sparse_cheaper_than_dense_ablated",
+           std::string(Pass ? "true" : "false"));
+  Json.writeFile();
+
+  for (const ConfigSpec &Spec : Configs)
+    benchmark::RegisterBenchmark(
+        (std::string("ElisionUnit/") + Spec.Name).c_str(), BM_ElisionUnit,
+        Spec);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  std::printf("\nPer-call costs (google-benchmark):\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return Pass ? 0 : 1;
+}

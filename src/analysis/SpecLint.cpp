@@ -1,0 +1,307 @@
+//===- analysis/SpecLint.cpp - Static checks over machine specs ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecLint.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace jinn;
+using namespace jinn::analysis;
+using jinn::spec::Direction;
+using jinn::spec::FunctionSelector;
+
+const char *jinn::analysis::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "ERROR";
+  case Severity::Warning:
+    return "WARNING";
+  case Severity::Info:
+    return "INFO";
+  }
+  return "?";
+}
+
+bool jinn::analysis::isErrorState(const std::string &State) {
+  return State.rfind("Error:", 0) == 0;
+}
+
+std::vector<const Finding *>
+LintReport::named(const std::string &CheckPrefix) const {
+  std::vector<const Finding *> Out;
+  for (const Finding &F : Findings)
+    if (F.Check.rfind(CheckPrefix, 0) == 0)
+      Out.push_back(&F);
+  return Out;
+}
+
+namespace {
+
+class Linter {
+public:
+  Linter(const std::vector<MachineModel> &Models, const LintOptions &Opts)
+      : Models(Models), Opts(Opts) {}
+
+  LintReport run() {
+    for (const MachineModel &Model : Models) {
+      checkStates(Model);
+      checkTransitions(Model);
+      checkDeterminism(Model);
+    }
+    checkDescriptions();
+    checkCoverage();
+    checkStats();
+    return std::move(Report);
+  }
+
+private:
+  void add(Severity S, std::string Check, std::string Machine,
+           std::string Detail) {
+    if (S == Severity::Info && !Opts.IncludeInfo)
+      return;
+    Report.Findings.push_back(
+        {S, std::move(Check), std::move(Machine), std::move(Detail)});
+  }
+
+  /// Reachability: flood from the start state along the transition edges
+  /// (epsilon edges included — the exception machine's bookkeeping edges
+  /// are how "Pending" becomes reachable). A state named "Error: ..." is
+  /// additionally reachable through the implicit violation edge of any
+  /// checking action. Transitions naming states missing from the declared
+  /// list are reported separately.
+  void checkStates(const MachineModel &Model) {
+    std::set<std::string> Declared(Model.States.begin(), Model.States.end());
+    bool AnyAction = false;
+    for (const TransitionModel &T : Model.Transitions) {
+      AnyAction |= T.HasAction;
+      for (const std::string *State : {&T.From, &T.To})
+        if (!Declared.count(*State))
+          add(Severity::Error, "reachability/undeclared-state", Model.Name,
+              formatString("transition #%zu (%s -> %s) names state \"%s\", "
+                           "which is not in the declared state list",
+                           T.Index, T.From.c_str(), T.To.c_str(),
+                           State->c_str()));
+    }
+
+    std::set<std::string> Reached;
+    if (!Model.StartState.empty()) {
+      Reached.insert(Model.StartState);
+      bool Changed = true;
+      while (Changed) {
+        Changed = false;
+        for (const TransitionModel &T : Model.Transitions)
+          if (Reached.count(T.From) && Reached.insert(T.To).second)
+            Changed = true;
+      }
+    }
+    for (const std::string &State : Model.States) {
+      if (Reached.count(State))
+        continue;
+      if (isErrorState(State) && AnyAction)
+        continue; // reachable through any action's implicit violation edge
+      add(Severity::Error, "reachability/unreachable-state", Model.Name,
+          formatString("state \"%s\" is unreachable from the start state "
+                       "\"%s\"",
+                       State.c_str(), Model.StartState.c_str()));
+    }
+  }
+
+  void checkTransitions(const MachineModel &Model) {
+    for (const TransitionModel &T : Model.Transitions) {
+      if (T.Epsilon)
+        continue; // declared VM-internal bookkeeping
+      if (!T.HasAction)
+        add(Severity::Error, "transition/missing-action", Model.Name,
+            formatString("transition #%zu (%s -> %s) has triggers but no "
+                         "action; Algorithm 1 would install a hook around "
+                         "a null action",
+                         T.Index, T.From.c_str(), T.To.c_str()));
+      if (T.Triggers.empty()) {
+        add(Severity::Warning, "transition/dead-action", Model.Name,
+            formatString("transition #%zu (%s -> %s) carries an action but "
+                         "maps to no language transition; it can never fire",
+                         T.Index, T.From.c_str(), T.To.c_str()));
+        continue;
+      }
+      for (const TriggerModel &Trigger : T.Triggers)
+        if (!Trigger.NativeSide && Trigger.Matches.empty())
+          add(Severity::Error, "selector/zero-match", Model.Name,
+              formatString("transition #%zu (%s -> %s): selector \"%s\" at "
+                           "%s matches zero of the %zu %s functions",
+                           T.Index, T.From.c_str(), T.To.c_str(),
+                           Trigger.Description.c_str(),
+                           spec::directionName(Trigger.Dir),
+                           Model.Universe->size(),
+                           Model.Universe->Name.c_str()));
+    }
+  }
+
+  static bool triggersOverlap(const TriggerModel &A, const TriggerModel &B) {
+    if (A.Dir != B.Dir)
+      return false;
+    if (A.NativeSide || B.NativeSide)
+      return A.NativeSide && B.NativeSide;
+    return A.Matches.intersects(B.Matches);
+  }
+
+  /// Determinism: two transitions out of one state, enabled at the same
+  /// language-transition point, with *different* targets. Same-target
+  /// pairs are the intended "both actions run" list semantics; guarded
+  /// checks into error states are excluded — every use-check coexists with
+  /// the regular transitions out of its state by design.
+  void checkDeterminism(const MachineModel &Model) {
+    for (size_t I = 0; I < Model.Transitions.size(); ++I) {
+      const TransitionModel &A = Model.Transitions[I];
+      if (isErrorState(A.To))
+        continue;
+      for (size_t J = I + 1; J < Model.Transitions.size(); ++J) {
+        const TransitionModel &B = Model.Transitions[J];
+        if (isErrorState(B.To) || A.From != B.From || A.To == B.To)
+          continue;
+        for (const TriggerModel &TrigA : A.Triggers)
+          for (const TriggerModel &TrigB : B.Triggers)
+            if (triggersOverlap(TrigA, TrigB)) {
+              add(Severity::Error, "determinism/conflict", Model.Name,
+                  formatString(
+                      "transitions #%zu (%s -> %s) and #%zu (%s -> %s) are "
+                      "both enabled at %s for overlapping function sets "
+                      "(\"%s\" vs \"%s\")",
+                      A.Index, A.From.c_str(), A.To.c_str(), B.Index,
+                      B.From.c_str(), B.To.c_str(),
+                      spec::directionName(TrigA.Dir),
+                      TrigA.Description.c_str(), TrigB.Description.c_str()));
+              goto nextPair; // one finding per transition pair
+            }
+      nextPair:;
+      }
+    }
+  }
+
+  /// Cross-machine description consistency: a Description reused for a
+  /// different match set means the human-readable spec and the executable
+  /// spec disagree somewhere. Also: one-function selectors whose
+  /// description drifted from the function's name.
+  void checkDescriptions() {
+    struct FirstUse {
+      const MachineModel *Model;
+      const TransitionModel *Transition;
+      const TriggerModel *Trigger;
+    };
+    std::map<std::string, FirstUse> Seen;
+    std::set<std::string> Flagged;
+    for (const MachineModel &Model : Models)
+      for (const TransitionModel &T : Model.Transitions)
+        for (const TriggerModel &Trigger : T.Triggers) {
+          if (Trigger.NativeSide)
+            continue;
+          if (Trigger.SelectorKind == FunctionSelector::Kind::OneJniFunction) {
+            std::vector<size_t> Members = Trigger.Matches.members();
+            if (Members.size() == 1 &&
+                Trigger.Description !=
+                    Model.Universe->Functions[Members.front()])
+              add(Severity::Warning, "consistency/one-selector-name",
+                  Model.Name,
+                  formatString("transition #%zu: one-function selector is "
+                               "described as \"%s\" but matches %s",
+                               T.Index, Trigger.Description.c_str(),
+                               Model.Universe->Functions[Members.front()]
+                                   .c_str()));
+          }
+          auto [It, Inserted] =
+              Seen.insert({Trigger.Description, {&Model, &T, &Trigger}});
+          if (Inserted || It->second.Trigger->Matches == Trigger.Matches)
+            continue;
+          if (!Flagged.insert(Trigger.Description).second)
+            continue; // one finding per colliding description
+          add(Severity::Warning, "consistency/description-collision",
+              Model.Name,
+              formatString("selector description \"%s\" matches %zu "
+                           "function(s) here but %zu in machine \"%s\" — "
+                           "the same words describe different sets",
+                           Trigger.Description.c_str(),
+                           Trigger.Matches.count(),
+                           It->second.Trigger->Matches.count(),
+                           It->second.Model->Name.c_str()));
+        }
+  }
+
+  /// Coverage: blind spots among the universe's functions, reported both
+  /// absolutely and with blanket all-function selectors discounted.
+  void checkCoverage() {
+    RelevanceMatrix Matrix = buildRelevanceMatrix(Models);
+    if (!Matrix.Universe)
+      return;
+    size_t N = Matrix.Universe->size();
+    std::vector<std::string> Blind;
+    for (size_t I = 0; I < N; ++I)
+      if (!Matrix.Any.test(I))
+        Blind.push_back(Matrix.Universe->Functions[I]);
+    if (!Blind.empty()) {
+      std::string Names;
+      for (size_t I = 0; I < Blind.size() && I < 8; ++I)
+        Names += (I ? ", " : "") + Blind[I];
+      if (Blind.size() > 8)
+        Names += ", ...";
+      add(Severity::Warning, "coverage/blind-spot", "",
+          formatString("%zu of %zu %s functions are observed by no machine "
+                       "at any language transition: %s",
+                       Blind.size(), N, Matrix.Universe->Name.c_str(),
+                       Names.c_str()));
+    } else {
+      add(Severity::Info, "coverage/blind-spot", "",
+          formatString("all %zu %s functions are observed by at least one "
+                       "machine (%zu by a function-specific selector)",
+                       N, Matrix.Universe->Name.c_str(),
+                       Matrix.SpecificAny.count()));
+    }
+  }
+
+  /// Consistency with Algorithm 1: every SynthesisStats count re-derived
+  /// from the relevance matrix must equal what the synthesizer installed.
+  void checkStats() {
+    if (!Opts.Stats)
+      return;
+    RelevanceMatrix Matrix = buildRelevanceMatrix(Models);
+    const synth::SynthesisStats &S = *Opts.Stats;
+    auto Expect = [&](const char *What, size_t Derived, size_t Actual) {
+      if (Derived == Actual)
+        return;
+      add(Severity::Error, "consistency/stats-mismatch", "",
+          formatString("%s: the relevance matrix derives %zu but Algorithm "
+                       "1 reported %zu",
+                       What, Derived, Actual));
+    };
+    Expect("machine count", Models.size(), S.MachineCount);
+    Expect("state transitions", Matrix.TotalTransitions,
+           S.StateTransitionCount);
+    Expect("JNI pre hooks", Matrix.TotalPreHooks, S.JniPreHooks);
+    Expect("JNI post hooks", Matrix.TotalPostHooks, S.JniPostHooks);
+    Expect("native entry actions", Matrix.TotalNativeEntry,
+           S.NativeEntryActions);
+    Expect("native exit actions", Matrix.TotalNativeExit,
+           S.NativeExitActions);
+    if (Opts.IncludeInfo && !Report.hasErrors())
+      add(Severity::Info, "consistency/stats-match", "",
+          formatString("all %zu instrumentation points re-derived from the "
+                       "relevance matrix match Algorithm 1's output",
+                       S.instrumentationPoints()));
+  }
+
+  const std::vector<MachineModel> &Models;
+  const LintOptions &Opts;
+  LintReport Report;
+};
+
+} // namespace
+
+LintReport jinn::analysis::lintMachines(
+    const std::vector<MachineModel> &Models, const LintOptions &Opts) {
+  return Linter(Models, Opts).run();
+}

@@ -1,0 +1,93 @@
+//===- analysis/SpecLint.h - Static checks over machine specifications ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spec-level static analyzer behind tools/jinn-speclint: a suite of
+/// lint passes over MachineModels that catches malformed specifications
+/// before synthesis ever runs —
+///
+///   reachability   states unreachable from the start state, transitions
+///                  naming undeclared states, selectors matching zero
+///                  functions, trigger-carrying transitions without an
+///                  action (Algorithm 1 would install a hook around a null
+///                  action)
+///   determinism    two transitions out of one state enabled at the same
+///                  language-transition point with different non-error
+///                  targets (guarded checks into "Error: *" states are the
+///                  specification idiom, not nondeterminism)
+///   coverage       blind spots: functions no machine observes at all
+///   consistency    selector Description strings reused for different
+///                  match sets; SynthesisStats re-derived from the
+///                  relevance matrix and compared to what Algorithm 1
+///                  actually installed
+///
+/// Error-named states ("Error: ...") are treated as reachable whenever the
+/// machine carries any checking action: every action may report a
+/// violation, which is the implicit edge into its error states (the
+/// local-reference machine's overflow state, for example, is entered from
+/// inside the acquire action).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_ANALYSIS_SPECLINT_H
+#define JINN_ANALYSIS_SPECLINT_H
+
+#include "analysis/SpecModel.h"
+#include "synth/Synthesizer.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::analysis {
+
+enum class Severity : uint8_t { Error, Warning, Info };
+
+const char *severityName(Severity S);
+
+/// One lint finding.
+struct Finding {
+  Severity S = Severity::Info;
+  std::string Check;   ///< "reachability/unreachable-state", ...
+  std::string Machine; ///< owning machine ("" for cross-machine findings)
+  std::string Detail;
+};
+
+struct LintOptions {
+  /// When set, the stats Algorithm 1 reported for these machines; the
+  /// consistency pass re-derives every count from the relevance matrix and
+  /// reports any disagreement as an error.
+  const synth::SynthesisStats *Stats = nullptr;
+  /// Emit INFO-class findings (coverage summaries). On for the CLI report,
+  /// usually off in tests.
+  bool IncludeInfo = true;
+};
+
+struct LintReport {
+  std::vector<Finding> Findings;
+
+  size_t count(Severity S) const {
+    size_t N = 0;
+    for (const Finding &F : Findings)
+      N += F.S == S;
+    return N;
+  }
+  bool hasErrors() const { return count(Severity::Error) > 0; }
+
+  /// Findings of one check class (prefix match on the check name).
+  std::vector<const Finding *> named(const std::string &CheckPrefix) const;
+};
+
+/// Runs every lint pass over \p Models (which must share one function
+/// universe — lint JNI and Python models in separate calls).
+LintReport lintMachines(const std::vector<MachineModel> &Models,
+                        const LintOptions &Opts = {});
+
+/// True when \p State follows the error-state naming convention.
+bool isErrorState(const std::string &State);
+
+} // namespace jinn::analysis
+
+#endif // JINN_ANALYSIS_SPECLINT_H

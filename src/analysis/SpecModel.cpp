@@ -1,0 +1,282 @@
+//===- analysis/SpecModel.cpp - Analyzable model of machine specs --------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecModel.h"
+
+#include "jni/JniFunctionId.h"
+#include "pyjinn/PyChecker.h"
+
+#include <cstring>
+
+using namespace jinn;
+using namespace jinn::analysis;
+using jinn::pyjinn::PyFnSpec;
+using jinn::pyjinn::RefReturn;
+using jinn::spec::Direction;
+using jinn::spec::FunctionSelector;
+
+const FunctionUniverse &jinn::analysis::jniUniverse() {
+  static const FunctionUniverse Universe = [] {
+    FunctionUniverse U;
+    U.Name = "JNI";
+    for (size_t I = 0; I < jni::NumJniFunctions; ++I)
+      U.Functions.push_back(jni::fnName(static_cast<jni::FnId>(I)));
+    return U;
+  }();
+  return Universe;
+}
+
+const FunctionUniverse &jinn::analysis::pythonUniverse() {
+  static const FunctionUniverse Universe = [] {
+    FunctionUniverse U;
+    U.Name = "Python/C";
+    for (const PyFnSpec &Spec : pyjinn::pyFnSpecs())
+      U.Functions.push_back(Spec.Name);
+    return U;
+  }();
+  return Universe;
+}
+
+MachineModel jinn::analysis::buildModel(const spec::StateMachineSpec &Spec) {
+  MachineModel Model;
+  Model.Name = Spec.Name;
+  Model.Universe = &jniUniverse();
+  Model.States = Spec.States;
+  if (!Spec.States.empty())
+    Model.StartState = Spec.States.front();
+
+  for (size_t I = 0; I < Spec.Transitions.size(); ++I) {
+    const spec::StateTransition &Transition = Spec.Transitions[I];
+    TransitionModel T;
+    T.From = Transition.From;
+    T.To = Transition.To;
+    T.Index = I;
+    T.HasAction = static_cast<bool>(Transition.Action);
+    T.Epsilon = Transition.At.empty() && !T.HasAction;
+    for (const spec::LanguageTransition &Lang : Transition.At) {
+      TriggerModel Trigger;
+      Trigger.Dir = Lang.Dir;
+      Trigger.SelectorKind = Lang.Fns.K;
+      Trigger.Description = Lang.Fns.Description;
+      Trigger.NativeSide =
+          Lang.Fns.K == FunctionSelector::Kind::AnyNativeMethod;
+      Trigger.Matches = FnSet(jni::NumJniFunctions);
+      if (!Trigger.NativeSide)
+        for (jni::FnId Id : spec::matchedFunctions(Lang.Fns))
+          Trigger.Matches.set(static_cast<size_t>(Id));
+      T.Triggers.push_back(std::move(Trigger));
+    }
+    Model.Transitions.push_back(std::move(T));
+  }
+  return Model;
+}
+
+//===----------------------------------------------------------------------===
+// Python checker models (§7): derived from the pyFnSpecs table
+//===----------------------------------------------------------------------===
+
+namespace {
+
+FnSet pySetOf(bool (*Member)(const PyFnSpec &)) {
+  const std::vector<PyFnSpec> &Specs = pyjinn::pyFnSpecs();
+  FnSet Out(Specs.size());
+  for (size_t I = 0; I < Specs.size(); ++I)
+    if (Member(Specs[I]))
+      Out.set(I);
+  return Out;
+}
+
+bool pyReleasesRef(const PyFnSpec &S) {
+  return S.StealsParam >= 0 || std::strcmp(S.Name, "Py_DecRef") == 0;
+}
+
+bool pyTakesObject(const PyFnSpec &S) {
+  return S.Param0Typed || S.BorrowSourceParam >= 0 || S.StealsParam >= 0 ||
+         std::strcmp(S.Name, "Py_IncRef") == 0 ||
+         std::strcmp(S.Name, "Py_DecRef") == 0;
+}
+
+TriggerModel pyTrigger(Direction Dir, std::string Description, FnSet Set) {
+  TriggerModel Trigger;
+  Trigger.Dir = Dir;
+  Trigger.SelectorKind = FunctionSelector::Kind::JniPredicate;
+  Trigger.Description = std::move(Description);
+  Trigger.Matches = std::move(Set);
+  return Trigger;
+}
+
+TransitionModel pyTransition(std::string From, std::string To, size_t Index,
+                             std::vector<TriggerModel> Triggers,
+                             bool HasAction = true) {
+  TransitionModel T;
+  T.From = std::move(From);
+  T.To = std::move(To);
+  T.Index = Index;
+  T.HasAction = HasAction;
+  T.Epsilon = Triggers.empty() && !HasAction;
+  T.Triggers = std::move(Triggers);
+  return T;
+}
+
+} // namespace
+
+std::vector<MachineModel> jinn::analysis::buildPythonModels() {
+  std::vector<MachineModel> Models;
+
+  // Reference ownership (Figure 11's dangle_bug class): acquisition at
+  // returns of new/borrowed references, release by Py_DecRef and the
+  // reference-stealing setters, use by any object-taking function.
+  {
+    MachineModel M;
+    M.Name = "Reference ownership";
+    M.Universe = &pythonUniverse();
+    M.States = {"Before acquire", "Acquired", "Released", "Error: dangling"};
+    M.StartState = M.States.front();
+    M.Transitions.push_back(pyTransition(
+        "Before acquire", "Acquired", 0,
+        {pyTrigger(Direction::ReturnJavaToC,
+                   "functions returning a new reference",
+                   pySetOf([](const PyFnSpec &S) {
+                     return S.Return == RefReturn::New;
+                   }))}));
+    M.Transitions.push_back(pyTransition(
+        "Before acquire", "Acquired", 1,
+        {pyTrigger(Direction::ReturnJavaToC,
+                   "functions returning a borrowed reference",
+                   pySetOf([](const PyFnSpec &S) {
+                     return S.Return == RefReturn::Borrowed;
+                   }))}));
+    M.Transitions.push_back(pyTransition(
+        "Acquired", "Released", 2,
+        {pyTrigger(Direction::CallCToJava,
+                   "Py_DecRef and the reference-stealing setters",
+                   pySetOf(pyReleasesRef))}));
+    M.Transitions.push_back(pyTransition(
+        "Released", "Error: dangling", 3,
+        {pyTrigger(Direction::CallCToJava,
+                   "any API function taking an object reference",
+                   pySetOf(pyTakesObject))}));
+    Models.push_back(std::move(M));
+  }
+
+  // GIL state: extension code must hold the GIL around every API call;
+  // the four GIL functions move between Held and Released.
+  {
+    MachineModel M;
+    M.Name = "GIL state";
+    M.Universe = &pythonUniverse();
+    M.States = {"Held", "Released", "Error: GIL not held"};
+    M.StartState = M.States.front();
+    M.Transitions.push_back(pyTransition(
+        "Held", "Released", 0,
+        {pyTrigger(Direction::CallCToJava,
+                   "PyGILState_Release and PyEval_SaveThread",
+                   pySetOf([](const PyFnSpec &S) {
+                     return S.GilFunction &&
+                            (std::strcmp(S.Name, "PyGILState_Release") == 0 ||
+                             std::strcmp(S.Name, "PyEval_SaveThread") == 0);
+                   }))}));
+    M.Transitions.push_back(pyTransition(
+        "Released", "Held", 1,
+        {pyTrigger(Direction::CallCToJava,
+                   "PyGILState_Ensure and PyEval_RestoreThread",
+                   pySetOf([](const PyFnSpec &S) {
+                     return S.GilFunction &&
+                            (std::strcmp(S.Name, "PyGILState_Ensure") == 0 ||
+                             std::strcmp(S.Name, "PyEval_RestoreThread") ==
+                                 0);
+                   }))}));
+    M.Transitions.push_back(pyTransition(
+        "Released", "Error: GIL not held", 2,
+        {pyTrigger(Direction::CallCToJava, "any non-GIL API function",
+                   pySetOf([](const PyFnSpec &S) {
+                     return !S.GilFunction;
+                   }))}));
+    Models.push_back(std::move(M));
+  }
+
+  // Exception state: mirror of the JNI machine — the pending flag lives in
+  // the interpreter (epsilon bookkeeping), the check fires on any
+  // exception-sensitive call.
+  {
+    MachineModel M;
+    M.Name = "Exception state";
+    M.Universe = &pythonUniverse();
+    M.States = {"Cleared", "Pending", "Error: unhandled"};
+    M.StartState = M.States.front();
+    M.Transitions.push_back(pyTransition("Cleared", "Pending", 0, {},
+                                         /*HasAction=*/false));
+    M.Transitions.push_back(pyTransition("Pending", "Cleared", 1, {},
+                                         /*HasAction=*/false));
+    M.Transitions.push_back(pyTransition(
+        "Pending", "Error: unhandled", 2,
+        {pyTrigger(Direction::CallCToJava,
+                   "any exception-sensitive API function",
+                   pySetOf([](const PyFnSpec &S) {
+                     return !S.ExceptionOblivious;
+                   }))}));
+    Models.push_back(std::move(M));
+  }
+
+  return Models;
+}
+
+//===----------------------------------------------------------------------===
+// Relevance matrix
+//===----------------------------------------------------------------------===
+
+RelevanceMatrix jinn::analysis::buildRelevanceMatrix(
+    const std::vector<MachineModel> &Models) {
+  RelevanceMatrix Matrix;
+  if (Models.empty())
+    return Matrix;
+  Matrix.Universe = Models.front().Universe;
+  size_t N = Matrix.Universe->size();
+  Matrix.AnyPre = FnSet(N);
+  Matrix.AnyPost = FnSet(N);
+  Matrix.Any = FnSet(N);
+  Matrix.SpecificAny = FnSet(N);
+
+  for (const MachineModel &Model : Models) {
+    MachineRelevance Row;
+    Row.Machine = Model.Name;
+    Row.Pre = FnSet(N);
+    Row.Post = FnSet(N);
+    for (const TransitionModel &T : Model.Transitions) {
+      ++Matrix.TotalTransitions;
+      for (const TriggerModel &Trigger : T.Triggers) {
+        switch (Trigger.Dir) {
+        case Direction::CallCToJava:
+          Row.Pre |= Trigger.Matches;
+          Row.PreHooks += Trigger.Matches.count();
+          break;
+        case Direction::ReturnJavaToC:
+          Row.Post |= Trigger.Matches;
+          Row.PostHooks += Trigger.Matches.count();
+          break;
+        case Direction::CallJavaToC:
+          ++Row.NativeEntryTriggers;
+          break;
+        case Direction::ReturnCToJava:
+          ++Row.NativeExitTriggers;
+          break;
+        }
+        if (Trigger.SelectorKind != FunctionSelector::Kind::AllJniFunctions)
+          Matrix.SpecificAny |= Trigger.Matches;
+      }
+    }
+    Matrix.AnyPre |= Row.Pre;
+    Matrix.AnyPost |= Row.Post;
+    Matrix.TotalPreHooks += Row.PreHooks;
+    Matrix.TotalPostHooks += Row.PostHooks;
+    Matrix.TotalNativeEntry += Row.NativeEntryTriggers;
+    Matrix.TotalNativeExit += Row.NativeExitTriggers;
+    Matrix.Machines.push_back(std::move(Row));
+  }
+  Matrix.Any |= Matrix.AnyPre;
+  Matrix.Any |= Matrix.AnyPost;
+  return Matrix;
+}

@@ -52,6 +52,10 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   }
   Synth = std::make_unique<synth::Synthesizer>(Active, *Reporter);
 
+  // Static check elision (sparse dispatch). Safe even when recording: the
+  // recorder's all-function hooks defeat elision for every function.
+  Jvmti.dispatcher().setElisionEnabled(Options.SparseDispatch);
+
   // The recorder's all-function hooks go first: the dispatcher runs them
   // before per-function machine hooks, so each event freezes the state the
   // machines were about to observe.

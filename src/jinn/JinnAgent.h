@@ -59,6 +59,12 @@ struct JinnOptions {
   TraceMode Mode = TraceMode::InlineCheck;
   /// Recorder tuning; only consulted when Mode records.
   trace::TraceRecorderOptions Recorder;
+  /// Static check elision: let the interpose dispatcher's sparse hook
+  /// table skip capture for functions no synthesized check observes (and
+  /// skip post dispatch for functions with pre hooks only). Proven
+  /// report-preserving by the analyzer's relevance matrix; recording modes
+  /// install all-function hooks and are never elided.
+  bool SparseDispatch = true;
 };
 
 class JinnAgent : public jvmti::Agent {

@@ -96,7 +96,8 @@ GlobalRefMachine::GlobalRefMachine() {
   // Use: Call:C->Java with a global-kind reference argument.
   Spec.Transitions.push_back(makeTransition(
       "Released", "Error: dangling",
-      {{FunctionSelector::matching("any JNI function taking a reference",
+      {{FunctionSelector::matching("any JNI function taking a reference, "
+                                   "except the release functions",
                                    takesRefParam),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {

@@ -225,7 +225,8 @@ LocalRefMachine::LocalRefMachine() {
   // Use at Call:C->Java: any JNI function taking a reference.
   Spec.Transitions.push_back(makeTransition(
       "Acquired", "Error: dangling",
-      {{FunctionSelector::matching("any JNI function taking a reference",
+      {{FunctionSelector::matching("any JNI function taking a reference, "
+                                   "except DeleteLocalRef and PopLocalFrame",
                                    isLocalUseFunction),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {

@@ -91,18 +91,22 @@ bool CapturedCall::materializeCallArgs() {
 
 void InterposeDispatcher::addPre(FnId Id, HookFn Hook) {
   Pre[static_cast<size_t>(Id)].push_back(std::move(Hook));
+  HookMask[static_cast<size_t>(Id)] |= HasPre;
 }
 
 void InterposeDispatcher::addPost(FnId Id, HookFn Hook) {
   Post[static_cast<size_t>(Id)].push_back(std::move(Hook));
+  HookMask[static_cast<size_t>(Id)] |= HasPost;
 }
 
 void InterposeDispatcher::addPreAll(HookFn Hook) {
   PreAll.push_back(std::move(Hook));
+  AnyPreAll = true;
 }
 
 void InterposeDispatcher::addPostAll(HookFn Hook) {
   PostAll.push_back(std::move(Hook));
+  AnyPostAll = true;
 }
 
 void InterposeDispatcher::runPre(CapturedCall &Call) const {
@@ -138,6 +142,10 @@ size_t InterposeDispatcher::preCount(FnId Id) const {
   return Pre[static_cast<size_t>(Id)].size();
 }
 
+size_t InterposeDispatcher::postCount(FnId Id) const {
+  return Post[static_cast<size_t>(Id)].size();
+}
+
 void InterposeDispatcher::clear() {
   for (auto &V : Pre)
     V.clear();
@@ -145,6 +153,9 @@ void InterposeDispatcher::clear() {
     V.clear();
   PreAll.clear();
   PostAll.clear();
+  HookMask.fill(0);
+  AnyPreAll = false;
+  AnyPostAll = false;
 }
 
 //===----------------------------------------------------------------------===
@@ -161,7 +172,9 @@ struct MakeWrapper<Id, Ret (*)(JNIEnv *, Args...), Impl> {
   static Ret fn(JNIEnv *Env, Args... As) {
     auto *Dispatcher =
         static_cast<InterposeDispatcher *>(Env->runtime->Dispatcher);
-    if (!Dispatcher)
+    // Static check elision: when the relevance analysis proved no machine
+    // observes this function, skip capture and dispatch entirely.
+    if (!Dispatcher || Dispatcher->elides(Id))
       return Impl(Env, As...);
 
     CapturedCall Call(Id, Env);
@@ -177,12 +190,16 @@ struct MakeWrapper<Id, Ret (*)(JNIEnv *, Args...), Impl> {
     }
     if constexpr (std::is_void_v<Ret>) {
       Impl(Env, As...);
-      Call.setReturnVoid();
-      Dispatcher->runPost(Call);
+      if (Dispatcher->wantsPost(Id)) {
+        Call.setReturnVoid();
+        Dispatcher->runPost(Call);
+      }
     } else {
       Ret Result = Impl(Env, As...);
-      Call.setReturn(Result);
-      Dispatcher->runPost(Call);
+      if (Dispatcher->wantsPost(Id)) {
+        Call.setReturn(Result);
+        Dispatcher->runPost(Call);
+      }
       return Result;
     }
   }

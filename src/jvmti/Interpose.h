@@ -291,6 +291,15 @@ using HookFn = std::function<void(CapturedCall &)>;
 
 /// Per-function hook lists. One dispatcher serves all installed agents;
 /// each agent appends its own hooks.
+///
+/// Alongside the hook lists the dispatcher maintains a sparse per-function
+/// hook table (one mask byte per JNI function, kept in sync by the add*
+/// methods). When elision is enabled, the generated wrappers consult it to
+/// skip capture and dispatch entirely for functions no hook observes —
+/// the static-check-elision path fed by the spec analyzer's relevance
+/// matrix. Elision is off by default so a bare dispatcher (the Table 3
+/// "interposing only" configuration) still pays full capture cost; the
+/// Jinn agent turns it on.
 class InterposeDispatcher {
 public:
   void addPre(jni::FnId Id, HookFn Hook);
@@ -306,14 +315,45 @@ public:
   size_t hookCount() const;
   /// Number of pre hooks for one function.
   size_t preCount(jni::FnId Id) const;
+  /// Number of post hooks for one function.
+  size_t postCount(jni::FnId Id) const;
+
+  /// Enables/disables static check elision in the generated wrappers.
+  void setElisionEnabled(bool Enabled) { ElisionEnabled = Enabled; }
+  bool elisionEnabled() const { return ElisionEnabled; }
+
+  /// True when the wrapper for \p Id may skip interposition entirely: no
+  /// per-function hook and no all-function hook observes it. Any
+  /// all-function hook (the trace recorder) defeats elision for every
+  /// function, which is what keeps recording modes lossless.
+  bool elides(jni::FnId Id) const {
+    return ElisionEnabled && !AnyPreAll && !AnyPostAll &&
+           HookMask[static_cast<size_t>(Id)] == 0;
+  }
+
+  /// True when the wrapper must capture the return value and run the post
+  /// list. Always true while elision is disabled (legacy dense dispatch).
+  bool wantsPost(jni::FnId Id) const {
+    return !ElisionEnabled || AnyPostAll ||
+           (HookMask[static_cast<size_t>(Id)] & HasPost);
+  }
 
   void clear();
 
 private:
+  static constexpr uint8_t HasPre = 1;
+  static constexpr uint8_t HasPost = 2;
+
   std::array<std::vector<HookFn>, jni::NumJniFunctions> Pre;
   std::array<std::vector<HookFn>, jni::NumJniFunctions> Post;
   std::vector<HookFn> PreAll;
   std::vector<HookFn> PostAll;
+  /// HasPre/HasPost bits per function, maintained incrementally by addPre
+  /// and addPost — the sparse hook table the wrapper fast path reads.
+  std::array<uint8_t, jni::NumJniFunctions> HookMask{};
+  bool AnyPreAll = false;
+  bool AnyPostAll = false;
+  bool ElisionEnabled = false;
 };
 
 /// The generated interposed function table (shared, immutable).

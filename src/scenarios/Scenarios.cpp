@@ -82,6 +82,8 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
     agent::JinnOptions Options;
     Options.Mode = Config.JinnMode;
     Options.Recorder = Config.JinnRecorder;
+    Options.EnabledMachines = Config.JinnEnabledMachines;
+    Options.SparseDispatch = Config.JinnSparseDispatch;
     Jinn = static_cast<agent::JinnAgent *>(
         &Host.load(std::make_unique<agent::JinnAgent>(std::move(Options))));
     break;

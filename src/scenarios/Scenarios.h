@@ -82,6 +82,10 @@ struct WorldConfig {
   agent::TraceMode JinnMode = agent::TraceMode::InlineCheck;
   /// Recorder tuning when JinnMode records.
   trace::TraceRecorderOptions JinnRecorder;
+  /// Machine-name filter forwarded to JinnOptions::EnabledMachines.
+  std::vector<std::string> JinnEnabledMachines;
+  /// Static check elision, forwarded to JinnOptions::SparseDispatch.
+  bool JinnSparseDispatch = true;
 };
 
 /// A fresh VM + JNI runtime + (optionally) a checker agent, plus helpers

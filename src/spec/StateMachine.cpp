@@ -61,17 +61,30 @@ FunctionSelector FunctionSelector::nativeMethods(std::string Description) {
 }
 
 bool FunctionSelector::matches(jni::FnId Id) const {
+  if (Id >= jni::FnId::Count)
+    return false; // FnId::Count is the "no function" sentinel
   switch (K) {
   case Kind::AllJniFunctions:
     return true;
   case Kind::OneJniFunction:
-    return Id == Fn;
+    return Fn < jni::FnId::Count && Id == Fn;
   case Kind::JniPredicate:
-    return Pred(jni::fnTraits(Id));
+    return Pred && Pred(jni::fnTraits(Id));
   case Kind::AnyNativeMethod:
     return false;
   }
   JINN_UNREACHABLE("invalid FunctionSelector kind");
+}
+
+std::vector<jni::FnId>
+jinn::spec::matchedFunctions(const FunctionSelector &Fns) {
+  std::vector<jni::FnId> Out;
+  for (size_t I = 0; I < jni::NumJniFunctions; ++I) {
+    jni::FnId Id = static_cast<jni::FnId>(I);
+    if (Fns.matches(Id))
+      Out.push_back(Id);
+  }
+  return Out;
 }
 
 uint32_t TransitionContext::threadId() const {

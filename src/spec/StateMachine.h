@@ -59,9 +59,18 @@ struct FunctionSelector {
                                        Pred);
   static FunctionSelector nativeMethods(std::string Description);
 
-  /// True when this selector matches JNI function \p Id.
+  /// True when this selector matches JNI function \p Id. Out-of-range ids
+  /// (FnId::Count and beyond) and selectors without a predicate never
+  /// match, so a malformed selector degrades to "matches nothing" instead
+  /// of crashing — the speclint analyzer reports it as a zero-match error.
   bool matches(jni::FnId Id) const;
 };
+
+/// Every JNI function \p Fns matches, in FnId order. AnyNativeMethod
+/// selectors match no JNI function. Shared by Algorithm 1 (which installs
+/// one hook per matched function) and the static analyzer (which builds
+/// the relevance matrix from the same sets), so the two can never drift.
+std::vector<jni::FnId> matchedFunctions(const FunctionSelector &Fns);
 
 /// A language transition point: function set x direction.
 struct LanguageTransition {

@@ -9,9 +9,7 @@
 using namespace jinn;
 using namespace jinn::synth;
 using jinn::jni::FnId;
-using jinn::jni::NumJniFunctions;
 using jinn::spec::Direction;
-using jinn::spec::FunctionSelector;
 using jinn::spec::TransitionContext;
 
 SynthesisStats Synthesizer::installInto(
@@ -33,12 +31,12 @@ SynthesisStats Synthesizer::installInto(
         case Direction::CallCToJava:
         case Direction::ReturnJavaToC: {
           // 5-6: add the synthesized code to the start or end of the
-          // wrapper for e.function, by direction.
+          // wrapper for e.function, by direction. The match set is
+          // resolved once through spec::matchedFunctions — the same
+          // resolution the static analyzer uses to build the relevance
+          // matrix, so synthesized hooks and the matrix cannot disagree.
           bool IsPre = Lang.Dir == Direction::CallCToJava;
-          for (size_t I = 0; I < NumJniFunctions; ++I) {
-            FnId Id = static_cast<FnId>(I);
-            if (!Lang.Fns.matches(Id))
-              continue;
+          for (FnId Id : spec::matchedFunctions(Lang.Fns)) {
             spec::TransitionAction Action = Transition.Action;
             spec::Reporter *Reporter = &Rep;
             const spec::StateMachineSpec *Owner = &Machine->spec();

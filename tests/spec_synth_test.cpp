@@ -8,6 +8,7 @@
 #include "synth/Emitter.h"
 #include "synth/Synthesizer.h"
 
+#include <algorithm>
 #include <fstream>
 
 using namespace jinn;
@@ -41,6 +42,47 @@ TEST(FunctionSelector, PredicateMatchesByTraits) {
 TEST(FunctionSelector, NativeMethodsNeverMatchJniFunctions) {
   FunctionSelector S = FunctionSelector::nativeMethods("native");
   EXPECT_FALSE(S.matches(FnId::FindClass));
+}
+
+TEST(FunctionSelector, CountSentinelNeverMatches) {
+  // FnId::Count is the "no function" sentinel; no selector kind may treat
+  // it as a real function, including the blanket all-selector.
+  EXPECT_FALSE(FunctionSelector::all("any").matches(FnId::Count));
+  EXPECT_FALSE(FunctionSelector::one(FnId::MonitorEnter).matches(FnId::Count));
+  EXPECT_FALSE(FunctionSelector::matching(
+                   "always", [](const jni::FnTraits &) { return true; })
+                   .matches(FnId::Count));
+  EXPECT_FALSE(FunctionSelector::nativeMethods("native").matches(FnId::Count));
+}
+
+TEST(FunctionSelector, MalformedSelectorsMatchNothing) {
+  // A predicate selector whose predicate was never set, and a one-function
+  // selector pinned to the sentinel, degrade to empty match sets instead
+  // of crashing — jinn-speclint reports them as zero-match errors.
+  FunctionSelector NoPred;
+  NoPred.K = FunctionSelector::Kind::JniPredicate;
+  EXPECT_FALSE(NoPred.matches(FnId::GetVersion));
+  EXPECT_TRUE(spec::matchedFunctions(NoPred).empty());
+
+  FunctionSelector BadOne;
+  BadOne.K = FunctionSelector::Kind::OneJniFunction;
+  BadOne.Fn = FnId::Count;
+  EXPECT_FALSE(BadOne.matches(FnId::GetVersion));
+  EXPECT_TRUE(spec::matchedFunctions(BadOne).empty());
+}
+
+TEST(FunctionSelector, MatchedFunctionsAgreesWithMatches) {
+  FunctionSelector S = FunctionSelector::matching(
+      "ref-returning", [](const jni::FnTraits &T) { return T.ReturnsRef; });
+  std::vector<FnId> Fns = spec::matchedFunctions(S);
+  EXPECT_FALSE(Fns.empty());
+  EXPECT_TRUE(std::is_sorted(Fns.begin(), Fns.end()));
+  size_t Expected = 0;
+  for (size_t I = 0; I < jni::NumJniFunctions; ++I)
+    Expected += S.matches(static_cast<FnId>(I));
+  EXPECT_EQ(Fns.size(), Expected);
+  for (FnId Id : Fns)
+    EXPECT_TRUE(S.matches(Id));
 }
 
 TEST(Direction, Names) {

@@ -1,0 +1,318 @@
+//===- tests/speclint_test.cpp - Spec static analyzer tests --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer contract, from both sides: the eleven shipped machines
+/// (and the Python checker's machines) must lint clean, a fixture spec
+/// with seeded defects must be flagged on every defect, the relevance
+/// matrix must agree with what Algorithm 1 installs into the dispatcher,
+/// and static check elision (sparse dispatch) must preserve every report
+/// list — including under record+replay.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SpecLint.h"
+#include "jinn/Machines.h"
+#include "scenarios/Scenarios.h"
+#include "synth/Synthesizer.h"
+#include "trace/Replay.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+using namespace jinn;
+using namespace jinn::analysis;
+using jinn::jni::FnId;
+using jinn::spec::Direction;
+using jinn::spec::FunctionSelector;
+
+namespace {
+
+struct CountingReporter : spec::Reporter {
+  size_t Violations = 0;
+  void violation(spec::TransitionContext &, const spec::StateMachineSpec &,
+                 const std::string &) override {
+    ++Violations;
+  }
+  void endOfRun(const spec::StateMachineSpec &, const std::string &) override {
+  }
+};
+
+/// Models + real synthesis stats for the shipped machine set.
+struct ShippedAnalysis {
+  agent::MachineSet Machines;
+  CountingReporter Reporter;
+  jvmti::InterposeDispatcher Dispatcher;
+  synth::SynthesisStats Stats;
+  std::vector<MachineModel> Models;
+  RelevanceMatrix Matrix;
+
+  ShippedAnalysis() {
+    synth::Synthesizer Synth(Machines.all(), Reporter);
+    Stats = Synth.installInto(Dispatcher);
+    for (spec::MachineBase *Machine : Machines.all())
+      Models.push_back(buildModel(Machine->spec()));
+    Matrix = buildRelevanceMatrix(Models);
+  }
+};
+
+//===----------------------------------------------------------------------===
+// Clean runs: the shipped specifications carry no defects.
+//===----------------------------------------------------------------------===
+
+TEST(SpecLint, ShippedJniMachinesClean) {
+  ShippedAnalysis A;
+  LintOptions Opts;
+  Opts.Stats = &A.Stats;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines(A.Models, Opts);
+  for (const Finding &F : Report.Findings)
+    ADD_FAILURE() << severityName(F.S) << " " << F.Check << " [" << F.Machine
+                  << "] " << F.Detail;
+  EXPECT_EQ(Report.count(Severity::Error), 0u);
+  EXPECT_EQ(Report.count(Severity::Warning), 0u);
+}
+
+TEST(SpecLint, PythonMachinesClean) {
+  std::vector<MachineModel> Models = buildPythonModels();
+  ASSERT_EQ(Models.size(), 3u);
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines(Models, Opts);
+  for (const Finding &F : Report.Findings)
+    ADD_FAILURE() << severityName(F.S) << " " << F.Check << " [" << F.Machine
+                  << "] " << F.Detail;
+  EXPECT_FALSE(Report.hasErrors());
+}
+
+//===----------------------------------------------------------------------===
+// Seeded defects: one fixture machine carrying every defect class the
+// analyzer exists to catch. Each must surface as exactly the right check.
+//===----------------------------------------------------------------------===
+
+spec::StateMachineSpec brokenFixtureSpec() {
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Broken fixture";
+  Spec.ObservedEntity = "nothing real";
+  Spec.States = {"Start", "Mid", "Orphan", "Error: boom"};
+
+  // Fine on its own, but overlaps the MonitorEnter transition below: both
+  // fire at Call:C->Java on MonitorEnter with different non-error targets.
+  Spec.Transitions.push_back(
+      {"Start",
+       "Mid",
+       {{FunctionSelector::all("any JNI function"), Direction::CallCToJava}},
+       Noop});
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::MonitorEnter), Direction::CallCToJava}},
+       Noop});
+
+  // Targets a state the machine never declared.
+  Spec.Transitions.push_back(
+      {"Mid",
+       "Ghost",
+       {{FunctionSelector::one(FnId::MonitorExit), Direction::CallCToJava}},
+       Noop});
+
+  // A selector that matches no function at all.
+  Spec.Transitions.push_back(
+      {"Mid",
+       "Start",
+       {{FunctionSelector::matching("matches nothing",
+                                    [](const jni::FnTraits &) {
+                                      return false;
+                                    }),
+         Direction::ReturnJavaToC}},
+       Noop});
+
+  // Triggers but no action: Algorithm 1 would wrap a null action.
+  Spec.Transitions.push_back(
+      {"Mid",
+       "Mid",
+       {{FunctionSelector::one(FnId::GetVersion), Direction::CallCToJava}},
+       nullptr});
+
+  // An action with no trigger anywhere: dead code in the spec.
+  Spec.Transitions.push_back({"Mid", "Start", {}, Noop});
+
+  // "Orphan" is declared but no transition ever reaches it.
+  return Spec;
+}
+
+TEST(SpecLint, FlagsEverySeededDefect) {
+  std::vector<MachineModel> Models = {buildModel(brokenFixtureSpec())};
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines(Models, Opts);
+
+  EXPECT_TRUE(Report.hasErrors());
+  ASSERT_EQ(Report.named("reachability/unreachable-state").size(), 1u);
+  EXPECT_NE(Report.named("reachability/unreachable-state")[0]->Detail.find(
+                "Orphan"),
+            std::string::npos);
+  ASSERT_EQ(Report.named("reachability/undeclared-state").size(), 1u);
+  EXPECT_NE(
+      Report.named("reachability/undeclared-state")[0]->Detail.find("Ghost"),
+      std::string::npos);
+  EXPECT_EQ(Report.named("selector/zero-match").size(), 1u);
+  EXPECT_EQ(Report.named("transition/missing-action").size(), 1u);
+  EXPECT_EQ(Report.named("transition/dead-action").size(), 1u);
+  EXPECT_EQ(Report.named("determinism/conflict").size(), 1u);
+}
+
+TEST(SpecLint, GuardedErrorTransitionsAreNotConflicts) {
+  // Two transitions from one state on the same function where one target
+  // is an error state: the guarded-check idiom, not nondeterminism.
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Guarded fixture";
+  Spec.States = {"Start", "Error: caught"};
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::all("any"), Direction::CallCToJava}},
+       Noop});
+  Spec.Transitions.push_back(
+      {"Start",
+       "Error: caught",
+       {{FunctionSelector::all("any"), Direction::CallCToJava}},
+       Noop});
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines({buildModel(Spec)}, Opts);
+  EXPECT_EQ(Report.named("determinism/conflict").size(), 0u);
+  EXPECT_FALSE(Report.hasErrors());
+}
+
+TEST(SpecLint, StatsMismatchIsAnError) {
+  ShippedAnalysis A;
+  synth::SynthesisStats Wrong = A.Stats;
+  Wrong.JniPreHooks += 1;
+  LintOptions Opts;
+  Opts.Stats = &Wrong;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines(A.Models, Opts);
+  EXPECT_GE(Report.named("consistency/stats-mismatch").size(), 1u);
+  EXPECT_TRUE(Report.hasErrors());
+}
+
+//===----------------------------------------------------------------------===
+// Relevance matrix vs Algorithm 1: the static derivation must agree with
+// the hooks actually installed, function by function and in total.
+//===----------------------------------------------------------------------===
+
+TEST(RelevanceMatrix, AgreesWithInstalledHooksPerFunction) {
+  ShippedAnalysis A;
+  for (size_t I = 0; I < jni::NumJniFunctions; ++I) {
+    FnId Id = static_cast<FnId>(I);
+    EXPECT_EQ(A.Dispatcher.preCount(Id) > 0, A.Matrix.AnyPre.test(I))
+        << jni::fnName(Id);
+    EXPECT_EQ(A.Dispatcher.postCount(Id) > 0, A.Matrix.AnyPost.test(I))
+        << jni::fnName(Id);
+  }
+}
+
+TEST(RelevanceMatrix, RederivesSynthesisStats) {
+  ShippedAnalysis A;
+  EXPECT_EQ(A.Matrix.Machines.size(), A.Stats.MachineCount);
+  EXPECT_EQ(A.Matrix.TotalTransitions, A.Stats.StateTransitionCount);
+  EXPECT_EQ(A.Matrix.TotalPreHooks, A.Stats.JniPreHooks);
+  EXPECT_EQ(A.Matrix.TotalPostHooks, A.Stats.JniPostHooks);
+  EXPECT_EQ(A.Matrix.TotalNativeEntry, A.Stats.NativeEntryActions);
+  EXPECT_EQ(A.Matrix.TotalNativeExit, A.Stats.NativeExitActions);
+}
+
+TEST(RelevanceMatrix, EnvStateObservesAllFunctionsPre) {
+  ShippedAnalysis A;
+  const MachineRelevance *Env = A.Matrix.rowFor("JNIEnv* state");
+  ASSERT_NE(Env, nullptr);
+  EXPECT_EQ(Env->Pre.count(), jni::NumJniFunctions);
+  // Post hooks are sparse: most functions have none, so the sparse
+  // dispatcher can skip the post path even in the full configuration.
+  EXPECT_LT(A.Matrix.AnyPost.count(), jni::NumJniFunctions / 2);
+}
+
+//===----------------------------------------------------------------------===
+// Elision is report-preserving: sparse and dense dispatch produce the
+// same outcome and byte-identical report lists on every microbenchmark,
+// in the full configuration and under machine ablation.
+//===----------------------------------------------------------------------===
+
+scenarios::WorldConfig jinnConfig(bool Sparse,
+                                  std::vector<std::string> Machines = {}) {
+  scenarios::WorldConfig Config;
+  Config.Checker = scenarios::CheckerKind::Jinn;
+  Config.JinnSparseDispatch = Sparse;
+  Config.JinnEnabledMachines = std::move(Machines);
+  return Config;
+}
+
+void expectSameReports(const std::vector<agent::JinnReport> &Dense,
+                       const std::vector<agent::JinnReport> &Sparse) {
+  ASSERT_EQ(Dense.size(), Sparse.size());
+  for (size_t I = 0; I < Dense.size(); ++I) {
+    EXPECT_EQ(Dense[I].Machine, Sparse[I].Machine) << "#" << I;
+    EXPECT_EQ(Dense[I].Function, Sparse[I].Function) << "#" << I;
+    EXPECT_EQ(Dense[I].Message, Sparse[I].Message) << "#" << I;
+    EXPECT_EQ(Dense[I].EndOfRun, Sparse[I].EndOfRun) << "#" << I;
+  }
+}
+
+void runEquivalence(std::vector<std::string> Machines) {
+  for (const scenarios::MicroInfo &Info : scenarios::allMicrobenchmarks()) {
+    SCOPED_TRACE(Info.ClassName);
+    scenarios::ScenarioWorld Dense(jinnConfig(false, Machines));
+    scenarios::runMicrobenchmark(Info.Id, Dense);
+    Dense.shutdown();
+    scenarios::ScenarioWorld Sparse(jinnConfig(true, Machines));
+    scenarios::runMicrobenchmark(Info.Id, Sparse);
+    Sparse.shutdown();
+    EXPECT_EQ(scenarios::classify(Dense), scenarios::classify(Sparse));
+    expectSameReports(Dense.Jinn->reporter().reports(),
+                      Sparse.Jinn->reporter().reports());
+  }
+}
+
+TEST(SparseDispatch, FullConfigurationReportsIdentical) {
+  runEquivalence({});
+}
+
+TEST(SparseDispatch, AblatedConfigurationReportsIdentical) {
+  // Only the local-reference machine: most functions now carry no hook at
+  // all, so elision actually skips capture — and must change nothing.
+  runEquivalence({"Local reference"});
+}
+
+TEST(SparseDispatch, RecordAndReplayStaysDeterministic) {
+  // Elision must not starve the recorder: recording installs all-function
+  // hooks, which defeat elision, so a sparse-dispatch record+replay run
+  // still replays to the inline checker's exact report list.
+  for (const scenarios::MicroInfo &Info : scenarios::allMicrobenchmarks()) {
+    SCOPED_TRACE(Info.ClassName);
+    scenarios::WorldConfig Config = jinnConfig(true);
+    Config.JinnMode = agent::TraceMode::RecordAndReplay;
+    scenarios::ScenarioWorld World(Config);
+    scenarios::runMicrobenchmark(Info.Id, World);
+    World.shutdown();
+
+    const std::vector<agent::JinnReport> &Inline =
+        World.Jinn->reporter().reports();
+    if (Info.DetectableAtBoundary)
+      EXPECT_FALSE(Inline.empty()) << "inline checker missed the bug";
+
+    trace::Trace Recorded = World.Jinn->recorder()->collect();
+    EXPECT_FALSE(Recorded.Events.empty());
+    trace::ReplayResult Replayed = trace::replayTrace(Recorded, World.Vm);
+    expectSameReports(Inline, Replayed.Reports);
+  }
+}
+
+} // namespace

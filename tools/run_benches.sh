@@ -24,7 +24,8 @@ cmake --build "$BUILD" -j >/dev/null
 BENCHES="bench_table1_pitfalls bench_table2_constraints \
 bench_table3_overhead bench_coverage bench_fig9_messages \
 bench_fig10_localrefs bench_synthesis_loc bench_ablation_machines \
-bench_mt_scaling bench_pyc_checker bench_trace_modes"
+bench_mt_scaling bench_pyc_checker bench_trace_modes \
+bench_speclint_elision"
 if [ -n "${JINN_BENCH_ONLY:-}" ]; then
   BENCHES=$JINN_BENCH_ONLY
 fi
@@ -46,6 +47,17 @@ for BENCH in $BENCHES; do
     FAILED="$FAILED $BENCH"
   fi
   tail -n 3 "$RUNDIR/$BENCH.log" | sed 's/^/    /'
+  # Every bench must leave a non-empty, well-formed BENCH_<name>.json
+  # behind; a bench that silently stopped emitting results is a failure
+  # even when its exit code says otherwise.
+  JSON="$RUNDIR/BENCH_${BENCH#bench_}.json"
+  if [ ! -s "$JSON" ]; then
+    echo "run_benches: $BENCH produced no $JSON" >&2
+    FAILED="$FAILED $BENCH(json-missing)"
+  elif ! grep -q '"bench"' "$JSON" || ! grep -q '"results"' "$JSON"; then
+    echo "run_benches: $JSON is malformed (missing bench/results keys)" >&2
+    FAILED="$FAILED $BENCH(json-malformed)"
+  fi
 done
 
 # Merge every BENCH_*.json into one summary document.
