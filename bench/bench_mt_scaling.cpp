@@ -23,8 +23,11 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace jinn;
@@ -33,11 +36,21 @@ using namespace jinn::workloads;
 
 namespace {
 
+unsigned ShardCount = agent::DefaultShardCount;
+
+struct Measurement {
+  double Throughput = 0;
+  /// Per-machine "jinn.lock_acquires.<name>" counters (contention proxy),
+  /// published by the agent at VM death.
+  std::map<std::string, uint64_t> LockAcquires;
+};
+
 /// Transitions/second, aggregated over \p NumThreads workers.
-double throughputOnce(const WorkloadInfo &Info, CheckerKind Checker,
-                      uint64_t Scale, unsigned NumThreads) {
+Measurement throughputOnce(const WorkloadInfo &Info, CheckerKind Checker,
+                           uint64_t Scale, unsigned NumThreads) {
   WorldConfig Config;
   Config.Checker = Checker;
+  Config.JinnShardCount = ShardCount;
   ScenarioWorld World(Config);
   prepareWorkloadWorld(World);
   // Warm-up outside the timed region (ID caches, allocator, attach path).
@@ -47,16 +60,24 @@ double throughputOnce(const WorkloadInfo &Info, CheckerKind Checker,
     WorkloadRun Run = runWorkloadConcurrent(Info, World, Scale, NumThreads);
     Transitions = Run.NativeTransitions;
   });
-  return static_cast<double>(Transitions) / Seconds;
+  Measurement M;
+  M.Throughput = static_cast<double>(Transitions) / Seconds;
+  World.shutdown();
+  for (const auto &[Name, Count] : World.Vm.diags().counters()) {
+    const std::string Prefix = "jinn.lock_acquires.";
+    if (Name.rfind(Prefix, 0) == 0)
+      M.LockAcquires[Name.substr(Prefix.size())] = Count;
+  }
+  return M;
 }
 
-double bestOf3(const WorkloadInfo &Info, CheckerKind Checker, uint64_t Scale,
-               unsigned NumThreads) {
-  double Best = 0;
+Measurement bestOf3(const WorkloadInfo &Info, CheckerKind Checker,
+                    uint64_t Scale, unsigned NumThreads) {
+  Measurement Best;
   for (int I = 0; I < 3; ++I) {
-    double T = throughputOnce(Info, Checker, Scale, NumThreads);
-    if (T > Best)
-      Best = T;
+    Measurement M = throughputOnce(Info, Checker, Scale, NumThreads);
+    if (M.Throughput > Best.Throughput)
+      Best = std::move(M);
   }
   return Best;
 }
@@ -92,25 +113,37 @@ void printScalingTable(uint64_t Scale,
   bench::printRule();
   for (CheckerKind Checker : Checkers) {
     double Base = 0;
+    unsigned BaseThreads = ThreadCounts.empty() ? 1 : ThreadCounts.front();
     std::printf("%-18s |", checkerName(Checker));
     for (unsigned NumThreads : ThreadCounts) {
-      double Tput = bestOf3(Info, Checker, Scale, NumThreads);
+      Measurement M = bestOf3(Info, Checker, Scale, NumThreads);
+      double Tput = M.Throughput;
       if (Base == 0)
         Base = Tput;
-      std::printf(" %8.2fx/s", Base > 0 ? Tput / Base : 0.0);
-      Json.add(std::string(checkerName(Checker)) + "/" +
-                   std::to_string(NumThreads) + "t",
-               Tput, "transitions/s");
+      double Speedup = Base > 0 ? Tput / Base : 0.0;
+      // Scaling efficiency: speedup per thread, relative to the first
+      // measured thread count (1.0 = perfect linear scaling).
+      double Efficiency =
+          NumThreads ? Speedup * BaseThreads / NumThreads : 0.0;
+      std::printf(" %8.2fx/s", Speedup);
+      std::string Key = std::string(checkerName(Checker)) + "/" +
+                        std::to_string(NumThreads) + "t";
+      Json.add(Key, Tput, "transitions/s");
+      Json.add(Key + " efficiency", Efficiency, "speedup/thread");
+      if (Checker == CheckerKind::Jinn)
+        for (const auto &[Machine, Count] : M.LockAcquires)
+          Json.add(Key + " lock_acquires/" + Machine,
+                   static_cast<double>(Count), "acquires");
     }
     std::printf("\n");
   }
   bench::printRule();
-  std::printf("(workload \"%s\" scaled by 1/%llu on %u hardware thread(s); "
-              "x/s = speedup relative to the same checker at the first "
-              "thread count; speedup is bounded by the hardware thread "
-              "count)\n",
+  std::printf("(workload \"%s\" scaled by 1/%llu on %u hardware thread(s), "
+              "%u shadow-state shard(s); x/s = speedup relative to the "
+              "same checker at the first thread count; speedup is bounded "
+              "by the hardware thread count)\n",
               Info.Name, static_cast<unsigned long long>(Scale),
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(), ShardCount);
 }
 
 void BM_ConcurrentWorkUnit(benchmark::State &State, CheckerKind Checker) {
@@ -147,8 +180,9 @@ int main(int Argc, char **Argv) {
   if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
     Scale = std::strtoull(Env, nullptr, 10);
 
-  // Thread counts come from bare-integer argv entries (consumed before
-  // google-benchmark parses the rest), e.g. `bench_mt_scaling 1 3 6 12`.
+  // Thread counts come from bare-integer argv entries, and the shadow
+  // shard count from a `shards=N` entry (both consumed before
+  // google-benchmark parses the rest), e.g. `bench_mt_scaling 1 3 6 shards=4`.
   std::vector<unsigned> ThreadCounts;
   int Out = 1;
   for (int In = 1; In < Argc; ++In) {
@@ -159,6 +193,13 @@ int main(int Argc, char **Argv) {
         ThreadCounts.push_back(NumThreads);
       continue;
     }
+    if (std::strncmp(Argv[In], "shards=", 7) == 0) {
+      unsigned Shards =
+          static_cast<unsigned>(std::strtoul(Argv[In] + 7, nullptr, 10));
+      if (Shards)
+        ShardCount = Shards;
+      continue;
+    }
     Argv[Out++] = Argv[In];
   }
   Argc = Out;
@@ -167,6 +208,7 @@ int main(int Argc, char **Argv) {
 
   bench::JsonResults Json("mt_scaling");
   Json.add("scale_divisor", static_cast<double>(Scale ? Scale : 2048), "");
+  Json.add("shard_count", static_cast<double>(ShardCount), "");
   printScalingTable(Scale ? Scale : 2048, ThreadCounts, Json);
   Json.writeFile();
 

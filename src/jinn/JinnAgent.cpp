@@ -40,8 +40,10 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
     Vm.defineClass(Def);
   }
 
-  Reporter = std::make_unique<JinnReporter>(Vm);
-  Machines = std::make_unique<MachineSet>();
+  Reporter = std::make_unique<JinnReporter>(Vm, Options.ReportBufferSize);
+  MachineTuning Tuning;
+  Tuning.ShardCount = Options.ShardCount;
+  Machines = std::make_unique<MachineSet>(Tuning);
   Active.clear();
   for (spec::MachineBase *Machine : Machines->all()) {
     bool Enabled = Options.EnabledMachines.empty();
@@ -101,6 +103,9 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   Callbacks.ThreadEnd = [this](jvm::JThread &Thread) {
     if (Recorder)
       Recorder->recordThreadDetach(Thread);
+    // Merge this thread's buffered reports so none outlives its thread
+    // unmerged.
+    Reporter->flushLocal();
   };
   Callbacks.GcFinish = [this] {
     if (Recorder)
@@ -112,6 +117,10 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
     if (Checking)
       for (spec::MachineBase *Machine : Active)
         Machine->onVmDeath(*Reporter, Vm);
+    // Publish the contention proxy: lock acquisitions per machine.
+    for (const auto &[Name, Count] : Machines->lockAcquireCounts())
+      Vm.diags().setCounter(std::string("jinn.lock_acquires.") + Name,
+                            Count);
   };
   Jvmti.setEventCallbacks(std::move(Callbacks));
 

@@ -65,6 +65,13 @@ struct JinnOptions {
   /// report-preserving by the analyzer's relevance matrix; recording modes
   /// install all-function hooks and are never elided.
   bool SparseDispatch = true;
+  /// Lock stripes per global shadow table (GlobalRef/Monitor/Pinned/
+  /// EntityTyping); rounded to a power of two in [1, 256].
+  unsigned ShardCount = DefaultShardCount;
+  /// Per-thread report buffer capacity: reports are merged under the
+  /// global reporter lock only when a buffer fills, a thread detaches, or
+  /// a snapshot is taken.
+  size_t ReportBufferSize = 64;
 };
 
 class JinnAgent : public jvmti::Agent {

@@ -13,3 +13,18 @@ std::vector<jinn::spec::MachineBase *> MachineSet::all() {
           &EntityTyping,  &AccessControl,  &Nullness,      &PinnedResource,
           &Monitor,       &GlobalRef,      &LocalRef};
 }
+
+std::vector<std::pair<const char *, uint64_t>>
+MachineSet::lockAcquireCounts() const {
+  return {{"env-state", EnvState.lockAcquires()},
+          {"exception-state", ExceptionState.lockAcquires()},
+          {"critical-state", CriticalState.lockAcquires()},
+          {"fixed-typing", FixedTyping.lockAcquires()},
+          {"entity-typing", EntityTyping.lockAcquires()},
+          {"access-control", AccessControl.lockAcquires()},
+          {"nullness", Nullness.lockAcquires()},
+          {"pinned-resource", PinnedResource.lockAcquires()},
+          {"monitor", Monitor.lockAcquires()},
+          {"global-ref", GlobalRef.lockAcquires()},
+          {"local-ref", LocalRef.lockAcquires()}};
+}

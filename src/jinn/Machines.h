@@ -21,6 +21,13 @@
 /// whose line count the synthesis experiment compares against the
 /// generated wrappers.
 ///
+/// Shadow-state layout (DESIGN.md §10): thread-confined encodings (local
+/// references, expected JNIEnv, critical depth) live in per-thread tables
+/// or wait-free atomic arrays; the genuinely-global tables (global refs,
+/// monitors, pins, entity IDs) are lock-striped so concurrent crossings
+/// contend only when they hash to the same shard. Every machine exposes
+/// lockAcquires() as a contention proxy for the scaling bench.
+///
 /// Checks never call JNI functions; they inspect the VM through the
 /// policy-free JVMTI peek interface. (The paper's Jinn calls functions like
 /// GetObjectType/IsAssignableFrom from inside wrappers; the observable
@@ -31,6 +38,7 @@
 #ifndef JINN_JINN_MACHINES_H
 #define JINN_JINN_MACHINES_H
 
+#include "jinn/ShardedState.h"
 #include "spec/StateMachine.h"
 
 #include <map>
@@ -42,20 +50,29 @@
 
 namespace jinn::agent {
 
+/// Concurrency-layout knobs shared by the machines (JinnOptions carries
+/// the user-facing copies and MachineSet forwards them here).
+struct MachineTuning {
+  /// Lock stripes per global shadow table (rounded to a power of two).
+  unsigned ShardCount = DefaultShardCount;
+};
+
 //===----------------------------------------------------------------------===
 // JVM state constraints (paper Figure 6)
 //===----------------------------------------------------------------------===
 
 /// JNIEnv* state: the JNIEnv passed to every JNI function must belong to
-/// the executing thread. Error: JNIEnv* mismatch (pitfall 14).
+/// the executing thread. Error: JNIEnv* mismatch (pitfall 14). The
+/// expected-env table is read on every JNI call, so it is an
+/// AtomicWordArray: the hot read path is wait-free.
 class JniEnvStateMachine : public spec::MachineBase {
 public:
   JniEnvStateMachine();
   void onThreadStart(const spec::ThreadStartInfo &Info) override;
+  uint64_t lockAcquires() const { return 0; } ///< lock-free encoding
 
 private:
-  mutable std::mutex Mu;             ///< guards ExpectedEnv
-  std::vector<uint64_t> ExpectedEnv; ///< env identity, indexed by thread id
+  AtomicWordArray ExpectedEnv; ///< env identity, indexed by thread id
 };
 
 /// Exception state: no exception-sensitive JNI call while an exception is
@@ -63,28 +80,34 @@ private:
 class ExceptionStateMachine : public spec::MachineBase {
 public:
   ExceptionStateMachine();
+  uint64_t lockAcquires() const { return 0; } ///< stateless
 };
 
 /// Critical-section state: between Get*Critical and Release*Critical only
 /// the four critical functions are legal. Errors: critical-section
-/// violation, unmatched release (pitfall 16).
+/// violation, unmatched release (pitfall 16). The per-thread depth tally
+/// is read on every critical-sensitive call (nearly every JNI function),
+/// so it lives in an AtomicWordArray; only the per-resource held map —
+/// touched exclusively by the rare critical acquire/release — still takes
+/// the mutex.
 class CriticalStateMachine : public spec::MachineBase {
 public:
   CriticalStateMachine();
 
   /// Shadow nesting depth for \p ThreadId (0 when not in a section).
-  int depthOf(uint32_t ThreadId) const;
-
-private:
-  /// Callers must hold Mu.
-  int &depthSlot(uint32_t ThreadId) {
-    if (ThreadId >= Depth.size())
-      Depth.resize(ThreadId + 1, 0);
-    return Depth[ThreadId];
+  /// Wait-free; safe to call from any thread.
+  int depthOf(uint32_t ThreadId) const {
+    return static_cast<int>(static_cast<int64_t>(Depth.load(ThreadId)));
   }
 
-  mutable std::mutex Mu; ///< guards Depth and Held
-  std::vector<int> Depth;                           ///< indexed by thread id
+  uint64_t lockAcquires() const {
+    return HeldAcquires.load(std::memory_order_relaxed);
+  }
+
+private:
+  AtomicWordArray Depth; ///< per-thread nesting depth (single-writer)
+  mutable std::mutex Mu; ///< guards Held (critical acquire/release only)
+  mutable std::atomic<uint64_t> HeldAcquires{0};
   std::map<std::pair<uint32_t, uint64_t>, int> Held; ///< (thread, obj)->count
 };
 
@@ -99,32 +122,42 @@ private:
 class FixedTypingMachine : public spec::MachineBase {
 public:
   explicit FixedTypingMachine(const CriticalStateMachine &Critical);
+  uint64_t lockAcquires() const { return 0; } ///< stateless
 
 private:
   const CriticalStateMachine &Critical;
 };
 
 /// Entity-specific typing: method/field IDs constrain receivers, argument
-/// types, and staticness (the Eclipse SWT bug of §6.4.3).
+/// types, and staticness (the Eclipse SWT bug of §6.4.3). The observed-ID
+/// sets are striped by ID identity.
 class EntityTypingMachine : public spec::MachineBase {
 public:
-  EntityTypingMachine();
+  explicit EntityTypingMachine(const MachineTuning &Tuning = {});
+  uint64_t lockAcquires() const {
+    return SeenMethodIds.lockAcquires() + SeenFieldIds.lockAcquires();
+  }
 
 private:
-  /// IDs observed at producer returns (GetMethodID etc.).
-  mutable std::mutex Mu; ///< guards both sets
-  std::unordered_set<const void *> SeenMethodIds;
-  std::unordered_set<const void *> SeenFieldIds;
+  /// IDs observed at producer returns (GetMethodID etc.), keyed by the
+  /// ID's pointer identity; the value is unused (set semantics).
+  StripedTable<uint8_t> SeenMethodIds;
+  StripedTable<uint8_t> SeenFieldIds;
 };
 
 /// Access control: no assignment to final fields through the 18 Set
-/// functions (pitfall 9).
+/// functions (pitfall 9). Recording is rare (ID production); checking is
+/// the hot path, so lookups take the lock shared.
 class AccessControlMachine : public spec::MachineBase {
 public:
   AccessControlMachine();
+  uint64_t lockAcquires() const {
+    return Acquires.load(std::memory_order_relaxed);
+  }
 
 private:
-  mutable std::mutex Mu; ///< guards RecordedFinal
+  mutable std::shared_mutex Mu; ///< guards RecordedFinal
+  mutable std::atomic<uint64_t> Acquires{0};
   std::unordered_map<const void *, bool> RecordedFinal; ///< field id -> isFinal
 };
 
@@ -132,6 +165,7 @@ private:
 class NullnessMachine : public spec::MachineBase {
 public:
   NullnessMachine();
+  uint64_t lockAcquires() const { return 0; } ///< stateless
 };
 
 //===----------------------------------------------------------------------===
@@ -139,48 +173,80 @@ public:
 //===----------------------------------------------------------------------===
 
 /// Pinned or copied string or array: acquire/release must pair; leaks are
-/// reported at termination; double-free is an error (pitfall 11).
+/// reported at termination; double-free is an error (pitfall 11). The
+/// outstanding-acquisition table is striped by resource identity; each
+/// entry tallies acquisitions per pin family.
 class PinnedResourceMachine : public spec::MachineBase {
 public:
-  PinnedResourceMachine();
+  explicit PinnedResourceMachine(const MachineTuning &Tuning = {});
   void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
+  uint64_t lockAcquires() const { return Outstanding.lockAcquires(); }
 
 private:
-  /// (object identity, pin family) -> outstanding acquisitions.
-  mutable std::mutex Mu; ///< guards Outstanding
-  std::map<std::pair<uint64_t, int>, int> Outstanding;
+  /// Outstanding acquisitions per pin family, one slot per resource.
+  struct PinCounts {
+    int32_t ByFamily[6] = {0, 0, 0, 0, 0, 0}; ///< indexed by PinFamily
+    bool empty() const {
+      for (int32_t N : ByFamily)
+        if (N != 0)
+          return false;
+      return true;
+    }
+  };
+  StripedTable<PinCounts> Outstanding; ///< resource identity -> counts
 };
 
 /// Monitor: MonitorEnter/MonitorExit must pair by program termination.
+/// The held set is striped by object identity; read-only held lookups
+/// (heldEntryCount, the VM-death sweep) take shard locks shared.
 class MonitorMachine : public spec::MachineBase {
 public:
-  MonitorMachine();
+  explicit MonitorMachine(const MachineTuning &Tuning = {});
   void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
 
+  /// Outstanding JNI entry count for object identity \p Obj (read-only,
+  /// shared shard lock).
+  int64_t heldEntryCount(uint64_t Obj) const;
+  /// Number of distinct monitors currently held through JNI.
+  size_t heldMonitorCount() const { return Held.size(); }
+
+  uint64_t lockAcquires() const { return Held.lockAcquires(); }
+
 private:
-  mutable std::mutex Mu;        ///< guards Held
-  std::map<uint64_t, int> Held; ///< object identity -> entry count
+  StripedTable<int64_t> Held; ///< object identity -> entry count
 };
 
 /// Global / weak-global references: explicit acquire/release; use after
-/// release is dangling; unreleased references leak.
+/// release is dangling; unreleased references leak. The live set is
+/// striped by handle word; the use-site membership test — the hot path —
+/// takes its shard lock shared.
 class GlobalRefMachine : public spec::MachineBase {
 public:
-  GlobalRefMachine();
+  explicit GlobalRefMachine(const MachineTuning &Tuning = {});
   void onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) override;
+  uint64_t lockAcquires() const { return Live.lockAcquires(); }
 
 private:
-  mutable std::mutex Mu;             ///< guards Live
-  std::unordered_set<uint64_t> Live; ///< live global/weak handle words
+  StripedTable<uint8_t> Live; ///< live global/weak handle words (set)
 };
 
 /// Local references: the machine of paper Figure 2/Figure 8 — acquire on
 /// native entry and JNI returns, release on delete/pop/native return, use
 /// on JNI calls and native returns. Errors: overflow, leak (frames),
 /// dangling, double-free, wrong thread, and ID/reference confusion.
+///
+/// JNI local references are thread-confined by specification, so the
+/// shadow tables are too: each VM thread owns a ThreadShadow reached
+/// through a thread-local cache — no lock on the hot path. Cross-thread
+/// *use* of a local reference is a detected violation (the wrong-thread
+/// check in useCheck), not a supported access pattern. The registry that
+/// backs the cache is only locked on first touch per (machine, thread)
+/// and for the cross-thread observation queries below, which callers must
+/// only invoke once the owning thread has quiesced.
 class LocalRefMachine : public spec::MachineBase {
 public:
   LocalRefMachine();
+  ~LocalRefMachine() override;
   void onThreadStart(const spec::ThreadStartInfo &Info) override;
 
   /// Live local references currently tracked for \p ThreadId.
@@ -192,6 +258,10 @@ public:
   /// after every acquire/release with the new live count.
   std::function<void(uint32_t ThreadId, size_t Live)> OnCountChange;
 
+  uint64_t lockAcquires() const {
+    return RegistryAcquires.load(std::memory_order_relaxed);
+  }
+
 private:
   struct ShadowFrame {
     uint32_t Capacity = 16;
@@ -199,26 +269,37 @@ private:
     std::unordered_set<uint64_t> Live;
   };
   struct ThreadShadow {
+    uint32_t ThreadId = 0;
     std::vector<ShadowFrame> Frames;
     std::vector<size_t> EntryDepths; ///< frame depth at each native entry
   };
-  /// ShadowsMu guards only the map structure (insertion of new per-thread
-  /// entries); unordered_map node stability makes the returned ThreadShadow&
-  /// immune to rehashing. The *contents* of a ThreadShadow are only touched
-  /// by its owner thread (machine transitions run on the thread making the
-  /// JNI call), so the hot path stays lock-free on the owner.
-  mutable std::shared_mutex ShadowsMu;
-  std::unordered_map<uint32_t, ThreadShadow> Shadows;
+
+  /// RegistryMu guards only the map structure (insertion of new per-thread
+  /// entries). The *contents* of a ThreadShadow are only touched by the
+  /// thread whose transitions they shadow (machine transitions run on the
+  /// thread making the JNI call; offline replay runs every logical thread
+  /// on one OS thread), so the hot path is a two-word thread-local cache
+  /// compare and no lock.
+  mutable std::mutex RegistryMu;
+  mutable std::atomic<uint64_t> RegistryAcquires{0};
+  std::unordered_map<uint32_t, std::unique_ptr<ThreadShadow>> Shadows;
+  const uint64_t InstanceId; ///< keys the thread-local cache
 
   ThreadShadow &shadowOf(uint32_t ThreadId);
+  ThreadShadow *findShadow(uint32_t ThreadId) const;
   void acquire(spec::TransitionContext &Ctx, uint64_t Word);
   void useCheck(spec::TransitionContext &Ctx, uint64_t Word,
                 const char *What);
-  void countChanged(uint32_t ThreadId);
+  void countChanged(uint32_t ThreadId, const ThreadShadow &Shadow);
 };
 
 /// Convenience: constructs all eleven machines in paper order.
 struct MachineSet {
+  MachineSet() : MachineSet(MachineTuning{}) {}
+  explicit MachineSet(const MachineTuning &Tuning)
+      : EntityTyping(Tuning), PinnedResource(Tuning), Monitor(Tuning),
+        GlobalRef(Tuning) {}
+
   JniEnvStateMachine EnvState;
   ExceptionStateMachine ExceptionState;
   CriticalStateMachine CriticalState;
@@ -233,6 +314,10 @@ struct MachineSet {
 
   /// All machines, in paper order.
   std::vector<spec::MachineBase *> all();
+
+  /// (machine name, lock acquisitions) per machine — the contention proxy
+  /// surfaced through the Diagnostics counters and bench_mt_scaling.
+  std::vector<std::pair<const char *, uint64_t>> lockAcquireCounts() const;
 };
 
 } // namespace jinn::agent

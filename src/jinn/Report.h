@@ -11,6 +11,15 @@
 /// machine's case), it becomes the cause of the new failure, producing the
 /// "Caused by:" chain of Figure 9c. The faulting call is suppressed.
 ///
+/// Report *recording* is buffered per thread so the reporter never takes a
+/// global lock on the violation path: each OS thread appends to its own
+/// buffer and flushes under the global lock only at buffer-full, thread
+/// detach, or snapshot. The merged list is ordered by the deterministic
+/// (TimeNs, ThreadId, Seq) key the trace subsystem already uses — per-OS-
+/// thread stamps are strictly monotonic, so any single-OS-thread run (all
+/// deterministic scenarios, offline replay) merges to exact program order
+/// and the list stays byte-identical to the unbuffered reporter's output.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JINN_JINN_REPORT_H
@@ -18,6 +27,7 @@
 
 #include "spec/StateMachine.h"
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -38,7 +48,8 @@ struct JinnReport {
 /// Reporter that throws jinn.JNIAssertionFailure.
 class JinnReporter : public spec::Reporter {
 public:
-  explicit JinnReporter(jvm::Vm &Vm) : Vm(Vm) {}
+  explicit JinnReporter(jvm::Vm &Vm, size_t BufferCapacity = 64);
+  ~JinnReporter() override;
 
   void violation(spec::TransitionContext &Ctx,
                  const spec::StateMachineSpec &Machine,
@@ -47,14 +58,17 @@ public:
   void endOfRun(const spec::StateMachineSpec &Machine,
                 const std::string &Message) override;
 
-  /// Direct access to the report list. Callers must quiesce mutator
+  /// Direct access to the merged report list. Callers must quiesce mutator
   /// threads first (harness/termination use); concurrent reporting would
-  /// invalidate the reference.
-  const std::vector<JinnReport> &reports() const { return Reports; }
-  void clearReports() {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Reports.clear();
-  }
+  /// invalidate the reference. Drains every per-thread buffer and merges
+  /// by (TimeNs, ThreadId, Seq).
+  const std::vector<JinnReport> &reports() const;
+  void clearReports();
+
+  /// Flushes the calling OS thread's buffer into the merged list. Invoked
+  /// from the agent's ThreadEnd callback so reports cannot outlive their
+  /// thread unmerged.
+  void flushLocal();
 
   /// Debugger integration (paper §2.3): invoked at each violation, at the
   /// point of failure, before the exception unwinds — the hook a debugger
@@ -65,9 +79,28 @@ public:
   size_t countFor(std::string_view MachineName) const;
 
 private:
+  /// A report plus its deterministic merge key.
+  struct StampedReport {
+    JinnReport Report;
+    uint64_t TimeNs = 0;  ///< strictly monotonic per OS thread
+    uint32_t ThreadId = 0; ///< logical (VM) thread of the transition
+    uint64_t Seq = 0;      ///< per-buffer sequence, final tiebreak
+  };
+  /// One OS thread's append buffer. Only its owner thread appends; the
+  /// reporter drains it under Mu at flush points.
+  struct ThreadBuffer;
+
+  ThreadBuffer &localBuffer();
+  void append(StampedReport Stamped);
+  void drainAllLocked() const;
+
   jvm::Vm &Vm;
-  mutable std::mutex Mu; ///< guards Reports
-  std::vector<JinnReport> Reports;
+  const size_t BufferCapacity;
+  const uint64_t InstanceId; ///< keys the thread-local buffer cache
+  mutable std::mutex Mu;     ///< guards Buffers, Drained, Reports
+  mutable std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  mutable std::vector<StampedReport> Drained;
+  mutable std::vector<JinnReport> Reports; ///< merged view of Drained
 };
 
 } // namespace jinn::agent

@@ -38,7 +38,8 @@ AccessControlMachine::AccessControlMachine() {
         if (!Id || !Ctx.call().returnFieldIdValid())
           return;
         const auto *F = static_cast<const jvm::FieldInfo *>(Id);
-        std::lock_guard<std::mutex> Lock(Mu);
+        Acquires.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock<std::shared_mutex> Lock(Mu);
         RecordedFinal[Id] = F->IsFinal;
       }));
 
@@ -55,7 +56,10 @@ AccessControlMachine::AccessControlMachine() {
           return; // invalid IDs belong to the entity-typing machine
         bool IsFinal;
         {
-          std::lock_guard<std::mutex> Lock(Mu);
+          // Read-mostly: recording only happens at ID production, so the
+          // per-write check takes the lock shared.
+          Acquires.fetch_add(1, std::memory_order_relaxed);
+          std::shared_lock<std::shared_mutex> Lock(Mu);
           auto It = RecordedFinal.find(F);
           IsFinal = It != RecordedFinal.end() ? It->second : F->IsFinal;
         }

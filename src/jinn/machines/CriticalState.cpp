@@ -11,6 +11,12 @@
 /// because the JVM may have disabled GC (pitfall 16). The encoding tallies,
 /// per thread, how many times each critical resource was acquired.
 ///
+/// The Inside->Error transition matches almost every JNI function, so its
+/// guard — "is this thread's depth nonzero?" — runs on nearly every
+/// crossing. The per-thread depth therefore lives in a wait-free
+/// AtomicWordArray; only the per-resource Held map, touched exclusively by
+/// the rare critical acquire/release pair, still takes the mutex.
+///
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
@@ -46,8 +52,9 @@ CriticalStateMachine::CriticalStateMachine() {
           return; // acquisition failed; no state change
         uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
         uint32_t Tid = Ctx.threadId();
+        Depth.fetchAdd(Tid, 1);
+        HeldAcquires.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> Lock(Mu);
-        depthSlot(Tid) += 1;
         Held[{Tid, Resource}] += 1;
       }));
 
@@ -74,23 +81,24 @@ CriticalStateMachine::CriticalStateMachine() {
         bool Found = Buf && Ctx.releasedBuffer(Buf, BufTarget);
         // Decide under the lock, report after releasing it: violation()
         // may allocate a throwable and thereby trigger a collection, which
-        // must not happen while a machine mutex is held.
+        // must not happen while a machine mutex is held. The depth word is
+        // only ever written by its own thread, so reading it outside the
+        // Held lock cannot race.
         const char *Error = nullptr;
-        {
+        if (!Found || depthOf(Tid) <= 0) {
+          Error = "An unmatched critical-section release was issued";
+        } else {
+          uint64_t Resource = BufTarget;
+          HeldAcquires.fetch_add(1, std::memory_order_relaxed);
           std::lock_guard<std::mutex> Lock(Mu);
-          if (!Found || depthSlot(Tid) <= 0) {
-            Error = "An unmatched critical-section release was issued";
+          auto It = Held.find({Tid, Resource});
+          if (It == Held.end() || It->second <= 0) {
+            Error = "A critical resource was released that this thread "
+                    "does not hold";
           } else {
-            uint64_t Resource = BufTarget;
-            auto It = Held.find({Tid, Resource});
-            if (It == Held.end() || It->second <= 0) {
-              Error = "A critical resource was released that this thread "
-                      "does not hold";
-            } else {
-              if (--It->second == 0)
-                Held.erase(It);
-              depthSlot(Tid) -= 1;
-            }
+            if (--It->second == 0)
+              Held.erase(It);
+            Depth.fetchAdd(Tid, -1);
           }
         }
         if (Error)
@@ -111,9 +119,4 @@ CriticalStateMachine::CriticalStateMachine() {
             Ctx, Spec,
             "A JNI call was made inside a JNI critical section");
       }));
-}
-
-int CriticalStateMachine::depthOf(uint32_t ThreadId) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return ThreadId < Depth.size() ? Depth[ThreadId] : 0;
 }

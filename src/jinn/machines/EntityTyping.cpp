@@ -53,7 +53,8 @@ bool conformsTo(TransitionContext &Ctx, uint64_t Word,
 
 } // namespace
 
-EntityTypingMachine::EntityTypingMachine() {
+EntityTypingMachine::EntityTypingMachine(const MachineTuning &Tuning)
+    : SeenMethodIds(Tuning.ShardCount), SeenFieldIds(Tuning.ShardCount) {
   Spec.Name = "Entity-specific typing";
   Spec.ObservedEntity = "A pair of ID parameters";
   Spec.Errors = "Type mismatch for Java field assignment or between actual "
@@ -75,11 +76,13 @@ EntityTypingMachine::EntityTypingMachine() {
         const void *Id = Ctx.call().returnPtr();
         if (!Id)
           return;
-        std::lock_guard<std::mutex> Lock(Mu);
-        if (Ctx.call().traits().ProducesMethodId)
-          SeenMethodIds.insert(Id);
-        else
-          SeenFieldIds.insert(Id);
+        uint64_t Key = reinterpret_cast<uint64_t>(Id);
+        StripedTable<uint8_t> &Table = Ctx.call().traits().ProducesMethodId
+                                           ? SeenMethodIds
+                                           : SeenFieldIds;
+        auto &Shard = Table.shardFor(Key);
+        auto Lock = StripedTable<uint8_t>::exclusive(Shard);
+        Shard.Map.findOrEmplace(Key, 1);
       }));
 
   // Check: Call:C->Java of the 131 consuming functions.

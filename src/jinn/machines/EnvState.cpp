@@ -10,6 +10,10 @@
 /// encoding maps thread ids to expected JNIEnv pointers, learned at thread
 /// start through JVMTI.
 ///
+/// This machine fires on *every* JNI function, so its read path is the
+/// single hottest shadow lookup in the checker: the expected-env table is
+/// an AtomicWordArray and the check is two wait-free atomic loads.
+///
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
@@ -38,13 +42,7 @@ JniEnvStateMachine::JniEnvStateMachine() {
                            Ctx.currentThreadName().c_str()));
           return;
         }
-        uint32_t Tid = Ctx.threadId();
-        uint64_t Expected = 0;
-        {
-          std::lock_guard<std::mutex> Lock(Mu);
-          if (Tid < ExpectedEnv.size())
-            Expected = ExpectedEnv[Tid];
-        }
+        uint64_t Expected = ExpectedEnv.load(Ctx.threadId());
         if (Expected && Expected != Ctx.envWord())
           Ctx.reporter().violation(
               Ctx, Spec, "A stale JNIEnv pointer was used for this thread");
@@ -52,8 +50,5 @@ JniEnvStateMachine::JniEnvStateMachine() {
 }
 
 void JniEnvStateMachine::onThreadStart(const spec::ThreadStartInfo &Info) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (Info.Id >= ExpectedEnv.size())
-    ExpectedEnv.resize(Info.Id + 1, 0);
-  ExpectedEnv[Info.Id] = Info.EnvWord;
+  ExpectedEnv.store(Info.Id, Info.EnvWord);
 }

@@ -13,6 +13,10 @@
 /// References created before the agent attached are adopted on first use
 /// instead of being reported — Jinn has no false positives (paper §2.2).
 ///
+/// The live set is striped by handle word: acquire/release take one
+/// shard's lock exclusive, and the hot use-site membership test takes it
+/// shared, so threads touching different references rarely contend.
+///
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
@@ -39,7 +43,8 @@ bool takesRefParam(const FnTraits &Traits) {
 
 } // namespace
 
-GlobalRefMachine::GlobalRefMachine() {
+GlobalRefMachine::GlobalRefMachine(const MachineTuning &Tuning)
+    : Live(Tuning.ShardCount) {
   Spec.Name = "Global or weak global reference";
   Spec.ObservedEntity = "A global or weak global JNI reference";
   Spec.Errors = "Leak and dangling reference";
@@ -60,8 +65,9 @@ GlobalRefMachine::GlobalRefMachine() {
       [this](TransitionContext &Ctx) {
         uint64_t Word = Ctx.call().returnWord();
         if (Word) {
-          std::lock_guard<std::mutex> Lock(Mu);
-          Live.insert(Word);
+          auto &Shard = Live.shardFor(Word);
+          auto Lock = StripedTable<uint8_t>::exclusive(Shard);
+          Shard.Map.findOrEmplace(Word, 1);
         }
       }));
 
@@ -80,8 +86,9 @@ GlobalRefMachine::GlobalRefMachine() {
         if (!Word)
           return;
         {
-          std::lock_guard<std::mutex> Lock(Mu);
-          if (Live.erase(Word))
+          auto &Shard = Live.shardFor(Word);
+          auto Lock = StripedTable<uint8_t>::exclusive(Shard);
+          if (Shard.Map.erase(Word))
             return;
         }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
@@ -113,15 +120,17 @@ GlobalRefMachine::GlobalRefMachine() {
                         Bits->Kind != RefKind::WeakGlobal))
             continue; // locals belong to the local-reference machine
           {
-            std::lock_guard<std::mutex> Lock(Mu);
-            if (Live.count(Word))
+            const auto &Shard = Live.shardFor(Word);
+            auto Lock = StripedTable<uint8_t>::shared(Shard);
+            if (Shard.Map.find(Word))
               continue;
           }
           jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
           if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
               Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
-            std::lock_guard<std::mutex> Lock(Mu);
-            Live.insert(Word); // pre-agent reference: adopt it
+            auto &Shard = Live.shardFor(Word);
+            auto Lock = StripedTable<uint8_t>::exclusive(Shard);
+            Shard.Map.findOrEmplace(Word, 1); // pre-agent ref: adopt it
             continue;
           }
           Ctx.reporter().violation(
@@ -151,15 +160,17 @@ GlobalRefMachine::GlobalRefMachine() {
                       Bits->Kind != RefKind::WeakGlobal))
           return;
         {
-          std::lock_guard<std::mutex> Lock(Mu);
-          if (Live.count(Word))
+          const auto &Shard = Live.shardFor(Word);
+          auto Lock = StripedTable<uint8_t>::shared(Shard);
+          if (Shard.Map.find(Word))
             return;
         }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
         if (Peek.S == jvm::Vm::PeekResult::Status::Live ||
             Peek.S == jvm::Vm::PeekResult::Status::ClearedWeak) {
-          std::lock_guard<std::mutex> Lock(Mu);
-          Live.insert(Word);
+          auto &Shard = Live.shardFor(Word);
+          auto Lock = StripedTable<uint8_t>::exclusive(Shard);
+          Shard.Map.findOrEmplace(Word, 1);
           return;
         }
         Ctx.reporter().violation(
@@ -170,11 +181,7 @@ GlobalRefMachine::GlobalRefMachine() {
 
 void GlobalRefMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
-  size_t LiveCount;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    LiveCount = Live.size();
-  }
+  size_t LiveCount = Live.size();
   if (LiveCount > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu global or weak global reference(s) were "

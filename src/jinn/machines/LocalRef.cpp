@@ -15,6 +15,18 @@
 /// ensured capacity, default 16), dangling use, double free, cross-thread
 /// use, leaked explicit frames, and ID/reference confusion (pitfall 6).
 ///
+/// Concurrency: local references are thread-confined by the JNI spec, and
+/// so is the shadow. Each thread's ThreadShadow is reached through a
+/// thread-local cache keyed by (machine instance, logical thread id) — the
+/// logical id matters because offline trace replay runs every recorded
+/// thread on one OS thread. The hot path is a two-word compare and no
+/// lock; RegistryMu is taken only on the first touch per (machine, thread)
+/// and by the cross-thread observation queries (liveCount/topCapacity),
+/// which callers must only invoke once the owning thread has quiesced.
+/// Cross-thread *use* of a local reference is a reported violation (the
+/// wrong-thread check below fires before any shadow access), not a
+/// supported access pattern.
+///
 /// Note on ordering: the Use transitions are listed before the Release
 /// transitions so that, at a native-method return, a returned reference is
 /// validated *before* the frame pop invalidates the shadow set.
@@ -39,61 +51,90 @@ bool isLocalUseFunction(const FnTraits &Traits) {
          Traits.Resource != ResourceRole::PopFrame;
 }
 
+/// The thread-local fast path: one entry per OS thread, keyed by machine
+/// instance and logical thread id. Pointers cached here stay valid because
+/// shadows are heap-allocated (unique_ptr) and never destroyed before the
+/// machine itself; instance ids are never reused, so an entry from a
+/// destroyed machine can never match a live one.
+struct ShadowCacheEntry {
+  uint64_t Instance = 0;
+  uint32_t Tid = 0;
+  void *Shadow = nullptr;
+};
+thread_local ShadowCacheEntry LocalShadowCache;
+
+std::atomic<uint64_t> NextLocalRefInstanceId{1};
+
 } // namespace
 
+LocalRefMachine::~LocalRefMachine() = default;
+
 LocalRefMachine::ThreadShadow &LocalRefMachine::shadowOf(uint32_t ThreadId) {
-  // Only the map structure needs the lock; the node reference stays valid
-  // across rehashes and the contents are owner-thread-only.
-  ThreadShadow *Shadow;
-  {
-    std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
-    auto It = Shadows.find(ThreadId);
-    Shadow = It != Shadows.end() ? &It->second : nullptr;
+  ShadowCacheEntry &Cache = LocalShadowCache;
+  if (Cache.Instance == InstanceId && Cache.Tid == ThreadId)
+    return *static_cast<ThreadShadow *>(Cache.Shadow);
+  RegistryAcquires.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  std::unique_ptr<ThreadShadow> &Slot = Shadows[ThreadId];
+  if (!Slot) {
+    Slot = std::make_unique<ThreadShadow>();
+    Slot->ThreadId = ThreadId;
   }
-  if (!Shadow) {
-    std::unique_lock<std::shared_mutex> Lock(ShadowsMu);
-    Shadow = &Shadows[ThreadId];
-  }
-  if (Shadow->Frames.empty())
-    Shadow->Frames.emplace_back(); // base frame for detached-style use
-  return *Shadow;
+  if (Slot->Frames.empty())
+    Slot->Frames.emplace_back(); // base frame for detached-style use
+  Cache = {InstanceId, ThreadId, Slot.get()};
+  return *Slot;
+}
+
+LocalRefMachine::ThreadShadow *
+LocalRefMachine::findShadow(uint32_t ThreadId) const {
+  RegistryAcquires.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  auto It = Shadows.find(ThreadId);
+  return It != Shadows.end() ? It->second.get() : nullptr;
 }
 
 void LocalRefMachine::onThreadStart(const spec::ThreadStartInfo &Info) {
-  ThreadShadow *Shadow;
-  {
-    std::unique_lock<std::shared_mutex> Lock(ShadowsMu);
-    Shadow = &Shadows[Info.Id];
+  RegistryAcquires.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  std::unique_ptr<ThreadShadow> &Slot = Shadows[Info.Id];
+  if (!Slot) {
+    Slot = std::make_unique<ThreadShadow>();
+    Slot->ThreadId = Info.Id;
   }
-  if (Shadow->Frames.empty()) {
+  if (Slot->Frames.empty()) {
     ShadowFrame Base;
     Base.Capacity = Info.FrameCapacity;
-    Shadow->Frames.push_back(std::move(Base));
+    Slot->Frames.push_back(std::move(Base));
   }
 }
 
 size_t LocalRefMachine::liveCount(uint32_t ThreadId) const {
-  std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
-  auto It = Shadows.find(ThreadId);
-  if (It == Shadows.end())
+  const ThreadShadow *Shadow = findShadow(ThreadId);
+  if (!Shadow)
     return 0;
   size_t N = 0;
-  for (const ShadowFrame &Frame : It->second.Frames)
+  for (const ShadowFrame &Frame : Shadow->Frames)
     N += Frame.Live.size();
   return N;
 }
 
 uint32_t LocalRefMachine::topCapacity(uint32_t ThreadId) const {
-  std::shared_lock<std::shared_mutex> Lock(ShadowsMu);
-  auto It = Shadows.find(ThreadId);
-  if (It == Shadows.end() || It->second.Frames.empty())
+  const ThreadShadow *Shadow = findShadow(ThreadId);
+  if (!Shadow || Shadow->Frames.empty())
     return 0;
-  return It->second.Frames.back().Capacity;
+  return Shadow->Frames.back().Capacity;
 }
 
-void LocalRefMachine::countChanged(uint32_t ThreadId) {
-  if (OnCountChange)
-    OnCountChange(ThreadId, liveCount(ThreadId));
+void LocalRefMachine::countChanged(uint32_t ThreadId,
+                                   const ThreadShadow &Shadow) {
+  if (!OnCountChange)
+    return;
+  // Tally straight from the shadow we already own — no registry lock.
+  size_t N = 0;
+  for (const ShadowFrame &Frame : Shadow.Frames)
+    N += Frame.Live.size();
+  OnCountChange(ThreadId, N);
 }
 
 void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
@@ -105,7 +146,7 @@ void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
   ThreadShadow &Shadow = shadowOf(Ctx.threadId());
   ShadowFrame &Top = Shadow.Frames.back();
   Top.Live.insert(Word);
-  countChanged(Ctx.threadId());
+  countChanged(Ctx.threadId(), Shadow);
   if (Top.Live.size() > Top.Capacity)
     Ctx.reporter().violation(
         Ctx, Spec,
@@ -131,6 +172,8 @@ void LocalRefMachine::useCheck(TransitionContext &Ctx, uint64_t Word,
     return; // globals belong to the global-reference machine
   uint32_t Tid = Ctx.threadId();
   if (Bits->Thread != Tid) {
+    // Thread confinement: never touch the owning thread's shadow from
+    // here — report and stop.
     Ctx.reporter().violation(
         Ctx, Spec,
         formatString("%s is a local reference that belongs to thread %u, "
@@ -155,7 +198,9 @@ void LocalRefMachine::useCheck(TransitionContext &Ctx, uint64_t Word,
                    What));
 }
 
-LocalRefMachine::LocalRefMachine() {
+LocalRefMachine::LocalRefMachine()
+    : InstanceId(NextLocalRefInstanceId.fetch_add(1,
+                                                  std::memory_order_relaxed)) {
   Spec.Name = "Local reference";
   Spec.ObservedEntity = "A local JNI reference";
   Spec.Errors = "Overflow, leak, dangling, and double-free";
@@ -263,7 +308,7 @@ LocalRefMachine::LocalRefMachine() {
         for (auto It = Shadow.Frames.rbegin(); It != Shadow.Frames.rend();
              ++It)
           if (It->Live.erase(Word)) {
-            countChanged(Ctx.threadId());
+            countChanged(Ctx.threadId(), Shadow);
             return;
           }
         jvm::Vm::PeekResult Peek = peekRef(Ctx, Word);
@@ -288,7 +333,7 @@ LocalRefMachine::LocalRefMachine() {
           return;
         }
         Shadow.Frames.pop_back();
-        countChanged(Ctx.threadId());
+        countChanged(Ctx.threadId(), Shadow);
       }));
 
   // Release at Return:C->Java: the VM frees the native frame; explicit
@@ -309,7 +354,7 @@ LocalRefMachine::LocalRefMachine() {
             ++ExplicitLeaks;
           Shadow.Frames.pop_back();
         }
-        countChanged(Ctx.threadId());
+        countChanged(Ctx.threadId(), Shadow);
         if (ExplicitLeaks > 0)
           Ctx.reporter().violation(
               Ctx, Spec,

@@ -11,6 +11,9 @@
 /// the JVM already throws (IllegalMonitorStateException), as the paper
 /// notes.
 ///
+/// The held set is striped by object identity; read-only queries
+/// (heldEntryCount, the VM-death sweep) take shard locks shared.
+///
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
@@ -18,7 +21,8 @@
 using namespace jinn;
 using namespace jinn::agent;
 
-MonitorMachine::MonitorMachine() {
+MonitorMachine::MonitorMachine(const MachineTuning &Tuning)
+    : Held(Tuning.ShardCount) {
   Spec.Name = "Monitor";
   Spec.ObservedEntity = "A monitor";
   Spec.Errors = "Leak";
@@ -35,8 +39,9 @@ MonitorMachine::MonitorMachine() {
           return;
         uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
         if (Obj) {
-          std::lock_guard<std::mutex> Lock(Mu);
-          Held[Obj] += 1;
+          auto &Shard = Held.shardFor(Obj);
+          auto Lock = StripedTable<int64_t>::exclusive(Shard);
+          Shard.Map.findOrEmplace(Obj, 0) += 1;
         }
       }));
 
@@ -48,22 +53,26 @@ MonitorMachine::MonitorMachine() {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
         uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
-        std::lock_guard<std::mutex> Lock(Mu);
-        auto It = Held.find(Obj);
-        if (It == Held.end())
+        auto &Shard = Held.shardFor(Obj);
+        auto Lock = StripedTable<int64_t>::exclusive(Shard);
+        int64_t *Count = Shard.Map.find(Obj);
+        if (!Count)
           return; // the JVM already threw for unbalanced exits
-        if (--It->second == 0)
-          Held.erase(It);
+        if (--*Count == 0)
+          Shard.Map.erase(Obj);
       }));
+}
+
+int64_t MonitorMachine::heldEntryCount(uint64_t Obj) const {
+  const auto &Shard = Held.shardFor(Obj);
+  auto Lock = StripedTable<int64_t>::shared(Shard);
+  const int64_t *Count = Shard.Map.find(Obj);
+  return Count ? *Count : 0;
 }
 
 void MonitorMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
-  size_t HeldCount;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    HeldCount = Held.size();
-  }
+  size_t HeldCount = Held.size();
   if (HeldCount > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu monitor(s) still held through JNI at "

@@ -12,6 +12,10 @@
 /// Dangling buffer *contents* cannot be checked at the language boundary
 /// (paper §6.5, category 3) — only the acquire/release protocol is.
 ///
+/// The outstanding-acquisition table is striped by resource identity; each
+/// shard entry tallies acquisitions per pin family, so the shard critical
+/// sections stay allocation-free.
+///
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
@@ -22,7 +26,8 @@ using jinn::jni::ArgClass;
 using jinn::jni::FnTraits;
 using jinn::jni::ResourceRole;
 
-PinnedResourceMachine::PinnedResourceMachine() {
+PinnedResourceMachine::PinnedResourceMachine(const MachineTuning &Tuning)
+    : Outstanding(Tuning.ShardCount) {
   Spec.Name = "Pinned or copied string or array";
   Spec.ObservedEntity = "A Java string or array that is pinned or copied";
   Spec.Errors = "Leak and double-free";
@@ -45,9 +50,10 @@ PinnedResourceMachine::PinnedResourceMachine() {
         uint64_t Resource = identityOf(Ctx, Ctx.call().refWord(0));
         if (!Resource)
           return;
-        std::lock_guard<std::mutex> Lock(Mu);
-        Outstanding[{Resource,
-                     static_cast<int>(Ctx.call().traits().Pin)}] += 1;
+        int Family = static_cast<int>(Ctx.call().traits().Pin);
+        auto &Shard = Outstanding.shardFor(Resource);
+        auto Lock = StripedTable<PinCounts>::exclusive(Shard);
+        Shard.Map.findOrEmplace(Resource).ByFamily[Family] += 1;
       }));
 
   // Release: Return:Java->C of the matching release functions. The
@@ -88,17 +94,18 @@ PinnedResourceMachine::PinnedResourceMachine() {
         if (ModeIndex >= 0 &&
             static_cast<jint>(Ctx.call().arg(ModeIndex).Word) == JNI_COMMIT)
           return;
-        auto Key =
-            std::pair<uint64_t, int>(BufTarget, static_cast<int>(Traits.Pin));
+        int Family = static_cast<int>(Traits.Pin);
         // Decide under the lock, report outside it (violation() may GC).
         bool DoubleFree = false;
         {
-          std::lock_guard<std::mutex> Lock(Mu);
-          auto It = Outstanding.find(Key);
-          if (It == Outstanding.end() || It->second <= 0)
+          auto &Shard = Outstanding.shardFor(BufTarget);
+          auto Lock = StripedTable<PinCounts>::exclusive(Shard);
+          PinCounts *Counts = Shard.Map.find(BufTarget);
+          if (!Counts || Counts->ByFamily[Family] <= 0) {
             DoubleFree = true;
-          else if (--It->second == 0)
-            Outstanding.erase(It);
+          } else if (--Counts->ByFamily[Family] == 0 && Counts->empty()) {
+            Shard.Map.erase(BufTarget);
+          }
         }
         if (DoubleFree)
           Ctx.reporter().violation(
@@ -111,11 +118,10 @@ PinnedResourceMachine::PinnedResourceMachine() {
 void PinnedResourceMachine::onVmDeath(spec::Reporter &Rep, jvm::Vm &Vm) {
   (void)Vm;
   size_t Leaked = 0;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    for (const auto &Entry : Outstanding)
-      Leaked += static_cast<size_t>(Entry.second);
-  }
+  Outstanding.forEach([&](uint64_t, const PinCounts &Counts) {
+    for (int32_t N : Counts.ByFamily)
+      Leaked += static_cast<size_t>(N);
+  });
   if (Leaked > 0)
     Rep.endOfRun(Spec,
                  formatString("%zu pinned string/array resource(s) were "

@@ -15,6 +15,8 @@
 
 #include "support/Compiler.h"
 
+#include <thread>
+
 using namespace jinn;
 using namespace jinn::scenarios;
 
@@ -299,6 +301,27 @@ void microIdRefConfusion(ScenarioWorld &W) {
   });
 }
 
+void microCrossThreadLocalUse(ScenarioWorld &W) {
+  W.runAsNative("CrossThreadLocal", [&W](JNIEnv *Env) {
+    jstring Local = Env->functions->NewStringUTF(Env, "thread-confined");
+    JavaVM *Jvm = W.Rt.javaVm();
+    // A real OS thread attaches through the invocation interface, so its
+    // JNIEnv legitimately belongs to it — only the reference is foreign.
+    std::thread Worker([Jvm, Local] {
+      JNIEnv *WorkerEnv = nullptr;
+      if (Jvm->functions->AttachCurrentThread(Jvm, &WorkerEnv, nullptr) !=
+          JNI_OK)
+        return;
+      // BUG: local references are thread-confined (pitfall 13); this one
+      // belongs to the main thread.
+      WorkerEnv->functions->GetStringUTFLength(WorkerEnv, Local);
+      WorkerEnv->functions->ExceptionClear(WorkerEnv);
+      Jvm->functions->DetachCurrentThread(Jvm);
+    });
+    Worker.join();
+  });
+}
+
 void microUnterminatedString(ScenarioWorld &W) {
   W.runAsNative("UnterminatedString", [](JNIEnv *Env) {
     jstring S = Env->functions->NewStringUTF(Env, "no terminator");
@@ -357,6 +380,8 @@ void jinn::scenarios::runMicrobenchmark(MicroId Id, ScenarioWorld &World) {
     return microLocalDoubleFree(World);
   case MicroId::IdRefConfusion:
     return microIdRefConfusion(World);
+  case MicroId::CrossThreadLocalUse:
+    return microCrossThreadLocalUse(World);
   case MicroId::UnterminatedString:
     return microUnterminatedString(World);
   case MicroId::Count:

@@ -53,6 +53,8 @@ const std::vector<MicroInfo> &jinn::scenarios::allMicrobenchmarks() {
        "DeleteLocalRef twice on the same reference", true},
       {MicroId::IdRefConfusion, "IdConfusion", "Local reference", 6,
        "passes a jmethodID where a reference is expected", true},
+      {MicroId::CrossThreadLocalUse, "CrossThreadLocal", "Local reference",
+       13, "uses one thread's local reference from another thread", true},
       {MicroId::UnterminatedString, "UnterminatedString", "(none)", 8,
        "reads past a non-NUL-terminated Unicode buffer", false},
   };
@@ -84,6 +86,8 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
     Options.Recorder = Config.JinnRecorder;
     Options.EnabledMachines = Config.JinnEnabledMachines;
     Options.SparseDispatch = Config.JinnSparseDispatch;
+    Options.ShardCount = Config.JinnShardCount;
+    Options.ReportBufferSize = Config.JinnReportBuffer;
     Jinn = static_cast<agent::JinnAgent *>(
         &Host.load(std::make_unique<agent::JinnAgent>(std::move(Options))));
     break;

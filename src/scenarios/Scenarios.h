@@ -50,6 +50,7 @@ enum class MicroId : uint8_t {
   LocalDangling,      ///< pitfall 13: the GNOME bug of Figure 1
   LocalDoubleFree,    ///< pitfall 13: DeleteLocalRef twice
   IdRefConfusion,     ///< pitfall 6: jmethodID used as a reference
+  CrossThreadLocalUse, ///< pitfall 13: a local ref used from another thread
   UnterminatedString, ///< pitfall 8: undetectable at the language boundary
   Count,
 };
@@ -86,6 +87,12 @@ struct WorldConfig {
   std::vector<std::string> JinnEnabledMachines;
   /// Static check elision, forwarded to JinnOptions::SparseDispatch.
   bool JinnSparseDispatch = true;
+  /// Lock stripes per global shadow table, forwarded to
+  /// JinnOptions::ShardCount.
+  unsigned JinnShardCount = agent::DefaultShardCount;
+  /// Per-thread report buffer capacity, forwarded to
+  /// JinnOptions::ReportBufferSize.
+  size_t JinnReportBuffer = 64;
 };
 
 /// A fresh VM + JNI runtime + (optionally) a checker agent, plus helpers

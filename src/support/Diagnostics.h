@@ -20,6 +20,8 @@
 #define JINN_SUPPORT_DIAGNOSTICS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -93,11 +95,29 @@ public:
   /// True if any incident of kind \p Kind was recorded.
   bool has(IncidentKind Kind) const { return count(Kind) != 0; }
 
-  /// Drops all recorded incidents.
+  /// Drops all recorded incidents (named counters are kept).
   void clear() {
     std::lock_guard<std::mutex> Lock(Mu);
     Incidents.clear();
   }
+
+  /// Publishes the latest value of named counter \p Name (overwriting any
+  /// previous value). Used for machine-level contention proxies such as
+  /// per-machine lock-acquire totals.
+  void setCounter(const std::string &Name, uint64_t Value) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Counters[Name] = Value;
+  }
+
+  /// Latest published value of counter \p Name (0 when never set).
+  uint64_t counter(const std::string &Name) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Counters.find(Name);
+    return It != Counters.end() ? It->second : 0;
+  }
+
+  /// All named counters, sorted by name. Same quiesce rule as incidents().
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
 
   /// Controls stderr echoing (off by default; tests keep it off).
   void setEcho(bool Value) { Echo = Value; }
@@ -105,6 +125,7 @@ public:
 private:
   mutable std::mutex Mu;
   std::vector<Incident> Incidents;
+  std::map<std::string, uint64_t> Counters;
   Output *Plugged = nullptr;
   bool Echo = false;
 };

@@ -13,6 +13,9 @@
 
 #include "TestHarness.h"
 
+#include <atomic>
+#include <thread>
+
 using namespace jinn;
 using namespace jinn::testing;
 
@@ -436,6 +439,35 @@ TEST_F(Machines, Local_CrossThreadUseFlagged) {
   // The worker uses main's local reference through its own (correct) env.
   WorkerEnv->functions->GetStringUTFLength(WorkerEnv, S);
   EXPECT_GE(reportsFor("Local reference"), 1u);
+}
+
+TEST_F(Machines, Local_CrossThreadUseFromRealThreadReportsOwnership) {
+  // The thread-confined shadow layout must still *detect* cross-thread
+  // use: the wrong-thread check reads only the handle's thread bits, so it
+  // never touches (or creates) the foreign thread's shadow table.
+  jstring S = Fns->NewStringUTF(Env, "confined");
+  JavaVM *Jvm = W.Rt.javaVm();
+  std::atomic<bool> Attached{false};
+  std::thread Worker([&] {
+    JNIEnv *WorkerEnv = nullptr;
+    if (Jvm->functions->AttachCurrentThread(Jvm, &WorkerEnv, nullptr) !=
+        JNI_OK)
+      return;
+    Attached = true;
+    // The env is the worker's own; only the reference is foreign.
+    WorkerEnv->functions->GetStringUTFLength(WorkerEnv, S);
+    WorkerEnv->functions->ExceptionClear(WorkerEnv);
+    Jvm->functions->DetachCurrentThread(Jvm);
+  });
+  Worker.join();
+  ASSERT_TRUE(Attached.load());
+  EXPECT_EQ(reportsFor("JNIEnv* state"), 0u); // not an env mismatch
+  ASSERT_EQ(reportsFor("Local reference"), 1u);
+  bool FoundOwnership = false;
+  for (const agent::JinnReport &Report : W.Jinn.reporter().reports())
+    FoundOwnership |=
+        Report.Message.find("belongs to thread") != std::string::npos;
+  EXPECT_TRUE(FoundOwnership);
 }
 
 TEST_F(Machines, Local_MethodIdUsedAsReferenceFlagged) {

@@ -75,6 +75,8 @@ const Expected Matrix[] = {
      Outcome::Error, Outcome::Error, Outcome::JinnException},
     {MicroId::IdRefConfusion, Outcome::Crash, Outcome::Crash, Outcome::Error,
      Outcome::Error, Outcome::JinnException},
+    {MicroId::CrossThreadLocalUse, Outcome::Running, Outcome::Crash,
+     Outcome::Error, Outcome::Error, Outcome::JinnException},
     // Pitfall 8: nobody detects it at the boundary; Jinn behaves like a
     // production run (paper §2, Table 1 row 8).
     {MicroId::UnterminatedString, Outcome::Running, Outcome::Npe,
@@ -140,7 +142,7 @@ TEST(Coverage, JinnDetectsEveryBoundaryDetectableMicrobenchmark) {
       ++Detected;
   }
   EXPECT_EQ(Detected, Total); // Jinn: 100% (paper §6.3)
-  EXPECT_EQ(Total, 17u);
+  EXPECT_EQ(Total, 18u);
 }
 
 } // namespace

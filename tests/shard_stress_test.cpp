@@ -1,0 +1,226 @@
+//===- tests/shard_stress_test.cpp - Striped shadow-state stress tests ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stress for the concurrency-scalable shadow-state layout: N OS threads
+/// hammer create/use/delete of global references, monitors, and pinned
+/// resources across shard boundaries, with and without deliberate
+/// violations. The merged report list must match a single-threaded run of
+/// the same logical scenarios, shard-count and report-buffer knobs must
+/// not change what is reported, and the whole suite must run clean under
+/// -fsanitize=thread (configure with -DJINN_TSAN=ON).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHarness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace jinn;
+using namespace jinn::testing;
+
+namespace {
+
+constexpr int NumThreads = 4;
+constexpr int Iterations = 50;
+
+/// JinnWorld with explicit agent options (shard count, report buffer).
+class TunedJinnWorld : public VmWorld {
+public:
+  explicit TunedJinnWorld(agent::JinnOptions Options)
+      : Host(Rt), Jinn(static_cast<agent::JinnAgent &>(Host.load(
+                      std::make_unique<agent::JinnAgent>(
+                          std::move(Options))))) {}
+
+  jvmti::AgentHost Host;
+  agent::JinnAgent &Jinn;
+};
+
+/// Balanced churn over the three striped resource machines; no violation.
+void correctChurn(JNIEnv *Env, int Rounds) {
+  const JNINativeInterface_ *Fns = Env->functions;
+  for (int I = 0; I < Rounds; ++I) {
+    jstring S = Fns->NewStringUTF(Env, "churn");
+    jobject G = Fns->NewGlobalRef(Env, S);
+    Fns->GetStringUTFLength(Env, static_cast<jstring>(G));
+    if (Fns->MonitorEnter(Env, G) == JNI_OK)
+      Fns->MonitorExit(Env, G);
+    jintArray Arr = Fns->NewIntArray(Env, 4);
+    if (jint *Elems = Fns->GetIntArrayElements(Env, Arr, nullptr))
+      Fns->ReleaseIntArrayElements(Env, Arr, Elems, 0);
+    Fns->DeleteLocalRef(Env, Arr);
+    Fns->DeleteGlobalRef(Env, G);
+    Fns->DeleteLocalRef(Env, S);
+  }
+}
+
+/// One deterministic violation bundle: a global-ref double free, a pinned
+/// double free, and a dangling local use — three reports, all with
+/// thread-independent messages, resources balanced afterwards.
+void violationBundle(JNIEnv *Env) {
+  const JNINativeInterface_ *Fns = Env->functions;
+
+  jstring S = Fns->NewStringUTF(Env, "doomed");
+  jobject G = Fns->NewGlobalRef(Env, S);
+  Fns->DeleteGlobalRef(Env, G);
+  Fns->DeleteGlobalRef(Env, G); // violation 1: global double free
+  Fns->ExceptionClear(Env);
+
+  jintArray Arr = Fns->NewIntArray(Env, 8);
+  jint *Elems = Fns->GetIntArrayElements(Env, Arr, nullptr);
+  Fns->ReleaseIntArrayElements(Env, Arr, Elems, 0);
+  Fns->ReleaseIntArrayElements(Env, Arr, Elems, 0); // violation 2: pin
+  Fns->ExceptionClear(Env);
+  Fns->DeleteLocalRef(Env, Arr);
+
+  Fns->DeleteLocalRef(Env, S);
+  Fns->GetStringUTFLength(Env, S); // violation 3: dangling local use
+  Fns->ExceptionClear(Env);
+}
+
+/// Canonical order for comparing report lists across runs whose thread
+/// interleavings differ.
+std::vector<std::tuple<std::string, std::string, std::string, bool>>
+canonical(const std::vector<agent::JinnReport> &Reports) {
+  std::vector<std::tuple<std::string, std::string, std::string, bool>> Out;
+  Out.reserve(Reports.size());
+  for (const agent::JinnReport &Report : Reports)
+    Out.emplace_back(Report.Machine, Report.Function, Report.Message,
+                     Report.EndOfRun);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Runs \p Body on \p Threads attached OS threads (Body(Env) per thread),
+/// or inline on the main thread Threads times when Threads == 0.
+template <typename Fn>
+void runOnThreads(VmWorld &W, int Threads, Fn Body) {
+  JavaVM *Jvm = W.Rt.javaVm();
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      JNIEnv *Env = nullptr;
+      if (Jvm->functions->AttachCurrentThread(Jvm, &Env, nullptr) != JNI_OK) {
+        ++Failures;
+        return;
+      }
+      Body(Env);
+      Jvm->functions->DetachCurrentThread(Jvm);
+    });
+  for (std::thread &Th : Workers)
+    Th.join();
+  ASSERT_EQ(Failures.load(), 0);
+}
+
+TEST(ShardStress, CorrectChurnAcrossShardBoundariesIsSilent) {
+  agent::JinnOptions Options;
+  TunedJinnWorld W(std::move(Options));
+  runOnThreads(W, NumThreads,
+               [](JNIEnv *Env) { correctChurn(Env, Iterations); });
+  W.Vm.shutdown();
+  EXPECT_TRUE(W.Jinn.reporter().reports().empty());
+  // The contention proxy was published for the striped machines.
+  EXPECT_GT(W.Vm.diags().counter("jinn.lock_acquires.global-ref"), 0u);
+  EXPECT_GT(W.Vm.diags().counter("jinn.lock_acquires.monitor"), 0u);
+  EXPECT_GT(W.Vm.diags().counter("jinn.lock_acquires.pinned-resource"), 0u);
+}
+
+TEST(ShardStress, MergedReportListMatchesSingleThreadedRun) {
+  // N threads, each running the same deterministic violation bundles...
+  agent::JinnOptions MtOptions;
+  TunedJinnWorld Mt(std::move(MtOptions));
+  runOnThreads(Mt, NumThreads, [](JNIEnv *Env) {
+    for (int I = 0; I < Iterations; ++I)
+      violationBundle(Env);
+  });
+  Mt.Vm.shutdown();
+
+  // ...must merge to exactly the reports of one thread running all of
+  // them sequentially (same multiset; order is canonicalized because OS
+  // interleavings differ across runs).
+  agent::JinnOptions StOptions;
+  TunedJinnWorld St(std::move(StOptions));
+  for (int T = 0; T < NumThreads; ++T)
+    for (int I = 0; I < Iterations; ++I)
+      violationBundle(St.env());
+  St.Vm.shutdown();
+
+  auto MtList = canonical(Mt.Jinn.reporter().reports());
+  auto StList = canonical(St.Jinn.reporter().reports());
+  ASSERT_EQ(MtList.size(),
+            static_cast<size_t>(NumThreads * Iterations * 3));
+  EXPECT_EQ(MtList, StList);
+}
+
+TEST(ShardStress, ShardCountKnobDoesNotChangeReports) {
+  std::vector<std::tuple<std::string, std::string, std::string, bool>>
+      Lists[2];
+  const unsigned ShardCounts[2] = {1, 256};
+  for (int K = 0; K < 2; ++K) {
+    agent::JinnOptions Options;
+    Options.ShardCount = ShardCounts[K];
+    TunedJinnWorld W(std::move(Options));
+    runOnThreads(W, NumThreads, [](JNIEnv *Env) {
+      correctChurn(Env, Iterations / 2);
+      for (int I = 0; I < Iterations / 2; ++I)
+        violationBundle(Env);
+    });
+    W.Vm.shutdown();
+    Lists[K] = canonical(W.Jinn.reporter().reports());
+    ASSERT_EQ(Lists[K].size(),
+              static_cast<size_t>(NumThreads * (Iterations / 2) * 3));
+  }
+  EXPECT_EQ(Lists[0], Lists[1]);
+}
+
+TEST(ShardStress, TinyReportBufferFlushesEverything) {
+  // Buffer capacity 1 forces a merge on every report; a huge capacity
+  // defers every merge to the final snapshot. Same list either way.
+  std::vector<std::tuple<std::string, std::string, std::string, bool>>
+      Lists[2];
+  const size_t Buffers[2] = {1, 1u << 20};
+  for (int K = 0; K < 2; ++K) {
+    agent::JinnOptions Options;
+    Options.ReportBufferSize = Buffers[K];
+    TunedJinnWorld W(std::move(Options));
+    runOnThreads(W, NumThreads, [](JNIEnv *Env) {
+      for (int I = 0; I < Iterations; ++I)
+        violationBundle(Env);
+    });
+    W.Vm.shutdown();
+    Lists[K] = canonical(W.Jinn.reporter().reports());
+    ASSERT_EQ(Lists[K].size(),
+              static_cast<size_t>(NumThreads * Iterations * 3));
+  }
+  EXPECT_EQ(Lists[0], Lists[1]);
+}
+
+TEST(ShardStress, SingleThreadProgramOrderIsPreserved) {
+  // On one OS thread the merged list must equal exact program order (the
+  // per-thread stamps are strictly monotonic), not just the same multiset.
+  agent::JinnOptions Options;
+  Options.ReportBufferSize = 2; // exercise mid-run flushes too
+  TunedJinnWorld W(std::move(Options));
+  for (int I = 0; I < 5; ++I)
+    violationBundle(W.env());
+  W.Vm.shutdown();
+  const std::vector<agent::JinnReport> &Reports = W.Jinn.reporter().reports();
+  ASSERT_EQ(Reports.size(), 15u);
+  for (int I = 0; I < 5; ++I) {
+    EXPECT_EQ(Reports[I * 3 + 0].Machine, "Global or weak global reference");
+    EXPECT_EQ(Reports[I * 3 + 1].Machine,
+              "Pinned or copied string or array");
+    EXPECT_EQ(Reports[I * 3 + 2].Machine, "Local reference");
+  }
+}
+
+} // namespace

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fails when a fresh bench JSON regresses against its committed baseline.
+
+Usage: bench_gate.py <baseline.json> <fresh.json> [threshold]
+
+Only throughput-like entries (unit ending in "/s") are gated: a fresh
+value below threshold * baseline (default 0.75, i.e. a >25% drop) is a
+regression. Counters, ratios, and latency entries are ignored — they vary
+legitimately with configuration or would need an inverse comparison.
+Entries present only on one side are ignored so adding or renaming bench
+rows never trips the gate.
+"""
+import json
+import sys
+
+
+def rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("results", []):
+        unit = entry.get("unit", "")
+        if isinstance(unit, str) and unit.endswith("/s"):
+            out[entry["name"]] = float(entry["value"])
+    return out
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.75
+    base, fresh = rates(sys.argv[1]), rates(sys.argv[2])
+    failures = []
+    for name, baseline in sorted(base.items()):
+        current = fresh.get(name)
+        if current is None or baseline <= 0:
+            continue
+        if current < threshold * baseline:
+            failures.append((name, baseline, current))
+    for name, baseline, current in failures:
+        print(
+            "bench_gate: %s: %.0f vs baseline %.0f (%.0f%%, floor %.0f%%)"
+            % (name, current, baseline, 100 * current / baseline,
+               100 * threshold),
+            file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@
 #                      unset it in the benches themselves for full runs)
 #   JINN_BENCH_ONLY    space-separated bench names to restrict the run
 #                      (e.g. "bench_trace_modes bench_coverage")
+#   JINN_BENCH_NO_GATE set non-empty to skip the throughput regression
+#                      gate against bench/baselines/
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -57,6 +59,21 @@ for BENCH in $BENCHES; do
   elif ! grep -q '"bench"' "$JSON" || ! grep -q '"results"' "$JSON"; then
     echo "run_benches: $JSON is malformed (missing bench/results keys)" >&2
     FAILED="$FAILED $BENCH(json-malformed)"
+  fi
+  # Throughput regression gate: every "/s" entry in the fresh JSON must
+  # stay within 25% of the committed baseline snapshot. Baselines were
+  # recorded at the scale in bench/baselines/SCALE; a run at any other
+  # scale skips the gate rather than comparing apples to oranges.
+  BASELINE="$ROOT/bench/baselines/BENCH_${BENCH#bench_}.json"
+  BASESCALE=$(cat "$ROOT/bench/baselines/SCALE" 2>/dev/null || true)
+  if [ -z "${JINN_BENCH_NO_GATE:-}" ] && [ -s "$BASELINE" ] \
+      && [ -s "$JSON" ] && [ "$BASESCALE" = "$JINN_BENCH_SCALE" ] \
+      && command -v python3 >/dev/null 2>&1; then
+    if ! python3 "$ROOT/tools/bench_gate.py" "$BASELINE" "$JSON"; then
+      echo "run_benches: $BENCH regressed vs bench/baselines (set" \
+           "JINN_BENCH_NO_GATE=1 to bypass)" >&2
+      FAILED="$FAILED $BENCH(regression)"
+    fi
   fi
 done
 
