@@ -1,0 +1,158 @@
+//===- fuzz/Corpus.cpp - On-disk reproducer format (.jfz) ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+std::string jinn::fuzz::serializeSequence(const Sequence &Seq) {
+  std::string Out;
+  Out += "domain " + Seq.Domain + "\n";
+  for (const std::string &Name : Seq.OpNames)
+    Out += "op " + Name + "\n";
+  const FuzzOp *Bug = Seq.Domain == "jni" ? Seq.bugOp() : nullptr;
+  if (!Bug) {
+    Out += "expect-clean\n";
+    return Out;
+  }
+  Out += "expect-machine " + Bug->Expect.Machine + "\n";
+  Out += "expect-message " + Bug->Expect.MessagePart + "\n";
+  if (!Bug->Expect.Function.empty())
+    Out += "expect-function " + Bug->Expect.Function + "\n";
+  Out += formatString("expect-endofrun %d\n", Bug->Expect.EndOfRun ? 1 : 0);
+  return Out;
+}
+
+bool jinn::fuzz::parseCorpusText(const std::string &Text, CorpusEntry &Out,
+                                 std::string &Error) {
+  Out.Seq = Sequence{};
+  Out.ExpectClean = false;
+  Out.Expect = Expected{};
+  bool SawExpectation = false, SawEndOfRun = false;
+
+  std::istringstream In(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Space = Line.find(' ');
+    std::string Key = Line.substr(0, Space);
+    std::string Value =
+        Space == std::string::npos ? std::string() : Line.substr(Space + 1);
+    if (Key == "domain") {
+      if (Value != "jni" && Value != "py") {
+        Error = formatString("line %zu: unknown domain \"%s\"", LineNo,
+                             Value.c_str());
+        return false;
+      }
+      Out.Seq.Domain = Value;
+    } else if (Key == "op") {
+      if (Out.Seq.Domain == "jni" && !findJniOp(Value)) {
+        Error = formatString("line %zu: unknown op \"%s\"", LineNo,
+                             Value.c_str());
+        return false;
+      }
+      Out.Seq.OpNames.push_back(Value);
+    } else if (Key == "expect-clean") {
+      Out.ExpectClean = true;
+      SawExpectation = true;
+    } else if (Key == "expect-machine") {
+      Out.Expect.Machine = Value;
+      SawExpectation = true;
+    } else if (Key == "expect-message") {
+      Out.Expect.MessagePart = Value;
+    } else if (Key == "expect-function") {
+      Out.Expect.Function = Value;
+    } else if (Key == "expect-endofrun") {
+      Out.Expect.EndOfRun = Value == "1";
+      SawEndOfRun = true;
+    } else {
+      Error = formatString("line %zu: unknown key \"%s\"", LineNo,
+                           Key.c_str());
+      return false;
+    }
+  }
+
+  if (Out.Seq.OpNames.empty()) {
+    Error = "no op lines";
+    return false;
+  }
+  if (!SawExpectation) {
+    Error = "missing expectation block (expect-clean or expect-machine)";
+    return false;
+  }
+
+  // Drift check: the recorded expectation must match what the current op
+  // table predicts for this op list.
+  if (Out.Seq.Domain == "jni") {
+    const FuzzOp *Bug = Out.Seq.bugOp();
+    if (Out.ExpectClean) {
+      if (Bug) {
+        Error = formatString("expect-clean but sequence contains bug op %s",
+                             Bug->Name);
+        return false;
+      }
+    } else {
+      if (!Bug) {
+        Error = "expectation names a report but the sequence has no bug op";
+        return false;
+      }
+      if (Bug->Expect.Machine != Out.Expect.Machine ||
+          Bug->Expect.MessagePart != Out.Expect.MessagePart ||
+          Bug->Expect.Function != Out.Expect.Function ||
+          (SawEndOfRun && Bug->Expect.EndOfRun != Out.Expect.EndOfRun)) {
+        Error = formatString(
+            "recorded expectation drifted from op table for bug op %s",
+            Bug->Name);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<CorpusEntry>
+jinn::fuzz::loadCorpusDir(const std::string &Dir,
+                          std::vector<std::string> &Errors) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Files;
+  for (const auto &DirEntry :
+       std::filesystem::directory_iterator(Dir, Ec)) {
+    if (DirEntry.path().extension() == ".jfz")
+      Files.push_back(DirEntry.path());
+  }
+  if (Ec) {
+    Errors.push_back("cannot read corpus dir " + Dir + ": " + Ec.message());
+    return Entries;
+  }
+  std::sort(Files.begin(), Files.end());
+  for (const std::filesystem::path &Path : Files) {
+    std::ifstream In(Path);
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    CorpusEntry Entry;
+    Entry.Name = Path.stem().string();
+    std::string Error;
+    if (!parseCorpusText(Buffer.str(), Entry, Error))
+      Errors.push_back(Path.filename().string() + ": " + Error);
+    else
+      Entries.push_back(std::move(Entry));
+  }
+  return Entries;
+}

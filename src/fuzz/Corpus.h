@@ -1,0 +1,63 @@
+//===- fuzz/Corpus.h - On-disk reproducer format (.jfz) ------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reproducers live in fuzz/corpus/ as line-oriented .jfz files:
+///
+///   # optional comments
+///   domain jni
+///   op ensure_capacity
+///   op slot_string
+///   ...
+///   expect-clean                       (clean path; zero reports)
+/// or
+///   expect-machine Local reference     (the spec-predicted report)
+///   expect-message is a dangling local reference
+///   expect-function GetStringUTFLength (omitted = skip the check)
+///   expect-endofrun 0
+///
+/// The expectation lines are written from the bug op's declaration at
+/// serialize time and *re-checked against the op table* at parse time, so
+/// a corpus file drifting out of sync with the inventory is a load error,
+/// not a silently changed test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_CORPUS_H
+#define JINN_FUZZ_CORPUS_H
+
+#include "fuzz/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::fuzz {
+
+struct CorpusEntry {
+  std::string Name; ///< file stem, e.g. "global_dangling_min"
+  Sequence Seq;
+  bool ExpectClean = false;
+  Expected Expect; ///< valid when !ExpectClean
+};
+
+/// Renders \p Seq in .jfz form; the expectation block is derived from the
+/// sequence's bug op (or expect-clean when there is none).
+std::string serializeSequence(const Sequence &Seq);
+
+/// Parses one .jfz document. On success fills \p Out and returns true;
+/// otherwise \p Error describes the first problem (unknown op, expectation
+/// out of sync with the op table, malformed line).
+bool parseCorpusText(const std::string &Text, CorpusEntry &Out,
+                     std::string &Error);
+
+/// Loads every *.jfz under \p Dir (sorted by name, stem as entry Name).
+/// Unparsable files surface as \p Errors entries, not silent skips.
+std::vector<CorpusEntry> loadCorpusDir(const std::string &Dir,
+                                       std::vector<std::string> &Errors);
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_CORPUS_H

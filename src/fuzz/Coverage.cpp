@@ -1,0 +1,118 @@
+//===- fuzz/Coverage.cpp - Spec transition coverage accounting -----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Coverage.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+size_t MachineCoverage::reachable() const {
+  size_t N = 0;
+  for (EdgeState E : Edges)
+    N += E != EdgeState::Exempt;
+  return N;
+}
+
+size_t MachineCoverage::covered() const {
+  size_t N = 0;
+  for (EdgeState E : Edges)
+    N += E == EdgeState::Covered;
+  return N;
+}
+
+double MachineCoverage::fraction() const {
+  size_t Total = reachable();
+  if (Total == 0)
+    return 1.0;
+  return static_cast<double>(covered()) / static_cast<double>(Total);
+}
+
+Coverage::Coverage(const std::vector<analysis::MachineModel> &Models) {
+  for (const analysis::MachineModel &Model : Models) {
+    MachineCoverage Row;
+    Row.Machine = Model.Name;
+    Row.Edges.resize(Model.Transitions.size(), EdgeState::Uncovered);
+    for (const analysis::TransitionModel &T : Model.Transitions)
+      if (T.Epsilon)
+        Row.Edges[T.Index] = EdgeState::Exempt;
+    Rows.push_back(std::move(Row));
+  }
+}
+
+void Coverage::cover(const std::string &Machine, size_t Index) {
+  for (MachineCoverage &Row : Rows)
+    if (Row.Machine == Machine) {
+      if (Index < Row.Edges.size() && Row.Edges[Index] != EdgeState::Exempt)
+        Row.Edges[Index] = EdgeState::Covered;
+      return;
+    }
+}
+
+const MachineCoverage *Coverage::rowFor(const std::string &Machine) const {
+  for (const MachineCoverage &Row : Rows)
+    if (Row.Machine == Machine)
+      return &Row;
+  return nullptr;
+}
+
+bool Coverage::allAbove(double Floor) const {
+  for (const MachineCoverage &Row : Rows)
+    if (Row.fraction() < Floor)
+      return false;
+  return true;
+}
+
+void Coverage::emitCounters(DiagnosticSink &Sink,
+                            const std::string &Prefix) const {
+  for (const MachineCoverage &Row : Rows) {
+    Sink.setCounter(Prefix + "." + Row.Machine + ".covered", Row.covered());
+    Sink.setCounter(Prefix + "." + Row.Machine + ".reachable",
+                    Row.reachable());
+  }
+}
+
+static void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string Coverage::toJson(uint64_t Seed, const std::string &Domain) const {
+  std::string Out = "{\n";
+  Out += formatString("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(Seed));
+  Out += "  \"domain\": ";
+  appendJsonString(Out, Domain);
+  Out += ",\n  \"machines\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const MachineCoverage &Row = Rows[I];
+    Out += "    {\"name\": ";
+    appendJsonString(Out, Row.Machine);
+    Out += formatString(", \"covered\": %zu, \"reachable\": %zu, "
+                        "\"fraction\": %.4f}%s\n",
+                        Row.covered(), Row.reachable(), Row.fraction(),
+                        I + 1 < Rows.size() ? "," : "");
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+std::string Coverage::toTable() const {
+  std::string Out;
+  for (const MachineCoverage &Row : Rows)
+    Out += formatString("  %-36s %2zu/%2zu edges (%.0f%%)\n",
+                        Row.Machine.c_str(), Row.covered(), Row.reachable(),
+                        100.0 * Row.fraction());
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- fuzz/Coverage.h - Spec transition coverage accounting -------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks which spec transitions the fuzzer has driven, per machine. The
+/// denominator is the set of *reachable, non-epsilon* transitions of each
+/// machine model: epsilon edges (no triggers and no action, VM-internal
+/// bookkeeping like the exception machine's Cleared<->Pending pair)
+/// cannot be driven through the FFI boundary and are exempt. Error-target
+/// edges count as covered only when a bug path actually fired them and
+/// the predicted report was observed.
+///
+/// Results are published three ways: a JSON document the coverage gate
+/// (tools/fuzz_gate.py) compares against committed baselines, named
+/// counters on a DiagnosticSink ("fuzz.cov.<machine>.*"), and a plain
+/// table for the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_COVERAGE_H
+#define JINN_FUZZ_COVERAGE_H
+
+#include "analysis/SpecModel.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::fuzz {
+
+/// Per-transition coverage status.
+enum class EdgeState : uint8_t {
+  Uncovered, ///< reachable but not yet driven
+  Covered,   ///< driven by at least one executed sequence
+  Exempt,    ///< epsilon edge: not drivable through the boundary
+};
+
+/// Coverage of one machine's transition list.
+struct MachineCoverage {
+  std::string Machine;
+  std::vector<EdgeState> Edges; ///< indexed by TransitionModel::Index
+
+  size_t reachable() const;
+  size_t covered() const;
+  /// covered()/reachable(); 1.0 for a machine with no drivable edges.
+  double fraction() const;
+};
+
+/// Accumulates transition coverage over one fuzzing campaign.
+class Coverage {
+public:
+  Coverage() = default;
+  explicit Coverage(const std::vector<analysis::MachineModel> &Models);
+
+  /// Marks transition \p Index of \p Machine as driven. Unknown machines
+  /// and out-of-range indices are ignored (the op table is validated
+  /// separately; coverage accounting must never throw mid-campaign).
+  void cover(const std::string &Machine, size_t Index);
+
+  const std::vector<MachineCoverage> &machines() const { return Rows; }
+  const MachineCoverage *rowFor(const std::string &Machine) const;
+
+  /// True when every machine's fraction reaches \p Floor.
+  bool allAbove(double Floor) const;
+
+  /// Publishes "<Prefix>.<machine>.covered/reachable" counters.
+  void emitCounters(DiagnosticSink &Sink, const std::string &Prefix) const;
+
+  /// The gate's input document: {"seed":..., "machines":[{name, covered,
+  /// reachable, fraction}, ...]}.
+  std::string toJson(uint64_t Seed, const std::string &Domain) const;
+
+  /// Human-readable table (one line per machine) for the CLI.
+  std::string toTable() const;
+
+private:
+  std::vector<MachineCoverage> Rows;
+};
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_COVERAGE_H

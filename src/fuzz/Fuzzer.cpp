@@ -1,0 +1,134 @@
+//===- fuzz/Fuzzer.cpp - Differential fuzzing campaign driver ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Minimizer.h"
+#include "jinn/Machines.h"
+
+#include <algorithm>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+std::vector<analysis::MachineModel> jinn::fuzz::jniMachineModels() {
+  agent::MachineSet Machines;
+  std::vector<analysis::MachineModel> Models;
+  for (spec::MachineBase *Machine : Machines.all())
+    Models.push_back(analysis::buildModel(Machine->spec()));
+  return Models;
+}
+
+namespace {
+
+bool machineSelected(const CampaignOptions &Opts, const std::string &Name) {
+  if (Opts.Machines.empty())
+    return true;
+  return std::find(Opts.Machines.begin(), Opts.Machines.end(), Name) !=
+         Opts.Machines.end();
+}
+
+/// Runs one JNI sequence; on a pass credits coverage, on a failure shrinks
+/// it against the same oracle configuration and records the finding.
+void runOneJni(const Sequence &Seq, const CampaignOptions &Opts,
+               CampaignResult &Result) {
+  ExecutorOptions ExecOpts;
+  ExecOpts.RunXcheck = Opts.RunXcheck;
+  ExecOpts.RunReplay = Opts.RunReplay;
+  ExecOpts.Defect = Opts.Defect;
+
+  ExecResult R = runJniSequence(Seq, ExecOpts);
+  ++Result.SequencesRun;
+  if (R.Pass) {
+    coverJniSequence(R, Result.JniCov);
+    return;
+  }
+
+  CampaignFinding Finding;
+  Finding.Original = Seq;
+  Finding.Failures = R.Failures;
+  Finding.Minimized = minimizeSequence(
+      Seq,
+      [&ExecOpts, &Finding](const Sequence &Candidate) {
+        ExecResult CR = runJniSequence(Candidate, ExecOpts);
+        return !CR.Pass &&
+               sharesFailureClass(CR.Failures, Finding.Failures);
+      },
+      &Finding.MinimizerTests);
+  Result.Findings.push_back(std::move(Finding));
+}
+
+void runOnePy(const Sequence &Seq, CampaignResult &Result) {
+  PyExecResult R = runPySequence(Seq);
+  ++Result.SequencesRun;
+  if (R.Pass) {
+    coverPySequence(R, Result.PyCov);
+    return;
+  }
+  CampaignFinding Finding;
+  Finding.Original = Seq;
+  Finding.Failures = R.Failures;
+  Finding.Minimized = minimizeSequence(
+      Seq,
+      [](const Sequence &Candidate) {
+        return !runPySequence(Candidate).Pass;
+      },
+      &Finding.MinimizerTests);
+  Result.Findings.push_back(std::move(Finding));
+}
+
+} // namespace
+
+CampaignResult jinn::fuzz::runCampaign(const CampaignOptions &Opts) {
+  CampaignResult Result;
+  std::vector<analysis::MachineModel> JniModels = jniMachineModels();
+  Result.JniCov = Coverage(JniModels);
+
+  Result.TableIssues = validateJniOps(JniModels);
+  if (!Result.TableIssues.empty())
+    return Result; // an inconsistent table makes every verdict meaningless
+
+  Generator Gen(Opts.Seed);
+  size_t Rounds = 1 + Opts.Iterations;
+
+  for (const analysis::MachineModel &Model : JniModels) {
+    if (!machineSelected(Opts, Model.Name))
+      continue;
+    for (size_t Round = 0; Round < Rounds; ++Round)
+      for (size_t I = 0; I < Opts.CleanPerFocus; ++I)
+        runOneJni(Gen.cleanJniSequence(Model.Name,
+                                       Round * Opts.CleanPerFocus + I),
+                  Opts, Result);
+  }
+
+  for (const FuzzOp &Op : jniOps()) {
+    if (Op.Kind != OpKind::Bug || !machineSelected(Opts, Op.Focus))
+      continue;
+    for (size_t Round = 0; Round < Rounds; ++Round)
+      runOneJni(Gen.bugJniSequence(Op.Name, Round), Opts, Result);
+  }
+
+  if (Opts.RunPython) {
+    Result.PyCov = Coverage(analysis::buildPythonModels());
+    size_t PyClean = 3 * Rounds;
+    for (size_t I = 0; I < PyClean; ++I)
+      runOnePy(cleanPySequence(Opts.Seed, I), Result);
+    for (const std::string &BugName : pyBugOpNames())
+      for (size_t Round = 0; Round < Rounds; ++Round)
+        runOnePy(bugPySequence(Opts.Seed, BugName, Round), Result);
+  }
+
+  if (Opts.Sink) {
+    Result.JniCov.emitCounters(*Opts.Sink, "fuzz.cov");
+    if (Opts.RunPython)
+      Result.PyCov.emitCounters(*Opts.Sink, "fuzz.pycov");
+    Opts.Sink->setCounter("fuzz.sequences", Result.SequencesRun);
+    Opts.Sink->setCounter("fuzz.findings", Result.Findings.size());
+  }
+
+  Result.Pass = Result.Findings.empty() && Result.TableIssues.empty();
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing campaign driver --------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates one fuzzing campaign: validate the op table against the
+/// resolved spec models, generate clean and bug sequences per machine, run
+/// each under the oracle stack (Executor/PyFuzz), shrink every failure to
+/// a minimal reproducer (Minimizer), and account transition coverage
+/// (Coverage). Two shapes share this driver:
+///
+///  - smoke: a fixed-seed, ~seconds budget — every bug op once, a few
+///    clean walks per focus machine — run in ctest and gating CI through
+///    tools/fuzz_gate.py on the emitted coverage JSON;
+///  - long-run: `jinn-fuzz --seed N --iters M`, the same loop with M
+///    extra randomized iterations per machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_FUZZER_H
+#define JINN_FUZZ_FUZZER_H
+
+#include "fuzz/Executor.h"
+#include "fuzz/PyFuzz.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::fuzz {
+
+struct CampaignOptions {
+  uint64_t Seed = 1;
+  /// Clean sequences per focus machine (smoke default keeps ctest fast).
+  size_t CleanPerFocus = 2;
+  /// Extra long-run iterations: each adds one clean walk per focus machine
+  /// and one more instance of every bug path at a fresh stream index.
+  size_t Iterations = 0;
+  /// Restrict the JNI focus machines (empty = all eleven). Bug ops whose
+  /// Focus is filtered out are skipped with their machine.
+  std::vector<std::string> Machines;
+  bool RunXcheck = true;
+  bool RunReplay = true;
+  /// Also fuzz the Python/C domain (its own coverage table).
+  bool RunPython = true;
+  SeededDefect Defect = SeededDefect::None;
+  /// When set, publishes "fuzz.*" counters here as the campaign runs.
+  DiagnosticSink *Sink = nullptr;
+};
+
+/// One oracle disagreement, shrunk.
+struct CampaignFinding {
+  Sequence Original;
+  Sequence Minimized;
+  /// Failures from the original run (the finding's first description).
+  std::vector<std::string> Failures;
+  size_t MinimizerTests = 0;
+};
+
+struct CampaignResult {
+  bool Pass = false;
+  size_t SequencesRun = 0;
+  std::vector<CampaignFinding> Findings;
+  /// validateJniOps complaints; non-empty fails the campaign up front.
+  std::vector<std::string> TableIssues;
+  Coverage JniCov;
+  Coverage PyCov; ///< meaningful when Options.RunPython
+};
+
+/// Models of the eleven shipped JNI machines, in MachineSet order.
+std::vector<analysis::MachineModel> jniMachineModels();
+
+/// Runs one campaign; deterministic for fixed options.
+CampaignResult runCampaign(const CampaignOptions &Opts = {});
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_FUZZER_H

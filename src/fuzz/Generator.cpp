@@ -1,0 +1,112 @@
+//===- fuzz/Generator.cpp - Deterministic spec-guided sequence generator -===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "support/Rng.h"
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+const FuzzOp *Sequence::bugOp() const {
+  const FuzzOp *Bug = nullptr;
+  for (const std::string &Name : OpNames)
+    if (const FuzzOp *Op = findJniOp(Name))
+      if (Op->Kind == OpKind::Bug)
+        Bug = Op;
+  return Bug;
+}
+
+namespace {
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : S) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Emits \p Op preceded by its setup chain (depth-first). Repeat emissions
+/// are harmless: ops are Ready-gated into no-ops once satisfied.
+void emitWithSetup(const FuzzOp &Op, std::vector<std::string> &Out) {
+  for (const char *Dep : Op.Setup)
+    if (const FuzzOp *D = findJniOp(Dep))
+      emitWithSetup(*D, Out);
+  Out.push_back(Op.Name);
+}
+
+/// Emits a clean op and accounts for its residue: PairClosely ops get
+/// their closer immediately (critical sections and pending exceptions
+/// deaden every other op), others stack the closer for LIFO cleanup.
+void emitClean(const FuzzOp &Op, std::vector<std::string> &Out,
+               std::vector<const char *> &Residue) {
+  emitWithSetup(Op, Out);
+  if (!Op.Closer)
+    return;
+  if (Op.PairClosely)
+    Out.push_back(Op.Closer);
+  else
+    Residue.push_back(Op.Closer);
+}
+
+void closeResidue(std::vector<const char *> &Residue,
+                  std::vector<std::string> &Out) {
+  for (auto It = Residue.rbegin(); It != Residue.rend(); ++It)
+    Out.push_back(*It);
+  Residue.clear();
+}
+
+const FuzzOp *pickClean(SplitMix64 &Rng, const std::string &Focus) {
+  std::vector<const FuzzOp *> Clean, Focused;
+  for (const FuzzOp &Op : jniOps()) {
+    if (Op.Kind != OpKind::Clean)
+      continue;
+    Clean.push_back(&Op);
+    if (Focus == Op.Focus)
+      Focused.push_back(&Op);
+  }
+  if (!Focused.empty() && Rng.chance(1, 2))
+    return Focused[Rng.nextBelow(Focused.size())];
+  return Clean[Rng.nextBelow(Clean.size())];
+}
+
+} // namespace
+
+Sequence Generator::cleanJniSequence(const std::string &FocusMachine,
+                                     uint64_t Index) const {
+  SplitMix64 Rng =
+      SplitMix64(Seed).split(fnv1a("clean:" + FocusMachine)).split(Index);
+  Sequence Seq;
+  Seq.OpNames.push_back("ensure_capacity");
+  std::vector<const char *> Residue;
+  size_t Len = 6 + Rng.nextBelow(11);
+  for (size_t I = 0; I < Len; ++I)
+    emitClean(*pickClean(Rng, FocusMachine), Seq.OpNames, Residue);
+  closeResidue(Residue, Seq.OpNames);
+  return Seq;
+}
+
+Sequence Generator::bugJniSequence(const std::string &BugOpName,
+                                   uint64_t Index) const {
+  Sequence Seq;
+  const FuzzOp *Bug = findJniOp(BugOpName);
+  if (!Bug || Bug->Kind != OpKind::Bug)
+    return Seq;
+  SplitMix64 Rng =
+      SplitMix64(Seed).split(fnv1a("bug:" + BugOpName)).split(Index);
+  if (!Bug->DefaultCapacityOnly) {
+    Seq.OpNames.push_back("ensure_capacity");
+    std::vector<const char *> Residue;
+    size_t PrefixLen = Rng.nextBelow(5);
+    for (size_t I = 0; I < PrefixLen; ++I)
+      emitClean(*pickClean(Rng, Bug->Focus), Seq.OpNames, Residue);
+    closeResidue(Residue, Seq.OpNames);
+  }
+  emitWithSetup(*Bug, Seq.OpNames);
+  return Seq;
+}

@@ -1,0 +1,65 @@
+//===- fuzz/Generator.h - Deterministic spec-guided sequence generator ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates FFI call sequences in two flavors. Clean paths walk a focus
+/// machine's non-error transitions (plus a random mix of the other
+/// machines' legal idioms) and must provoke zero reports. Bug paths end
+/// exactly one transition into an error state: a random clean prefix, the
+/// bug op's declared setup chain, then the bug op itself — last, because a
+/// violation pends jinn.JNIAssertionFailure and aborts the faulting call.
+///
+/// Every sequence is a pure function of (seed, focus-or-bug, index): the
+/// generator derives one splitmix64 stream per (purpose, index) pair via
+/// SplitMix64::split, so any sequence of any campaign can be regenerated
+/// in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_GENERATOR_H
+#define JINN_FUZZ_GENERATOR_H
+
+#include "fuzz/Ops.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::fuzz {
+
+/// One generated call sequence; op names resolve against the domain's op
+/// inventory ("jni" -> jniOps(), "py" -> pyOps()) at execution time.
+struct Sequence {
+  std::string Domain = "jni";
+  std::vector<std::string> OpNames;
+
+  /// The bug op the sequence ends in; nullptr for clean paths (JNI domain).
+  const FuzzOp *bugOp() const;
+};
+
+class Generator {
+public:
+  explicit Generator(uint64_t Seed) : Seed(Seed) {}
+
+  uint64_t seed() const { return Seed; }
+
+  /// Clean path biased (~50%) toward \p FocusMachine's ops. Starts with
+  /// ensure_capacity, ends by closing open resources in LIFO order.
+  Sequence cleanJniSequence(const std::string &FocusMachine,
+                            uint64_t Index) const;
+
+  /// Bug path for \p BugOpName: random clean prefix (closed before the
+  /// setup chain so only the bug op's violation can fire), setup ops, bug
+  /// op last. DefaultCapacityOnly bugs get no prefix and no
+  /// ensure_capacity — they need the un-ensured native frame.
+  Sequence bugJniSequence(const std::string &BugOpName, uint64_t Index) const;
+
+private:
+  uint64_t Seed;
+};
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_GENERATOR_H

@@ -1,0 +1,59 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging sequence minimizer -----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include <algorithm>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+Sequence jinn::fuzz::minimizeSequence(const Sequence &Seq,
+                                      const FailurePredicate &StillFails,
+                                      size_t *TestsRun) {
+  std::vector<std::string> Current = Seq.OpNames;
+  size_t Tests = 0;
+  auto Fails = [&](const std::vector<std::string> &Ops) {
+    Sequence Candidate;
+    Candidate.Domain = Seq.Domain;
+    Candidate.OpNames = Ops;
+    ++Tests;
+    return StillFails(Candidate);
+  };
+
+  size_t Granularity = 2;
+  while (Current.size() >= 2) {
+    size_t Chunk = (Current.size() + Granularity - 1) / Granularity;
+    bool Reduced = false;
+    for (size_t Start = 0; Start < Current.size(); Start += Chunk) {
+      std::vector<std::string> Complement;
+      Complement.reserve(Current.size());
+      for (size_t I = 0; I < Current.size(); ++I)
+        if (I < Start || I >= Start + Chunk)
+          Complement.push_back(Current[I]);
+      if (Complement.empty())
+        continue;
+      if (Fails(Complement)) {
+        Current = std::move(Complement);
+        Granularity = std::max<size_t>(2, Granularity - 1);
+        Reduced = true;
+        break;
+      }
+    }
+    if (!Reduced) {
+      if (Granularity >= Current.size())
+        break;
+      Granularity = std::min(Current.size(), Granularity * 2);
+    }
+  }
+
+  if (TestsRun)
+    *TestsRun = Tests;
+  Sequence Out;
+  Out.Domain = Seq.Domain;
+  Out.OpNames = std::move(Current);
+  return Out;
+}

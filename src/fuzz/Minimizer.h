@@ -1,0 +1,39 @@
+//===- fuzz/Minimizer.h - Delta-debugging sequence minimizer -------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zeller's ddmin over op-name vectors: given a failing sequence and a
+/// predicate that re-runs a candidate and answers "does it still fail the
+/// same way?", removes complement chunks at increasing granularity until
+/// the sequence is 1-minimal (no single op can be removed). Determinism
+/// falls out of the executor: candidates are re-executed from scratch in
+/// fresh worlds, so the predicate is a pure function of the op list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_MINIMIZER_H
+#define JINN_FUZZ_MINIMIZER_H
+
+#include "fuzz/Generator.h"
+
+#include <functional>
+
+namespace jinn::fuzz {
+
+/// Re-runs a candidate and answers whether it still exhibits the failure
+/// being shrunk. Must be deterministic.
+using FailurePredicate = std::function<bool(const Sequence &)>;
+
+/// ddmin. \p Seq must satisfy \p StillFails; the result is a subsequence
+/// (original order preserved) that still does and is 1-minimal. The number
+/// of predicate evaluations is returned through \p TestsRun when non-null.
+Sequence minimizeSequence(const Sequence &Seq,
+                          const FailurePredicate &StillFails,
+                          size_t *TestsRun = nullptr);
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_MINIMIZER_H

@@ -1,0 +1,989 @@
+//===- fuzz/Ops.cpp - The fuzzer's JNI operation inventory ---------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Ops.h"
+
+#include "support/Format.h"
+
+#include <set>
+#include <thread>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+using jni::FnId;
+using spec::Direction;
+
+// The shipped machine names (spec Name fields, used as coverage keys).
+static const char EnvM[] = "JNIEnv* state";
+static const char ExcM[] = "Exception state";
+static const char CritM[] = "Critical-section state";
+static const char FixedM[] = "Fixed typing";
+static const char EntityM[] = "Entity-specific typing";
+static const char AccessM[] = "Access control";
+static const char NullM[] = "Nullness";
+static const char PinM[] = "Pinned or copied string or array";
+static const char MonM[] = "Monitor";
+static const char GlobM[] = "Global or weak global reference";
+static const char LocalM[] = "Local reference";
+
+namespace {
+
+std::vector<FuzzOp> buildJniOps() {
+  std::vector<FuzzOp> Ops;
+
+  //===--------------------------------------------------------------------===
+  // Clean operations
+  //===--------------------------------------------------------------------===
+
+  {
+    FuzzOp Op;
+    Op.Name = "ensure_capacity";
+    Op.Focus = LocalM;
+    Op.Edges = {{LocalM, 3, FnId::EnsureLocalCapacity, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return !S.Capacity; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->EnsureLocalCapacity(S.Env, 4096);
+      S.Capacity = true;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "env_probe";
+    Op.Focus = EnvM;
+    Op.Edges = {{EnvM, 0, FnId::GetVersion, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) { S.Env->functions->GetVersion(S.Env); };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "slot_array";
+    Op.Focus = LocalM;
+    Op.CreatesLocal = true;
+    Op.Edges = {{LocalM, 1, FnId::NewIntArray, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return !S.Arr && S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      S.Arr = S.Env->functions->NewIntArray(S.Env, 8);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "slot_string";
+    Op.Focus = LocalM;
+    Op.CreatesLocal = true;
+    Op.Edges = {{LocalM, 1, FnId::NewStringUTF, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return !S.Str && S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      S.Str = S.Env->functions->NewStringUTF(S.Env, "jinn-fuzz");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "local_new";
+    Op.Focus = LocalM;
+    Op.CreatesLocal = true;
+    Op.Edges = {{LocalM, 1, FnId::NewStringUTF, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jobject O = S.Env->functions->NewStringUTF(S.Env, "transient");
+      if (O)
+        S.Locals.push_back({O, S.Frames});
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "local_delete";
+    Op.Focus = LocalM;
+    Op.ExcSafe = true; // DeleteLocalRef is exception-oblivious
+    Op.Edges = {{LocalM, 6, FnId::DeleteLocalRef, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return !S.Locals.empty(); };
+    Op.Apply = [](ExecState &S) {
+      jobject O = S.Locals.back().first;
+      S.Locals.pop_back();
+      S.Env->functions->DeleteLocalRef(S.Env, O);
+      S.DeadLocal = O;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "frame_push";
+    Op.Focus = LocalM;
+    Op.Closer = "frame_pop";
+    Op.Edges = {{LocalM, 2, FnId::PushLocalFrame, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.Frames < 3; };
+    Op.Apply = [](ExecState &S) {
+      if (S.Env->functions->PushLocalFrame(S.Env, 16) == JNI_OK)
+        ++S.Frames;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "frame_pop";
+    Op.Focus = LocalM;
+    Op.Edges = {{LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.Frames > 0; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->PopLocalFrame(S.Env, nullptr);
+      for (size_t I = 0; I < S.Locals.size();) {
+        if (S.Locals[I].second == S.Frames) {
+          S.DeadLocal = S.Locals[I].first;
+          S.Locals.erase(S.Locals.begin() + static_cast<long>(I));
+        } else {
+          ++I;
+        }
+      }
+      --S.Frames;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "str_use";
+    Op.Focus = FixedM;
+    Op.Setup = {"slot_string"};
+    Op.Edges = {{FixedM, 0, FnId::GetStringUTFLength, Direction::CallCToJava},
+                {NullM, 0, FnId::GetStringUTFLength, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.Str != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetStringUTFLength(S.Env, S.Str);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "global_new";
+    Op.Focus = GlobM;
+    Op.Setup = {"slot_string"};
+    Op.Closer = "global_delete";
+    Op.Edges = {{GlobM, 0, FnId::NewGlobalRef, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return !S.Global && S.Str; };
+    Op.Apply = [](ExecState &S) {
+      S.Global = S.Env->functions->NewGlobalRef(S.Env, S.Str);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "global_delete";
+    Op.Focus = GlobM;
+    Op.ExcSafe = true;
+    Op.Edges = {{GlobM, 1, FnId::DeleteGlobalRef, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.Global != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->DeleteGlobalRef(S.Env, S.Global);
+      S.DeadGlobal = S.Global;
+      S.Global = nullptr;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "pin_acquire";
+    Op.Focus = PinM;
+    Op.Setup = {"slot_array"};
+    Op.Closer = "pin_release";
+    Op.Edges = {{PinM, 0, FnId::GetIntArrayElements, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.Pin; };
+    Op.Apply = [](ExecState &S) {
+      S.Pin = S.Env->functions->GetIntArrayElements(S.Env, S.Arr, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "pin_release";
+    Op.Focus = PinM;
+    Op.ExcSafe = true;
+    Op.Edges = {
+        {PinM, 1, FnId::ReleaseIntArrayElements, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.Arr && S.Pin; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->ReleaseIntArrayElements(S.Env, S.Arr, S.Pin, 0);
+      S.DeadPin = S.Pin;
+      S.Pin = nullptr;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "critical_enter";
+    Op.Focus = CritM;
+    Op.Setup = {"slot_array"};
+    Op.Closer = "critical_exit";
+    Op.PairClosely = true;
+    Op.Edges = {{CritM, 0, FnId::GetPrimitiveArrayCritical,
+                 Direction::ReturnJavaToC},
+                {PinM, 0, FnId::GetPrimitiveArrayCritical,
+                 Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) {
+      return S.Arr && !S.Crit && !S.InCritical;
+    };
+    Op.Apply = [](ExecState &S) {
+      S.Crit =
+          S.Env->functions->GetPrimitiveArrayCritical(S.Env, S.Arr, nullptr);
+      if (S.Crit)
+        S.InCritical = true;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "critical_exit";
+    Op.Focus = CritM;
+    Op.CriticalSafe = true;
+    Op.ExcSafe = true;
+    Op.Edges = {{CritM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava},
+                {PinM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.InCritical && S.Crit; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->ReleasePrimitiveArrayCritical(S.Env, S.Arr, S.Crit,
+                                                      0);
+      S.Crit = nullptr;
+      S.InCritical = false;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "monitor_enter";
+    Op.Focus = MonM;
+    Op.Setup = {"slot_array"};
+    Op.Closer = "monitor_exit";
+    Op.Edges = {{MonM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.MonitorHeld; };
+    Op.Apply = [](ExecState &S) {
+      if (S.Env->functions->MonitorEnter(S.Env, S.Arr) == JNI_OK)
+        S.MonitorHeld = true;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "monitor_exit";
+    Op.Focus = MonM;
+    Op.ExcSafe = true; // MonitorExit is exception-oblivious
+    Op.Edges = {{MonM, 1, FnId::MonitorExit, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.Arr && S.MonitorHeld; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->MonitorExit(S.Env, S.Arr);
+      S.MonitorHeld = false;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "exc_throw";
+    Op.Focus = ExcM;
+    Op.Closer = "exc_clear";
+    Op.PairClosely = true;
+    Op.CreatesLocal = true;
+    Op.Edges = {{LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return !S.ExcPending; };
+    Op.Apply = [](ExecState &S) {
+      jclass RE =
+          S.Env->functions->FindClass(S.Env, "java/lang/RuntimeException");
+      if (RE)
+        S.Env->functions->ThrowNew(S.Env, RE, "fuzz probe");
+      S.ExcPending = true;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "exc_clear";
+    Op.Focus = ExcM;
+    Op.ExcSafe = true;
+    Op.Ready = [](const ExecState &S) { return S.ExcPending; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->ExceptionClear(S.Env);
+      S.ExcPending = false;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "entity_mid";
+    Op.Focus = EntityM;
+    Op.CreatesLocal = true;
+    Op.Edges = {{EntityM, 0, FnId::GetStaticMethodID, Direction::ReturnJavaToC},
+                {LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) {
+      return S.Frames == 0 && !S.HelperMid;
+    };
+    Op.Apply = [](ExecState &S) {
+      if (!S.HelperCls)
+        S.HelperCls = S.Env->functions->FindClass(S.Env, "FuzzHelper");
+      if (S.HelperCls)
+        S.HelperMid = S.Env->functions->GetStaticMethodID(S.Env, S.HelperCls,
+                                                          "ping", "()V");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "entity_call";
+    Op.Focus = EntityM;
+    Op.Setup = {"entity_mid"};
+    Op.Edges = {
+        {EntityM, 1, FnId::CallStaticVoidMethodA, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.HelperCls && S.HelperMid; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->CallStaticVoidMethodA(S.Env, S.HelperCls, S.HelperMid,
+                                              nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "field_fid";
+    Op.Focus = AccessM;
+    Op.Setup = {"entity_mid"};
+    Op.Edges = {{AccessM, 0, FnId::GetStaticFieldID, Direction::ReturnJavaToC},
+                {EntityM, 0, FnId::GetStaticFieldID, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.HelperCls && !S.HelperFid; };
+    Op.Apply = [](ExecState &S) {
+      S.HelperFid = S.Env->functions->GetStaticFieldID(S.Env, S.HelperCls,
+                                                       "count", "I");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "field_set";
+    Op.Focus = AccessM;
+    Op.Setup = {"field_fid"};
+    Op.Edges = {{AccessM, 1, FnId::SetStaticIntField, Direction::CallCToJava},
+                {EntityM, 1, FnId::SetStaticIntField, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.HelperCls && S.HelperFid; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->SetStaticIntField(S.Env, S.HelperCls, S.HelperFid, 7);
+    };
+    Ops.push_back(std::move(Op));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Bug operations (always emitted last in a sequence: a violation pends
+  // jinn.JNIAssertionFailure and aborts the faulting call)
+  //===--------------------------------------------------------------------===
+
+  {
+    FuzzOp Op;
+    Op.Name = "bug_env_mismatch";
+    Op.Focus = EnvM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Edges = {{EnvM, 0, FnId::FindClass, Direction::CallCToJava}};
+    Op.Expect = {EnvM, "was used while executing on thread", "FindClass",
+                 false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jvm::JThread &Worker = S.World.Vm.attachThread("fuzz-worker");
+      JNIEnv *WorkerEnv = S.World.Rt.envFor(Worker);
+      WorkerEnv->functions->FindClass(WorkerEnv, "java/lang/String");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_exc_pending";
+    Op.Focus = ExcM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.ExcSafe = true; // the whole point is to run while pending
+    Op.Setup = {"exc_throw"};
+    Op.Edges = {{ExcM, 2, FnId::FindClass, Direction::CallCToJava}};
+    Op.Expect = {ExcM, "An exception is pending", "FindClass", false};
+    Op.Ready = [](const ExecState &S) { return S.ExcPending; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->FindClass(S.Env, "java/lang/String");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_critical";
+    Op.Focus = CritM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.CriticalSafe = true;
+    Op.Setup = {"critical_enter"};
+    Op.Edges = {{CritM, 2, FnId::FindClass, Direction::CallCToJava},
+                {CritM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava},
+                {PinM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava}};
+    Op.Expect = {CritM, "A JNI call was made inside a JNI critical section",
+                 "FindClass", false};
+    Op.Ready = [](const ExecState &S) { return S.InCritical && S.Crit; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->FindClass(S.Env, "java/lang/String");
+      // Close the region: the release is critical-allowed and
+      // exception-oblivious, so it is legal even after the violation, and
+      // it keeps the end-of-run pin-leak check out of the verdict.
+      S.Env->functions->ReleasePrimitiveArrayCritical(S.Env, S.Arr, S.Crit,
+                                                      0);
+      S.Crit = nullptr;
+      S.InCritical = false;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_fixed_type";
+    Op.Focus = FixedM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"slot_string"};
+    Op.Edges = {{FixedM, 0, FnId::GetMethodID, Direction::CallCToJava}};
+    Op.Expect = {FixedM, "is not assignable to the", "GetMethodID", false};
+    Op.Ready = [](const ExecState &S) { return S.Str != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetMethodID(S.Env,
+                                    reinterpret_cast<jclass>(S.Str),
+                                    "toString", "()Ljava/lang/String;");
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_entity_type";
+    Op.Focus = EntityM;
+    Op.Kind = OpKind::Bug;
+    Op.CreatesLocal = true;
+    Op.Edges = {
+        {EntityM, 1, FnId::CallStaticVoidMethodA, Direction::CallCToJava},
+        {EntityM, 0, FnId::GetStaticMethodID, Direction::ReturnJavaToC},
+        {LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Expect = {EntityM, "does not declare the static",
+                 "CallStaticVoidMethodA", false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jclass Widget = S.Env->functions->FindClass(S.Env, "fuzz/Widget");
+      if (!Widget)
+        return;
+      jmethodID Mid = S.Env->functions->GetStaticMethodID(S.Env, Widget,
+                                                          "handler", "()V");
+      if (Mid)
+        S.Env->functions->CallStaticVoidMethodA(S.Env, Widget, Mid, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_final_field";
+    Op.Focus = AccessM;
+    Op.Kind = OpKind::Bug;
+    Op.CreatesLocal = true;
+    Op.Edges = {{AccessM, 1, FnId::SetStaticIntField, Direction::CallCToJava},
+                {AccessM, 0, FnId::GetStaticFieldID, Direction::ReturnJavaToC},
+                {EntityM, 1, FnId::SetStaticIntField, Direction::CallCToJava},
+                {EntityM, 0, FnId::GetStaticFieldID, Direction::ReturnJavaToC},
+                {LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Expect = {AccessM, "assignment to final field", "SetStaticIntField",
+                 false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jclass Cls = S.Env->functions->FindClass(S.Env, "FuzzHelper");
+      if (!Cls)
+        return;
+      jfieldID Fid =
+          S.Env->functions->GetStaticFieldID(S.Env, Cls, "LIMIT", "I");
+      if (Fid)
+        S.Env->functions->SetStaticIntField(S.Env, Cls, Fid, 42);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_null_arg";
+    Op.Focus = NullM;
+    Op.Kind = OpKind::Bug;
+    Op.Edges = {{NullM, 0, FnId::GetStringUTFChars, Direction::CallCToJava}};
+    Op.Expect = {NullM, "must not be null", "GetStringUTFChars", false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetStringUTFChars(S.Env, nullptr, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_pin_double_free";
+    Op.Focus = PinM;
+    Op.Kind = OpKind::Bug;
+    Op.ExcSafe = true;
+    Op.Setup = {"slot_array", "pin_acquire", "pin_release"};
+    Op.Edges = {
+        {PinM, 1, FnId::ReleaseIntArrayElements, Direction::CallCToJava}};
+    Op.Expect = {PinM, "double free", "ReleaseIntArrayElements", false};
+    Op.Ready = [](const ExecState &S) { return S.Arr && S.DeadPin; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->ReleaseIntArrayElements(S.Env, S.Arr, S.DeadPin, 0);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_pin_leak";
+    Op.Focus = PinM;
+    Op.Kind = OpKind::Bug;
+    Op.Setup = {"slot_array"};
+    Op.Edges = {{PinM, 0, FnId::GetIntArrayElements, Direction::ReturnJavaToC}};
+    Op.Expect = {PinM, "never released (leak)", "<program termination>", true};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.Pin; };
+    Op.Apply = [](ExecState &S) {
+      // Deliberately discarded: the buffer is never released.
+      S.Env->functions->GetIntArrayElements(S.Env, S.Arr, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_monitor_leak";
+    Op.Focus = MonM;
+    Op.Kind = OpKind::Bug;
+    Op.Setup = {"slot_array"};
+    Op.Edges = {{MonM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC}};
+    Op.Expect = {MonM, "still held through JNI", "<program termination>",
+                 true};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.MonitorHeld; };
+    Op.Apply = [](ExecState &S) {
+      // MonitorHeld deliberately not set: nothing will exit the monitor.
+      S.Env->functions->MonitorEnter(S.Env, S.Arr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_global_dangling";
+    Op.Focus = GlobM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"slot_string", "global_new", "global_delete"};
+    Op.Edges = {{GlobM, 2, FnId::GetStringUTFLength, Direction::CallCToJava}};
+    Op.Expect = {GlobM, "dangling global reference (deleted earlier)",
+                 "GetStringUTFLength", false};
+    Op.Ready = [](const ExecState &S) { return S.DeadGlobal != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetStringUTFLength(
+          S.Env, static_cast<jstring>(S.DeadGlobal));
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_global_double_free";
+    Op.Focus = GlobM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.ExcSafe = true;
+    Op.Setup = {"slot_string", "global_new", "global_delete"};
+    Op.Edges = {{GlobM, 1, FnId::DeleteGlobalRef, Direction::CallCToJava}};
+    Op.Expect = {GlobM, "deleted twice (double free / dangling)",
+                 "DeleteGlobalRef", false};
+    Op.Ready = [](const ExecState &S) { return S.DeadGlobal != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->DeleteGlobalRef(S.Env, S.DeadGlobal);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_global_leak";
+    Op.Focus = GlobM;
+    Op.Kind = OpKind::Bug;
+    Op.Setup = {"slot_string"};
+    Op.Edges = {{GlobM, 0, FnId::NewGlobalRef, Direction::ReturnJavaToC}};
+    Op.Expect = {GlobM, "never deleted (leak)", "<program termination>", true};
+    Op.Ready = [](const ExecState &S) { return S.Str && !S.Global; };
+    Op.Apply = [](ExecState &S) {
+      // Deliberately discarded: the global reference is never deleted.
+      S.Env->functions->NewGlobalRef(S.Env, S.Str);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_global_native_return";
+    Op.Focus = GlobM;
+    Op.Kind = OpKind::Bug;
+    Op.CreatesLocal = true;
+    Op.Edges = {
+        {GlobM, 3, FnId::Count, Direction::ReturnCToJava},
+        {EntityM, 0, FnId::GetStaticMethodID, Direction::ReturnJavaToC},
+        {LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Expect = {GlobM, "a native method returned a dangling global reference",
+                 "", false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jclass Cls = S.Env->functions->FindClass(S.Env, "FuzzGlobalSupplier");
+      if (!Cls)
+        return;
+      jmethodID Mid = S.Env->functions->GetStaticMethodID(
+          S.Env, Cls, "get", "()Ljava/lang/Object;");
+      if (Mid)
+        S.Env->functions->CallStaticObjectMethodA(S.Env, Cls, Mid, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_local_dangling";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"local_new", "local_delete"};
+    Op.Edges = {{LocalM, 4, FnId::GetStringUTFLength, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "is a dangling local reference", "GetStringUTFLength",
+                 false};
+    Op.Ready = [](const ExecState &S) { return S.DeadLocal != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetStringUTFLength(
+          S.Env, static_cast<jstring>(S.DeadLocal));
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_local_popped_use";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"frame_push", "local_new", "frame_pop"};
+    Op.Edges = {{LocalM, 4, FnId::GetStringUTFLength, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "is a dangling local reference", "GetStringUTFLength",
+                 false};
+    Op.Ready = [](const ExecState &S) { return S.DeadLocal != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->GetStringUTFLength(
+          S.Env, static_cast<jstring>(S.DeadLocal));
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_local_double_free";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.ExcSafe = true;
+    Op.Setup = {"local_new", "local_delete"};
+    Op.Edges = {{LocalM, 6, FnId::DeleteLocalRef, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "DeleteLocalRef of a dead local reference",
+                 "DeleteLocalRef", false};
+    Op.Ready = [](const ExecState &S) { return S.DeadLocal != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->DeleteLocalRef(S.Env, S.DeadLocal);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_id_confusion";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"entity_mid"};
+    Op.Edges = {{LocalM, 4, FnId::IsSameObject, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "is not a JNI reference", "IsSameObject", false};
+    Op.Ready = [](const ExecState &S) { return S.HelperMid != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->IsSameObject(
+          S.Env, reinterpret_cast<jobject>(S.HelperMid), nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_local_overflow";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.DefaultCapacityOnly = true;
+    Op.CreatesLocal = true;
+    Op.Edges = {{LocalM, 1, FnId::NewStringUTF, Direction::ReturnJavaToC}};
+    Op.Expect = {LocalM, "local reference overflow", "NewStringUTF", false};
+    Op.Ready = [](const ExecState &S) { return !S.Capacity && S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      for (int I = 0; I < 24; ++I) {
+        S.Env->functions->NewStringUTF(S.Env, "overflow");
+        // The violation pends jinn.JNIAssertionFailure; stop before the
+        // exception machine piles a second report onto the next call.
+        if (S.Env->functions->ExceptionCheck(S.Env))
+          break;
+      }
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_frame_leak";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.Edges = {{LocalM, 2, FnId::PushLocalFrame, Direction::ReturnJavaToC},
+                {LocalM, 8, FnId::Count, Direction::ReturnCToJava}};
+    Op.Expect = {LocalM, "never popped (leak)", "", false};
+    Op.Ready = [](const ExecState &S) { return S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      // Frames deliberately not incremented: nothing will pop this frame,
+      // and the native-return release transition reports the leak.
+      S.Env->functions->PushLocalFrame(S.Env, 16);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_pop_unbalanced";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.Edges = {{LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "PopLocalFrame without a matching PushLocalFrame",
+                 "PopLocalFrame", false};
+    Op.Ready = [](const ExecState &S) { return S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      S.Env->functions->PopLocalFrame(S.Env, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_cross_thread_local";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.XcheckDetects = true;
+    Op.Setup = {"slot_string"};
+    Op.Edges = {{LocalM, 4, FnId::GetStringUTFLength, Direction::CallCToJava}};
+    Op.Expect = {LocalM, "is a local reference that belongs to thread",
+                 "GetStringUTFLength", false};
+    Op.Ready = [](const ExecState &S) { return S.Str != nullptr; };
+    Op.Apply = [](ExecState &S) {
+      JavaVM *Jvm = S.World.Rt.javaVm();
+      jstring Foreign = S.Str;
+      std::thread Worker([Jvm, Foreign] {
+        JNIEnv *WorkerEnv = nullptr;
+        if (Jvm->functions->AttachCurrentThread(Jvm, &WorkerEnv, nullptr) !=
+            JNI_OK)
+          return;
+        WorkerEnv->functions->GetStringUTFLength(WorkerEnv, Foreign);
+        WorkerEnv->functions->ExceptionClear(WorkerEnv);
+        Jvm->functions->DetachCurrentThread(Jvm);
+      });
+      Worker.join();
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_local_native_return";
+    Op.Focus = LocalM;
+    Op.Kind = OpKind::Bug;
+    Op.CreatesLocal = true;
+    Op.Edges = {
+        {LocalM, 5, FnId::Count, Direction::ReturnCToJava},
+        {EntityM, 0, FnId::GetStaticMethodID, Direction::ReturnJavaToC},
+        {LocalM, 1, FnId::FindClass, Direction::ReturnJavaToC}};
+    Op.Expect = {LocalM, "is a dangling local reference", "", false};
+    Op.Ready = [](const ExecState &) { return true; };
+    Op.Apply = [](ExecState &S) {
+      jclass Cls = S.Env->functions->FindClass(S.Env, "FuzzLocalSupplier");
+      if (!Cls)
+        return;
+      jmethodID Mid = S.Env->functions->GetStaticMethodID(
+          S.Env, Cls, "get", "()Ljava/lang/Object;");
+      if (Mid)
+        S.Env->functions->CallStaticObjectMethodA(S.Env, Cls, Mid, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+
+  return Ops;
+}
+
+} // namespace
+
+const std::vector<FuzzOp> &jinn::fuzz::jniOps() {
+  static const std::vector<FuzzOp> Ops = buildJniOps();
+  return Ops;
+}
+
+const FuzzOp *jinn::fuzz::findJniOp(const std::string &Name) {
+  for (const FuzzOp &Op : jniOps())
+    if (Name == Op.Name)
+      return &Op;
+  return nullptr;
+}
+
+const std::vector<EdgeRef> &jinn::fuzz::implicitJniEdges() {
+  static const std::vector<EdgeRef> Edges = {
+      {LocalM, 0, FnId::Count, Direction::CallJavaToC},
+      {LocalM, 8, FnId::Count, Direction::ReturnCToJava},
+  };
+  return Edges;
+}
+
+void jinn::fuzz::prepareJniWorld(scenarios::ScenarioWorld &World) {
+  if (!World.Vm.findClass("FuzzHelper")) {
+    jvm::ClassDef Def;
+    Def.Name = "FuzzHelper";
+    Def.field("count", "I", /*IsStatic=*/true);
+    Def.field("LIMIT", "I", /*IsStatic=*/true, /*IsFinal=*/true);
+    Def.method(
+        "ping", "()V",
+        [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+           const std::vector<jvm::Value> &) {
+          return jvm::Value::makeVoid();
+        },
+        /*IsStatic=*/true, "FuzzHelper.java:3");
+    World.Vm.defineClass(Def);
+  }
+  if (!World.Vm.findClass("fuzz/Base")) {
+    jvm::ClassDef Base;
+    Base.Name = "fuzz/Base";
+    Base.method(
+        "handler", "()V",
+        [](jvm::Vm &, jvm::JThread &, const jvm::Value &,
+           const std::vector<jvm::Value> &) {
+          return jvm::Value::makeVoid();
+        },
+        /*IsStatic=*/true, "Base.java:10");
+    World.Vm.defineClass(Base);
+  }
+  if (!World.Vm.findClass("fuzz/Widget")) {
+    jvm::ClassDef Sub;
+    Sub.Name = "fuzz/Widget";
+    Sub.Super = "fuzz/Base";
+    World.Vm.defineClass(Sub);
+  }
+  World.defineRefSupplier("FuzzLocalSupplier", [](JNIEnv *Env) -> jobject {
+    jstring S = Env->functions->NewStringUTF(Env, "escapee");
+    Env->functions->DeleteLocalRef(Env, S);
+    return S; // BUG: deleted before it escapes as the return value
+  });
+  World.defineRefSupplier("FuzzGlobalSupplier", [](JNIEnv *Env) -> jobject {
+    jstring S = Env->functions->NewStringUTF(Env, "anchor");
+    jobject G = Env->functions->NewGlobalRef(Env, S);
+    Env->functions->DeleteGlobalRef(Env, G);
+    return G; // BUG: deleted before it escapes as the return value
+  });
+}
+
+std::vector<std::string>
+jinn::fuzz::validateJniOps(const std::vector<analysis::MachineModel> &Models) {
+  std::vector<std::string> Issues;
+  auto modelFor =
+      [&Models](const std::string &Name) -> const analysis::MachineModel * {
+    for (const analysis::MachineModel &M : Models)
+      if (M.Name == Name)
+        return &M;
+    return nullptr;
+  };
+
+  auto checkEdge = [&](const char *OpName, const EdgeRef &Edge,
+                       const analysis::TransitionModel **OutT) {
+    *OutT = nullptr;
+    const analysis::MachineModel *Model = modelFor(Edge.Machine);
+    if (!Model) {
+      Issues.push_back(formatString("%s: unknown machine \"%s\"", OpName,
+                                    Edge.Machine));
+      return;
+    }
+    if (Edge.Index >= Model->Transitions.size()) {
+      Issues.push_back(
+          formatString("%s: %s transition %zu out of range (machine has %zu)",
+                       OpName, Edge.Machine, Edge.Index,
+                       Model->Transitions.size()));
+      return;
+    }
+    const analysis::TransitionModel &T = Model->Transitions[Edge.Index];
+    *OutT = &T;
+    bool Matched = false;
+    for (const analysis::TriggerModel &Trigger : T.Triggers) {
+      if (Trigger.Dir != Edge.Dir)
+        continue;
+      if (Edge.Fn == FnId::Count)
+        Matched |= Trigger.NativeSide;
+      else
+        Matched |= !Trigger.NativeSide &&
+                   Trigger.Matches.test(static_cast<size_t>(Edge.Fn));
+    }
+    if (!Matched)
+      Issues.push_back(formatString(
+          "%s: %s transition %zu has no trigger matching %s in the "
+          "declared direction",
+          OpName, Edge.Machine, Edge.Index,
+          Edge.Fn == FnId::Count ? "<native boundary>"
+                                 : jni::fnName(Edge.Fn)));
+  };
+
+  std::set<std::string> Names;
+  for (const FuzzOp &Op : jniOps()) {
+    if (!Names.insert(Op.Name).second)
+      Issues.push_back(formatString("duplicate op name \"%s\"", Op.Name));
+    if (!Op.Ready || !Op.Apply)
+      Issues.push_back(formatString("%s: missing Ready or Apply", Op.Name));
+
+    bool ClaimsErrorEdge = false;
+    for (const EdgeRef &Edge : Op.Edges) {
+      const analysis::TransitionModel *T = nullptr;
+      checkEdge(Op.Name, Edge, &T);
+      if (!T)
+        continue;
+      bool ErrorTarget = T->To.rfind("Error", 0) == 0;
+      ClaimsErrorEdge |= ErrorTarget;
+      if (Op.Kind == OpKind::Clean && ErrorTarget)
+        Issues.push_back(formatString(
+            "%s: clean op claims error-target edge %s/%zu (-> %s)", Op.Name,
+            Edge.Machine, Edge.Index, T->To.c_str()));
+      if (Op.Kind == OpKind::Bug && ErrorTarget &&
+          Op.Expect.Machine != Edge.Machine)
+        Issues.push_back(formatString(
+            "%s: error edge belongs to %s but the expectation names \"%s\"",
+            Op.Name, Edge.Machine, Op.Expect.Machine.c_str()));
+    }
+    (void)ClaimsErrorEdge;
+
+    if (Op.Kind == OpKind::Bug) {
+      if (!modelFor(Op.Expect.Machine))
+        Issues.push_back(
+            formatString("%s: expectation names unknown machine \"%s\"",
+                         Op.Name, Op.Expect.Machine.c_str()));
+      if (Op.Expect.MessagePart.empty())
+        Issues.push_back(
+            formatString("%s: bug op with empty MessagePart", Op.Name));
+    } else if (!Op.Expect.Machine.empty()) {
+      Issues.push_back(
+          formatString("%s: clean op carries an expectation", Op.Name));
+    }
+
+    for (const char *Dep : Op.Setup) {
+      const FuzzOp *Resolved = findJniOp(Dep);
+      if (!Resolved || Resolved->Kind != OpKind::Clean)
+        Issues.push_back(formatString("%s: setup op \"%s\" unknown or not "
+                                      "clean",
+                                      Op.Name, Dep));
+    }
+    if (Op.Closer) {
+      const FuzzOp *Resolved = findJniOp(Op.Closer);
+      if (!Resolved || Resolved->Kind != OpKind::Clean)
+        Issues.push_back(formatString("%s: closer op \"%s\" unknown or not "
+                                      "clean",
+                                      Op.Name, Op.Closer));
+    }
+  }
+
+  for (const EdgeRef &Edge : implicitJniEdges()) {
+    const analysis::TransitionModel *T = nullptr;
+    checkEdge("<implicit>", Edge, &T);
+  }
+  return Issues;
+}

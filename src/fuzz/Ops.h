@@ -1,0 +1,142 @@
+//===- fuzz/Ops.h - The fuzzer's JNI operation inventory -----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generator does not emit raw JNI calls; it emits *operations*: small
+/// JNI idioms with explicit preconditions (Ready), effects on a shared
+/// ExecState, and — the self-validating part — a declaration of exactly
+/// which spec transitions the operation drives, expressed as (machine,
+/// transition index, FnId, direction) tuples that validateJniOps() checks
+/// against the analysis::SpecModel resolution of the shipped machines.
+/// A bug operation additionally declares the report it must provoke
+/// (machine, message fragment, faulting function, end-of-run flag), so
+/// the expected verdict of every generated sequence is known by
+/// construction, never inferred from the checker under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_FUZZ_OPS_H
+#define JINN_FUZZ_OPS_H
+
+#include "analysis/SpecModel.h"
+#include "jni/JniFunctionId.h"
+#include "scenarios/Scenarios.h"
+#include "spec/StateMachine.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jinn::fuzz {
+
+/// Mutable state threaded through one sequence execution. Slots are
+/// deliberately few and typed: operations guard on them (Ready) so a
+/// generated sequence can always be executed by skipping the ops whose
+/// precondition did not materialize.
+struct ExecState {
+  explicit ExecState(scenarios::ScenarioWorld &World) : World(World) {}
+
+  scenarios::ScenarioWorld &World;
+  JNIEnv *Env = nullptr;
+
+  jintArray Arr = nullptr; ///< depth-0 workhorse array
+  jstring Str = nullptr;   ///< depth-0 workhorse string
+  /// Transient locals with the explicit-frame depth they were made at.
+  std::vector<std::pair<jobject, int>> Locals;
+  jobject DeadLocal = nullptr;  ///< a deleted or frame-popped local
+  jobject Global = nullptr;     ///< the live global slot
+  jobject DeadGlobal = nullptr; ///< a deleted global
+  jint *Pin = nullptr;          ///< live Get<T>ArrayElements buffer
+  jint *DeadPin = nullptr;      ///< an already-released buffer
+  void *Crit = nullptr;         ///< live critical-section buffer
+  jclass HelperCls = nullptr;   ///< FuzzHelper class (depth 0)
+  jmethodID HelperMid = nullptr;
+  jfieldID HelperFid = nullptr;
+
+  int Frames = 0;          ///< explicit PushLocalFrame depth
+  bool Capacity = false;   ///< EnsureLocalCapacity was issued
+  bool MonitorHeld = false;
+  bool ExcPending = false; ///< a Java exception is pending
+  bool InCritical = false; ///< inside a JNI critical section
+};
+
+/// One spec transition an operation claims to drive. \c Fn names the FFI
+/// function carrying the claim (FnId::Count for native-method-boundary
+/// edges, which have no FFI function).
+struct EdgeRef {
+  const char *Machine;
+  size_t Index;
+  jni::FnId Fn = jni::FnId::Count;
+  spec::Direction Dir = spec::Direction::CallCToJava;
+};
+
+enum class OpKind : uint8_t {
+  Clean, ///< must never provoke a report
+  Bug,   ///< ends one transition into an error/guard violation
+};
+
+/// The report a bug operation must provoke (and nothing else).
+struct Expected {
+  std::string Machine;
+  std::string MessagePart; ///< substring of the report message
+  std::string Function;    ///< faulting function name; "" skips the check
+  bool EndOfRun = false;   ///< report surfaces at VM death, not inline
+};
+
+struct FuzzOp {
+  const char *Name;  ///< stable corpus identifier
+  const char *Focus; ///< machine this op belongs to (generator grouping)
+  OpKind Kind = OpKind::Clean;
+  std::vector<EdgeRef> Edges;
+  Expected Expect; ///< bug ops only
+
+  /// True where -Xcheck:jni's ad-hoc checks overlap this bug (the oracle
+  /// demands a matching detection); false predicts the baseline misses it.
+  bool XcheckDetects = false;
+  bool CreatesLocal = false;        ///< allocates local references
+  bool DefaultCapacityOnly = false; ///< bug needs the un-ensured frame
+  bool ExcSafe = false;      ///< runnable with an exception pending
+  bool CriticalSafe = false; ///< runnable inside a critical section
+  /// Generator emits the closer immediately after this op (critical
+  /// sections and pending exceptions deaden everything else).
+  bool PairClosely = false;
+
+  /// Clean ops establishing this op's precondition, emitted just before.
+  std::vector<const char *> Setup;
+  /// Clean op undoing this op's residue before the sequence ends.
+  const char *Closer = nullptr;
+
+  std::function<bool(const ExecState &)> Ready;
+  std::function<void(ExecState &)> Apply;
+};
+
+/// The full JNI operation inventory (clean ops first, then bug ops).
+const std::vector<FuzzOp> &jniOps();
+
+/// Lookup by stable name; nullptr when unknown.
+const FuzzOp *findJniOp(const std::string &Name);
+
+/// Edges every runAsNative sequence drives implicitly: the scenario
+/// runner's native frame entry and return.
+const std::vector<EdgeRef> &implicitJniEdges();
+
+/// Defines the helper classes operations depend on (FuzzHelper with a
+/// static method/field/final field, the fuzz/Base-fuzz/Widget inheritance
+/// pair, and the dangling-reference supplier natives). Idempotent.
+void prepareJniWorld(scenarios::ScenarioWorld &World);
+
+/// Cross-checks every operation's edge claims against the resolved spec
+/// models: indices in range, FnId membership in the trigger set with the
+/// declared direction, clean ops never claiming error-target edges, bug
+/// expectations naming the machine their error edge belongs to. Returns
+/// human-readable complaints; empty means the table is consistent with
+/// the specs it fuzzes.
+std::vector<std::string>
+validateJniOps(const std::vector<analysis::MachineModel> &Models);
+
+} // namespace jinn::fuzz
+
+#endif // JINN_FUZZ_OPS_H

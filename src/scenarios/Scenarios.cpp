@@ -132,6 +132,23 @@ void ScenarioWorld::runAsNative(const std::string &ClassName,
                   jvm::Value::makeNull(), {});
 }
 
+void ScenarioWorld::defineRefSupplier(const std::string &ClassName,
+                                      std::function<jobject(JNIEnv *)> Body) {
+  if (!Vm.findClass(ClassName)) {
+    jvm::ClassDef Def;
+    Def.Name = ClassName;
+    Def.nativeMethod("get", "()Ljava/lang/Object;", /*IsStatic=*/true);
+    Vm.defineClass(Def);
+  }
+  Rt.registerNative(Vm.findClass(ClassName), "get", "()Ljava/lang/Object;",
+                    [Body = std::move(Body)](JNIEnv *Env, jobject,
+                                             const jvalue *) -> jvalue {
+                      jvalue R;
+                      R.l = Body(Env);
+                      return R;
+                    });
+}
+
 const char *jinn::scenarios::outcomeName(Outcome O) {
   switch (O) {
   case Outcome::Running:

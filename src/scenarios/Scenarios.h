@@ -115,6 +115,13 @@ public:
   void runAsNative(const std::string &ClassName,
                    std::function<void(JNIEnv *)> Body);
 
+  /// Defines (once) class \p ClassName with a static native
+  /// `get()Ljava/lang/Object;` bound to \p Body: a nested native callee
+  /// for scenarios that need the Return:C->Java checks applied to a
+  /// second native frame's returned reference (dangling-return paths).
+  void defineRefSupplier(const std::string &ClassName,
+                         std::function<jobject(JNIEnv *)> Body);
+
   /// Fires VM-death events (leak checks). Idempotent.
   void shutdown() { Vm.shutdown(); }
 };

@@ -25,10 +25,23 @@ public:
 
   uint64_t next() {
     State += 0x9e3779b97f4a7c15ULL;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-    return Z ^ (Z >> 31);
+    return mix(State);
+  }
+
+  /// Derives the seed of child stream \p StreamId without advancing this
+  /// generator: two mix rounds over (state, stream id) so sibling streams
+  /// are decorrelated even for adjacent ids, and a re-derived stream is
+  /// bit-identical as long as the parent has not been advanced in between.
+  uint64_t streamSeed(uint64_t StreamId) const {
+    uint64_t Z = mix(State + 0x9e3779b97f4a7c15ULL * (StreamId + 1));
+    return mix(Z ^ 0xd6e8feb86659fd93ULL);
+  }
+
+  /// Child generator for stream \p StreamId (per machine, per worker, per
+  /// sequence...). Derivation is const: splitting never perturbs the
+  /// parent, so split order cannot change what any stream produces.
+  SplitMix64 split(uint64_t StreamId) const {
+    return SplitMix64(streamSeed(StreamId));
   }
 
   /// Uniform value in [0, Bound). \p Bound must be nonzero.
@@ -43,6 +56,13 @@ public:
   bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
 
 private:
+  /// The SplitMix64 output function over an arbitrary word.
+  static uint64_t mix(uint64_t Z) {
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
   uint64_t State;
 };
 

@@ -1,0 +1,101 @@
+//===- tests/fuzz_corpus_test.cpp - Checked-in reproducer replay ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every reproducer committed under fuzz/corpus/ replays with its
+/// recorded verdict: clean entries stay report-free, bug entries produce
+/// exactly the spec-predicted report, and the full oracle stack agrees.
+/// The .jfz format round-trips, and expectation drift (a corpus file
+/// whose recorded report no longer matches the op table) is a load
+/// error, never a silently rewritten test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Executor.h"
+#include "fuzz/PyFuzz.h"
+
+#include <gtest/gtest.h>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+namespace {
+
+const char *corpusDir() { return JINN_SOURCE_DIR "/fuzz/corpus"; }
+
+std::vector<CorpusEntry> loadAll() {
+  std::vector<std::string> Errors;
+  std::vector<CorpusEntry> Entries = loadCorpusDir(corpusDir(), Errors);
+  for (const std::string &Error : Errors)
+    ADD_FAILURE() << Error;
+  return Entries;
+}
+
+TEST(FuzzCorpus, LoadsWithoutErrors) {
+  std::vector<CorpusEntry> Entries = loadAll();
+  EXPECT_GE(Entries.size(), 6u);
+}
+
+TEST(FuzzCorpus, EveryEntryReplaysWithItsRecordedVerdict) {
+  for (const CorpusEntry &Entry : loadAll()) {
+    if (Entry.Seq.Domain == "py") {
+      PyExecResult R = runPySequence(Entry.Seq);
+      for (const std::string &Failure : R.Failures)
+        ADD_FAILURE() << Entry.Name << ": " << Failure;
+      EXPECT_TRUE(R.Pass) << Entry.Name;
+      continue;
+    }
+    ExecResult R = runJniSequence(Entry.Seq);
+    for (const std::string &Failure : R.Failures)
+      ADD_FAILURE() << Entry.Name << ": " << Failure;
+    EXPECT_TRUE(R.Pass) << Entry.Name;
+    if (Entry.ExpectClean) {
+      EXPECT_TRUE(R.Inline.empty()) << Entry.Name;
+    } else {
+      ASSERT_EQ(R.Inline.size(), 1u) << Entry.Name;
+      EXPECT_EQ(R.Inline.front().Machine, Entry.Expect.Machine) << Entry.Name;
+    }
+  }
+}
+
+TEST(FuzzCorpus, SerializationRoundTrips) {
+  Sequence Seq;
+  Seq.OpNames = {"slot_string", "global_new", "global_delete",
+                 "bug_global_dangling"};
+  std::string Text = serializeSequence(Seq);
+  CorpusEntry Entry;
+  std::string Error;
+  ASSERT_TRUE(parseCorpusText(Text, Entry, Error)) << Error;
+  EXPECT_EQ(Entry.Seq.OpNames, Seq.OpNames);
+  EXPECT_FALSE(Entry.ExpectClean);
+  EXPECT_EQ(Entry.Expect.Machine, "Global or weak global reference");
+  EXPECT_EQ(serializeSequence(Entry.Seq), Text);
+}
+
+TEST(FuzzCorpus, DriftedExpectationIsALoadError) {
+  std::string Drifted = "domain jni\n"
+                        "op slot_string\n"
+                        "op global_new\n"
+                        "op global_delete\n"
+                        "op bug_global_dangling\n"
+                        "expect-machine Monitor\n"
+                        "expect-message something else entirely\n";
+  CorpusEntry Entry;
+  std::string Error;
+  EXPECT_FALSE(parseCorpusText(Drifted, Entry, Error));
+  EXPECT_NE(Error.find("drifted"), std::string::npos) << Error;
+}
+
+TEST(FuzzCorpus, UnknownOpIsALoadError) {
+  CorpusEntry Entry;
+  std::string Error;
+  EXPECT_FALSE(parseCorpusText(
+      "domain jni\nop not_a_real_op\nexpect-clean\n", Entry, Error));
+  EXPECT_NE(Error.find("unknown op"), std::string::npos) << Error;
+}
+
+} // namespace

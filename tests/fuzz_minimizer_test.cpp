@@ -1,0 +1,158 @@
+//===- tests/fuzz_minimizer_test.cpp - Delta-debugging minimizer tests ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The minimizer from both ends: ddmin unit behavior on synthetic
+/// predicates (1-minimal results, monotone shrink, preserved domain), and
+/// the full loop on a seeded oracle defect — an executor whose replay
+/// oracle silently drops dangling-reference reports must disagree with
+/// inline checking, and the disagreement must shrink to the minimal
+/// reproducer (<=5 ops, the acceptance bound).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Minimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace jinn;
+using namespace jinn::fuzz;
+
+namespace {
+
+Sequence seqOf(std::vector<std::string> Ops, std::string Domain = "jni") {
+  Sequence S;
+  S.Domain = std::move(Domain);
+  S.OpNames = std::move(Ops);
+  return S;
+}
+
+TEST(Minimizer, ShrinksToTheSingleCulprit) {
+  Sequence Seq = seqOf({"a", "b", "c", "d", "e", "f", "g", "culprit"});
+  size_t Tests = 0;
+  Sequence Min = minimizeSequence(
+      Seq,
+      [](const Sequence &S) {
+        return std::find(S.OpNames.begin(), S.OpNames.end(), "culprit") !=
+               S.OpNames.end();
+      },
+      &Tests);
+  EXPECT_EQ(Min.OpNames, std::vector<std::string>{"culprit"});
+  EXPECT_GT(Tests, 0u);
+  EXPECT_EQ(Min.Domain, "jni");
+}
+
+TEST(Minimizer, KeepsAnInteractingPair) {
+  // Failure needs both "x" and "y", in order, with junk interleaved.
+  Sequence Seq = seqOf({"p", "x", "q", "r", "y", "s"});
+  Sequence Min = minimizeSequence(Seq, [](const Sequence &S) {
+    auto X = std::find(S.OpNames.begin(), S.OpNames.end(), "x");
+    auto Y = std::find(S.OpNames.begin(), S.OpNames.end(), "y");
+    return X != S.OpNames.end() && Y != S.OpNames.end() && X < Y;
+  });
+  EXPECT_EQ(Min.OpNames, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(Minimizer, AlwaysFailingInputShrinksToOneOp) {
+  Sequence Seq = seqOf({"a", "b", "c", "d", "e"});
+  Sequence Min =
+      minimizeSequence(Seq, [](const Sequence &) { return true; });
+  EXPECT_EQ(Min.OpNames.size(), 1u);
+}
+
+TEST(Minimizer, NeverFailingInputIsReturnedUnchanged) {
+  // A pathological predicate (the failure vanished during shrinking):
+  // ddmin must terminate and hand back the original sequence.
+  Sequence Seq = seqOf({"a", "b", "c"});
+  Sequence Min =
+      minimizeSequence(Seq, [](const Sequence &) { return false; });
+  EXPECT_EQ(Min.OpNames, Seq.OpNames);
+}
+
+/// Seeded 1-step shrink: one op of padding around a self-contained bug
+/// path; ddmin must strip the padding and keep the exact setup chain.
+TEST(Minimizer, SeededDefectSheds1StepOfPadding) {
+  Sequence Noisy = seqOf({"ensure_capacity", "slot_array", "slot_string",
+                          "global_new", "global_delete",
+                          "bug_global_double_free"});
+  ExecutorOptions Opts;
+  Sequence Min = minimizeSequence(Noisy, [&Opts](const Sequence &S) {
+    // "Fails" = the bug path still yields exactly its predicted report.
+    return runJniSequence(S, Opts).Pass && S.bugOp() != nullptr;
+  });
+  // slot_array is padding; the double free needs string+global+delete.
+  EXPECT_LE(Min.OpNames.size(), 5u);
+  EXPECT_EQ(Min.OpNames.back(), "bug_global_double_free");
+  EXPECT_TRUE(std::find(Min.OpNames.begin(), Min.OpNames.end(),
+                        "slot_array") == Min.OpNames.end());
+}
+
+/// The acceptance scenario: a defective replay oracle (silently dropping
+/// dangling-reference reports) must surface as an oracle disagreement on
+/// a noisy sequence and shrink to a minimal reproducer of <=5 calls.
+TEST(Minimizer, OracleDisagreementShrinksToMinimalReproducer) {
+  Generator Gen(21);
+  Sequence Noisy = Gen.bugJniSequence("bug_global_dangling", 0);
+
+  ExecutorOptions Defective;
+  Defective.Defect = SeededDefect::ReplayDropsDangling;
+  Defective.RunXcheck = false; // isolate the replay disagreement
+
+  ExecResult R = runJniSequence(Noisy, Defective);
+  ASSERT_FALSE(R.Pass);
+  bool SawReplayDisagreement =
+      std::any_of(R.Failures.begin(), R.Failures.end(),
+                  [](const std::string &F) {
+                    return F.find("replay disagreement") != std::string::npos;
+                  });
+  EXPECT_TRUE(SawReplayDisagreement);
+
+  size_t Tests = 0;
+  Sequence Min = minimizeSequence(
+      Noisy,
+      [&Defective](const Sequence &S) {
+        ExecResult CR = runJniSequence(S, Defective);
+        return !CR.Pass &&
+               std::any_of(CR.Failures.begin(), CR.Failures.end(),
+                           [](const std::string &F) {
+                             return failureClass(F) == "replay";
+                           });
+      },
+      &Tests);
+  EXPECT_LE(Min.OpNames.size(), 5u) << "minimized to " << Min.OpNames.size()
+                                    << " ops in " << Tests << " tests";
+  // The minimal reproducer must still disagree, and the healthy executor
+  // must accept it (the defect, not the sequence, is at fault).
+  EXPECT_FALSE(runJniSequence(Min, Defective).Pass);
+  ExecutorOptions Healthy;
+  Healthy.RunXcheck = false;
+  EXPECT_TRUE(runJniSequence(Min, Healthy).Pass);
+}
+
+/// A campaign run with the seeded defect must record findings with
+/// minimized reproducers attached.
+TEST(Minimizer, CampaignAttachesMinimizedFindings) {
+  CampaignOptions Opts;
+  Opts.Seed = 3;
+  Opts.Defect = SeededDefect::ReplayDropsDangling;
+  Opts.RunXcheck = false;
+  Opts.RunPython = false;
+  Opts.CleanPerFocus = 1;
+  Opts.Machines = {"Global or weak global reference"};
+  CampaignResult Result = runCampaign(Opts);
+  ASSERT_FALSE(Result.Pass);
+  ASSERT_FALSE(Result.Findings.empty());
+  for (const CampaignFinding &F : Result.Findings) {
+    EXPECT_FALSE(F.Failures.empty());
+    EXPECT_LE(F.Minimized.OpNames.size(), F.Original.OpNames.size());
+    EXPECT_GT(F.MinimizerTests, 0u);
+  }
+}
+
+} // namespace

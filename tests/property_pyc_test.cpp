@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/PyFuzz.h"
 #include "pyjinn/PyChecker.h"
 #include "support/Rng.h"
 
@@ -110,6 +111,30 @@ TEST(PycProperty, RefcountsBalanceExactly) {
     EXPECT_EQ(I.stats().Allocated, I.stats().Deallocated);
   }
   (void)Api;
+}
+
+/// The jinn-fuzz generator as a property driver: many seeds' worth of
+/// generated clean walks must satisfy the same never-triggers/never-leaks
+/// property as the handwritten runLegalExtension, and every generated bug
+/// path must provoke exactly its declared violation.
+TEST(PycProperty, FuzzGeneratedSequencesHoldTheProperty) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    for (uint64_t Index = 0; Index < 4; ++Index) {
+      fuzz::PyExecResult R =
+          fuzz::runPySequence(fuzz::cleanPySequence(Seed, Index));
+      for (const std::string &Failure : R.Failures)
+        ADD_FAILURE() << "seed " << Seed << " index " << Index << ": "
+                      << Failure;
+      EXPECT_TRUE(R.Pass);
+    }
+    for (const std::string &BugName : fuzz::pyBugOpNames()) {
+      fuzz::PyExecResult R =
+          fuzz::runPySequence(fuzz::bugPySequence(Seed, BugName, Seed));
+      for (const std::string &Failure : R.Failures)
+        ADD_FAILURE() << "seed " << Seed << " " << BugName << ": " << Failure;
+      EXPECT_TRUE(R.Pass);
+    }
+  }
 }
 
 TEST(PycProperty, ContainersReleaseChildrenRecursively) {

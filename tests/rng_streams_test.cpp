@@ -1,0 +1,94 @@
+//===- tests/rng_streams_test.cpp - SplitMix64 stream derivation ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer hands every (machine, worker, sequence) its own generator
+/// via SplitMix64::split. These tests pin the properties the fuzzer's
+/// reproducibility depends on: splitting is a const derivation (the
+/// parent is not perturbed, re-splitting replays bit-for-bit), sibling
+/// streams are pairwise decorrelated, and nested splits stay independent
+/// of the order in which they are taken.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using jinn::SplitMix64;
+
+namespace {
+
+std::vector<uint64_t> draw(SplitMix64 Rng, size_t N) {
+  std::vector<uint64_t> Out;
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Rng.next());
+  return Out;
+}
+
+TEST(RngStreams, SplitIsReplayable) {
+  SplitMix64 Root(42);
+  EXPECT_EQ(draw(Root.split(7), 64), draw(Root.split(7), 64));
+  // Same id from an equal-seeded parent replays too.
+  SplitMix64 Other(42);
+  EXPECT_EQ(draw(Root.split(7), 64), draw(Other.split(7), 64));
+}
+
+TEST(RngStreams, SplitDoesNotPerturbTheParent) {
+  SplitMix64 A(123), B(123);
+  (void)A.split(0);
+  (void)A.split(999);
+  // A split a thousand streams, B none: identical output regardless.
+  (void)A.streamSeed(5);
+  EXPECT_EQ(draw(A, 32), draw(B, 32));
+}
+
+TEST(RngStreams, SiblingStreamsAreDistinct) {
+  SplitMix64 Root(1);
+  std::set<uint64_t> Seeds;
+  for (uint64_t Id = 0; Id < 1024; ++Id)
+    Seeds.insert(Root.streamSeed(Id));
+  EXPECT_EQ(Seeds.size(), 1024u);
+  // Adjacent ids must not produce correlated prefixes (the failure mode
+  // of naive `seed + id` derivations).
+  std::vector<uint64_t> S0 = draw(Root.split(0), 16);
+  std::vector<uint64_t> S1 = draw(Root.split(1), 16);
+  size_t Collisions = 0;
+  for (size_t I = 0; I < S0.size(); ++I)
+    Collisions += S0[I] == S1[I];
+  EXPECT_EQ(Collisions, 0u);
+}
+
+TEST(RngStreams, StreamsDifferFromTheParentSequence) {
+  SplitMix64 Root(9001);
+  std::vector<uint64_t> Parent = draw(Root, 16);
+  std::vector<uint64_t> Child = draw(SplitMix64(9001).split(0), 16);
+  EXPECT_NE(Parent, Child);
+}
+
+TEST(RngStreams, NestedSplitsAreOrderIndependent) {
+  SplitMix64 Root(7);
+  // machine stream -> per-sequence stream, taken in two different orders.
+  uint64_t A = Root.split(3).split(11).next();
+  (void)Root.split(5);
+  (void)Root.split(3).split(12);
+  uint64_t B = Root.split(3).split(11).next();
+  EXPECT_EQ(A, B);
+}
+
+TEST(RngStreams, GeneratorStillMatchesReferenceSequence) {
+  // The base sequence is unchanged by the split extension: SplitMix64
+  // from seed 0 must produce the published reference values.
+  SplitMix64 Rng(0);
+  EXPECT_EQ(Rng.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(Rng.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(Rng.next(), 0x06c45d188009454fULL);
+}
+
+} // namespace

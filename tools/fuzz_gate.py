@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fails when fuzzer transition coverage drops below the committed baseline.
+
+Usage: fuzz_gate.py <baseline.json> <fresh.json> [floor]
+
+Both files are jinn-fuzz --coverage-json documents:
+  {"seed": N, "domain": "jni", "machines": [{"name", "covered",
+   "reachable", "fraction"}, ...]}
+
+Two gates, both per machine:
+  1. absolute floor: fraction must reach <floor> (default 0.90);
+  2. no regression: a machine present in the baseline must not cover a
+     smaller fraction than the baseline recorded.
+
+A machine present only in the fresh document is gated by the floor alone
+(new machines must arrive with coverage); a machine present only in the
+baseline is an error — coverage of an existing machine must never
+silently disappear from the report.
+"""
+import json
+import sys
+
+
+def rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for entry in doc.get("machines", []):
+        out[entry["name"]] = (float(entry["fraction"]),
+                              int(entry["covered"]),
+                              int(entry["reachable"]))
+    return out
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    floor = float(sys.argv[3]) if len(sys.argv) > 3 else 0.90
+    base, fresh = rows(sys.argv[1]), rows(sys.argv[2])
+    failures = []
+    for name, (fraction, covered, reachable) in sorted(fresh.items()):
+        if fraction < floor:
+            failures.append(
+                "%s: %d/%d edges (%.0f%%) below the %.0f%% floor"
+                % (name, covered, reachable, 100 * fraction, 100 * floor))
+        baseline = base.get(name)
+        if baseline is not None and fraction < baseline[0]:
+            failures.append(
+                "%s: %.0f%% regressed from the committed %.0f%% baseline"
+                % (name, 100 * fraction, 100 * baseline[0]))
+    for name in sorted(set(base) - set(fresh)):
+        failures.append("%s: present in the baseline but missing from the "
+                        "fresh coverage report" % name)
+    for failure in failures:
+        print("fuzz_gate: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
