@@ -209,6 +209,11 @@ int main(int Argc, char **Argv) {
   bench::JsonResults Json("mt_scaling");
   Json.add("scale_divisor", static_cast<double>(Scale ? Scale : 2048), "");
   Json.add("shard_count", static_cast<double>(ShardCount), "");
+  // Recorded so the efficiency gate (tools/bench_gate.py) can tell a
+  // substrate regression from a machine that simply lacks the cores: the
+  // 8-thread floor is enforced only when 8 hardware threads exist.
+  Json.add("hardware_threads",
+           static_cast<double>(std::thread::hardware_concurrency()), "");
   printScalingTable(Scale ? Scale : 2048, ThreadCounts, Json);
   Json.writeFile();
 

@@ -506,6 +506,9 @@ void jinn::jni::impl_SetObjectArrayElement(JNIEnv *Env, jobjectArray Array,
     }
   }
   HO->ObjElems[Index] = Elem;
+  // Incremental-mark write barrier: the array may already be black.
+  if (!Elem.isNull())
+    G.vm().heap().recordRefStore(rtOf(Env).deref(Env, Array));
 }
 
 //===----------------------------------------------------------------------===

@@ -243,6 +243,10 @@ void setFieldCommon(JNIEnv *Env, FnId Id, jobject ObjOrCls, jfieldID FieldId,
     return;
   }
   HO->Fields[F->Slot] = NewValue;
+  // Incremental-mark write barrier: re-scan this container at the next GC
+  // pause if it was already traced (incremental-update marking).
+  if (NewValue.isRef())
+    G.vm().heap().recordRefStore(Obj);
 }
 
 } // namespace jinn::jni

@@ -1,0 +1,50 @@
+//===- jvm/Concurrent.cpp - Live-instance registry ------------------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/Concurrent.h"
+
+#include <mutex>
+#include <unordered_map>
+
+using namespace jinn::jvm;
+
+namespace {
+std::mutex &registryMutex() {
+  static std::mutex Mu;
+  return Mu;
+}
+std::unordered_map<uint64_t, void *> &registryMap() {
+  static auto *Map = new std::unordered_map<uint64_t, void *>();
+  return *Map; // leaked intentionally: outlives every static destructor
+}
+std::atomic<uint64_t> NextSerial{1};
+} // namespace
+
+uint64_t jinn::jvm::registerLiveInstance(void *Instance) {
+  uint64_t Serial = NextSerial.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registryMap()[Serial] = Instance;
+  return Serial;
+}
+
+void jinn::jvm::unregisterLiveInstance(uint64_t Serial) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registryMap().erase(Serial);
+}
+
+void jinn::jvm::withLiveInstance(uint64_t Serial,
+                                 void (*Fn)(void *Instance, void *Ctx),
+                                 void *Ctx) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  auto It = registryMap().find(Serial);
+  if (It != registryMap().end())
+    Fn(It->second, Ctx);
+}
+
+bool jinn::jvm::instanceIsLive(uint64_t Serial) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return registryMap().count(Serial) != 0;
+}

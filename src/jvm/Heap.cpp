@@ -8,42 +8,160 @@
 
 #include "jvm/Klass.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <mutex>
 
 using namespace jinn::jvm;
 
-std::pair<ObjectId, HeapObject *> Heap::allocSlot() {
-  std::unique_lock<std::shared_mutex> Lock(Mu);
-  uint32_t Index;
-  if (!FreeList.empty()) {
-    Index = FreeList.back();
-    FreeList.pop_back();
-  } else {
-    Index = static_cast<uint32_t>(Slots.size());
-    Slots.emplace_back();
-    Slots.back().Gen = 0;
+//===----------------------------------------------------------------------===
+// TLAB cache (thread-local)
+//===----------------------------------------------------------------------===
+
+namespace jinn::jvm {
+
+/// Per-OS-thread cache of (heap serial -> TLAB) bindings. Entry 0 is the
+/// most recently used heap, so the common case — one live heap per process —
+/// resolves with a single integer compare. The destructor runs at OS-thread
+/// exit and hands every cached TLAB back to its heap through the
+/// live-instance registry, which makes the handback safe even when the heap
+/// died first or a new heap was constructed at the same address.
+struct HeapTlsCache {
+  struct Ref {
+    uint64_t Serial;
+    Heap *H;
+    Heap::Tlab *T;
+  };
+  std::vector<Ref> Refs;
+
+  ~HeapTlsCache() {
+    for (Ref &R : Refs)
+      withLiveInstance(R.Serial, &Heap::returnTlabTrampoline, R.T);
   }
+};
+
+} // namespace jinn::jvm
+
+static thread_local HeapTlsCache HeapTls;
+
+//===----------------------------------------------------------------------===
+// Construction
+//===----------------------------------------------------------------------===
+
+Heap::Heap(unsigned TlabSlots)
+    : TlabSlots(TlabSlots ? TlabSlots : 1), Serial(registerLiveInstance(this)) {
+}
+
+Heap::~Heap() {
+  // Unregister before members die: after this returns, no thread-exit
+  // destructor can reach this instance through the registry.
+  unregisterLiveInstance(Serial);
+}
+
+//===----------------------------------------------------------------------===
+// Allocation
+//===----------------------------------------------------------------------===
+
+Heap::Tlab &Heap::tlabForCurrentThread() {
+  auto &Refs = HeapTls.Refs;
+  if (!Refs.empty() && Refs.front().Serial == Serial)
+    return *Refs.front().T;
+  for (size_t I = 1; I < Refs.size(); ++I)
+    if (Refs[I].Serial == Serial) {
+      std::swap(Refs[0], Refs[I]); // move to front for the next allocation
+      return *Refs.front().T;
+    }
+
+  // First allocation by this thread against this heap. Drop cache entries
+  // whose heap has died (fuzzing constructs thousands of short-lived worlds)
+  // and adopt a pooled TLAB, or mint a fresh one.
+  Refs.erase(std::remove_if(Refs.begin(), Refs.end(),
+                            [](const HeapTlsCache::Ref &R) {
+                              return !instanceIsLive(R.Serial);
+                            }),
+             Refs.end());
+  Tlab *T;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!FreeTlabs.empty()) {
+      T = FreeTlabs.back();
+      FreeTlabs.pop_back();
+    } else {
+      Tlabs.push_back(std::make_unique<Tlab>());
+      T = Tlabs.back().get();
+    }
+  }
+  Refs.insert(Refs.begin(), HeapTlsCache::Ref{Serial, this, T});
+  return *T;
+}
+
+void Heap::refill(Tlab &T) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Stats.TlabRefills.fetch_add(1, std::memory_order_relaxed);
+  while (!FreeList.empty() && T.Free.size() < TlabSlots) {
+    T.Free.push_back(FreeList.back());
+    FreeList.pop_back();
+  }
+  if (!T.Free.empty())
+    return;
+  // No recycled slots available: reserve a fresh batch. The indices are
+  // pushed high-to-low so allocation consumes them in ascending order.
+  size_t First = Slots.grow(TlabSlots);
+  for (unsigned I = 0; I < TlabSlots; ++I)
+    T.Free.push_back(static_cast<uint32_t>(First + TlabSlots - 1 - I));
+}
+
+void Heap::returnTlabTrampoline(void *HeapPtr, void *TlabPtr) {
+  static_cast<Heap *>(HeapPtr)->returnTlab(static_cast<Tlab *>(TlabPtr));
+}
+
+void Heap::returnTlab(Tlab *T) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  FreeTlabs.push_back(T);
+}
+
+std::pair<ObjectId, HeapObject *> Heap::allocSlot() {
+  Tlab &T = tlabForCurrentThread();
+  if (T.Free.empty())
+    refill(T);
+  uint32_t Index = T.Free.back();
+  T.Free.pop_back();
+
   HeapObject &Obj = Slots[Index];
   // Generation 0 is reserved for "null"; the first resident gets gen 1, and
   // a recycled slot whose generation counter wraps skips 0 so a long-stale
   // ObjectId can never alias the null generation.
-  Obj.Gen += 1;
-  if (Obj.Gen == 0)
-    Obj.Gen = 1;
-  Obj.Live = true;
-  Obj.Marked = false;
+  uint32_t Gen = HeapObject::genOf(Obj.State.load(std::memory_order_relaxed));
+  Gen += 1;
+  if (Gen == 0)
+    Gen = 1;
+
+  Obj.Kl = nullptr;
+  Obj.Shape = ObjShape::Plain;
+  // Allocate black: objects born during an incremental mark survive it.
+  Obj.Marked = MarkActive.load(std::memory_order_acquire);
   Obj.PinCount = 0;
   Obj.MoveCount = 0;
   Obj.Fields.clear();
   Obj.PrimElems.clear();
   Obj.ObjElems.clear();
   Obj.Chars.clear();
-  Obj.Address = NextAddress;
-  NextAddress += 64;
-  ++LiveCount;
-  ++Stats.TotalAllocated;
-  return {ObjectId{Index, Obj.Gen}, &Obj};
+  if (T.NextAddress == T.AddressEnd) {
+    T.NextAddress =
+        NextAddress.fetch_add(64ull * TlabSlots, std::memory_order_relaxed);
+    T.AddressEnd = T.NextAddress + 64ull * TlabSlots;
+  }
+  Obj.Address = T.NextAddress;
+  T.NextAddress += 64;
+
+  LiveCount.fetch_add(1, std::memory_order_relaxed);
+  Stats.TotalAllocated.fetch_add(1, std::memory_order_relaxed);
+  // Publish. The caller is protected from the collector (mutator scope), so
+  // the payload writes that follow in alloc* are ordered before any pause in
+  // which the collector could scan this slot.
+  Obj.State.store(HeapObject::packState(Gen, true), std::memory_order_release);
+  return {ObjectId{Index, Gen}, &Obj};
 }
 
 ObjectId Heap::allocPlain(Klass *Kl, uint32_t FieldSlots) {
@@ -80,15 +198,19 @@ ObjectId Heap::allocString(Klass *Kl, std::u16string Chars) {
   return Id;
 }
 
+//===----------------------------------------------------------------------===
+// Resolution
+//===----------------------------------------------------------------------===
+
 HeapObject *Heap::resolve(ObjectId Id) {
-  std::shared_lock<std::shared_mutex> Lock(Mu);
   if (Id.isNull() || Id.Index >= Slots.size())
     return nullptr;
-  // Deque slots are address-stable, so the pointer stays valid after the
-  // lock drops; liveness can only change under stop-the-world, when the
-  // caller is either the collector itself or parked.
+  // Chunked slots are address-stable, so the pointer stays valid after the
+  // load; liveness can only change under stop-the-world, when the caller is
+  // either the collector itself or parked.
   HeapObject &Obj = Slots[Id.Index];
-  if (!Obj.Live || Obj.Gen != Id.Gen)
+  uint64_t State = Obj.State.load(std::memory_order_acquire);
+  if (!HeapObject::liveOf(State) || HeapObject::genOf(State) != Id.Gen)
     return nullptr;
   return &Obj;
 }
@@ -98,13 +220,13 @@ const HeapObject *Heap::resolve(ObjectId Id) const {
 }
 
 bool Heap::isStale(ObjectId Id) const {
-  std::shared_lock<std::shared_mutex> Lock(Mu);
   if (Id.isNull())
     return false;
   if (Id.Index >= Slots.size())
     return true;
   const HeapObject &Obj = Slots[Id.Index];
-  return !Obj.Live || Obj.Gen != Id.Gen;
+  uint64_t State = Obj.State.load(std::memory_order_acquire);
+  return !HeapObject::liveOf(State) || HeapObject::genOf(State) != Id.Gen;
 }
 
 bool Heap::isMarked(ObjectId Id) const {
@@ -112,66 +234,148 @@ bool Heap::isMarked(ObjectId Id) const {
   return Obj && Obj->Marked;
 }
 
-void Heap::markFrom(ObjectId Root, std::vector<uint32_t> &Worklist) {
+//===----------------------------------------------------------------------===
+// Collection. Every entry point below runs inside a stop-the-world pause
+// provided by the owner (Vm safepoint protocol, or a single-threaded test).
+//===----------------------------------------------------------------------===
+
+void Heap::clearMarks() {
+  size_t N = Slots.size();
+  for (size_t I = 0; I < N; ++I)
+    Slots[I].Marked = false;
+}
+
+void Heap::markFrom(ObjectId Root) {
   HeapObject *Obj = resolve(Root);
   if (!Obj || Obj->Marked)
     return;
   Obj->Marked = true;
-  Worklist.push_back(Root.Index);
+  MarkWorklist.push_back(Root.Index);
 }
 
-void Heap::collect(const std::vector<ObjectId> &Roots, bool Move,
-                   const std::function<void()> &BeforeSweep) {
-  for (HeapObject &Obj : Slots)
-    Obj.Marked = false;
-
-  std::vector<uint32_t> Worklist;
+void Heap::markRoots(const std::vector<ObjectId> &Roots) {
   for (ObjectId Root : Roots)
-    markFrom(Root, Worklist);
+    markFrom(Root);
+}
 
-  while (!Worklist.empty()) {
-    uint32_t Index = Worklist.back();
-    Worklist.pop_back();
+bool Heap::traceWorklist(size_t Budget) {
+  while (!MarkWorklist.empty() && Budget) {
+    --Budget;
+    uint32_t Index = MarkWorklist.back();
+    MarkWorklist.pop_back();
     HeapObject &Obj = Slots[Index];
     if (Obj.Shape == ObjShape::Plain) {
       for (const Value &Field : Obj.Fields)
         if (Field.isRef())
-          markFrom(Field.Obj, Worklist);
+          markFrom(Field.Obj);
     } else if (Obj.Shape == ObjShape::ObjArray) {
       for (ObjectId Elem : Obj.ObjElems)
-        markFrom(Elem, Worklist);
+        markFrom(Elem);
     }
   }
+  return MarkWorklist.empty();
+}
+
+void Heap::recordRefStoreSlow(ObjectId Container) {
+  if (Container.isNull())
+    return;
+  std::lock_guard<std::mutex> Lock(DirtyMu);
+  Dirty.push_back(Container.raw());
+  Stats.DirtyRecords.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Heap::drainDirty() {
+  std::vector<uint64_t> Taken;
+  {
+    std::lock_guard<std::mutex> Lock(DirtyMu);
+    Taken.swap(Dirty);
+  }
+  for (uint64_t Raw : Taken) {
+    ObjectId Id = ObjectId::fromRaw(Raw);
+    HeapObject *Obj = resolve(Id);
+    // Only already-marked (black) containers need a re-scan: an unmarked one
+    // is either unreachable or still grey-reachable through its parent.
+    if (Obj && Obj->Marked)
+      MarkWorklist.push_back(Id.Index);
+  }
+}
+
+void Heap::beginIncrementalMark(const std::vector<ObjectId> &Roots) {
+  clearMarks();
+  {
+    std::lock_guard<std::mutex> Lock(DirtyMu);
+    Dirty.clear();
+  }
+  MarkWorklist.clear();
+  MarkActive.store(true, std::memory_order_release);
+  markRoots(Roots);
+}
+
+bool Heap::incrementalMarkStep(size_t Budget) {
+  Stats.MarkIncrements.fetch_add(1, std::memory_order_relaxed);
+  drainDirty();
+  return traceWorklist(Budget);
+}
+
+void Heap::finishCollect(const std::vector<ObjectId> &Roots, bool Move,
+                         const std::function<void()> &BeforeSweep) {
+  assert(MarkActive.load(std::memory_order_relaxed) &&
+         "finishCollect without beginIncrementalMark");
+  // Remark: fresh roots plus every container dirtied since the last
+  // increment, traced to a fixpoint. Incremental-update marking: a store of
+  // ref R into black container C either leaves R reachable from a grey
+  // object (traced normally) or was recorded by the barrier (C re-scanned
+  // here); objects born during the mark were allocated black.
+  drainDirty();
+  markRoots(Roots);
+  traceWorklist(SIZE_MAX);
+  MarkActive.store(false, std::memory_order_release);
 
   if (BeforeSweep)
     BeforeSweep();
+  sweep(Move);
 
-  for (uint32_t Index = 0; Index < Slots.size(); ++Index) {
+  Stats.GcCount.fetch_add(1, std::memory_order_relaxed);
+  if (Move)
+    Stats.MovingGcCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Heap::collect(const std::vector<ObjectId> &Roots, bool Move,
+                   const std::function<void()> &BeforeSweep) {
+  beginIncrementalMark(Roots);
+  finishCollect(Roots, Move, BeforeSweep);
+}
+
+void Heap::sweep(bool Move) {
+  // Mu guards the free-list refund against a concurrent TLAB refill; no
+  // mutator allocates during the pause, but a detached thread's TLS
+  // destructor may be returning a TLAB concurrently.
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Slots.size();
+  for (uint32_t Index = 0; Index < N; ++Index) {
     HeapObject &Obj = Slots[Index];
-    if (!Obj.Live)
+    uint64_t State = Obj.State.load(std::memory_order_relaxed);
+    if (!HeapObject::liveOf(State))
       continue;
     if (!Obj.Marked) {
-      // Reclaim: the slot generation advances so any surviving ObjectId for
-      // this resident becomes permanently stale, and the slot is reusable.
-      Obj.Live = false;
+      // Reclaim: liveness drops but the generation is kept; the *next*
+      // allocation of this slot advances it, so any surviving ObjectId for
+      // this resident is permanently stale either way.
       Obj.Kl = nullptr;
       Obj.Fields.clear();
       Obj.PrimElems.clear();
       Obj.ObjElems.clear();
       Obj.Chars.clear();
+      Obj.State.store(HeapObject::packState(HeapObject::genOf(State), false),
+                      std::memory_order_release);
       FreeList.push_back(Index);
-      --LiveCount;
-      ++Stats.TotalCollected;
+      LiveCount.fetch_sub(1, std::memory_order_relaxed);
+      Stats.TotalCollected.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (Move && Obj.PinCount == 0) {
-      Obj.Address = NextAddress;
-      NextAddress += 64;
+      Obj.Address = NextAddress.fetch_add(64, std::memory_order_relaxed);
       ++Obj.MoveCount;
     }
   }
-
-  ++Stats.GcCount;
-  if (Move)
-    ++Stats.MovingGcCount;
 }

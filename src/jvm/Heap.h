@@ -13,16 +13,27 @@
 /// instead of silently benign. Pinned objects (JNI critical sections,
 /// Get<T>ArrayElements) are exempt from motion, as in a real JVM.
 ///
+/// Concurrency model (DESIGN.md §12): allocation goes through per-thread
+/// allocation buffers (TLABs) that reserve slot batches under the heap lock
+/// and then allocate without it; id resolution is lock-free against a
+/// per-slot atomic (generation, live) header; the mark phase can run
+/// incrementally across several short stop-the-world pauses with a
+/// dirty-container write barrier between them, and the sweep+move phase
+/// runs in one final pause. The Vm's safepoint protocol provides the
+/// pauses; the Heap itself never blocks a mutator except during TLAB
+/// refill.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JINN_JVM_HEAP_H
 #define JINN_JVM_HEAP_H
 
+#include "jvm/Concurrent.h"
 #include "jvm/Value.h"
 
-#include <deque>
+#include <atomic>
 #include <functional>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,11 +47,16 @@ enum class ObjShape : uint8_t { Plain, PrimArray, ObjArray, Str };
 
 /// One heap slot. Primitive array elements are stored as int64 payloads
 /// (float/double bit-cast) to keep one storage path for all eight kinds.
+///
+/// `State` packs (Gen << 1 | Live) and is the only field read without
+/// synchronization: the allocating thread publishes a slot by storing State
+/// with release order *after* initializing the payload, and the collector
+/// reclaims under stop-the-world. Everything else is written either by the
+/// slot's owner before publication or by the collector during a pause.
 struct HeapObject {
+  std::atomic<uint64_t> State{0};
   Klass *Kl = nullptr;
   ObjShape Shape = ObjShape::Plain;
-  uint32_t Gen = 0;
-  bool Live = false;
   bool Marked = false;
   uint32_t PinCount = 0;  ///< pinned by a JNI critical/elements acquisition
   uint64_t Address = 0;   ///< simulated address; changes on moving GC
@@ -51,24 +67,53 @@ struct HeapObject {
   std::vector<int64_t> PrimElems; ///< PrimArray payload
   std::vector<ObjectId> ObjElems; ///< ObjArray payload
   std::u16string Chars;           ///< Str payload
+
+  static uint64_t packState(uint32_t Gen, bool Live) {
+    return (static_cast<uint64_t>(Gen) << 1) | (Live ? 1 : 0);
+  }
+  static uint32_t genOf(uint64_t State) {
+    return static_cast<uint32_t>(State >> 1);
+  }
+  static bool liveOf(uint64_t State) { return State & 1; }
+
+  uint32_t gen() const {
+    return genOf(State.load(std::memory_order_acquire));
+  }
+  bool live() const { return liveOf(State.load(std::memory_order_acquire)); }
 };
 
-/// Heap statistics for tests and experiments.
+/// Heap statistics for tests and experiments. Allocation-side counters are
+/// atomics bumped with relaxed order; collection-side counters are written
+/// only under stop-the-world.
 struct HeapStats {
-  uint64_t TotalAllocated = 0;
-  uint64_t TotalCollected = 0;
-  uint64_t GcCount = 0;
-  uint64_t MovingGcCount = 0;
+  std::atomic<uint64_t> TotalAllocated{0};
+  std::atomic<uint64_t> TotalCollected{0};
+  std::atomic<uint64_t> GcCount{0};
+  std::atomic<uint64_t> MovingGcCount{0};
+  std::atomic<uint64_t> TlabRefills{0};
+  std::atomic<uint64_t> MarkIncrements{0};
+  std::atomic<uint64_t> DirtyRecords{0};
 };
 
-/// The object heap. Allocation and id resolution are thread-safe under a
-/// reader/writer lock; collect() runs lock-free and relies on the Vm's
-/// stop-the-world protocol to exclude every mutator (which also lets the
-/// BeforeSweep callback call isMarked without self-deadlocking). Objects
-/// live in a deque so resolved pointers stay valid across concurrent
-/// allocations.
+/// The object heap. Allocation runs on per-thread TLABs (slot batches
+/// reserved under the heap lock, then consumed without it); resolve() and
+/// isStale() are lock-free. The collection entry points rely on the Vm's
+/// stop-the-world protocol: collect() runs the whole cycle in one pause,
+/// while beginIncrementalMark()/incrementalMarkStep()/finishCollect() let
+/// the Vm spread marking over several short pauses with mutator windows in
+/// between (mutators must call recordRefStore() for reference stores into
+/// heap objects while markInProgress()). Objects allocated while a mark is
+/// in progress are born marked ("allocate black").
 class Heap {
 public:
+  explicit Heap(unsigned TlabSlots = 64);
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Allocation. The calling thread must be protected from the collector
+  /// (a Vm mutator scope, or a single-threaded owner), so a sweep can never
+  /// run between slot reservation and publication.
   ObjectId allocPlain(Klass *Kl, uint32_t FieldSlots);
   ObjectId allocPrimArray(Klass *Kl, JType ElemKind, size_t Len);
   ObjectId allocObjArray(Klass *Kl, size_t Len);
@@ -76,40 +121,122 @@ public:
 
   /// Resolves \p Id to its object, or nullptr when the id is null, out of
   /// range, reclaimed, or from a recycled slot (stale generation).
+  /// Lock-free; slot addresses are stable, so the pointer stays valid
+  /// across concurrent allocations.
   HeapObject *resolve(ObjectId Id);
   const HeapObject *resolve(ObjectId Id) const;
 
   /// True when \p Id once named an object that has since been reclaimed or
   /// whose slot was recycled — i.e. the id is dangling rather than null.
+  /// Lock-free.
   bool isStale(ObjectId Id) const;
 
-  /// Runs a mark-sweep collection from \p Roots. When \p Move is true,
-  /// surviving unpinned objects receive fresh simulated addresses.
-  /// \p BeforeSweep runs after marking and before reclamation so the owner
-  /// can clear weak references (query with isMarked).
+  /// Runs a full mark-sweep collection from \p Roots in one stop-the-world
+  /// window. When \p Move is true, surviving unpinned objects receive fresh
+  /// simulated addresses. \p BeforeSweep runs after marking and before
+  /// reclamation so the owner can clear weak references (query with
+  /// isMarked).
   void collect(const std::vector<ObjectId> &Roots, bool Move,
                const std::function<void()> &BeforeSweep = nullptr);
+
+  //===--------------------------------------------------------------------===
+  // Incremental mark (each entry point runs inside a stop-the-world pause;
+  // mutators run between the pauses)
+  //===--------------------------------------------------------------------===
+
+  /// Pause 1: clears marks, activates the write barrier and allocate-black,
+  /// and greys \p Roots.
+  void beginIncrementalMark(const std::vector<ObjectId> &Roots);
+
+  /// Later pauses: drains the dirty-container buffer and traces up to
+  /// \p Budget objects. Returns true when the worklist is empty (marking
+  /// may still need a finishCollect() remark for late mutations).
+  bool incrementalMarkStep(size_t Budget);
+
+  /// Final pause: re-greys \p Roots (freshly collected) and the dirty
+  /// buffer, traces to a fixpoint, deactivates the barrier, runs
+  /// \p BeforeSweep, then sweeps and (optionally) moves survivors.
+  void finishCollect(const std::vector<ObjectId> &Roots, bool Move,
+                     const std::function<void()> &BeforeSweep = nullptr);
+
+  /// True between beginIncrementalMark() and the sweep in finishCollect().
+  bool markInProgress() const {
+    return MarkActive.load(std::memory_order_acquire);
+  }
+
+  /// Mutator write barrier: records that a reference was stored into
+  /// \p Container, so an already-scanned container is re-scanned at the
+  /// next pause (incremental-update marking). Near-free when no mark is in
+  /// progress. Callers may invoke it before or after the store: the
+  /// safepoint handshake orders both against the next pause.
+  void recordRefStore(ObjectId Container) {
+    if (!MarkActive.load(std::memory_order_acquire))
+      return;
+    recordRefStoreSlow(Container);
+  }
 
   /// Valid during/after mark: whether \p Id was reached from the roots.
   bool isMarked(ObjectId Id) const;
 
   size_t liveCount() const {
-    std::shared_lock<std::shared_mutex> Lock(Mu);
-    return LiveCount;
+    return LiveCount.load(std::memory_order_acquire);
   }
   const HeapStats &stats() const { return Stats; }
 
 private:
   friend struct HeapTestAccess;
+  friend struct HeapTlsCache; ///< TLS cache returns Tlabs on thread exit
+
+  /// Per-thread allocation buffer: a batch of reserved slot indices plus a
+  /// private block of simulated addresses. Owned by the heap (returned to
+  /// FreeTlabs on OS-thread exit), cached per thread via TLS.
+  struct Tlab {
+    std::vector<uint32_t> Free; ///< reserved, unallocated slot indices
+    uint64_t NextAddress = 0;   ///< private simulated-address cursor
+    uint64_t AddressEnd = 0;
+  };
 
   std::pair<ObjectId, HeapObject *> allocSlot();
-  void markFrom(ObjectId Root, std::vector<uint32_t> &Worklist);
+  Tlab &tlabForCurrentThread();
+  void refill(Tlab &T);
+  static void returnTlabTrampoline(void *HeapPtr, void *TlabPtr);
+  void returnTlab(Tlab *T);
 
-  mutable std::shared_mutex Mu;
-  std::deque<HeapObject> Slots;
+  void clearMarks();
+  void markFrom(ObjectId Root);
+  void markRoots(const std::vector<ObjectId> &Roots);
+  /// Traces up to \p Budget objects; returns true when the worklist is
+  /// empty afterwards.
+  bool traceWorklist(size_t Budget);
+  void drainDirty();
+  void recordRefStoreSlow(ObjectId Container);
+  void sweep(bool Move);
+
+  const unsigned TlabSlots;
+  const uint64_t Serial; ///< live-instance registry key for TLS caches
+
+  /// Slot storage: append-only, address-stable, lock-free indexing. First
+  /// chunk 1024 slots, geometric growth.
+  ChunkedVector<HeapObject, 10, 23> Slots;
+
+  /// Guards FreeList, Tlabs/FreeTlabs, slot-range reservation, and the
+  /// sweep's free-list refund. A leaf lock: taken on TLAB refill and during
+  /// collection pauses only.
+  mutable std::mutex Mu;
   std::vector<uint32_t> FreeList;
-  uint64_t NextAddress = 0x10000;
-  size_t LiveCount = 0;
+  std::vector<std::unique_ptr<Tlab>> Tlabs;
+  std::vector<Tlab *> FreeTlabs;
+
+  std::atomic<uint64_t> NextAddress{0x10000};
+  std::atomic<size_t> LiveCount{0};
+
+  /// Mark state. The worklist is touched only by the collecting thread
+  /// (inside pauses); the dirty buffer is mutator-shared.
+  std::atomic<bool> MarkActive{false};
+  std::vector<uint32_t> MarkWorklist;
+  std::mutex DirtyMu;
+  std::vector<uint64_t> Dirty;
+
   HeapStats Stats;
 };
 

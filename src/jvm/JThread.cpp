@@ -14,7 +14,6 @@ JThread::JThread(Vm &Owner, uint32_t Id, std::string Name)
     : Owner(Owner), Id(Id), Name(std::move(Name)) {}
 
 void JThread::pushFrame(uint32_t Capacity, bool Explicit) {
-  std::lock_guard<std::mutex> Lock(Mu);
   LocalFrame Frame;
   Frame.Capacity = Capacity;
   Frame.Explicit = Explicit;
@@ -23,17 +22,19 @@ void JThread::pushFrame(uint32_t Capacity, bool Explicit) {
 
 void JThread::invalidateSlot(uint32_t Index) {
   LocalSlot &Slot = Arena[Index];
-  if (!Slot.Live)
+  uint64_t State = Slot.State.load(std::memory_order_relaxed);
+  if (!LocalSlot::liveOf(State))
     return;
-  Slot.Live = false;
-  Slot.Target = ObjectId();
   // The generation advances so outstanding handles to this slot are stale.
-  Slot.Gen += 1;
+  // State changes before Target clears: a concurrent reader that saw the
+  // old live state re-checks State after loading Target and rejects.
+  Slot.State.store(LocalSlot::packState(LocalSlot::genOf(State) + 1, false),
+                   std::memory_order_release);
+  Slot.Target.store(0, std::memory_order_relaxed);
   FreeSlots.push_back(Index);
 }
 
 bool JThread::popFrame() {
-  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty())
     return false;
   LocalFrame &Frame = Frames.back();
@@ -44,7 +45,6 @@ bool JThread::popFrame() {
 }
 
 uint64_t JThread::newLocalRef(ObjectId Target) {
-  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty() || Target.isNull())
     return 0;
   uint32_t Index;
@@ -52,63 +52,69 @@ uint64_t JThread::newLocalRef(ObjectId Target) {
     Index = FreeSlots.back();
     FreeSlots.pop_back();
   } else {
-    Index = static_cast<uint32_t>(Arena.size());
-    Arena.emplace_back();
+    Index = static_cast<uint32_t>(Arena.grow(1));
   }
   LocalSlot &Slot = Arena[Index];
-  Slot.Gen += 1;
-  Slot.Live = true;
-  Slot.Target = Target;
+  uint32_t Gen = LocalSlot::genOf(Slot.State.load(std::memory_order_relaxed));
+  Gen += 1;
+  // Target first, then State with release: a reader that observes the live
+  // state is guaranteed to read this target (or detect the State change).
+  Slot.Target.store(Target.raw(), std::memory_order_relaxed);
+  Slot.State.store(LocalSlot::packState(Gen, true), std::memory_order_release);
 
   LocalFrame &Frame = Frames.back();
   Frame.OwnedSlots.push_back(Index);
   Frame.LiveCount += 1;
   if (Frame.LiveCount > Frame.Capacity) {
     Frame.Overflowed = true;
-    OverflowedCapacity = true;
+    OverflowedCapacity.store(true, std::memory_order_release);
   }
 
   HandleBits Bits;
   Bits.Kind = RefKind::Local;
   Bits.Thread = Id;
   Bits.Slot = Index;
-  Bits.Gen = Slot.Gen;
+  Bits.Gen = Gen;
   return encodeHandle(Bits);
 }
 
-LocalRefState JThread::localRefStateLocked(const HandleBits &Bits) const {
+LocalRefState JThread::localRefState(const HandleBits &Bits) const {
   assert(Bits.Kind == RefKind::Local && "expected a local handle");
   if (Bits.Slot >= Arena.size())
     return LocalRefState::NeverIssued;
-  const LocalSlot &Slot = Arena[Bits.Slot];
-  if (Bits.Gen > Slot.Gen)
+  uint64_t State = Arena[Bits.Slot].State.load(std::memory_order_acquire);
+  if (Bits.Gen > LocalSlot::genOf(State))
     return LocalRefState::NeverIssued;
-  if (!Slot.Live || Slot.Gen != Bits.Gen)
+  if (!LocalSlot::liveOf(State) || LocalSlot::genOf(State) != Bits.Gen)
     return LocalRefState::Stale;
   return LocalRefState::Live;
 }
 
-LocalRefState JThread::localRefState(const HandleBits &Bits) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return localRefStateLocked(Bits);
-}
-
 ObjectId JThread::resolveLocal(const HandleBits &Bits) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (localRefStateLocked(Bits) != LocalRefState::Live)
+  if (Bits.Slot >= Arena.size())
     return ObjectId();
-  return Arena[Bits.Slot].Target;
+  const LocalSlot &Slot = Arena[Bits.Slot];
+  uint64_t Before = Slot.State.load(std::memory_order_acquire);
+  if (!LocalSlot::liveOf(Before) || LocalSlot::genOf(Before) != Bits.Gen)
+    return ObjectId();
+  uint64_t Target = Slot.Target.load(std::memory_order_acquire);
+  // Seqlock-style re-check: if the slot was recycled between the two State
+  // loads, report stale (null) rather than another resident's target.
+  if (Slot.State.load(std::memory_order_acquire) != Before)
+    return ObjectId();
+  return ObjectId::fromRaw(Target);
 }
 
 bool JThread::deleteLocal(const HandleBits &Bits) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  if (localRefStateLocked(Bits) != LocalRefState::Live)
+  if (localRefState(Bits) != LocalRefState::Live)
     return false;
   // Account the deletion to the frame that owns the slot (usually the top).
   for (auto It = Frames.rbegin(); It != Frames.rend(); ++It) {
     for (uint32_t Index : It->OwnedSlots) {
-      if (Index == Bits.Slot && Arena[Index].Live &&
-          Arena[Index].Gen == Bits.Gen) {
+      if (Index != Bits.Slot)
+        continue;
+      uint64_t State = Arena[Index].State.load(std::memory_order_relaxed);
+      if (LocalSlot::liveOf(State) && LocalSlot::genOf(State) == Bits.Gen) {
         It->LiveCount -= 1;
         invalidateSlot(Index);
         return true;
@@ -119,21 +125,19 @@ bool JThread::deleteLocal(const HandleBits &Bits) {
 }
 
 size_t JThread::liveLocalCount() const {
-  std::lock_guard<std::mutex> Lock(Mu);
   size_t N = 0;
-  for (const LocalSlot &Slot : Arena)
-    if (Slot.Live)
+  size_t Size = Arena.size();
+  for (size_t I = 0; I < Size; ++I)
+    if (LocalSlot::liveOf(Arena[I].State.load(std::memory_order_acquire)))
       ++N;
   return N;
 }
 
 size_t JThread::liveLocalsInTopFrame() const {
-  std::lock_guard<std::mutex> Lock(Mu);
   return Frames.empty() ? 0 : Frames.back().LiveCount;
 }
 
 bool JThread::ensureLocalCapacity(uint32_t Capacity) {
-  std::lock_guard<std::mutex> Lock(Mu);
   if (Frames.empty())
     return false;
   if (Frames.back().Capacity < Capacity)
@@ -142,10 +146,16 @@ bool JThread::ensureLocalCapacity(uint32_t Capacity) {
 }
 
 void JThread::collectRoots(std::vector<ObjectId> &Roots) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  for (const LocalSlot &Slot : Arena)
-    if (Slot.Live && !Slot.Target.isNull())
-      Roots.push_back(Slot.Target);
+  size_t Size = Arena.size();
+  for (size_t I = 0; I < Size; ++I) {
+    const LocalSlot &Slot = Arena[I];
+    if (!LocalSlot::liveOf(Slot.State.load(std::memory_order_acquire)))
+      continue;
+    ObjectId Target =
+        ObjectId::fromRaw(Slot.Target.load(std::memory_order_acquire));
+    if (!Target.isNull())
+      Roots.push_back(Target);
+  }
   if (!Pending.isNull())
     Roots.push_back(Pending);
   for (ObjectId Root : TempRootStack)

@@ -16,16 +16,24 @@
 /// bumps the slot generation, so previously-issued handles become stale bit
 /// patterns rather than aliases of future references.
 ///
+/// Concurrency model (DESIGN.md §12): local-ref frames are thread-private
+/// by construction, so push/pop/new/delete are owner-thread-only and take
+/// no lock at all. The slot arena stores (generation, live) and the target
+/// as per-slot atomics in an address-stable chunked array, which lets the
+/// two legitimate cross-thread readers — WrongThreadRef probes and the GC
+/// root scan — run lock-free against a seqlock-style re-check instead of
+/// serializing every push/pop behind a mutex.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JINN_JVM_JTHREAD_H
 #define JINN_JVM_JTHREAD_H
 
+#include "jvm/Concurrent.h"
 #include "jvm/Handle.h"
 #include "jvm/Value.h"
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +56,17 @@ enum class LocalRefState : uint8_t {
 
 /// A VM thread. Created via Vm::attachThread; the main thread exists from
 /// VM construction.
+///
+/// Thread-safety contract: members below are split into three classes.
+///  - *Owner-only*: frame push/pop, ref creation/deletion, and the plain
+///    fields (Pending, TempRootStack, Stack, Poisoned). Only the OS thread
+///    this JThread represents may touch them while it runs; the collector
+///    reads them during stop-the-world pauses (the safepoint handshake
+///    provides the happens-before edge).
+///  - *Lock-free shared*: localRefState / resolveLocal / collectRoots /
+///    everOverflowedCapacity read per-slot atomics and may be called from
+///    any thread at any time.
+///  - CriticalDepth is an atomic polled by the GC-initiating thread.
 class JThread {
 public:
   JThread(Vm &Owner, uint32_t Id, std::string Name);
@@ -60,7 +79,7 @@ public:
   void *EnvPtr = nullptr;
 
   //===--------------------------------------------------------------------===
-  // Local reference frames
+  // Local reference frames (owner thread only unless noted)
   //===--------------------------------------------------------------------===
 
   /// Pushes a frame. The VM pushes an implicit frame (capacity
@@ -73,14 +92,10 @@ public:
   bool popFrame();
 
   /// Number of active frames.
-  size_t frameDepth() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Frames.size();
-  }
+  size_t frameDepth() const { return Frames.size(); }
 
   /// True when the current top frame was pushed explicitly.
   bool topFrameExplicit() const {
-    std::lock_guard<std::mutex> Lock(Mu);
     return !Frames.empty() && Frames.back().Explicit;
   }
 
@@ -92,16 +107,17 @@ public:
   uint64_t newLocalRef(ObjectId Target);
 
   /// Classifies \p Bits (which must have RefKind::Local and this thread id).
+  /// Lock-free; callable from any thread.
   LocalRefState localRefState(const HandleBits &Bits) const;
 
   /// Resolves a live local handle to its target; null ObjectId otherwise.
+  /// Lock-free; callable from any thread.
   ObjectId resolveLocal(const HandleBits &Bits) const;
 
   /// Deletes a local reference. Returns false when the handle was not live.
   bool deleteLocal(const HandleBits &Bits);
 
-  /// Re-points a live local handle at a (possibly updated) target; used by
-  /// nothing in production but available to tests.
+  /// Live locals across all frames (test support).
   size_t liveLocalCount() const;
 
   /// Live locals created in the top frame.
@@ -109,20 +125,21 @@ public:
 
   /// Capacity of the top frame (0 when no frame).
   uint32_t topFrameCapacity() const {
-    std::lock_guard<std::mutex> Lock(Mu);
     return Frames.empty() ? 0 : Frames.back().Capacity;
   }
 
   /// Grows the top frame capacity to at least \p Capacity.
   bool ensureLocalCapacity(uint32_t Capacity);
 
-  /// Whether any frame ever exceeded its declared capacity.
+  /// Whether any frame ever exceeded its declared capacity. Callable from
+  /// any thread (scenario agents read it after the run).
   bool everOverflowedCapacity() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return OverflowedCapacity;
+    return OverflowedCapacity.load(std::memory_order_acquire);
   }
 
   /// Appends every live local reference target to \p Roots (GC support).
+  /// Lock-free over the slot atomics; also reads Pending/TempRootStack,
+  /// which is safe only from the collector during a pause or from the owner.
   void collectRoots(std::vector<ObjectId> &Roots) const;
 
   //===--------------------------------------------------------------------===
@@ -159,10 +176,24 @@ public:
   std::string renderStack() const;
 
 private:
+  /// One slot in the local-ref arena. `State` packs (Gen << 1 | Live);
+  /// `Target` holds the raw ObjectId word. The owner publishes a new
+  /// resident by storing Target first, then State with release order; it
+  /// invalidates by bumping State first (release), then clearing Target.
+  /// Cross-thread readers load State, then Target, then re-check State —
+  /// a torn read is detected by the State change and reported as stale,
+  /// never as a wrong target.
   struct LocalSlot {
-    ObjectId Target;
-    uint32_t Gen = 0;
-    bool Live = false;
+    std::atomic<uint64_t> State{0};
+    std::atomic<uint64_t> Target{0};
+
+    static uint64_t packState(uint32_t Gen, bool Live) {
+      return (static_cast<uint64_t>(Gen) << 1) | (Live ? 1 : 0);
+    }
+    static uint32_t genOf(uint64_t State) {
+      return static_cast<uint32_t>(State >> 1);
+    }
+    static bool liveOf(uint64_t State) { return State & 1; }
   };
 
   struct LocalFrame {
@@ -177,18 +208,18 @@ private:
   uint32_t Id;
   std::string Name;
 
-  /// Leaf lock over the local-ref arena and frame stack. The owning thread
-  /// is the only frequent taker (so it is effectively uncontended); other
-  /// threads take it only for deliberate cross-thread handle probes
-  /// (WrongThreadRef checking) and for GC root collection.
-  mutable std::mutex Mu;
+  /// Slot arena: address-stable, indexed lock-free by cross-thread probes;
+  /// grown only by the owner thread (the single writer).
+  ChunkedVector<LocalSlot> Arena;
 
-  std::vector<LocalSlot> Arena;
+  /// Owner-confined: only the owning thread pushes/pops frames or recycles
+  /// slots, so no synchronization is needed (the GC pause handshake covers
+  /// collector reads of Frames metadata, which it does not do today).
   std::vector<uint32_t> FreeSlots;
   std::vector<LocalFrame> Frames;
-  bool OverflowedCapacity = false;
 
-  LocalRefState localRefStateLocked(const HandleBits &Bits) const;
+  std::atomic<bool> OverflowedCapacity{false};
+
   void invalidateSlot(uint32_t Index);
 };
 

@@ -72,6 +72,9 @@ struct MethodInfo {
   JavaBody Body;           ///< for non-native methods
   NativeRawFn NativeBound; ///< for native methods, set by RegisterNatives
   std::string DeclSite;    ///< "File.java:12" used in stack traces
+  /// Precomputed stack-trace line ("Cls.method(File.java:12)"), built once
+  /// at definition time so invoke() does not concatenate per call.
+  std::string Display;
 
   std::string qualifiedName() const;
 };

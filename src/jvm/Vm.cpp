@@ -15,44 +15,173 @@
 using namespace jinn;
 using namespace jinn::jvm;
 
+static std::string dottedName(const std::string &Internal);
+
 VmEventObserver::~VmEventObserver() = default;
 
 //===----------------------------------------------------------------------===
-// Per-thread mutator depth
+// Safepoint protocol (DESIGN.md §12)
+//
+// Every OS thread carries one MutatorSlot per VM it has entered, cached in
+// TLS keyed by the VM's live-instance serial. The steady-state mutator
+// enter/exit path is lock-free: it flips the slot's Active flag and checks
+// StwRequested, both with seq_cst order, which forms the Dekker-style
+// store/load pair against the collector (StwRequested store, then Active
+// scan) — one side always observes the other. The release/acquire edges of
+// the same flags are what make plain JThread fields (Pending, Stack,
+// TempRootStack) safe to read from the collector during a pause.
 //===----------------------------------------------------------------------===
 
-namespace {
-/// How deeply the calling OS thread is nested in MutatorScopes of each VM.
-/// Keyed by VM address; a handful of entries at most, so linear scan wins.
-/// Entries whose depth returned to zero are harmless if a later VM reuses
-/// the address.
-thread_local std::vector<std::pair<const void *, int>> MutatorDepths;
+namespace jinn::jvm {
 
-int &mutatorDepthFor(const void *V) {
-  for (auto &Entry : MutatorDepths)
-    if (Entry.first == V)
-      return Entry.second;
-  MutatorDepths.emplace_back(V, 0);
-  return MutatorDepths.back().second;
+/// Per-OS-thread cache of (VM serial -> mutator slot) bindings, MRU-first.
+/// The destructor hands slots back through the live-instance registry on
+/// OS-thread exit (safe even when the VM died first).
+struct VmTlsCache {
+  std::vector<Vm::MutatorTls> Refs;
+
+  ~VmTlsCache() {
+    for (Vm::MutatorTls &R : Refs)
+      withLiveInstance(R.Serial, &Vm::returnMutatorSlotTrampoline, R.Slot);
+  }
+};
+
+} // namespace jinn::jvm
+
+static thread_local VmTlsCache VmTls;
+
+Vm::MutatorTls &Vm::mutatorTlsForCurrentThread() {
+  auto &Refs = VmTls.Refs;
+  if (!Refs.empty() && Refs.front().Serial == VmSerial)
+    return Refs.front();
+  for (size_t I = 1; I < Refs.size(); ++I)
+    if (Refs[I].Serial == VmSerial) {
+      std::swap(Refs[0], Refs[I]);
+      return Refs.front();
+    }
+
+  // First entry of this thread into this VM: prune entries of dead VMs and
+  // adopt a pooled slot (or grow the slot table).
+  Refs.erase(std::remove_if(
+                 Refs.begin(), Refs.end(),
+                 [](const MutatorTls &R) { return !instanceIsLive(R.Serial); }),
+             Refs.end());
+  MutatorSlot *Slot;
+  {
+    std::lock_guard<std::mutex> Lock(StwMutex);
+    if (!FreeMutatorSlots.empty()) {
+      Slot = FreeMutatorSlots.back();
+      FreeMutatorSlots.pop_back();
+    } else {
+      Slot = &MutatorSlots[MutatorSlots.grow(1)];
+    }
+  }
+  MutatorTls Entry;
+  Entry.Serial = VmSerial;
+  Entry.V = this;
+  Entry.Slot = Slot;
+  Refs.insert(Refs.begin(), Entry);
+  return Refs.front();
 }
-} // namespace
+
+void Vm::returnMutatorSlotTrampoline(void *VmPtr, void *SlotPtr) {
+  static_cast<Vm *>(VmPtr)->returnMutatorSlot(
+      static_cast<MutatorSlot *>(SlotPtr));
+}
+
+void Vm::returnMutatorSlot(MutatorSlot *Slot) {
+  assert(Slot->Active.load(std::memory_order_relaxed) == 0 &&
+         "thread exited inside a MutatorScope");
+  std::lock_guard<std::mutex> Lock(StwMutex);
+  FreeMutatorSlots.push_back(Slot);
+}
 
 void Vm::enterMutator() {
-  int &Depth = mutatorDepthFor(this);
-  if (Depth++ > 0)
+  MutatorTls &T = mutatorTlsForCurrentThread();
+  if (T.Depth++ > 0)
     return;
+  MutatorSlot &Slot = *T.Slot;
+  Slot.Active.store(1, std::memory_order_seq_cst);
+  if (!StwRequested.load(std::memory_order_seq_cst))
+    return; // fast path: no pause pending
+  // A pause is starting or in progress: stand down and park until it ends.
   std::unique_lock<std::mutex> Lock(StwMutex);
-  StwCv.wait(Lock, [this] { return !GcInProgress; });
-  ++ActiveMutators;
+  for (;;) {
+    Slot.Active.store(0, std::memory_order_seq_cst);
+    StwCv.notify_all();
+    StwCv.wait(Lock, [this] {
+      return !StwRequested.load(std::memory_order_relaxed);
+    });
+    Slot.Active.store(1, std::memory_order_seq_cst);
+    if (!StwRequested.load(std::memory_order_seq_cst))
+      return;
+  }
 }
 
 void Vm::exitMutator() {
-  int &Depth = mutatorDepthFor(this);
-  if (--Depth > 0)
+  MutatorTls &T = mutatorTlsForCurrentThread();
+  if (--T.Depth > 0)
     return;
+  T.Slot->Active.store(0, std::memory_order_seq_cst);
+  if (StwRequested.load(std::memory_order_seq_cst)) {
+    // A collector is waiting for the mutator count to reach zero.
+    std::lock_guard<std::mutex> Lock(StwMutex);
+    StwCv.notify_all();
+  }
+}
+
+int Vm::activeMutatorCount() {
+  int N = 0;
+  size_t Size = MutatorSlots.size();
+  for (size_t I = 0; I < Size; ++I)
+    if (MutatorSlots[I].Active.load(std::memory_order_seq_cst))
+      ++N;
+  return N;
+}
+
+void Vm::beginCollector() {
+  MutatorTls &T = mutatorTlsForCurrentThread();
+  const bool SelfMutator = T.Depth > 0;
+  std::unique_lock<std::mutex> Lock(StwMutex);
+  while (CollectorActive) {
+    // Another thread is collecting. Park like any mutator (exempting our
+    // own active slot so its pauses can proceed), then take the role.
+    if (SelfMutator) {
+      T.Slot->Active.store(0, std::memory_order_seq_cst);
+      StwCv.notify_all();
+    }
+    StwCv.wait(Lock, [this] { return !CollectorActive; });
+    if (SelfMutator)
+      T.Slot->Active.store(1, std::memory_order_seq_cst);
+  }
+  CollectorActive = true;
+  // Self-mutator exemption: our own slot stays inactive for the duration of
+  // the cycle so stopWorld() does not wait for ourselves.
+  if (SelfMutator)
+    T.Slot->Active.store(0, std::memory_order_seq_cst);
+}
+
+void Vm::endCollector() {
+  MutatorTls &T = mutatorTlsForCurrentThread();
   {
     std::lock_guard<std::mutex> Lock(StwMutex);
-    --ActiveMutators;
+    if (T.Depth > 0)
+      T.Slot->Active.store(1, std::memory_order_seq_cst);
+    CollectorActive = false;
+  }
+  StwCv.notify_all();
+}
+
+void Vm::stopWorld() {
+  std::unique_lock<std::mutex> Lock(StwMutex);
+  StwRequested.store(true, std::memory_order_seq_cst);
+  StwCv.wait(Lock, [this] { return activeMutatorCount() == 0; });
+}
+
+void Vm::resumeWorld() {
+  {
+    std::lock_guard<std::mutex> Lock(StwMutex);
+    StwRequested.store(false, std::memory_order_seq_cst);
   }
   StwCv.notify_all();
 }
@@ -108,13 +237,20 @@ std::string jinn::jvm::utf16ToUtf8(const std::u16string &Chars) {
 // Construction / bootstrap
 //===----------------------------------------------------------------------===
 
-Vm::Vm(VmOptions Options) : Options(Options) {
+Vm::Vm(VmOptions Options)
+    : Options(Options), TheHeap(Options.TlabSlots ? Options.TlabSlots : 1),
+      VmSerial(registerLiveInstance(this)) {
   Diags.setEcho(Options.EchoDiagnostics);
   bootstrapCoreClasses();
   attachThread("main");
 }
 
-Vm::~Vm() { shutdown(); }
+Vm::~Vm() {
+  shutdown();
+  // After this, no OS-thread-exit destructor can hand a mutator slot back
+  // through the registry; the slot storage dies with the members below.
+  unregisterLiveInstance(VmSerial);
+}
 
 void Vm::bootstrapCoreClasses() {
   // Object and Class must exist before mirrors can be created.
@@ -123,7 +259,7 @@ void Vm::bootstrapCoreClasses() {
     Klass *Raw = Owned.get();
     Raw->InstanceSlots = Super ? Super->InstanceSlots : 0;
     Classes.emplace(Name, std::move(Owned));
-    ClassOrder.push_back(Raw);
+    registerClassLocked(Name, Raw);
     return Raw;
   };
 
@@ -133,7 +269,7 @@ void Vm::bootstrapCoreClasses() {
   auto MakeMirror = [&](Klass *Kl) {
     ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
     Kl->Mirror = Mirror;
-    MirrorToKlass[Mirror.raw()] = Kl;
+    MirrorToKlass.insert(Mirror.raw(), Kl);
   };
   MakeMirror(ObjectKlass);
   MakeMirror(ClassKlass);
@@ -195,13 +331,21 @@ void Vm::bootstrapCoreClasses() {
 }
 
 Klass *Vm::defineClass(const ClassDef &Def) {
-  std::unique_lock<std::shared_mutex> Lock(ClassesMutex);
+  // Definition allocates a mirror object, so the defining thread must be a
+  // mutator (this also orders registry writes before any GC pause).
+  MutatorScope Scope(*this);
+  std::lock_guard<std::mutex> Lock(ClassesMu);
   return defineClassLocked(Def);
 }
 
 Klass *Vm::lookupClassLocked(std::string_view Name) const {
   auto It = Classes.find(Name);
   return It == Classes.end() ? nullptr : It->second.get();
+}
+
+void Vm::registerClassLocked(const std::string &Name, Klass *Kl) {
+  ClassOrder.push_back(Kl);
+  ClassByName.insert(hashBytes(Name.data(), Name.size()), Kl);
 }
 
 Klass *Vm::defineClassLocked(const ClassDef &Def) {
@@ -245,7 +389,7 @@ Klass *Vm::defineClassLocked(const ClassDef &Def) {
       Field->StaticValue = defaultValueFor(Field->Type.Kind);
     else
       Field->Slot = NextSlot++;
-    FieldIdSet.insert(Field.get());
+    FieldIds.insert(reinterpret_cast<uint64_t>(Field.get()), Field.get());
     Kl->Fields.push_back(std::move(Field));
   }
   Kl->InstanceSlots = NextSlot;
@@ -267,16 +411,22 @@ Klass *Vm::defineClassLocked(const ClassDef &Def) {
                                 MD.Name.c_str()));
       return nullptr;
     }
-    MethodIdSet.insert(Method.get());
+    std::string Site = Method->IsNative
+                           ? std::string("Native Method")
+                           : (Method->DeclSite.empty() ? "Unknown Source"
+                                                       : Method->DeclSite);
+    Method->Display =
+        dottedName(Def.Name) + "." + Method->Name + "(" + Site + ")";
+    MethodIds.insert(reinterpret_cast<uint64_t>(Method.get()), Method.get());
     Kl->Methods.push_back(std::move(Method));
   }
 
   Classes.emplace(Def.Name, std::move(Owned));
-  ClassOrder.push_back(Kl);
+  registerClassLocked(Def.Name, Kl);
 
   ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
   Kl->Mirror = Mirror;
-  MirrorToKlass[Mirror.raw()] = Kl;
+  MirrorToKlass.insert(Mirror.raw(), Kl);
   return Kl;
 }
 
@@ -294,24 +444,32 @@ Klass *Vm::defineArrayClassLocked(std::string_view Name) {
   Klass *Kl = Owned.get();
   Kl->setElementType(Elem);
   Classes.emplace(std::string(Name), std::move(Owned));
-  ClassOrder.push_back(Kl);
+  registerClassLocked(Kl->name(), Kl);
 
   ObjectId Mirror = TheHeap.allocPlain(ClassKlass, ClassKlass->InstanceSlots);
   Kl->Mirror = Mirror;
-  MirrorToKlass[Mirror.raw()] = Kl;
+  MirrorToKlass.insert(Mirror.raw(), Kl);
   return Kl;
 }
 
 Klass *Vm::findClass(std::string_view Name) {
-  {
-    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
-    if (Klass *Kl = lookupClassLocked(Name))
-      return Kl;
-  }
-  if (!Name.empty() && Name[0] == '[') {
-    std::unique_lock<std::shared_mutex> Lock(ClassesMutex);
-    // Re-check: another thread may have materialized it since the shared
-    // probe (shared_mutex is not upgradable).
+  if (Name.empty())
+    return nullptr;
+  // Lock-free fast path against the snapshot index. The hash keys the
+  // probe; the predicate rejects collisions by comparing the actual name.
+  if (Klass *Kl = ClassByName.find(
+          hashBytes(Name.data(), Name.size()),
+          [&](Klass *Candidate) { return Candidate->name() == Name; }))
+    return Kl;
+  if (Name[0] == '[') {
+    // Array classes materialize on demand; defining allocates a mirror, so
+    // become a mutator first (lock order: StwMutex > ClassesMu).
+    MutatorScope Scope(*this);
+    std::lock_guard<std::mutex> Lock(ClassesMu);
+    // Re-probe under the definer lock: another thread may have materialized
+    // the class since the lock-free probe missed. Without this, both
+    // threads would register duplicate Klass instances and handles minted
+    // against one would not compare equal against the other.
     if (Klass *Kl = lookupClassLocked(Name))
       return Kl;
     return defineArrayClassLocked(Name);
@@ -325,9 +483,9 @@ Klass *Vm::klassOf(ObjectId Obj) {
 }
 
 Klass *Vm::klassFromMirror(ObjectId Mirror) {
-  std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
-  auto It = MirrorToKlass.find(Mirror.raw());
-  return It == MirrorToKlass.end() ? nullptr : It->second;
+  if (Mirror.isNull())
+    return nullptr;
+  return MirrorToKlass.find(Mirror.raw());
 }
 
 //===----------------------------------------------------------------------===
@@ -337,12 +495,13 @@ Klass *Vm::klassFromMirror(ObjectId Mirror) {
 JThread &Vm::attachThread(std::string Name) {
   JThread *Thread;
   {
-    std::unique_lock<std::shared_mutex> Lock(ThreadsMutex);
-    assert(NextThreadId < 4096 && "thread id space exhausted");
-    auto Owned =
-        std::make_unique<JThread>(*this, NextThreadId++, std::move(Name));
+    std::lock_guard<std::mutex> Lock(ThreadsMutex);
+    uint32_t Id = NextThreadId.fetch_add(1, std::memory_order_relaxed);
+    assert(Id < ThreadTable.size() && "thread id space exhausted");
+    auto Owned = std::make_unique<JThread>(*this, Id, std::move(Name));
     Thread = Owned.get();
     Threads.push_back(std::move(Owned));
+    ThreadTable[Id].store(Thread, std::memory_order_release);
   }
   // Attached threads get a base local frame, as with AttachCurrentThread.
   Thread->pushFrame(Options.NativeFrameCapacity, /*Explicit=*/false);
@@ -359,19 +518,25 @@ void Vm::detachThread(JThread &Thread) {
 }
 
 JThread *Vm::threadById(uint32_t Id) {
-  std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
-  for (const auto &Thread : Threads)
-    if (Thread->id() == Id)
-      return Thread.get();
-  return nullptr;
+  if (Id == 0 || Id >= ThreadTable.size())
+    return nullptr;
+  return ThreadTable[Id].load(std::memory_order_acquire);
 }
 
 //===----------------------------------------------------------------------===
 // Allocation and strings
 //===----------------------------------------------------------------------===
 
+// Every Vm::new* wraps allocation AND maybeAutoGc in one MutatorScope:
+// no collection pause can interleave between heap-slot publication and the
+// newborn-root publication in maybeAutoGc, so a newborn that is not yet
+// reachable from any frame can never be swept (the gc() publication-ordering
+// fix of this PR). The scope is reentrant and lock-free when the caller is
+// already a mutator (the usual JNI case).
+
 ObjectId Vm::newObject(Klass *Kl) {
   assert(Kl && !Kl->isArray() && "newObject needs a plain class");
+  MutatorScope Scope(*this);
   ObjectId Id = TheHeap.allocPlain(Kl, Kl->InstanceSlots);
   // Initialize every inherited field slot to its typed default.
   HeapObject *HO = TheHeap.resolve(Id);
@@ -388,6 +553,7 @@ ObjectId Vm::newString(std::string_view Utf8) {
 }
 
 ObjectId Vm::newStringUtf16(std::u16string Chars) {
+  MutatorScope Scope(*this);
   ObjectId Id = TheHeap.allocString(StringKlass, std::move(Chars));
   maybeAutoGc(Id);
   return Id;
@@ -396,6 +562,7 @@ ObjectId Vm::newStringUtf16(std::u16string Chars) {
 ObjectId Vm::newPrimArray(JType ElemKind, size_t Len) {
   std::string Name(1, '[');
   Name.push_back(typeDescriptorChar(ElemKind));
+  MutatorScope Scope(*this);
   ObjectId Id = TheHeap.allocPrimArray(findClass(Name), ElemKind, Len);
   maybeAutoGc(Id);
   return Id;
@@ -408,6 +575,7 @@ ObjectId Vm::newObjArray(Klass *ElemClass, size_t Len) {
     Name = "[" + ElemClass->name();
   else
     Name = "[L" + ElemClass->name() + ";";
+  MutatorScope Scope(*this);
   ObjectId Id = TheHeap.allocObjArray(findClass(Name), Len);
   maybeAutoGc(Id);
   return Id;
@@ -452,6 +620,10 @@ ObjectId Vm::makeThrowable(JThread &Thread, const char *ClassName,
     HO->Fields[CauseField->Slot] = Value::makeRef(Cause);
   if (StackField)
     HO->Fields[StackField->Slot] = Value::makeRef(StackStr);
+  // Incremental-mark write barrier: once the temp roots above go out of
+  // scope, these strings are reachable only through Ex; if a mark is in
+  // progress and Ex is already black, the remark must re-scan it.
+  TheHeap.recordRefStore(Ex);
   return Ex;
 }
 
@@ -562,13 +734,18 @@ Value Vm::invoke(JThread &Thread, MethodInfo *Method, const Value &Self,
 
   StackEntry Entry;
   Entry.IsNative = Target->IsNative;
-  std::string Site = Target->IsNative
-                         ? std::string("Native Method")
-                         : (Target->DeclSite.empty() ? "Unknown Source"
-                                                     : Target->DeclSite);
-  Entry.Display =
-      dottedName(Target->Owner->name()) + "." + Target->Name + "(" + Site +
-      ")";
+  if (Target->Display.empty()) {
+    // Methods minted outside defineClass (tests constructing MethodInfo by
+    // hand) fall back to building the line here.
+    std::string Site = Target->IsNative
+                           ? std::string("Native Method")
+                           : (Target->DeclSite.empty() ? "Unknown Source"
+                                                       : Target->DeclSite);
+    Entry.Display = dottedName(Target->Owner->name()) + "." + Target->Name +
+                    "(" + Site + ")";
+  } else {
+    Entry.Display = Target->Display;
+  }
   Thread.Stack.push_back(std::move(Entry));
 
   Value Result = defaultValueFor(Target->Sig.Ret.Kind);
@@ -900,16 +1077,22 @@ ProductionOutcome Vm::undefined(JThread &Thread, UndefinedOp Op,
 }
 
 bool Vm::anyThreadInCritical() const {
-  std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
-  for (const auto &Thread : Threads)
-    if (Thread->CriticalDepth.load(std::memory_order_acquire) > 0)
+  uint32_t Max = NextThreadId.load(std::memory_order_acquire);
+  for (uint32_t Id = 1; Id < Max && Id < ThreadTable.size(); ++Id) {
+    JThread *Thread = ThreadTable[Id].load(std::memory_order_acquire);
+    if (Thread && Thread->CriticalDepth.load(std::memory_order_acquire) > 0)
       return true;
+  }
   return false;
 }
 
 void Vm::collectRoots(std::vector<ObjectId> &Roots) {
+  // Runs inside a stop-the-world pause: every mutator (class definers,
+  // attachers, ref writers included) is parked, so the plain structures are
+  // quiescent. The remaining locks are uncontended and guard against
+  // non-mutator callers in single-threaded tests.
   {
-    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
+    std::lock_guard<std::mutex> Lock(ClassesMu);
     for (Klass *Kl : ClassOrder) {
       Roots.push_back(Kl->Mirror);
       for (const auto &Field : Kl->Fields)
@@ -917,11 +1100,10 @@ void Vm::collectRoots(std::vector<ObjectId> &Roots) {
           Roots.push_back(Field->StaticValue.Obj);
     }
   }
-  {
-    std::shared_lock<std::shared_mutex> Lock(ThreadsMutex);
-    for (const auto &Thread : Threads)
+  uint32_t Max = NextThreadId.load(std::memory_order_acquire);
+  for (uint32_t Id = 1; Id < Max && Id < ThreadTable.size(); ++Id)
+    if (JThread *Thread = ThreadTable[Id].load(std::memory_order_acquire))
       Thread->collectRoots(Roots);
-  }
   {
     std::lock_guard<std::mutex> Lock(GlobalsMutex);
     for (const GlobalSlot &Slot : Globals)
@@ -933,10 +1115,14 @@ void Vm::collectRoots(std::vector<ObjectId> &Roots) {
     for (const PinRecord &Pin : Pins)
       Roots.push_back(Pin.Target);
   }
-  {
-    std::lock_guard<std::mutex> Lock(NewbornsMutex);
-    for (ObjectId Id : Newborns)
-      Roots.push_back(Id);
+  // Newborns: objects allocated but not yet reachable, published on the
+  // allocating thread's mutator slot before it entered (or parked behind)
+  // this collection.
+  size_t Slots = MutatorSlots.size();
+  for (size_t I = 0; I < Slots; ++I) {
+    uint64_t Raw = MutatorSlots[I].Newborn.load(std::memory_order_acquire);
+    if (Raw)
+      Roots.push_back(ObjectId::fromRaw(Raw));
   }
 }
 
@@ -947,33 +1133,14 @@ void Vm::gc() {
     return;
   }
 
-  // Stop the world. The caller may itself be inside a MutatorScope (e.g.
-  // auto-GC from an allocation in a native call); it exempts its own
-  // active-mutator slot while it collects. If another thread's collection
-  // is already running, park like any mutator until it finishes, then run
-  // our own (the request was explicit).
-  const bool SelfMutator = mutatorDepthFor(this) > 0;
-  std::unique_lock<std::mutex> Lock(StwMutex);
-  while (GcInProgress) {
-    if (SelfMutator) {
-      --ActiveMutators;
-      StwCv.notify_all();
-    }
-    StwCv.wait(Lock, [this] { return !GcInProgress; });
-    if (SelfMutator)
-      ++ActiveMutators;
-  }
-  GcInProgress = true;
-  if (SelfMutator)
-    --ActiveMutators;
-  StwCv.wait(Lock, [this] { return ActiveMutators == 0; });
+  // Take the collector role. A caller inside a MutatorScope (auto-GC from
+  // an allocation in a native call) exempts its own slot while it collects;
+  // if another thread's collection is already running, it parks like any
+  // mutator until that finishes, then runs its own (the request was
+  // explicit).
+  beginCollector();
 
-  // World stopped: every other mutator is parked (GcInProgress gates entry),
-  // so the collection itself runs without the lock held.
-  Lock.unlock();
-  std::vector<ObjectId> Roots;
-  collectRoots(Roots);
-  TheHeap.collect(Roots, Options.MoveOnGc, [this] {
+  auto ClearDeadWeakGlobals = [this] {
     std::lock_guard<std::mutex> GLock(GlobalsMutex);
     for (GlobalSlot &Slot : Globals) {
       if (Slot.Live && Slot.Weak && !Slot.Cleared &&
@@ -982,16 +1149,40 @@ void Vm::gc() {
         Slot.Target = ObjectId();
       }
     }
-  });
-  AllocsSinceGc.store(0, std::memory_order_relaxed);
+  };
 
-  // Resume the world, then notify observers outside all locks.
-  Lock.lock();
-  if (SelfMutator)
-    ++ActiveMutators;
-  GcInProgress = false;
-  Lock.unlock();
-  StwCv.notify_all();
+  std::vector<ObjectId> Roots;
+  if (!Options.IncrementalMark) {
+    // Classic single-pause collection.
+    stopWorld();
+    collectRoots(Roots);
+    TheHeap.collect(Roots, Options.MoveOnGc, ClearDeadWeakGlobals);
+    AllocsSinceGc.store(0, std::memory_order_relaxed);
+    resumeWorld();
+  } else {
+    // Pause 1: snapshot roots, activate the write barrier, start tracing.
+    stopWorld();
+    collectRoots(Roots);
+    TheHeap.beginIncrementalMark(Roots);
+    bool Done = TheHeap.incrementalMarkStep(Options.GcMarkStepBudget);
+    resumeWorld();
+    // Mark increments, with mutator windows between the pauses.
+    while (!Done) {
+      stopWorld();
+      Done = TheHeap.incrementalMarkStep(Options.GcMarkStepBudget);
+      resumeWorld();
+    }
+    // Final pause: remark from fresh roots + dirty containers, then
+    // sweep/move.
+    stopWorld();
+    Roots.clear();
+    collectRoots(Roots);
+    TheHeap.finishCollect(Roots, Options.MoveOnGc, ClearDeadWeakGlobals);
+    AllocsSinceGc.store(0, std::memory_order_relaxed);
+    resumeWorld();
+  }
+
+  endCollector();
   for (VmEventObserver *Observer : observersSnapshot())
     Observer->onGcFinish();
 }
@@ -1003,18 +1194,18 @@ void Vm::maybeAutoGc(ObjectId Newborn) {
       Options.AutoGcPeriod)
     return;
   // The caller has not yet stored Newborn anywhere a root scan can see.
-  // Publish it before any collection can start: gc() may park this thread
-  // (self-mutator exemption) while another thread's collection runs, and
-  // that collection must not sweep the newborn either.
-  if (!Newborn.isNull()) {
-    std::lock_guard<std::mutex> Lock(NewbornsMutex);
-    Newborns.push_back(Newborn);
-  }
+  // Publish it on our mutator slot before any collection can start: gc()
+  // may park this thread (self-mutator exemption) while another thread's
+  // collection runs, and that collection must not sweep the newborn either.
+  // The caller (Vm::new*) holds a MutatorScope across allocation and this
+  // publication, so no pause can observe the slot between the two.
+  MutatorTls &T = mutatorTlsForCurrentThread();
+  assert(T.Depth > 0 && "maybeAutoGc outside a MutatorScope");
+  if (!Newborn.isNull())
+    T.Slot->Newborn.store(Newborn.raw(), std::memory_order_release);
   gc();
-  if (!Newborn.isNull()) {
-    std::lock_guard<std::mutex> Lock(NewbornsMutex);
-    Newborns.erase(std::find(Newborns.begin(), Newborns.end(), Newborn));
-  }
+  if (!Newborn.isNull())
+    T.Slot->Newborn.store(0, std::memory_order_release);
 }
 
 void Vm::shutdown() {

@@ -18,6 +18,7 @@
 #ifndef JINN_JVM_VM_H
 #define JINN_JVM_VM_H
 
+#include "jvm/Concurrent.h"
 #include "jvm/Handle.h"
 #include "jvm/Heap.h"
 #include "jvm/JThread.h"
@@ -32,10 +33,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
 namespace jinn::jvm {
@@ -52,6 +51,14 @@ struct VmOptions {
   uint32_t AutoGcPeriod = 0;
   /// Echo incidents to stderr as they are recorded.
   bool EchoDiagnostics = false;
+  /// Split the mark phase across several short stop-the-world pauses with
+  /// mutator windows between them (DESIGN.md §12). When false, the whole
+  /// collection runs in one pause, as before.
+  bool IncrementalMark = true;
+  /// Objects traced per incremental mark pause.
+  uint32_t GcMarkStepBudget = 2048;
+  /// Slots reserved per thread-local allocation buffer refill.
+  uint32_t TlabSlots = 64;
 };
 
 /// JVMTI-style event observer. The JVMTI layer adapts agent callbacks onto
@@ -114,14 +121,12 @@ public:
 
   /// True when \p Ptr is a method (field) metadata pointer this VM issued.
   /// JNI IDs are raw pointers; these registries let the simulator and the
-  /// checkers recognize garbage IDs without dereferencing them.
+  /// checkers recognize garbage IDs without dereferencing them. Lock-free.
   bool isMethodId(const void *Ptr) const {
-    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
-    return MethodIdSet.count(Ptr);
+    return Ptr && MethodIds.find(reinterpret_cast<uint64_t>(Ptr)) != nullptr;
   }
   bool isFieldId(const void *Ptr) const {
-    std::shared_lock<std::shared_mutex> Lock(ClassesMutex);
-    return FieldIdSet.count(Ptr);
+    return Ptr && FieldIds.find(reinterpret_cast<uint64_t>(Ptr)) != nullptr;
   }
 
   Klass *objectClass() const { return ObjectKlass; }
@@ -346,13 +351,55 @@ public:
   };
 
 private:
+  friend struct VmTlsCache;
+
   void bootstrapCoreClasses();
   Klass *defineClassLocked(const ClassDef &Def);
   Klass *defineArrayClassLocked(std::string_view Name);
   Klass *lookupClassLocked(std::string_view Name) const;
+  void registerClassLocked(const std::string &Name, Klass *Kl);
   LocalRefState globalRefStateLocked(const HandleBits &Bits) const;
   void collectRoots(std::vector<ObjectId> &Roots);
   std::vector<VmEventObserver *> observersSnapshot() const;
+
+  //===--------------------------------------------------------------------===
+  // Safepoint protocol (DESIGN.md §12)
+  //===--------------------------------------------------------------------===
+
+  /// Per-OS-thread mutator record. `Active` is the thread's safepoint flag:
+  /// 1 while it executes VM code that may touch the heap, 0 while it is
+  /// outside the VM or parked at a safepoint. `Newborn` publishes the one
+  /// object the thread allocated but has not yet made reachable while it
+  /// drives (or parks behind) a collection in maybeAutoGc().
+  struct MutatorSlot {
+    std::atomic<int> Active{0};
+    std::atomic<uint64_t> Newborn{0};
+  };
+
+  /// Thread-local view of a slot, cached per (thread, VM serial). Depth is
+  /// the MutatorScope nesting count, owner-thread-only.
+  struct MutatorTls {
+    uint64_t Serial = 0;
+    Vm *V = nullptr;
+    MutatorSlot *Slot = nullptr;
+    int Depth = 0;
+  };
+
+  MutatorTls &mutatorTlsForCurrentThread();
+  static void returnMutatorSlotTrampoline(void *VmPtr, void *SlotPtr);
+  void returnMutatorSlot(MutatorSlot *Slot);
+  int activeMutatorCount();
+
+  /// Collector-cycle bracket: takes the exclusive collector role (parking
+  /// behind a running collection first, with the caller's own mutator slot
+  /// deactivated while it waits — the self-mutator exemption).
+  void beginCollector();
+  void endCollector();
+  /// One stop-the-world pause: raises StwRequested and waits until every
+  /// mutator slot is inactive. resumeWorld() lowers the flag and wakes
+  /// parked mutators. Pause bodies run without StwMutex held.
+  void stopWorld();
+  void resumeWorld();
 
   struct GlobalSlot {
     ObjectId Target;
@@ -373,21 +420,31 @@ private:
 
   //===--------------------------------------------------------------------===
   // Locks. Order (outermost first) when more than one must be held:
-  //   StwMutex > ClassesMutex > ThreadsMutex > GlobalsMutex > MonitorsMutex
-  //   > PinsMutex > NewbornsMutex > StaticFieldMutexes > Heap::Mu
-  //   > JThread::Mu >
-  //   ObserversMutex > DiagnosticSink::Mu
-  // Most paths take exactly one; observer callbacks and the GC phase run
-  // with none of them held (the GC relies on stop-the-world instead).
+  //   StwMutex > ClassesMu > ThreadsMutex > GlobalsMutex > MonitorsMutex
+  //   > PinsMutex > StaticFieldMutexes > Heap::Mu > ObserversMutex
+  //   > DiagnosticSink::Mu
+  // (the live-instance registry lock in Concurrent.cpp nests inside all of
+  // these). Most paths take exactly one; the hot paths — mutator enter/exit,
+  // allocation, handle resolution, class/thread lookup — take none at all:
+  // they run on the safepoint flags, TLABs, SnapshotMaps, and the thread
+  // table below. Observer callbacks and GC pause bodies run with no lock
+  // held (the GC relies on stop-the-world instead).
   //===--------------------------------------------------------------------===
 
+  /// Guards the collector role, StwRequested transitions, and the mutator
+  /// slot pool. Taken by a thread's *first* entry into a VM (slot
+  /// acquisition), by collections, and by mutators parking at a safepoint —
+  /// never on the steady-state mutator enter/exit path.
   mutable std::mutex StwMutex;
   std::condition_variable StwCv;
-  int ActiveMutators = 0;
-  bool GcInProgress = false;
+  std::atomic<bool> StwRequested{false};
+  bool CollectorActive = false;
 
-  mutable std::shared_mutex ClassesMutex; ///< Classes, ClassOrder, mirrors,
-                                          ///< method/field id registries
+  ChunkedVector<MutatorSlot> MutatorSlots; ///< grown under StwMutex
+  std::vector<MutatorSlot *> FreeMutatorSlots;
+
+  mutable std::mutex ClassesMu; ///< serializes definers: Classes, ClassOrder,
+                                ///< and inserts into the SnapshotMaps below
   std::map<std::string, std::unique_ptr<Klass>, std::less<>> Classes;
   std::vector<Klass *> ClassOrder;
   Klass *ObjectKlass = nullptr;
@@ -395,13 +452,21 @@ private:
   Klass *StringKlass = nullptr;
   Klass *ThrowableKlass = nullptr;
 
-  std::map<uint64_t, Klass *> MirrorToKlass;
-  std::unordered_set<const void *> MethodIdSet;
-  std::unordered_set<const void *> FieldIdSet;
+  /// Lock-free read side of the class/method/field registries. Keyed by
+  /// name hash (collisions rejected via predicate), mirror id, and raw
+  /// pointer value respectively.
+  SnapshotMap<Klass *> ClassByName;
+  SnapshotMap<Klass *> MirrorToKlass;
+  SnapshotMap<const void *> MethodIds;
+  SnapshotMap<const void *> FieldIds;
 
-  mutable std::shared_mutex ThreadsMutex; ///< Threads, NextThreadId
+  mutable std::mutex ThreadsMutex; ///< Threads (ownership) and id assignment
   std::vector<std::unique_ptr<JThread>> Threads;
-  uint32_t NextThreadId = 1;
+  std::atomic<uint32_t> NextThreadId{1};
+
+  /// Lock-free thread lookup, indexed by thread id (12-bit handle field).
+  /// Threads are never unregistered before VM death, so entries are stable.
+  std::array<std::atomic<JThread *>, 4096> ThreadTable = {};
 
   mutable std::mutex GlobalsMutex; ///< Globals, FreeGlobalSlots
   std::vector<GlobalSlot> Globals;
@@ -412,13 +477,9 @@ private:
 
   mutable std::mutex PinsMutex; ///< Pins, NextPinCookie, pin-count updates
   std::vector<PinRecord> Pins;
-
-  mutable std::mutex NewbornsMutex; ///< Newborns
-  /// Freshly allocated objects whose allocating thread is inside
-  /// maybeAutoGc(): not yet reachable from any frame, but must survive
-  /// whichever thread's collection runs first.
-  std::vector<ObjectId> Newborns;
   uint64_t NextPinCookie = 1;
+
+  const uint64_t VmSerial; ///< live-instance registry key for TLS caches
 
   std::array<std::mutex, 16> StaticFieldMutexes;
 

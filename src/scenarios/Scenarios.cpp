@@ -71,6 +71,9 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
         jvm::VmOptions Options;
         Options.Flavor = Config.Flavor;
         Options.EchoDiagnostics = Config.EchoDiagnostics;
+        Options.IncrementalMark = Config.IncrementalMark;
+        Options.GcMarkStepBudget = Config.GcMarkStepBudget;
+        Options.TlabSlots = Config.TlabSlots;
         return Options;
       }()),
       Rt(Vm), Host(Rt) {

@@ -93,6 +93,13 @@ struct WorldConfig {
   /// Per-thread report buffer capacity, forwarded to
   /// JinnOptions::ReportBufferSize.
   size_t JinnReportBuffer = 64;
+  /// GC pause shape, forwarded to VmOptions::IncrementalMark: spread the
+  /// mark over budgeted stop-the-world increments instead of one pause.
+  bool IncrementalMark = true;
+  /// Objects traced per mark increment (VmOptions::GcMarkStepBudget).
+  uint32_t GcMarkStepBudget = 2048;
+  /// Slots reserved per TLAB refill (VmOptions::TlabSlots).
+  uint32_t TlabSlots = 64;
 };
 
 /// A fresh VM + JNI runtime + (optionally) a checker agent, plus helpers

@@ -19,7 +19,10 @@ namespace jinn::jvm {
 /// four billion recycles to reach naturally.
 struct HeapTestAccess {
   static void setGen(Heap &H, ObjectId Id, uint32_t Gen) {
-    H.Slots[Id.Index].Gen = Gen;
+    HeapObject &Obj = H.Slots[Id.Index];
+    uint64_t State = Obj.State.load(std::memory_order_relaxed);
+    Obj.State.store(HeapObject::packState(Gen, HeapObject::liveOf(State)),
+                    std::memory_order_relaxed);
   }
 };
 
@@ -28,7 +31,10 @@ struct HeapTestAccess {
 namespace {
 
 struct HeapTest : ::testing::Test {
-  Heap H;
+  /// TLAB size 1 keeps the classic allocator behavior these unit tests
+  /// were written against: every allocation refills from the free list
+  /// first, so a just-collected slot is recycled immediately.
+  Heap H{1};
   Klass Dummy{"Dummy", nullptr};
 };
 
@@ -153,6 +159,90 @@ TEST_F(HeapTest, StatsAccumulate) {
   EXPECT_EQ(H.stats().TotalCollected, 10u);
   EXPECT_EQ(H.stats().GcCount, 1u);
   EXPECT_EQ(H.stats().MovingGcCount, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// TLAB allocation and incremental marking
+//===----------------------------------------------------------------------===
+
+TEST(HeapTlab, RefillsInBatches) {
+  Heap H(64);
+  Klass Dummy{"Dummy", nullptr};
+  for (int I = 0; I < 64; ++I)
+    H.allocPlain(&Dummy, 0);
+  EXPECT_EQ(H.stats().TlabRefills, 1u);
+  H.allocPlain(&Dummy, 0);
+  EXPECT_EQ(H.stats().TlabRefills, 2u);
+  EXPECT_EQ(H.liveCount(), 65u);
+}
+
+TEST(HeapTlab, RecycledSlotsStillGoStaleAcrossBatches) {
+  Heap H(8);
+  Klass Dummy{"Dummy", nullptr};
+  std::vector<ObjectId> Ids;
+  for (int I = 0; I < 32; ++I)
+    Ids.push_back(H.allocPlain(&Dummy, 0));
+  H.collect({}, /*Move=*/false);
+  for (ObjectId Id : Ids)
+    EXPECT_TRUE(H.isStale(Id));
+  // Recycling through the TLAB free path bumps generations as before.
+  for (int I = 0; I < 32; ++I) {
+    ObjectId Fresh = H.allocPlain(&Dummy, 0);
+    EXPECT_NE(H.resolve(Fresh), nullptr);
+  }
+  for (ObjectId Id : Ids)
+    EXPECT_EQ(H.resolve(Id), nullptr);
+}
+
+TEST(HeapIncremental, BarrierCatchesStoreIntoScannedContainer) {
+  Heap H(1);
+  Klass Dummy{"Dummy", nullptr};
+  ObjectId Container = H.allocPlain(&Dummy, 1);
+  ObjectId Payload = H.allocPlain(&Dummy, 0);
+  // Mark runs to completion before the mutator stores Payload into the
+  // (now black) container; without the barrier the remark would miss it.
+  H.beginIncrementalMark({Container});
+  EXPECT_TRUE(H.incrementalMarkStep(1000));
+  H.resolve(Container)->Fields[0] = Value::makeRef(Payload);
+  EXPECT_TRUE(H.markInProgress());
+  H.recordRefStore(Container);
+  H.finishCollect({Container}, /*Move=*/false);
+  EXPECT_NE(H.resolve(Payload), nullptr);
+  EXPECT_GE(H.stats().DirtyRecords, 1u);
+}
+
+TEST(HeapIncremental, ObjectsAllocatedDuringMarkSurvive) {
+  Heap H(1);
+  Klass Dummy{"Dummy", nullptr};
+  ObjectId Root = H.allocPlain(&Dummy, 0);
+  H.beginIncrementalMark({Root});
+  ObjectId Newborn = H.allocPlain(&Dummy, 0); // allocate black
+  H.finishCollect({Root}, /*Move=*/false);
+  EXPECT_NE(H.resolve(Newborn), nullptr);
+  // It was floating garbage, though: the next full cycle reclaims it.
+  H.collect({Root}, /*Move=*/false);
+  EXPECT_EQ(H.resolve(Newborn), nullptr);
+}
+
+TEST(HeapIncremental, BudgetedStepsEventuallyDrain) {
+  Heap H(16);
+  Klass Dummy{"Dummy", nullptr};
+  // A chain of 100 objects forces multiple budgeted increments.
+  ObjectId Head = H.allocPlain(&Dummy, 1);
+  ObjectId Tail = Head;
+  for (int I = 0; I < 99; ++I) {
+    ObjectId Next = H.allocPlain(&Dummy, 1);
+    H.resolve(Tail)->Fields[0] = Value::makeRef(Next);
+    Tail = Next;
+  }
+  H.beginIncrementalMark({Head});
+  int Steps = 0;
+  while (!H.incrementalMarkStep(10))
+    ++Steps;
+  EXPECT_GT(Steps, 2);
+  H.finishCollect({Head}, /*Move=*/true);
+  EXPECT_EQ(H.liveCount(), 100u);
+  EXPECT_GE(H.stats().MarkIncrements, static_cast<uint64_t>(Steps));
 }
 
 // Property: after a random reachable/unreachable population, collection

@@ -3,47 +3,138 @@
 
 Usage: bench_gate.py <baseline.json> <fresh.json> [threshold]
 
-Only throughput-like entries (unit ending in "/s") are gated: a fresh
-value below threshold * baseline (default 0.75, i.e. a >25% drop) is a
-regression. Counters, ratios, and latency entries are ignored — they vary
-legitimately with configuration or would need an inverse comparison.
-Entries present only on one side are ignored so adding or renaming bench
-rows never trips the gate.
+Two gates run:
+
+1. Throughput: only entries whose unit ends in "/s" are compared: a fresh
+   value below threshold * baseline (default 0.75, i.e. a >25% drop) is a
+   regression. Counters, ratios, and latency entries are ignored — they
+   vary legitimately with configuration or would need an inverse
+   comparison. Entries present only on one side are ignored so adding or
+   renaming bench rows never trips the gate, and zero/negative baseline
+   entries are skipped with a note instead of dividing by them.
+
+2. Scaling-efficiency floor (bench_mt_scaling only): the fresh
+   "checking off/8t efficiency" entry must be >= 0.7 speedup per thread.
+   The floor is absolute (no baseline needed) but only enforced when the
+   fresh run's "hardware_threads" entry reports at least 8 hardware
+   threads — a 2-core runner cannot distinguish a lock convoy from a lack
+   of cores. Override the floor with JINN_BENCH_EFFICIENCY_FLOOR, and
+   note tools/run_benches.sh skips this script entirely under
+   JINN_BENCH_NO_GATE=1.
+
+Exit codes: 0 pass, 1 regression, 2 usage or unreadable/malformed input.
 """
 import json
+import os
 import sys
 
+EFFICIENCY_FLOOR = 0.7
+EFFICIENCY_THREADS = 8
+EFFICIENCY_CONFIG = "checking off"
 
-def rates(path):
-    with open(path) as f:
-        doc = json.load(f)
+
+def load_entries(path):
+    """Returns {name: (value, unit)}; exits 2 with a message on bad input."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        print("bench_gate: cannot read %s: %s" % (path, err), file=sys.stderr)
+        sys.exit(2)
+    except ValueError as err:
+        print("bench_gate: %s is not valid JSON: %s" % (path, err),
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+        print("bench_gate: %s has no \"results\" array" % path,
+              file=sys.stderr)
+        sys.exit(2)
     out = {}
-    for entry in doc.get("results", []):
+    for entry in doc["results"]:
+        if not isinstance(entry, dict):
+            continue
+        name, value = entry.get("name"), entry.get("value")
+        if not isinstance(name, str):
+            print("bench_gate: %s: skipping entry without a name: %r"
+                  % (path, entry), file=sys.stderr)
+            continue
         unit = entry.get("unit", "")
-        if isinstance(unit, str) and unit.endswith("/s"):
-            out[entry["name"]] = float(entry["value"])
+        unit = unit if isinstance(unit, str) else ""
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            # String-valued entries (behavior matrix cells, boolean
+            # acceptance flags) are legitimate; only a throughput entry
+            # with a non-numeric value deserves a warning.
+            if unit.endswith("/s"):
+                print("bench_gate: %s: skipping %s: non-numeric value %r"
+                      % (path, name, value), file=sys.stderr)
+            continue
+        out[name] = (value, unit)
     return out
+
+
+def throughput_failures(base, fresh, threshold):
+    failures = []
+    for name, (baseline, unit) in sorted(base.items()):
+        if not unit.endswith("/s"):
+            continue
+        if name not in fresh:
+            continue
+        current = fresh[name][0]
+        if baseline <= 0:
+            print("bench_gate: note: baseline %s is %g, not gated"
+                  % (name, baseline), file=sys.stderr)
+            continue
+        if current < threshold * baseline:
+            failures.append(
+                "%s: %.0f vs baseline %.0f (%.0f%%, floor %.0f%%)"
+                % (name, current, baseline, 100 * current / baseline,
+                   100 * threshold))
+    return failures
+
+
+def efficiency_failures(fresh):
+    """Absolute floor on multi-thread scaling efficiency (mt_scaling)."""
+    key = "%s/%ut efficiency" % (EFFICIENCY_CONFIG, EFFICIENCY_THREADS)
+    if key not in fresh:
+        return []  # not an mt_scaling result, or 8 threads were not run
+    try:
+        floor = float(os.environ.get("JINN_BENCH_EFFICIENCY_FLOOR",
+                                     EFFICIENCY_FLOOR))
+    except ValueError:
+        print("bench_gate: ignoring malformed JINN_BENCH_EFFICIENCY_FLOOR",
+              file=sys.stderr)
+        floor = EFFICIENCY_FLOOR
+    hardware = fresh.get("hardware_threads", (0.0, ""))[0]
+    if hardware < EFFICIENCY_THREADS:
+        print("bench_gate: note: %g hardware thread(s) < %u, efficiency "
+              "floor not enforced" % (hardware, EFFICIENCY_THREADS),
+              file=sys.stderr)
+        return []
+    value = fresh[key][0]
+    if value < floor:
+        return ["%s: %.2f speedup/thread below the %.2f floor "
+                "(lock convoy in the substrate?)" % (key, value, floor)]
+    return []
 
 
 def main():
     if len(sys.argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.75
-    base, fresh = rates(sys.argv[1]), rates(sys.argv[2])
-    failures = []
-    for name, baseline in sorted(base.items()):
-        current = fresh.get(name)
-        if current is None or baseline <= 0:
-            continue
-        if current < threshold * baseline:
-            failures.append((name, baseline, current))
-    for name, baseline, current in failures:
-        print(
-            "bench_gate: %s: %.0f vs baseline %.0f (%.0f%%, floor %.0f%%)"
-            % (name, current, baseline, 100 * current / baseline,
-               100 * threshold),
-            file=sys.stderr)
+    try:
+        threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.75
+    except ValueError:
+        print("bench_gate: threshold %r is not a number" % sys.argv[3],
+              file=sys.stderr)
+        return 2
+    base = load_entries(sys.argv[1])
+    fresh = load_entries(sys.argv[2])
+    failures = throughput_failures(base, fresh, threshold)
+    failures += efficiency_failures(fresh)
+    for failure in failures:
+        print("bench_gate: %s" % failure, file=sys.stderr)
     return 1 if failures else 0
 
 
