@@ -1,0 +1,299 @@
+//===- bench/bench_monitor_soak.cpp - Production-monitoring soak bench ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The production-monitoring acceptance bench: runs the multi-tenant
+/// server soak (thousands of short-lived request threads with a seeded
+/// pending-exception tenant) under four boundary treatments —
+///
+///   inline      full inline checking, no recording (the paper's mode)
+///   sampled16   1-in-16 sampled checking + streaming recorder + monitor,
+///               retained segments in a rotating file sink
+///   sampled256  1-in-256 sampled checking + streaming recorder + monitor
+///   record-only recorder + monitor, no inline machines at all
+///
+/// and reports throughput (requests/s), p99 crossing latency from the
+/// monitor's histogram, peak RSS, recorder drops, and reports found at
+/// each sampling rate. Acceptance: sampled16 throughput beats inline full
+/// checking, RSS stays under the ceiling, and every inline report the
+/// sampled run emitted replays byte-identically from the sink's retained
+/// rotating segments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "monitor/Monitor.h"
+#include "monitor/TraceSink.h"
+#include "support/Resource.h"
+#include "trace/Replay.h"
+#include "workloads/ServerSoak.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+using namespace jinn;
+using namespace jinn::scenarios;
+using namespace jinn::workloads;
+
+namespace {
+
+struct ConfigSpec {
+  const char *Name;
+  uint32_t SampleRate;    ///< 1 = full checking
+  agent::TraceMode Mode;
+  bool Monitored;         ///< streaming recorder + monitor + sink
+  bool RotatingSink;      ///< file sink instead of the in-memory ring
+};
+
+const ConfigSpec Configs[] = {
+    {"inline", 1, agent::TraceMode::InlineCheck, false, false},
+    {"sampled16", 16, agent::TraceMode::InlineCheck, true, true},
+    {"sampled256", 256, agent::TraceMode::InlineCheck, true, false},
+    {"record_only", 1, agent::TraceMode::RecordOnly, true, false},
+};
+
+struct ConfigResult {
+  double Seconds = 0;
+  double RequestsPerSec = 0;
+  uint64_t Requests = 0;
+  uint64_t JniCalls = 0;
+  uint64_t SeededBugs = 0;
+  uint64_t Reports = 0;
+  uint64_t DroppedEvents = 0;
+  uint64_t P99CrossingNs = 0;
+  uint64_t PeakRssBytes = 0;
+  uint64_t RetainedBytes = 0;
+  bool ReplayVerified = false; ///< only checked for sampled16
+  uint64_t ReplayReports = 0;
+};
+
+SoakOptions soakOptions(uint64_t Scale) {
+  SoakOptions Opts;
+  Opts.Workers = 4;
+  // Scale is a divisor (like the workload benches): the default baseline
+  // scale of 16384 yields a short soak, CI-sized; lower scales soak for
+  // longer. The floor keeps the seeded-bug detection statistically
+  // certain: 2048 requests / BugEvery 8 = 256 buggy requests, of which a
+  // 1-in-16 thread sample misses all with probability (15/16)^256 ~ 6e-8.
+  Opts.Requests = std::max<uint64_t>(2048, 2000000 / (Scale ? Scale : 1));
+  Opts.OpsPerRequest = 24;
+  Opts.Tenants = 4;
+  Opts.BugEveryNRequests = 8;
+  return Opts;
+}
+
+/// Multiset-inclusion check: every inline violation must appear in the
+/// replay's report list. Unsampled threads are not recorded, so replay of
+/// the retained segments reproduces exactly the sampled threads' checking.
+bool replayIncludesInline(const std::vector<agent::JinnReport> &Inline,
+                          const std::vector<agent::JinnReport> &Replayed) {
+  std::vector<const agent::JinnReport *> Pool;
+  for (const agent::JinnReport &R : Replayed)
+    if (!R.EndOfRun)
+      Pool.push_back(&R);
+  for (const agent::JinnReport &R : Inline) {
+    if (R.EndOfRun)
+      continue;
+    bool Found = false;
+    for (auto It = Pool.begin(); It != Pool.end(); ++It) {
+      if ((*It)->Machine == R.Machine && (*It)->Function == R.Function &&
+          (*It)->Message == R.Message) {
+        Pool.erase(It);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+ConfigResult runConfig(const ConfigSpec &Spec, const SoakOptions &Soak,
+                       uint64_t RssCeilingBytes) {
+  WorldConfig Config;
+  Config.Checker = CheckerKind::Jinn;
+  Config.JinnMode = Spec.Mode;
+  Config.JinnSampleRate = Spec.SampleRate;
+  if (Spec.Monitored) {
+    Config.JinnRecorder.StreamChunks = true;
+    Config.JinnRecorder.MaxQueuedChunks = 4096;
+  }
+  ScenarioWorld World(Config);
+  prepareSoakWorld(World);
+
+  std::unique_ptr<monitor::TraceSink> Sink;
+  const std::string SinkDir = "bench_monitor_soak.segments";
+  if (Spec.Monitored) {
+    if (Spec.RotatingSink) {
+      std::filesystem::remove_all(SinkDir);
+      monitor::RotatingFileSink::Options SinkOpts;
+      SinkOpts.Directory = SinkDir;
+      SinkOpts.RotateBytes = 4u << 20;
+      SinkOpts.MaxSegments = 64; // retain the whole (short) soak
+      Sink = std::make_unique<monitor::RotatingFileSink>(SinkOpts);
+    } else {
+      monitor::RingSink::Options SinkOpts;
+      SinkOpts.MaxSegments = 4096;
+      SinkOpts.MaxBytes = 512ull << 20;
+      Sink = std::make_unique<monitor::RingSink>(SinkOpts);
+    }
+  }
+  std::unique_ptr<monitor::JinnMonitor> Monitor;
+  if (Spec.Monitored) {
+    monitor::MonitorOptions MonOpts;
+    MonOpts.IntervalMs = 20;
+    MonOpts.RssCeilingBytes = RssCeilingBytes;
+    Monitor = std::make_unique<monitor::JinnMonitor>(World.Vm, *World.Jinn,
+                                                     *Sink, MonOpts);
+    Monitor->start();
+  }
+
+  SoakStats Stats = runServerSoak(World, Soak);
+
+  ConfigResult Result;
+  Result.Seconds = Stats.Seconds;
+  Result.Requests = Stats.Requests;
+  Result.RequestsPerSec =
+      Stats.Seconds > 0 ? static_cast<double>(Stats.Requests) / Stats.Seconds
+                        : 0;
+  Result.JniCalls = Stats.JniCalls;
+  Result.SeededBugs = Stats.SeededBugs;
+  Result.Reports = Stats.Reports;
+  Result.PeakRssBytes = Stats.PeakRssBytes;
+
+  if (Monitor) {
+    Monitor->finish();
+    monitor::MonitorSnapshot Snap = Monitor->snapshot();
+    Result.DroppedEvents = Snap.DroppedEvents;
+    Result.P99CrossingNs = Snap.P99CrossingNs;
+    Result.PeakRssBytes = std::max(Result.PeakRssBytes, Snap.PeakRssBytes);
+    Result.RetainedBytes = Snap.Sink.RetainedBytes;
+  }
+
+  // Replay verification for the sampled16 run: collect the inline report
+  // list, replay the sink's retained segments, and check inclusion.
+  if (Spec.Monitored && Spec.RotatingSink &&
+      Spec.Mode != agent::TraceMode::RecordOnly) {
+    std::vector<agent::JinnReport> Inline = World.Jinn->reporter().reports();
+    World.shutdown();
+    trace::Trace Retained = Sink->retained();
+    trace::ReplayResult Replayed = trace::replayTrace(Retained, World.Vm);
+    Result.ReplayVerified = replayIncludesInline(Inline, Replayed.Reports);
+    Result.ReplayReports = Replayed.Reports.size();
+  } else {
+    World.shutdown();
+  }
+  Monitor.reset();
+  Sink.reset();
+  std::filesystem::remove_all(SinkDir);
+  return Result;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  (void)Argc;
+  (void)Argv;
+  uint64_t Scale = 16384;
+  if (const char *Env = std::getenv("JINN_BENCH_SCALE"))
+    Scale = std::strtoull(Env, nullptr, 10);
+  if (!Scale)
+    Scale = 16384;
+  uint64_t RssCeilingMb = 1024;
+  if (const char *Env = std::getenv("JINN_SOAK_RSS_CEILING_MB"))
+    RssCeilingMb = std::strtoull(Env, nullptr, 10);
+  const uint64_t RssCeilingBytes = RssCeilingMb << 20;
+
+  SoakOptions Soak = soakOptions(Scale);
+  bench::JsonResults Json("monitor_soak");
+  Json.add("scale_divisor", static_cast<double>(Scale), "");
+  Json.add("requests", static_cast<double>(Soak.Requests), "");
+  Json.add("rss_ceiling_mb", static_cast<double>(RssCeilingMb), "MB");
+
+  bench::printHeader(
+      "Production monitoring soak - multi-tenant server, seeded-bug tenant\n"
+      "(4 workers, short-lived request threads, bug every 8th request)");
+  std::printf("%-12s | %9s %9s %9s %8s %8s %9s\n", "config", "req/s",
+              "p99 ns", "rss MB", "reports", "dropped", "retained");
+  bench::printRule();
+
+  constexpr size_t NumConfigs = sizeof(Configs) / sizeof(Configs[0]);
+  ConfigResult Results[NumConfigs];
+  for (size_t C = 0; C < NumConfigs; ++C) {
+    Results[C] = runConfig(Configs[C], Soak, RssCeilingBytes);
+    const ConfigResult &R = Results[C];
+    std::printf("%-12s | %9.0f %9llu %9.1f %8llu %8llu %8.1fM\n",
+                Configs[C].Name, R.RequestsPerSec,
+                static_cast<unsigned long long>(R.P99CrossingNs),
+                static_cast<double>(R.PeakRssBytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(R.Reports),
+                static_cast<unsigned long long>(R.DroppedEvents),
+                static_cast<double>(R.RetainedBytes) / (1024.0 * 1024.0));
+    std::string P = Configs[C].Name;
+    Json.add(P + "/requests_per_sec", R.RequestsPerSec, "req/s");
+    Json.add(P + "/p99_crossing_ns", static_cast<double>(R.P99CrossingNs),
+             "ns");
+    Json.add(P + "/peak_rss_mb",
+             static_cast<double>(R.PeakRssBytes) / (1024.0 * 1024.0), "MB");
+    Json.add(P + "/reports", static_cast<double>(R.Reports), "");
+    Json.add(P + "/dropped_events", static_cast<double>(R.DroppedEvents),
+             "");
+    Json.add(P + "/jni_calls", static_cast<double>(R.JniCalls), "");
+  }
+
+  const ConfigResult &Inline = Results[0];
+  const ConfigResult &Sampled16 = Results[1];
+  const ConfigResult &Sampled256 = Results[2];
+
+  // Headline cross-config facts the gate consumes.
+  Json.add("reports_n1", static_cast<double>(Inline.Reports), "");
+  Json.add("reports_n16", static_cast<double>(Sampled16.Reports), "");
+  Json.add("reports_n256", static_cast<double>(Sampled256.Reports), "");
+  Json.add("replay_reports_n16",
+           static_cast<double>(Sampled16.ReplayReports), "");
+  Json.add("replay_verified",
+           std::string(Sampled16.ReplayVerified ? "true" : "false"));
+
+  uint64_t MaxRss = 0;
+  for (const ConfigResult &R : Results)
+    MaxRss = std::max(MaxRss, R.PeakRssBytes);
+  Json.add("max_peak_rss_mb",
+           static_cast<double>(MaxRss) / (1024.0 * 1024.0), "MB");
+
+  bool Faster = Sampled16.RequestsPerSec > Inline.RequestsPerSec;
+  bool UnderCeiling = MaxRss < RssCeilingBytes;
+  bool FoundAtN16 = Sampled16.Reports > 0;
+  Json.add("sampled16_faster_than_inline",
+           std::string(Faster ? "true" : "false"));
+  Json.add("rss_under_ceiling", std::string(UnderCeiling ? "true" : "false"));
+
+  std::printf("\nacceptance:\n");
+  std::printf("  sampled16 %.0f req/s %s inline %.0f req/s : %s\n",
+              Sampled16.RequestsPerSec, Faster ? ">" : "<=",
+              Inline.RequestsPerSec, Faster ? "PASS" : "FAIL");
+  std::printf("  peak RSS %.1f MB %s ceiling %llu MB : %s\n",
+              static_cast<double>(MaxRss) / (1024.0 * 1024.0),
+              UnderCeiling ? "<" : ">=",
+              static_cast<unsigned long long>(RssCeilingMb),
+              UnderCeiling ? "PASS" : "FAIL");
+  std::printf("  sampled16 replay inclusion (%llu inline, %llu replay): %s\n",
+              static_cast<unsigned long long>(Sampled16.Reports),
+              static_cast<unsigned long long>(Sampled16.ReplayReports),
+              Sampled16.ReplayVerified ? "PASS" : "FAIL");
+  std::printf("  seeded bugs found at N=16 (%llu): %s\n",
+              static_cast<unsigned long long>(Sampled16.Reports),
+              FoundAtN16 ? "PASS" : "FAIL");
+
+  Json.writeFile();
+  return (Faster && UnderCeiling && Sampled16.ReplayVerified && FoundAtN16)
+             ? 0
+             : 1;
+}

@@ -7,9 +7,37 @@
 #include "jinn/JinnAgent.h"
 
 #include "jvm/JThread.h"
+#include "support/Rng.h"
 
 using namespace jinn;
 using namespace jinn::agent;
+
+namespace {
+
+/// FNV-1a over the thread name: the sampling stream key. Name-keyed so the
+/// sampled set is identical across runs even when attach order (and thus
+/// id assignment) races; a server that names request threads
+/// deterministically gets a deterministic sampled set.
+uint64_t threadStreamKey(uint32_t Id, const std::string &Name) {
+  if (Name.empty())
+    return 0x811c9dc5ULL ^ Id;
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (char C : Name) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+} // namespace
+
+bool JinnAgent::sampledThread(uint32_t Id, const std::string &Name) const {
+  if (Options.SampleRate <= 1)
+    return true;
+  SplitMix64 Stream =
+      SplitMix64(Options.SampleSeed).split(threadStreamKey(Id, Name));
+  return Stream.chance(1, Options.SampleRate);
+}
 
 const char *jinn::agent::traceModeName(TraceMode Mode) {
   switch (Mode) {
@@ -29,6 +57,11 @@ JinnAgent::~JinnAgent() = default;
 
 void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   jvm::Vm &Vm = *JavaVm->vm;
+  // Sampling without a trace would leave unsampled crossings uncheckable
+  // forever; promote to record+replay so every crossing stays replayable
+  // and any sampled report can be reproduced offline from the trace.
+  if (Options.SampleRate > 1 && Options.Mode == TraceMode::InlineCheck)
+    Options.Mode = TraceMode::RecordAndReplay;
   const bool Checking = Options.Mode != TraceMode::RecordOnly;
   const bool Recording = Options.Mode != TraceMode::InlineCheck;
 
@@ -73,6 +106,17 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
   Stats = Checking ? Synth->installInto(Jvmti.dispatcher())
                    : synth::SynthesisStats{};
 
+  // Sampled mode: the dispatcher (and the synthesized native wrapper)
+  // consult this per-thread predicate before running ANY boundary hook —
+  // recorder and machines alike. An unsampled thread costs one cached
+  // predicate lookup per crossing and nothing else; a sampled thread is
+  // fully recorded and fully checked, so each of its inline reports is
+  // byte-replayable from the retained trace.
+  if (Options.SampleRate > 1)
+    Jvmti.dispatcher().setSampler([this](jvm::JThread &Thread) {
+      return sampledThread(Thread.id(), Thread.name());
+    });
+
   const uint32_t FrameCapacity = Vm.options().NativeFrameCapacity;
   auto InfoFor = [FrameCapacity](const jvm::JThread &Thread) {
     spec::ThreadStartInfo Info;
@@ -94,18 +138,30 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
     BindHandler(Method, Bound);
   };
   Callbacks.ThreadStart = [this, Checking, InfoFor](jvm::JThread &Thread) {
-    if (Recorder)
+    // Unsampled threads never reach a boundary hook, so skip their trace
+    // lifecycle events and shadow setup too — under heavy attach/detach
+    // churn that is most of the per-thread cost an agent would otherwise
+    // pay, and it keeps the trace the exact event set of sampled threads.
+    const bool Sampled = sampledThread(Thread.id(), Thread.name());
+    if (Recorder && Sampled)
       Recorder->recordThreadAttach(Thread);
-    if (Checking)
+    if (Checking && Sampled)
       for (spec::MachineBase *Machine : Active)
         Machine->onThreadStart(InfoFor(Thread));
   };
   Callbacks.ThreadEnd = [this](jvm::JThread &Thread) {
-    if (Recorder)
-      Recorder->recordThreadDetach(Thread);
-    // Merge this thread's buffered reports so none outlives its thread
-    // unmerged.
-    Reporter->flushLocal();
+    if (Recorder) {
+      if (sampledThread(Thread.id(), Thread.name()))
+        Recorder->recordThreadDetach(Thread);
+      // ThreadEnd runs on the detaching thread: seal its partial ring into
+      // the recorder-level queue and recycle the buffer, so short-lived
+      // request threads leave no per-thread state behind. A no-op for
+      // unsampled threads, which never allocate a buffer.
+      Recorder->retireLocalBuffer();
+    }
+    // Merge and retire this thread's report buffer so none outlives its
+    // thread unmerged (and the buffer itself is reclaimed).
+    Reporter->retireLocal();
   };
   Callbacks.GcFinish = [this] {
     if (Recorder)
@@ -126,9 +182,10 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
 
   // Threads attached before the agent loaded (at least "main").
   for (const auto &Thread : Vm.threads()) {
-    if (Recorder)
+    const bool Sampled = sampledThread(Thread->id(), Thread->name());
+    if (Recorder && Sampled)
       Recorder->recordThreadAttach(*Thread);
-    if (Checking)
+    if (Checking && Sampled)
       for (spec::MachineBase *Machine : Active)
         Machine->onThreadStart(InfoFor(*Thread));
   }

@@ -72,6 +72,20 @@ struct JinnOptions {
   /// global reporter lock only when a buffer fills, a thread detaches, or
   /// a snapshot is taken.
   size_t ReportBufferSize = 64;
+  /// Deterministic sampled checking (production monitoring mode): 1 checks
+  /// every crossing; N > 1 records and checks roughly 1-in-N crossings by
+  /// giving each *thread* (request) a seeded SplitMix64 stream keyed on
+  /// its identity and running boundary hooks — recorder and machines
+  /// alike — only on threads whose stream draws 1/N. The whole-thread
+  /// granularity is what keeps stateful machines sound: a sampled
+  /// thread's machines observe every one of its transitions, and its
+  /// complete event stream is in the trace, so each of its reports is
+  /// byte-replayable from the retained segments. Unsampled threads cost
+  /// one cached predicate lookup per crossing. Sampling forces a
+  /// recording mode (InlineCheck is promoted to RecordAndReplay).
+  uint32_t SampleRate = 1;
+  /// Root seed of the per-thread sampling streams.
+  uint64_t SampleSeed = 0x6a696e6e5eedULL;
 };
 
 class JinnAgent : public jvmti::Agent {
@@ -96,6 +110,14 @@ public:
   TraceMode mode() const { return Options.Mode; }
   /// The recorder, when mode() records (nullptr under InlineCheck).
   trace::TraceRecorder *recorder() { return Recorder.get(); }
+
+  uint32_t sampleRate() const { return Options.SampleRate; }
+  /// The pure per-thread sampling decision: a seeded SplitMix64 stream
+  /// keyed on the thread name (stable across runs regardless of attach
+  /// order; falls back to the id for unnamed threads) draws 1-in-N.
+  /// Deterministic, so harnesses can re-derive which requests were
+  /// checked.
+  bool sampledThread(uint32_t Id, const std::string &Name) const;
 
 private:
   JinnOptions Options;

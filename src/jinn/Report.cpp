@@ -153,6 +153,60 @@ void JinnReporter::flushLocal() {
   Buffer->Items.clear();
 }
 
+void JinnReporter::retireLocal() {
+  std::unique_ptr<ThreadBuffer> Owned;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    // Find by owner, not via the cache: the cache may belong to another
+    // reporter instance while this thread still owns a buffer here.
+    for (auto It = Buffers.begin(); It != Buffers.end(); ++It)
+      if ((*It)->Owner == std::this_thread::get_id()) {
+        Owned = std::move(*It);
+        Buffers.erase(It);
+        break;
+      }
+    if (!Owned)
+      return;
+    std::lock_guard<std::mutex> BufLock(Owned->BufMu);
+    for (StampedReport &Item : Owned->Items)
+      Drained.push_back(std::move(Item));
+    Owned->Items.clear();
+  }
+  // Only the owner thread runs retireLocal (the agent's ThreadEnd callback
+  // fires on the detaching thread), so clearing its own cache is safe.
+  BufferCacheEntry &Cache = LocalReportCache;
+  if (Cache.Instance == InstanceId)
+    Cache = {};
+}
+
+size_t JinnReporter::liveThreadBuffers() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Buffers.size();
+}
+
+size_t JinnReporter::reportCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Drained.size();
+  for (const auto &Buffer : Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buffer->BufMu);
+    N += Buffer->Items.size();
+  }
+  return N;
+}
+
+std::map<std::string, uint64_t> JinnReporter::reportCountsByMachine() const {
+  std::map<std::string, uint64_t> Counts;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const StampedReport &Item : Drained)
+    ++Counts[Item.Report.Machine];
+  for (const auto &Buffer : Buffers) {
+    std::lock_guard<std::mutex> BufLock(Buffer->BufMu);
+    for (const StampedReport &Item : Buffer->Items)
+      ++Counts[Item.Report.Machine];
+  }
+  return Counts;
+}
+
 void JinnReporter::violation(spec::TransitionContext &Ctx,
                              const spec::StateMachineSpec &Machine,
                              const std::string &Message) {

@@ -27,6 +27,7 @@
 
 #include "spec/StateMachine.h"
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +70,23 @@ public:
   /// from the agent's ThreadEnd callback so reports cannot outlive their
   /// thread unmerged.
   void flushLocal();
+
+  /// Flushes and *retires* the calling OS thread's buffer: its contents
+  /// merge into the drained list and the buffer itself is destroyed, so a
+  /// server that churns through thousands of short-lived request threads
+  /// does not accumulate one buffer per request. The next report from this
+  /// OS thread (a later request reusing the worker) allocates afresh.
+  void retireLocal();
+
+  /// Number of per-thread buffers currently alive (monitoring/tests).
+  size_t liveThreadBuffers() const;
+
+  /// Thread-safe snapshot of the merged report count (unlike reports(),
+  /// callable while mutator threads are still reporting).
+  size_t reportCount() const;
+
+  /// Thread-safe per-machine report counts, for monitor snapshots.
+  std::map<std::string, uint64_t> reportCountsByMachine() const;
 
   /// Debugger integration (paper §2.3): invoked at each violation, at the
   /// point of failure, before the exception unwinds — the hook a debugger

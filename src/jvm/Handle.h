@@ -12,10 +12,14 @@
 ///   bits 60..63  magic 0xA — distinguishes genuine handles from wild
 ///                pointers (jmethodID values, stack addresses, ...), which is
 ///                how pitfall 6 "confusing IDs with references" is detected
-///   bits 34..59  generation of the table slot (26 bits)
-///   bits 14..33  slot index within the owning table (20 bits)
-///   bits  2..13  owning thread id for local refs, 0 for globals (12 bits)
+///   bits 37..59  generation of the table slot (23 bits)
+///   bits 17..36  slot index within the owning table (20 bits)
+///   bits  2..16  owning thread id for local refs, 0 for globals (15 bits)
 ///   bits  0..1   RefKind
+///
+/// The 15-bit thread field sizes the VM's thread-id space: a server
+/// workload that attaches a short-lived thread per request can burn
+/// through ~32k ids in one run (ids are never reused).
 ///
 /// The generation bits make recycled slots produce *different* bit patterns,
 /// so both the VM and the Jinn shadow bookkeeping can tell a dangling handle
@@ -50,14 +54,18 @@ struct HandleBits {
 namespace handle_detail {
 constexpr uint64_t MagicShift = 60;
 constexpr uint64_t Magic = 0xAULL;
-constexpr uint64_t GenShift = 34;
-constexpr uint64_t GenMask = (1ULL << 26) - 1;
-constexpr uint64_t SlotShift = 14;
+constexpr uint64_t GenShift = 37;
+constexpr uint64_t GenMask = (1ULL << 23) - 1;
+constexpr uint64_t SlotShift = 17;
 constexpr uint64_t SlotMask = (1ULL << 20) - 1;
 constexpr uint64_t ThreadShift = 2;
-constexpr uint64_t ThreadMask = (1ULL << 12) - 1;
+constexpr uint64_t ThreadMask = (1ULL << 15) - 1;
 constexpr uint64_t KindMask = 0x3;
 } // namespace handle_detail
+
+/// One past the largest encodable thread id (sizes Vm::ThreadTable).
+constexpr uint32_t MaxThreadIds =
+    static_cast<uint32_t>(handle_detail::ThreadMask) + 1;
 
 /// Encodes \p Bits into a pointer-sized word. Null kind encodes to 0.
 inline uint64_t encodeHandle(const HandleBits &Bits) {

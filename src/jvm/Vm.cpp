@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace jinn;
 using namespace jinn::jvm;
@@ -497,7 +499,15 @@ JThread &Vm::attachThread(std::string Name) {
   {
     std::lock_guard<std::mutex> Lock(ThreadsMutex);
     uint32_t Id = NextThreadId.fetch_add(1, std::memory_order_relaxed);
-    assert(Id < ThreadTable.size() && "thread id space exhausted");
+    // Ids are never reused, so a request-per-thread server eventually
+    // exhausts the 15-bit handle field; fail loudly rather than alias
+    // handle encodings in release builds.
+    if (Id >= ThreadTable.size()) {
+      std::fprintf(stderr,
+                   "jinn: thread id space exhausted (%zu attaches)\n",
+                   ThreadTable.size());
+      std::abort();
+    }
     auto Owned = std::make_unique<JThread>(*this, Id, std::move(Name));
     Thread = Owned.get();
     Threads.push_back(std::move(Owned));

@@ -464,9 +464,10 @@ private:
   std::vector<std::unique_ptr<JThread>> Threads;
   std::atomic<uint32_t> NextThreadId{1};
 
-  /// Lock-free thread lookup, indexed by thread id (12-bit handle field).
+  /// Lock-free thread lookup, indexed by thread id (15-bit handle field,
+  /// sized for request-per-thread server workloads that never reuse ids).
   /// Threads are never unregistered before VM death, so entries are stable.
-  std::array<std::atomic<JThread *>, 4096> ThreadTable = {};
+  std::array<std::atomic<JThread *>, MaxThreadIds> ThreadTable = {};
 
   mutable std::mutex GlobalsMutex; ///< Globals, FreeGlobalSlots
   std::vector<GlobalSlot> Globals;

@@ -7,6 +7,7 @@
 #include "jvmti/Interpose.h"
 
 #include "jni/EnvImplDetail.h"
+#include "jvm/JThread.h"
 
 #include <memory>
 
@@ -109,7 +110,49 @@ void InterposeDispatcher::addPostAll(HookFn Hook) {
   AnyPostAll = true;
 }
 
+namespace {
+
+/// Per-OS-thread cache of the sampling decision, keyed by the dispatcher's
+/// sampler generation and the VM thread id. Thread ids are never reused,
+/// so a worker that detaches and reattaches as a new request thread misses
+/// the cache and re-evaluates the predicate for its new identity.
+struct SampleCacheEntry {
+  uint64_t Gen = 0;
+  uint32_t ThreadId = 0;
+  bool Sampled = true;
+};
+thread_local SampleCacheEntry LocalSampleCache;
+
+std::atomic<uint64_t> NextSamplerGen{1};
+
+} // namespace
+
+void InterposeDispatcher::setSampler(SamplePredicate Fn) {
+  Sampler = std::move(Fn);
+  SamplerGen =
+      Sampler ? NextSamplerGen.fetch_add(1, std::memory_order_relaxed) : 0;
+}
+
+bool InterposeDispatcher::checksThread(jvm::JThread &Thread) const {
+  if (!SamplerGen)
+    return true;
+  SampleCacheEntry &Cache = LocalSampleCache;
+  if (Cache.Gen == SamplerGen && Cache.ThreadId == Thread.id())
+    return Cache.Sampled;
+  bool Sampled = Sampler(Thread);
+  Cache = {SamplerGen, Thread.id(), Sampled};
+  return Sampled;
+}
+
 void InterposeDispatcher::runPre(CapturedCall &Call) const {
+  // Sampled mode gates the whole boundary per thread: unsampled threads
+  // neither record (all-function hooks) nor check (per-function machine
+  // hooks). That is what makes 1-in-N sampling cheap — the only per-call
+  // cost off the sample is this cached predicate — and it keeps the
+  // replay contract exact: a sampled thread's full event stream is in the
+  // trace, so its inline reports reproduce byte-for-byte offline.
+  if (SamplerGen && Call.env() && !checksThread(*Call.env()->thread))
+    return;
   for (const HookFn &Hook : PreAll) {
     Hook(Call);
     if (Call.aborted())
@@ -123,6 +166,8 @@ void InterposeDispatcher::runPre(CapturedCall &Call) const {
 }
 
 void InterposeDispatcher::runPost(CapturedCall &Call) const {
+  if (SamplerGen && Call.env() && !checksThread(*Call.env()->thread))
+    return;
   for (const HookFn &Hook : PostAll)
     Hook(Call);
   for (const HookFn &Hook : Post[static_cast<size_t>(Call.id())])
@@ -156,6 +201,8 @@ void InterposeDispatcher::clear() {
   HookMask.fill(0);
   AnyPreAll = false;
   AnyPostAll = false;
+  Sampler = nullptr;
+  SamplerGen = 0;
 }
 
 //===----------------------------------------------------------------------===

@@ -338,6 +338,30 @@ public:
            (HookMask[static_cast<size_t>(Id)] & HasPost);
   }
 
+  //===------------------------------------------------------------------===
+  // Deterministic sampled checking (production monitoring mode)
+  //===------------------------------------------------------------------===
+
+  /// Per-thread sampling decision: called once per thread (result cached
+  /// in a thread-local keyed by thread id), it decides whether this
+  /// thread's crossings run boundary hooks at all — the all-function
+  /// hooks (the trace recorder) and the per-function machine hooks alike.
+  /// An unsampled thread pays only this cached lookup per crossing; a
+  /// sampled thread is fully recorded and fully checked, which is what
+  /// keeps its reports byte-replayable from the retained trace.
+  /// The predicate must be pure and deterministic (the Jinn agent derives
+  /// it from a seeded SplitMix64 stream over the thread identity).
+  using SamplePredicate = std::function<bool(jvm::JThread &)>;
+
+  /// Installs (or, with nullptr, removes) the sampling predicate.
+  void setSampler(SamplePredicate Fn);
+  bool samplingEnabled() const { return SamplerGen != 0; }
+
+  /// Whether \p Thread's crossings are recorded and checked. Always true
+  /// without a sampler. Used by runPre/runPost and by the synthesized
+  /// native wrapper to gate the whole boundary.
+  bool checksThread(jvm::JThread &Thread) const;
+
   void clear();
 
 private:
@@ -354,6 +378,12 @@ private:
   bool AnyPreAll = false;
   bool AnyPostAll = false;
   bool ElisionEnabled = false;
+  /// Sampling predicate plus its generation tag: the thread-local decision
+  /// cache is keyed by (generation, thread id), so replacing the sampler
+  /// or reattaching an OS thread under a new VM thread id invalidates the
+  /// cache without any cross-thread bookkeeping.
+  SamplePredicate Sampler;
+  uint64_t SamplerGen = 0;
 };
 
 /// The generated interposed function table (shared, immutable).

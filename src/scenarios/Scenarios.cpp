@@ -91,6 +91,8 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
     Options.SparseDispatch = Config.JinnSparseDispatch;
     Options.ShardCount = Config.JinnShardCount;
     Options.ReportBufferSize = Config.JinnReportBuffer;
+    Options.SampleRate = Config.JinnSampleRate;
+    Options.SampleSeed = Config.JinnSampleSeed;
     Jinn = static_cast<agent::JinnAgent *>(
         &Host.load(std::make_unique<agent::JinnAgent>(std::move(Options))));
     break;

@@ -93,6 +93,11 @@ struct WorldConfig {
   /// Per-thread report buffer capacity, forwarded to
   /// JinnOptions::ReportBufferSize.
   size_t JinnReportBuffer = 64;
+  /// Deterministic sampled checking (production monitoring), forwarded to
+  /// JinnOptions::SampleRate: check 1-in-N threads; 1 checks everything.
+  uint32_t JinnSampleRate = 1;
+  /// Root sampling seed, forwarded to JinnOptions::SampleSeed.
+  uint64_t JinnSampleSeed = 0x6a696e6e5eedULL;
   /// GC pause shape, forwarded to VmOptions::IncrementalMark: spread the
   /// mark over budgeted stop-the-world increments instead of one pause.
   bool IncrementalMark = true;

@@ -1,0 +1,49 @@
+//===- support/Resource.h - Process resource measurements ----------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small process-level resource probes for the production-monitoring
+/// subsystem and its benches: currently the resident set size, read from
+/// /proc/self/statm. Header-only so harnesses outside the core libraries
+/// (benches, tools) can use it without extra link edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_SUPPORT_RESOURCE_H
+#define JINN_SUPPORT_RESOURCE_H
+
+#include <cstdint>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace jinn {
+
+/// Current resident set size in bytes. Returns 0 where the probe is
+/// unavailable (non-Linux); callers must treat 0 as "unknown", not "tiny".
+inline uint64_t currentRssBytes() {
+#if defined(__linux__)
+  if (std::FILE *File = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long TotalPages = 0, ResidentPages = 0;
+    int Fields = std::fscanf(File, "%llu %llu", &TotalPages, &ResidentPages);
+    std::fclose(File);
+    if (Fields == 2) {
+      long PageSize = ::sysconf(_SC_PAGESIZE);
+      if (PageSize <= 0)
+        PageSize = 4096;
+      return static_cast<uint64_t>(ResidentPages) *
+             static_cast<uint64_t>(PageSize);
+    }
+  }
+#endif
+  return 0;
+}
+
+} // namespace jinn
+
+#endif // JINN_SUPPORT_RESOURCE_H

@@ -6,6 +6,9 @@
 
 #include "synth/Synthesizer.h"
 
+#include "jni/EnvImplDetail.h"
+#include "jvmti/Interpose.h"
+
 using namespace jinn;
 using namespace jinn::synth;
 using jinn::jni::FnId;
@@ -85,32 +88,42 @@ Synthesizer::makeNativeBindHandler() {
     // instrumentation, the original native code, exit instrumentation.
     Bound = [this, &Method, Original = std::move(Original)](
                 JNIEnv *Env, jobject Self, const jvalue *Args) -> jvalue {
-      if (BoundaryObserver)
+      // Sampled checking mirrors the JNI direction: an unsampled thread's
+      // native crossings are neither recorded nor checked, so the retained
+      // trace holds the complete stream of every sampled thread and
+      // nothing else.
+      auto *Dispatcher = static_cast<jvmti::InterposeDispatcher *>(
+          Env->runtime->Dispatcher);
+      bool Checked = !Dispatcher || Dispatcher->checksThread(*Env->thread);
+      if (BoundaryObserver && Checked)
         BoundaryObserver->onNativeEntry(Method, Env, Self, Args);
       TransitionContext Entry = TransitionContext::nativeSite(
           TransitionContext::Site::NativeEntry, Method, Env, Self, Args,
           nullptr, Rep);
-      for (const MachineAction &Action : EntryActions) {
-        if (OnActionRun)
-          OnActionRun(*Action.first);
-        Action.second(Entry);
-        if (Entry.aborted())
-          break;
-      }
+      if (Checked)
+        for (const MachineAction &Action : EntryActions) {
+          if (OnActionRun)
+            OnActionRun(*Action.first);
+          Action.second(Entry);
+          if (Entry.aborted())
+            break;
+        }
       jvalue Result;
       Result.j = 0;
       if (!Entry.aborted())
         Result = Original(Env, Self, Args);
-      if (BoundaryObserver)
+      if (BoundaryObserver && Checked)
         BoundaryObserver->onNativeExit(Method, Env, Self, Args, &Result,
                                        Entry.aborted());
-      TransitionContext Exit = TransitionContext::nativeSite(
-          TransitionContext::Site::NativeExit, Method, Env, Self, Args,
-          &Result, Rep);
-      for (const MachineAction &Action : ExitActions) {
-        if (OnActionRun)
-          OnActionRun(*Action.first);
-        Action.second(Exit);
+      if (Checked) {
+        TransitionContext Exit = TransitionContext::nativeSite(
+            TransitionContext::Site::NativeExit, Method, Env, Self, Args,
+            &Result, Rep);
+        for (const MachineAction &Action : ExitActions) {
+          if (OnActionRun)
+            OnActionRun(*Action.first);
+          Action.second(Exit);
+        }
       }
       return Result;
     };

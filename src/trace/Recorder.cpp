@@ -65,12 +65,14 @@ void Trace::rebuildThreadNames() {
 //===----------------------------------------------------------------------===
 
 /// Owned and written by exactly one OS thread; collect() reads it only
-/// after that thread quiesced (the join provides the happens-before edge).
+/// after that thread quiesced (the join provides the happens-before edge),
+/// and retireLocalBuffer() moves it to the free pool from its own owner
+/// thread. NextSeq survives retirement so a recycled buffer keeps strictly
+/// increasing sequence numbers.
 struct TraceRecorder::ThreadBuffer {
   std::vector<TraceEvent> Ring;
   size_t Count = 0; ///< valid events in Ring
   uint64_t NextSeq = 0;
-  uint64_t Dropped = 0;
   std::vector<std::vector<TraceEvent>> Chunks; ///< sealed full rings
 };
 
@@ -122,30 +124,88 @@ TraceRecorder::ThreadBuffer &TraceRecorder::localBuffer() {
   if (LocalCache.RecorderId == InstanceId)
     return *static_cast<ThreadBuffer *>(LocalCache.Buffer);
   std::lock_guard<std::mutex> Lock(RegistryMu);
-  Buffers.push_back(std::make_unique<ThreadBuffer>());
+  // Prefer a buffer a retired thread left behind: attach/detach churn in a
+  // server workload then reuses a bounded buffer pool instead of growing
+  // the registry by ~RingCapacity events per short-lived thread.
+  std::unique_ptr<ThreadBuffer> Recycled;
+  if (!FreeBuffers.empty()) {
+    Recycled = std::move(FreeBuffers.back());
+    FreeBuffers.pop_back();
+  } else {
+    Recycled = std::make_unique<ThreadBuffer>();
+  }
+  Buffers.push_back(std::move(Recycled));
   ThreadBuffer &Buffer = *Buffers.back();
   Buffer.Ring.resize(Opts.RingCapacity);
+  Buffer.Count = 0;
   LocalCache = {InstanceId, &Buffer};
   return Buffer;
 }
 
+void TraceRecorder::noteDrop(uint64_t Events) {
+  if (!Events)
+    return;
+  uint64_t Total =
+      DroppedTotal.fetch_add(Events, std::memory_order_relaxed) + Events;
+  // Surface the loss where operators look: the VM diagnostics counters.
+  // Amortized — drops happen at most once per sealed chunk.
+  Vm.diags().setCounter("jinn.trace.dropped_events", Total);
+}
+
+std::vector<TraceEvent>
+TraceRecorder::pushSealedChunk(std::vector<TraceEvent> Chunk) {
+  std::vector<TraceEvent> Recycled;
+  uint64_t Evicted = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    // The queue bound protects streaming runs from a stalled monitor; in
+    // batch mode the queue only holds retired threads' chunks (already
+    // bounded per thread) and collect() must still see all of them.
+    if (Opts.StreamChunks && Opts.MaxQueuedChunks &&
+        SealedQueue.size() >= Opts.MaxQueuedChunks) {
+      Evicted = SealedQueue.front().size();
+      QueueDropped += Evicted;
+      Recycled = std::move(SealedQueue.front());
+      SealedQueue.pop_front();
+    } else if (!FreeChunks.empty()) {
+      Recycled = std::move(FreeChunks.back());
+      FreeChunks.pop_back();
+    }
+    SealedQueue.push_back(std::move(Chunk));
+  }
+  noteDrop(Evicted);
+  return Recycled;
+}
+
 TraceEvent &TraceRecorder::beginEvent(ThreadBuffer &Buffer, EventKind Kind) {
   if (Buffer.Count == Buffer.Ring.size()) {
-    // Seal the full ring into a chunk and start a fresh one. When bounded
-    // recording drops the oldest chunk, its storage is recycled as the new
-    // ring — steady state then records with no allocation at all, which is
-    // what keeps the record-only mode cheap (a 2+ MB allocate/zero/free
-    // per seal costs page faults and, across threads, the mmap lock).
     std::vector<TraceEvent> Fresh;
-    if (Opts.MaxChunksPerThread &&
-        Buffer.Chunks.size() >= Opts.MaxChunksPerThread) {
-      Buffer.Dropped += Buffer.Chunks.front().size();
-      Fresh = std::move(Buffer.Chunks.front());
-      Buffer.Chunks.erase(Buffer.Chunks.begin());
-    } else {
+    if (Opts.StreamChunks) {
+      // Streaming: publish the full ring to the recorder-level queue (one
+      // short lock per RingCapacity events) and reuse whatever storage the
+      // queue handed back.
+      Fresh = pushSealedChunk(std::move(Buffer.Ring));
       Fresh.resize(Opts.RingCapacity);
+    } else {
+      // Batch: seal the full ring into a per-thread chunk. When bounded
+      // recording drops the oldest chunk, its storage is recycled as the
+      // new ring — steady state then records with no allocation at all,
+      // which is what keeps the record-only mode cheap (a 2+ MB
+      // allocate/zero/free per seal costs page faults and, across threads,
+      // the mmap lock). A thread that never flushes is backstopped by
+      // HardChunkCap even in "unbounded" mode.
+      size_t Cap = Opts.MaxChunksPerThread
+                       ? Opts.MaxChunksPerThread
+                       : (Opts.HardChunkCap ? Opts.HardChunkCap : 1);
+      if (Buffer.Chunks.size() >= Cap) {
+        noteDrop(Buffer.Chunks.front().size());
+        Fresh = std::move(Buffer.Chunks.front());
+        Buffer.Chunks.erase(Buffer.Chunks.begin());
+      } else {
+        Fresh.resize(Opts.RingCapacity);
+      }
+      Buffer.Chunks.push_back(std::move(Buffer.Ring));
     }
-    Buffer.Chunks.push_back(std::move(Buffer.Ring));
     Buffer.Ring = std::move(Fresh);
     Buffer.Count = 0;
   }
@@ -366,37 +426,34 @@ void TraceRecorder::onNativeExit(jvm::MethodInfo &Method, JNIEnv *Env,
 // Collection
 //===----------------------------------------------------------------------===
 
-Trace TraceRecorder::collect() {
-  // Calibrate the tick unit against the monotonic clock over the whole
-  // recording span, then convert every stamped tick count to nanoseconds.
-  // The conversion is a monotonic scaling, so it cannot perturb the merge
-  // order.
-  uint64_t ElapsedTicks = readTicks() - StartTicks;
-  uint64_t ElapsedNs = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
-  double NsPerTick =
-      ElapsedTicks ? static_cast<double>(ElapsedNs) /
-                         static_cast<double>(ElapsedTicks)
-                   : 1.0;
-
-  Trace Out;
-  Out.Head.NativeFrameCapacity = Vm.options().NativeFrameCapacity;
-  {
-    std::lock_guard<std::mutex> Lock(RegistryMu);
-    for (const std::unique_ptr<ThreadBuffer> &Buffer : Buffers) {
-      for (const std::vector<TraceEvent> &Chunk : Buffer->Chunks)
-        Out.Events.insert(Out.Events.end(), Chunk.begin(), Chunk.end());
-      Out.Events.insert(Out.Events.end(), Buffer->Ring.begin(),
-                        Buffer->Ring.begin() +
-                            static_cast<ptrdiff_t>(Buffer->Count));
-      Out.Head.DroppedEvents += Buffer->Dropped;
-    }
+double TraceRecorder::nsPerTick() {
+  // Calibrate the tick unit against the monotonic clock over the span
+  // recorded so far, once, and cache the factor: every segment of one
+  // recording (incremental drains and the final collect) must use the
+  // *same* monotonic scaling, or cross-segment merge order could invert.
+  std::lock_guard<std::mutex> Lock(CalibMu);
+  if (CachedNsPerTick == 0.0) {
+    uint64_t ElapsedTicks = readTicks() - StartTicks;
+    uint64_t ElapsedNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    CachedNsPerTick = ElapsedTicks
+                          ? static_cast<double>(ElapsedNs) /
+                                static_cast<double>(ElapsedTicks)
+                          : 1.0;
   }
-  for (TraceEvent &Ev : Out.Events)
-    Ev.TimeNs = static_cast<uint64_t>(static_cast<double>(Ev.TimeNs) *
-                                      NsPerTick);
+  return CachedNsPerTick;
+}
+
+void TraceRecorder::convertTicks(std::vector<TraceEvent> &Events) {
+  double Factor = nsPerTick();
+  for (TraceEvent &Ev : Events)
+    Ev.TimeNs =
+        static_cast<uint64_t>(static_cast<double>(Ev.TimeNs) * Factor);
+}
+
+void TraceRecorder::finalizeOrder(Trace &Out) {
   std::sort(Out.Events.begin(), Out.Events.end(),
             [](const TraceEvent &A, const TraceEvent &B) {
               if (A.TimeNs != B.TimeNs)
@@ -408,13 +465,105 @@ Trace TraceRecorder::collect() {
   for (size_t I = 0; I < Out.Events.size(); ++I)
     Out.Events[I].Epoch = I;
   Out.rebuildThreadNames();
+}
+
+Trace TraceRecorder::collect() {
+  Trace Out;
+  Out.Head.NativeFrameCapacity = Vm.options().NativeFrameCapacity;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    for (const std::unique_ptr<ThreadBuffer> &Buffer : Buffers) {
+      for (const std::vector<TraceEvent> &Chunk : Buffer->Chunks)
+        Out.Events.insert(Out.Events.end(), Chunk.begin(), Chunk.end());
+      Out.Events.insert(Out.Events.end(), Buffer->Ring.begin(),
+                        Buffer->Ring.begin() +
+                            static_cast<ptrdiff_t>(Buffer->Count));
+    }
+  }
+  {
+    // Queued-but-undrained chunks (streaming mode, retired threads) are
+    // part of the recording too; copy them non-destructively so a final
+    // "drain then collect" harvest sees each event exactly once and a
+    // collect() without drains still sees everything.
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    for (const std::vector<TraceEvent> &Chunk : SealedQueue)
+      Out.Events.insert(Out.Events.end(), Chunk.begin(), Chunk.end());
+  }
+  Out.Head.DroppedEvents = DroppedTotal.load(std::memory_order_relaxed);
+  convertTicks(Out.Events);
+  finalizeOrder(Out);
   return Out;
 }
 
-uint64_t TraceRecorder::droppedEvents() {
-  uint64_t Dropped = 0;
+Trace TraceRecorder::drainSealed() {
+  Trace Out;
+  Out.Head.NativeFrameCapacity = Vm.options().NativeFrameCapacity;
+  std::deque<std::vector<TraceEvent>> Popped;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Popped.swap(SealedQueue);
+    uint64_t Total = DroppedTotal.load(std::memory_order_relaxed);
+    Out.Head.DroppedEvents = Total - DrainReportedDropped;
+    DrainReportedDropped = Total;
+  }
+  size_t TotalEvents = 0;
+  for (const std::vector<TraceEvent> &Chunk : Popped)
+    TotalEvents += Chunk.size();
+  Out.Events.reserve(TotalEvents);
+  for (std::vector<TraceEvent> &Chunk : Popped)
+    Out.Events.insert(Out.Events.end(), Chunk.begin(), Chunk.end());
+  {
+    // Return the drained storage to the recycle pool; sealing threads pick
+    // it up instead of allocating fresh rings.
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    for (std::vector<TraceEvent> &Chunk : Popped)
+      if (FreeChunks.size() < Opts.MaxQueuedChunks)
+        FreeChunks.push_back(std::move(Chunk));
+  }
+  convertTicks(Out.Events);
+  finalizeOrder(Out);
+  return Out;
+}
+
+void TraceRecorder::retireLocalBuffer() {
+  if (LocalCache.RecorderId != InstanceId)
+    return;
+  auto *Buffer = static_cast<ThreadBuffer *>(LocalCache.Buffer);
+  LocalCache = {};
+  std::unique_ptr<ThreadBuffer> Owned;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    for (auto It = Buffers.begin(); It != Buffers.end(); ++It)
+      if (It->get() == Buffer) {
+        Owned = std::move(*It);
+        Buffers.erase(It);
+        break;
+      }
+  }
+  if (!Owned)
+    return;
+  // Everything the thread buffered moves to the recorder-level queue: the
+  // batch-mode chunks and the partial ring (trimmed to its live prefix).
+  for (std::vector<TraceEvent> &Chunk : Owned->Chunks)
+    pushSealedChunk(std::move(Chunk));
+  Owned->Chunks.clear();
+  if (Owned->Count) {
+    Owned->Ring.resize(Owned->Count);
+    pushSealedChunk(std::move(Owned->Ring));
+    Owned->Ring = {};
+  }
+  Owned->Count = 0;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    FreeBuffers.push_back(std::move(Owned));
+  }
+}
+
+size_t TraceRecorder::liveThreadBuffers() {
   std::lock_guard<std::mutex> Lock(RegistryMu);
-  for (const std::unique_ptr<ThreadBuffer> &Buffer : Buffers)
-    Dropped += Buffer->Dropped;
-  return Dropped;
+  return Buffers.size();
+}
+
+uint64_t TraceRecorder::droppedEvents() {
+  return DroppedTotal.load(std::memory_order_relaxed);
 }

@@ -1,0 +1,294 @@
+//===- workloads/ServerSoak.cpp - Multi-tenant server soak harness -------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ServerSoak.h"
+
+#include "support/Format.h"
+#include "support/Resource.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+using namespace jinn;
+using namespace jinn::workloads;
+
+namespace {
+
+/// Shared "application" state of one soak world, reachable from the
+/// registered native bodies. One slot per tenant.
+struct TenantSlot {
+  jobject Array = nullptr; ///< global ref: shared jintArray + lock object
+};
+
+struct SoakShared {
+  std::vector<TenantSlot> Tenants;
+  jclass ServerClass = nullptr;  ///< global ref
+  jfieldID CounterField = nullptr;
+  std::atomic<uint64_t> JniCalls{0};
+  std::atomic<uint64_t> SeededBugs{0};
+};
+
+/// The native bodies capture a shared_ptr into this registry, keyed by VM
+/// address. Worlds are stack-allocated and addresses recycle, but a fresh
+/// world re-runs prepareSoakWorld (its class is undefined), which replaces
+/// the entry — so a recycled address never sees stale state.
+std::mutex RegistryMu;
+std::map<jvm::Vm *, std::shared_ptr<SoakShared>> &registry() {
+  static std::map<jvm::Vm *, std::shared_ptr<SoakShared>> Map;
+  return Map;
+}
+
+std::shared_ptr<SoakShared> freshShared(jvm::Vm &Vm) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  auto Shared = std::make_shared<SoakShared>();
+  registry()[&Vm] = Shared;
+  return Shared;
+}
+
+std::shared_ptr<SoakShared> sharedFor(jvm::Vm &Vm) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
+  return registry()[&Vm];
+}
+
+/// One request body: OpsPerRequest iterations of the tenant operation mix,
+/// optionally prefixed by the seeded pending-exception bug.
+jvalue handleRequest(SoakShared &Shared, JNIEnv *Env, jclass Cls,
+                     const jvalue *Args) {
+  const JNINativeInterface_ *Fns = Env->functions;
+  const uint32_t Tenant =
+      static_cast<uint32_t>(Args[0].i) %
+      static_cast<uint32_t>(Shared.Tenants.empty() ? 1 : Shared.Tenants.size());
+  const int32_t Ops = Args[1].i;
+  const uint32_t Seed = static_cast<uint32_t>(Args[2].i);
+  const bool Buggy = Args[3].i != 0;
+  TenantSlot &Slot = Shared.Tenants[Tenant];
+  SplitMix64 Rng(0x736f616bULL ^ Seed);
+  uint64_t Calls = 0;
+  jint Acc = 0;
+
+  if (Buggy) {
+    // Seeded Table 1 pitfall 1: raise an exception in Java, ignore it,
+    // call an exception-sensitive JNI function, then clean up. Raw
+    // execution is harmless (the string is created and leaked to the
+    // frame); a sampled thread's ExceptionState machine reports the
+    // NewStringUTF and suppresses it.
+    jmethodID Fault = Fns->GetStaticMethodID(Env, Cls, "fault", "()V");
+    Fns->CallStaticVoidMethodA(Env, Cls, Fault, nullptr);
+    jstring Oops = Fns->NewStringUTF(Env, "soak/after-fault");
+    if (Oops)
+      Fns->DeleteLocalRef(Env, Oops);
+    Fns->ExceptionClear(Env);
+    Calls += 5;
+    Shared.SeededBugs.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  for (int32_t Op = 0; Op < Ops; ++Op) {
+    switch (Rng.next() & 3) {
+    case 0: { // global-ref churn against the shared tenant object
+      jobject Ref = Fns->NewGlobalRef(Env, Slot.Array);
+      Acc += Fns->GetArrayLength(Env, static_cast<jarray>(Ref));
+      Fns->DeleteGlobalRef(Env, Ref);
+      Calls += 3;
+      break;
+    }
+    case 1: { // monitor-guarded counter on the shared class
+      // The simulated VM cannot block a contended MonitorEnter; it returns
+      // JNI_ERR instead, so the guarded section must be skipped (exiting an
+      // unowned monitor would raise IllegalMonitorStateException).
+      if (Fns->MonitorEnter(Env, Slot.Array) == JNI_OK) {
+        jint V = Fns->GetStaticIntField(Env, Cls, Shared.CounterField);
+        Fns->SetStaticIntField(Env, Cls, Shared.CounterField, V + 1);
+        Fns->MonitorExit(Env, Slot.Array);
+        Acc += V;
+        Calls += 4;
+      } else {
+        Calls += 1;
+      }
+      break;
+    }
+    case 2: { // pin the shared tenant array (read-only)
+      jboolean IsCopy = JNI_FALSE;
+      jintArray Arr = static_cast<jintArray>(Slot.Array);
+      jint *Buf = Fns->GetIntArrayElements(Env, Arr, &IsCopy);
+      if (Buf) {
+        Acc += Buf[0];
+        Fns->ReleaseIntArrayElements(Env, Arr, Buf, JNI_ABORT);
+      }
+      Calls += 2;
+      break;
+    }
+    default: { // string marshalling
+      jstring Str = Fns->NewStringUTF(Env, "soak/request-payload");
+      Acc += static_cast<jint>(Fns->GetStringUTFLength(Env, Str));
+      Fns->DeleteLocalRef(Env, Str);
+      Calls += 3;
+      break;
+    }
+    }
+  }
+
+  Shared.JniCalls.fetch_add(Calls, std::memory_order_relaxed);
+  jvalue R;
+  R.i = Acc;
+  return R;
+}
+
+void atomicMax(std::atomic<uint64_t> &Slot, uint64_t Value) {
+  uint64_t Cur = Slot.load(std::memory_order_relaxed);
+  while (Cur < Value &&
+         !Slot.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+void jinn::workloads::prepareSoakWorld(scenarios::ScenarioWorld &World) {
+  if (World.Vm.findClass("soak/Server"))
+    return;
+  auto Shared = freshShared(World.Vm);
+
+  jvm::ClassDef Def;
+  Def.Name = "soak/Server";
+  Def.field("counter", "I", /*IsStatic=*/true);
+  Def.method(
+      "fault", "()V",
+      [](jvm::Vm &V, jvm::JThread &T, const jvm::Value &,
+         const std::vector<jvm::Value> &) {
+        V.throwNew(T, "java/lang/RuntimeException", "tenant fault");
+        return jvm::Value::makeVoid();
+      },
+      /*IsStatic=*/true, "Server.java:9");
+  // handle(tenant, ops, seed, buggy) -> checksum
+  Def.nativeMethod("handle", "(IIII)I", /*IsStatic=*/true, "Server.java:17");
+  World.Vm.defineClass(Def);
+
+  World.Rt.registerNative(
+      World.Vm.findClass("soak/Server"), "handle", "(IIII)I",
+      [Shared](JNIEnv *Env, jobject SelfClass, const jvalue *Args) -> jvalue {
+        return handleRequest(*Shared, Env, static_cast<jclass>(SelfClass),
+                             Args);
+      });
+}
+
+SoakStats jinn::workloads::runServerSoak(scenarios::ScenarioWorld &World,
+                                         const SoakOptions &Opts) {
+  prepareSoakWorld(World);
+  std::shared_ptr<SoakShared> Shared = sharedFor(World.Vm);
+
+  const unsigned Workers = Opts.Workers ? Opts.Workers : 1;
+  const unsigned Tenants = Opts.Tenants ? Opts.Tenants : 1;
+
+  // Per-tenant shared state, created on the main thread: a pinned-capable
+  // int array that doubles as the tenant's lock object.
+  JNIEnv *Env = World.env();
+  const JNINativeInterface_ *Fns = Env->functions;
+  jclass Local = Fns->FindClass(Env, "soak/Server");
+  Shared->ServerClass = static_cast<jclass>(Fns->NewGlobalRef(Env, Local));
+  Shared->CounterField =
+      Fns->GetStaticFieldID(Env, Local, "counter", "I");
+  Fns->DeleteLocalRef(Env, Local);
+  Shared->Tenants.assign(Tenants, TenantSlot{});
+  for (unsigned T = 0; T < Tenants; ++T) {
+    jintArray Arr = Fns->NewIntArray(Env, 64);
+    jint Seeded[4] = {static_cast<jint>(T + 1), 2, 3, 4};
+    Fns->SetIntArrayRegion(Env, Arr, 0, 4, Seeded);
+    Shared->Tenants[T].Array = Fns->NewGlobalRef(Env, Arr);
+    Fns->DeleteLocalRef(Env, Arr);
+  }
+  Shared->JniCalls.store(0, std::memory_order_relaxed);
+  Shared->SeededBugs.store(0, std::memory_order_relaxed);
+
+  const uint64_t ReportsBefore =
+      World.Jinn ? World.Jinn->reporter().reportCount() : 0;
+  jvm::Klass *Kl = World.Vm.findClass("soak/Server");
+  jvm::MethodInfo *Handle = Kl->findMethod("handle", "(IIII)I",
+                                           /*WantStatic=*/true);
+
+  const uint64_t Budget =
+      std::min<uint64_t>(Opts.DurationMs ? Opts.MaxRequests : Opts.Requests,
+                         Opts.MaxRequests);
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(Opts.DurationMs ? Opts.DurationMs : 0);
+
+  std::atomic<uint64_t> Issued{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> PeakRss{currentRssBytes()};
+  JavaVM *Jvm = World.Rt.javaVm();
+
+  const auto StartTime = std::chrono::steady_clock::now();
+  std::vector<std::thread> Pool;
+  Pool.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W) {
+    Pool.emplace_back([&, W] {
+      uint64_t K = 0;
+      while (true) {
+        uint64_t I = Issued.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Budget)
+          break;
+        if (Opts.DurationMs &&
+            std::chrono::steady_clock::now() >= Deadline)
+          break;
+        // Request identity is (worker, k): the thread name — which keys
+        // the sampling stream — the op-mix seed, and the bug placement
+        // all derive from it, so a 1-worker run is fully deterministic.
+        std::string Name = formatString("req-%u-%llu", W,
+                                        static_cast<unsigned long long>(K));
+        JNIEnv *ReqEnv = nullptr;
+        if (Jvm->functions->AttachCurrentThread(Jvm, &ReqEnv, Name.data()) !=
+            JNI_OK)
+          break;
+        uint32_t Seed32 = static_cast<uint32_t>(
+            SplitMix64(Opts.Seed ^ (uint64_t(W) << 32) ^ K).next());
+        bool Buggy = Opts.BugEveryNRequests != 0 &&
+                     (K % Opts.BugEveryNRequests) == 0;
+        std::vector<jvm::Value> Args = {
+            jvm::Value::makeInt(static_cast<int32_t>((W + K) % Tenants)),
+            jvm::Value::makeInt(static_cast<int32_t>(Opts.OpsPerRequest)),
+            jvm::Value::makeInt(static_cast<int32_t>(Seed32 & 0x7fffffff)),
+            jvm::Value::makeInt(Buggy ? 1 : 0)};
+        World.Vm.invoke(*ReqEnv->thread, Handle, jvm::Value::makeNull(),
+                        Args, /*VirtualDispatch=*/false);
+        Jvm->functions->DetachCurrentThread(Jvm);
+        Completed.fetch_add(1, std::memory_order_relaxed);
+        if ((K & 63) == 0)
+          atomicMax(PeakRss, currentRssBytes());
+        ++K;
+      }
+    });
+  }
+  for (std::thread &Worker : Pool)
+    Worker.join();
+  const auto EndTime = std::chrono::steady_clock::now();
+  atomicMax(PeakRss, currentRssBytes());
+
+  // Tear down the tenant state on the main thread so a clean soak retains
+  // no global refs at shutdown (the leak checks stay quiet).
+  for (TenantSlot &Slot : Shared->Tenants) {
+    if (Slot.Array)
+      Fns->DeleteGlobalRef(Env, Slot.Array);
+    Slot.Array = nullptr;
+  }
+  if (Shared->ServerClass) {
+    Fns->DeleteGlobalRef(Env, Shared->ServerClass);
+    Shared->ServerClass = nullptr;
+  }
+
+  SoakStats Stats;
+  Stats.Requests = Completed.load(std::memory_order_relaxed);
+  Stats.JniCalls = Shared->JniCalls.load(std::memory_order_relaxed);
+  Stats.SeededBugs = Shared->SeededBugs.load(std::memory_order_relaxed);
+  Stats.PeakRssBytes = PeakRss.load(std::memory_order_relaxed);
+  Stats.Seconds =
+      std::chrono::duration<double>(EndTime - StartTime).count();
+  if (World.Jinn)
+    Stats.Reports = World.Jinn->reporter().reportCount() - ReportsBefore;
+  return Stats;
+}

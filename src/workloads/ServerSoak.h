@@ -1,0 +1,80 @@
+//===- workloads/ServerSoak.h - Multi-tenant server soak harness ---------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The production-monitoring soak workload: a simulated multi-tenant
+/// server in which a fixed pool of workers churns through thousands of
+/// short-lived *request threads*. Each request attaches to the VM under a
+/// deterministic name ("req-<worker>-<k>"), runs a JNI operation mix
+/// against shared per-tenant state — global-ref churn, monitor-guarded
+/// counters, pinned arrays, string marshalling — and detaches. This is the
+/// attach/detach shape that exercises recorder-buffer retirement, report
+/// retirement, and deterministic per-thread sampling.
+///
+/// A seeded-bug option makes every Nth request of each worker execute the
+/// Table 1 pitfall-1 idiom (call a throwing Java method, ignore the
+/// pending exception, call an exception-sensitive JNI function, then
+/// clear): harmless when executed raw on unsampled threads, reported by
+/// the ExceptionState machine on sampled ones, and always reproducible
+/// offline by replaying the retained trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_WORKLOADS_SERVERSOAK_H
+#define JINN_WORKLOADS_SERVERSOAK_H
+
+#include "scenarios/Scenarios.h"
+
+#include <cstdint>
+
+namespace jinn::workloads {
+
+struct SoakOptions {
+  /// Concurrent worker loops (each runs one request thread at a time).
+  unsigned Workers = 4;
+  /// Total requests across all workers (ignored when DurationMs is set).
+  uint64_t Requests = 2000;
+  /// When nonzero, run under sustained load until the deadline instead of
+  /// a fixed request count (still bounded by MaxRequests).
+  uint64_t DurationMs = 0;
+  /// JNI operation-mix iterations per request.
+  uint64_t OpsPerRequest = 24;
+  /// Distinct tenants sharing global state (>= 1).
+  unsigned Tenants = 4;
+  /// Seeded-bug tenant: every Nth request of each worker runs the
+  /// pending-exception idiom. 0 disables.
+  uint64_t BugEveryNRequests = 0;
+  /// Hard request cap: each request burns one VM thread id and ids are
+  /// never reused, so this stays under the 32k id space with headroom.
+  uint64_t MaxRequests = 24000;
+  /// Root seed for per-request operation mixes.
+  uint64_t Seed = 0x736f616bULL;
+};
+
+struct SoakStats {
+  uint64_t Requests = 0;   ///< requests completed
+  uint64_t JniCalls = 0;   ///< JNI calls issued by request bodies
+  uint64_t SeededBugs = 0; ///< buggy requests executed
+  uint64_t Reports = 0;    ///< reporter delta over the soak (Jinn runs)
+  uint64_t PeakRssBytes = 0;
+  double Seconds = 0;
+};
+
+/// Defines the soak server class and natives in \p World. Idempotent;
+/// runServerSoak calls it.
+void prepareSoakWorld(scenarios::ScenarioWorld &World);
+
+/// Runs the soak to completion and returns aggregate stats. Per-tenant
+/// global state is created before and deleted after the request storm, so
+/// a clean run leaks nothing. Deterministic for fixed options when
+/// Workers == 1 (request names, op mixes, and bug placement are all
+/// derived from (worker, k)).
+SoakStats runServerSoak(scenarios::ScenarioWorld &World,
+                        const SoakOptions &Opts);
+
+} // namespace jinn::workloads
+
+#endif // JINN_WORKLOADS_SERVERSOAK_H

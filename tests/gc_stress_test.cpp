@@ -103,8 +103,12 @@ TEST(GcStress, ConcurrentAllocatorsVsIncrementalCollector) {
       Jvm->functions->DetachCurrentThread(Jvm);
     });
   std::thread Collector([&] {
-    while (!Done.load(std::memory_order_acquire))
+    // do-while: on a loaded box the workers can all finish before this
+    // thread is first scheduled, and the stats assertions below need at
+    // least one completed cycle.
+    do
       W.Vm.gc();
+    while (!Done.load(std::memory_order_acquire));
   });
   for (std::thread &Th : Threads)
     Th.join();

@@ -70,9 +70,10 @@ TEST(Handle, FieldRangesRoundTripUnderRandomSweep) {
   for (int I = 0; I < 2000; ++I) {
     HandleBits In;
     In.Kind = static_cast<RefKind>(1 + Rng.nextBelow(3));
-    In.Thread = static_cast<uint32_t>(Rng.nextBelow(1 << 12));
-    In.Slot = static_cast<uint32_t>(Rng.nextBelow(1 << 20));
-    In.Gen = static_cast<uint32_t>(Rng.nextBelow(1u << 26));
+    In.Thread = static_cast<uint32_t>(Rng.nextBelow(MaxThreadIds));
+    In.Slot = static_cast<uint32_t>(
+        Rng.nextBelow(handle_detail::SlotMask + 1));
+    In.Gen = static_cast<uint32_t>(Rng.nextBelow(handle_detail::GenMask + 1));
     if (In.Gen == 0)
       In.Gen = 1;
     auto Out = decodeHandle(encodeHandle(In));

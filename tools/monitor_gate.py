@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gates the production-monitoring soak bench (BENCH_monitor_soak.json).
+
+Usage: monitor_gate.py <baseline.json> <fresh.json> [p99-threshold]
+
+Three checks, all on the fresh run:
+
+1. RSS ceiling: "max_peak_rss_mb" must stay under "rss_ceiling_mb" (both
+   are emitted by the bench itself, so the ceiling travels with the run).
+2. p99 latency: the sampled16 p99 crossing latency must not regress more
+   than the threshold (default 1.25x) against the committed baseline.
+   Skipped with a note when either side lacks the entry or the baseline
+   is zero (e.g. a run too short to pair any crossings).
+3. Detection floor: the seeded-bug tenant must yield at least one report
+   at sampling rate 16 ("reports_n16" > 0), and when the bench emitted a
+   "replay_verified" flag it must be "true".
+
+Exit codes: 0 pass, 1 gate failure, 2 usage or unreadable/malformed input.
+"""
+import json
+import sys
+
+P99_KEY = "sampled16/p99_crossing_ns"
+
+
+def load_entries(path):
+    """Returns {name: value} (numeric or string); exits 2 on bad input."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as err:
+        print("monitor_gate: cannot read %s: %s" % (path, err),
+              file=sys.stderr)
+        sys.exit(2)
+    except ValueError as err:
+        print("monitor_gate: %s is not valid JSON: %s" % (path, err),
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or not isinstance(doc.get("results"), list):
+        print("monitor_gate: %s has no \"results\" array" % path,
+              file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for entry in doc["results"]:
+        if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+            out[entry["name"]] = entry.get("value")
+    return out
+
+
+def number(entries, name):
+    try:
+        return float(entries[name])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 1.25
+    except ValueError:
+        print("monitor_gate: threshold %r is not a number" % sys.argv[3],
+              file=sys.stderr)
+        return 2
+    base = load_entries(sys.argv[1])
+    fresh = load_entries(sys.argv[2])
+    failures = []
+
+    rss = number(fresh, "max_peak_rss_mb")
+    ceiling = number(fresh, "rss_ceiling_mb")
+    if rss is None or ceiling is None:
+        failures.append("fresh run lacks max_peak_rss_mb/rss_ceiling_mb")
+    elif rss >= ceiling:
+        failures.append("soak RSS %.1f MB breached the %.0f MB ceiling"
+                        % (rss, ceiling))
+
+    base_p99 = number(base, P99_KEY)
+    fresh_p99 = number(fresh, P99_KEY)
+    if base_p99 is None or fresh_p99 is None:
+        print("monitor_gate: note: %s missing on one side, p99 not gated"
+              % P99_KEY, file=sys.stderr)
+    elif base_p99 <= 0:
+        print("monitor_gate: note: baseline %s is %g, p99 not gated"
+              % (P99_KEY, base_p99), file=sys.stderr)
+    elif fresh_p99 > threshold * base_p99:
+        failures.append(
+            "%s: %.0f ns vs baseline %.0f ns (%.0f%%, limit %.0f%%)"
+            % (P99_KEY, fresh_p99, base_p99, 100 * fresh_p99 / base_p99,
+               100 * threshold))
+
+    reports_n16 = number(fresh, "reports_n16")
+    if reports_n16 is None:
+        failures.append("fresh run lacks reports_n16")
+    elif reports_n16 <= 0:
+        failures.append("seeded-bug tenant yielded zero reports at N=16")
+
+    verified = fresh.get("replay_verified")
+    if isinstance(verified, str) and verified != "true":
+        failures.append("sampled reports did not replay from the retained "
+                        "segments (replay_verified=%s)" % verified)
+
+    for failure in failures:
+        print("monitor_gate: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ BENCHES="bench_table1_pitfalls bench_table2_constraints \
 bench_table3_overhead bench_coverage bench_fig9_messages \
 bench_fig10_localrefs bench_synthesis_loc bench_ablation_machines \
 bench_mt_scaling bench_pyc_checker bench_trace_modes \
-bench_speclint_elision"
+bench_speclint_elision bench_monitor_soak"
 if [ -n "${JINN_BENCH_ONLY:-}" ]; then
   BENCHES=$JINN_BENCH_ONLY
 fi
@@ -73,6 +73,15 @@ for BENCH in $BENCHES; do
       echo "run_benches: $BENCH regressed vs bench/baselines (set" \
            "JINN_BENCH_NO_GATE=1 to bypass)" >&2
       FAILED="$FAILED $BENCH(regression)"
+    fi
+    # The monitoring soak has its own gate on top of the throughput one:
+    # RSS ceiling, sampled p99 latency, and the seeded-bug detection floor.
+    if [ "$BENCH" = "bench_monitor_soak" ]; then
+      if ! python3 "$ROOT/tools/monitor_gate.py" "$BASELINE" "$JSON"; then
+        echo "run_benches: $BENCH failed the monitor gate (set" \
+             "JINN_BENCH_NO_GATE=1 to bypass)" >&2
+        FAILED="$FAILED $BENCH(monitor-gate)"
+      fi
     fi
   fi
 done
