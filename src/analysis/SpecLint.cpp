@@ -54,6 +54,7 @@ public:
       checkStates(Model);
       checkTransitions(Model);
       checkDeterminism(Model);
+      checkPushdown(Model);
     }
     checkDescriptions();
     checkCoverage();
@@ -90,17 +91,7 @@ private:
                            State->c_str()));
     }
 
-    std::set<std::string> Reached;
-    if (!Model.StartState.empty()) {
-      Reached.insert(Model.StartState);
-      bool Changed = true;
-      while (Changed) {
-        Changed = false;
-        for (const TransitionModel &T : Model.Transitions)
-          if (Reached.count(T.From) && Reached.insert(T.To).second)
-            Changed = true;
-      }
-    }
+    std::set<std::string> Reached = reachableStates(Model);
     for (const std::string &State : Model.States) {
       if (Reached.count(State))
         continue;
@@ -141,6 +132,103 @@ private:
                            Model.Universe->size(),
                            Model.Universe->Name.c_str()));
     }
+  }
+
+  /// Pushdown facility checks. A machine with a declared CounterSpec is a
+  /// one-counter pushdown system: Push/Pop-annotated transitions move the
+  /// counter, targets named "Error: ..." carry the implicit guards
+  /// (pop-at-zero, push-at-bound). The passes flag specs whose counter can
+  /// never balance:
+  ///
+  ///   undeclared-counter     a Push/Pop on a machine without a CounterSpec
+  ///   underflow-on-epsilon   a Pop on an epsilon transition: VM-internal
+  ///                          bookkeeping would decrement with no hook site
+  ///                          to guard zero
+  ///   unmatched-pop          reachable pops but no reachable non-error
+  ///                          push: the guarded pop can never fire and
+  ///                          every pop underflows
+  ///   unmatched-push         reachable non-error pushes but no non-error
+  ///                          pop: the counter only grows
+  ///   unbounded-counter      Bound == 0: the abstract domain cannot widen
+  ///                          to a finite interval and the dynamic shadow
+  ///                          has no overflow backstop
+  void checkPushdown(const MachineModel &Model) {
+    std::set<std::string> Reached = reachableStates(Model);
+    size_t Pushes = 0, Pops = 0;
+    size_t PushesToError = 0, PopsToError = 0;
+    for (const TransitionModel &T : Model.Transitions) {
+      if (T.Counter == spec::CounterOp::None)
+        continue;
+      if (!Model.hasCounter()) {
+        add(Severity::Error, "pushdown/undeclared-counter", Model.Name,
+            formatString("transition #%zu (%s -> %s) declares counter op "
+                         "\"%s\" but the machine declares no counter",
+                         T.Index, T.From.c_str(), T.To.c_str(),
+                         spec::counterOpName(T.Counter)));
+        continue;
+      }
+      if (T.Epsilon && T.Counter == spec::CounterOp::Pop) {
+        add(Severity::Error, "pushdown/underflow-on-epsilon", Model.Name,
+            formatString("transition #%zu (%s -> %s) pops counter \"%s\" on "
+                         "an epsilon transition; there is no hook site to "
+                         "guard against underflow",
+                         T.Index, T.From.c_str(), T.To.c_str(),
+                         Model.Counter.Name.c_str()));
+        continue;
+      }
+      if (!Reached.count(T.From) && !isErrorState(T.From))
+        continue; // unreachable moves are covered by the reachability pass
+      bool ErrorTarget = isErrorState(T.To);
+      if (T.Counter == spec::CounterOp::Push) {
+        ++Pushes;
+        PushesToError += ErrorTarget;
+      } else {
+        ++Pops;
+        PopsToError += ErrorTarget;
+      }
+    }
+    if (!Model.hasCounter())
+      return;
+    if (Pops > 0 && Pushes - PushesToError == 0)
+      add(Severity::Error, "pushdown/unmatched-pop", Model.Name,
+          formatString("counter \"%s\" is popped by %zu reachable "
+                       "transition(s) but pushed by none: the guarded pop "
+                       "can never fire and every pop underflows",
+                       Model.Counter.Name.c_str(), Pops));
+    if (Pushes - PushesToError > 0 && Pops - PopsToError == 0)
+      add(Severity::Warning, "pushdown/unmatched-push", Model.Name,
+          formatString("counter \"%s\" is pushed by %zu reachable "
+                       "transition(s) but popped by none: the counter can "
+                       "only grow",
+                       Model.Counter.Name.c_str(),
+                       Pushes - PushesToError));
+    if (Pushes + Pops == 0)
+      add(Severity::Warning, "pushdown/unused-counter", Model.Name,
+          formatString("counter \"%s\" is declared but no reachable "
+                       "transition moves it",
+                       Model.Counter.Name.c_str()));
+    if (Model.Counter.Bound == 0)
+      add(Severity::Warning, "pushdown/unbounded-counter", Model.Name,
+          formatString("counter \"%s\" declares no bound; the abstract "
+                       "interpreter cannot widen it to a finite interval "
+                       "and the dynamic shadow has no overflow backstop",
+                       Model.Counter.Name.c_str()));
+  }
+
+  /// The flood fill checkStates() uses, shared with the pushdown pass.
+  static std::set<std::string> reachableStates(const MachineModel &Model) {
+    std::set<std::string> Reached;
+    if (Model.StartState.empty())
+      return Reached;
+    Reached.insert(Model.StartState);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const TransitionModel &T : Model.Transitions)
+        if (Reached.count(T.From) && Reached.insert(T.To).second)
+          Changed = true;
+    }
+    return Reached;
   }
 
   static bool triggersOverlap(const TriggerModel &A, const TriggerModel &B) {
@@ -239,6 +327,22 @@ private:
     if (!Matrix.Universe)
       return;
     size_t N = Matrix.Universe->size();
+
+    // Machine-level blind spot: a machine observing no function in this
+    // universe at any site is silently inert — its checks can never fire.
+    // Reported identically for the JNI and Python/C universes (epsilon
+    // bookkeeping alone does not make a machine observable).
+    for (size_t M = 0; M < Matrix.Machines.size(); ++M) {
+      const MachineRelevance &Row = Matrix.Machines[M];
+      if (!Row.Pre.empty() || !Row.Post.empty() ||
+          Row.NativeEntryTriggers + Row.NativeExitTriggers > 0)
+        continue;
+      add(Severity::Error, "coverage/inert-machine", Row.Machine,
+          formatString("machine matches zero of the %zu %s functions at "
+                       "every language transition; none of its checks can "
+                       "ever fire",
+                       N, Matrix.Universe->Name.c_str()));
+    }
     std::vector<std::string> Blind;
     for (size_t I = 0; I < N; ++I)
       if (!Matrix.Any.test(I))

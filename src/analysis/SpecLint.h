@@ -18,7 +18,14 @@
 ///                  language-transition point with different non-error
 ///                  targets (guarded checks into "Error: *" states are the
 ///                  specification idiom, not nondeterminism)
-///   coverage       blind spots: functions no machine observes at all
+///   pushdown       counter sanity for machines with a declared
+///                  CounterSpec: pops without reachable pushes (permanent
+///                  underflow), pushes without pops (monotone growth),
+///                  pops on epsilon transitions (no hook site guards
+///                  zero), and unbounded counters
+///   coverage       blind spots: functions no machine observes at all,
+///                  and machines observing no function at all (inert in
+///                  their universe)
 ///   consistency    selector Description strings reused for different
 ///                  match sets; SynthesisStats re-derived from the
 ///                  relevance matrix and compared to what Algorithm 1

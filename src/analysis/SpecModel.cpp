@@ -47,6 +47,7 @@ MachineModel jinn::analysis::buildModel(const spec::StateMachineSpec &Spec) {
   Model.States = Spec.States;
   if (!Spec.States.empty())
     Model.StartState = Spec.States.front();
+  Model.Counter = Spec.Counter;
 
   for (size_t I = 0; I < Spec.Transitions.size(); ++I) {
     const spec::StateTransition &Transition = Spec.Transitions[I];
@@ -56,6 +57,8 @@ MachineModel jinn::analysis::buildModel(const spec::StateMachineSpec &Spec) {
     T.Index = I;
     T.HasAction = static_cast<bool>(Transition.Action);
     T.Epsilon = Transition.At.empty() && !T.HasAction;
+    T.Counter = Transition.Counter;
+    T.Violation = Transition.Violation;
     for (const spec::LanguageTransition &Lang : Transition.At) {
       TriggerModel Trigger;
       Trigger.Dir = Lang.Dir;

@@ -117,6 +117,12 @@ struct TransitionModel {
   /// No triggers and no action: VM-internal bookkeeping declared for
   /// documentation (the exception machine's Cleared<->Pending edges).
   bool Epsilon = false;
+  /// Declared counter move (pushdown machines); None for plain FSM edges.
+  spec::CounterOp Counter = spec::CounterOp::None;
+  /// Declared violation text of a spec-decidable error transition; empty
+  /// for value-dependent checks (analysis/verify synthesizes reports only
+  /// from declared texts).
+  std::string Violation;
   std::vector<TriggerModel> Triggers;
 };
 
@@ -127,6 +133,10 @@ struct MachineModel {
   std::vector<std::string> States;
   std::string StartState; ///< States[0] by the spec convention
   std::vector<TransitionModel> Transitions;
+  /// The machine's declared bounded counter (empty name = plain FSM).
+  spec::CounterSpec Counter;
+
+  bool hasCounter() const { return Counter.declared(); }
 };
 
 /// Loads one JNI machine spec (resolving selectors over jniUniverse()).

@@ -1,0 +1,123 @@
+//===- analysis/verify/Cfg.h - Client crossing-program CFG IR ------------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation jinn-verify interprets: a client program
+/// reduced to its FFI crossings. Every JNI call, native-method boundary,
+/// and program termination becomes a CrossEvent; basic blocks hold event
+/// runs and successor edges model the client's branches and loops. Lifted
+/// traces (Lift.h) are straight-line, one block; the example harnesses
+/// (Examples.h) and tests build branching/looping CFGs by hand through
+/// CfgBuilder.
+///
+/// Value-dependent checks (which reference is dangling, which field is
+/// final) cannot be decided from the crossing sequence alone, so events
+/// carry Witnessed reports: violations a recorded execution of this exact
+/// program pinned to the crossing. The abstract interpreter takes
+/// value-dependent error transitions only through these; the
+/// counter-guarded pushdown checks it decides itself from the interval
+/// domain, and the two derivations are cross-validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_ANALYSIS_VERIFY_CFG_H
+#define JINN_ANALYSIS_VERIFY_CFG_H
+
+#include "jinn/Report.h"
+#include "jni/JniFunctionId.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jinn::analysis::verify {
+
+/// One FFI crossing of the client program.
+struct CrossEvent {
+  enum class Kind : uint8_t {
+    Call,        ///< a JNI function call (pre, then post iff Success)
+    NativeEntry, ///< Java entered a native method
+    NativeExit,  ///< a native method returned to Java
+    End,         ///< program termination (end-of-run checks fire here)
+  };
+
+  Kind K = Kind::Call;
+  jni::FnId Fn = jni::FnId::Count; ///< Call events only
+
+  /// Whether the call completed and its post hooks ran: false for calls a
+  /// checker suppressed (no post event in the trace) and for failed
+  /// acquires (PushLocalFrame/MonitorEnter/MonitorExit returning an error
+  /// status, Get*Critical returning null). Post-phase counter moves are
+  /// gated on this, exactly as the dynamic actions gate on the return
+  /// value.
+  bool Success = true;
+
+  /// Violations a recorded execution witnessed at this crossing (empty for
+  /// hand-built harness CFGs). Full JinnReport records, byte-identical to
+  /// the dynamic reporter's.
+  std::vector<agent::JinnReport> Witnessed;
+};
+
+/// A run of crossings with no internal control flow.
+struct BasicBlock {
+  std::vector<CrossEvent> Events;
+  std::vector<size_t> Succs; ///< indices into ClientCfg::Blocks; empty = exit
+};
+
+/// A whole client crossing program.
+struct ClientCfg {
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+  size_t Entry = 0;
+
+  bool isExit(size_t Block) const { return Blocks[Block].Succs.empty(); }
+};
+
+/// Convenience builder for harness programs and tests.
+class CfgBuilder {
+public:
+  explicit CfgBuilder(std::string Name) { Cfg.Name = std::move(Name); }
+
+  /// Appends an empty block, returning its index.
+  size_t block() {
+    Cfg.Blocks.emplace_back();
+    return Cfg.Blocks.size() - 1;
+  }
+
+  /// Appends a JNI call event to block \p B.
+  CfgBuilder &call(size_t B, jni::FnId Fn, bool Success = true) {
+    CrossEvent Ev;
+    Ev.K = CrossEvent::Kind::Call;
+    Ev.Fn = Fn;
+    Ev.Success = Success;
+    Cfg.Blocks[B].Events.push_back(std::move(Ev));
+    return *this;
+  }
+
+  /// Appends a termination event to block \p B.
+  CfgBuilder &end(size_t B) {
+    CrossEvent Ev;
+    Ev.K = CrossEvent::Kind::End;
+    Cfg.Blocks[B].Events.push_back(std::move(Ev));
+    return *this;
+  }
+
+  CfgBuilder &edge(size_t From, size_t To) {
+    Cfg.Blocks[From].Succs.push_back(To);
+    return *this;
+  }
+
+  ClientCfg take() { return std::move(Cfg); }
+
+private:
+  ClientCfg Cfg;
+};
+
+} // namespace jinn::analysis::verify
+
+#endif // JINN_ANALYSIS_VERIFY_CFG_H

@@ -1,0 +1,127 @@
+//===- analysis/verify/Examples.cpp - Branching/looping harness programs -===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/verify/Examples.h"
+
+using namespace jinn;
+using namespace jinn::analysis::verify;
+using jinn::jni::FnId;
+
+namespace {
+
+std::vector<VerifyExample> buildExamples() {
+  std::vector<VerifyExample> Out;
+
+  // Branch where only one arm over-pops the local-frame stack: the
+  // violation is reachable but not inevitable -> may, not must.
+  {
+    VerifyExample E;
+    CfgBuilder B("branch-may-pop");
+    size_t Entry = B.block(), Buggy = B.block(), Clean = B.block(),
+           Exit = B.block();
+    B.call(Entry, FnId::PushLocalFrame)
+        .edge(Entry, Buggy)
+        .edge(Entry, Clean);
+    B.call(Buggy, FnId::PopLocalFrame).call(Buggy, FnId::PopLocalFrame);
+    B.call(Clean, FnId::PopLocalFrame);
+    B.edge(Buggy, Exit).edge(Clean, Exit);
+    E.Cfg = B.take();
+    E.Machine = "Local-frame nesting";
+    E.ExpectMay = true;
+    Out.push_back(std::move(E));
+  }
+
+  // Both arms over-pop: every path reaches the violation -> must.
+  {
+    VerifyExample E;
+    CfgBuilder B("branch-must-pop");
+    size_t Entry = B.block(), Left = B.block(), Right = B.block(),
+           Exit = B.block();
+    B.call(Entry, FnId::PushLocalFrame)
+        .edge(Entry, Left)
+        .edge(Entry, Right);
+    B.call(Left, FnId::PopLocalFrame).call(Left, FnId::PopLocalFrame);
+    B.call(Right, FnId::PopLocalFrame).call(Right, FnId::PopLocalFrame);
+    B.edge(Left, Exit).edge(Right, Exit);
+    E.Cfg = B.take();
+    E.Machine = "Local-frame nesting";
+    E.ExpectMust = true;
+    Out.push_back(std::move(E));
+  }
+
+  // A balanced push/pop loop: the fixpoint converges exactly (the
+  // back-edge re-delivers the entry interval) and no report fires.
+  {
+    VerifyExample E;
+    CfgBuilder B("loop-balanced-frames");
+    size_t Entry = B.block(), Body = B.block(), Exit = B.block();
+    B.edge(Entry, Body);
+    B.call(Body, FnId::PushLocalFrame).call(Body, FnId::PopLocalFrame);
+    B.edge(Body, Body).edge(Body, Exit);
+    E.Cfg = B.take();
+    Out.push_back(std::move(E));
+  }
+
+  // A loop that keeps pushing frames without popping: the interval grows
+  // each iteration until widening jumps it to [0, Bound], after which the
+  // fixpoint closes. The frame machine declares no push-side violation,
+  // so no report may appear.
+  {
+    VerifyExample E;
+    CfgBuilder B("loop-widen-frame-growth");
+    size_t Entry = B.block(), Body = B.block(), Exit = B.block();
+    B.edge(Entry, Body);
+    B.call(Body, FnId::PushLocalFrame);
+    B.edge(Body, Body).edge(Body, Exit);
+    E.Cfg = B.take();
+    E.ExpectWidening = true;
+    Out.push_back(std::move(E));
+  }
+
+  // A critical-section acquire inside a loop: the second trip around
+  // acquires inside the still-open section. Every path to exit passes the
+  // loop body at least twice, so the nested acquire is a must-bug.
+  {
+    VerifyExample E;
+    CfgBuilder B("loop-nested-critical");
+    size_t Entry = B.block(), Body = B.block(), Exit = B.block();
+    B.call(Entry, FnId::GetPrimitiveArrayCritical).edge(Entry, Body);
+    B.call(Body, FnId::GetPrimitiveArrayCritical);
+    B.edge(Body, Body).edge(Body, Exit);
+    E.Cfg = B.take();
+    E.Machine = "Critical-section nesting";
+    E.ExpectMust = true;
+    Out.push_back(std::move(E));
+  }
+
+  // Monitor balance across a diamond: one arm exits the monitor twice.
+  {
+    VerifyExample E;
+    CfgBuilder B("branch-may-monitor-exit");
+    size_t Entry = B.block(), Buggy = B.block(), Clean = B.block(),
+           Exit = B.block();
+    B.call(Entry, FnId::MonitorEnter)
+        .edge(Entry, Buggy)
+        .edge(Entry, Clean);
+    B.call(Buggy, FnId::MonitorExit).call(Buggy, FnId::MonitorExit);
+    B.call(Clean, FnId::MonitorExit);
+    B.edge(Buggy, Exit).edge(Clean, Exit);
+    E.Cfg = B.take();
+    E.Machine = "Monitor balance";
+    E.ExpectMay = true;
+    Out.push_back(std::move(E));
+  }
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<VerifyExample> &
+jinn::analysis::verify::verifyExamples() {
+  static const std::vector<VerifyExample> Examples = buildExamples();
+  return Examples;
+}

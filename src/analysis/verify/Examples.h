@@ -1,0 +1,42 @@
+//===- analysis/verify/Examples.h - Branching/looping harness programs ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-built crossing programs exercising the parts of the abstract
+/// domain straight-line lifted traces cannot: branch joins (may vs must
+/// classification), loop fixpoints, and interval widening. Each example
+/// declares the verdict it expects, so the CLI and tests drive the whole
+/// set uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_ANALYSIS_VERIFY_EXAMPLES_H
+#define JINN_ANALYSIS_VERIFY_EXAMPLES_H
+
+#include "analysis/verify/Cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::analysis::verify {
+
+/// One harness program with its expected classification.
+struct VerifyExample {
+  ClientCfg Cfg;
+  /// Machine a report is expected from ("" = no report expected).
+  std::string Machine;
+  bool ExpectMust = false;
+  bool ExpectMay = false;
+  /// The example exists to exercise widening; the verdict must show it.
+  bool ExpectWidening = false;
+};
+
+/// The example set (built once).
+const std::vector<VerifyExample> &verifyExamples();
+
+} // namespace jinn::analysis::verify
+
+#endif // JINN_ANALYSIS_VERIFY_EXAMPLES_H

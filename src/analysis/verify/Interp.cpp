@@ -1,0 +1,550 @@
+//===- analysis/verify/Interp.cpp - Abstract interpretation of crossings -===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/verify/Interp.h"
+
+#include "analysis/SpecLint.h"
+#include "jinn/Machines.h"
+#include "jni/JniFunctionId.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace jinn;
+using namespace jinn::analysis;
+using namespace jinn::analysis::verify;
+
+namespace {
+
+/// Interval top for counters declared unbounded (Bound == 0). Far above
+/// any reachable depth; +1 never overflows because pushes clamp here.
+constexpr uint32_t UnboundedTop = 1u << 20;
+
+/// Block visit count after which joins widen counter intervals to
+/// [0, Bound]. High enough that balanced loops converge exactly first.
+constexpr uint32_t WidenAfterVisits = 4;
+
+/// Config-count cap per block; beyond it same-report configs are hulled.
+constexpr size_t MaxConfigsPerBlock = 64;
+
+//===----------------------------------------------------------------------===
+// Machine plans: the per-machine transfer tables, precomputed from models
+//===----------------------------------------------------------------------===
+
+/// One transition compiled against state indices and direction-split
+/// trigger sets.
+struct CompiledTransition {
+  uint32_t From = 0, To = 0;
+  bool ToError = false;
+  spec::CounterOp Counter = spec::CounterOp::None;
+  std::string Violation;
+  FnSet Pre;  ///< CallCToJava trigger matches
+  FnSet Post; ///< ReturnJavaToC trigger matches
+};
+
+struct MachinePlan {
+  const MachineModel *Model = nullptr;
+  uint32_t NumStates = 0;
+  uint32_t Bound = 0; ///< interval top ([0, Bound] after widening)
+  bool HasCounter = false;
+  /// More than 32 states (none shipped): interpreted state-insensitively.
+  bool Opaque = false;
+  /// Counter-guarded error transitions with declared violation text —
+  /// the spec-decidable checks the interval domain fires on its own.
+  std::vector<CompiledTransition> PreChecks;
+  /// Non-error transitions triggered at pre (state may-moves).
+  std::vector<CompiledTransition> PreMoves;
+  /// Non-error transitions triggered at post (state moves + counter ops).
+  std::vector<CompiledTransition> PostMoves;
+};
+
+MachinePlan compilePlan(const MachineModel &Model) {
+  MachinePlan Plan;
+  Plan.Model = &Model;
+  Plan.NumStates = static_cast<uint32_t>(Model.States.size());
+  Plan.HasCounter = Model.hasCounter();
+  Plan.Bound = Model.Counter.Bound ? Model.Counter.Bound : UnboundedTop;
+  if (Plan.NumStates == 0 || Plan.NumStates > 32) {
+    Plan.Opaque = true;
+    return Plan;
+  }
+
+  auto StateIndex = [&Model](const std::string &Name) -> int {
+    for (size_t I = 0; I < Model.States.size(); ++I)
+      if (Model.States[I] == Name)
+        return static_cast<int>(I);
+    return -1;
+  };
+
+  for (const TransitionModel &T : Model.Transitions) {
+    int From = StateIndex(T.From);
+    int To = StateIndex(T.To);
+    if (From < 0 || To < 0)
+      continue; // malformed edge; speclint reports it
+    CompiledTransition C;
+    C.From = static_cast<uint32_t>(From);
+    C.To = static_cast<uint32_t>(To);
+    C.ToError = isErrorState(T.To);
+    C.Counter = T.Counter;
+    C.Violation = T.Violation;
+    C.Pre = FnSet(jni::NumJniFunctions);
+    C.Post = FnSet(jni::NumJniFunctions);
+    for (const TriggerModel &Trigger : T.Triggers) {
+      if (Trigger.NativeSide)
+        continue; // native-boundary triggers: hint-only (see Interp.h)
+      if (Trigger.Dir == spec::Direction::CallCToJava)
+        C.Pre |= Trigger.Matches;
+      else if (Trigger.Dir == spec::Direction::ReturnJavaToC)
+        C.Post |= Trigger.Matches;
+    }
+
+    if (C.ToError) {
+      // Only counter-guarded checks with declared violation text are
+      // decidable from the crossing sequence; value-dependent error
+      // transitions are taken through Witnessed hints alone.
+      if (Plan.HasCounter && C.Counter != spec::CounterOp::None &&
+          !C.Violation.empty() && !C.Pre.empty())
+        Plan.PreChecks.push_back(std::move(C));
+      continue;
+    }
+    if (!C.Pre.empty()) {
+      CompiledTransition PreC = C;
+      PreC.Post = FnSet(jni::NumJniFunctions);
+      Plan.PreMoves.push_back(std::move(PreC));
+    }
+    if (!C.Post.empty()) {
+      C.Pre = FnSet(jni::NumJniFunctions);
+      Plan.PostMoves.push_back(std::move(C));
+    }
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===
+// Abstract domain
+//===----------------------------------------------------------------------===
+
+/// Per-machine abstraction: a set of possible FSM states plus an interval
+/// abstraction of the declared counter.
+struct MachineAbs {
+  uint32_t States = 1; ///< bitset over model states; start = bit 0
+  uint32_t Lo = 0, Hi = 0;
+
+  bool operator==(const MachineAbs &O) const {
+    return States == O.States && Lo == O.Lo && Hi == O.Hi;
+  }
+  /// Containment: every concrete state this allows, \p O allows too.
+  bool within(const MachineAbs &O) const {
+    return (States & ~O.States) == 0 && Lo >= O.Lo && Hi <= O.Hi;
+  }
+};
+
+/// One abstract configuration of the product machine.
+struct Config {
+  std::vector<MachineAbs> M;
+  std::vector<uint32_t> Reports; ///< sorted unique report-table ids
+
+  bool operator==(const Config &O) const {
+    return Reports == O.Reports && M == O.M;
+  }
+};
+
+bool subsumes(const Config &A, const Config &B) {
+  if (A.Reports != B.Reports)
+    return false;
+  for (size_t I = 0; I < A.M.size(); ++I)
+    if (!B.M[I].within(A.M[I]))
+      return false;
+  return true;
+}
+
+void addReport(Config &C, uint32_t Id) {
+  auto It = std::lower_bound(C.Reports.begin(), C.Reports.end(), Id);
+  if (It == C.Reports.end() || *It != Id)
+    C.Reports.insert(It, Id);
+}
+
+//===----------------------------------------------------------------------===
+// The interpreter
+//===----------------------------------------------------------------------===
+
+class Interpreter {
+public:
+  Interpreter(const ClientCfg &Cfg, const std::vector<MachineModel> &Models)
+      : Cfg(Cfg) {
+    for (const MachineModel &Model : Models)
+      Plans.push_back(compilePlan(Model));
+  }
+
+  Verdict run();
+
+private:
+  const ClientCfg &Cfg;
+  std::vector<MachinePlan> Plans;
+  VerifyStats Stats;
+
+  /// Report table; ids index it, insertion order is first-derivation
+  /// (program) order. Identity is (crossing site, content): the abstract
+  /// derivation and the witnessed hint of one crossing unify to a single
+  /// report, while identical reports at different crossings stay distinct
+  /// (a dynamic run repeats them, so the byte-for-byte diff must too).
+  std::vector<agent::JinnReport> Table;
+  std::vector<uint64_t> TableSites;
+  std::set<uint32_t> AbstractIds;  ///< ids derived by the interval domain
+  std::set<uint32_t> WitnessedIds; ///< ids carried by Witnessed hints
+
+  uint32_t reportId(uint64_t Site, const agent::JinnReport &R) {
+    for (size_t I = 0; I < Table.size(); ++I)
+      if (TableSites[I] == Site && Table[I].Machine == R.Machine &&
+          Table[I].Function == R.Function && Table[I].Message == R.Message &&
+          Table[I].EndOfRun == R.EndOfRun)
+        return static_cast<uint32_t>(I);
+    Table.push_back(R);
+    TableSites.push_back(Site);
+    return static_cast<uint32_t>(Table.size() - 1);
+  }
+
+  Config entryConfig() const {
+    Config C;
+    // StartState is States[0] by the spec convention: bit 0 set, counter
+    // interval [0, 0].
+    C.M.assign(Plans.size(), MachineAbs{});
+    return C;
+  }
+
+  void transferEvent(const Config &In, const CrossEvent &Ev, uint64_t Site,
+                     std::vector<Config> &Out);
+  void transferCall(const Config &In, const CrossEvent &Ev, uint64_t Site,
+                    std::vector<Config> &Out);
+  void applyWitnessed(Config &C, const CrossEvent &Ev, uint64_t Site);
+  void applyPost(Config &C, jni::FnId Fn);
+
+  void capConfigs(std::vector<Config> &Configs);
+  bool joinInto(std::vector<Config> &Dst, Config C, bool Widen);
+};
+
+/// Pre-phase counter-guarded checks plus state moves for one machine, then
+/// the caller advances to the next machine. A firing check aborts the call
+/// (the dynamic reporter's suppression), so later machines' pre hooks and
+/// every post hook are skipped on that branch.
+void Interpreter::transferCall(const Config &In, const CrossEvent &Ev,
+                               uint64_t Site, std::vector<Config> &Out) {
+  size_t Fn = static_cast<size_t>(Ev.Fn);
+
+  struct Branch {
+    Config C;
+    bool Aborted = false;
+  };
+  std::vector<Branch> Cur;
+  Cur.push_back({In, false});
+
+  for (size_t Mi = 0; Mi < Plans.size(); ++Mi) {
+    const MachinePlan &Plan = Plans[Mi];
+    if (Plan.Opaque)
+      continue;
+    std::vector<Branch> Nxt;
+    for (Branch &B : Cur) {
+      if (B.Aborted) {
+        Nxt.push_back(std::move(B));
+        continue;
+      }
+      MachineAbs &A = B.C.M[Mi];
+      bool Dead = false; // check fired on every concrete path of B
+      for (const CompiledTransition &T : Plan.PreChecks) {
+        if (!T.Pre.test(Fn) || !(A.States >> T.From & 1u))
+          continue;
+        bool May, Must;
+        if (T.Counter == spec::CounterOp::Pop) {
+          May = A.Lo == 0;
+          Must = A.Hi == 0;
+        } else {
+          May = A.Hi >= Plan.Bound;
+          Must = A.Lo >= Plan.Bound;
+        }
+        Must = Must && A.States == (1u << T.From);
+        if (!May)
+          continue;
+
+        agent::JinnReport R;
+        R.Machine = Plan.Model->Name;
+        R.Function = jni::fnName(Ev.Fn);
+        R.Message = T.Violation + " in " + R.Function + ".";
+        R.EndOfRun = false;
+        uint32_t Id = reportId(Site, R);
+        AbstractIds.insert(Id);
+
+        Branch Fire;
+        Fire.C = B.C;
+        Fire.Aborted = true;
+        MachineAbs &FA = Fire.C.M[Mi];
+        FA.States = (A.States & ~(1u << T.From)) | (1u << T.To);
+        if (T.Counter == spec::CounterOp::Pop)
+          FA.Lo = FA.Hi = 0;
+        else
+          FA.Lo = FA.Hi = Plan.Bound;
+        addReport(Fire.C, Id);
+        Nxt.push_back(std::move(Fire));
+
+        if (Must) {
+          Dead = true;
+          break;
+        }
+        // Survive branch: the guard did not hold.
+        if (T.Counter == spec::CounterOp::Pop)
+          A.Lo = std::max(A.Lo, 1u);
+        else
+          A.Hi = std::min(A.Hi, Plan.Bound - 1);
+      }
+      if (Dead)
+        continue;
+      uint32_t Add = 0;
+      for (const CompiledTransition &T : Plan.PreMoves)
+        if (T.Pre.test(Fn) && (A.States >> T.From & 1u))
+          Add |= 1u << T.To;
+      A.States |= Add;
+      Nxt.push_back(std::move(B));
+    }
+    Cur = std::move(Nxt);
+  }
+
+  for (Branch &B : Cur) {
+    if (!B.Aborted && Ev.Success)
+      applyPost(B.C, Ev.Fn);
+    applyWitnessed(B.C, Ev, Site);
+    Out.push_back(std::move(B.C));
+  }
+}
+
+void Interpreter::applyPost(Config &C, jni::FnId FnId) {
+  size_t Fn = static_cast<size_t>(FnId);
+  for (size_t Mi = 0; Mi < Plans.size(); ++Mi) {
+    const MachinePlan &Plan = Plans[Mi];
+    if (Plan.Opaque)
+      continue;
+    MachineAbs &A = C.M[Mi];
+    uint32_t Add = 0;
+    for (const CompiledTransition &T : Plan.PostMoves) {
+      if (!T.Post.test(Fn) || !(A.States >> T.From & 1u))
+        continue;
+      Add |= 1u << T.To;
+      // Counter moves mirror the dynamic actions exactly: pushes clamp at
+      // the bound, pops are guarded at zero.
+      if (T.Counter == spec::CounterOp::Push) {
+        A.Lo = std::min(A.Lo + 1, Plan.Bound);
+        A.Hi = std::min(A.Hi + 1, Plan.Bound);
+      } else if (T.Counter == spec::CounterOp::Pop) {
+        A.Lo = A.Lo ? A.Lo - 1 : 0;
+        A.Hi = A.Hi ? A.Hi - 1 : 0;
+      }
+    }
+    A.States |= Add;
+  }
+}
+
+/// Witnessed reports join every configuration passing the event; the named
+/// machine is additionally allowed into its error states (value-dependent
+/// firings the crossing sequence cannot decide).
+void Interpreter::applyWitnessed(Config &C, const CrossEvent &Ev,
+                                 uint64_t Site) {
+  for (const agent::JinnReport &W : Ev.Witnessed) {
+    uint32_t Id = reportId(Site, W);
+    WitnessedIds.insert(Id);
+    addReport(C, Id);
+    for (size_t Mi = 0; Mi < Plans.size(); ++Mi) {
+      const MachinePlan &Plan = Plans[Mi];
+      if (Plan.Opaque || Plan.Model->Name != W.Machine)
+        continue;
+      uint32_t ErrorMask = 0;
+      for (size_t S = 0; S < Plan.Model->States.size(); ++S)
+        if (isErrorState(Plan.Model->States[S]))
+          ErrorMask |= 1u << S;
+      C.M[Mi].States |= ErrorMask;
+    }
+  }
+}
+
+void Interpreter::transferEvent(const Config &In, const CrossEvent &Ev,
+                                uint64_t Site, std::vector<Config> &Out) {
+  ++Stats.ConfigsExplored;
+  if (Ev.K == CrossEvent::Kind::Call && Ev.Fn != jni::FnId::Count) {
+    transferCall(In, Ev, Site, Out);
+    return;
+  }
+  // Native boundaries and program termination carry no abstract transfer
+  // in this domain (a documented precision limit); their witnessed
+  // reports still flow.
+  Config C = In;
+  applyWitnessed(C, Ev, Site);
+  Out.push_back(std::move(C));
+}
+
+void Interpreter::capConfigs(std::vector<Config> &Configs) {
+  if (Configs.size() <= MaxConfigsPerBlock)
+    return;
+  // Hull same-report configs pairwise until under the cap.
+  std::vector<Config> Out;
+  for (Config &C : Configs) {
+    bool Absorbed = false;
+    for (Config &D : Out) {
+      if (D.Reports != C.Reports)
+        continue;
+      for (size_t I = 0; I < D.M.size(); ++I) {
+        D.M[I].States |= C.M[I].States;
+        D.M[I].Lo = std::min(D.M[I].Lo, C.M[I].Lo);
+        D.M[I].Hi = std::max(D.M[I].Hi, C.M[I].Hi);
+      }
+      Absorbed = true;
+      ++Stats.MergedConfigs;
+      break;
+    }
+    if (!Absorbed)
+      Out.push_back(std::move(C));
+  }
+  Configs = std::move(Out);
+}
+
+bool Interpreter::joinInto(std::vector<Config> &Dst, Config C, bool Widen) {
+  if (Widen) {
+    bool Widened = false;
+    for (size_t Mi = 0; Mi < Plans.size(); ++Mi) {
+      if (!Plans[Mi].HasCounter)
+        continue;
+      MachineAbs &A = C.M[Mi];
+      if (A.Lo != 0 || A.Hi != Plans[Mi].Bound) {
+        A.Lo = 0;
+        A.Hi = Plans[Mi].Bound;
+        Widened = true;
+      }
+    }
+    if (Widened)
+      ++Stats.Widenings;
+  }
+  for (const Config &D : Dst)
+    if (subsumes(D, C))
+      return false;
+  Dst.erase(std::remove_if(Dst.begin(), Dst.end(),
+                           [&](const Config &D) {
+                             if (!subsumes(C, D))
+                               return false;
+                             ++Stats.MergedConfigs;
+                             return true;
+                           }),
+            Dst.end());
+  Dst.push_back(std::move(C));
+  return true;
+}
+
+Verdict Interpreter::run() {
+  Verdict V;
+  if (Cfg.Blocks.empty())
+    return V;
+
+  std::vector<std::vector<Config>> In(Cfg.Blocks.size());
+  std::vector<uint32_t> Visits(Cfg.Blocks.size(), 0);
+  std::vector<Config> ExitConfigs;
+
+  In[Cfg.Entry].push_back(entryConfig());
+  std::vector<size_t> Worklist{Cfg.Entry};
+
+  while (!Worklist.empty()) {
+    size_t B = Worklist.back();
+    Worklist.pop_back();
+    ++Visits[B];
+    ++Stats.BlockIterations;
+
+    std::vector<Config> Cur = In[B];
+    for (size_t EvIdx = 0; EvIdx < Cfg.Blocks[B].Events.size(); ++EvIdx) {
+      const CrossEvent &Ev = Cfg.Blocks[B].Events[EvIdx];
+      uint64_t Site = (static_cast<uint64_t>(B) << 32) | EvIdx;
+      std::vector<Config> Nxt;
+      for (const Config &C : Cur)
+        transferEvent(C, Ev, Site, Nxt);
+      Cur = std::move(Nxt);
+      capConfigs(Cur);
+    }
+
+    if (Cfg.isExit(B)) {
+      for (Config &C : Cur)
+        joinInto(ExitConfigs, std::move(C), /*Widen=*/false);
+      continue;
+    }
+    for (size_t S : Cfg.Blocks[B].Succs) {
+      bool Widen = Visits[S] >= WidenAfterVisits;
+      bool Changed = false;
+      for (const Config &C : Cur)
+        Changed |= joinInto(In[S], C, Widen);
+      if (Changed &&
+          std::find(Worklist.begin(), Worklist.end(), S) == Worklist.end())
+        Worklist.push_back(S);
+    }
+  }
+
+  // Must = on every exit path, May = on some path only — classified over
+  // content-equivalence groups with multiplicity, because the same
+  // violation reached through different branch arms fires at different
+  // sites (still one inevitable report), while one path repeating a
+  // report (local-overflow loops) repeats it in the dynamic list too.
+  // Per group: must-count = min occurrences over exit configs, any-count
+  // = max; output keeps report-table (first-derivation) order.
+  std::vector<uint32_t> GroupOf(Table.size()), PosInGroup(Table.size());
+  uint32_t NumGroups = 0;
+  for (uint32_t Id = 0; Id < static_cast<uint32_t>(Table.size()); ++Id) {
+    GroupOf[Id] = NumGroups;
+    PosInGroup[Id] = 0;
+    for (uint32_t Prev = 0; Prev < Id; ++Prev)
+      if (Table[Prev].Machine == Table[Id].Machine &&
+          Table[Prev].Function == Table[Id].Function &&
+          Table[Prev].Message == Table[Id].Message &&
+          Table[Prev].EndOfRun == Table[Id].EndOfRun) {
+        GroupOf[Id] = GroupOf[Prev];
+        ++PosInGroup[Id];
+      }
+    if (GroupOf[Id] == NumGroups)
+      ++NumGroups;
+  }
+  std::vector<uint32_t> MustCount(NumGroups, 0), AnyCount(NumGroups, 0);
+  bool First = true;
+  for (const Config &C : ExitConfigs) {
+    std::vector<uint32_t> Count(NumGroups, 0);
+    for (uint32_t Id : C.Reports)
+      ++Count[GroupOf[Id]];
+    for (uint32_t G = 0; G < NumGroups; ++G) {
+      MustCount[G] = First ? Count[G] : std::min(MustCount[G], Count[G]);
+      AnyCount[G] = std::max(AnyCount[G], Count[G]);
+    }
+    First = false;
+  }
+  for (uint32_t Id = 0; Id < static_cast<uint32_t>(Table.size()); ++Id) {
+    if (PosInGroup[Id] < MustCount[GroupOf[Id]])
+      V.Must.push_back(Table[Id]);
+    else if (PosInGroup[Id] < AnyCount[GroupOf[Id]])
+      V.May.push_back(Table[Id]);
+  }
+
+  Stats.AbstractReports = AbstractIds.size();
+  for (uint32_t Id : AbstractIds)
+    if (WitnessedIds.count(Id))
+      ++Stats.AbstractConfirmed;
+  V.Stats = Stats;
+  return V;
+}
+
+} // namespace
+
+Verdict jinn::analysis::verify::verifyCfg(
+    const ClientCfg &Cfg, const std::vector<MachineModel> &Models) {
+  return Interpreter(Cfg, Models).run();
+}
+
+std::vector<MachineModel> jinn::analysis::verify::verifierModels() {
+  agent::MachineSet Machines;
+  std::vector<MachineModel> Models;
+  for (spec::MachineBase *Machine : Machines.all())
+    Models.push_back(buildModel(Machine->spec()));
+  return Models;
+}

@@ -1,0 +1,73 @@
+//===- analysis/verify/Interp.h - Abstract interpretation of crossings ---===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jinn-verify's core: flow-sensitive abstract interpretation of a client
+/// crossing program (Cfg.h) against the product of all SpecModel machines.
+/// Each abstract configuration tracks, per machine, a set of possible FSM
+/// states and an interval abstraction of the declared pushdown counter;
+/// counter-guarded error transitions split configurations at their guards
+/// (fire vs survive), branch joins merge configurations with equal report
+/// sets, and loops run to fixpoint with interval widening to [0, Bound].
+///
+/// Verdicts classify every derivable report as *must* (present on every
+/// path reaching program exit) or *may* (present on some path only), in
+/// JinnReport format with the exact message text the dynamic checker
+/// throws — `<Violation> in <function>.` — so static verdicts diff
+/// byte-for-byte against dynamic oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_ANALYSIS_VERIFY_INTERP_H
+#define JINN_ANALYSIS_VERIFY_INTERP_H
+
+#include "analysis/SpecModel.h"
+#include "analysis/verify/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jinn::analysis::verify {
+
+/// Interpreter instrumentation counters.
+struct VerifyStats {
+  uint64_t ConfigsExplored = 0;  ///< configurations pushed through events
+  uint64_t BlockIterations = 0;  ///< block visits until fixpoint
+  uint64_t Widenings = 0;        ///< intervals widened to [0, Bound]
+  uint64_t MergedConfigs = 0;    ///< configurations absorbed at joins
+  /// Counter-guard reports the interval domain derived on its own, and of
+  /// those, how many a recorded execution also witnessed (cross-validation
+  /// of the abstract derivation against the dynamic oracle).
+  uint64_t AbstractReports = 0;
+  uint64_t AbstractConfirmed = 0;
+};
+
+/// The verdict over one client program.
+struct Verdict {
+  /// Reports present on every path reaching program exit, in first-
+  /// derivation (program) order. Byte-identical to dynamic reports.
+  std::vector<agent::JinnReport> Must;
+  /// Reports present on some but not all exit paths.
+  std::vector<agent::JinnReport> May;
+  VerifyStats Stats;
+
+  bool flagged() const { return !Must.empty() || !May.empty(); }
+};
+
+/// Abstractly executes \p Cfg against \p Models (the product machine).
+/// Models with more than 32 states are interpreted state-insensitively
+/// (their reports can still flow through Witnessed hints); all fourteen
+/// shipped machines are far below that.
+Verdict verifyCfg(const ClientCfg &Cfg,
+                  const std::vector<MachineModel> &Models);
+
+/// Builds the full JNI machine-model set (all fourteen machines, through
+/// the same agent::MachineSet the dynamic checker instantiates).
+std::vector<MachineModel> verifierModels();
+
+} // namespace jinn::analysis::verify
+
+#endif // JINN_ANALYSIS_VERIFY_INTERP_H

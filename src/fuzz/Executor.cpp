@@ -180,6 +180,21 @@ ExecResult jinn::fuzz::runJniSequence(const Sequence &Seq,
   return R;
 }
 
+void jinn::fuzz::runJniSequenceRecorded(
+    const Sequence &Seq,
+    const std::function<void(const trace::Trace &, jvm::Vm &,
+                             const std::vector<agent::JinnReport> &)>
+        &Consume) {
+  scenarios::WorldConfig Config;
+  Config.Checker = scenarios::CheckerKind::Jinn;
+  Config.JinnMode = agent::TraceMode::RecordAndReplay;
+  scenarios::ScenarioWorld World(Config);
+  executeOps(World, Seq);
+  World.shutdown();
+  trace::Trace Recorded = World.Jinn->recorder()->collect();
+  Consume(Recorded, World.Vm, World.Jinn->reporter().reports());
+}
+
 std::string jinn::fuzz::failureClass(const std::string &Failure) {
   if (Failure.find("replay disagreement") != std::string::npos)
     return "replay";

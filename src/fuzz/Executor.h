@@ -31,9 +31,15 @@
 #include "fuzz/Coverage.h"
 #include "fuzz/Generator.h"
 #include "jinn/Report.h"
+#include "trace/TraceEvent.h"
 
+#include <functional>
 #include <string>
 #include <vector>
+
+namespace jinn::jvm {
+class Vm;
+}
 
 namespace jinn::fuzz {
 
@@ -63,6 +69,18 @@ struct ExecResult {
 /// Runs one JNI-domain sequence under the oracle stack.
 ExecResult runJniSequence(const Sequence &Seq,
                           const ExecutorOptions &Opts = {});
+
+/// Runs \p Seq once in a fresh Jinn world in record+replay mode and hands
+/// the recorded boundary trace, the still-live VM, and the inline report
+/// list to \p Consume before the world is torn down (trace entity
+/// identities are process addresses into that world, so the trace must be
+/// consumed — e.g. lifted by the static verifier — while the world
+/// exists).
+void runJniSequenceRecorded(
+    const Sequence &Seq,
+    const std::function<void(const trace::Trace &, jvm::Vm &,
+                             const std::vector<agent::JinnReport> &)>
+        &Consume);
 
 /// Stable category of one failure line: "replay" (record+replay
 /// disagreement), "xcheck" (baseline-agent disagreement), "gating" (op

@@ -38,7 +38,7 @@ struct CampaignOptions {
   /// Extra long-run iterations: each adds one clean walk per focus machine
   /// and one more instance of every bug path at a fresh stream index.
   size_t Iterations = 0;
-  /// Restrict the JNI focus machines (empty = all eleven). Bug ops whose
+  /// Restrict the JNI focus machines (empty = all fourteen). Bug ops whose
   /// Focus is filtered out are skipped with their machine.
   std::vector<std::string> Machines;
   bool RunXcheck = true;
@@ -69,7 +69,7 @@ struct CampaignResult {
   Coverage PyCov; ///< meaningful when Options.RunPython
 };
 
-/// Models of the eleven shipped JNI machines, in MachineSet order.
+/// Models of the fourteen shipped JNI machines, in MachineSet order.
 std::vector<analysis::MachineModel> jniMachineModels();
 
 /// Runs one campaign; deterministic for fixed options.

@@ -28,6 +28,9 @@ static const char PinM[] = "Pinned or copied string or array";
 static const char MonM[] = "Monitor";
 static const char GlobM[] = "Global or weak global reference";
 static const char LocalM[] = "Local reference";
+static const char FrameM[] = "Local-frame nesting";
+static const char MonBalM[] = "Monitor balance";
+static const char CritNestM[] = "Critical-section nesting";
 
 namespace {
 
@@ -117,7 +120,8 @@ std::vector<FuzzOp> buildJniOps() {
     Op.Name = "frame_push";
     Op.Focus = LocalM;
     Op.Closer = "frame_pop";
-    Op.Edges = {{LocalM, 2, FnId::PushLocalFrame, Direction::ReturnJavaToC}};
+    Op.Edges = {{LocalM, 2, FnId::PushLocalFrame, Direction::ReturnJavaToC},
+                {FrameM, 0, FnId::PushLocalFrame, Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) { return S.Frames < 3; };
     Op.Apply = [](ExecState &S) {
       if (S.Env->functions->PushLocalFrame(S.Env, 16) == JNI_OK)
@@ -129,7 +133,8 @@ std::vector<FuzzOp> buildJniOps() {
     FuzzOp Op;
     Op.Name = "frame_pop";
     Op.Focus = LocalM;
-    Op.Edges = {{LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
+    Op.Edges = {{LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava},
+                {FrameM, 1, FnId::PopLocalFrame, Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) { return S.Frames > 0; };
     Op.Apply = [](ExecState &S) {
       S.Env->functions->PopLocalFrame(S.Env, nullptr);
@@ -142,6 +147,47 @@ std::vector<FuzzOp> buildJniOps() {
         }
       }
       --S.Frames;
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "frame_nest";
+    Op.Focus = FrameM;
+    Op.Edges = {{FrameM, 0, FnId::PushLocalFrame, Direction::ReturnJavaToC},
+                {FrameM, 1, FnId::PopLocalFrame, Direction::ReturnJavaToC},
+                {LocalM, 2, FnId::PushLocalFrame, Direction::ReturnJavaToC},
+                {LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
+    Op.Ready = [](const ExecState &S) { return S.Frames == 0; };
+    Op.Apply = [](ExecState &S) {
+      // A balanced nest, self-contained: no tracked locals are created, so
+      // the pops leave the executor's shadow state untouched.
+      if (S.Env->functions->PushLocalFrame(S.Env, 8) != JNI_OK)
+        return;
+      if (S.Env->functions->PushLocalFrame(S.Env, 8) == JNI_OK)
+        S.Env->functions->PopLocalFrame(S.Env, nullptr);
+      S.Env->functions->PopLocalFrame(S.Env, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "monitor_reenter";
+    Op.Focus = MonBalM;
+    Op.Setup = {"slot_array"};
+    Op.Edges = {{MonBalM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC},
+                {MonBalM, 1, FnId::MonitorExit, Direction::ReturnJavaToC},
+                {MonM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC},
+                {MonM, 1, FnId::MonitorExit, Direction::ReturnJavaToC}};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.MonitorHeld; };
+    Op.Apply = [](ExecState &S) {
+      // Recursive entry on the same object is legal JNI; the balance
+      // machine's counter must track the full depth, not a held bit.
+      if (S.Env->functions->MonitorEnter(S.Env, S.Arr) != JNI_OK)
+        return;
+      if (S.Env->functions->MonitorEnter(S.Env, S.Arr) == JNI_OK)
+        S.Env->functions->MonitorExit(S.Env, S.Arr);
+      S.Env->functions->MonitorExit(S.Env, S.Arr);
     };
     Ops.push_back(std::move(Op));
   }
@@ -223,6 +269,8 @@ std::vector<FuzzOp> buildJniOps() {
     Op.Edges = {{CritM, 0, FnId::GetPrimitiveArrayCritical,
                  Direction::ReturnJavaToC},
                 {PinM, 0, FnId::GetPrimitiveArrayCritical,
+                 Direction::ReturnJavaToC},
+                {CritNestM, 0, FnId::GetPrimitiveArrayCritical,
                  Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) {
       return S.Arr && !S.Crit && !S.InCritical;
@@ -244,7 +292,9 @@ std::vector<FuzzOp> buildJniOps() {
     Op.Edges = {{CritM, 1, FnId::ReleasePrimitiveArrayCritical,
                  Direction::CallCToJava},
                 {PinM, 1, FnId::ReleasePrimitiveArrayCritical,
-                 Direction::CallCToJava}};
+                 Direction::CallCToJava},
+                {CritNestM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) { return S.InCritical && S.Crit; };
     Op.Apply = [](ExecState &S) {
       S.Env->functions->ReleasePrimitiveArrayCritical(S.Env, S.Arr, S.Crit,
@@ -260,7 +310,8 @@ std::vector<FuzzOp> buildJniOps() {
     Op.Focus = MonM;
     Op.Setup = {"slot_array"};
     Op.Closer = "monitor_exit";
-    Op.Edges = {{MonM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC}};
+    Op.Edges = {{MonM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC},
+                {MonBalM, 0, FnId::MonitorEnter, Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) { return S.Arr && !S.MonitorHeld; };
     Op.Apply = [](ExecState &S) {
       if (S.Env->functions->MonitorEnter(S.Env, S.Arr) == JNI_OK)
@@ -273,7 +324,8 @@ std::vector<FuzzOp> buildJniOps() {
     Op.Name = "monitor_exit";
     Op.Focus = MonM;
     Op.ExcSafe = true; // MonitorExit is exception-oblivious
-    Op.Edges = {{MonM, 1, FnId::MonitorExit, Direction::ReturnJavaToC}};
+    Op.Edges = {{MonM, 1, FnId::MonitorExit, Direction::ReturnJavaToC},
+                {MonBalM, 1, FnId::MonitorExit, Direction::ReturnJavaToC}};
     Op.Ready = [](const ExecState &S) { return S.Arr && S.MonitorHeld; };
     Op.Apply = [](ExecState &S) {
       S.Env->functions->MonitorExit(S.Env, S.Arr);
@@ -744,14 +796,67 @@ std::vector<FuzzOp> buildJniOps() {
   {
     FuzzOp Op;
     Op.Name = "bug_pop_unbalanced";
-    Op.Focus = LocalM;
+    Op.Focus = FrameM;
     Op.Kind = OpKind::Bug;
-    Op.Edges = {{LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
-    Op.Expect = {LocalM, "PopLocalFrame without a matching PushLocalFrame",
+    Op.Edges = {{FrameM, 2, FnId::PopLocalFrame, Direction::CallCToJava},
+                {LocalM, 7, FnId::PopLocalFrame, Direction::CallCToJava}};
+    Op.Expect = {FrameM, "PopLocalFrame without a matching PushLocalFrame",
                  "PopLocalFrame", false};
     Op.Ready = [](const ExecState &S) { return S.Frames == 0; };
     Op.Apply = [](ExecState &S) {
       S.Env->functions->PopLocalFrame(S.Env, nullptr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_monitor_exit_unmatched";
+    Op.Focus = MonBalM;
+    Op.Kind = OpKind::Bug;
+    Op.ExcSafe = true; // MonitorExit is exception-oblivious
+    Op.Setup = {"slot_array"};
+    Op.Edges = {{MonBalM, 2, FnId::MonitorExit, Direction::CallCToJava}};
+    Op.Expect = {MonBalM, "MonitorExit without a matching JNI MonitorEnter",
+                 "MonitorExit", false};
+    Op.Ready = [](const ExecState &S) { return S.Arr && !S.MonitorHeld; };
+    Op.Apply = [](ExecState &S) {
+      // The thread holds no JNI-entered monitor: the balance machine
+      // aborts the exit before the VM can raise its own
+      // IllegalMonitorStateException.
+      S.Env->functions->MonitorExit(S.Env, S.Arr);
+    };
+    Ops.push_back(std::move(Op));
+  }
+  {
+    FuzzOp Op;
+    Op.Name = "bug_critical_nested";
+    Op.Focus = CritNestM;
+    Op.Kind = OpKind::Bug;
+    Op.CriticalSafe = true;
+    Op.Setup = {"critical_enter"};
+    Op.Edges = {{CritNestM, 2, FnId::GetPrimitiveArrayCritical,
+                 Direction::CallCToJava},
+                {CritM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava},
+                {PinM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::CallCToJava},
+                {CritNestM, 1, FnId::ReleasePrimitiveArrayCritical,
+                 Direction::ReturnJavaToC}};
+    Op.Expect = {CritNestM,
+                 "A critical section was opened inside an open critical "
+                 "section",
+                 "GetPrimitiveArrayCritical", false};
+    Op.Ready = [](const ExecState &S) { return S.InCritical && S.Crit; };
+    Op.Apply = [](ExecState &S) {
+      // BUG: a second critical acquisition inside the open region. Jinn
+      // aborts it, so no inner pin exists; closing the outer region is
+      // legal (release is critical-allowed and exception-oblivious) and
+      // keeps the pin-leak check out of the verdict.
+      S.Env->functions->GetPrimitiveArrayCritical(S.Env, S.Arr, nullptr);
+      S.Env->functions->ReleasePrimitiveArrayCritical(S.Env, S.Arr, S.Crit,
+                                                      0);
+      S.Crit = nullptr;
+      S.InCritical = false;
     };
     Ops.push_back(std::move(Op));
   }

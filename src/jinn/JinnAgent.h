@@ -6,7 +6,7 @@
 ///
 /// \file
 /// Jinn: the synthesized JNI bug detector (paper §4, Figure 5). At load it
-/// defines the custom exception class, instantiates the eleven machine
+/// defines the custom exception class, instantiates the fourteen machine
 /// specifications, runs the synthesizer (Algorithm 1) to install the
 /// context-specific checks, and registers the JVMTI callbacks — native
 /// method wrapping via NativeMethodBind, per-thread machine setup, and the

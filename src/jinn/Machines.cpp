@@ -9,9 +9,11 @@
 using namespace jinn::agent;
 
 std::vector<jinn::spec::MachineBase *> MachineSet::all() {
-  return {&EnvState,      &ExceptionState, &CriticalState, &FixedTyping,
-          &EntityTyping,  &AccessControl,  &Nullness,      &PinnedResource,
-          &Monitor,       &GlobalRef,      &LocalRef};
+  return {&EnvState,         &ExceptionState, &CriticalState,
+          &FixedTyping,      &EntityTyping,   &AccessControl,
+          &Nullness,         &PinnedResource, &Monitor,
+          &GlobalRef,        &LocalRef,       &LocalFrameNesting,
+          &MonitorBalance,   &CriticalNesting};
 }
 
 std::vector<std::pair<const char *, uint64_t>>
@@ -26,5 +28,8 @@ MachineSet::lockAcquireCounts() const {
           {"pinned-resource", PinnedResource.lockAcquires()},
           {"monitor", Monitor.lockAcquires()},
           {"global-ref", GlobalRef.lockAcquires()},
-          {"local-ref", LocalRef.lockAcquires()}};
+          {"local-ref", LocalRef.lockAcquires()},
+          {"local-frame-nesting", LocalFrameNesting.lockAcquires()},
+          {"monitor-balance", MonitorBalance.lockAcquires()},
+          {"critical-nesting", CriticalNesting.lockAcquires()}};
 }

@@ -1,11 +1,12 @@
-//===- jinn/Machines.h - The eleven JNI constraint state machines --------===//
+//===- jinn/Machines.h - The JNI constraint state machines ---------------===//
 //
 // Part of the Jinn reproduction project. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Declarations of the eleven state machines of paper §5 — three
+/// Declarations of the fourteen state machines — the paper §5 eleven plus
+/// three pushdown constraints (ROADMAP item 3) — grouped as three
 /// constraint classes covering the 1,500+ JNI rules:
 ///
 ///   JVM state:  JNIEnv* state, exception state, critical-section state
@@ -293,7 +294,73 @@ private:
   void countChanged(uint32_t ThreadId, const ThreadShadow &Shadow);
 };
 
-/// Convenience: constructs all eleven machines in paper order.
+//===----------------------------------------------------------------------===
+// Pushdown constraints (ROADMAP item 3, beyond the paper's 11 machines)
+//===----------------------------------------------------------------------===
+//
+// Three rules are stack-shaped and need the spec language's bounded
+// counter facility (spec::CounterSpec): a finite state set cannot count
+// how many frames/monitors/criticals are outstanding. Each machine keeps
+// one wait-free per-thread depth word; every transition declares its
+// CounterOp so speclint and the static verifier (analysis/verify) can
+// interpret the counter abstractly. Error ownership is disjoint from the
+// regular machines: LocalRef keeps frame *leaks*, Monitor keeps monitor
+// *leaks*, CriticalState keeps unmatched *releases* and in-critical calls;
+// the pushdown machines own the underflow/nesting violations.
+
+/// Local-frame nesting: every PopLocalFrame must match an earlier
+/// PushLocalFrame on the same thread. Error: unmatched pop. (Frame leaks
+/// at native return stay with the local-reference machine.)
+class LocalFrameNestingMachine : public spec::MachineBase {
+public:
+  LocalFrameNestingMachine();
+  /// Shadow nesting depth for \p ThreadId. Wait-free.
+  int depthOf(uint32_t ThreadId) const {
+    return static_cast<int>(static_cast<int64_t>(Depth.load(ThreadId)));
+  }
+  uint64_t lockAcquires() const { return 0; } ///< lock-free encoding
+
+private:
+  AtomicWordArray Depth; ///< per-thread explicit-frame depth (single-writer)
+};
+
+/// Monitor balance: every JNI MonitorExit must match an earlier JNI
+/// MonitorEnter on the same thread. Error: unmatched exit. (Monitors still
+/// held at termination stay with the monitor machine's leak check.)
+class MonitorBalanceMachine : public spec::MachineBase {
+public:
+  MonitorBalanceMachine();
+  /// Outstanding JNI monitor entries for \p ThreadId. Wait-free.
+  int depthOf(uint32_t ThreadId) const {
+    return static_cast<int>(static_cast<int64_t>(Depth.load(ThreadId)));
+  }
+  uint64_t lockAcquires() const { return 0; } ///< lock-free encoding
+
+private:
+  AtomicWordArray Depth; ///< per-thread JNI entry count (single-writer)
+};
+
+/// Critical-section nesting: a thread must not open a second critical
+/// section (Get*Critical) before releasing the first — the JNI spec allows
+/// no JNI call at all inside a critical region, including the critical
+/// functions themselves. Error: nested critical sections. (Unmatched
+/// releases and non-critical calls inside a region stay with the
+/// critical-section state machine.)
+class CriticalNestingMachine : public spec::MachineBase {
+public:
+  CriticalNestingMachine();
+  /// Shadow critical depth for \p ThreadId. Wait-free.
+  int depthOf(uint32_t ThreadId) const {
+    return static_cast<int>(static_cast<int64_t>(Depth.load(ThreadId)));
+  }
+  uint64_t lockAcquires() const { return 0; } ///< lock-free encoding
+
+private:
+  AtomicWordArray Depth; ///< per-thread critical depth (single-writer)
+};
+
+/// Convenience: constructs all fourteen machines — the paper's eleven in
+/// paper order, then the three pushdown machines.
 struct MachineSet {
   MachineSet() : MachineSet(MachineTuning{}) {}
   explicit MachineSet(const MachineTuning &Tuning)
@@ -311,8 +378,11 @@ struct MachineSet {
   MonitorMachine Monitor;
   GlobalRefMachine GlobalRef;
   LocalRefMachine LocalRef;
+  LocalFrameNestingMachine LocalFrameNesting;
+  MonitorBalanceMachine MonitorBalance;
+  CriticalNestingMachine CriticalNesting;
 
-  /// All machines, in paper order.
+  /// All machines: paper order, then the pushdown machines.
   std::vector<spec::MachineBase *> all();
 
   /// (machine name, lock acquisitions) per machine — the contention proxy

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared-state layouts that let the eleven machines scale with cores
+/// Shared-state layouts that let the fourteen machines scale with cores
 /// instead of serializing every boundary crossing on one mutex per
 /// machine (DESIGN.md §10):
 ///

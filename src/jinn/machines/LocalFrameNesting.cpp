@@ -1,0 +1,76 @@
+//===- jinn/machines/LocalFrameNesting.cpp - Local-frame nesting ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first pushdown machine (ROADMAP item 3): PushLocalFrame and
+/// PopLocalFrame must nest per thread. A finite state set cannot express
+/// "as many pops as pushes", so the machine declares a counter
+/// (spec::CounterSpec) and its transitions declare push/pop moves; the one
+/// live state just says "balanced so far". The dynamic encoding is a
+/// wait-free per-thread depth word.
+///
+/// Error ownership: this machine owns the *underflow* (PopLocalFrame
+/// without a matching push) — transferred here from the local-reference
+/// machine, whose frame shadow now pops silently on underflow. Frame
+/// *leaks* (pushed frames never popped by native return) remain with the
+/// local-reference machine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jinn/machines/MachineUtil.h"
+
+using namespace jinn;
+using namespace jinn::agent;
+using spec::CounterOp;
+
+static const char UnmatchedPopMsg[] =
+    "PopLocalFrame without a matching PushLocalFrame";
+
+LocalFrameNestingMachine::LocalFrameNestingMachine() {
+  Spec.Name = "Local-frame nesting";
+  Spec.ObservedEntity = "A thread's stack of explicitly pushed local frames";
+  Spec.Errors = "Unmatched pop";
+  Spec.Encoding = "A wait-free per-thread count of outstanding "
+                  "PushLocalFrame frames";
+  Spec.States = {"Balanced", "Error: unmatched pop"};
+  Spec.Counter = {"local-frame depth", 64};
+
+  // Push: a successful PushLocalFrame deepens the nesting.
+  Spec.Transitions.push_back(makeTransition(
+      "Balanced", "Balanced",
+      {{FunctionSelector::one(jni::FnId::PushLocalFrame),
+        Direction::ReturnJavaToC}},
+      CounterOp::Push, [this](TransitionContext &Ctx) {
+        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+          return;
+        Depth.fetchAdd(Ctx.threadId(), 1);
+      }));
+
+  // Pop above zero: the matching PopLocalFrame. The decrement runs at the
+  // *return* so it cannot race the underflow check below — an underflowing
+  // pop is aborted at the call and never reaches this hook.
+  Spec.Transitions.push_back(makeTransition(
+      "Balanced", "Balanced",
+      {{FunctionSelector::one(jni::FnId::PopLocalFrame),
+        Direction::ReturnJavaToC}},
+      CounterOp::Pop, [this](TransitionContext &Ctx) {
+        uint32_t Tid = Ctx.threadId();
+        if (static_cast<int64_t>(Depth.load(Tid)) > 0)
+          Depth.fetchAdd(Tid, -1);
+      }));
+
+  // Pop at zero: underflow — there is no frame this pop could match.
+  Spec.Transitions.push_back(makeTransition(
+      "Balanced", "Error: unmatched pop",
+      {{FunctionSelector::one(jni::FnId::PopLocalFrame),
+        Direction::CallCToJava}},
+      CounterOp::Pop, [this](TransitionContext &Ctx) {
+        if (static_cast<int64_t>(Depth.load(Ctx.threadId())) > 0)
+          return;
+        Ctx.reporter().violation(Ctx, Spec, UnmatchedPopMsg);
+      }));
+  Spec.Transitions.back().Violation = UnmatchedPopMsg;
+}

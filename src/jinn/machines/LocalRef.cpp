@@ -319,19 +319,20 @@ LocalRefMachine::LocalRefMachine()
             "DeleteLocalRef of a dead local reference (double free)");
       }));
 
-  // Release at Call:C->Java of PopLocalFrame.
+  // Release at Call:C->Java of PopLocalFrame. The *underflow* (a pop with
+  // no explicit frame to match) is owned by the local-frame nesting
+  // machine — a pushdown rule this machine's finite frame shadow cannot
+  // express in general — so on underflow the shadow simply declines to pop
+  // the base frame and leaves the reporting to that machine, which aborts
+  // the call.
   Spec.Transitions.push_back(makeTransition(
       "Acquired", "Released",
       {{FunctionSelector::one(jni::FnId::PopLocalFrame),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
         ThreadShadow &Shadow = shadowOf(Ctx.threadId());
-        if (Shadow.Frames.empty() || !Shadow.Frames.back().Explicit) {
-          Ctx.reporter().violation(
-              Ctx, Spec,
-              "PopLocalFrame without a matching PushLocalFrame");
+        if (Shadow.Frames.empty() || !Shadow.Frames.back().Explicit)
           return;
-        }
         Shadow.Frames.pop_back();
         countChanged(Ctx.threadId(), Shadow);
       }));

@@ -50,6 +50,20 @@ inline StateTransition makeTransition(std::string From, std::string To,
   return Out;
 }
 
+/// Same, for a transition of a counter-carrying (pushdown) machine: \p Op
+/// declares how the transition moves the machine's counter so the static
+/// passes can interpret it; the action still implements the dynamic
+/// semantics against the machine's own depth encoding.
+inline StateTransition makeTransition(std::string From, std::string To,
+                                      std::vector<LanguageTransition> At,
+                                      spec::CounterOp Op,
+                                      spec::TransitionAction Action) {
+  StateTransition Out = makeTransition(std::move(From), std::move(To),
+                                       std::move(At), std::move(Action));
+  Out.Counter = Op;
+  return Out;
+}
+
 } // namespace jinn::agent
 
 #endif // JINN_JINN_MACHINES_MACHINEUTIL_H

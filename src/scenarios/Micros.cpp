@@ -342,6 +342,74 @@ void microUnterminatedString(ScenarioWorld &W) {
   });
 }
 
+void microPopWithoutPush(ScenarioWorld &W) {
+  W.runAsNative("PopWithoutPush", [](JNIEnv *Env) {
+    Env->functions->PushLocalFrame(Env, 8);
+    Env->functions->PopLocalFrame(Env, nullptr);
+    // BUG: a second pop with no explicitly pushed frame left.
+    Env->functions->PopLocalFrame(Env, nullptr);
+  });
+}
+
+void microPopWithoutPushFixed(ScenarioWorld &W) {
+  W.runAsNative("PopWithoutPushFixed", [](JNIEnv *Env) {
+    Env->functions->PushLocalFrame(Env, 8);
+    Env->functions->PushLocalFrame(Env, 8);
+    Env->functions->NewStringUTF(Env, "inside the nested frame");
+    Env->functions->PopLocalFrame(Env, nullptr);
+    Env->functions->PopLocalFrame(Env, nullptr);
+  });
+}
+
+void microMonitorExitUnmatched(ScenarioWorld &W) {
+  W.runAsNative("MonitorExitUnmatched", [](JNIEnv *Env) {
+    jclass Object = Env->functions->FindClass(Env, "java/lang/Object");
+    jobject Lock = Env->functions->AllocObject(Env, Object);
+    Env->functions->MonitorEnter(Env, Lock);
+    Env->functions->MonitorExit(Env, Lock);
+    // BUG: exits a monitor this thread no longer holds through JNI.
+    Env->functions->MonitorExit(Env, Lock);
+  });
+}
+
+void microMonitorExitUnmatchedFixed(ScenarioWorld &W) {
+  W.runAsNative("MonitorExitUnmatchedFixed", [](JNIEnv *Env) {
+    jclass Object = Env->functions->FindClass(Env, "java/lang/Object");
+    jobject Lock = Env->functions->AllocObject(Env, Object);
+    // Reentrant entry is legal as long as every entry is matched.
+    Env->functions->MonitorEnter(Env, Lock);
+    Env->functions->MonitorEnter(Env, Lock);
+    Env->functions->MonitorExit(Env, Lock);
+    Env->functions->MonitorExit(Env, Lock);
+  });
+}
+
+void microCriticalNested(ScenarioWorld &W) {
+  W.runAsNative("CriticalNested", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 16);
+    void *Outer =
+        Env->functions->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+    // BUG: opens a second critical section inside the first; the JNI
+    // specification forbids nesting them.
+    void *Inner =
+        Env->functions->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+    if (Inner)
+      Env->functions->ReleasePrimitiveArrayCritical(Env, Arr, Inner, 0);
+    Env->functions->ReleasePrimitiveArrayCritical(Env, Arr, Outer, 0);
+  });
+}
+
+void microCriticalNestedFixed(ScenarioWorld &W) {
+  W.runAsNative("CriticalNestedFixed", [](JNIEnv *Env) {
+    jintArray Arr = Env->functions->NewIntArray(Env, 16);
+    jstring Str = Env->functions->NewStringUTF(Env, "sequential");
+    void *A = Env->functions->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+    Env->functions->ReleasePrimitiveArrayCritical(Env, Arr, A, 0);
+    const jchar *S = Env->functions->GetStringCritical(Env, Str, nullptr);
+    Env->functions->ReleaseStringCritical(Env, Str, S);
+  });
+}
+
 } // namespace
 
 void jinn::scenarios::runMicrobenchmark(MicroId Id, ScenarioWorld &World) {
@@ -384,6 +452,18 @@ void jinn::scenarios::runMicrobenchmark(MicroId Id, ScenarioWorld &World) {
     return microCrossThreadLocalUse(World);
   case MicroId::UnterminatedString:
     return microUnterminatedString(World);
+  case MicroId::PopWithoutPush:
+    return microPopWithoutPush(World);
+  case MicroId::PopWithoutPushFixed:
+    return microPopWithoutPushFixed(World);
+  case MicroId::MonitorExitUnmatched:
+    return microMonitorExitUnmatched(World);
+  case MicroId::MonitorExitUnmatchedFixed:
+    return microMonitorExitUnmatchedFixed(World);
+  case MicroId::CriticalNested:
+    return microCriticalNested(World);
+  case MicroId::CriticalNestedFixed:
+    return microCriticalNestedFixed(World);
   case MicroId::Count:
     break;
   }

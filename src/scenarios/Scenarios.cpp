@@ -57,6 +57,21 @@ const std::vector<MicroInfo> &jinn::scenarios::allMicrobenchmarks() {
        13, "uses one thread's local reference from another thread", true},
       {MicroId::UnterminatedString, "UnterminatedString", "(none)", 8,
        "reads past a non-NUL-terminated Unicode buffer", false},
+      {MicroId::PopWithoutPush, "PopWithoutPush", "Local-frame nesting", 12,
+       "PopLocalFrame with no frame left to pop", true},
+      {MicroId::PopWithoutPushFixed, "PopWithoutPushFixed", "(none)", 0,
+       "fixed variant: every PopLocalFrame matches a PushLocalFrame",
+       false},
+      {MicroId::MonitorExitUnmatched, "MonitorExitUnmatched",
+       "Monitor balance", 11,
+       "MonitorExit with no outstanding JNI MonitorEnter", true},
+      {MicroId::MonitorExitUnmatchedFixed, "MonitorExitUnmatchedFixed",
+       "(none)", 0, "fixed variant: reentrant enter/exit kept balanced",
+       false},
+      {MicroId::CriticalNested, "CriticalNested", "Critical-section nesting",
+       16, "opens a critical section inside an open critical section", true},
+      {MicroId::CriticalNestedFixed, "CriticalNestedFixed", "(none)", 0,
+       "fixed variant: the two critical sections run sequentially", false},
   };
   return Micros;
 }

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The evaluation scenarios of paper §6: a suite of small JNI programs,
-/// each designed to trigger one error state of the eleven state machines
+/// each designed to trigger one error state of the fourteen state machines
 /// (the paper's 16 microbenchmarks; this reproduction has 17 detectable
 /// ones because ID/reference confusion is split from dangling references,
 /// plus the boundary-undetectable pitfall 8). The ScenarioWorld runs each
@@ -52,6 +52,12 @@ enum class MicroId : uint8_t {
   IdRefConfusion,     ///< pitfall 6: jmethodID used as a reference
   CrossThreadLocalUse, ///< pitfall 13: a local ref used from another thread
   UnterminatedString, ///< pitfall 8: undetectable at the language boundary
+  PopWithoutPush,     ///< PopLocalFrame with no frame left to pop
+  PopWithoutPushFixed, ///< the same nest, balanced (fixed variant)
+  MonitorExitUnmatched, ///< MonitorExit with no outstanding JNI MonitorEnter
+  MonitorExitUnmatchedFixed, ///< reentrant enter/exit, balanced (fixed)
+  CriticalNested,     ///< Get*Critical inside an open critical section
+  CriticalNestedFixed, ///< sequential critical sections (fixed variant)
   Count,
 };
 

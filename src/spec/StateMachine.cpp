@@ -28,6 +28,18 @@ const char *jinn::spec::directionName(Direction Dir) {
   JINN_UNREACHABLE("invalid Direction");
 }
 
+const char *jinn::spec::counterOpName(CounterOp Op) {
+  switch (Op) {
+  case CounterOp::None:
+    return "none";
+  case CounterOp::Push:
+    return "push";
+  case CounterOp::Pop:
+    return "pop";
+  }
+  JINN_UNREACHABLE("invalid CounterOp");
+}
+
 FunctionSelector FunctionSelector::all(std::string Description) {
   FunctionSelector Out;
   Out.K = Kind::AllJniFunctions;

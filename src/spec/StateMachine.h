@@ -217,6 +217,38 @@ private:
 /// reports violations through the context's Reporter.
 using TransitionAction = std::function<void(TransitionContext &)>;
 
+/// The pushdown extension (ROADMAP item 3, after Ferles et al.): some JNI
+/// rules are stack-shaped — Push/PopLocalFrame nesting, MonitorEnter/Exit
+/// balance, nested critical sections — and cannot be expressed by a finite
+/// state machine alone. A machine may declare one bounded counter (an
+/// abstraction of a stack whose symbols are indistinguishable); transitions
+/// then declare how they move it. The *dynamic* encoding stays inside the
+/// machine's action code (a wait-free per-thread depth word); the
+/// declaration is what makes the rule analyzable: speclint checks
+/// push/pop reachability and boundedness, and the static verifier
+/// (analysis/verify) interprets the counter abstractly with widening to
+/// [0, Bound].
+enum class CounterOp : uint8_t {
+  None, ///< the transition does not touch the counter
+  Push, ///< increments; a Push into an error state fires *at* the bound
+  Pop,  ///< decrements; a Pop into an error state fires at zero (underflow)
+};
+
+const char *counterOpName(CounterOp Op);
+
+/// A machine's declared counter. A default-constructed CounterSpec (empty
+/// name) means "no counter" — the machine is a plain FSM.
+struct CounterSpec {
+  std::string Name; ///< "local-frame depth"
+  /// Static widening cap: the abstract interval domain widens the counter
+  /// to [0, Bound]. 0 declares the counter unbounded, which speclint
+  /// reports as a warning (the abstraction then widens to [0, +inf) and
+  /// loses must-bug precision above zero).
+  uint32_t Bound = 0;
+
+  bool declared() const { return !Name.empty(); }
+};
+
 /// One state transition (sa -> sb) of a machine, with its mapping to
 /// language transitions (Mi.languageTransitionsFor) and its action.
 struct StateTransition {
@@ -224,6 +256,19 @@ struct StateTransition {
   std::string To;
   std::vector<LanguageTransition> At;
   TransitionAction Action;
+  /// How this transition moves the machine's declared counter. The guard
+  /// is implicit in the target state: ops into an error state are the
+  /// boundary violations (Pop at zero, Push at the bound); ops into a
+  /// non-error state are the ordinary moves (Pop when positive, Push below
+  /// the bound).
+  CounterOp Counter = CounterOp::None;
+  /// Violation text for spec-decidable error transitions (the
+  /// counter-guarded checks): the exact message the action passes to
+  /// Reporter::violation. Declaring it here lets the static verifier
+  /// (analysis/verify) synthesize byte-identical reports from the interval
+  /// domain alone. Empty for value-dependent checks, whose messages only
+  /// the action can produce.
+  std::string Violation = {};
 };
 
 /// A full state machine specification.
@@ -235,6 +280,7 @@ public:
   std::string Encoding;       ///< description of the runtime encoding
   std::vector<std::string> States;
   std::vector<StateTransition> Transitions;
+  CounterSpec Counter; ///< the pushdown extension; empty name = no counter
 };
 
 /// How violations are surfaced. Jinn throws jinn.JNIAssertionFailure; the

@@ -68,7 +68,9 @@ ReplayResult jinn::trace::replayTrace(const Trace &T, jvm::Vm &Vm,
   Renv.NativeFrameCapacity = T.Head.NativeFrameCapacity;
   Renv.ThreadNameOf = [&T](uint32_t Id) { return T.threadName(Id); };
 
-  for (const TraceEvent &Ev : T.Events) {
+  size_t Reported = 0;
+  for (size_t EvIndex = 0; EvIndex < T.Events.size(); ++EvIndex) {
+    const TraceEvent &Ev = T.Events[EvIndex];
     ++Result.EventsReplayed;
     switch (Ev.Kind) {
     case EventKind::ThreadAttach: {
@@ -145,6 +147,9 @@ ReplayResult jinn::trace::replayTrace(const Trace &T, jvm::Vm &Vm,
     case EventKind::GcEpoch:
       break; // bookkeeping events; nothing for the machines to check
     }
+    if (Opts.OnReport)
+      for (; Reported < Reporter.Reports.size(); ++Reported)
+        Opts.OnReport(EvIndex, Reporter.Reports[Reported]);
   }
 
   Result.Reports = std::move(Reporter.Reports);

@@ -26,6 +26,7 @@
 #include "jinn/Report.h"
 #include "trace/TraceEvent.h"
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,8 +35,13 @@ namespace jinn::trace {
 
 struct ReplayOptions {
   /// Machine-name filter, same semantics as JinnOptions::EnabledMachines
-  /// (empty = all eleven).
+  /// (empty = all fourteen).
   std::vector<std::string> EnabledMachines;
+  /// When set, invoked once per report as it is produced, with the index
+  /// into Trace::Events of the event being replayed. The static verifier's
+  /// trace lifter uses this to pin each witnessed violation to its
+  /// crossing.
+  std::function<void(size_t, const agent::JinnReport &)> OnReport;
 };
 
 struct ReplayResult {

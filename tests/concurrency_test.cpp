@@ -176,7 +176,18 @@ TEST(Concurrency, MonitorsBalanceAcrossThreads) {
       }
       const JNINativeInterface_ *Fns = Env->functions;
       for (int I = 0; I < 100; ++I) {
-        if (Fns->MonitorEnter(Env, Shared) != JNI_OK) {
+        // The simulator cannot block a logical thread, so a contended
+        // MonitorEnter surfaces as JNI_ERR (with no pending exception);
+        // retry until the owner releases. A bounded spin keeps a genuine
+        // failure from hanging the test.
+        jint Rc = JNI_ERR;
+        for (int Spin = 0; Spin < 100000; ++Spin) {
+          Rc = Fns->MonitorEnter(Env, Shared);
+          if (Rc == JNI_OK || Fns->ExceptionCheck(Env))
+            break;
+          std::this_thread::yield();
+        }
+        if (Rc != JNI_OK) {
           ++Failures;
           continue;
         }

@@ -37,10 +37,10 @@ TEST(JinnAgentOptions, AblatedAgentOnlyRunsSelectedMachines) {
               W.Vm.diags().has(IncidentKind::SimulatedCrash));
 }
 
-TEST(JinnAgentOptions, FullAgentActivatesAllElevenMachines) {
+TEST(JinnAgentOptions, FullAgentActivatesAllFourteenMachines) {
   JinnWorld W;
-  EXPECT_EQ(W.Jinn.activeMachines().size(), 11u);
-  EXPECT_EQ(W.Jinn.stats().MachineCount, 11u);
+  EXPECT_EQ(W.Jinn.activeMachines().size(), 14u);
+  EXPECT_EQ(W.Jinn.stats().MachineCount, 14u);
 }
 
 TEST(JinnAgent, DebuggerHookFiresAtThePointOfFailure) {

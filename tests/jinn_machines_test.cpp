@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Fine-grained positive/negative tests for each of the eleven machines:
+/// Fine-grained positive/negative tests for each of the fourteen machines:
 /// every checked error fires on its trigger, and — just as important —
 /// correct protocols never produce a report (Jinn has no false positives).
 ///
@@ -82,13 +82,13 @@ TEST_F(Machines, Exception_SensitiveCallWhilePendingIsFlagged) {
 // Critical-section state
 //===----------------------------------------------------------------------===
 
-TEST_F(Machines, Critical_NestedAcquireReleaseIsLegal) {
+TEST_F(Machines, Critical_SequentialAcquireReleaseIsLegal) {
   jintArray Arr = Fns->NewIntArray(Env, 4);
   jstring Str = Fns->NewStringUTF(Env, "s");
   void *P1 = Fns->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+  Fns->ReleasePrimitiveArrayCritical(Env, Arr, P1, 0);
   const jchar *P2 = Fns->GetStringCritical(Env, Str, nullptr);
   Fns->ReleaseStringCritical(Env, Str, P2);
-  Fns->ReleasePrimitiveArrayCritical(Env, Arr, P1, 0);
   EXPECT_EQ(W.reportCount(), 0u);
 }
 
@@ -414,8 +414,11 @@ TEST_F(Machines, Local_PushPopFrameProtocolSilent) {
 }
 
 TEST_F(Machines, Local_PopWithoutPushFlagged) {
+  // Ownership of the underflow moved to the pushdown local-frame nesting
+  // machine; the local-reference machine keeps frame leaks.
   Fns->PopLocalFrame(Env, nullptr);
-  EXPECT_EQ(reportsFor("Local reference"), 1u);
+  EXPECT_EQ(reportsFor("Local-frame nesting"), 1u);
+  EXPECT_EQ(reportsFor("Local reference"), 0u);
 }
 
 TEST_F(Machines, Local_DeleteThenUseFlagged) {
@@ -508,6 +511,87 @@ TEST_F(Machines, Local_CountChangeHookObservesAcquiresAndReleases) {
   Fns->DeleteLocalRef(Env, B);
   ASSERT_GE(Counts.size(), 4u);
   EXPECT_EQ(Counts[Counts.size() - 1], 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Pushdown machines (counter/stack facility)
+//===----------------------------------------------------------------------===
+
+TEST_F(Machines, FrameNesting_DeepNestingBalancedIsSilent) {
+  for (int I = 0; I < 3; ++I)
+    Fns->PushLocalFrame(Env, 8);
+  for (int I = 0; I < 3; ++I)
+    Fns->PopLocalFrame(Env, nullptr);
+  EXPECT_EQ(W.reportCount(), 0u);
+  EXPECT_EQ(W.Jinn.machines().LocalFrameNesting.depthOf(W.main().id()), 0);
+}
+
+TEST_F(Machines, FrameNesting_OneExtraPopFlaggedOnce) {
+  Fns->PushLocalFrame(Env, 8);
+  Fns->PushLocalFrame(Env, 8);
+  Fns->PopLocalFrame(Env, nullptr);
+  Fns->PopLocalFrame(Env, nullptr);
+  EXPECT_EQ(W.reportCount(), 0u);
+  Fns->PopLocalFrame(Env, nullptr); // underflow
+  EXPECT_EQ(reportsFor("Local-frame nesting"), 1u);
+}
+
+TEST_F(Machines, MonitorBalance_ReentrantEntriesBalancedIsSilent) {
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  jobject Lock = Fns->AllocObject(Env, Obj);
+  ASSERT_EQ(Fns->MonitorEnter(Env, Lock), JNI_OK);
+  ASSERT_EQ(Fns->MonitorEnter(Env, Lock), JNI_OK); // legal re-entry
+  EXPECT_EQ(Fns->MonitorExit(Env, Lock), JNI_OK);
+  EXPECT_EQ(Fns->MonitorExit(Env, Lock), JNI_OK);
+  EXPECT_EQ(W.reportCount(), 0u);
+  EXPECT_EQ(W.Jinn.machines().MonitorBalance.depthOf(W.main().id()), 0);
+}
+
+TEST_F(Machines, MonitorBalance_UnmatchedExitFlaggedAndSuppressed) {
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  jobject Lock = Fns->AllocObject(Env, Obj);
+  ASSERT_EQ(Fns->MonitorEnter(Env, Lock), JNI_OK);
+  ASSERT_EQ(Fns->MonitorExit(Env, Lock), JNI_OK);
+  Fns->MonitorExit(Env, Lock); // underflow: no outstanding JNI entry
+  EXPECT_EQ(reportsFor("Monitor balance"), 1u);
+  // The faulting exit was aborted, so the VM never saw the unbalanced
+  // exit and threw no IllegalMonitorStateException of its own — the only
+  // pending throwable is Jinn's.
+  EXPECT_EQ(W.pendingClass(), "jinn/JNIAssertionFailure");
+}
+
+TEST_F(Machines, MonitorBalance_FailedEnterDoesNotCount) {
+  jclass Obj = Fns->FindClass(Env, "java/lang/Object");
+  Fns->MonitorEnter(Env, nullptr); // JNI_ERR path (nullness also fires)
+  clearPending();
+  jobject Lock = Fns->AllocObject(Env, Obj);
+  ASSERT_EQ(Fns->MonitorEnter(Env, Lock), JNI_OK);
+  ASSERT_EQ(Fns->MonitorExit(Env, Lock), JNI_OK);
+  EXPECT_EQ(reportsFor("Monitor balance"), 0u);
+}
+
+TEST_F(Machines, CriticalNesting_NestedAcquireFlaggedAndSuppressed) {
+  jintArray Arr = Fns->NewIntArray(Env, 4);
+  jstring Str = Fns->NewStringUTF(Env, "s");
+  void *P1 = Fns->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+  // BUG: a second critical section inside the first. The call is aborted,
+  // so no pin is created and no other machine reports anything.
+  const jchar *P2 = Fns->GetStringCritical(Env, Str, nullptr);
+  EXPECT_EQ(P2, nullptr);
+  EXPECT_EQ(reportsFor("Critical-section nesting"), 1u);
+  clearPending();
+  Fns->ReleasePrimitiveArrayCritical(Env, Arr, P1, 0);
+  W.Vm.shutdown();
+  EXPECT_EQ(W.reportCount(), 1u); // no pin leak, no critical-state report
+}
+
+TEST_F(Machines, CriticalNesting_DepthTracksAcquireRelease) {
+  jintArray Arr = Fns->NewIntArray(Env, 4);
+  void *P = Fns->GetPrimitiveArrayCritical(Env, Arr, nullptr);
+  EXPECT_EQ(W.Jinn.machines().CriticalNesting.depthOf(W.main().id()), 1);
+  Fns->ReleasePrimitiveArrayCritical(Env, Arr, P, 0);
+  EXPECT_EQ(W.Jinn.machines().CriticalNesting.depthOf(W.main().id()), 0);
+  EXPECT_EQ(W.reportCount(), 0u);
 }
 
 } // namespace

@@ -89,8 +89,14 @@ TEST(MicroInfo, TableIsConsistent) {
     EXPECT_NE(All[I].ClassName, nullptr);
     Detectable += All[I].DetectableAtBoundary;
   }
-  EXPECT_EQ(Detectable, All.size() - 1); // all but pitfall 8
+  // All but pitfall 8 and the three fixed pushdown variants, which are
+  // correct by construction and must not be flagged.
+  EXPECT_EQ(Detectable, All.size() - 4);
   EXPECT_FALSE(microInfo(MicroId::UnterminatedString).DetectableAtBoundary);
+  EXPECT_FALSE(microInfo(MicroId::PopWithoutPushFixed).DetectableAtBoundary);
+  EXPECT_FALSE(
+      microInfo(MicroId::MonitorExitUnmatchedFixed).DetectableAtBoundary);
+  EXPECT_FALSE(microInfo(MicroId::CriticalNestedFixed).DetectableAtBoundary);
   EXPECT_EQ(microInfo(MicroId::LocalDangling).Pitfall, 13);
 }
 

@@ -81,6 +81,23 @@ const Expected Matrix[] = {
     // production run (paper §2, Table 1 row 8).
     {MicroId::UnterminatedString, Outcome::Running, Outcome::Npe,
      Outcome::Running, Outcome::Npe, Outcome::Running},
+    // Pushdown constraints (beyond the paper's table): neither -Xcheck:jni
+    // emulation models frame/monitor/critical nesting depth, so the
+    // production policy decides those columns. The unbalanced pop silently
+    // consumes the implicit native-activation frame, so every production
+    // configuration keeps running — only a depth-counting checker sees it.
+    {MicroId::PopWithoutPush, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::JinnException},
+    {MicroId::PopWithoutPushFixed, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::Running},
+    {MicroId::MonitorExitUnmatched, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::JinnException},
+    {MicroId::MonitorExitUnmatchedFixed, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::Running},
+    {MicroId::CriticalNested, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::JinnException},
+    {MicroId::CriticalNestedFixed, Outcome::Running, Outcome::Running,
+     Outcome::Running, Outcome::Running, Outcome::Running},
 };
 
 class MatrixTest : public ::testing::TestWithParam<Expected> {};
@@ -142,7 +159,7 @@ TEST(Coverage, JinnDetectsEveryBoundaryDetectableMicrobenchmark) {
       ++Detected;
   }
   EXPECT_EQ(Detected, Total); // Jinn: 100% (paper §6.3)
-  EXPECT_EQ(Total, 18u);
+  EXPECT_EQ(Total, 21u);
 }
 
 } // namespace

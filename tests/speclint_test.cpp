@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The analyzer contract, from both sides: the eleven shipped machines
+/// The analyzer contract, from both sides: the fourteen shipped machines
 /// (and the Python checker's machines) must lint clean, a fixture spec
 /// with seeded defects must be flagged on every defect, the relevance
 /// matrix must agree with what Algorithm 1 installs into the dispatcher,
@@ -168,6 +168,154 @@ TEST(SpecLint, FlagsEverySeededDefect) {
   EXPECT_EQ(Report.named("determinism/conflict").size(), 1u);
 }
 
+TEST(SpecLint, PushdownSeededDefects) {
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Pushdown fixture";
+  Spec.ObservedEntity = "a broken counter";
+  Spec.States = {"Start", "Error: underflow"};
+  Spec.Counter = {"fixture depth", 0}; // Bound 0: unbounded
+
+  // A reachable guarded pop with no non-error push anywhere in the spec:
+  // the pop can never fire and every attempt underflows.
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::MonitorExit), Direction::ReturnJavaToC}},
+       Noop,
+       spec::CounterOp::Pop});
+  // A pop on an epsilon transition: no hook site guards against zero.
+  Spec.Transitions.push_back(
+      {"Start", "Start", {}, nullptr, spec::CounterOp::Pop});
+  // The guarded error check (pop at zero) is not a matching push either.
+  Spec.Transitions.push_back(
+      {"Start",
+       "Error: underflow",
+       {{FunctionSelector::one(FnId::MonitorExit), Direction::CallCToJava}},
+       Noop,
+       spec::CounterOp::Pop});
+
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines({buildModel(Spec)}, Opts);
+  EXPECT_TRUE(Report.hasErrors());
+  EXPECT_EQ(Report.named("pushdown/underflow-on-epsilon").size(), 1u);
+  EXPECT_EQ(Report.named("pushdown/unmatched-pop").size(), 1u);
+  EXPECT_EQ(Report.named("pushdown/unbounded-counter").size(), 1u);
+}
+
+TEST(SpecLint, CounterOpWithoutDeclaredCounterIsAnError) {
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Undeclared-counter fixture";
+  Spec.States = {"Start"};
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::MonitorEnter),
+         Direction::ReturnJavaToC}},
+       Noop,
+       spec::CounterOp::Push});
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines({buildModel(Spec)}, Opts);
+  EXPECT_EQ(Report.named("pushdown/undeclared-counter").size(), 1u);
+  EXPECT_TRUE(Report.hasErrors());
+}
+
+TEST(SpecLint, MonotonePushAndUnusedCounterAreWarnings) {
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+
+  spec::StateMachineSpec GrowOnly;
+  GrowOnly.Name = "Grow-only fixture";
+  GrowOnly.States = {"Start"};
+  GrowOnly.Counter = {"grow-only depth", 8};
+  GrowOnly.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::PushLocalFrame),
+         Direction::ReturnJavaToC}},
+       Noop,
+       spec::CounterOp::Push});
+
+  spec::StateMachineSpec Unused;
+  Unused.Name = "Unused-counter fixture";
+  Unused.States = {"Start"};
+  Unused.Counter = {"idle depth", 8};
+  Unused.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::GetVersion), Direction::CallCToJava}},
+       Noop});
+
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report =
+      lintMachines({buildModel(GrowOnly), buildModel(Unused)}, Opts);
+  EXPECT_FALSE(Report.hasErrors());
+  ASSERT_EQ(Report.named("pushdown/unmatched-push").size(), 1u);
+  EXPECT_EQ(Report.named("pushdown/unmatched-push")[0]->Machine,
+            "Grow-only fixture");
+  ASSERT_EQ(Report.named("pushdown/unused-counter").size(), 1u);
+  EXPECT_EQ(Report.named("pushdown/unused-counter")[0]->Machine,
+            "Unused-counter fixture");
+}
+
+TEST(SpecLint, InertMachineIsAnErrorInBothUniverses) {
+  // A machine whose only selector matches nothing observes zero functions
+  // at every language transition: every one of its checks is dead. The
+  // report must be identical for the JNI and the Python/C universes (the
+  // historical blind spot: the pass used to skip zero-match machines when
+  // linting the Python models).
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Inert fixture";
+  Spec.States = {"Start"};
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::matching("matches nothing",
+                                    [](const jni::FnTraits &) {
+                                      return false;
+                                    }),
+         Direction::CallCToJava}},
+       Noop});
+
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+
+  std::vector<MachineModel> Jni = {buildModel(Spec)};
+  LintReport JniReport = lintMachines(Jni, Opts);
+  ASSERT_EQ(JniReport.named("coverage/inert-machine").size(), 1u);
+  EXPECT_EQ(JniReport.named("coverage/inert-machine")[0]->Machine,
+            "Inert fixture");
+
+  // Same defect seeded into the Python universe: hand-build the model the
+  // way buildPythonModels would resolve it (selector matches nothing).
+  std::vector<MachineModel> Py = buildPythonModels();
+  MachineModel Inert;
+  Inert.Name = "Inert fixture";
+  Inert.Universe = Py.front().Universe;
+  Inert.States = {"Start"};
+  Inert.StartState = "Start";
+  TransitionModel T;
+  T.From = T.To = "Start";
+  T.HasAction = true;
+  TriggerModel Trigger;
+  Trigger.Dir = spec::Direction::CallCToJava;
+  Trigger.SelectorKind = spec::FunctionSelector::Kind::JniPredicate;
+  Trigger.Description = "matches nothing";
+  Trigger.Matches = FnSet(Inert.Universe->size());
+  T.Triggers.push_back(Trigger);
+  Inert.Transitions.push_back(T);
+  Py.push_back(Inert);
+
+  LintReport PyReport = lintMachines(Py, Opts);
+  ASSERT_EQ(PyReport.named("coverage/inert-machine").size(), 1u);
+  EXPECT_EQ(PyReport.named("coverage/inert-machine")[0]->Machine,
+            "Inert fixture");
+}
+
 TEST(SpecLint, GuardedErrorTransitionsAreNotConflicts) {
   // Two transitions from one state on the same function where one target
   // is an error state: the guarded-check idiom, not nondeterminism.
@@ -305,8 +453,9 @@ TEST(SparseDispatch, RecordAndReplayStaysDeterministic) {
 
     const std::vector<agent::JinnReport> &Inline =
         World.Jinn->reporter().reports();
-    if (Info.DetectableAtBoundary)
+    if (Info.DetectableAtBoundary) {
       EXPECT_FALSE(Inline.empty()) << "inline checker missed the bug";
+    }
 
     trace::Trace Recorded = World.Jinn->recorder()->collect();
     EXPECT_FALSE(Recorded.Events.empty());

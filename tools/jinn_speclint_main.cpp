@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// jinn-speclint: loads the eleven JNI machine specifications and the
+/// jinn-speclint: loads the fourteen JNI machine specifications and the
 /// Python checker's machines into the analysis model, runs every lint
 /// pass (reachability, determinism, coverage, cross-machine consistency),
 /// and prints the relevance matrix the synthesis-time check elision is
@@ -156,12 +156,22 @@ void printJson(const std::vector<UniverseReport> &Reports,
                 Report.Matrix.Universe->size(), Report.Matrix.Any.count());
     for (size_t M = 0; M < Report.Matrix.Machines.size(); ++M) {
       const MachineRelevance &Row = Report.Matrix.Machines[M];
+      std::string Counter; // additive: present only for pushdown machines
+      if (M < Report.Models.size() && Report.Models[M].hasCounter()) {
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf),
+                      ", \"counter\": {\"name\": \"%s\", \"bound\": %u}",
+                      jsonEscaped(Report.Models[M].Counter.Name).c_str(),
+                      Report.Models[M].Counter.Bound);
+        Counter = Buf;
+      }
       std::printf("       {\"name\": \"%s\", \"preFns\": %zu, \"postFns\": "
                   "%zu, \"preHooks\": %zu, \"postHooks\": %zu, "
-                  "\"nativeEntry\": %zu, \"nativeExit\": %zu}%s\n",
+                  "\"nativeEntry\": %zu, \"nativeExit\": %zu%s}%s\n",
                   jsonEscaped(Row.Machine).c_str(), Row.Pre.count(),
                   Row.Post.count(), Row.PreHooks, Row.PostHooks,
                   Row.NativeEntryTriggers, Row.NativeExitTriggers,
+                  Counter.c_str(),
                   M + 1 < Report.Matrix.Machines.size() ? "," : "");
     }
     std::printf("     ],\n     \"findings\": [\n");
@@ -196,7 +206,7 @@ int main(int Argc, char **Argv) {
                std::strcmp(Argv[I], "-h") == 0) {
       std::printf(
           "usage: jinn-speclint [--json]\n\n"
-          "Statically analyzes the eleven JNI machine specifications and\n"
+          "Statically analyzes the fourteen JNI machine specifications and\n"
           "the Python checker's machines: reachability, determinism,\n"
           "coverage (the per-function relevance matrix), and consistency\n"
           "with what Algorithm 1 synthesizes. Exits non-zero on any\n"
@@ -208,7 +218,7 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Load the eleven machines and run Algorithm 1 against a scratch
+  // Load the fourteen machines and run Algorithm 1 against a scratch
   // dispatcher — both the stats-consistency lint and the hook-table
   // cross-check compare static derivation against the real synthesis.
   agent::MachineSet Machines;

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// Command-line front end for the synthesizer (paper Figure 5): loads the
-/// eleven state machine specifications and emits the synthesized wrapper
+/// fourteen state machine specifications and emits the synthesized wrapper
 /// source plus a synthesis report.
 ///
 ///   jinn-synth [-o wrappers.cpp] [--report]
@@ -33,7 +33,7 @@ int main(int Argc, char **Argv) {
       Report = true;
     } else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf("usage: jinn-synth [-o <file>] [--report]\n"
-                  "  Synthesizes the dynamic JNI analysis from the eleven\n"
+                  "  Synthesizes the dynamic JNI analysis from the fourteen\n"
                   "  state machine specifications and emits the wrapper\n"
                   "  source (stdout unless -o is given).\n");
       return 0;

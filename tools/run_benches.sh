@@ -86,6 +86,20 @@ for BENCH in $BENCHES; do
   fi
 done
 
+# Static-verifier agreement gate: jinn-verify's must-verdicts must match
+# the dynamic oracles byte-for-byte on the micros and corpus. Cheap (a
+# few seconds) and scale-independent, so it runs on every bench pass.
+if [ -z "${JINN_BENCH_NO_GATE:-}" ] && [ -x "$BUILD/tools/jinn-verify" ] \
+    && command -v python3 >/dev/null 2>&1; then
+  echo "== verify_gate (jinn-verify static-vs-dynamic agreement) =="
+  if ! python3 "$ROOT/tools/verify_gate.py" "$BUILD/tools/jinn-verify" \
+      --micros --examples --corpus; then
+    echo "run_benches: jinn-verify disagreed with the dynamic oracles" \
+         "(set JINN_BENCH_NO_GATE=1 to bypass)" >&2
+    FAILED="$FAILED verify_gate"
+  fi
+fi
+
 # Merge every BENCH_*.json into one summary document.
 {
   echo '{'

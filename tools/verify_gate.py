@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Independently re-checks the jinn-verify static-vs-dynamic contract.
+
+Usage: verify_gate.py <jinn-verify binary> [source-flags...]
+
+Runs the binary with --json (default sources: --micros --examples) and
+re-derives the acceptance conditions from the raw document, so a bug in
+the CLI's own pass/fail logic cannot silently weaken the gate:
+
+  1. every lifted source (micro/corpus/trace) has must == oracle,
+     report-for-report and field-for-field;
+  2. no may-verdict appears on a straight-line lifted source (one path:
+     may would contradict the dynamic oracle);
+  3. every source whose oracle is non-empty is flagged (must non-empty);
+  4. at least one counter-guard report was derived abstractly AND
+     confirmed by the dynamic oracle (the pushdown cross-validation
+     actually exercised the interval domain).
+"""
+import json
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    flags = sys.argv[2:] or ["--micros", "--examples"]
+    proc = subprocess.run([binary, "--json"] + flags,
+                          capture_output=True, text=True)
+    try:
+        doc = json.loads(proc.stdout)
+    except ValueError as exc:
+        print("verify_gate: unparseable --json output: %s" % exc,
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    abstract_confirmed = 0
+    for src in doc.get("sources", []):
+        name = "%s %s" % (src.get("kind"), src.get("source"))
+        lifted = src.get("kind") in ("micro", "corpus", "trace")
+        must, may = src.get("must", []), src.get("may", [])
+        oracle = src.get("oracle", [])
+        stats = src.get("stats", {})
+        abstract_confirmed += int(stats.get("abstract_confirmed", 0))
+        if lifted:
+            if must != oracle:
+                failures.append("%s: must-verdict differs from the dynamic "
+                                "oracle" % name)
+            if may:
+                failures.append("%s: may-verdict on a straight-line lifted "
+                                "program" % name)
+            if oracle and not must:
+                failures.append("%s: dynamic reports but no static "
+                                "must-verdict" % name)
+        if not src.get("pass", False):
+            for failure in src.get("failures", []):
+                failures.append("%s: %s" % (name, failure))
+
+    if abstract_confirmed < 1:
+        failures.append("no abstractly derived counter-guard report was "
+                        "confirmed dynamically")
+    if not doc.get("pass", False) and not failures:
+        failures.append("document reports pass=false with no source failure")
+
+    for failure in failures:
+        print("verify_gate: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
