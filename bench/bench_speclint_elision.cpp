@@ -65,6 +65,10 @@ WorldConfig configFor(const ConfigSpec &Spec) {
   if (Spec.Jinn) {
     Config.Checker = CheckerKind::Jinn;
     Config.JinnSparseDispatch = Spec.Sparse;
+    // This bench prices the *dynamic* hook walk with and without
+    // speclint elision; the fused tier skips that walk entirely (priced
+    // by bench_crossing_latency) and would collapse the comparison.
+    Config.JinnFusedDispatch = false;
     if (Spec.Ablated)
       Config.JinnEnabledMachines = {"Pinned or copied string or array"};
   }

@@ -8,6 +8,7 @@
 
 #include "jvm/JThread.h"
 #include "support/Rng.h"
+#include "synth/FusedChecks.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -116,6 +117,29 @@ void JinnAgent::onLoad(JavaVM *JavaVm, jvmti::JvmtiEnv &Jvmti) {
     Jvmti.dispatcher().setSampler([this](jvm::JThread &Thread) {
       return sampledThread(Thread.id(), Thread.name());
     });
+
+  // Fused (tier-1) dispatch: with nothing but synthesized machine checks
+  // on the boundary, compile the per-FnId straight-line check programs and
+  // install them. This must come after everything above — any later
+  // dynamic mutation of the dispatcher demotes the fused table, so install
+  // order is what proves the table covers exactly the dynamic surface.
+  FusedInstalled = false;
+  FusedRefusal.clear();
+  if (!Options.FusedDispatch) {
+    FusedRefusal = "disabled by options";
+  } else if (Recording || Options.SampleRate > 1) {
+    FusedRefusal = "recording/sampling modes stay on the dynamic tier";
+  } else {
+    synth::FusedCompileResult Fused =
+        synth::compileFusedChecks(Active, *Reporter);
+    if (!Fused.Table) {
+      FusedRefusal = Fused.Error;
+    } else if (!Jvmti.dispatcher().installFused(Fused.Table)) {
+      FusedRefusal = "dispatcher already carries non-machine hooks";
+    } else {
+      FusedInstalled = true;
+    }
+  }
 
   const uint32_t FrameCapacity = Vm.options().NativeFrameCapacity;
   auto InfoFor = [FrameCapacity](const jvm::JThread &Thread) {

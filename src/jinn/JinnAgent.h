@@ -65,6 +65,14 @@ struct JinnOptions {
   /// report-preserving by the analyzer's relevance matrix; recording modes
   /// install all-function hooks and are never elided.
   bool SparseDispatch = true;
+  /// Fused (tier-1) dispatch: compile one straight-line check program per
+  /// JNI function from the machine specs (synth/FusedChecks) and install
+  /// it on the dispatcher, replacing the dynamic hook walk entirely for
+  /// pure inline checking. Only engages when nothing but synthesized
+  /// machines observe the boundary — recording modes and sampling stay
+  /// dynamic, and any later dynamic mutation (a recorder, a monitor, a
+  /// hand-registered hook) atomically demotes back to the dynamic tier.
+  bool FusedDispatch = true;
   /// Lock stripes per global shadow table (GlobalRef/Monitor/Pinned/
   /// EntityTyping); rounded to a power of two in [1, 256].
   unsigned ShardCount = DefaultShardCount;
@@ -111,6 +119,12 @@ public:
   /// The recorder, when mode() records (nullptr under InlineCheck).
   trace::TraceRecorder *recorder() { return Recorder.get(); }
 
+  /// Whether the fused (tier-1) dispatch table was compiled and installed
+  /// at load. The dispatcher may have since demoted to dynamic.
+  bool fusedInstalled() const { return FusedInstalled; }
+  /// Why fused dispatch did not engage ("" when it did).
+  const std::string &fusedRefusal() const { return FusedRefusal; }
+
   uint32_t sampleRate() const { return Options.SampleRate; }
   /// The pure per-thread sampling decision: a seeded SplitMix64 stream
   /// keyed on the thread name (stable across runs regardless of attach
@@ -127,6 +141,8 @@ private:
   std::unique_ptr<trace::TraceRecorder> Recorder;
   std::vector<spec::MachineBase *> Active;
   synth::SynthesisStats Stats;
+  bool FusedInstalled = false;
+  std::string FusedRefusal;
 };
 
 } // namespace jinn::agent

@@ -287,6 +287,11 @@ private:
   const uint64_t InstanceId; ///< keys the thread-local cache
 
   ThreadShadow &shadowOf(uint32_t ThreadId);
+  /// shadowOf with the lookup hoisted to once per crossing: at JNI sites
+  /// the resolved shadow is memoized on the CapturedCall, so a crossing
+  /// that runs several of this machine's actions (or one action with many
+  /// reference arguments) pays the thread-local cache compare once.
+  ThreadShadow &shadowAt(spec::TransitionContext &Ctx);
   ThreadShadow *findShadow(uint32_t ThreadId) const;
   void acquire(spec::TransitionContext &Ctx, uint64_t Word);
   void useCheck(spec::TransitionContext &Ctx, uint64_t Word,

@@ -86,6 +86,19 @@ LocalRefMachine::ThreadShadow &LocalRefMachine::shadowOf(uint32_t ThreadId) {
   return *Slot;
 }
 
+LocalRefMachine::ThreadShadow &
+LocalRefMachine::shadowAt(TransitionContext &Ctx) {
+  if (Ctx.isJniSite()) {
+    jvmti::CapturedCall &Call = Ctx.call();
+    if (void *Memo = Call.memo(this))
+      return *static_cast<ThreadShadow *>(Memo);
+    ThreadShadow &Shadow = shadowOf(Ctx.threadId());
+    Call.setMemo(this, &Shadow);
+    return Shadow;
+  }
+  return shadowOf(Ctx.threadId());
+}
+
 LocalRefMachine::ThreadShadow *
 LocalRefMachine::findShadow(uint32_t ThreadId) const {
   RegistryAcquires.fetch_add(1, std::memory_order_relaxed);
@@ -143,7 +156,7 @@ void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
   std::optional<jvm::HandleBits> Bits = jvm::decodeHandle(Word);
   if (!Bits || Bits->Kind != RefKind::Local)
     return; // only local references are tracked here
-  ThreadShadow &Shadow = shadowOf(Ctx.threadId());
+  ThreadShadow &Shadow = shadowAt(Ctx);
   ShadowFrame &Top = Shadow.Frames.back();
   Top.Live.insert(Word);
   countChanged(Ctx.threadId(), Shadow);
@@ -181,7 +194,7 @@ void LocalRefMachine::useCheck(TransitionContext &Ctx, uint64_t Word,
                      What, Bits->Thread, Tid));
     return;
   }
-  ThreadShadow &Shadow = shadowOf(Tid);
+  ThreadShadow &Shadow = shadowAt(Ctx);
   for (const ShadowFrame &Frame : Shadow.Frames)
     if (Frame.Live.count(Word))
       return; // tracked and live
@@ -252,7 +265,7 @@ LocalRefMachine::LocalRefMachine()
         ShadowFrame Frame;
         Frame.Capacity = static_cast<uint32_t>(Ctx.call().arg(0).Word);
         Frame.Explicit = true;
-        shadowOf(Ctx.threadId()).Frames.push_back(std::move(Frame));
+        shadowAt(Ctx).Frames.push_back(std::move(Frame));
       }));
   Spec.Transitions.push_back(makeTransition(
       "Acquired", "Acquired",
@@ -261,7 +274,7 @@ LocalRefMachine::LocalRefMachine()
       [this](TransitionContext &Ctx) {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
-        ShadowFrame &Top = shadowOf(Ctx.threadId()).Frames.back();
+        ShadowFrame &Top = shadowAt(Ctx).Frames.back();
         uint32_t Wanted = static_cast<uint32_t>(Ctx.call().arg(0).Word);
         if (Top.Capacity < Wanted)
           Top.Capacity = Wanted;
@@ -304,7 +317,7 @@ LocalRefMachine::LocalRefMachine()
         uint64_t Word = Ctx.call().refWord(0);
         if (!Word)
           return;
-        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
+        ThreadShadow &Shadow = shadowAt(Ctx);
         for (auto It = Shadow.Frames.rbegin(); It != Shadow.Frames.rend();
              ++It)
           if (It->Live.erase(Word)) {
@@ -330,7 +343,7 @@ LocalRefMachine::LocalRefMachine()
       {{FunctionSelector::one(jni::FnId::PopLocalFrame),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
-        ThreadShadow &Shadow = shadowOf(Ctx.threadId());
+        ThreadShadow &Shadow = shadowAt(Ctx);
         if (Shadow.Frames.empty() || !Shadow.Frames.back().Explicit)
           return;
         Shadow.Frames.pop_back();

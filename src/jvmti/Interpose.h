@@ -31,7 +31,10 @@
 #include "jvm/Vm.h"
 
 #include <array>
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace jinn::jvmti {
@@ -142,6 +145,12 @@ public:
   CapturedCall(jni::FnId Id, JNIEnv *Env)
       : Id(Id), Env(Env), Traits(&jni::fnTraits(Id)) {}
 
+  /// Fused-tier constructor: the wrapper already holds the traits pointer
+  /// in its per-function record, so the fnTraits() table lookup (and its
+  /// static-init guard) is hoisted out of the crossing entirely.
+  CapturedCall(jni::FnId Id, JNIEnv *Env, const jni::FnTraits *Traits)
+      : Id(Id), Env(Env), Traits(Traits) {}
+
   /// Replay-mode constructor: the call is reconstructed from a recorded
   /// trace event; restoreArg/restoreReturn fill in the operands.
   CapturedCall(jni::FnId Id, const BoundarySnapshot *Snap,
@@ -199,6 +208,21 @@ public:
 
   void abortCall() { Aborted = true; }
   bool aborted() const { return Aborted; }
+
+  //===------------------------------------------------------------------===
+  // Per-crossing memo: one (owner, value) slot that lives for the whole
+  // pre+call+post crossing. Machines use it to hoist a thread-local
+  // lookup (e.g. LocalRefMachine's instance-id -> thread-shadow cache)
+  // to once per crossing instead of once per action.
+  //===------------------------------------------------------------------===
+
+  void *memo(const void *Owner) const {
+    return MemoOwner == Owner ? MemoValue : nullptr;
+  }
+  void setMemo(const void *Owner, void *Value) {
+    MemoOwner = Owner;
+    MemoValue = Value;
+  }
 
   //===------------------------------------------------------------------===
   // Capture plumbing (used by the generated wrappers)
@@ -284,22 +308,88 @@ private:
   double RetDouble = 0.0;
   const void *RetPtr = nullptr;
   bool Aborted = false;
+  const void *MemoOwner = nullptr;
+  void *MemoValue = nullptr;
 };
 
 /// Hook invoked before (pre) or after (post) a JNI function executes.
 using HookFn = std::function<void(CapturedCall &)>;
 
+/// The fused (tier-1) dispatch table: one straight-line check program per
+/// JNI function, compiled at agent-load time from the machine specs by
+/// synth/FusedChecks — the runtime analogue of the paper's 22k lines of
+/// generated specialized wrapper code. This layer stores it type-erased
+/// (jvmti cannot depend on spec/synth): the wrapper only needs the
+/// per-function record — slot extents, plus the FnTraits pointer hoisted
+/// into the prologue — and one phase-runner function pointer that the
+/// compiler provides. Crossings whose record is empty skip interposition
+/// with a single load and compare; crossings with checks run them as raw
+/// indirect calls over a flat slot array, with no hook-list walk, no
+/// mask test, and no std::function dispatch.
+class FusedTable {
+public:
+  struct FnRec {
+    uint32_t PreBegin = 0;
+    uint32_t PostBegin = 0;
+    uint16_t PreCount = 0;
+    uint16_t PostCount = 0;
+    const jni::FnTraits *Traits = nullptr;
+  };
+
+  /// Runs the pre or post slot sequence of \p Rec against \p Call.
+  using PhaseRunner = void (*)(const void *Program, const FnRec &Rec,
+                               CapturedCall &Call, bool IsPost);
+
+  const void *Program = nullptr;
+  PhaseRunner Run = nullptr;
+  std::array<FnRec, jni::NumJniFunctions> Fns{};
+};
+
+/// A fixed-capacity hook list with a release-published count, so hook
+/// installation is safe against concurrent crossings: a reader sees either
+/// the old count (hook not yet active) or the new count with the slot
+/// fully constructed. Writers are serialized by the dispatcher's install
+/// mutex. The capacity comfortably covers the worst synthesized density
+/// (~a dozen machine hooks on the busiest call functions) plus
+/// hand-registered test hooks; overflow aborts loudly rather than
+/// dropping a check.
+class HookList {
+public:
+  static constexpr size_t Capacity = 32;
+
+  void push(HookFn Hook);
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+  const HookFn &operator[](size_t I) const { return Slots[I]; }
+  void reset();
+
+private:
+  std::atomic<uint32_t> Count{0};
+  std::array<HookFn, Capacity> Slots;
+};
+
 /// Per-function hook lists. One dispatcher serves all installed agents;
 /// each agent appends its own hooks.
 ///
-/// Alongside the hook lists the dispatcher maintains a sparse per-function
-/// hook table (one mask byte per JNI function, kept in sync by the add*
-/// methods). When elision is enabled, the generated wrappers consult it to
-/// skip capture and dispatch entirely for functions no hook observes —
-/// the static-check-elision path fed by the spec analyzer's relevance
-/// matrix. Elision is off by default so a bare dispatcher (the Table 3
-/// "interposing only" configuration) still pays full capture cost; the
-/// Jinn agent turns it on.
+/// Three dispatch tiers, selected per crossing by the generated wrappers:
+///
+///   1. *Fused* — an installed FusedTable: per-function straight-line
+///      check programs with everything else compiled out. Active only
+///      while the dispatcher's dynamic surface is untouched beyond the
+///      synthesized machine hooks it was compiled from.
+///   2. *Dynamic* — the hook lists below, with the sparse per-function
+///      mask byte (kept in sync by the add* methods) eliding functions no
+///      hook observes when elision is enabled; with elision off this is
+///      the dense legacy path (the Table 3 "interposing only" shape pays
+///      full capture cost).
+///   3. *Bare* — no dispatcher on the runtime at all.
+///
+/// Any dynamic mutation — addPre/addPost, an all-function hook (the trace
+/// recorder), a sampling predicate — *demotes* the dispatcher from fused
+/// to dynamic first (one-way, atomic pointer store), so recording,
+/// sampled checking, and hand-registered hooks work unchanged: crossings
+/// already past the tier check finish on the still-live fused program
+/// (same machine checks), later crossings take the dynamic path and see
+/// the new hook.
 class InterposeDispatcher {
 public:
   void addPre(jni::FnId Id, HookFn Hook);
@@ -307,6 +397,32 @@ public:
   /// Hooks that run on *every* function (prepended to per-function lists).
   void addPreAll(HookFn Hook);
   void addPostAll(HookFn Hook);
+
+  //===------------------------------------------------------------------===
+  // Fused (tier-1) dispatch
+  //===------------------------------------------------------------------===
+
+  /// Installs the fused table. Refuses (returns false) when the dynamic
+  /// surface is already incompatible — an all-function hook or a sampling
+  /// predicate is present. The caller (the Jinn agent) must install
+  /// immediately after synthesis, while the dispatcher holds exactly the
+  /// hooks the table was compiled from.
+  bool installFused(std::shared_ptr<const FusedTable> Table);
+
+  /// The active fused table, or nullptr when dispatch is dynamic. Read
+  /// once per crossing by the generated wrappers.
+  const FusedTable *fused() const {
+    return FusedPtr.load(std::memory_order_acquire);
+  }
+  bool fusedActive() const { return fused() != nullptr; }
+
+  /// One-way fused -> dynamic fallback. The table owner is retained so
+  /// crossings that already picked the fused tier finish safely.
+  void demoteToDynamic();
+  /// Number of installFused -> dynamic demotions (test/diagnostic aid).
+  uint64_t demotionCount() const {
+    return Demotions.load(std::memory_order_relaxed);
+  }
 
   void runPre(CapturedCall &Call) const;
   void runPost(CapturedCall &Call) const;
@@ -319,23 +435,33 @@ public:
   size_t postCount(jni::FnId Id) const;
 
   /// Enables/disables static check elision in the generated wrappers.
-  void setElisionEnabled(bool Enabled) { ElisionEnabled = Enabled; }
-  bool elisionEnabled() const { return ElisionEnabled; }
+  void setElisionEnabled(bool Enabled) {
+    ElisionEnabled.store(Enabled, std::memory_order_relaxed);
+  }
+  bool elisionEnabled() const {
+    return ElisionEnabled.load(std::memory_order_relaxed);
+  }
 
   /// True when the wrapper for \p Id may skip interposition entirely: no
   /// per-function hook and no all-function hook observes it. Any
   /// all-function hook (the trace recorder) defeats elision for every
   /// function, which is what keeps recording modes lossless.
   bool elides(jni::FnId Id) const {
-    return ElisionEnabled && !AnyPreAll && !AnyPostAll &&
-           HookMask[static_cast<size_t>(Id)] == 0;
+    return ElisionEnabled.load(std::memory_order_relaxed) &&
+           !AnyPreAll.load(std::memory_order_relaxed) &&
+           !AnyPostAll.load(std::memory_order_relaxed) &&
+           HookMask[static_cast<size_t>(Id)].load(
+               std::memory_order_relaxed) == 0;
   }
 
   /// True when the wrapper must capture the return value and run the post
   /// list. Always true while elision is disabled (legacy dense dispatch).
   bool wantsPost(jni::FnId Id) const {
-    return !ElisionEnabled || AnyPostAll ||
-           (HookMask[static_cast<size_t>(Id)] & HasPost);
+    return !ElisionEnabled.load(std::memory_order_relaxed) ||
+           AnyPostAll.load(std::memory_order_relaxed) ||
+           (HookMask[static_cast<size_t>(Id)].load(
+                std::memory_order_relaxed) &
+            HasPost);
   }
 
   //===------------------------------------------------------------------===
@@ -355,35 +481,49 @@ public:
 
   /// Installs (or, with nullptr, removes) the sampling predicate.
   void setSampler(SamplePredicate Fn);
-  bool samplingEnabled() const { return SamplerGen != 0; }
+  bool samplingEnabled() const {
+    return SamplerGen.load(std::memory_order_relaxed) != 0;
+  }
 
   /// Whether \p Thread's crossings are recorded and checked. Always true
   /// without a sampler. Used by runPre/runPost and by the synthesized
   /// native wrapper to gate the whole boundary.
   bool checksThread(jvm::JThread &Thread) const;
 
+  /// Teardown-only (not safe against concurrent crossings, unlike the
+  /// add* installers): drops every hook, the sampler, and the fused table.
   void clear();
 
 private:
   static constexpr uint8_t HasPre = 1;
   static constexpr uint8_t HasPost = 2;
 
-  std::array<std::vector<HookFn>, jni::NumJniFunctions> Pre;
-  std::array<std::vector<HookFn>, jni::NumJniFunctions> Post;
-  std::vector<HookFn> PreAll;
-  std::vector<HookFn> PostAll;
+  std::array<HookList, jni::NumJniFunctions> Pre;
+  std::array<HookList, jni::NumJniFunctions> Post;
+  HookList PreAll;
+  HookList PostAll;
   /// HasPre/HasPost bits per function, maintained incrementally by addPre
   /// and addPost — the sparse hook table the wrapper fast path reads.
-  std::array<uint8_t, jni::NumJniFunctions> HookMask{};
-  bool AnyPreAll = false;
-  bool AnyPostAll = false;
-  bool ElisionEnabled = false;
+  std::array<std::atomic<uint8_t>, jni::NumJniFunctions> HookMask{};
+  std::atomic<bool> AnyPreAll{false};
+  std::atomic<bool> AnyPostAll{false};
+  std::atomic<bool> ElisionEnabled{false};
+  /// Serializes hook/sampler installation (installation is rare; crossings
+  /// never take this lock).
+  std::mutex InstallMu;
   /// Sampling predicate plus its generation tag: the thread-local decision
   /// cache is keyed by (generation, thread id), so replacing the sampler
   /// or reattaching an OS thread under a new VM thread id invalidates the
-  /// cache without any cross-thread bookkeeping.
+  /// cache without any cross-thread bookkeeping. The predicate itself is
+  /// only read under InstallMu, on a cache miss.
   SamplePredicate Sampler;
-  uint64_t SamplerGen = 0;
+  std::atomic<uint64_t> SamplerGen{0};
+  /// Fused tier state: the atomic pointer is the per-crossing tier check;
+  /// the owner keeps the table (and its compiled program) alive across
+  /// demotion for crossings already running fused.
+  std::atomic<const FusedTable *> FusedPtr{nullptr};
+  std::shared_ptr<const FusedTable> FusedOwner;
+  std::atomic<uint64_t> Demotions{0};
 };
 
 /// The generated interposed function table (shared, immutable).

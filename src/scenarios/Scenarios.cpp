@@ -104,6 +104,7 @@ ScenarioWorld::ScenarioWorld(WorldConfig Config)
     Options.Recorder = Config.JinnRecorder;
     Options.EnabledMachines = Config.JinnEnabledMachines;
     Options.SparseDispatch = Config.JinnSparseDispatch;
+    Options.FusedDispatch = Config.JinnFusedDispatch;
     Options.ShardCount = Config.JinnShardCount;
     Options.ReportBufferSize = Config.JinnReportBuffer;
     Options.SampleRate = Config.JinnSampleRate;

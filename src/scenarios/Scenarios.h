@@ -93,6 +93,8 @@ struct WorldConfig {
   std::vector<std::string> JinnEnabledMachines;
   /// Static check elision, forwarded to JinnOptions::SparseDispatch.
   bool JinnSparseDispatch = true;
+  /// Fused tier-1 dispatch, forwarded to JinnOptions::FusedDispatch.
+  bool JinnFusedDispatch = true;
   /// Lock stripes per global shadow table, forwarded to
   /// JinnOptions::ShardCount.
   unsigned JinnShardCount = agent::DefaultShardCount;

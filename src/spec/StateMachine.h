@@ -22,7 +22,10 @@
 #include "jvmti/Interpose.h"
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace jinn::spec {
@@ -215,7 +218,46 @@ private:
 /// Code attached to one state transition: decides whether the transition
 /// fired for the entities at this site, updates the machine encoding, and
 /// reports violations through the context's Reporter.
-using TransitionAction = std::function<void(TransitionContext &)>;
+///
+/// Deliberately not a std::function: the action is stored as a shared
+/// callable plus a raw trampoline pointer so the fused dispatch tier
+/// (synth/FusedChecks) can copy `(rawInvoke, rawObject)` pairs into a flat
+/// per-FnId slot array and run each check as one plain indirect call —
+/// no std::function dispatch on the crossing hot path. The dynamic tier
+/// calls through operator(), which is the same indirect call.
+class TransitionAction {
+public:
+  using RawFn = void (*)(void *, TransitionContext &);
+
+  TransitionAction() = default;
+  TransitionAction(std::nullptr_t) {}
+
+  template <typename Callable,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Callable>, TransitionAction>>>
+  TransitionAction(Callable &&Fn)
+      : Obj(std::make_shared<std::decay_t<Callable>>(
+            std::forward<Callable>(Fn))),
+        Invoke(&trampoline<std::decay_t<Callable>>) {}
+
+  void operator()(TransitionContext &Ctx) const { Invoke(Obj.get(), Ctx); }
+  explicit operator bool() const { return Invoke != nullptr; }
+
+  /// Fused-tier binding: the trampoline and the callable's address. Any
+  /// slot array built from these must keep a copy of the action (or its
+  /// owning spec) alive; the callable is shared, not copied.
+  RawFn rawInvoke() const { return Invoke; }
+  void *rawObject() const { return Obj.get(); }
+
+private:
+  template <typename Callable>
+  static void trampoline(void *ObjPtr, TransitionContext &Ctx) {
+    (*static_cast<Callable *>(ObjPtr))(Ctx);
+  }
+
+  std::shared_ptr<void> Obj;
+  RawFn Invoke = nullptr;
+};
 
 /// The pushdown extension (ROADMAP item 3, after Ferles et al.): some JNI
 /// rules are stack-shaped — Push/PopLocalFrame nesting, MonitorEnter/Exit

@@ -1,0 +1,265 @@
+//===- synth/FusedChecks.cpp - Fused per-FnId check compilation ----------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/FusedChecks.h"
+
+#include "jni/JniTraits.h"
+#include "jvmti/Interpose.h"
+
+#include <array>
+
+using namespace jinn;
+using namespace jinn::synth;
+using jinn::jni::FnId;
+using jinn::spec::Direction;
+using jinn::spec::TransitionContext;
+
+//===----------------------------------------------------------------------===
+// The checked-in plan
+//===----------------------------------------------------------------------===
+
+#include "FusedPlan.inc"
+
+const std::vector<std::string> &jinn::synth::fusedPlanMachineNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    V.reserve(FusedPlanMachineCount);
+    for (size_t I = 0; I < FusedPlanMachineCount; ++I)
+      V.push_back(FusedPlanMachineNameData[I]);
+    return V;
+  }();
+  return Names;
+}
+
+const std::vector<FusedPlanRow> &jinn::synth::fusedPlanRows() {
+  static const std::vector<FusedPlanRow> Rows = [] {
+    std::vector<FusedPlanRow> V;
+    V.reserve(FusedPlanRowCount);
+    for (size_t I = 0; I < FusedPlanRowCount; ++I)
+      V.push_back(FusedPlanRowData[I]);
+    return V;
+  }();
+  return Rows;
+}
+
+//===----------------------------------------------------------------------===
+// The Algorithm-1 walk (shared by plan derivation and compilation)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Visits every (machine, transition, phase, fn) instrumentation point in
+/// exact installInto order. The single walker is what guarantees the
+/// derived plan, the compiled slot programs, and the dynamic hook lists
+/// can never disagree on ordering.
+template <typename Visitor>
+void walkJniPlan(const std::vector<spec::MachineBase *> &Machines,
+                 Visitor &&Visit) {
+  for (size_t M = 0; M < Machines.size(); ++M) {
+    const spec::StateMachineSpec &Spec = Machines[M]->spec();
+    for (size_t T = 0; T < Spec.Transitions.size(); ++T) {
+      const spec::StateTransition &Transition = Spec.Transitions[T];
+      for (const spec::LanguageTransition &Lang : Transition.At) {
+        if (Lang.Dir != Direction::CallCToJava &&
+            Lang.Dir != Direction::ReturnJavaToC)
+          continue;
+        bool IsPost = Lang.Dir == Direction::ReturnJavaToC;
+        for (FnId Id : spec::matchedFunctions(Lang.Fns))
+          Visit(M, T, IsPost, Id, Transition);
+      }
+    }
+  }
+}
+
+} // namespace
+
+DerivedFusedPlan
+jinn::synth::deriveFusedPlan(const std::vector<spec::MachineBase *> &Machines) {
+  DerivedFusedPlan Plan;
+  for (const spec::MachineBase *Machine : Machines)
+    Plan.MachineNames.push_back(Machine->spec().Name);
+  walkJniPlan(Machines, [&](size_t M, size_t T, bool IsPost, FnId Id,
+                            const spec::StateTransition &) {
+    Plan.Rows.push_back({static_cast<uint16_t>(Id), static_cast<uint8_t>(M),
+                         static_cast<uint16_t>(T),
+                         static_cast<uint8_t>(IsPost)});
+  });
+  return Plan;
+}
+
+bool jinn::synth::checkAgainstFusedPlan(
+    const std::vector<spec::MachineBase *> &Machines, std::string &Error) {
+  DerivedFusedPlan Derived = deriveFusedPlan(Machines);
+  const std::vector<std::string> &PlanNames = fusedPlanMachineNames();
+
+  // Map checked-in machine indices to derived ones (or -1 when the machine
+  // is ablated out of this run).
+  std::vector<int> PlanToDerived(PlanNames.size(), -1);
+  for (size_t D = 0; D < Derived.MachineNames.size(); ++D) {
+    bool Found = false;
+    for (size_t P = 0; P < PlanNames.size(); ++P) {
+      if (PlanNames[P] == Derived.MachineNames[D]) {
+        if (PlanToDerived[P] != -1) {
+          Error = "machine '" + Derived.MachineNames[D] +
+                  "' appears twice in the live machine list";
+          return false;
+        }
+        PlanToDerived[P] = static_cast<int>(D);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      Error = "machine '" + Derived.MachineNames[D] +
+              "' is not in the checked-in fused plan; regenerate "
+              "src/synth/FusedPlan.inc (tools/gen_fused_checks.py)";
+      return false;
+    }
+  }
+
+  // The expected row sequence: the checked-in plan restricted to the live
+  // machines, remapped to derived indices.
+  std::vector<FusedPlanRow> Expected;
+  for (const FusedPlanRow &Row : fusedPlanRows()) {
+    int D = PlanToDerived[Row.Machine];
+    if (D < 0)
+      continue;
+    Expected.push_back(
+        {Row.Fn, static_cast<uint8_t>(D), Row.Transition, Row.Post});
+  }
+
+  if (Expected.size() != Derived.Rows.size()) {
+    Error = "fused plan drift: checked-in plan has " +
+            std::to_string(Expected.size()) + " rows for this machine set, "
+            "live specs derive " + std::to_string(Derived.Rows.size()) +
+            "; regenerate src/synth/FusedPlan.inc";
+    return false;
+  }
+  for (size_t I = 0; I < Expected.size(); ++I) {
+    if (Expected[I] == Derived.Rows[I])
+      continue;
+    const FusedPlanRow &E = Expected[I];
+    const FusedPlanRow &G = Derived.Rows[I];
+    Error = "fused plan drift at row " + std::to_string(I) + ": plan has (" +
+            jni::fnName(static_cast<FnId>(E.Fn)) + ", " +
+            Derived.MachineNames[E.Machine] + ", transition " +
+            std::to_string(E.Transition) + (E.Post ? ", post)" : ", pre)") +
+            ", live specs derive (" + jni::fnName(static_cast<FnId>(G.Fn)) +
+            ", " + Derived.MachineNames[G.Machine] + ", transition " +
+            std::to_string(G.Transition) + (G.Post ? ", post)" : ", pre)") +
+            "; regenerate src/synth/FusedPlan.inc";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Compilation
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// One fused check: the transition action as a raw indirect call.
+struct FusedSlot {
+  spec::TransitionAction::RawFn Invoke;
+  void *Obj;
+};
+
+/// The compiled program: the flat slot arena the per-FnId records index
+/// into, plus ownership of the action callables the slots point at.
+struct FusedProgram {
+  spec::Reporter *Rep = nullptr;
+  std::vector<FusedSlot> Arena;
+  std::vector<spec::TransitionAction> Retained;
+};
+
+/// The table together with its program (the FusedTable the dispatcher sees
+/// holds only an opaque pointer; this keeps both alive as one allocation).
+struct CompiledFused : jvmti::FusedTable {
+  FusedProgram Prog;
+};
+
+/// The tier-1 phase runner: one TransitionContext per phase (the context
+/// is a stateless view over the CapturedCall, so sharing it across a
+/// phase's slots is observably identical to the dynamic tier's
+/// per-hook construction), then plain indirect calls over the slot range.
+void runFusedPhase(const void *ProgramOpaque,
+                   const jvmti::FusedTable::FnRec &Rec,
+                   jvmti::CapturedCall &Call, bool IsPost) {
+  const auto *Prog = static_cast<const FusedProgram *>(ProgramOpaque);
+  TransitionContext Ctx = TransitionContext::jniSite(
+      IsPost ? TransitionContext::Site::JniPost
+             : TransitionContext::Site::JniPre,
+      Call, *Prog->Rep);
+  const FusedSlot *Slot = Prog->Arena.data() + (IsPost ? Rec.PostBegin
+                                                       : Rec.PreBegin);
+  const FusedSlot *End = Slot + (IsPost ? Rec.PostCount : Rec.PreCount);
+  if (IsPost) {
+    for (; Slot != End; ++Slot)
+      Slot->Invoke(Slot->Obj, Ctx);
+    return;
+  }
+  for (; Slot != End; ++Slot) {
+    Slot->Invoke(Slot->Obj, Ctx);
+    if (Call.aborted())
+      return;
+  }
+}
+
+} // namespace
+
+FusedCompileResult jinn::synth::compileFusedChecks(
+    const std::vector<spec::MachineBase *> &Machines, spec::Reporter &Rep) {
+  FusedCompileResult Result;
+  if (!checkAgainstFusedPlan(Machines, Result.Error))
+    return Result;
+
+  // Gather per-function slot lists in walk order.
+  std::array<std::vector<FusedSlot>, jni::NumJniFunctions> PreSlots;
+  std::array<std::vector<FusedSlot>, jni::NumJniFunctions> PostSlots;
+  auto Owner = std::make_shared<CompiledFused>();
+  bool MissingAction = false;
+  walkJniPlan(Machines, [&](size_t, size_t, bool IsPost, FnId Id,
+                            const spec::StateTransition &Transition) {
+    if (!Transition.Action) {
+      MissingAction = true;
+      return;
+    }
+    FusedSlot Slot{Transition.Action.rawInvoke(),
+                   Transition.Action.rawObject()};
+    (IsPost ? PostSlots : PreSlots)[static_cast<size_t>(Id)].push_back(Slot);
+    Owner->Prog.Retained.push_back(Transition.Action);
+  });
+  if (MissingAction) {
+    Result.Error = "a matched transition has no action; refusing to "
+                   "compile fused checks";
+    return Result;
+  }
+
+  // Flatten into the arena and fill the per-function records, hoisting the
+  // FnId -> traits lookup into each record.
+  Owner->Prog.Rep = &Rep;
+  for (size_t I = 0; I < jni::NumJniFunctions; ++I) {
+    jvmti::FusedTable::FnRec &Rec = Owner->Fns[I];
+    Rec.PreBegin = static_cast<uint32_t>(Owner->Prog.Arena.size());
+    Rec.PreCount = static_cast<uint16_t>(PreSlots[I].size());
+    Owner->Prog.Arena.insert(Owner->Prog.Arena.end(), PreSlots[I].begin(),
+                             PreSlots[I].end());
+    Rec.PostBegin = static_cast<uint32_t>(Owner->Prog.Arena.size());
+    Rec.PostCount = static_cast<uint16_t>(PostSlots[I].size());
+    Owner->Prog.Arena.insert(Owner->Prog.Arena.end(), PostSlots[I].begin(),
+                             PostSlots[I].end());
+    Rec.Traits = &jni::fnTraits(static_cast<FnId>(I));
+    if (Rec.PreCount || Rec.PostCount)
+      ++Result.CheckedFunctions;
+  }
+  Owner->Program = &Owner->Prog;
+  Owner->Run = &runFusedPhase;
+  Result.SlotCount = Owner->Prog.Arena.size();
+  Result.Table = std::shared_ptr<const jvmti::FusedTable>(
+      Owner, static_cast<const jvmti::FusedTable *>(Owner.get()));
+  return Result;
+}

@@ -1,0 +1,309 @@
+//===- tests/fused_dispatch_test.cpp - Fused tier-1 dispatch parity ------===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fused (tier-1) dispatch is a pure performance tier: compiling the
+/// per-function check sequences into straight-line slot runs must change
+/// nothing observable. This suite pins that down three ways:
+///
+///  1. Parity: every Table-1 microbenchmark and every checked-in fuzz
+///     reproducer produces byte-identical report lists under dense,
+///     sparse, and fused dispatch — full configuration and ablated.
+///  2. Eligibility: fused engages exactly when only synthesized machines
+///     observe the boundary (inline checking, no sampling, no recorder),
+///     and installFused refuses a dispatcher that already carries
+///     non-machine hooks.
+///  3. Demotion: installing a dynamic hook mid-run — while worker threads
+///     storm crossings — atomically falls back to the dynamic tier
+///     without dropping a crossing. Meant to run clean under
+///     -fsanitize=thread (configure with -DJINN_TSAN=ON).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Executor.h"
+#include "jvmti/Interpose.h"
+#include "scenarios/Scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace jinn;
+
+namespace {
+
+/// The three dispatch tiers a Jinn world can run its checks on.
+enum class Tier { Dense, Sparse, Fused };
+
+scenarios::WorldConfig tierConfig(Tier T,
+                                  std::vector<std::string> Machines = {}) {
+  scenarios::WorldConfig Config;
+  Config.Checker = scenarios::CheckerKind::Jinn;
+  Config.JinnSparseDispatch = T != Tier::Dense;
+  Config.JinnFusedDispatch = T == Tier::Fused;
+  Config.JinnEnabledMachines = std::move(Machines);
+  return Config;
+}
+
+void expectSameReports(const std::vector<agent::JinnReport> &A,
+                       const std::vector<agent::JinnReport> &B,
+                       const char *Tier) {
+  ASSERT_EQ(A.size(), B.size()) << Tier;
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Machine, B[I].Machine) << Tier << " #" << I;
+    EXPECT_EQ(A[I].Function, B[I].Function) << Tier << " #" << I;
+    EXPECT_EQ(A[I].Message, B[I].Message) << Tier << " #" << I;
+    EXPECT_EQ(A[I].EndOfRun, B[I].EndOfRun) << Tier << " #" << I;
+  }
+}
+
+void runThreeTierEquivalence(std::vector<std::string> Machines) {
+  for (const scenarios::MicroInfo &Info : scenarios::allMicrobenchmarks()) {
+    SCOPED_TRACE(Info.ClassName);
+    scenarios::ScenarioWorld Dense(tierConfig(Tier::Dense, Machines));
+    scenarios::runMicrobenchmark(Info.Id, Dense);
+    Dense.shutdown();
+    EXPECT_FALSE(Dense.Jinn->fusedInstalled());
+
+    scenarios::ScenarioWorld Sparse(tierConfig(Tier::Sparse, Machines));
+    scenarios::runMicrobenchmark(Info.Id, Sparse);
+    Sparse.shutdown();
+    EXPECT_FALSE(Sparse.Jinn->fusedInstalled());
+
+    scenarios::ScenarioWorld Fused(tierConfig(Tier::Fused, Machines));
+    EXPECT_TRUE(Fused.Jinn->fusedInstalled())
+        << "fused tier refused: " << Fused.Jinn->fusedRefusal();
+    scenarios::runMicrobenchmark(Info.Id, Fused);
+    Fused.shutdown();
+
+    EXPECT_EQ(scenarios::classify(Dense), scenarios::classify(Fused));
+    EXPECT_EQ(scenarios::classify(Sparse), scenarios::classify(Fused));
+    expectSameReports(Dense.Jinn->reporter().reports(),
+                      Fused.Jinn->reporter().reports(), "dense-vs-fused");
+    expectSameReports(Sparse.Jinn->reporter().reports(),
+                      Fused.Jinn->reporter().reports(), "sparse-vs-fused");
+  }
+}
+
+TEST(FusedDispatch, FullConfigurationReportsIdenticalAcrossTiers) {
+  runThreeTierEquivalence({});
+}
+
+TEST(FusedDispatch, AblatedConfigurationReportsIdenticalAcrossTiers) {
+  // Only the local-reference machine: the fused compiler must filter the
+  // checked-in plan down to the live subset and remap machine indices,
+  // and the result must still be report-preserving.
+  runThreeTierEquivalence({"Local reference"});
+}
+
+TEST(FusedDispatch, CorpusReproducersReplayIdenticalAcrossTiers) {
+  std::vector<std::string> Errors;
+  std::vector<fuzz::CorpusEntry> Entries =
+      fuzz::loadCorpusDir(JINN_SOURCE_DIR "/fuzz/corpus", Errors);
+  for (const std::string &Error : Errors)
+    ADD_FAILURE() << Error;
+  ASSERT_FALSE(Entries.empty());
+  for (const fuzz::CorpusEntry &Entry : Entries) {
+    if (Entry.Seq.Domain == "py")
+      continue; // the Python boundary has no fused tier
+    SCOPED_TRACE(Entry.Name);
+    // Replay forces record mode (fused-ineligible), so compare the
+    // spec-verdict oracle alone across the three Jinn tiers.
+    fuzz::ExecutorOptions Opts;
+    Opts.RunXcheck = false;
+    Opts.RunReplay = false;
+
+    Opts.JinnSparseDispatch = false;
+    Opts.JinnFusedDispatch = false;
+    fuzz::ExecResult Dense = fuzz::runJniSequence(Entry.Seq, Opts);
+
+    Opts.JinnSparseDispatch = true;
+    fuzz::ExecResult Sparse = fuzz::runJniSequence(Entry.Seq, Opts);
+
+    Opts.JinnFusedDispatch = true;
+    fuzz::ExecResult Fused = fuzz::runJniSequence(Entry.Seq, Opts);
+
+    EXPECT_EQ(Dense.Pass, Fused.Pass);
+    EXPECT_EQ(Sparse.Pass, Fused.Pass);
+    EXPECT_EQ(Dense.ExecutedOps, Fused.ExecutedOps);
+    expectSameReports(Dense.Inline, Fused.Inline, "dense-vs-fused");
+    expectSameReports(Sparse.Inline, Fused.Inline, "sparse-vs-fused");
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Eligibility: fused engages only when nothing but synthesized machines
+// observes the boundary.
+//===----------------------------------------------------------------------===
+
+TEST(FusedDispatch, RecordingModeStaysDynamic) {
+  scenarios::WorldConfig Config = tierConfig(Tier::Fused);
+  Config.JinnMode = agent::TraceMode::RecordAndReplay;
+  scenarios::ScenarioWorld World(Config);
+  EXPECT_FALSE(World.Jinn->fusedInstalled());
+  EXPECT_FALSE(World.Jinn->fusedRefusal().empty());
+  EXPECT_FALSE(jvmti::dispatcherFor(World.Rt).fusedActive());
+  World.shutdown();
+}
+
+TEST(FusedDispatch, SampledCheckingStaysDynamic) {
+  scenarios::WorldConfig Config = tierConfig(Tier::Fused);
+  Config.JinnSampleRate = 4;
+  scenarios::ScenarioWorld World(Config);
+  EXPECT_FALSE(World.Jinn->fusedInstalled());
+  EXPECT_FALSE(jvmti::dispatcherFor(World.Rt).fusedActive());
+  World.shutdown();
+}
+
+TEST(FusedDispatch, DisabledByOptionStaysDynamic) {
+  scenarios::ScenarioWorld World(tierConfig(Tier::Sparse));
+  EXPECT_FALSE(World.Jinn->fusedInstalled());
+  EXPECT_EQ(World.Jinn->fusedRefusal(), "disabled by options");
+  World.shutdown();
+}
+
+TEST(FusedDispatch, InstallRefusedOnADirtyDispatcherAndDemotedByMutation) {
+  jvmti::InterposeDispatcher D;
+  auto Table = std::make_shared<jvmti::FusedTable>();
+  Table->Run = [](const void *, const jvmti::FusedTable::FnRec &,
+                  jvmti::CapturedCall &, bool) {};
+
+  // A clean dispatcher accepts the table; any later dynamic mutation
+  // demotes it — one-way — and a dirty dispatcher refuses reinstall.
+  ASSERT_TRUE(D.installFused(Table));
+  EXPECT_TRUE(D.fusedActive());
+  D.addPreAll([](jvmti::CapturedCall &) {});
+  EXPECT_FALSE(D.fusedActive());
+  EXPECT_EQ(D.demotionCount(), 1u);
+  EXPECT_FALSE(D.installFused(Table));
+
+  jvmti::InterposeDispatcher D2;
+  D2.addPre(jni::FnId::GetVersion, [](jvmti::CapturedCall &) {});
+  EXPECT_EQ(D2.demotionCount(), 0u); // nothing fused yet: no demotion
+  EXPECT_TRUE(D2.installFused(Table)) << "per-function machine hooks are "
+                                         "exactly what fused replaces";
+
+  jvmti::InterposeDispatcher D3;
+  EXPECT_FALSE(D3.installFused(nullptr));
+  auto NoRunner = std::make_shared<jvmti::FusedTable>();
+  EXPECT_FALSE(D3.installFused(NoRunner));
+}
+
+//===----------------------------------------------------------------------===
+// Demotion under fire: flipping tiers while worker threads storm
+// crossings must not drop a crossing, report falsely, or race.
+//===----------------------------------------------------------------------===
+
+TEST(FusedDispatch, MidRunHookInstallDemotesWithoutDroppingACrossing) {
+  scenarios::ScenarioWorld World(tierConfig(Tier::Fused));
+  ASSERT_TRUE(World.Jinn->fusedInstalled())
+      << "fused tier refused: " << World.Jinn->fusedRefusal();
+  jvmti::InterposeDispatcher &D = jvmti::dispatcherFor(World.Rt);
+  ASSERT_TRUE(D.fusedActive());
+
+  JavaVM *Jvm = World.Rt.javaVm();
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Failures{0};
+  std::atomic<uint64_t> Crossings{0};
+  constexpr int NumThreads = 4;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      JNIEnv *Env = nullptr;
+      if (Jvm->functions->AttachCurrentThread(Jvm, &Env, nullptr) != JNI_OK) {
+        ++Failures;
+        return;
+      }
+      const JNINativeInterface_ *Fns = Env->functions;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        jstring S = Fns->NewStringUTF(Env, "storm");
+        if (Fns->GetStringUTFLength(Env, S) != 5)
+          ++Failures;
+        Fns->DeleteLocalRef(Env, S);
+        Crossings.fetch_add(1, std::memory_order_relaxed);
+      }
+      Jvm->functions->DetachCurrentThread(Jvm);
+    });
+
+  // Let the storm reach the fused steady state before flipping tiers.
+  while (Crossings.load(std::memory_order_relaxed) < 256)
+    std::this_thread::yield();
+
+  // A hand-registered hook arrives mid-run: the dispatcher must demote to
+  // dynamic dispatch atomically, and every crossing made after the
+  // install returns must reach the new hook.
+  std::atomic<uint64_t> Seen{0};
+  D.addPre(jni::FnId::GetVersion, [&Seen](jvmti::CapturedCall &) {
+    Seen.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_FALSE(D.fusedActive());
+  EXPECT_GE(D.demotionCount(), 1u);
+
+  JNIEnv *Env = World.env();
+  constexpr uint64_t Calls = 64;
+  for (uint64_t I = 0; I < Calls; ++I)
+    Env->functions->GetVersion(Env);
+  EXPECT_GE(Seen.load(std::memory_order_relaxed), Calls);
+
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GT(Crossings.load(std::memory_order_relaxed), 256u);
+
+  World.shutdown();
+  // Balanced allocation on every thread across the tier flip: the checker
+  // must stay silent through demotion.
+  for (const agent::JinnReport &R : World.Jinn->reporter().reports())
+    ADD_FAILURE() << "[" << R.Machine << "] " << R.Function << ": "
+                  << R.Message;
+}
+
+TEST(FusedDispatch, ConcurrentStormStaysCleanOnTheFusedTier) {
+  // Pure fused-tier concurrency soak (no demotion): the straight-line
+  // slot runner shares machine shadow state across threads exactly like
+  // the dynamic walk; TSan must see the same locking discipline.
+  scenarios::ScenarioWorld World(tierConfig(Tier::Fused));
+  ASSERT_TRUE(World.Jinn->fusedInstalled());
+  JavaVM *Jvm = World.Rt.javaVm();
+  std::atomic<int> Failures{0};
+  constexpr int NumThreads = 4;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      JNIEnv *Env = nullptr;
+      if (Jvm->functions->AttachCurrentThread(Jvm, &Env, nullptr) != JNI_OK) {
+        ++Failures;
+        return;
+      }
+      const JNINativeInterface_ *Fns = Env->functions;
+      for (int I = 0; I < 300; ++I) {
+        jstring S = Fns->NewStringUTF(Env, "fused");
+        jobject G = Fns->NewGlobalRef(Env, S);
+        if (Fns->GetStringUTFLength(Env, static_cast<jstring>(G)) != 5)
+          ++Failures;
+        Fns->DeleteLocalRef(Env, S);
+        Fns->DeleteGlobalRef(Env, G);
+        if (I % 16 == 0 && Fns->PushLocalFrame(Env, 8) == JNI_OK) {
+          jstring Inner = Fns->NewStringUTF(Env, "frame");
+          if (Fns->GetStringUTFLength(Env, Inner) != 5)
+            ++Failures;
+          Fns->PopLocalFrame(Env, nullptr);
+        }
+      }
+      Jvm->functions->DetachCurrentThread(Jvm);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Failures.load(), 0);
+  World.shutdown();
+  EXPECT_TRUE(World.Jinn->reporter().reports().empty());
+}
+
+} // namespace

@@ -3,17 +3,26 @@
 
 Usage: bench_gate.py <baseline.json> <fresh.json> [threshold]
 
-Two gates run:
+Three gates run:
 
 1. Throughput: only entries whose unit ends in "/s" are compared: a fresh
    value below threshold * baseline (default 0.75, i.e. a >25% drop) is a
-   regression. Counters, ratios, and latency entries are ignored — they
-   vary legitimately with configuration or would need an inverse
+   regression. Counters, most ratios, and latency entries are ignored —
+   they vary legitimately with configuration or would need an inverse
    comparison. Entries present only on one side are ignored so adding or
    renaming bench rows never trips the gate, and zero/negative baseline
    entries are skipped with a note instead of dividing by them.
 
-2. Scaling-efficiency floor (bench_mt_scaling only): the fresh
+2. Ratio ceiling: entries named "ratio/..." with unit "x" are intra-run
+   quotients of two timings from the same process (e.g. fused-tier over
+   sparse-tier ns/crossing in bench_crossing_latency), so the host-speed
+   factor cancels and they stay meaningful on a loaded runner where raw
+   "/s" numbers swing several-fold. Lower is better; a fresh ratio above
+   baseline / threshold (default: >1.33x the baseline ratio) is a
+   regression. Only the "ratio/" prefix is gated — table-style "x"
+   entries (table3 normalized runtimes) remain ungated noise.
+
+3. Scaling-efficiency floor (bench_mt_scaling only): the fresh
    "checking off/8t efficiency" entry must be >= 0.7 speedup per thread.
    The floor is absolute (no baseline needed) but only enforced when the
    fresh run's "hardware_threads" entry reports at least 8 hardware
@@ -94,6 +103,27 @@ def throughput_failures(base, fresh, threshold):
     return failures
 
 
+def ratio_failures(base, fresh, threshold):
+    """Ceiling on intra-run "ratio/..." entries (lower is better)."""
+    failures = []
+    for name, (baseline, unit) in sorted(base.items()):
+        if unit != "x" or not name.startswith("ratio/"):
+            continue
+        if name not in fresh:
+            continue
+        current = fresh[name][0]
+        if baseline <= 0:
+            print("bench_gate: note: baseline %s is %g, not gated"
+                  % (name, baseline), file=sys.stderr)
+            continue
+        ceiling = baseline / threshold
+        if current > ceiling:
+            failures.append(
+                "%s: %.3fx vs baseline %.3fx (ceiling %.3fx)"
+                % (name, current, baseline, ceiling))
+    return failures
+
+
 def efficiency_failures(fresh):
     """Absolute floor on multi-thread scaling efficiency (mt_scaling)."""
     key = "%s/%ut efficiency" % (EFFICIENCY_CONFIG, EFFICIENCY_THREADS)
@@ -132,6 +162,7 @@ def main():
     base = load_entries(sys.argv[1])
     fresh = load_entries(sys.argv[2])
     failures = throughput_failures(base, fresh, threshold)
+    failures += ratio_failures(base, fresh, threshold)
     failures += efficiency_failures(fresh)
     for failure in failures:
         print("bench_gate: %s" % failure, file=sys.stderr)

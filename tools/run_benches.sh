@@ -24,7 +24,8 @@ cmake -S "$ROOT" -B "$BUILD" >/dev/null
 cmake --build "$BUILD" -j >/dev/null
 
 BENCHES="bench_table1_pitfalls bench_table2_constraints \
-bench_table3_overhead bench_coverage bench_fig9_messages \
+bench_table3_overhead bench_crossing_latency bench_coverage \
+bench_fig9_messages \
 bench_fig10_localrefs bench_synthesis_loc bench_ablation_machines \
 bench_mt_scaling bench_pyc_checker bench_trace_modes \
 bench_speclint_elision bench_monitor_soak"
