@@ -114,6 +114,19 @@ private:
                          "action; Algorithm 1 would install a hook around "
                          "a null action",
                          T.Index, T.From.c_str(), T.To.c_str()));
+      // A declared violation text is a spec-decidable error report; the
+      // static analyses synthesize it from the transition's target label.
+      // A non-error target makes the report invisible to every consumer
+      // of the FSM shape while the dynamic action still fires — exactly
+      // the drift mutation testing showed no other oracle can see.
+      if (!T.Violation.empty() && !isErrorState(T.To))
+        add(Severity::Error, "transition/violation-without-error-target",
+            Model.Name,
+            formatString("transition #%zu (%s -> %s) declares the "
+                         "violation text \"%s\" but does not target an "
+                         "error state",
+                         T.Index, T.From.c_str(), T.To.c_str(),
+                         T.Violation.c_str()));
       if (T.Triggers.empty()) {
         add(Severity::Warning, "transition/dead-action", Model.Name,
             formatString("transition #%zu (%s -> %s) carries an action but "

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -78,7 +79,8 @@ CriticalNestingMachine::CriticalNestingMachine() {
         Direction::ReturnJavaToC}},
       CounterOp::Pop, [this](TransitionContext &Ctx) {
         uint32_t Tid = Ctx.threadId();
-        if (static_cast<int64_t>(Depth.load(Tid)) > 0)
+        if (mutate::active(mutate::M::SpecCriticalPopGuardDropped) ||
+            static_cast<int64_t>(Depth.load(Tid)) > 0)
           Depth.fetchAdd(Tid, -1);
       }));
 
@@ -92,7 +94,9 @@ CriticalNestingMachine::CriticalNestingMachine() {
             isCriticalAcquire),
         Direction::CallCToJava}},
       CounterOp::Push, [this](TransitionContext &Ctx) {
-        if (static_cast<int64_t>(Depth.load(Ctx.threadId())) < 1)
+        int64_t Bound =
+            mutate::active(mutate::M::SpecCriticalGuardWeakened) ? 2 : 1;
+        if (static_cast<int64_t>(Depth.load(Ctx.threadId())) < Bound)
           return;
         Ctx.reporter().violation(Ctx, Spec, NestedCriticalMsg);
       }));

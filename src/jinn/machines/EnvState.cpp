@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -33,6 +34,8 @@ JniEnvStateMachine::JniEnvStateMachine() {
       {{FunctionSelector::all("any JNI function"), Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
         uint32_t Current = Ctx.currentThreadId();
+        if (mutate::active(mutate::M::SpecEnvIdentitySwapped))
+          Current = Ctx.threadId(); // mutant: x != x, never fires
         if (Current && Current != Ctx.threadId()) {
           Ctx.reporter().violation(
               Ctx, Spec,

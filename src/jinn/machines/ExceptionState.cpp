@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -45,6 +46,8 @@ ExceptionStateMachine::ExceptionStateMachine() {
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
+        if (mutate::active(mutate::M::SpecExceptionCheckDropped))
+          return; // mutant: the pending-exception check never runs
         if (!Ctx.exceptionPending())
           return;
         Ctx.reporter().violation(Ctx, Spec, "An exception is pending");

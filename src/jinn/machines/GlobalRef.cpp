@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -82,6 +83,8 @@ GlobalRefMachine::GlobalRefMachine(const MachineTuning &Tuning)
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
+        if (mutate::active(mutate::M::SpecGlobalRefReleaseUntracked))
+          return; // mutant: the delete never leaves the shadow
         uint64_t Word = Ctx.call().refWord(0);
         if (!Word)
           return;

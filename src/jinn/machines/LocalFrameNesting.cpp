@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -36,7 +37,10 @@ LocalFrameNestingMachine::LocalFrameNestingMachine() {
   Spec.Encoding = "A wait-free per-thread count of outstanding "
                   "PushLocalFrame frames";
   Spec.States = {"Balanced", "Error: unmatched pop"};
-  Spec.Counter = {"local-frame depth", 64};
+  uint32_t Bound = 64;
+  if (mutate::active(mutate::M::SpecLocalFrameBound65))
+    Bound = 65; // mutant: wrong static widening cap
+  Spec.Counter = {"local-frame depth", Bound};
 
   // Push: a successful PushLocalFrame deepens the nesting.
   Spec.Transitions.push_back(makeTransition(
@@ -63,14 +67,16 @@ LocalFrameNestingMachine::LocalFrameNestingMachine() {
       }));
 
   // Pop at zero: underflow — there is no frame this pop could match.
-  Spec.Transitions.push_back(makeTransition(
-      "Balanced", "Error: unmatched pop",
-      {{FunctionSelector::one(jni::FnId::PopLocalFrame),
-        Direction::CallCToJava}},
-      CounterOp::Pop, [this](TransitionContext &Ctx) {
-        if (static_cast<int64_t>(Depth.load(Ctx.threadId())) > 0)
-          return;
-        Ctx.reporter().violation(Ctx, Spec, UnmatchedPopMsg);
-      }));
-  Spec.Transitions.back().Violation = UnmatchedPopMsg;
+  if (!mutate::active(mutate::M::SpecLocalFrameUnderflowDropped)) {
+    Spec.Transitions.push_back(makeTransition(
+        "Balanced", "Error: unmatched pop",
+        {{FunctionSelector::one(jni::FnId::PopLocalFrame),
+          Direction::CallCToJava}},
+        CounterOp::Pop, [this](TransitionContext &Ctx) {
+          if (static_cast<int64_t>(Depth.load(Ctx.threadId())) > 0)
+            return;
+          Ctx.reporter().violation(Ctx, Spec, UnmatchedPopMsg);
+        }));
+    Spec.Transitions.back().Violation = UnmatchedPopMsg;
+  }
 }

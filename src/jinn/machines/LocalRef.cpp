@@ -34,6 +34,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -160,7 +161,10 @@ void LocalRefMachine::acquire(TransitionContext &Ctx, uint64_t Word) {
   ShadowFrame &Top = Shadow.Frames.back();
   Top.Live.insert(Word);
   countChanged(Ctx.threadId(), Shadow);
-  if (Top.Live.size() > Top.Capacity)
+  uint32_t Limit = Top.Capacity;
+  if (mutate::active(mutate::M::SpecLocalRefOverflowOffByOne))
+    Limit += 1;
+  if (Top.Live.size() > Limit)
     Ctx.reporter().violation(
         Ctx, Spec,
         formatString("local reference overflow: %zu live references exceed "

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -37,7 +38,10 @@ MonitorMachine::MonitorMachine(const MachineTuning &Tuning)
       [this](TransitionContext &Ctx) {
         if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
-        uint64_t Obj = identityOf(Ctx, Ctx.call().refWord(0));
+        uint64_t Word = Ctx.call().refWord(0);
+        if (mutate::active(mutate::M::SpecMonitorIdentitySwapped))
+          Word = Ctx.call().returnWord(); // mutant: wrong entity (JNI_OK)
+        uint64_t Obj = identityOf(Ctx, Word);
         if (Obj) {
           auto &Shard = Held.shardFor(Obj);
           auto Lock = StripedTable<int64_t>::exclusive(Shard);

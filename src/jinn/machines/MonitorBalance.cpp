@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -53,7 +54,8 @@ MonitorBalanceMachine::MonitorBalanceMachine() {
       {{FunctionSelector::one(jni::FnId::MonitorExit),
         Direction::ReturnJavaToC}},
       CounterOp::Pop, [this](TransitionContext &Ctx) {
-        if (static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
+        if (!mutate::active(mutate::M::SpecMonitorExitGateDropped) &&
+            static_cast<jint>(Ctx.call().returnWord()) != JNI_OK)
           return;
         uint32_t Tid = Ctx.threadId();
         if (static_cast<int64_t>(Depth.load(Tid)) > 0)
@@ -61,8 +63,11 @@ MonitorBalanceMachine::MonitorBalanceMachine() {
       }));
 
   // Pop at zero: underflow — this thread holds no JNI monitor entry.
+  const char *UnderflowTo = "Error: unmatched exit";
+  if (mutate::active(mutate::M::SpecMonitorErrorStateSwapped))
+    UnderflowTo = "Balanced"; // mutant: the error state is bypassed
   Spec.Transitions.push_back(makeTransition(
-      "Balanced", "Error: unmatched exit",
+      "Balanced", UnderflowTo,
       {{FunctionSelector::one(jni::FnId::MonitorExit),
         Direction::CallCToJava}},
       CounterOp::Pop, [this](TransitionContext &Ctx) {

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -56,6 +57,8 @@ NullnessMachine::NullnessMachine() {
           const jvmti::CapturedArg &Arg = Ctx.call().arg(I);
           bool IsNull = Param.Cls == ArgClass::Ref ? Arg.Word == 0
                                                    : Arg.Ptr == nullptr;
+          if (mutate::active(mutate::M::SpecNullnessInverted))
+            IsNull = !IsNull;
           if (IsNull) {
             Ctx.reporter().violation(
                 Ctx, Spec,

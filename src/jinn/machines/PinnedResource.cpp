@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "jinn/machines/MachineUtil.h"
+#include "mutate/Mutation.h"
 
 using namespace jinn;
 using namespace jinn::agent;
@@ -67,6 +68,8 @@ PinnedResourceMachine::PinnedResourceMachine(const MachineTuning &Tuning)
             }),
         Direction::CallCToJava}},
       [this](TransitionContext &Ctx) {
+        if (mutate::active(mutate::M::SpecPinnedReleaseUntracked))
+          return; // mutant: releases never balance the shadow
         const FnTraits &Traits = Ctx.call().traits();
         // The buffer parameter: T* for array elements, const char* for
         // UTF chars (which the trait table classifies as a C string).

@@ -14,6 +14,8 @@
 
 #include "jni/EnvImplDetail.h"
 
+#include "mutate/Mutation.h"
+
 #include "support/Format.h"
 
 using namespace jinn;
@@ -437,9 +439,12 @@ void jinn::jni::impl_DeleteLocalRef(JNIEnv *Env, jobject Obj) {
                      "DeleteLocalRef: not a local reference of this thread");
     return;
   }
-  if (!G.thread().deleteLocal(*Bits))
+  if (!G.thread().deleteLocal(*Bits)) {
+    if (mutate::active(mutate::M::JniDeleteDeadRefSilent))
+      return; // mutant: the double delete goes unnoticed
     G.vm().undefined(G.thread(), UndefinedOp::DanglingLocalRef,
                      "DeleteLocalRef: reference already dead");
+  }
 }
 
 jboolean jinn::jni::impl_IsSameObject(JNIEnv *Env, jobject Obj1,
@@ -464,7 +469,8 @@ jint jinn::jni::impl_EnsureLocalCapacity(JNIEnv *Env, jint Capacity) {
   if (!G.ok())
     return JNI_ERR;
   if (Capacity < 0)
-    return JNI_ERR;
+    return mutate::active(mutate::M::JniEnsureNegativeAccepted) ? JNI_OK
+                                                                : JNI_ERR;
   return G.thread().ensureLocalCapacity(static_cast<uint32_t>(Capacity))
              ? JNI_OK
              : JNI_ERR;
@@ -640,6 +646,8 @@ jint jinn::jni::impl_MonitorExit(JNIEnv *Env, jobject Obj) {
     return JNI_ERR;
   }
   if (G.vm().monitorExit(G.thread(), Id) != jvm::MonitorResult::Ok) {
+    if (mutate::active(mutate::M::JniMonitorExitFailureMasked))
+      return JNI_OK; // mutant: the rejection is reported as success
     G.vm().throwNew(G.thread(), "java/lang/IllegalMonitorStateException",
                     "MonitorExit: monitor not owned by this thread");
     return JNI_ERR;

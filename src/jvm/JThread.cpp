@@ -6,6 +6,8 @@
 
 #include "jvm/JThread.h"
 
+#include "mutate/Mutation.h"
+
 #include <cassert>
 
 using namespace jinn::jvm;
@@ -140,6 +142,8 @@ size_t JThread::liveLocalsInTopFrame() const {
 bool JThread::ensureLocalCapacity(uint32_t Capacity) {
   if (Frames.empty())
     return false;
+  if (mutate::active(mutate::M::JvmEnsureCapacityIgnored))
+    return true; // mutant: success claimed, capacity never applied
   if (Frames.back().Capacity < Capacity)
     Frames.back().Capacity = Capacity;
   return true;

@@ -6,6 +6,8 @@
 
 #include "jvm/Vm.h"
 
+#include "mutate/Mutation.h"
+
 #include "support/Compiler.h"
 #include "support/Format.h"
 
@@ -239,8 +241,21 @@ std::string jinn::jvm::utf16ToUtf8(const std::u16string &Chars) {
 // Construction / bootstrap
 //===----------------------------------------------------------------------===
 
+namespace {
+
+/// TLAB refill cadence; the slots-minus-one mutant is the campaign's
+/// documented equivalent mutant (allocation results are unaffected).
+size_t tlabSlotsFor(const VmOptions &Options) {
+  size_t Slots = Options.TlabSlots ? Options.TlabSlots : 1;
+  if (mutate::active(mutate::M::JvmTlabRefillMinusOne) && Slots > 1)
+    Slots -= 1;
+  return Slots;
+}
+
+} // namespace
+
 Vm::Vm(VmOptions Options)
-    : Options(Options), TheHeap(Options.TlabSlots ? Options.TlabSlots : 1),
+    : Options(Options), TheHeap(tlabSlotsFor(Options)),
       VmSerial(registerLiveInstance(this)) {
   Diags.setEcho(Options.EchoDiagnostics);
   bootstrapCoreClasses();
@@ -514,7 +529,10 @@ JThread &Vm::attachThread(std::string Name) {
     ThreadTable[Id].store(Thread, std::memory_order_release);
   }
   // Attached threads get a base local frame, as with AttachCurrentThread.
-  Thread->pushFrame(Options.NativeFrameCapacity, /*Explicit=*/false);
+  uint32_t BaseCapacity = Options.NativeFrameCapacity;
+  if (mutate::active(mutate::M::JvmFrameCapacityPlusOne))
+    BaseCapacity += 1;
+  Thread->pushFrame(BaseCapacity, /*Explicit=*/false);
   for (VmEventObserver *Observer : observersSnapshot())
     Observer->onThreadStart(*Thread);
   return *Thread;

@@ -1,0 +1,74 @@
+//===- mutate/Harness.h - Kill-rate harness for the mutant corpus -*-C++-*-===//
+//
+// Part of the Jinn reproduction project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The jinn-mutate kill judge (DESIGN.md §16): a mutant dies iff at least
+/// one oracle disagrees with the unmutated run. "Oracle" is the whole PR 5
+/// battery plus the additions of this campaign, condensed into an ordered
+/// textual fingerprint:
+///
+///   micro:*    the Table-1 matrix under Jinn (outcome + every report),
+///              bare, and -Xcheck:jni worlds
+///   probe:*    direct API-contract probes (the blind-spot killers:
+///              ensure-capacity growth, negative capacity, foreign
+///              monitor exit, error-state sinking)
+///   py:*       §7 scenarios checked (violations) and unchecked
+///              (interpreter incidents), plus a double-decref probe
+///   table:*    fuzz op-table validation against the live machine models
+///   lint:*     speclint error/warning findings over the live models
+///   fuzz:*     a seeded differential campaign (verdict, replay, xcheck,
+///              gating failure classes)
+///
+/// judgeMutant() computes the fingerprint with the mutant off and again
+/// with it on, in one process; any line-level difference kills, and the
+/// section prefix of the first differing lines names the killing oracles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JINN_MUTATE_HARNESS_H
+#define JINN_MUTATE_HARNESS_H
+
+#include "mutate/Mutation.h"
+
+#include <string>
+#include <vector>
+
+namespace jinn::mutate {
+
+/// The ordered oracle fingerprint of one configuration (see file comment).
+/// Deterministic for a fixed build + active mutant.
+std::vector<std::string> computeFingerprint();
+
+/// Only the probe section — exported so regression tests can assert the
+/// unmutated contracts directly.
+std::vector<std::string> runContractProbes();
+
+/// One oracle's disagreement with the baseline.
+struct OracleKill {
+  std::string Oracle; ///< "micros-jinn", "probes", "table", ...
+  std::string Detail; ///< first differing line pair, human-readable
+};
+
+struct Verdict {
+  int Id = 0;
+  std::string Name;
+  std::string Status; ///< "killed" | "survived"
+  std::vector<OracleKill> KilledBy;
+};
+
+/// Line-level multiset diff of two fingerprints, grouped by the oracle
+/// that owns each differing section prefix. Empty means "survived".
+std::vector<OracleKill> diffFingerprints(const std::vector<std::string> &Base,
+                                         const std::vector<std::string> &Mut);
+
+/// Runs the judge for mutant \p Id in this process: fingerprint with the
+/// mutant off, fingerprint with it on, diff. Restores the previously
+/// active mutant before returning.
+Verdict judgeMutant(int Id);
+
+} // namespace jinn::mutate
+
+#endif // JINN_MUTATE_HARNESS_H

@@ -6,6 +6,8 @@
 
 #include "pyc/PyRuntime.h"
 
+#include "mutate/Mutation.h"
+
 #include "support/Compiler.h"
 #include "support/Format.h"
 
@@ -87,6 +89,8 @@ bool PyInterp::decref(PyObject *Obj) {
   if (!Obj)
     return false;
   if (Obj->Freed) {
+    if (mutate::active(mutate::M::PycDecrefFreedUnchecked))
+      return false; // mutant: the double free goes unnoticed
     Diags.report(IncidentKind::SimulatedCrash, "pyc",
                  "Py_DECREF on a deallocated object (double free)");
     return false;

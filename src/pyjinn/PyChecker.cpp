@@ -6,6 +6,8 @@
 
 #include "pyjinn/PyChecker.h"
 
+#include "mutate/Mutation.h"
+
 #include "support/Format.h"
 
 #include <cstring>
@@ -122,7 +124,8 @@ bool PyChecker::checkKind(const char *Fn, PyObject *Obj,
 bool PyChecker::preCall(const char *Fn,
                         std::initializer_list<PyObject *> Refs) {
   const PyFnSpec *Spec = pyFnSpec(Fn);
-  if (ShadowGilDepth <= 0 && (!Spec || !Spec->GilFunction)) {
+  if (!mutate::active(mutate::M::PySpecGilCheckDropped) &&
+      ShadowGilDepth <= 0 && (!Spec || !Spec->GilFunction)) {
     report("GIL state", Fn, "Python/C API call without holding the GIL");
     return false;
   }

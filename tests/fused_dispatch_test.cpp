@@ -25,7 +25,11 @@
 
 #include "fuzz/Corpus.h"
 #include "fuzz/Executor.h"
+#include "jinn/JinnAgent.h"
+#include "jni/JniRuntime.h"
+#include "jvm/Vm.h"
 #include "jvmti/Interpose.h"
+#include "jvmti/Jvmti.h"
 #include "scenarios/Scenarios.h"
 
 #include <gtest/gtest.h>
@@ -147,7 +151,10 @@ TEST(FusedDispatch, RecordingModeStaysDynamic) {
   Config.JinnMode = agent::TraceMode::RecordAndReplay;
   scenarios::ScenarioWorld World(Config);
   EXPECT_FALSE(World.Jinn->fusedInstalled());
-  EXPECT_FALSE(World.Jinn->fusedRefusal().empty());
+  // The exact refusal string is load-bearing: run_benches.sh and the
+  // monitor surface it verbatim to explain why a run stayed dynamic.
+  EXPECT_EQ(World.Jinn->fusedRefusal(),
+            "recording/sampling modes stay on the dynamic tier");
   EXPECT_FALSE(jvmti::dispatcherFor(World.Rt).fusedActive());
   World.shutdown();
 }
@@ -157,6 +164,8 @@ TEST(FusedDispatch, SampledCheckingStaysDynamic) {
   Config.JinnSampleRate = 4;
   scenarios::ScenarioWorld World(Config);
   EXPECT_FALSE(World.Jinn->fusedInstalled());
+  EXPECT_EQ(World.Jinn->fusedRefusal(),
+            "recording/sampling modes stay on the dynamic tier");
   EXPECT_FALSE(jvmti::dispatcherFor(World.Rt).fusedActive());
   World.shutdown();
 }
@@ -166,6 +175,24 @@ TEST(FusedDispatch, DisabledByOptionStaysDynamic) {
   EXPECT_FALSE(World.Jinn->fusedInstalled());
   EXPECT_EQ(World.Jinn->fusedRefusal(), "disabled by options");
   World.shutdown();
+}
+
+TEST(FusedDispatch, AgentRefusesADispatcherWithForeignHooks) {
+  // Agent-level version of the dirty-dispatcher refusal: a non-machine
+  // hook installed before the agent loads (a debugger, another agent)
+  // must keep the whole load on the dynamic tier, with the exact
+  // refusal string the operator sees.
+  jvm::Vm Vm((jvm::VmOptions()));
+  jni::JniRuntime Rt(Vm);
+  jvmti::dispatcherFor(Rt).addPreAll([](jvmti::CapturedCall &) {});
+
+  jvmti::AgentHost Host(Rt);
+  auto &Jinn = static_cast<agent::JinnAgent &>(
+      Host.load(std::make_unique<agent::JinnAgent>()));
+  EXPECT_FALSE(Jinn.fusedInstalled());
+  EXPECT_EQ(Jinn.fusedRefusal(),
+            "dispatcher already carries non-machine hooks");
+  EXPECT_FALSE(jvmti::dispatcherFor(Rt).fusedActive());
 }
 
 TEST(FusedDispatch, InstallRefusedOnADirtyDispatcherAndDemotedByMutation) {

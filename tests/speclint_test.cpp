@@ -340,6 +340,46 @@ TEST(SpecLint, GuardedErrorTransitionsAreNotConflicts) {
   EXPECT_FALSE(Report.hasErrors());
 }
 
+TEST(SpecLint, ViolationTextMustTargetAnErrorState) {
+  // Regression for the mutation campaign's spec-monitorbalance-error-
+  // state-swapped survivor: a counter-guard transition whose declared
+  // violation text flows to a non-error target used to pass every
+  // analysis (reachability exempts error states, the fused plan records
+  // only hook sites). The lint now makes the target label load-bearing.
+  spec::TransitionAction Noop = [](spec::TransitionContext &) {};
+  spec::StateMachineSpec Spec;
+  Spec.Name = "Mislabeled fixture";
+  Spec.States = {"Start", "Error: underflow"};
+  Spec.Counter = {"fixture depth", 4};
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start",
+       {{FunctionSelector::one(FnId::MonitorEnter),
+         Direction::ReturnJavaToC}},
+       Noop,
+       spec::CounterOp::Push});
+  Spec.Transitions.push_back(
+      {"Start",
+       "Start", // should be "Error: underflow"
+       {{FunctionSelector::one(FnId::MonitorExit), Direction::CallCToJava}},
+       Noop,
+       spec::CounterOp::Pop});
+  Spec.Transitions.back().Violation = "fixture underflow";
+
+  LintOptions Opts;
+  Opts.IncludeInfo = false;
+  LintReport Report = lintMachines({buildModel(Spec)}, Opts);
+  ASSERT_EQ(Report.named("transition/violation-without-error-target").size(),
+            1u);
+  EXPECT_TRUE(Report.hasErrors());
+
+  // The correctly labeled spec is clean.
+  Spec.Transitions.back().To = "Error: underflow";
+  LintReport Fixed = lintMachines({buildModel(Spec)}, Opts);
+  EXPECT_EQ(Fixed.named("transition/violation-without-error-target").size(),
+            0u);
+}
+
 TEST(SpecLint, StatsMismatchIsAnError) {
   ShippedAnalysis A;
   synth::SynthesisStats Wrong = A.Stats;

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Enforces the mutation-testing kill-rate floor over a jinn-mutate report.
+
+Usage: mutate_gate.py <baseline.json> <fresh.json> [floor]
+
+Both files are jinn-mutate --run --json documents (schema jinn-mutate-v1):
+  {"total": N, "killed": K, "survived": S, "errors": E,
+   "non_equivalent": M, "kill_rate_non_equivalent": R,
+   "mutants": [{"id", "name", "op_class", "target", "site",
+                "expect", "status", "killed_by", "details"}, ...]}
+
+Gates, in order of severity:
+  1. no campaign errors: every mutant must reach a killed/survived verdict;
+  2. kill-rate floor: kill_rate_non_equivalent must reach <floor>
+     (default 0.80) — equivalent mutants are excluded from the denominator;
+  3. every survivor must be annotated: a mutant whose registry expectation
+     is "killed" but which survived is an undetected detector gap;
+  4. no kill regression: a mutant killed in the committed baseline must not
+     survive the fresh run;
+  5. no silent shrinkage: every mutant present in the baseline must appear
+     in the fresh report.
+
+The survivor list is always printed, annotated equivalent vs blind-spot,
+so a green gate still shows exactly what the detectors cannot see.
+"""
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("mutants"), list):
+        raise ValueError("%s: not a jinn-mutate report" % path)
+    return doc
+
+
+def by_id(doc):
+    return {int(m["id"]): m for m in doc["mutants"]}
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    floor = float(sys.argv[3]) if len(sys.argv) > 3 else float(
+        os.environ.get("JINN_MUTATE_KILL_FLOOR", "0.80"))
+    try:
+        base, fresh = load(sys.argv[1]), load(sys.argv[2])
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print("mutate_gate: %s" % err, file=sys.stderr)
+        return 2
+
+    base_rows, fresh_rows = by_id(base), by_id(fresh)
+    failures = []
+
+    errors = [m for m in fresh_rows.values()
+              if m["status"] not in ("killed", "survived")]
+    for m in errors:
+        failures.append("mutant %d (%s): campaign error (%s)"
+                        % (m["id"], m["name"], m["status"]))
+
+    rate = float(fresh.get("kill_rate_non_equivalent", 0.0))
+    if rate < floor:
+        failures.append(
+            "kill rate %.1f%% on non-equivalent mutants below the %.0f%% "
+            "floor" % (100 * rate, 100 * floor))
+
+    survivors = [m for m in fresh_rows.values() if m["status"] == "survived"]
+    for m in survivors:
+        if m["expect"] == "killed":
+            failures.append(
+                "mutant %d (%s) survived but is annotated killable — either "
+                "fix the detector gap or annotate the blind spot"
+                % (m["id"], m["name"]))
+
+    for mid, m in sorted(base_rows.items()):
+        if mid not in fresh_rows:
+            failures.append("mutant %d (%s) present in the baseline but "
+                            "missing from the fresh report" % (mid, m["name"]))
+        elif m["status"] == "killed" and fresh_rows[mid]["status"] == "survived":
+            failures.append(
+                "mutant %d (%s): killed in the baseline but survived the "
+                "fresh run (oracle regression)" % (mid, m["name"]))
+
+    annotation = {"survives-equivalent": "equivalent",
+                  "survives-blind-spot": "blind spot (filed)",
+                  "killed": "UNANNOTATED"}
+    print("mutate_gate: %d/%d non-equivalent mutants killed (%.1f%%), "
+          "%d survivor(s)" % (
+              fresh.get("killed", 0) - sum(
+                  1 for m in fresh_rows.values()
+                  if m["status"] == "killed"
+                  and m["expect"] == "survives-equivalent"),
+              fresh.get("non_equivalent", 0), 100 * rate, len(survivors)))
+    for m in sorted(survivors, key=lambda m: m["id"]):
+        print("mutate_gate: survivor %d (%s): %s — %s"
+              % (m["id"], m["name"], m["op_class"],
+                 annotation.get(m["expect"], m["expect"])))
+
+    for failure in failures:
+        print("mutate_gate: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,13 @@
 #                      (e.g. "bench_trace_modes bench_coverage")
 #   JINN_BENCH_NO_GATE set non-empty to skip the throughput regression
 #                      gate against bench/baselines/
+#   JINN_MUTATE_NO_GATE set non-empty to skip the mutation-testing
+#                      kill-rate gate against mutants/baseline.json
 set -eu
+# POSIX sh has no pipefail; enable it where the shell provides it (dash
+# does not, bash/ksh/zsh do) so a bench dying inside a pipeline cannot be
+# masked by the tail/sed consumers downstream.
+(set -o pipefail) 2>/dev/null && set -o pipefail
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD=${1:-"$ROOT/build"}
@@ -70,16 +76,20 @@ for BENCH in $BENCHES; do
   if [ -z "${JINN_BENCH_NO_GATE:-}" ] && [ -s "$BASELINE" ] \
       && [ -s "$JSON" ] && [ "$BASESCALE" = "$JINN_BENCH_SCALE" ] \
       && command -v python3 >/dev/null 2>&1; then
-    if ! python3 "$ROOT/tools/bench_gate.py" "$BASELINE" "$JSON"; then
-      echo "run_benches: $BENCH regressed vs bench/baselines (set" \
+    if python3 "$ROOT/tools/bench_gate.py" "$BASELINE" "$JSON"; then
+      echo "run_benches: gate bench_gate($BENCH): PASS"
+    else
+      echo "run_benches: gate bench_gate($BENCH): FAIL (set" \
            "JINN_BENCH_NO_GATE=1 to bypass)" >&2
       FAILED="$FAILED $BENCH(regression)"
     fi
     # The monitoring soak has its own gate on top of the throughput one:
     # RSS ceiling, sampled p99 latency, and the seeded-bug detection floor.
     if [ "$BENCH" = "bench_monitor_soak" ]; then
-      if ! python3 "$ROOT/tools/monitor_gate.py" "$BASELINE" "$JSON"; then
-        echo "run_benches: $BENCH failed the monitor gate (set" \
+      if python3 "$ROOT/tools/monitor_gate.py" "$BASELINE" "$JSON"; then
+        echo "run_benches: gate monitor_gate: PASS"
+      else
+        echo "run_benches: gate monitor_gate: FAIL (set" \
              "JINN_BENCH_NO_GATE=1 to bypass)" >&2
         FAILED="$FAILED $BENCH(monitor-gate)"
       fi
@@ -93,11 +103,36 @@ done
 if [ -z "${JINN_BENCH_NO_GATE:-}" ] && [ -x "$BUILD/tools/jinn-verify" ] \
     && command -v python3 >/dev/null 2>&1; then
   echo "== verify_gate (jinn-verify static-vs-dynamic agreement) =="
-  if ! python3 "$ROOT/tools/verify_gate.py" "$BUILD/tools/jinn-verify" \
+  if python3 "$ROOT/tools/verify_gate.py" "$BUILD/tools/jinn-verify" \
       --micros --examples --corpus; then
-    echo "run_benches: jinn-verify disagreed with the dynamic oracles" \
-         "(set JINN_BENCH_NO_GATE=1 to bypass)" >&2
+    echo "run_benches: gate verify_gate: PASS"
+  else
+    echo "run_benches: gate verify_gate: FAIL — jinn-verify disagreed" \
+         "with the dynamic oracles (set JINN_BENCH_NO_GATE=1 to bypass)" >&2
     FAILED="$FAILED verify_gate"
+  fi
+fi
+
+# Mutation-testing gate: re-judge the checked-in mutant corpus against the
+# live oracle battery and hold the kill rate to the committed baseline.
+# Scale-independent and a few seconds long; JINN_MUTATE_NO_GATE skips it.
+if [ -z "${JINN_MUTATE_NO_GATE:-}" ] && [ -x "$BUILD/tools/jinn-mutate" ] \
+    && [ -s "$ROOT/mutants/baseline.json" ] \
+    && command -v python3 >/dev/null 2>&1; then
+  echo "== mutate_gate (detector kill rate over the mutant corpus) =="
+  MUTATE_JSON="$BUILD/MUTATE_CAMPAIGN.json"
+  if ! "$BUILD/tools/jinn-mutate" --run --json "$MUTATE_JSON"; then
+    echo "run_benches: gate mutate_gate: FAIL — campaign errored (set" \
+         "JINN_MUTATE_NO_GATE=1 to bypass)" >&2
+    FAILED="$FAILED mutate_campaign"
+  elif python3 "$ROOT/tools/mutate_gate.py" \
+      "$ROOT/mutants/baseline.json" "$MUTATE_JSON"; then
+    echo "run_benches: gate mutate_gate: PASS"
+  else
+    echo "run_benches: gate mutate_gate: FAIL — kill rate regressed or a" \
+         "survivor lost its annotation (set JINN_MUTATE_NO_GATE=1 to" \
+         "bypass)" >&2
+    FAILED="$FAILED mutate_gate"
   fi
 fi
 
